@@ -1,0 +1,55 @@
+// Experiment A1 (DESIGN.md): scaling of Algorithm derive with |D|.
+// The paper claims quadratic time (Theorem 3.2); the series below sweeps
+// layered DTDs of growing size with a fixed-density random policy.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "security/derive.h"
+#include "workload/synthetic.h"
+
+namespace secview {
+namespace {
+
+void BM_DeriveLayered(benchmark::State& state) {
+  const int layers = static_cast<int>(state.range(0));
+  const int width = static_cast<int>(state.range(1));
+  Dtd dtd = MakeLayeredDtd(layers, width);
+  Rng rng(42);
+  AccessSpec spec = MakeRandomSpec(dtd, rng, /*p_no=*/0.25, /*p_yes=*/0.25,
+                                   /*p_qual=*/0.0);
+  for (auto _ : state) {
+    auto view = DeriveSecurityView(spec);
+    if (!view.ok()) state.SkipWithError(view.status().ToString().c_str());
+    benchmark::DoNotOptimize(view);
+  }
+  state.counters["dtd_size"] = dtd.Size();
+}
+BENCHMARK(BM_DeriveLayered)
+    ->Args({4, 4})
+    ->Args({6, 8})
+    ->Args({8, 16})
+    ->Args({10, 32})
+    ->Args({12, 64})
+    ->Args({12, 128});
+
+void BM_DeriveHospitalLikeDensity(benchmark::State& state) {
+  // Same sweep with a denser policy (more hidden regions to shortcut).
+  const int width = static_cast<int>(state.range(0));
+  Dtd dtd = MakeLayeredDtd(8, width);
+  Rng rng(7);
+  AccessSpec spec = MakeRandomSpec(dtd, rng, /*p_no=*/0.5, /*p_yes=*/0.3,
+                                   /*p_qual=*/0.1);
+  for (auto _ : state) {
+    auto view = DeriveSecurityView(spec);
+    if (!view.ok()) state.SkipWithError(view.status().ToString().c_str());
+    benchmark::DoNotOptimize(view);
+  }
+  state.counters["dtd_size"] = dtd.Size();
+}
+BENCHMARK(BM_DeriveHospitalLikeDensity)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace secview
+
+BENCHMARK_MAIN();

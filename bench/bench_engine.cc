@@ -1,0 +1,94 @@
+// Engine-level costs of the Fig. 3 framework: policy registration
+// (spec parse + derive + recProc), cold vs. cached query preparation,
+// and end-to-end Execute throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "engine/engine.h"
+#include "workload/hospital.h"
+#include "xml/parser.h"
+
+namespace secview {
+namespace {
+
+constexpr char kNursePolicy[] = R"(
+  ann(hospital, dept) = [*/patient/wardNo = $wardNo]
+  ann(dept, clinicalTrial) = N
+  ann(clinicalTrial, patientInfo) = Y
+  ann(treatment, trial) = N
+  ann(treatment, regular) = N
+  ann(trial, bill) = Y
+  ann(regular, bill) = Y
+  ann(regular, medication) = Y
+)";
+
+void BM_RegisterPolicy(benchmark::State& state) {
+  int i = 0;
+  auto engine = SecureQueryEngine::Create(MakeHospitalDtd());
+  if (!engine.ok()) std::abort();
+  for (auto _ : state) {
+    Status status = (*engine)->RegisterPolicy(
+        "nurse" + std::to_string(++i), kNursePolicy);
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+  }
+}
+BENCHMARK(BM_RegisterPolicy);
+
+void BM_PrepareCold(benchmark::State& state) {
+  // Fresh engine per batch so each Rewrite is a cache miss.
+  auto engine = SecureQueryEngine::Create(MakeHospitalDtd());
+  if (!engine.ok()) std::abort();
+  if (!(*engine)->RegisterPolicy("nurse", kNursePolicy).ok()) std::abort();
+  int i = 0;
+  for (auto _ : state) {
+    // Vary the query text to defeat the cache (same shape, new key).
+    std::string query =
+        "//patient//bill | //patient[wardNo = \"" + std::to_string(++i) +
+        "\"]";
+    auto rewritten = (*engine)->Rewrite("nurse", query, true);
+    if (!rewritten.ok()) state.SkipWithError("rewrite failed");
+    benchmark::DoNotOptimize(rewritten);
+  }
+}
+BENCHMARK(BM_PrepareCold);
+
+void BM_PrepareCached(benchmark::State& state) {
+  auto engine = SecureQueryEngine::Create(MakeHospitalDtd());
+  if (!engine.ok()) std::abort();
+  if (!(*engine)->RegisterPolicy("nurse", kNursePolicy).ok()) std::abort();
+  for (auto _ : state) {
+    auto rewritten = (*engine)->Rewrite("nurse", "//patient//bill", true);
+    if (!rewritten.ok()) state.SkipWithError("rewrite failed");
+    benchmark::DoNotOptimize(rewritten);
+  }
+}
+BENCHMARK(BM_PrepareCached);
+
+void BM_ExecuteEndToEnd(benchmark::State& state) {
+  static auto* engine = [] {
+    auto e = SecureQueryEngine::Create(MakeHospitalDtd());
+    if (!e.ok()) std::abort();
+    if (!(*e)->RegisterPolicy("nurse", kNursePolicy).ok()) std::abort();
+    return new std::unique_ptr<SecureQueryEngine>(std::move(e).value());
+  }();
+  static const XmlTree* doc = [] {
+    auto d = GenerateDocument(MakeHospitalDtd(),
+                              HospitalGeneratorOptions(3, 1'000'000));
+    if (!d.ok()) std::abort();
+    return new XmlTree(std::move(d).value());
+  }();
+  ExecuteOptions options;
+  options.bindings = {{"wardNo", "3"}};
+  for (auto _ : state) {
+    auto result = (*engine)->Execute("nurse", *doc, "//patient//bill",
+                                     options);
+    if (!result.ok()) state.SkipWithError("execute failed");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ExecuteEndToEnd)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace secview
+
+BENCHMARK_MAIN();

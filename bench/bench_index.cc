@@ -1,0 +1,141 @@
+// Experiment A7 (DESIGN.md): how the Table 1 gap depends on the XPath
+// evaluation strategy. With a label index, '//label' steps cost
+// O(log N + matches), which narrows the naive-vs-rewrite gap for
+// label-selective queries — but wildcard probes and per-result
+// accessibility checks keep the baseline behind, and the index does
+// nothing about the baseline's annotation maintenance.
+
+#include <benchmark/benchmark.h>
+
+#include "naive/naive.h"
+#include "rewrite/rewriter.h"
+#include "security/derive.h"
+#include "workload/adex.h"
+#include "xml/label_index.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace secview {
+namespace {
+
+struct Fixture {
+  const XmlTree* plain;
+  const XmlTree* annotated;
+  const LabelIndex* plain_index;
+  const LabelIndex* annotated_index;
+  PathPtr naive_q1;
+  PathPtr rewritten_q1;
+  PathPtr naive_wildcard;
+  PathPtr rewritten_wildcard;
+
+  static const Fixture& Get() {
+    static const Fixture* fixture = [] {
+      auto* dtd = new Dtd(MakeAdexDtd());
+      auto spec_result = MakeAdexSpec(*dtd);
+      if (!spec_result.ok()) std::abort();
+      auto* spec = new AccessSpec(std::move(spec_result).value());
+      auto view_result = DeriveSecurityView(*spec);
+      if (!view_result.ok()) std::abort();
+      auto* view = new SecurityView(std::move(view_result).value());
+      auto rewriter = QueryRewriter::Create(*view);
+      if (!rewriter.ok()) std::abort();
+
+      auto doc = GenerateDocument(*dtd,
+                                  AdexGeneratorOptions(19, 8'000'000, 4));
+      if (!doc.ok()) std::abort();
+      auto* plain = new XmlTree(std::move(doc).value());
+      auto* annotated = new XmlTree(plain->Clone());
+      if (!AnnotateAccessibilityAttributes(*annotated, *spec).ok()) {
+        std::abort();
+      }
+
+      PathPtr q1 = ParseXPath("//buyer-info/contact-info").value();
+      // A wildcard-heavy probe the index cannot accelerate.
+      PathPtr wild = ParseXPath("//*[r-e.warranty]").value();
+
+      auto* f = new Fixture();
+      f->plain = plain;
+      f->annotated = annotated;
+      f->plain_index = new LabelIndex(*plain);
+      f->annotated_index = new LabelIndex(*annotated);
+      f->naive_q1 = NaiveRewrite(q1);
+      f->rewritten_q1 = rewriter->Rewrite(q1).value();
+      f->naive_wildcard = NaiveRewrite(wild);
+      f->rewritten_wildcard = rewriter->Rewrite(wild).value();
+      return f;
+    }();
+    return *fixture;
+  }
+};
+
+void Run(benchmark::State& state, const XmlTree& doc,
+         const LabelIndex* index, const PathPtr& query) {
+  uint64_t work = 0;
+  for (auto _ : state) {
+    XPathEvaluator evaluator =
+        index ? XPathEvaluator(doc, index) : XPathEvaluator(doc);
+    auto result = evaluator.Evaluate(query, doc.root());
+    if (!result.ok()) state.SkipWithError("evaluation failed");
+    benchmark::DoNotOptimize(result);
+    work = evaluator.work();
+  }
+  state.counters["nodes_touched"] = static_cast<double>(work);
+}
+
+void BM_NaiveQ1_TreeWalk(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  Run(state, *f.annotated, nullptr, f.naive_q1);
+}
+void BM_NaiveQ1_Indexed(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  Run(state, *f.annotated, f.annotated_index, f.naive_q1);
+}
+void BM_RewriteQ1_TreeWalk(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  Run(state, *f.plain, nullptr, f.rewritten_q1);
+}
+void BM_RewriteQ1_Indexed(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  Run(state, *f.plain, f.plain_index, f.rewritten_q1);
+}
+void BM_NaiveWildcard_TreeWalk(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  Run(state, *f.annotated, nullptr, f.naive_wildcard);
+}
+void BM_NaiveWildcard_Indexed(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  Run(state, *f.annotated, f.annotated_index, f.naive_wildcard);
+}
+void BM_RewriteWildcard_TreeWalk(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  Run(state, *f.plain, nullptr, f.rewritten_wildcard);
+}
+void BM_RewriteWildcard_Indexed(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  Run(state, *f.plain, f.plain_index, f.rewritten_wildcard);
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  for (auto _ : state) {
+    LabelIndex index(*f.plain);
+    benchmark::DoNotOptimize(index);
+  }
+  state.counters["doc_nodes"] =
+      static_cast<double>(f.plain->node_count());
+}
+
+BENCHMARK(BM_NaiveQ1_TreeWalk)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NaiveQ1_Indexed)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RewriteQ1_TreeWalk)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RewriteQ1_Indexed)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NaiveWildcard_TreeWalk)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NaiveWildcard_Indexed)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RewriteWildcard_TreeWalk)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RewriteWildcard_Indexed)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_IndexBuild)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace secview
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Experiment A4 (DESIGN.md): the paper's motivating claim that query
+// rewriting bypasses view materialization. Compares answering a view
+// query by (a) materializing Tv and evaluating over it versus (b)
+// rewriting and evaluating over the document, as the document grows.
+
+#include <benchmark/benchmark.h>
+
+#include "rewrite/rewriter.h"
+#include "security/derive.h"
+#include "security/materializer.h"
+#include "workload/adex.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace secview {
+namespace {
+
+struct Fixture {
+  // Heap-allocated and leaked: spec and view borrow the dtd, and
+  // benchmark fixtures live for the process lifetime.
+  const Dtd* dtd;
+  const AccessSpec* spec;
+  const SecurityView* view;
+  PathPtr query;
+  PathPtr rewritten;
+
+  static Fixture* Make() {
+    auto* dtd = new Dtd(MakeAdexDtd());
+    auto spec_result = MakeAdexSpec(*dtd);
+    if (!spec_result.ok()) std::abort();
+    auto* spec = new AccessSpec(std::move(spec_result).value());
+    auto view_result = DeriveSecurityView(*spec);
+    if (!view_result.ok()) std::abort();
+    auto* view = new SecurityView(std::move(view_result).value());
+    auto rewriter = QueryRewriter::Create(*view);
+    if (!rewriter.ok()) std::abort();
+    PathPtr q = ParseXPath("//buyer-info/contact-info | //house").value();
+    auto rewritten = rewriter->Rewrite(q);
+    if (!rewritten.ok()) std::abort();
+    return new Fixture{dtd, spec, view, q, std::move(rewritten).value()};
+  }
+};
+
+XmlTree* MakeDoc(int64_t bytes) {
+  auto doc = GenerateDocument(MakeAdexDtd(),
+                              AdexGeneratorOptions(9, bytes, 4));
+  if (!doc.ok()) std::abort();
+  // Re-parented onto the fixture DTD by label; generation used an
+  // identical DTD instance.
+  return new XmlTree(std::move(doc).value());
+}
+
+void BM_MaterializeThenQuery(benchmark::State& state) {
+  static Fixture* fixture = Fixture::Make();
+  XmlTree* doc = MakeDoc(state.range(0));
+  for (auto _ : state) {
+    auto tv = MaterializeView(*doc, *fixture->view, *fixture->spec);
+    if (!tv.ok()) state.SkipWithError(tv.status().ToString().c_str());
+    auto result = EvaluateAtRoot(*tv, fixture->query);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["doc_nodes"] = static_cast<double>(doc->node_count());
+  delete doc;
+}
+BENCHMARK(BM_MaterializeThenQuery)
+    ->Arg(500'000)
+    ->Arg(2'000'000)
+    ->Arg(8'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RewriteThenQuery(benchmark::State& state) {
+  static Fixture* fixture = Fixture::Make();
+  XmlTree* doc = MakeDoc(state.range(0));
+  for (auto _ : state) {
+    auto result = EvaluateAtRoot(*doc, fixture->rewritten);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["doc_nodes"] = static_cast<double>(doc->node_count());
+  delete doc;
+}
+BENCHMARK(BM_RewriteThenQuery)
+    ->Arg(500'000)
+    ->Arg(2'000'000)
+    ->Arg(8'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace secview
+
+BENCHMARK_MAIN();

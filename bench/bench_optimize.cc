@@ -1,0 +1,89 @@
+// Experiment A3 (DESIGN.md): Algorithm optimize and its building blocks
+// (image graphs, simulation containment, constraint folding).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "optimize/image_graph.h"
+#include "optimize/optimizer.h"
+#include "optimize/simulation.h"
+#include "workload/adex.h"
+#include "workload/synthetic.h"
+#include "xpath/parser.h"
+
+namespace secview {
+namespace {
+
+void BM_OptimizeAdexQueries(benchmark::State& state) {
+  Dtd dtd = MakeAdexDtd();
+  auto optimizer = QueryOptimizer::Create(dtd);
+  auto queries = MakeAdexQueries();
+  if (!optimizer.ok() || !queries.ok()) std::abort();
+  PathPtr q = queries->All()[state.range(0)].second;
+  for (auto _ : state) {
+    auto optimized = optimizer->Optimize(q);
+    benchmark::DoNotOptimize(optimized);
+  }
+}
+BENCHMARK(BM_OptimizeAdexQueries)->DenseRange(0, 3);
+
+void BM_OptimizerCreate(benchmark::State& state) {
+  // Setup cost (DtdPathIndex precomputation) as the DTD grows.
+  Dtd dtd = MakeLayeredDtd(static_cast<int>(state.range(0)),
+                           static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto optimizer = QueryOptimizer::Create(dtd);
+    benchmark::DoNotOptimize(optimizer);
+  }
+  state.counters["dtd_size"] = dtd.Size();
+}
+BENCHMARK(BM_OptimizerCreate)->Args({4, 4})->Args({6, 8})->Args({8, 16});
+
+void BM_SimulationContainment(benchmark::State& state) {
+  Dtd dtd = MakeLayeredDtd(8, 8);
+  DtdGraph graph(dtd);
+  PathPtr p1 = ParseXPath("//*[*]/*").value();
+  PathPtr p2 = ParseXPath("//*").value();
+  ImageGraph g1 = BuildImageGraph(graph, p1, dtd.root());
+  ImageGraph g2 = BuildImageGraph(graph, p2, dtd.root());
+  for (auto _ : state) {
+    bool contained = Simulates(g1, g2);
+    benchmark::DoNotOptimize(contained);
+  }
+  state.counters["g1_nodes"] = g1.size();
+  state.counters["g2_nodes"] = g2.size();
+}
+BENCHMARK(BM_SimulationContainment);
+
+void BM_ImageGraphBuild(benchmark::State& state) {
+  Dtd dtd = MakeLayeredDtd(static_cast<int>(state.range(0)), 8);
+  DtdGraph graph(dtd);
+  PathPtr p = ParseXPath("//*[*]/*/*").value();
+  for (auto _ : state) {
+    ImageGraph g = BuildImageGraph(graph, p, dtd.root());
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_ImageGraphBuild)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_OptimizeRandomQueries(benchmark::State& state) {
+  Rng rng(11);
+  Dtd dtd = MakeRandomDtd(rng, 24);
+  auto optimizer = QueryOptimizer::Create(dtd);
+  if (!optimizer.ok()) std::abort();
+  std::vector<PathPtr> queries;
+  for (int i = 0; i < 32; ++i) {
+    queries.push_back(MakeRandomDocQuery(dtd, rng, 4));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto optimized = optimizer->Optimize(queries[i++ % queries.size()]);
+    benchmark::DoNotOptimize(optimized);
+  }
+}
+BENCHMARK(BM_OptimizeRandomQueries);
+
+}  // namespace
+}  // namespace secview
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Experiment A5 (DESIGN.md): recursive views answered via bounded
+// unfolding (Section 4.2). Measures the unfolding + rewriting cost as the
+// document height (and hence the required unfolding depth) grows, and the
+// evaluation cost of the unfolded rewritings.
+
+#include <benchmark/benchmark.h>
+
+#include "rewrite/rewriter.h"
+#include "rewrite/unfold.h"
+#include "security/derive.h"
+#include "security/spec_parser.h"
+#include "workload/generator.h"
+#include "workload/synthetic.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace secview {
+namespace {
+
+struct RecursiveSetup {
+  const Dtd* dtd;
+  const AccessSpec* spec;
+  const SecurityView* view;
+
+  static const RecursiveSetup& Get() {
+    static const RecursiveSetup* setup = [] {
+      auto* fixture = new RecursiveFixture(MakeRecursiveFixture());
+      auto spec_result = ParseAccessSpec(fixture->dtd, fixture->spec_text);
+      if (!spec_result.ok()) std::abort();
+      auto* spec = new AccessSpec(std::move(spec_result).value());
+      auto view_result = DeriveSecurityView(*spec);
+      if (!view_result.ok()) std::abort();
+      auto* view = new SecurityView(std::move(view_result).value());
+      return new RecursiveSetup{&fixture->dtd, spec, view};
+    }();
+    return *setup;
+  }
+};
+
+void BM_UnfoldDepthSweep(benchmark::State& state) {
+  const RecursiveSetup& setup = RecursiveSetup::Get();
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto unfolded = UnfoldView(*setup.view, depth);
+    if (!unfolded.ok()) state.SkipWithError("unfold failed");
+    benchmark::DoNotOptimize(unfolded);
+  }
+}
+BENCHMARK(BM_UnfoldDepthSweep)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_UnfoldAndRewrite(benchmark::State& state) {
+  const RecursiveSetup& setup = RecursiveSetup::Get();
+  const int depth = static_cast<int>(state.range(0));
+  PathPtr q = ParseXPath("//section/title").value();
+  for (auto _ : state) {
+    auto rewritten = RewriteForDocument(*setup.view, q, depth);
+    if (!rewritten.ok()) state.SkipWithError("rewrite failed");
+    benchmark::DoNotOptimize(rewritten);
+  }
+}
+BENCHMARK(BM_UnfoldAndRewrite)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_EvaluateUnfoldedRewriting(benchmark::State& state) {
+  const RecursiveSetup& setup = RecursiveSetup::Get();
+  GeneratorOptions gen;
+  gen.seed = 5;
+  gen.min_branching = 1;
+  gen.max_branching = 3;
+  gen.max_depth = static_cast<int>(state.range(0));
+  gen.target_bytes = 200'000;
+  auto doc = GenerateDocument(*setup.dtd, gen);
+  if (!doc.ok()) {
+    state.SkipWithError("generation failed");
+    return;
+  }
+  auto rewritten = RewriteForDocument(
+      *setup.view, ParseXPath("//title").value(), doc->Height());
+  if (!rewritten.ok()) {
+    state.SkipWithError("rewrite failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto result = EvaluateAtRoot(*doc, *rewritten);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["height"] = doc->Height();
+  state.counters["rewritten_size"] = PathSize(*rewritten);
+}
+BENCHMARK(BM_EvaluateUnfoldedRewriting)->Arg(6)->Arg(12)->Arg(24);
+
+}  // namespace
+}  // namespace secview
+
+BENCHMARK_MAIN();

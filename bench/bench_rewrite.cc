@@ -1,0 +1,96 @@
+// Experiment A2 (DESIGN.md): Algorithm rewrite runs in O(|p| * |Dv|^2)
+// (Theorem 4.1). Sweeps query size at fixed view size, view size at fixed
+// query, and the recProc precomputation.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "rewrite/rec_paths.h"
+#include "rewrite/rewriter.h"
+#include "security/derive.h"
+#include "workload/hospital.h"
+#include "workload/synthetic.h"
+#include "xpath/parser.h"
+
+namespace secview {
+namespace {
+
+SecurityView LayeredView(int layers, int width, uint64_t seed) {
+  Dtd dtd = MakeLayeredDtd(layers, width);
+  // The DTD must outlive the view; leak it intentionally (benchmark
+  // fixtures live for the process lifetime).
+  Dtd* owned = new Dtd(std::move(dtd));
+  Rng rng(seed);
+  AccessSpec spec = MakeRandomSpec(*owned, rng, 0.2, 0.3, 0.0);
+  auto view = DeriveSecurityView(spec);
+  if (!view.ok()) std::abort();
+  return std::move(view).value();
+}
+
+void BM_RecProcPrecomputation(benchmark::State& state) {
+  SecurityView view =
+      LayeredView(static_cast<int>(state.range(0)),
+                  static_cast<int>(state.range(1)), 3);
+  for (auto _ : state) {
+    auto reach = ViewReachability::Compute(view);
+    if (!reach.ok()) state.SkipWithError(reach.status().ToString().c_str());
+    benchmark::DoNotOptimize(reach);
+  }
+  state.counters["view_size"] = view.Size();
+}
+BENCHMARK(BM_RecProcPrecomputation)
+    ->Args({4, 4})
+    ->Args({6, 8})
+    ->Args({8, 16})
+    ->Args({10, 32});
+
+void BM_RewriteQuerySizeSweep(benchmark::State& state) {
+  // Fixed hospital view; queries of growing step count.
+  Dtd dtd = MakeHospitalDtd();
+  auto spec = MakeNurseSpec(dtd);
+  auto view = DeriveSecurityView(*spec);
+  auto rewriter = QueryRewriter::Create(*view);
+  if (!rewriter.ok()) std::abort();
+
+  // Growing |p|: nested unions of descendant queries.
+  PathPtr grown = ParseXPath("//patient//bill").value();
+  for (int i = 1; i < state.range(0); ++i) {
+    grown = MakeUnion(grown, ParseXPath(i % 2 == 0 ? "//patient/name"
+                                                   : "//staff | //wardNo")
+                                 .value());
+    grown = MakeSlash(MakeEpsilon(), grown);
+  }
+  for (auto _ : state) {
+    auto rewritten = rewriter->Rewrite(grown);
+    if (!rewritten.ok()) {
+      state.SkipWithError(rewritten.status().ToString().c_str());
+    }
+    benchmark::DoNotOptimize(rewritten);
+  }
+  state.counters["query_size"] = PathSize(grown);
+}
+BENCHMARK(BM_RewriteQuerySizeSweep)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RewriteViewSizeSweep(benchmark::State& state) {
+  SecurityView view =
+      LayeredView(static_cast<int>(state.range(0)),
+                  static_cast<int>(state.range(1)), 5);
+  auto rewriter = QueryRewriter::Create(view);
+  if (!rewriter.ok()) std::abort();
+  PathPtr q = ParseXPath("//*[*]/* | //t1_0").value();
+  for (auto _ : state) {
+    auto rewritten = rewriter->Rewrite(q);
+    benchmark::DoNotOptimize(rewritten);
+  }
+  state.counters["view_size"] = view.Size();
+}
+BENCHMARK(BM_RewriteViewSizeSweep)
+    ->Args({4, 4})
+    ->Args({6, 8})
+    ->Args({8, 16})
+    ->Args({10, 32});
+
+}  // namespace
+}  // namespace secview
+
+BENCHMARK_MAIN();

@@ -1,0 +1,168 @@
+// Reproduces Table 1 of the paper: query evaluation time of the naive /
+// rewrite / optimize enforcement approaches for queries Q1-Q4 over four
+// generated Adex data sets D1-D4.
+//
+//   ./bench_table1            scaled-down sizes (~2/8/24/40 MB)
+//   ./bench_table1 --full     the paper's sizes (3.2/16.7/51.5/77 MB)
+//   ./bench_table1 --small    quick smoke sizes (~0.5/1/2/4 MB)
+//
+// Absolute numbers differ from the paper's 2004 testbed; the reproduced
+// shape is naive >> rewrite >= optimize, with the gap growing in document
+// size (see EXPERIMENTS.md).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "naive/naive.h"
+#include "optimize/optimizer.h"
+#include "rewrite/rewriter.h"
+#include "security/derive.h"
+#include "workload/adex.h"
+#include "xpath/evaluator.h"
+#include "xpath/printer.h"
+
+namespace secview {
+namespace {
+
+double MeasureSeconds(const XmlTree& doc, const PathPtr& query) {
+  // Median of three runs.
+  std::vector<double> times;
+  for (int i = 0; i < 3; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    auto result = EvaluateAtRoot(doc, query);
+    auto end = std::chrono::steady_clock::now();
+    if (!result.ok()) {
+      std::fprintf(stderr, "evaluation failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    times.push_back(std::chrono::duration<double>(end - start).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[1];
+}
+
+int Run(const std::vector<size_t>& sizes) {
+  Dtd dtd = MakeAdexDtd();
+  auto spec = MakeAdexSpec(dtd);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "spec: %s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  auto view = DeriveSecurityView(*spec);
+  if (!view.ok()) {
+    std::fprintf(stderr, "derive: %s\n", view.status().ToString().c_str());
+    return 1;
+  }
+  auto rewriter = QueryRewriter::Create(*view);
+  auto optimizer = QueryOptimizer::Create(dtd);
+  auto queries = MakeAdexQueries();
+  if (!rewriter.ok() || !optimizer.ok() || !queries.ok()) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+
+  // Generate the data sets, varying the maximum branching factor like the
+  // paper does with IBM's XML Generator.
+  struct DataSet {
+    std::string name;
+    XmlTree plain;      // for rewrite / optimize
+    XmlTree annotated;  // accessibility attributes, for naive
+    double size_mb;
+  };
+  std::vector<DataSet> data_sets;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    int max_branching = 3 + static_cast<int>(i);
+    auto doc = GenerateDocument(
+        dtd, AdexGeneratorOptions(/*seed=*/100 + i, sizes[i], max_branching));
+    if (!doc.ok()) {
+      std::fprintf(stderr, "generate: %s\n", doc.status().ToString().c_str());
+      return 1;
+    }
+    DataSet ds;
+    ds.name = "D" + std::to_string(i + 1);
+    ds.size_mb = static_cast<double>(doc->EstimateSerializedSize()) / 1e6;
+    ds.annotated = doc->Clone();
+    Status st = AnnotateAccessibilityAttributes(ds.annotated, *spec);
+    if (!st.ok()) {
+      std::fprintf(stderr, "annotate: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    ds.plain = std::move(doc).value();
+    data_sets.push_back(std::move(ds));
+    std::fprintf(stderr, "generated %s: %.1f MB, %zu nodes\n",
+                 data_sets.back().name.c_str(), data_sets.back().size_mb,
+                 data_sets.back().plain.node_count());
+  }
+
+  std::printf("\nTable 1: Performance Comparison (seconds)\n");
+  std::printf("%-6s %-10s %12s %12s %12s\n", "Query", "Data Set", "Naive",
+              "Rewrite", "Optimize");
+
+  for (const auto& [name, q] : queries->All()) {
+    PathPtr naive_q = NaiveRewrite(q);
+    auto rewritten = rewriter->Rewrite(q);
+    if (!rewritten.ok()) {
+      std::fprintf(stderr, "rewrite %s: %s\n", name,
+                   rewritten.status().ToString().c_str());
+      return 1;
+    }
+    auto optimized = optimizer->Optimize(*rewritten);
+    if (!optimized.ok()) {
+      std::fprintf(stderr, "optimize %s: %s\n", name,
+                   optimized.status().ToString().c_str());
+      return 1;
+    }
+    bool improved = !PathEquals(*rewritten, *optimized);
+
+    for (const DataSet& ds : data_sets) {
+      double t_naive = MeasureSeconds(ds.annotated, naive_q);
+      double t_rewrite = MeasureSeconds(ds.plain, *rewritten);
+      std::string opt_column = "-";
+      if (improved) {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.4f",
+                      MeasureSeconds(ds.plain, *optimized));
+        opt_column = buffer;
+      }
+      std::printf("%-6s %-10s %12.4f %12.4f %12s\n", name,
+                  (ds.name + " (" + std::to_string(ds.size_mb).substr(0, 4) +
+                   "MB)")
+                      .c_str(),
+                  t_naive, t_rewrite, opt_column.c_str());
+    }
+  }
+
+  std::printf("\nRewritten/optimized query texts:\n");
+  for (const auto& [name, q] : queries->All()) {
+    auto rewritten = rewriter->Rewrite(q);
+    auto optimized = optimizer->Optimize(*rewritten);
+    std::printf("  %s: %s\n", name, ToXPathString(q).c_str());
+    std::printf("    naive:    %s\n", ToXPathString(NaiveRewrite(q)).c_str());
+    std::printf("    rewrite:  %s\n", ToXPathString(*rewritten).c_str());
+    std::printf("    optimize: %s\n", ToXPathString(*optimized).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace secview
+
+int main(int argc, char** argv) {
+  std::vector<size_t> sizes = {2'000'000, 8'000'000, 24'000'000, 40'000'000};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      sizes = {3'200'000, 16'700'000, 51'550'000, 77'000'000};
+    } else if (std::strcmp(argv[i], "--small") == 0) {
+      sizes = {500'000, 1'000'000, 2'000'000, 4'000'000};
+    } else {
+      std::fprintf(stderr, "usage: %s [--full | --small]\n", argv[0]);
+      return 2;
+    }
+  }
+  return secview::Run(sizes);
+}

@@ -1,0 +1,145 @@
+// Experiment A8 (DESIGN.md): enforcement maintenance under document
+// updates — the paper's core argument for schema-level security views.
+// After each update:
+//   * the security-view approach recomputes NOTHING (the definition and
+//     the rewritten queries live at the schema level; only the query is
+//     re-evaluated);
+//   * the naive baseline must re-annotate accessibility attributes, per
+//     policy;
+//   * materialized views must be rebuilt, per policy.
+// The benchmark applies an insertion and measures the full
+// update-then-answer path for each approach.
+
+#include <map>
+
+#include <benchmark/benchmark.h>
+
+#include "naive/naive.h"
+#include "rewrite/rewriter.h"
+#include "security/derive.h"
+#include "security/materializer.h"
+#include "workload/adex.h"
+#include "xml/edit.h"
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace secview {
+namespace {
+
+struct Fixture {
+  const Dtd* dtd;
+  const AccessSpec* spec;
+  const SecurityView* view;
+  const XmlTree* doc;
+  const XmlTree* fragment;  // one more ad-instance to insert
+  NodeId body;              // insertion point
+  PathPtr query;
+  PathPtr rewritten;
+  PathPtr naive_query;
+
+  static const Fixture& Get(int64_t bytes) {
+    static auto* cache = new std::map<int64_t, Fixture*>();
+    auto it = cache->find(bytes);
+    if (it != cache->end()) return *it->second;
+
+    auto* f = new Fixture();
+    auto* dtd = new Dtd(MakeAdexDtd());
+    auto spec_result = MakeAdexSpec(*dtd);
+    if (!spec_result.ok()) std::abort();
+    auto* spec = new AccessSpec(std::move(spec_result).value());
+    auto view_result = DeriveSecurityView(*spec);
+    if (!view_result.ok()) std::abort();
+    auto* view = new SecurityView(std::move(view_result).value());
+    auto rewriter = QueryRewriter::Create(*view);
+    if (!rewriter.ok()) std::abort();
+
+    auto doc = GenerateDocument(*dtd, AdexGeneratorOptions(29, bytes, 4));
+    if (!doc.ok()) std::abort();
+
+    auto fragment = ParseXml(
+        "<ad-instance><ad-id>new</ad-id><categories/>"
+        "<run-dates><start-date>d1</start-date><end-date>d2</end-date>"
+        "</run-dates><content><real-estate><house>"
+        "<location><city2>c</city2><district>d</district></location>"
+        "<r-e.asking-price>100</r-e.asking-price><bedrooms>3</bedrooms>"
+        "<bathrooms>2</bathrooms><r-e.warranty>full</r-e.warranty>"
+        "</house></real-estate></content></ad-instance>");
+    if (!fragment.ok()) std::abort();
+
+    f->dtd = dtd;
+    f->spec = spec;
+    f->view = view;
+    f->doc = new XmlTree(std::move(doc).value());
+    f->fragment = new XmlTree(std::move(fragment).value());
+    f->body = kNullNode;
+    for (NodeId n = 0; n < static_cast<NodeId>(f->doc->node_count()); ++n) {
+      if (f->doc->IsElement(n) && f->doc->label(n) == "body") f->body = n;
+    }
+    if (f->body == kNullNode) std::abort();
+    f->query = ParseXPath("//house/r-e.warranty").value();
+    f->rewritten = rewriter->Rewrite(f->query).value();
+    f->naive_query = NaiveRewrite(f->query);
+    cache->emplace(bytes, f);
+    return *f;
+  }
+};
+
+/// Views: the update produces a new document; the (cached) rewritten
+/// query is simply evaluated against it.
+void BM_UpdateThenAnswer_Views(benchmark::State& state) {
+  const Fixture& f = Fixture::Get(state.range(0));
+  for (auto _ : state) {
+    auto updated = InsertSubtree(*f.doc, f.body, *f.fragment);
+    if (!updated.ok()) state.SkipWithError("insert failed");
+    auto result = EvaluateAtRoot(*updated, f.rewritten);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+/// Naive baseline: the updated document must be re-annotated (per
+/// policy!) before the filtered query can run.
+void BM_UpdateThenAnswer_NaiveAnnotation(benchmark::State& state) {
+  const Fixture& f = Fixture::Get(state.range(0));
+  for (auto _ : state) {
+    auto updated = InsertSubtree(*f.doc, f.body, *f.fragment);
+    if (!updated.ok()) state.SkipWithError("insert failed");
+    if (!AnnotateAccessibilityAttributes(*updated, *f.spec).ok()) {
+      state.SkipWithError("annotate failed");
+    }
+    auto result = EvaluateAtRoot(*updated, f.naive_query);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+/// Materialized views: the view must be rebuilt (per policy) before the
+/// user query can run against it.
+void BM_UpdateThenAnswer_Materialized(benchmark::State& state) {
+  const Fixture& f = Fixture::Get(state.range(0));
+  for (auto _ : state) {
+    auto updated = InsertSubtree(*f.doc, f.body, *f.fragment);
+    if (!updated.ok()) state.SkipWithError("insert failed");
+    auto tv = MaterializeView(*updated, *f.view, *f.spec);
+    if (!tv.ok()) state.SkipWithError("materialize failed");
+    auto result = EvaluateAtRoot(*tv, f.query);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+BENCHMARK(BM_UpdateThenAnswer_Views)
+    ->Arg(500'000)
+    ->Arg(2'000'000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_UpdateThenAnswer_NaiveAnnotation)
+    ->Arg(500'000)
+    ->Arg(2'000'000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_UpdateThenAnswer_Materialized)
+    ->Arg(500'000)
+    ->Arg(2'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace secview
+
+BENCHMARK_MAIN();

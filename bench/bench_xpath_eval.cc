@@ -1,0 +1,73 @@
+// Experiment A6 (DESIGN.md): the child-vs-descendant axis cost asymmetry
+// of the XPath evaluator, which underlies the Table 1 naive-vs-rewrite
+// gap: '//' steps scan subtrees, '/' steps touch only children.
+
+#include <map>
+
+#include <benchmark/benchmark.h>
+
+#include "workload/adex.h"
+#include "workload/generator.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace secview {
+namespace {
+
+const XmlTree& AdexDoc(size_t bytes) {
+  static auto* cache = new std::map<size_t, XmlTree*>();
+  auto it = cache->find(bytes);
+  if (it == cache->end()) {
+    auto doc = GenerateDocument(MakeAdexDtd(),
+                                AdexGeneratorOptions(13, bytes, 4));
+    if (!doc.ok()) std::abort();
+    it = cache->emplace(bytes, new XmlTree(std::move(doc).value())).first;
+  }
+  return *it->second;
+}
+
+void RunQuery(benchmark::State& state, const char* text) {
+  const XmlTree& doc = AdexDoc(static_cast<size_t>(state.range(0)));
+  PathPtr q = ParseXPath(text).value();
+  uint64_t work = 0;
+  for (auto _ : state) {
+    XPathEvaluator evaluator(doc);
+    auto result = evaluator.Evaluate(q, doc.root());
+    if (!result.ok()) state.SkipWithError("evaluation failed");
+    benchmark::DoNotOptimize(result);
+    work = evaluator.work();
+  }
+  state.counters["nodes_touched"] = static_cast<double>(work);
+  state.counters["doc_nodes"] = static_cast<double>(doc.node_count());
+}
+
+void BM_ChildChain(benchmark::State& state) {
+  RunQuery(state, "head/buyer-info/contact-info");
+}
+void BM_DescendantStep(benchmark::State& state) {
+  RunQuery(state, "//contact-info");
+}
+void BM_DescendantHeavy(benchmark::State& state) {
+  RunQuery(state, "//buyer-info//contact-info");
+}
+void BM_PreciseDeepChain(benchmark::State& state) {
+  RunQuery(state, "body/ad-instance/content/real-estate/house/r-e.warranty");
+}
+void BM_DescendantDeep(benchmark::State& state) {
+  RunQuery(state, "//house//r-e.warranty");
+}
+void BM_WildcardChain(benchmark::State& state) {
+  RunQuery(state, "*/*/*/*");
+}
+
+BENCHMARK(BM_ChildChain)->Arg(1'000'000)->Arg(8'000'000);
+BENCHMARK(BM_DescendantStep)->Arg(1'000'000)->Arg(8'000'000);
+BENCHMARK(BM_DescendantHeavy)->Arg(1'000'000)->Arg(8'000'000);
+BENCHMARK(BM_PreciseDeepChain)->Arg(1'000'000)->Arg(8'000'000);
+BENCHMARK(BM_DescendantDeep)->Arg(1'000'000)->Arg(8'000'000);
+BENCHMARK(BM_WildcardChain)->Arg(1'000'000)->Arg(8'000'000);
+
+}  // namespace
+}  // namespace secview
+
+BENCHMARK_MAIN();

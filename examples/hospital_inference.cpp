@@ -1,0 +1,119 @@
+// Demonstrates the inference attack of the paper's Example 1.1 and how
+// security views close it.
+//
+// Under label-blocking access control (block "clinicalTrial" but publish
+// the full DTD), a nurse can run two individually-innocent queries
+//   p1 = //dept//patientInfo/patient/name   (all patients)
+//   p2 = //dept/patientInfo/patient/name    (patients NOT in trials)
+// and diff the answers to learn exactly who is in a clinical trial.
+//
+// With a security view, both queries are posed against the view DTD, where
+// every patient of the nurse's ward — trial or not — is a patientInfo
+// child of dept. The two rewritten queries return identical answers.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rewrite/rewriter.h"
+#include "security/annotator.h"
+#include "security/derive.h"
+#include "workload/hospital.h"
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+#include "xpath/printer.h"
+
+namespace {
+
+std::vector<std::string> Names(const secview::XmlTree& doc,
+                               const secview::NodeSet& nodes) {
+  std::vector<std::string> out;
+  for (secview::NodeId n : nodes) out.push_back(doc.CollectText(n));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Print(const char* label, const std::vector<std::string>& names) {
+  std::printf("%s: {", label);
+  for (size_t i = 0; i < names.size(); ++i) {
+    std::printf("%s%s", i ? ", " : "", names[i].c_str());
+  }
+  std::printf("}\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace secview;
+
+  auto doc = ParseXml(R"(
+    <hospital>
+      <dept>
+        <clinicalTrial>
+          <patientInfo>
+            <patient><name>carol</name><wardNo>3</wardNo>
+              <treatment><trial><bill>900</bill></trial></treatment>
+            </patient>
+          </patientInfo>
+          <test>double-blind</test>
+        </clinicalTrial>
+        <patientInfo>
+          <patient><name>dave</name><wardNo>3</wardNo>
+            <treatment><regular><bill>120</bill><medication>aspirin</medication></regular></treatment>
+          </patient>
+          <patient><name>fran</name><wardNo>3</wardNo>
+            <treatment><regular><bill>80</bill><medication>ibuprofen</medication></regular></treatment>
+          </patient>
+        </patientInfo>
+        <staffInfo/>
+      </dept>
+    </hospital>
+  )");
+  if (!doc.ok()) return 1;
+
+  PathPtr p1 = ParseXPath("//dept//patientInfo/patient/name").value();
+  PathPtr p2 = ParseXPath("//dept/patientInfo/patient/name").value();
+
+  // --- The attack against naive label blocking -----------------------------
+  // Queries evaluated directly over the document (the attacker cannot
+  // *name* clinicalTrial, but doesn't need to).
+  auto all = EvaluateAtRoot(*doc, p1);
+  auto direct = EvaluateAtRoot(*doc, p2);
+  if (!all.ok() || !direct.ok()) return 1;
+  std::printf("== Label-blocking access control (full DTD exposed) ==\n");
+  Print("p1 (//dept//patientInfo/...)", Names(*doc, *all));
+  Print("p2 (//dept/patientInfo/...) ", Names(*doc, *direct));
+  std::printf("difference reveals the clinical-trial patient: ");
+  std::vector<std::string> diff;
+  auto a = Names(*doc, *all), b = Names(*doc, *direct);
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(diff));
+  for (const std::string& name : diff) std::printf("%s ", name.c_str());
+  std::printf("  <-- LEAK\n\n");
+
+  // --- The same two queries under the security view ------------------------
+  Dtd dtd = MakeHospitalDtd();
+  auto spec = MakeNurseSpec(dtd);
+  auto view = DeriveSecurityView(*spec);
+  auto rewriter = QueryRewriter::Create(*view);
+  if (!spec.ok() || !view.ok() || !rewriter.ok()) return 1;
+
+  std::printf("== Security views ==\n");
+  for (auto [label, q] : {std::pair{"p1", p1}, {"p2", p2}}) {
+    auto rewritten = rewriter->Rewrite(q);
+    if (!rewritten.ok()) return 1;
+    PathPtr bound = BindParams(*rewritten, {{"wardNo", "3"}});
+    auto result = EvaluateAtRoot(*doc, bound);
+    if (!result.ok()) return 1;
+    std::printf("%s rewritten: %s\n", label,
+                ToXPathString(*rewritten).c_str());
+    Print(label, Names(*doc, *result));
+  }
+  std::printf(
+      "identical answers: the inference channel is closed, while trial\n"
+      "patients (carol) remain queryable — only their membership is "
+      "hidden.\n");
+  return 0;
+}

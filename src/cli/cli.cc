@@ -1,0 +1,374 @@
+#include "cli/cli.h"
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "common/result.h"
+#include "dtd/generic_validator.h"
+#include "dtd/instance_normalizer.h"
+#include "dtd/normalizer.h"
+#include "dtd/validator.h"
+#include "engine/engine.h"
+#include "security/derive.h"
+#include "security/materializer.h"
+#include "security/spec_parser.h"
+#include "security/analysis.h"
+#include "security/view_io.h"
+#include "workload/generator.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "optimize/optimizer.h"
+#include "rewrite/rewriter.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+#include "xpath/printer.h"
+
+namespace secview {
+
+namespace {
+
+constexpr char kUsage[] = R"(secview — secure XML querying with security views
+
+usage:
+  secview validate    --dtd FILE --xml FILE
+  secview derive      --dtd FILE --spec FILE [--show-sigma] [--out FILE]
+  secview rewrite     --dtd FILE (--spec FILE | --view FILE) --query XPATH
+                      [--no-optimize]
+  secview query       --dtd FILE (--spec FILE | --view FILE) --xml FILE
+                      --query XPATH [--bind NAME=VALUE]... [--no-optimize]
+                      [--extract]
+  secview materialize --dtd FILE --spec FILE --xml FILE [--bind NAME=VALUE]...
+  secview generate    --dtd FILE [--bytes N] [--seed N] [--branch N]
+  secview help
+
+DTD files use <!ELEMENT>/<!ATTLIST> syntax (normalized on load); spec
+files use the paper's annotation syntax: one
+`ann(parent, child) = Y|N|[qualifier]` per line, `#` comments, `str` as
+the child name for text-content annotations, `@name` for attributes.
+`derive --out` saves the derived view definition (including the hidden
+sigma annotations); `--view` loads one instead of re-deriving from a
+specification.
+)";
+
+/// Parsed command line: flags with values, boolean switches, repeated
+/// --bind pairs.
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> values;
+  std::map<std::string, bool> switches;
+  std::vector<std::pair<std::string, std::string>> bindings;
+};
+
+Result<Args> ParseArgs(const std::vector<std::string>& argv) {
+  Args args;
+  if (argv.empty()) return Status::InvalidArgument("missing command");
+  args.command = argv[0];
+  for (size_t i = 1; i < argv.size(); ++i) {
+    const std::string& arg = argv[i];
+    if (arg == "--show-sigma" || arg == "--no-optimize" ||
+        arg == "--extract") {
+      args.switches[arg] = true;
+      continue;
+    }
+    if (arg == "--bind") {
+      if (i + 1 >= argv.size()) {
+        return Status::InvalidArgument("--bind needs NAME=VALUE");
+      }
+      const std::string& pair = argv[++i];
+      size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("--bind needs NAME=VALUE, got '" +
+                                       pair + "'");
+      }
+      args.bindings.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      if (i + 1 >= argv.size()) {
+        return Status::InvalidArgument(arg + " needs a value");
+      }
+      args.values[arg] = argv[++i];
+      continue;
+    }
+    return Status::InvalidArgument("unexpected argument '" + arg + "'");
+  }
+  return args;
+}
+
+Result<std::string> Required(const Args& args, const std::string& flag) {
+  auto it = args.values.find(flag);
+  if (it == args.values.end()) {
+    return Status::InvalidArgument("missing required flag " + flag);
+  }
+  return it->second;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// A loaded DTD: the original declarations plus the normalized form and
+/// the instance rewriter between them.
+struct DtdBundle {
+  GenericDtd generic;
+  NormalizeResult normalized;
+};
+
+Result<DtdBundle> LoadDtdBundle(const Args& args) {
+  SECVIEW_ASSIGN_OR_RETURN(std::string path, Required(args, "--dtd"));
+  SECVIEW_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  DtdBundle bundle;
+  SECVIEW_ASSIGN_OR_RETURN(bundle.generic, ParseDtdText(text));
+  SECVIEW_ASSIGN_OR_RETURN(bundle.normalized, NormalizeDtd(bundle.generic));
+  return bundle;
+}
+
+Result<Dtd> LoadDtd(const Args& args) {
+  SECVIEW_ASSIGN_OR_RETURN(DtdBundle bundle, LoadDtdBundle(args));
+  return std::move(bundle.normalized.dtd);
+}
+
+/// Loads the document and, when the DTD needed auxiliary types, rewrites
+/// it into an instance of the normalized DTD (aux wrappers inserted).
+Result<XmlTree> LoadXml(const Args& args, const DtdBundle& bundle) {
+  SECVIEW_ASSIGN_OR_RETURN(std::string path, Required(args, "--xml"));
+  SECVIEW_ASSIGN_OR_RETURN(XmlTree doc, ParseXmlFile(path));
+  InstanceNormalizer normalizer = InstanceNormalizer::For(bundle.normalized);
+  if (normalizer.IsIdentity()) return doc;
+  return normalizer.Normalize(doc);
+}
+
+Result<std::unique_ptr<SecureQueryEngine>> LoadEngine(const Args& args) {
+  SECVIEW_ASSIGN_OR_RETURN(Dtd dtd, LoadDtd(args));
+  SECVIEW_ASSIGN_OR_RETURN(std::unique_ptr<SecureQueryEngine> engine,
+                           SecureQueryEngine::Create(std::move(dtd)));
+  SECVIEW_ASSIGN_OR_RETURN(std::string spec_path, Required(args, "--spec"));
+  SECVIEW_ASSIGN_OR_RETURN(std::string spec_text, ReadFile(spec_path));
+  SECVIEW_RETURN_IF_ERROR(engine->RegisterPolicy("policy", spec_text));
+  return engine;
+}
+
+/// Loads the policy's security view: from a serialized definition
+/// (--view) or by deriving from a specification (--spec).
+Result<SecurityView> LoadView(const Args& args, const Dtd& dtd) {
+  auto view_file = args.values.find("--view");
+  if (view_file != args.values.end()) {
+    SECVIEW_ASSIGN_OR_RETURN(std::string text, ReadFile(view_file->second));
+    return ParseView(dtd, text);
+  }
+  SECVIEW_ASSIGN_OR_RETURN(std::string spec_path, Required(args, "--spec"));
+  SECVIEW_ASSIGN_OR_RETURN(std::string spec_text, ReadFile(spec_path));
+  SECVIEW_ASSIGN_OR_RETURN(AccessSpec spec, ParseAccessSpec(dtd, spec_text));
+  return DeriveSecurityView(spec);
+}
+
+Status CmdValidate(const Args& args, std::ostream& out) {
+  SECVIEW_ASSIGN_OR_RETURN(DtdBundle bundle, LoadDtdBundle(args));
+  SECVIEW_ASSIGN_OR_RETURN(std::string path, Required(args, "--xml"));
+  SECVIEW_ASSIGN_OR_RETURN(XmlTree doc, ParseXmlFile(path));
+  // Validate against the original declarations, then cross-check that the
+  // normalized instance conforms to the normalized DTD.
+  SECVIEW_RETURN_IF_ERROR(ValidateGenericInstance(doc, bundle.generic));
+  InstanceNormalizer normalizer = InstanceNormalizer::For(bundle.normalized);
+  SECVIEW_ASSIGN_OR_RETURN(XmlTree normalized, normalizer.Normalize(doc));
+  SECVIEW_RETURN_IF_ERROR(ValidateInstance(normalized, bundle.normalized.dtd));
+  out << "valid: " << doc.node_count() << " nodes conform to the DTD";
+  if (!normalizer.IsIdentity()) {
+    out << " (" << bundle.normalized.aux_types.size()
+        << " auxiliary types in the normalized form)";
+  }
+  out << "\n";
+  return Status::OK();
+}
+
+Status CmdDerive(const Args& args, std::ostream& out) {
+  SECVIEW_ASSIGN_OR_RETURN(std::unique_ptr<SecureQueryEngine> engine,
+                           LoadEngine(args));
+  SECVIEW_ASSIGN_OR_RETURN(const SecurityView* view,
+                           engine->View("policy"));
+  auto out_file = args.values.find("--out");
+  if (out_file != args.values.end()) {
+    std::ofstream file(out_file->second, std::ios::binary);
+    if (!file) {
+      return Status::NotFound("cannot open for writing: " +
+                              out_file->second);
+    }
+    file << SerializeView(*view);
+    out << "wrote view definition to " << out_file->second << "\n";
+  }
+  if (args.switches.count("--show-sigma")) {
+    out << view->DebugString();
+  } else {
+    out << view->ViewDtdString();
+  }
+  for (const CompletenessWarning& warning :
+       AnalyzeViewCompleteness(*view)) {
+    out << "warning: " << warning.ToString() << "\n";
+  }
+  return Status::OK();
+}
+
+Status CmdRewrite(const Args& args, std::ostream& out) {
+  SECVIEW_ASSIGN_OR_RETURN(Dtd dtd, LoadDtd(args));
+  SECVIEW_ASSIGN_OR_RETURN(SecurityView view, LoadView(args, dtd));
+  SECVIEW_ASSIGN_OR_RETURN(std::string query_text, Required(args, "--query"));
+  if (view.IsRecursive()) {
+    return Status::FailedPrecondition(
+        "the view is recursive; `secview rewrite` needs a concrete "
+        "document height — use `secview query` instead");
+  }
+  SECVIEW_ASSIGN_OR_RETURN(QueryRewriter rewriter,
+                           QueryRewriter::Create(view));
+  SECVIEW_ASSIGN_OR_RETURN(PathPtr query, ParseXPath(query_text));
+  SECVIEW_ASSIGN_OR_RETURN(PathPtr rewritten, rewriter.Rewrite(query));
+  if (!args.switches.count("--no-optimize")) {
+    rewritten = OptimizeOrPassThrough(dtd, rewritten);
+  }
+  out << ToXPathString(rewritten) << "\n";
+  return Status::OK();
+}
+
+Status CmdQuery(const Args& args, std::ostream& out) {
+  SECVIEW_ASSIGN_OR_RETURN(DtdBundle bundle, LoadDtdBundle(args));
+  SECVIEW_ASSIGN_OR_RETURN(XmlTree doc, LoadXml(args, bundle));
+  SECVIEW_ASSIGN_OR_RETURN(std::string query_text,
+                           Required(args, "--query"));
+  const bool use_view_file = args.values.count("--view") > 0;
+  const bool optimize = !args.switches.count("--no-optimize");
+
+  if (!use_view_file) {
+    SECVIEW_ASSIGN_OR_RETURN(std::unique_ptr<SecureQueryEngine> engine,
+                             LoadEngine(args));
+    ExecuteOptions options;
+    options.bindings = args.bindings;
+    options.optimize = optimize;
+    SECVIEW_ASSIGN_OR_RETURN(
+        ExecuteResult result,
+        engine->Execute("policy", doc, query_text, options));
+    out << "# rewritten: " << ToXPathString(result.rewritten) << "\n";
+    out << "# evaluated: " << ToXPathString(result.evaluated) << "\n";
+    out << "# results: " << result.nodes.size() << "\n";
+    if (args.switches.count("--extract")) {
+      SECVIEW_ASSIGN_OR_RETURN(
+          XmlTree answer,
+          engine->ExtractResults("policy", doc, result.nodes,
+                                 args.bindings));
+      XmlWriteOptions pretty;
+      pretty.indent = true;
+      WriteXml(answer, answer.root(), out, pretty);
+    } else {
+      for (NodeId n : result.nodes) {
+        out << "<" << doc.label(n) << "> node #" << n;
+        std::string text = doc.CollectText(n);
+        if (!text.empty()) out << " text=\"" << text << "\"";
+        out << "\n";
+      }
+    }
+    return Status::OK();
+  }
+
+  // Saved-view path: rewrite against the loaded definition directly (no
+  // specification needed).
+  const Dtd& dtd = bundle.normalized.dtd;
+  SECVIEW_ASSIGN_OR_RETURN(SecurityView view, LoadView(args, dtd));
+  SECVIEW_ASSIGN_OR_RETURN(PathPtr query, ParseXPath(query_text));
+  SECVIEW_ASSIGN_OR_RETURN(PathPtr rewritten,
+                           RewriteForDocument(view, query, doc.Height()));
+  out << "# rewritten: " << ToXPathString(rewritten) << "\n";
+  if (optimize) rewritten = OptimizeOrPassThrough(dtd, rewritten);
+  PathPtr bound = BindParams(rewritten, args.bindings);
+  out << "# evaluated: " << ToXPathString(bound) << "\n";
+  SECVIEW_ASSIGN_OR_RETURN(NodeSet nodes, EvaluateAtRoot(doc, bound));
+  out << "# results: " << nodes.size() << "\n";
+  for (NodeId n : nodes) {
+    out << "<" << doc.label(n) << "> node #" << n;
+    std::string text = doc.CollectText(n);
+    if (!text.empty()) out << " text=\"" << text << "\"";
+    out << "\n";
+  }
+  return Status::OK();
+}
+
+Status CmdMaterialize(const Args& args, std::ostream& out) {
+  SECVIEW_ASSIGN_OR_RETURN(DtdBundle bundle, LoadDtdBundle(args));
+  const Dtd& dtd = bundle.normalized.dtd;
+  SECVIEW_ASSIGN_OR_RETURN(std::string spec_path, Required(args, "--spec"));
+  SECVIEW_ASSIGN_OR_RETURN(std::string spec_text, ReadFile(spec_path));
+  SECVIEW_ASSIGN_OR_RETURN(AccessSpec spec, ParseAccessSpec(dtd, spec_text));
+  SECVIEW_ASSIGN_OR_RETURN(SecurityView view, DeriveSecurityView(spec));
+  SECVIEW_ASSIGN_OR_RETURN(XmlTree doc, LoadXml(args, bundle));
+
+  MaterializeOptions options;
+  options.bindings = args.bindings;
+  SECVIEW_ASSIGN_OR_RETURN(XmlTree tv,
+                           MaterializeView(doc, view, spec, options));
+  XmlWriteOptions pretty;
+  pretty.indent = true;
+  WriteXml(tv, tv.root(), out, pretty);
+  return Status::OK();
+}
+
+Status CmdGenerate(const Args& args, std::ostream& out) {
+  SECVIEW_ASSIGN_OR_RETURN(Dtd dtd, LoadDtd(args));
+  GeneratorOptions options;
+  auto number = [&](const char* flag, auto fallback) -> decltype(fallback) {
+    auto it = args.values.find(flag);
+    if (it == args.values.end()) return fallback;
+    return static_cast<decltype(fallback)>(std::stoll(it->second));
+  };
+  options.target_bytes = number("--bytes", static_cast<size_t>(0));
+  options.seed = number("--seed", static_cast<uint64_t>(42));
+  options.max_branching = number("--branch", 3);
+  options.min_branching = options.max_branching > 0 ? 1 : 0;
+  SECVIEW_ASSIGN_OR_RETURN(XmlTree doc, GenerateDocument(dtd, options));
+  WriteXml(doc, doc.root(), out);
+  out << "\n";
+  return Status::OK();
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  Result<Args> parsed = ParseArgs(args);
+  if (!parsed.ok()) {
+    err << "error: " << parsed.status().message() << "\n" << kUsage;
+    return 2;
+  }
+  Status status = Status::OK();
+  if (parsed->command == "help" || parsed->command == "--help") {
+    out << kUsage;
+    return 0;
+  } else if (parsed->command == "validate") {
+    status = CmdValidate(*parsed, out);
+  } else if (parsed->command == "derive") {
+    status = CmdDerive(*parsed, out);
+  } else if (parsed->command == "rewrite") {
+    status = CmdRewrite(*parsed, out);
+  } else if (parsed->command == "query") {
+    status = CmdQuery(*parsed, out);
+  } else if (parsed->command == "materialize") {
+    status = CmdMaterialize(*parsed, out);
+  } else if (parsed->command == "generate") {
+    status = CmdGenerate(*parsed, out);
+  } else {
+    err << "error: unknown command '" << parsed->command << "'\n" << kUsage;
+    return 2;
+  }
+  if (!status.ok()) {
+    err << "error: " << status.ToString() << "\n";
+    return status.code() == StatusCode::kInvalidArgument &&
+                   status.message().rfind("missing required", 0) == 0
+               ? 2
+               : 1;
+  }
+  return 0;
+}
+
+}  // namespace secview

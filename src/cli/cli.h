@@ -1,0 +1,31 @@
+#ifndef SECVIEW_CLI_CLI_H_
+#define SECVIEW_CLI_CLI_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace secview {
+
+/// The `secview` command-line tool (tools/secview.cc), factored into the
+/// library so tests can drive it directly. Commands:
+///
+///   secview validate    --dtd F --xml F
+///   secview derive      --dtd F --spec F [--show-sigma]
+///   secview rewrite     --dtd F --spec F --query Q [--no-optimize]
+///   secview query       --dtd F --spec F --xml F --query Q
+///                       [--bind NAME=VALUE]... [--no-optimize] [--extract]
+///   secview materialize --dtd F --spec F --xml F [--bind NAME=VALUE]...
+///   secview generate    --dtd F [--bytes N] [--seed N] [--branch N]
+///   secview help
+///
+/// DTD files use standard <!ELEMENT> syntax and are normalized into the
+/// paper's productions on load; specs use the ann(A,B) = Y|N|[q] syntax.
+///
+/// Returns a process exit code (0 success, 1 runtime error, 2 usage).
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace secview
+
+#endif  // SECVIEW_CLI_CLI_H_

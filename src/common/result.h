@@ -1,0 +1,76 @@
+#ifndef SECVIEW_COMMON_RESULT_H_
+#define SECVIEW_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace secview {
+
+/// Result<T> holds either a T or a non-OK Status, in the style of
+/// arrow::Result / absl::StatusOr. Fallible functions that produce a value
+/// return Result<T> instead of taking an output parameter.
+///
+/// Usage:
+///   Result<Dtd> r = ParseDtd(text);
+///   if (!r.ok()) return r.status();
+///   Dtd dtd = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure). Constructing a
+  /// Result from an OK status is a programming error.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok() &&
+           "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The error status; OK() when this Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Evaluates a Result expression; on error returns its status, otherwise
+/// binds the unwrapped value to `lhs`.
+#define SECVIEW_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto SECVIEW_CONCAT_(_res_, __LINE__) = (expr);      \
+  if (!SECVIEW_CONCAT_(_res_, __LINE__).ok())          \
+    return SECVIEW_CONCAT_(_res_, __LINE__).status();  \
+  lhs = std::move(SECVIEW_CONCAT_(_res_, __LINE__)).value()
+
+#define SECVIEW_CONCAT_IMPL_(a, b) a##b
+#define SECVIEW_CONCAT_(a, b) SECVIEW_CONCAT_IMPL_(a, b)
+
+}  // namespace secview
+
+#endif  // SECVIEW_COMMON_RESULT_H_

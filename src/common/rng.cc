@@ -1,0 +1,56 @@
+#include "common/rng.h"
+
+namespace secview {
+
+namespace {
+// splitmix64, used to expand the single seed into two state words.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  s0_ = SplitMix64(x);
+  s1_ = SplitMix64(x);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;  // xorshift state must be non-zero
+}
+
+uint64_t Rng::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Rng::Below(uint64_t n) {
+  // Modulo bias is negligible for the small ranges we draw from.
+  return Next() % n;
+}
+
+int Rng::RangeInclusive(int lo, int hi) {
+  return lo + static_cast<int>(Below(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+bool Rng::Chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return (Next() >> 11) * 0x1.0p-53 < p;
+}
+
+std::string Rng::AlphaString(size_t length) {
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out += static_cast<char>('a' + Below(26));
+  }
+  return out;
+}
+
+}  // namespace secview

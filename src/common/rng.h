@@ -1,0 +1,39 @@
+#ifndef SECVIEW_COMMON_RNG_H_
+#define SECVIEW_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace secview {
+
+/// Small deterministic PRNG (xorshift128+) used by the workload generator
+/// and the property tests. Determinism across platforms matters more here
+/// than statistical quality, so we avoid std::mt19937's distribution
+/// objects (whose outputs are not portable across standard libraries).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform in [0, 2^64).
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Below(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int RangeInclusive(int lo, int hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Chance(double p);
+
+  /// Random lowercase ASCII string of the given length.
+  std::string AlphaString(size_t length);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace secview
+
+#endif  // SECVIEW_COMMON_RNG_H_

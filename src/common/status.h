@@ -1,0 +1,88 @@
+#ifndef SECVIEW_COMMON_STATUS_H_
+#define SECVIEW_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace secview {
+
+/// Error categories used across the library. Mirrors the coarse-grained
+/// code sets of Arrow/RocksDB-style status objects.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (bad query text, bad DTD, ...).
+  kNotFound,          ///< A referenced entity (element type, file) is absent.
+  kFailedPrecondition,///< Operation not valid in the current state.
+  kOutOfRange,        ///< A numeric limit (depth, size) was exceeded.
+  kInternal,          ///< Invariant violation inside the library.
+  kUnimplemented,     ///< Feature intentionally not supported.
+  kAborted,           ///< View materialization aborted (paper Section 3.3).
+};
+
+/// Returns a stable human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable success-or-error value. All fallible public entry
+/// points in secview return Status (or Result<T>, which wraps one).
+///
+/// The OK status carries no allocation; error statuses carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define SECVIEW_RETURN_IF_ERROR(expr)              \
+  do {                                             \
+    ::secview::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+}  // namespace secview
+
+#endif  // SECVIEW_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+#ifndef SECVIEW_COMMON_STRING_UTIL_H_
+#define SECVIEW_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace secview {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on the single character `sep`; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True iff `s` starts with / ends with the given prefix or suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Escapes the five predefined XML entities in `s` (& < > " ').
+std::string XmlEscape(std::string_view s);
+
+/// True iff `c` may start / continue an XML name. We accept the ASCII
+/// subset of the XML 1.0 NameChar productions, which covers every DTD and
+/// document this library generates or ships.
+bool IsNameStartChar(char c);
+bool IsNameChar(char c);
+
+/// True iff `s` is a non-empty XML name over the accepted alphabet.
+bool IsValidXmlName(std::string_view s);
+
+}  // namespace secview
+
+#endif  // SECVIEW_COMMON_STRING_UTIL_H_

@@ -1,0 +1,70 @@
+#include "dtd/content_model.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace secview {
+
+ContentModel ContentModel::Empty() {
+  return ContentModel(ContentKind::kEmpty, {});
+}
+
+ContentModel ContentModel::Text() {
+  return ContentModel(ContentKind::kText, {});
+}
+
+ContentModel ContentModel::Sequence(std::vector<std::string> types) {
+  assert(!types.empty() && "sequence must have at least one element type");
+  return ContentModel(ContentKind::kSequence, std::move(types));
+}
+
+ContentModel ContentModel::Choice(std::vector<std::string> types) {
+  assert(types.size() >= 2 && "choice must have at least two alternatives");
+  return ContentModel(ContentKind::kChoice, std::move(types));
+}
+
+ContentModel ContentModel::Star(std::string type) {
+  return ContentModel(ContentKind::kStar, {std::move(type)});
+}
+
+bool ContentModel::Mentions(const std::string& name) const {
+  for (const std::string& t : types_) {
+    if (t == name) return true;
+  }
+  return false;
+}
+
+std::string ContentModel::ToString() const {
+  switch (kind_) {
+    case ContentKind::kEmpty:
+      return "EMPTY";
+    case ContentKind::kText:
+      return "(#PCDATA)";
+    case ContentKind::kSequence:
+      return "(" + Join(types_, ", ") + ")";
+    case ContentKind::kChoice:
+      return "(" + Join(types_, " | ") + ")";
+    case ContentKind::kStar:
+      return "(" + types_[0] + ")*";
+  }
+  return "?";
+}
+
+const char* ContentKindToString(ContentKind kind) {
+  switch (kind) {
+    case ContentKind::kEmpty:
+      return "empty";
+    case ContentKind::kText:
+      return "text";
+    case ContentKind::kSequence:
+      return "sequence";
+    case ContentKind::kChoice:
+      return "choice";
+    case ContentKind::kStar:
+      return "star";
+  }
+  return "?";
+}
+
+}  // namespace secview

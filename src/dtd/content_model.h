@@ -1,0 +1,67 @@
+#ifndef SECVIEW_DTD_CONTENT_MODEL_H_
+#define SECVIEW_DTD_CONTENT_MODEL_H_
+
+#include <string>
+#include <vector>
+
+namespace secview {
+
+/// The paper's normalized production forms (Section 2):
+///
+///   alpha ::= str | epsilon | B1,...,Bn | B1+...+Bn | B*
+///
+/// Every DTD can be brought into this form by introducing auxiliary
+/// element types (see dtd/normalizer.h).
+enum class ContentKind {
+  kEmpty,     ///< epsilon — no children
+  kText,      ///< str — PCDATA content
+  kSequence,  ///< B1, ..., Bn — concatenation, one child of each type in order
+  kChoice,    ///< B1 + ... + Bn — disjunction, exactly one child
+  kStar,      ///< B* — zero or more children of one type
+};
+
+/// A normalized content model: the right-hand side of one production.
+/// Immutable after construction through the factory functions.
+class ContentModel {
+ public:
+  /// epsilon.
+  static ContentModel Empty();
+  /// str (PCDATA).
+  static ContentModel Text();
+  /// B1, ..., Bn. `types` must be non-empty.
+  static ContentModel Sequence(std::vector<std::string> types);
+  /// B1 + ... + Bn. `types` must contain at least two distinct names.
+  static ContentModel Choice(std::vector<std::string> types);
+  /// B*.
+  static ContentModel Star(std::string type);
+
+  ContentKind kind() const { return kind_; }
+
+  /// The element-type names appearing in the production, in order.
+  /// Empty for kEmpty/kText; a single entry for kStar.
+  const std::vector<std::string>& types() const { return types_; }
+
+  /// True iff `name` occurs in types().
+  bool Mentions(const std::string& name) const;
+
+  /// DTD-like rendering: "EMPTY", "(#PCDATA)", "(a, b)", "(a | b)", "(a)*".
+  std::string ToString() const;
+
+  friend bool operator==(const ContentModel& a, const ContentModel& b) {
+    return a.kind_ == b.kind_ && a.types_ == b.types_;
+  }
+
+ private:
+  ContentModel(ContentKind kind, std::vector<std::string> types)
+      : kind_(kind), types_(std::move(types)) {}
+
+  ContentKind kind_;
+  std::vector<std::string> types_;
+};
+
+/// Human-readable kind name ("sequence", "choice", ...).
+const char* ContentKindToString(ContentKind kind);
+
+}  // namespace secview
+
+#endif  // SECVIEW_DTD_CONTENT_MODEL_H_

@@ -1,0 +1,424 @@
+#include "dtd/dtd_parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace secview {
+
+std::unique_ptr<ContentRegex> ContentRegex::MakeEmpty() {
+  auto r = std::make_unique<ContentRegex>();
+  r->kind = Kind::kEmpty;
+  return r;
+}
+
+std::unique_ptr<ContentRegex> ContentRegex::MakePcdata() {
+  auto r = std::make_unique<ContentRegex>();
+  r->kind = Kind::kPcdata;
+  return r;
+}
+
+std::unique_ptr<ContentRegex> ContentRegex::MakeName(std::string n) {
+  auto r = std::make_unique<ContentRegex>();
+  r->kind = Kind::kName;
+  r->name = std::move(n);
+  return r;
+}
+
+std::unique_ptr<ContentRegex> ContentRegex::MakeSeq(
+    std::vector<std::unique_ptr<ContentRegex>> cs) {
+  if (cs.size() == 1) return std::move(cs[0]);
+  auto r = std::make_unique<ContentRegex>();
+  r->kind = Kind::kSeq;
+  r->children = std::move(cs);
+  return r;
+}
+
+std::unique_ptr<ContentRegex> ContentRegex::MakeAlt(
+    std::vector<std::unique_ptr<ContentRegex>> cs) {
+  if (cs.size() == 1) return std::move(cs[0]);
+  auto r = std::make_unique<ContentRegex>();
+  r->kind = Kind::kAlt;
+  r->children = std::move(cs);
+  return r;
+}
+
+std::unique_ptr<ContentRegex> ContentRegex::MakeUnary(
+    Kind k, std::unique_ptr<ContentRegex> c) {
+  auto r = std::make_unique<ContentRegex>();
+  r->kind = k;
+  r->children.push_back(std::move(c));
+  return r;
+}
+
+std::unique_ptr<ContentRegex> ContentRegex::Clone() const {
+  auto r = std::make_unique<ContentRegex>();
+  r->kind = kind;
+  r->name = name;
+  for (const auto& c : children) r->children.push_back(c->Clone());
+  return r;
+}
+
+std::string ContentRegex::ToString() const {
+  switch (kind) {
+    case Kind::kEmpty:
+      return "EMPTY";
+    case Kind::kPcdata:
+      return "(#PCDATA)";
+    case Kind::kName:
+      return name;
+    case Kind::kSeq: {
+      std::vector<std::string> parts;
+      for (const auto& c : children) parts.push_back(c->ToString());
+      return "(" + Join(parts, ", ") + ")";
+    }
+    case Kind::kAlt: {
+      std::vector<std::string> parts;
+      for (const auto& c : children) parts.push_back(c->ToString());
+      return "(" + Join(parts, " | ") + ")";
+    }
+    case Kind::kStar:
+      return children[0]->ToString() + "*";
+    case Kind::kPlus:
+      return children[0]->ToString() + "+";
+    case Kind::kOpt:
+      return children[0]->ToString() + "?";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Recursive-descent parser for content-model expressions.
+class RegexParser {
+ public:
+  explicit RegexParser(std::string_view input) : input_(input) {}
+
+  Result<std::unique_ptr<ContentRegex>> Parse() {
+    SkipWs();
+    if (Consume("EMPTY")) return ContentRegex::MakeEmpty();
+    if (Consume("ANY")) {
+      return Status::Unimplemented(
+          "ANY content models have no counterpart in the paper's DTD form");
+    }
+    SECVIEW_ASSIGN_OR_RETURN(auto regex, ParseExpr());
+    SkipWs();
+    if (!AtEnd()) {
+      return Status::InvalidArgument("trailing input in content model: '" +
+                                     std::string(Rest()) + "'");
+    }
+    return regex;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : input_[pos_]; }
+  std::string_view Rest() const { return input_.substr(pos_); }
+  void SkipWs() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+  bool Consume(std::string_view token) {
+    if (Rest().substr(0, token.size()) != token) return false;
+    pos_ += token.size();
+    return true;
+  }
+
+  /// expr := term (',' term)* | term ('|' term)*
+  Result<std::unique_ptr<ContentRegex>> ParseExpr() {
+    SECVIEW_ASSIGN_OR_RETURN(auto first, ParseTerm());
+    SkipWs();
+    std::vector<std::unique_ptr<ContentRegex>> parts;
+    parts.push_back(std::move(first));
+    char sep = '\0';
+    while (!AtEnd() && (Peek() == ',' || Peek() == '|')) {
+      if (sep == '\0') {
+        sep = Peek();
+      } else if (Peek() != sep) {
+        return Status::InvalidArgument(
+            "mixed ',' and '|' without parentheses in content model");
+      }
+      ++pos_;
+      SECVIEW_ASSIGN_OR_RETURN(auto next, ParseTerm());
+      parts.push_back(std::move(next));
+      SkipWs();
+    }
+    if (sep == '|') return ContentRegex::MakeAlt(std::move(parts));
+    return ContentRegex::MakeSeq(std::move(parts));
+  }
+
+  /// term := atom ('*'|'+'|'?')?
+  Result<std::unique_ptr<ContentRegex>> ParseTerm() {
+    SECVIEW_ASSIGN_OR_RETURN(auto atom, ParseAtom());
+    SkipWs();
+    if (Consume("*")) {
+      return ContentRegex::MakeUnary(ContentRegex::Kind::kStar,
+                                     std::move(atom));
+    }
+    if (Consume("+")) {
+      return ContentRegex::MakeUnary(ContentRegex::Kind::kPlus,
+                                     std::move(atom));
+    }
+    if (Consume("?")) {
+      return ContentRegex::MakeUnary(ContentRegex::Kind::kOpt,
+                                     std::move(atom));
+    }
+    return atom;
+  }
+
+  /// atom := '(' expr ')' | '#PCDATA' | name
+  Result<std::unique_ptr<ContentRegex>> ParseAtom() {
+    SkipWs();
+    if (Consume("(")) {
+      SkipWs();
+      if (Consume("#PCDATA")) {
+        // Mixed content (#PCDATA | a | ...)* is reduced to its element
+        // alternatives wrapped in a star; pure (#PCDATA) stays text.
+        SkipWs();
+        std::vector<std::unique_ptr<ContentRegex>> alts;
+        while (Consume("|")) {
+          SECVIEW_ASSIGN_OR_RETURN(auto alt, ParseTerm());
+          alts.push_back(std::move(alt));
+          SkipWs();
+        }
+        if (!Consume(")")) {
+          return Status::InvalidArgument("expected ')' after #PCDATA");
+        }
+        if (alts.empty()) return ContentRegex::MakePcdata();
+        Consume("*");  // the trailing '*' of mixed content
+        return ContentRegex::MakeUnary(ContentRegex::Kind::kStar,
+                                       ContentRegex::MakeAlt(std::move(alts)));
+      }
+      SECVIEW_ASSIGN_OR_RETURN(auto inner, ParseExpr());
+      SkipWs();
+      if (!Consume(")")) {
+        return Status::InvalidArgument("expected ')' in content model");
+      }
+      return inner;
+    }
+    if (Consume("#PCDATA")) return ContentRegex::MakePcdata();
+    if (AtEnd() || !IsNameStartChar(Peek())) {
+      return Status::InvalidArgument("expected a name in content model at '" +
+                                     std::string(Rest().substr(0, 10)) + "'");
+    }
+    size_t begin = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    return ContentRegex::MakeName(std::string(input_.substr(begin, pos_ - begin)));
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+/// Parses the body of an <!ATTLIST elem ...> declaration (after "elem").
+class AttlistParser {
+ public:
+  explicit AttlistParser(std::string_view input) : input_(input) {}
+
+  Result<std::vector<AttributeDef>> Parse() {
+    std::vector<AttributeDef> defs;
+    SkipWs();
+    while (!AtEnd()) {
+      SECVIEW_ASSIGN_OR_RETURN(AttributeDef def, ParseOne());
+      defs.push_back(std::move(def));
+      SkipWs();
+    }
+    if (defs.empty()) {
+      return Status::InvalidArgument("empty <!ATTLIST declaration");
+    }
+    return defs;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : input_[pos_]; }
+  void SkipWs() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+  bool Consume(std::string_view token) {
+    SkipWs();
+    if (input_.substr(pos_).substr(0, token.size()) != token) return false;
+    pos_ += token.size();
+    return true;
+  }
+  Result<std::string> ParseName() {
+    SkipWs();
+    if (AtEnd() || !IsNameStartChar(Peek())) {
+      return Status::InvalidArgument("expected a name in <!ATTLIST");
+    }
+    size_t begin = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    return std::string(input_.substr(begin, pos_ - begin));
+  }
+  Result<std::string> ParseQuoted() {
+    SkipWs();
+    char quote = Peek();
+    if (quote != '"' && quote != '\'') {
+      return Status::InvalidArgument("expected a quoted default value");
+    }
+    ++pos_;
+    size_t begin = pos_;
+    while (!AtEnd() && Peek() != quote) ++pos_;
+    if (AtEnd()) {
+      return Status::InvalidArgument("unterminated attribute default");
+    }
+    std::string value(input_.substr(begin, pos_ - begin));
+    ++pos_;
+    return value;
+  }
+
+  Result<AttributeDef> ParseOne() {
+    AttributeDef def;
+    SECVIEW_ASSIGN_OR_RETURN(def.name, ParseName());
+    // Type.
+    SkipWs();
+    if (Consume("(")) {
+      def.value_type = AttributeDef::ValueType::kEnumerated;
+      while (true) {
+        SECVIEW_ASSIGN_OR_RETURN(std::string value, ParseName());
+        def.enum_values.push_back(std::move(value));
+        if (Consume(")")) break;
+        if (!Consume("|")) {
+          return Status::InvalidArgument("expected '|' or ')' in "
+                                         "enumerated attribute type");
+        }
+      }
+    } else {
+      SECVIEW_ASSIGN_OR_RETURN(std::string type_name, ParseName());
+      if (type_name == "NOTATION") {
+        return Status::Unimplemented(
+            "NOTATION attribute types are not supported");
+      }
+      // CDATA / ID / IDREF / IDREFS / ENTITY / ENTITIES / NMTOKEN /
+      // NMTOKENS all behave as CDATA for access-control purposes.
+      def.value_type = AttributeDef::ValueType::kCdata;
+    }
+    // Default.
+    if (Consume("#REQUIRED")) {
+      def.presence = AttributeDef::Presence::kRequired;
+    } else if (Consume("#IMPLIED")) {
+      def.presence = AttributeDef::Presence::kImplied;
+    } else if (Consume("#FIXED")) {
+      def.presence = AttributeDef::Presence::kFixed;
+      SECVIEW_ASSIGN_OR_RETURN(def.default_value, ParseQuoted());
+    } else {
+      def.presence = AttributeDef::Presence::kDefault;
+      SECVIEW_ASSIGN_OR_RETURN(def.default_value, ParseQuoted());
+    }
+    return def;
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<GenericDtd> ParseDtdText(std::string_view input) {
+  GenericDtd dtd;
+  size_t pos = 0;
+  auto skip_ws = [&] {
+    while (pos < input.size() &&
+           std::isspace(static_cast<unsigned char>(input[pos]))) {
+      ++pos;
+    }
+  };
+  while (true) {
+    skip_ws();
+    if (pos >= input.size()) break;
+    std::string_view rest = input.substr(pos);
+    if (StartsWith(rest, "<!--")) {
+      size_t end = input.find("-->", pos);
+      if (end == std::string_view::npos) {
+        return Status::InvalidArgument("unterminated comment in DTD");
+      }
+      pos = end + 3;
+      continue;
+    }
+    if (StartsWith(rest, "<?")) {
+      size_t end = input.find("?>", pos);
+      if (end == std::string_view::npos) {
+        return Status::InvalidArgument("unterminated PI in DTD");
+      }
+      pos = end + 2;
+      continue;
+    }
+    if (StartsWith(rest, "<!ELEMENT")) {
+      size_t end = input.find('>', pos);
+      if (end == std::string_view::npos) {
+        return Status::InvalidArgument("unterminated <!ELEMENT declaration");
+      }
+      std::string_view body = input.substr(pos + 9, end - pos - 9);
+      pos = end + 1;
+      // body := name content
+      std::string_view trimmed = StripWhitespace(body);
+      size_t name_end = 0;
+      while (name_end < trimmed.size() && IsNameChar(trimmed[name_end])) {
+        ++name_end;
+      }
+      std::string name(trimmed.substr(0, name_end));
+      if (!IsValidXmlName(name)) {
+        return Status::InvalidArgument("invalid element name in <!ELEMENT " +
+                                       std::string(trimmed.substr(0, 20)));
+      }
+      RegexParser parser(trimmed.substr(name_end));
+      SECVIEW_ASSIGN_OR_RETURN(auto content, parser.Parse());
+      if (dtd.elements.empty()) dtd.root = name;
+      dtd.elements.push_back({std::move(name), std::move(content)});
+      continue;
+    }
+    if (StartsWith(rest, "<!ATTLIST")) {
+      size_t end = input.find('>', pos);
+      if (end == std::string_view::npos) {
+        return Status::InvalidArgument("unterminated <!ATTLIST declaration");
+      }
+      std::string_view body = input.substr(pos + 9, end - pos - 9);
+      pos = end + 1;
+      std::string_view trimmed = StripWhitespace(body);
+      size_t name_end = 0;
+      while (name_end < trimmed.size() && IsNameChar(trimmed[name_end])) {
+        ++name_end;
+      }
+      std::string element(trimmed.substr(0, name_end));
+      if (!IsValidXmlName(element)) {
+        return Status::InvalidArgument("invalid element name in <!ATTLIST " +
+                                       std::string(trimmed.substr(0, 20)));
+      }
+      AttlistParser parser(trimmed.substr(name_end));
+      SECVIEW_ASSIGN_OR_RETURN(std::vector<AttributeDef> defs,
+                               parser.Parse());
+      dtd.attlists.push_back({std::move(element), std::move(defs)});
+      continue;
+    }
+    if (StartsWith(rest, "<!ENTITY") || StartsWith(rest, "<!NOTATION")) {
+      size_t end = input.find('>', pos);
+      if (end == std::string_view::npos) {
+        return Status::InvalidArgument("unterminated declaration in DTD");
+      }
+      pos = end + 1;
+      continue;
+    }
+    return Status::InvalidArgument(
+        "unexpected content in DTD at: '" +
+        std::string(rest.substr(0, std::min<size_t>(20, rest.size()))) + "'");
+  }
+  if (dtd.elements.empty()) {
+    return Status::InvalidArgument("DTD contains no element declarations");
+  }
+  return dtd;
+}
+
+Result<GenericDtd> ParseDtdFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open DTD file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseDtdText(buffer.str());
+}
+
+}  // namespace secview

@@ -1,0 +1,83 @@
+#ifndef SECVIEW_DTD_DTD_PARSER_H_
+#define SECVIEW_DTD_DTD_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "dtd/dtd.h"
+
+namespace secview {
+
+/// Regular-expression content model as written in DTD syntax, before
+/// normalization into the paper's restricted forms. A small AST:
+/// EMPTY, #PCDATA, name, sequence (a, b), alternation (a | b), and the
+/// postfix operators * + ?.
+struct ContentRegex {
+  enum class Kind {
+    kEmpty,    ///< EMPTY
+    kPcdata,   ///< (#PCDATA)
+    kName,     ///< element-type reference
+    kSeq,      ///< (e1, e2, ...)
+    kAlt,      ///< (e1 | e2 | ...)
+    kStar,     ///< e*
+    kPlus,     ///< e+
+    kOpt,      ///< e?
+  };
+
+  Kind kind;
+  std::string name;  // kName only
+  std::vector<std::unique_ptr<ContentRegex>> children;
+
+  static std::unique_ptr<ContentRegex> MakeEmpty();
+  static std::unique_ptr<ContentRegex> MakePcdata();
+  static std::unique_ptr<ContentRegex> MakeName(std::string n);
+  static std::unique_ptr<ContentRegex> MakeSeq(
+      std::vector<std::unique_ptr<ContentRegex>> cs);
+  static std::unique_ptr<ContentRegex> MakeAlt(
+      std::vector<std::unique_ptr<ContentRegex>> cs);
+  static std::unique_ptr<ContentRegex> MakeUnary(
+      Kind k, std::unique_ptr<ContentRegex> c);
+
+  std::unique_ptr<ContentRegex> Clone() const;
+  std::string ToString() const;
+};
+
+/// One `<!ELEMENT name content>` declaration.
+struct GenericElementDecl {
+  std::string name;
+  std::unique_ptr<ContentRegex> content;
+};
+
+/// One `<!ATTLIST element ...>` declaration.
+struct GenericAttlist {
+  std::string element;
+  std::vector<AttributeDef> attributes;
+};
+
+/// A DTD as parsed from `<!ELEMENT>` syntax, with full regex content
+/// models. Convert to the paper's normal form with NormalizeDtd()
+/// (dtd/normalizer.h).
+struct GenericDtd {
+  std::vector<GenericElementDecl> elements;
+  std::vector<GenericAttlist> attlists;
+  /// Root type: the first declared element unless overridden by the caller.
+  std::string root;
+};
+
+/// Parses DTD text consisting of <!ELEMENT ...> and <!ATTLIST ...>
+/// declarations; <!ENTITY>, <!NOTATION>, comments and PIs are skipped.
+/// The first declared element is taken as the root. `ANY` content is
+/// rejected (the paper's model has no counterpart). Attribute types
+/// other than CDATA and enumerations (ID, NMTOKEN, ...) are kept as
+/// CDATA.
+Result<GenericDtd> ParseDtdText(std::string_view input);
+
+/// Reads and parses the DTD file at `path`.
+Result<GenericDtd> ParseDtdFile(const std::string& path);
+
+}  // namespace secview
+
+#endif  // SECVIEW_DTD_DTD_PARSER_H_

@@ -1,0 +1,175 @@
+#include "dtd/generic_validator.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace secview {
+
+namespace {
+
+using Regex = ContentRegex;
+using RegexPtr = std::unique_ptr<ContentRegex>;
+
+/// Can `r` match the empty word?
+bool IsNullable(const Regex& r) {
+  switch (r.kind) {
+    case Regex::Kind::kEmpty:
+    case Regex::Kind::kPcdata:  // text is not part of the child-label word
+    case Regex::Kind::kStar:
+    case Regex::Kind::kOpt:
+      return true;
+    case Regex::Kind::kName:
+      return false;
+    case Regex::Kind::kSeq:
+      for (const auto& c : r.children) {
+        if (!IsNullable(*c)) return false;
+      }
+      return true;
+    case Regex::Kind::kAlt:
+      for (const auto& c : r.children) {
+        if (IsNullable(*c)) return true;
+      }
+      return false;
+    case Regex::Kind::kPlus:
+      return IsNullable(*r.children[0]);
+  }
+  return false;
+}
+
+/// A regex that matches nothing. Encoded as an empty alternation.
+RegexPtr MakeNever() {
+  auto r = std::make_unique<Regex>();
+  r->kind = Regex::Kind::kAlt;
+  return r;
+}
+
+bool IsNever(const Regex& r) {
+  return r.kind == Regex::Kind::kAlt && r.children.empty();
+}
+
+/// Brzozowski derivative of `r` by the symbol (element name) `a`.
+RegexPtr Derive(const Regex& r, const std::string& a) {
+  switch (r.kind) {
+    case Regex::Kind::kEmpty:
+    case Regex::Kind::kPcdata:
+      return MakeNever();
+    case Regex::Kind::kName:
+      return r.name == a ? Regex::MakeEmpty() : MakeNever();
+    case Regex::Kind::kSeq: {
+      // d_a(r1 r2 ... rn) = d_a(r1) r2..rn  |  [r1 nullable] d_a(r2..rn)
+      std::vector<RegexPtr> alternatives;
+      for (size_t i = 0; i < r.children.size(); ++i) {
+        RegexPtr head = Derive(*r.children[i], a);
+        if (!IsNever(*head)) {
+          std::vector<RegexPtr> parts;
+          parts.push_back(std::move(head));
+          for (size_t j = i + 1; j < r.children.size(); ++j) {
+            parts.push_back(r.children[j]->Clone());
+          }
+          alternatives.push_back(Regex::MakeSeq(std::move(parts)));
+        }
+        if (!IsNullable(*r.children[i])) break;
+      }
+      if (alternatives.empty()) return MakeNever();
+      return Regex::MakeAlt(std::move(alternatives));
+    }
+    case Regex::Kind::kAlt: {
+      std::vector<RegexPtr> alternatives;
+      for (const auto& c : r.children) {
+        RegexPtr d = Derive(*c, a);
+        if (!IsNever(*d)) alternatives.push_back(std::move(d));
+      }
+      if (alternatives.empty()) return MakeNever();
+      return Regex::MakeAlt(std::move(alternatives));
+    }
+    case Regex::Kind::kStar: {
+      RegexPtr d = Derive(*r.children[0], a);
+      if (IsNever(*d)) return d;
+      std::vector<RegexPtr> parts;
+      parts.push_back(std::move(d));
+      parts.push_back(r.Clone());
+      return Regex::MakeSeq(std::move(parts));
+    }
+    case Regex::Kind::kPlus: {
+      RegexPtr d = Derive(*r.children[0], a);
+      if (IsNever(*d)) return d;
+      std::vector<RegexPtr> parts;
+      parts.push_back(std::move(d));
+      parts.push_back(Regex::MakeUnary(Regex::Kind::kStar,
+                                       r.children[0]->Clone()));
+      return Regex::MakeSeq(std::move(parts));
+    }
+    case Regex::Kind::kOpt:
+      return Derive(*r.children[0], a);
+  }
+  return MakeNever();
+}
+
+std::string Describe(const XmlTree& tree, NodeId n) {
+  if (tree.IsText(n)) return "text node #" + std::to_string(n);
+  return "<" + std::string(tree.label(n)) + "> (node #" + std::to_string(n) +
+         ")";
+}
+
+}  // namespace
+
+Status ValidateGenericInstance(const XmlTree& doc, const GenericDtd& dtd) {
+  if (doc.empty()) return Status::InvalidArgument("empty document");
+  std::unordered_map<std::string, const ContentRegex*> by_name;
+  for (const GenericElementDecl& decl : dtd.elements) {
+    by_name.emplace(decl.name, decl.content.get());
+  }
+  if (doc.label(doc.root()) != dtd.root) {
+    return Status::InvalidArgument(
+        "document root <" + std::string(doc.label(doc.root())) +
+        "> does not match the DTD root '" + dtd.root + "'");
+  }
+
+  for (NodeId n = 0; n < static_cast<NodeId>(doc.node_count()); ++n) {
+    if (!doc.IsElement(n)) continue;
+    auto it = by_name.find(std::string(doc.label(n)));
+    if (it == by_name.end()) {
+      return Status::InvalidArgument("undeclared element type at " +
+                                     Describe(doc, n));
+    }
+    const ContentRegex& content = *it->second;
+
+    if (content.kind == ContentRegex::Kind::kPcdata) {
+      for (NodeId c = doc.first_child(n); c != kNullNode;
+           c = doc.next_sibling(c)) {
+        if (!doc.IsText(c)) {
+          return Status::InvalidArgument(Describe(doc, n) +
+                                         " must contain only PCDATA");
+        }
+      }
+      continue;
+    }
+
+    // The child-label word must be in L(content).
+    RegexPtr state;
+    const ContentRegex* current = &content;
+    for (NodeId c = doc.first_child(n); c != kNullNode;
+         c = doc.next_sibling(c)) {
+      if (doc.IsText(c)) {
+        return Status::InvalidArgument("unexpected text content under " +
+                                       Describe(doc, n));
+      }
+      state = Derive(*current, std::string(doc.label(c)));
+      current = state.get();
+      if (IsNever(*current)) {
+        return Status::InvalidArgument(
+            Describe(doc, c) + " is not allowed here under " +
+            Describe(doc, n) + " (content model " + content.ToString() +
+            ")");
+      }
+    }
+    if (!IsNullable(*current)) {
+      return Status::InvalidArgument(Describe(doc, n) +
+                                     " ends before its content model " +
+                                     content.ToString() + " is satisfied");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace secview

@@ -1,0 +1,27 @@
+#ifndef SECVIEW_DTD_GENERIC_VALIDATOR_H_
+#define SECVIEW_DTD_GENERIC_VALIDATOR_H_
+
+#include "common/status.h"
+#include "dtd/dtd_parser.h"
+#include "xml/tree.h"
+
+namespace secview {
+
+/// Validates `doc` directly against a general (un-normalized) DTD with
+/// regex content models, via Brzozowski derivatives over ContentRegex:
+/// an element's child-label word w matches regex r iff the derivative of
+/// r by w is nullable.
+///
+/// This is the reference validator for original documents; together with
+/// InstanceNormalizer and ValidateInstance it closes the ingestion
+/// triangle (a document valid here normalizes to an instance valid
+/// against the normalized DTD — property-tested in tests/dtd tests).
+///
+/// Mixed content ((#PCDATA | a)*) is handled per the dtd_parser's
+/// reduction: pure (#PCDATA) elements must contain only text; all other
+/// elements must contain only element children.
+Status ValidateGenericInstance(const XmlTree& doc, const GenericDtd& dtd);
+
+}  // namespace secview
+
+#endif  // SECVIEW_DTD_GENERIC_VALIDATOR_H_

@@ -1,0 +1,318 @@
+#include "dtd/instance_normalizer.h"
+
+#include <functional>
+
+namespace secview {
+
+InstanceNormalizer InstanceNormalizer::For(const NormalizeResult& result) {
+  std::unordered_set<TypeId> aux;
+  for (const std::string& name : result.aux_types) {
+    TypeId id = result.dtd.FindType(name);
+    if (id != kNullType) aux.insert(id);
+  }
+  return InstanceNormalizer(result.dtd, std::move(aux));
+}
+
+InstanceNormalizer::InstanceNormalizer(const Dtd& dtd,
+                                       std::unordered_set<TypeId> aux)
+    : dtd_(&dtd), aux_(std::move(aux)) {
+  ComputeFirstSets();
+}
+
+void InstanceNormalizer::ComputeFirstSets() {
+  const int n = dtd_->NumTypes();
+  nullable_.assign(n, false);
+  first_.assign(n, {});
+
+  // An original type consumes exactly the one child carrying its label;
+  // aux types consume per their production. Least fixpoint over the aux
+  // structure (aux productions may reference other aux types).
+  for (TypeId t = 0; t < n; ++t) {
+    if (!IsAux(t)) first_[t].insert(t);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (TypeId t = 0; t < n; ++t) {
+      if (!IsAux(t)) continue;
+      const ContentModel& cm = dtd_->Content(t);
+      bool nullable = nullable_[t];
+      size_t first_size = first_[t].size();
+      switch (cm.kind()) {
+        case ContentKind::kEmpty:
+        case ContentKind::kText:  // aux types never carry PCDATA
+          nullable = true;
+          break;
+        case ContentKind::kStar: {
+          nullable = true;
+          TypeId c = dtd_->FindType(cm.types()[0]);
+          first_[t].insert(first_[c].begin(), first_[c].end());
+          break;
+        }
+        case ContentKind::kSequence: {
+          bool all_nullable = true;
+          for (const std::string& name : cm.types()) {
+            TypeId c = dtd_->FindType(name);
+            if (all_nullable) {
+              first_[t].insert(first_[c].begin(), first_[c].end());
+            }
+            all_nullable = all_nullable && nullable_[c];
+          }
+          nullable = all_nullable;
+          break;
+        }
+        case ContentKind::kChoice: {
+          bool any_nullable = false;
+          for (const std::string& name : cm.types()) {
+            TypeId c = dtd_->FindType(name);
+            first_[t].insert(first_[c].begin(), first_[c].end());
+            any_nullable = any_nullable || nullable_[c];
+          }
+          nullable = any_nullable;
+          break;
+        }
+      }
+      if (nullable != nullable_[t] || first_[t].size() != first_size) {
+        nullable_[t] = nullable;
+        changed = true;
+      }
+    }
+  }
+}
+
+/// One normalization run over a document. Matching happens in two modes
+/// sharing one code path: Measure (dry run, returns how many original
+/// children a type consumes) and Emit (builds the output).
+class InstanceNormalizer::Session {
+ public:
+  Session(const InstanceNormalizer& normalizer, const XmlTree& doc)
+      : n_(normalizer), dtd_(*normalizer.dtd_), doc_(doc) {}
+
+  Result<XmlTree> Run() {
+    TypeId root_type = dtd_.FindType(doc_.label(doc_.root()));
+    if (root_type != dtd_.root()) {
+      return Status::InvalidArgument(
+          "document root does not match the DTD root");
+    }
+    out_.CreateRoot(doc_.label(doc_.root()));
+    out_.SetOrigin(out_.root(), doc_.root());
+    for (const auto& [name, value] : doc_.Attributes(doc_.root())) {
+      out_.SetAttribute(out_.root(), name, value);
+    }
+    SECVIEW_RETURN_IF_ERROR(EmitContent(doc_.root(), root_type, out_.root()));
+    return std::move(out_);
+  }
+
+ private:
+  Status Error(NodeId at, const std::string& what) const {
+    return Status::InvalidArgument(
+        "instance does not match the original DTD at node #" +
+        std::to_string(at) + " <" + std::string(doc_.label(at)) +
+        ">: " + what);
+  }
+
+  /// The element children of `node` (text under non-PCDATA content is an
+  /// error handled by the caller).
+  std::vector<NodeId> ElementChildren(NodeId node) const {
+    std::vector<NodeId> out;
+    for (NodeId c = doc_.first_child(node); c != kNullNode;
+         c = doc_.next_sibling(c)) {
+      if (doc_.IsElement(c)) out.push_back(c);
+    }
+    return out;
+  }
+
+  TypeId LabelType(NodeId node) const {
+    return dtd_.FindType(doc_.label(node));
+  }
+
+  /// How many children (from `pos`) does one instance of `t` consume?
+  /// -1 encodes "no match".
+  int Measure(TypeId t, const std::vector<NodeId>& children,
+              size_t pos) const {
+    if (!n_.IsAux(t)) {
+      return pos < children.size() && LabelType(children[pos]) == t ? 1 : -1;
+    }
+    const ContentModel& cm = dtd_.Content(t);
+    switch (cm.kind()) {
+      case ContentKind::kEmpty:
+      case ContentKind::kText:
+        return 0;
+      case ContentKind::kStar: {
+        TypeId c = dtd_.FindType(cm.types()[0]);
+        size_t p = pos;
+        while (true) {
+          int step = Measure(c, children, p);
+          if (step <= 0) break;  // stop on mismatch or zero-width match
+          p += step;
+        }
+        return static_cast<int>(p - pos);
+      }
+      case ContentKind::kSequence: {
+        size_t p = pos;
+        for (const std::string& name : cm.types()) {
+          int step = Measure(dtd_.FindType(name), children, p);
+          if (step < 0) return -1;
+          p += step;
+        }
+        return static_cast<int>(p - pos);
+      }
+      case ContentKind::kChoice: {
+        TypeId alt = PickAlternative(cm, children, pos);
+        if (alt == kNullType) return -1;
+        return Measure(alt, children, pos);
+      }
+    }
+    return -1;
+  }
+
+  /// Chooses the (deterministic) alternative for the next child; falls
+  /// back to a nullable alternative when nothing matches.
+  TypeId PickAlternative(const ContentModel& cm,
+                         const std::vector<NodeId>& children,
+                         size_t pos) const {
+    if (pos < children.size()) {
+      TypeId next = LabelType(children[pos]);
+      for (const std::string& name : cm.types()) {
+        TypeId c = dtd_.FindType(name);
+        if (next != kNullType && n_.InFirst(c, next)) return c;
+      }
+    }
+    for (const std::string& name : cm.types()) {
+      TypeId c = dtd_.FindType(name);
+      if (n_.Nullable(c)) return c;
+    }
+    return kNullType;
+  }
+
+  /// Emits the consumption of `t` starting at children[pos] under
+  /// `parent` in the output; returns the new position.
+  Result<size_t> Emit(TypeId t, const std::vector<NodeId>& children,
+                      size_t pos, NodeId parent, NodeId context) {
+    if (!n_.IsAux(t)) {
+      if (pos >= children.size() || LabelType(children[pos]) != t) {
+        return Error(context, "expected <" + dtd_.TypeName(t) + "> child");
+      }
+      NodeId child = children[pos];
+      NodeId copy = out_.AppendElement(parent, doc_.label(child));
+      out_.SetOrigin(copy, child);
+      for (const auto& [name, value] : doc_.Attributes(child)) {
+        out_.SetAttribute(copy, name, value);
+      }
+      SECVIEW_RETURN_IF_ERROR(EmitContent(child, t, copy));
+      return pos + 1;
+    }
+    NodeId wrapper = out_.AppendElement(parent, dtd_.TypeName(t));
+    out_.SetOrigin(wrapper, context);
+    const ContentModel& cm = dtd_.Content(t);
+    switch (cm.kind()) {
+      case ContentKind::kEmpty:
+      case ContentKind::kText:
+        return pos;
+      case ContentKind::kStar: {
+        TypeId c = dtd_.FindType(cm.types()[0]);
+        while (true) {
+          int step = Measure(c, children, pos);
+          if (step <= 0) break;
+          SECVIEW_ASSIGN_OR_RETURN(pos,
+                                   Emit(c, children, pos, wrapper, context));
+        }
+        return pos;
+      }
+      case ContentKind::kSequence: {
+        for (const std::string& name : cm.types()) {
+          SECVIEW_ASSIGN_OR_RETURN(
+              pos, Emit(dtd_.FindType(name), children, pos, wrapper,
+                        context));
+        }
+        return pos;
+      }
+      case ContentKind::kChoice: {
+        TypeId alt = PickAlternative(cm, children, pos);
+        if (alt == kNullType) {
+          return Error(context, "no alternative of " + cm.ToString() +
+                                    " matches");
+        }
+        return Emit(alt, children, pos, wrapper, context);
+      }
+    }
+    return pos;
+  }
+
+  /// Normalizes the content of original element `node` (type `t`), whose
+  /// copy in the output is `copy`.
+  Status EmitContent(NodeId node, TypeId t, NodeId copy) {
+    const ContentModel& cm = dtd_.Content(t);
+    if (cm.kind() == ContentKind::kText) {
+      for (NodeId c = doc_.first_child(node); c != kNullNode;
+           c = doc_.next_sibling(c)) {
+        if (!doc_.IsText(c)) {
+          return Error(node, "expected PCDATA content");
+        }
+        NodeId text = out_.AppendText(copy, doc_.text(c));
+        out_.SetOrigin(text, c);
+      }
+      return Status::OK();
+    }
+    for (NodeId c = doc_.first_child(node); c != kNullNode;
+         c = doc_.next_sibling(c)) {
+      if (doc_.IsText(c)) {
+        return Error(node, "unexpected text content");
+      }
+      if (LabelType(c) == kNullType) {
+        return Error(c, "undeclared element");
+      }
+    }
+    std::vector<NodeId> children = ElementChildren(node);
+    size_t pos = 0;
+    switch (cm.kind()) {
+      case ContentKind::kEmpty:
+        break;
+      case ContentKind::kText:
+        break;  // handled above
+      case ContentKind::kStar: {
+        TypeId c = dtd_.FindType(cm.types()[0]);
+        while (true) {
+          int step = Measure(c, children, pos);
+          if (step <= 0) break;
+          SECVIEW_ASSIGN_OR_RETURN(pos, Emit(c, children, pos, copy, node));
+        }
+        break;
+      }
+      case ContentKind::kSequence: {
+        for (const std::string& name : cm.types()) {
+          SECVIEW_ASSIGN_OR_RETURN(
+              pos, Emit(dtd_.FindType(name), children, pos, copy, node));
+        }
+        break;
+      }
+      case ContentKind::kChoice: {
+        TypeId alt = PickAlternative(cm, children, pos);
+        if (alt == kNullType) {
+          return Error(node, "no alternative of " + cm.ToString() +
+                                 " matches");
+        }
+        SECVIEW_ASSIGN_OR_RETURN(pos, Emit(alt, children, pos, copy, node));
+        break;
+      }
+    }
+    if (pos != children.size()) {
+      return Error(node, "trailing children beyond the content model " +
+                             cm.ToString());
+    }
+    return Status::OK();
+  }
+
+  const InstanceNormalizer& n_;
+  const Dtd& dtd_;
+  const XmlTree& doc_;
+  XmlTree out_;
+};
+
+Result<XmlTree> InstanceNormalizer::Normalize(const XmlTree& doc) const {
+  if (doc.empty()) return Status::InvalidArgument("empty document");
+  Session session(*this, doc);
+  return session.Run();
+}
+
+}  // namespace secview

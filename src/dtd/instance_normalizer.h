@@ -1,0 +1,76 @@
+#ifndef SECVIEW_DTD_INSTANCE_NORMALIZER_H_
+#define SECVIEW_DTD_INSTANCE_NORMALIZER_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "dtd/dtd.h"
+#include "dtd/normalizer.h"
+#include "xml/tree.h"
+
+namespace secview {
+
+/// Rewrites instances of an original (general-regex) DTD into instances
+/// of its normalized counterpart by inserting the auxiliary wrapper
+/// elements NormalizeDtd introduced — e.g. under
+///
+///   book -> (title, (chapter | appendix)+, index?)
+///
+/// normalization yields aux types for the group and the optional tail,
+/// and a conforming document
+///
+///   <book><title/><chapter/><appendix/><index/></book>
+///
+/// becomes
+///
+///   <book><title/><book._1><chapter/></book._1>
+///         <book._2><book._1><appendix/></book._1></book._2>  (shape per
+///         the aux structure) ...</book>
+///
+/// Matching is greedy left-to-right, which is exact for the
+/// deterministic (1-unambiguous) content models the XML standard
+/// requires. Every output node keeps its origin: original nodes map to
+/// themselves, wrapper nodes to their parent element.
+class InstanceNormalizer {
+ public:
+  /// `result` ties the normalized DTD to the auxiliary types it
+  /// introduced. The NormalizeResult must outlive the normalizer.
+  static InstanceNormalizer For(const NormalizeResult& result);
+
+  /// Inserts wrappers so that the returned tree conforms to the
+  /// normalized DTD (ValidateInstance succeeds on it). Fails when `doc`
+  /// does not match the original content models.
+  Result<XmlTree> Normalize(const XmlTree& doc) const;
+
+  /// True iff the DTD needed no auxiliary types (Normalize is then the
+  /// identity, modulo a copy).
+  bool IsIdentity() const { return aux_.empty(); }
+
+ private:
+  InstanceNormalizer(const Dtd& dtd, std::unordered_set<TypeId> aux);
+
+  void ComputeFirstSets();
+
+  bool IsAux(TypeId t) const { return aux_.count(t) > 0; }
+
+  /// Can `t` consume zero original children?
+  bool Nullable(TypeId t) const { return nullable_[t]; }
+
+  /// Can `t`'s consumption start with an original child labeled `label`?
+  bool InFirst(TypeId t, int label_type) const {
+    return first_[t].count(label_type) > 0;
+  }
+
+  class Session;
+
+  const Dtd* dtd_;
+  std::unordered_set<TypeId> aux_;
+  std::vector<bool> nullable_;
+  std::vector<std::unordered_set<TypeId>> first_;
+};
+
+}  // namespace secview
+
+#endif  // SECVIEW_DTD_INSTANCE_NORMALIZER_H_

@@ -1,0 +1,153 @@
+#include "dtd/normalizer.h"
+
+#include <unordered_set>
+
+namespace secview {
+
+namespace {
+
+/// Stateful lowering of regex content models into normal-form productions,
+/// creating auxiliary element types on demand.
+class Normalizer {
+ public:
+  Normalizer(const GenericDtd& generic, const NormalizeOptions& options)
+      : generic_(generic), options_(options) {
+    for (const auto& decl : generic.elements) used_names_.insert(decl.name);
+  }
+
+  Result<NormalizeResult> Run() {
+    for (const auto& decl : generic_.elements) {
+      SECVIEW_ASSIGN_OR_RETURN(ContentModel cm,
+                               Lower(decl.name, *decl.content));
+      SECVIEW_RETURN_IF_ERROR(dtd_.AddType(decl.name, std::move(cm)));
+    }
+    // Auxiliary productions are added as they are discovered, after the
+    // original declarations (pending_ preserves discovery order).
+    for (auto& [name, cm] : pending_aux_) {
+      SECVIEW_RETURN_IF_ERROR(dtd_.AddType(name, std::move(cm)));
+    }
+    // Attribute declarations carry over unchanged (aux types have none).
+    for (const GenericAttlist& attlist : generic_.attlists) {
+      for (const AttributeDef& def : attlist.attributes) {
+        SECVIEW_RETURN_IF_ERROR(dtd_.AddAttribute(attlist.element, def));
+      }
+    }
+    SECVIEW_RETURN_IF_ERROR(dtd_.SetRoot(generic_.root));
+    for (const std::string& name : aux_types_) {
+      dtd_.MarkAuxiliary(dtd_.FindType(name));
+    }
+    SECVIEW_RETURN_IF_ERROR(dtd_.Finalize());
+    NormalizeResult result{std::move(dtd_), std::move(aux_types_)};
+    return result;
+  }
+
+ private:
+  /// Lowers `regex` into a full production for element `owner`.
+  Result<ContentModel> Lower(const std::string& owner,
+                             const ContentRegex& regex) {
+    using K = ContentRegex::Kind;
+    switch (regex.kind) {
+      case K::kEmpty:
+        return ContentModel::Empty();
+      case K::kPcdata:
+        return ContentModel::Text();
+      case K::kName:
+        return ContentModel::Sequence({regex.name});
+      case K::kSeq: {
+        std::vector<std::string> types;
+        for (const auto& child : regex.children) {
+          SECVIEW_ASSIGN_OR_RETURN(std::string name, Atom(owner, *child));
+          types.push_back(std::move(name));
+        }
+        return ContentModel::Sequence(std::move(types));
+      }
+      case K::kAlt: {
+        std::vector<std::string> types;
+        std::unordered_set<std::string> seen;
+        for (const auto& child : regex.children) {
+          SECVIEW_ASSIGN_OR_RETURN(std::string name, Atom(owner, *child));
+          if (seen.insert(name).second) types.push_back(std::move(name));
+        }
+        if (types.size() == 1) return ContentModel::Sequence(std::move(types));
+        return ContentModel::Choice(std::move(types));
+      }
+      case K::kStar: {
+        SECVIEW_ASSIGN_OR_RETURN(std::string name,
+                                 Atom(owner, *regex.children[0]));
+        return ContentModel::Star(std::move(name));
+      }
+      case K::kPlus: {
+        // a+  =>  (a, a-list) with a-list -> a* . The tail auxiliary keeps
+        // the at-least-one constraint within the normal form.
+        SECVIEW_ASSIGN_OR_RETURN(std::string name,
+                                 Atom(owner, *regex.children[0]));
+        std::string tail =
+            NewAuxType(owner, ContentModel::Star(name));
+        return ContentModel::Sequence({name, std::move(tail)});
+      }
+      case K::kOpt: {
+        if (options_.opt_as_star) {
+          // a?  =>  a*  (relaxation: admits repetitions; every original
+          // instance still conforms).
+          SECVIEW_ASSIGN_OR_RETURN(std::string name,
+                                   Atom(owner, *regex.children[0]));
+          return ContentModel::Star(std::move(name));
+        }
+        // a?  =>  (a | a.absent) with a.absent -> EMPTY.
+        SECVIEW_ASSIGN_OR_RETURN(std::string name,
+                                 Atom(owner, *regex.children[0]));
+        std::string absent = NewAuxType(owner, ContentModel::Empty());
+        return ContentModel::Choice({std::move(name), std::move(absent)});
+      }
+    }
+    return Status::Internal("unhandled regex kind");
+  }
+
+  /// Returns the name of an element type matching `regex` exactly once:
+  /// the name itself for a bare reference, otherwise a fresh auxiliary
+  /// type whose production is Lower(regex).
+  Result<std::string> Atom(const std::string& owner,
+                           const ContentRegex& regex) {
+    if (regex.kind == ContentRegex::Kind::kName) return regex.name;
+    if (regex.kind == ContentRegex::Kind::kPcdata) {
+      return Status::InvalidArgument(
+          "#PCDATA nested inside a composite content model of '" + owner +
+          "' is not supported");
+    }
+    SECVIEW_ASSIGN_OR_RETURN(ContentModel cm, Lower(owner, regex));
+    return NewAuxType(owner, std::move(cm));
+  }
+
+  std::string NewAuxType(const std::string& owner, ContentModel cm) {
+    std::string name;
+    do {
+      name = owner + "._" + std::to_string(++aux_counter_);
+    } while (!used_names_.insert(name).second);
+    aux_types_.push_back(name);
+    pending_aux_.emplace_back(name, std::move(cm));
+    return name;
+  }
+
+  const GenericDtd& generic_;
+  const NormalizeOptions& options_;
+  Dtd dtd_;
+  std::vector<std::string> aux_types_;
+  std::vector<std::pair<std::string, ContentModel>> pending_aux_;
+  std::unordered_set<std::string> used_names_;
+  int aux_counter_ = 0;
+};
+
+}  // namespace
+
+Result<NormalizeResult> NormalizeDtd(const GenericDtd& generic,
+                                     const NormalizeOptions& options) {
+  return Normalizer(generic, options).Run();
+}
+
+Result<NormalizeResult> ParseAndNormalizeDtd(std::string_view dtd_text,
+                                             const NormalizeOptions& options) {
+  SECVIEW_ASSIGN_OR_RETURN(GenericDtd generic, ParseDtdText(dtd_text));
+  return NormalizeDtd(generic, options);
+}
+
+}  // namespace secview

@@ -1,0 +1,53 @@
+#ifndef SECVIEW_DTD_NORMALIZER_H_
+#define SECVIEW_DTD_NORMALIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dtd/dtd.h"
+#include "dtd/dtd_parser.h"
+
+namespace secview {
+
+/// Controls for NormalizeDtd.
+struct NormalizeOptions {
+  /// When true (default), `b?` is relaxed to `b*` instead of introducing a
+  /// choice-with-empty auxiliary type. Every instance of the original DTD
+  /// then conforms to the normalized DTD without restructuring.
+  bool opt_as_star = true;
+};
+
+/// Outcome of normalization: the normalized DTD plus a record of the
+/// auxiliary element types that were introduced.
+struct NormalizeResult {
+  Dtd dtd;
+  /// Names of auxiliary types introduced (the paper's "new element types
+  /// (entities)" remark in Section 2).
+  std::vector<std::string> aux_types;
+};
+
+/// Converts a parsed DTD with general regex content models into the
+/// paper's normal form
+///
+///   alpha ::= str | epsilon | B1,...,Bn | B1+...+Bn | B*
+///
+/// by introducing auxiliary element types for subexpressions that do not
+/// fit (e.g. `(a | b)*` gains an auxiliary type for the alternation, and
+/// `a+` becomes `(a, a.list)` with `a.list -> a*`). Where an auxiliary
+/// type is introduced, instances of the original DTD correspond to
+/// instances of the normalized DTD with auxiliary wrapper elements; the
+/// workload generator generates from the normalized DTD directly, so all
+/// downstream components see consistent data.
+///
+/// The result is finalized.
+Result<NormalizeResult> NormalizeDtd(const GenericDtd& generic,
+                                     const NormalizeOptions& options = {});
+
+/// Convenience: parse DTD text and normalize it.
+Result<NormalizeResult> ParseAndNormalizeDtd(std::string_view dtd_text,
+                                             const NormalizeOptions& options = {});
+
+}  // namespace secview
+
+#endif  // SECVIEW_DTD_NORMALIZER_H_

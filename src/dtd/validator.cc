@@ -1,0 +1,165 @@
+#include "dtd/validator.h"
+
+#include <string>
+
+namespace secview {
+
+namespace {
+
+std::string Describe(const XmlTree& tree, NodeId n) {
+  if (tree.IsText(n)) return "text node #" + std::to_string(n);
+  return "<" + std::string(tree.label(n)) + "> (node #" + std::to_string(n) +
+         ")";
+}
+
+Status ValidateAttributes(const XmlTree& tree, const Dtd& dtd, NodeId node,
+                          TypeId type) {
+  for (const auto& [name, value] : tree.Attributes(node)) {
+    const AttributeDef* def = dtd.FindAttribute(type, name);
+    if (def == nullptr) {
+      return Status::InvalidArgument("undeclared attribute '" + name +
+                                     "' on " + Describe(tree, node));
+    }
+    if (def->value_type == AttributeDef::ValueType::kEnumerated) {
+      bool legal = false;
+      for (const std::string& allowed : def->enum_values) {
+        if (allowed == value) legal = true;
+      }
+      if (!legal) {
+        return Status::InvalidArgument("attribute " + name + "=\"" + value +
+                                       "\" on " + Describe(tree, node) +
+                                       " is not in the declared enumeration");
+      }
+    }
+    if (def->presence == AttributeDef::Presence::kFixed &&
+        value != def->default_value) {
+      return Status::InvalidArgument("attribute " + name + " on " +
+                                     Describe(tree, node) +
+                                     " must have the #FIXED value \"" +
+                                     def->default_value + "\"");
+    }
+  }
+  for (const AttributeDef& def : dtd.Attributes(type)) {
+    if (def.presence == AttributeDef::Presence::kRequired &&
+        !tree.GetAttribute(node, def.name).has_value()) {
+      return Status::InvalidArgument("required attribute '" + def.name +
+                                     "' missing on " + Describe(tree, node));
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateElement(const XmlTree& tree, const Dtd& dtd, NodeId node) {
+  TypeId type = dtd.FindType(tree.label(node));
+  if (type == kNullType) {
+    return Status::InvalidArgument("undeclared element type at " +
+                                   Describe(tree, node));
+  }
+  SECVIEW_RETURN_IF_ERROR(ValidateAttributes(tree, dtd, node, type));
+  const ContentModel& cm = dtd.Content(type);
+
+  // Text nodes are only allowed under str productions.
+  if (cm.kind() != ContentKind::kText) {
+    for (NodeId c = tree.first_child(node); c != kNullNode;
+         c = tree.next_sibling(c)) {
+      if (tree.IsText(c)) {
+        return Status::InvalidArgument("unexpected text content under " +
+                                       Describe(tree, node));
+      }
+    }
+  }
+
+  switch (cm.kind()) {
+    case ContentKind::kEmpty:
+      if (tree.first_child(node) != kNullNode) {
+        return Status::InvalidArgument(Describe(tree, node) +
+                                       " must be empty");
+      }
+      break;
+    case ContentKind::kText: {
+      int text_children = 0;
+      for (NodeId c = tree.first_child(node); c != kNullNode;
+           c = tree.next_sibling(c)) {
+        if (!tree.IsText(c)) {
+          return Status::InvalidArgument(Describe(tree, node) +
+                                         " must contain only PCDATA");
+        }
+        ++text_children;
+      }
+      if (text_children > 1) {
+        return Status::InvalidArgument(Describe(tree, node) +
+                                       " has multiple text children");
+      }
+      break;
+    }
+    case ContentKind::kSequence: {
+      NodeId c = tree.first_child(node);
+      for (const std::string& expected : cm.types()) {
+        if (c == kNullNode || tree.label(c) != expected) {
+          return Status::InvalidArgument(
+              Describe(tree, node) + " does not match sequence " +
+              cm.ToString());
+        }
+        c = tree.next_sibling(c);
+      }
+      if (c != kNullNode) {
+        return Status::InvalidArgument(Describe(tree, node) +
+                                       " has extra children beyond " +
+                                       cm.ToString());
+      }
+      break;
+    }
+    case ContentKind::kChoice: {
+      NodeId c = tree.first_child(node);
+      if (c == kNullNode || tree.next_sibling(c) != kNullNode) {
+        return Status::InvalidArgument(Describe(tree, node) +
+                                       " must have exactly one child for " +
+                                       cm.ToString());
+      }
+      if (!cm.Mentions(std::string(tree.label(c)))) {
+        return Status::InvalidArgument(
+            Describe(tree, node) + " child " + Describe(tree, c) +
+            " is not an alternative of " + cm.ToString());
+      }
+      break;
+    }
+    case ContentKind::kStar: {
+      const std::string& expected = cm.types()[0];
+      for (NodeId c = tree.first_child(node); c != kNullNode;
+           c = tree.next_sibling(c)) {
+        if (tree.label(c) != expected) {
+          return Status::InvalidArgument(Describe(tree, node) + " child " +
+                                         Describe(tree, c) +
+                                         " does not match " + cm.ToString());
+        }
+      }
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateInstance(const XmlTree& tree, const Dtd& dtd) {
+  if (!dtd.finalized()) {
+    return Status::FailedPrecondition("DTD is not finalized");
+  }
+  if (tree.empty()) {
+    return Status::InvalidArgument("empty document");
+  }
+  if (tree.label(tree.root()) != dtd.TypeName(dtd.root())) {
+    return Status::InvalidArgument(
+        "document root <" + std::string(tree.label(tree.root())) +
+        "> does not match DTD root type '" + dtd.TypeName(dtd.root()) + "'");
+  }
+  Status status = Status::OK();
+  for (NodeId n = 0; n < static_cast<NodeId>(tree.node_count()); ++n) {
+    if (!tree.IsElement(n)) continue;
+    status = ValidateElement(tree, dtd, n);
+    if (!status.ok()) return status;
+  }
+  return status;
+}
+
+}  // namespace secview

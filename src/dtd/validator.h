@@ -1,0 +1,27 @@
+#ifndef SECVIEW_DTD_VALIDATOR_H_
+#define SECVIEW_DTD_VALIDATOR_H_
+
+#include "common/status.h"
+#include "dtd/dtd.h"
+#include "xml/tree.h"
+
+namespace secview {
+
+/// Checks that `tree` is an instance of `dtd` (paper Section 2):
+///   1. the root is labeled with the root type;
+///   2. every element is labeled with a declared type;
+///   3. every element's child list matches its type's production:
+///        epsilon   -> no children,
+///        str       -> at most one child, which is a text node,
+///        B1,...,Bn -> exactly the listed element children, in order,
+///        B1+...+Bn -> exactly one element child, labeled with one
+///                     alternative,
+///        B*        -> zero or more element children labeled B;
+///   4. text nodes appear only under str-typed elements.
+///
+/// Returns OK or an InvalidArgument status naming the first offending node.
+Status ValidateInstance(const XmlTree& tree, const Dtd& dtd);
+
+}  // namespace secview
+
+#endif  // SECVIEW_DTD_VALIDATOR_H_

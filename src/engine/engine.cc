@@ -1,0 +1,213 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+
+#include "rewrite/unfold.h"
+#include "security/derive.h"
+#include "security/materializer.h"
+#include "security/spec_parser.h"
+#include "xpath/parser.h"
+
+namespace secview {
+
+Result<std::unique_ptr<SecureQueryEngine>> SecureQueryEngine::Create(Dtd dtd) {
+  if (!dtd.finalized()) {
+    SECVIEW_RETURN_IF_ERROR(dtd.Finalize());
+  }
+  auto owned = std::make_unique<Dtd>(std::move(dtd));
+  std::unique_ptr<SecureQueryEngine> engine(
+      new SecureQueryEngine(std::move(owned)));
+  Result<QueryOptimizer> optimizer = QueryOptimizer::Create(*engine->dtd_);
+  if (optimizer.ok()) {
+    engine->optimizer_.emplace(std::move(optimizer).value());
+  }
+  // A recursive document DTD simply disables optimization; everything
+  // else still works.
+  return engine;
+}
+
+Status SecureQueryEngine::RegisterPolicy(const std::string& name,
+                                         std::string_view spec_text) {
+  SECVIEW_ASSIGN_OR_RETURN(AccessSpec spec,
+                           ParseAccessSpec(*dtd_, spec_text));
+  return RegisterPolicy(name, std::move(spec));
+}
+
+Status SecureQueryEngine::RegisterPolicy(const std::string& name,
+                                         AccessSpec spec) {
+  if (name.empty()) {
+    return Status::InvalidArgument("policy name must not be empty");
+  }
+  if (policies_.count(name)) {
+    return Status::InvalidArgument("policy '" + name +
+                                   "' is already registered");
+  }
+  if (&spec.dtd() != dtd_.get()) {
+    return Status::InvalidArgument(
+        "specification was built against a different DTD instance");
+  }
+  SECVIEW_ASSIGN_OR_RETURN(SecurityView view, DeriveSecurityView(spec));
+
+  auto policy = std::make_unique<Policy>(
+      Policy{std::move(spec), std::move(view), std::nullopt, {}});
+  if (!policy->view.IsRecursive()) {
+    SECVIEW_ASSIGN_OR_RETURN(QueryRewriter rewriter,
+                             QueryRewriter::Create(policy->view));
+    policy->rewriter.emplace(std::move(rewriter));
+  }
+  policies_.emplace(name, std::move(policy));
+  return Status::OK();
+}
+
+std::vector<std::string> SecureQueryEngine::PolicyNames() const {
+  std::vector<std::string> names;
+  names.reserve(policies_.size());
+  for (const auto& [name, policy] : policies_) {
+    (void)policy;
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<SecureQueryEngine::Policy*> SecureQueryEngine::FindPolicy(
+    const std::string& name) {
+  auto it = policies_.find(name);
+  if (it == policies_.end()) {
+    return Status::NotFound("no policy named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Result<const SecureQueryEngine::Policy*> SecureQueryEngine::FindPolicy(
+    const std::string& name) const {
+  auto it = policies_.find(name);
+  if (it == policies_.end()) {
+    return Status::NotFound("no policy named '" + name + "'");
+  }
+  return static_cast<const Policy*>(it->second.get());
+}
+
+Result<const SecurityView*> SecureQueryEngine::View(
+    const std::string& policy) const {
+  SECVIEW_ASSIGN_OR_RETURN(const Policy* p, FindPolicy(policy));
+  return &p->view;
+}
+
+Result<std::string> SecureQueryEngine::PublishedViewDtd(
+    const std::string& policy) const {
+  SECVIEW_ASSIGN_OR_RETURN(const Policy* p, FindPolicy(policy));
+  return p->view.ViewDtdString();
+}
+
+Result<PathPtr> SecureQueryEngine::Rewrite(const std::string& policy_name,
+                                           std::string_view query_text,
+                                           bool optimize, int doc_height) {
+  SECVIEW_ASSIGN_OR_RETURN(Policy* policy, FindPolicy(policy_name));
+
+  const bool recursive = !policy->rewriter.has_value();
+  const int depth = recursive ? doc_height : 0;
+  std::string cache_key = std::string(query_text) + "\x1f" +
+                          (optimize ? "1" : "0") + "\x1f" +
+                          std::to_string(depth);
+  auto cached = policy->cache.find(cache_key);
+  if (cached != policy->cache.end()) return cached->second;
+
+  SECVIEW_ASSIGN_OR_RETURN(PathPtr query, ParseXPath(query_text));
+
+  PathPtr rewritten;
+  if (recursive) {
+    SECVIEW_ASSIGN_OR_RETURN(rewritten,
+                             RewriteForDocument(policy->view, query, depth));
+  } else {
+    SECVIEW_ASSIGN_OR_RETURN(rewritten, policy->rewriter->Rewrite(query));
+  }
+  if (optimize && optimizer_.has_value()) {
+    SECVIEW_ASSIGN_OR_RETURN(rewritten, optimizer_->Optimize(rewritten));
+  }
+  policy->cache.emplace(std::move(cache_key), rewritten);
+  return rewritten;
+}
+
+Result<ExecuteResult> SecureQueryEngine::Execute(
+    const std::string& policy_name, const XmlTree& doc,
+    std::string_view query_text, const ExecuteOptions& options) {
+  if (doc.empty()) return Status::InvalidArgument("empty document");
+  if (doc.label(doc.root()) != dtd_->TypeName(dtd_->root())) {
+    return Status::InvalidArgument(
+        "document root does not match the engine's DTD");
+  }
+  // The document height (an O(N) scan) is only needed to pick the
+  // unfolding depth of recursive views.
+  SECVIEW_ASSIGN_OR_RETURN(Policy* policy, FindPolicy(policy_name));
+  const int doc_height = policy->rewriter.has_value() ? 0 : doc.Height();
+  SECVIEW_ASSIGN_OR_RETURN(
+      PathPtr rewritten,
+      Rewrite(policy_name, query_text, /*optimize=*/false, doc_height));
+
+  ExecuteResult result;
+  result.rewritten = rewritten;
+  PathPtr to_run = rewritten;
+  if (options.optimize) {
+    SECVIEW_ASSIGN_OR_RETURN(
+        to_run,
+        Rewrite(policy_name, query_text, /*optimize=*/true, doc_height));
+  }
+  to_run = BindParams(to_run, options.bindings);
+  if (HasUnboundParams(to_run)) {
+    return Status::FailedPrecondition(
+        "the policy's qualifiers have unbound $parameters; pass them in "
+        "ExecuteOptions::bindings");
+  }
+  result.evaluated = to_run;
+
+  XPathEvaluator evaluator(doc);
+  SECVIEW_ASSIGN_OR_RETURN(result.nodes,
+                           evaluator.Evaluate(to_run, doc.root()));
+  result.work = evaluator.work();
+  return result;
+}
+
+namespace {
+
+/// Copies the view subtree rooted at `node` under `parent` in `out`.
+void CopyViewSubtree(const XmlTree& view_tree, NodeId node, XmlTree& out,
+                     NodeId parent) {
+  NodeId copy = view_tree.IsText(node)
+                    ? out.AppendText(parent, view_tree.text(node))
+                    : out.AppendElement(parent, view_tree.label(node));
+  out.SetOrigin(copy, view_tree.origin(node));
+  for (NodeId c = view_tree.first_child(node); c != kNullNode;
+       c = view_tree.next_sibling(c)) {
+    CopyViewSubtree(view_tree, c, out, copy);
+  }
+}
+
+}  // namespace
+
+Result<XmlTree> SecureQueryEngine::ExtractResults(
+    const std::string& policy, const XmlTree& doc, const NodeSet& nodes,
+    const std::vector<std::pair<std::string, std::string>>& bindings) const {
+  SECVIEW_ASSIGN_OR_RETURN(const Policy* p, FindPolicy(policy));
+  MaterializeOptions options;
+  options.bindings = bindings;
+  SECVIEW_ASSIGN_OR_RETURN(XmlTree tv,
+                           MaterializeView(doc, p->view, p->spec, options));
+
+  // Map each requested document node to its view node(s).
+  std::unordered_map<NodeId, std::vector<NodeId>> by_origin;
+  for (NodeId v = 0; v < static_cast<NodeId>(tv.node_count()); ++v) {
+    if (tv.IsElement(v)) by_origin[tv.origin(v)].push_back(v);
+  }
+
+  XmlTree out;
+  NodeId root = out.CreateRoot("results");
+  for (NodeId n : nodes) {
+    auto it = by_origin.find(n);
+    if (it == by_origin.end()) continue;  // not visible in the view
+    for (NodeId v : it->second) CopyViewSubtree(tv, v, out, root);
+  }
+  return out;
+}
+
+}  // namespace secview

@@ -1,0 +1,142 @@
+#ifndef SECVIEW_ENGINE_ENGINE_H_
+#define SECVIEW_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "dtd/dtd.h"
+#include "optimize/optimizer.h"
+#include "rewrite/rewriter.h"
+#include "security/access_spec.h"
+#include "security/security_view.h"
+#include "xml/tree.h"
+#include "xpath/evaluator.h"
+
+namespace secview {
+
+/// Per-execution options.
+struct ExecuteOptions {
+  /// Bindings for the policy's $parameters (e.g. {"wardNo", "3"}).
+  std::vector<std::pair<std::string, std::string>> bindings;
+
+  /// Run the DTD-based optimizer over the rewritten query (Section 5).
+  /// Ignored (treated as false) when the document DTD is recursive.
+  bool optimize = true;
+};
+
+/// Execution outcome with provenance, for auditing and the CLI.
+struct ExecuteResult {
+  /// Result nodes in the *document*, in document order.
+  NodeSet nodes;
+  /// The query after rewriting over the view (unbound).
+  PathPtr rewritten;
+  /// The query actually evaluated (optimized + bound).
+  PathPtr evaluated;
+  /// Evaluator node touches (machine-independent cost).
+  uint64_t work = 0;
+};
+
+/// The secure query-answering framework of the paper's Fig. 3: one
+/// document DTD, any number of named access-control policies, and a
+/// query interface that enforces each policy by query rewriting — views
+/// stay virtual.
+///
+/// Typical use:
+///
+///   auto engine = SecureQueryEngine::Create(MakeHospitalDtd());
+///   engine->RegisterPolicy("nurse", nurse_spec_text);
+///   auto result = engine->Execute("nurse", doc, "//patient//bill",
+///                                 {.bindings = {{"wardNo", "3"}}});
+///
+/// Rewritten/optimized queries are cached per (policy, query text,
+/// optimize flag); recursive views are additionally keyed by the
+/// unfolding depth, which is derived from each document's height
+/// (Section 4.2).
+///
+/// The engine is single-threaded by design (the cache is not locked).
+class SecureQueryEngine {
+ public:
+  /// Takes ownership of the (finalized) document DTD.
+  static Result<std::unique_ptr<SecureQueryEngine>> Create(Dtd dtd);
+
+  const Dtd& dtd() const { return *dtd_; }
+
+  /// True iff the document DTD admits the optimizer (non-recursive).
+  bool CanOptimize() const { return optimizer_.has_value(); }
+
+  // -- Policies -------------------------------------------------------------
+
+  /// Registers a policy from the textual annotation syntax
+  /// (security/spec_parser.h). Fails on parse errors, duplicate names, or
+  /// derivation failure.
+  Status RegisterPolicy(const std::string& name, std::string_view spec_text);
+
+  /// Registers an already-built specification.
+  Status RegisterPolicy(const std::string& name, AccessSpec spec);
+
+  std::vector<std::string> PolicyNames() const;
+
+  /// The derived security view of a policy.
+  Result<const SecurityView*> View(const std::string& policy) const;
+
+  /// The view DTD text published to the policy's users (sigma hidden).
+  Result<std::string> PublishedViewDtd(const std::string& policy) const;
+
+  // -- Querying -------------------------------------------------------------
+
+  /// Rewrites (and optionally optimizes) a view query for the policy,
+  /// without evaluating it. `doc_height` selects the unfolding depth for
+  /// recursive views; pass the height of the target document (ignored
+  /// for non-recursive views).
+  Result<PathPtr> Rewrite(const std::string& policy,
+                          std::string_view query_text, bool optimize,
+                          int doc_height = 0);
+
+  /// Full enforcement path: parse, rewrite, optimize, bind, evaluate.
+  /// `doc` must be an instance of the engine's DTD; results are nodes of
+  /// `doc` the policy's users are allowed to see.
+  Result<ExecuteResult> Execute(const std::string& policy, const XmlTree& doc,
+                                std::string_view query_text,
+                                const ExecuteOptions& options = {});
+
+  /// Builds a serialization-safe answer document: the *view* subtrees of
+  /// the result nodes, copied under a fresh <results> root. Answers never
+  /// contain concealed labels or inaccessible descendants because they
+  /// are taken from the (internally materialized) view, not from the raw
+  /// document — returning raw document subtrees would leak hidden nodes
+  /// nested below accessible ones. This is a convenience for serving
+  /// serialized answers; it costs one view materialization per call.
+  Result<XmlTree> ExtractResults(
+      const std::string& policy, const XmlTree& doc, const NodeSet& nodes,
+      const std::vector<std::pair<std::string, std::string>>& bindings =
+          {}) const;
+
+ private:
+  struct Policy {
+    AccessSpec spec;
+    SecurityView view;
+    /// Prepared rewriter for non-recursive views.
+    std::optional<QueryRewriter> rewriter;
+    /// (query text, optimize, unfold depth) -> rewritten query. Depth is
+    /// 0 for non-recursive views.
+    std::unordered_map<std::string, PathPtr> cache;
+  };
+
+  explicit SecureQueryEngine(std::unique_ptr<Dtd> dtd)
+      : dtd_(std::move(dtd)) {}
+
+  Result<Policy*> FindPolicy(const std::string& name);
+  Result<const Policy*> FindPolicy(const std::string& name) const;
+
+  std::unique_ptr<Dtd> dtd_;
+  std::optional<QueryOptimizer> optimizer_;
+  std::unordered_map<std::string, std::unique_ptr<Policy>> policies_;
+};
+
+}  // namespace secview
+
+#endif  // SECVIEW_ENGINE_ENGINE_H_

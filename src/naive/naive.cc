@@ -1,0 +1,76 @@
+#include "naive/naive.h"
+
+#include "security/annotator.h"
+
+namespace secview {
+
+Status AnnotateAccessibilityAttributes(
+    XmlTree& doc, const AccessSpec& spec,
+    const std::vector<std::pair<std::string, std::string>>& bindings) {
+  AccessSpec bound = spec.Bind(bindings);
+  Result<AccessibilityLabeling> labeling = ComputeAccessibility(doc, bound);
+  if (!labeling.ok()) return labeling.status();
+  for (NodeId n = 0; n < static_cast<NodeId>(doc.node_count()); ++n) {
+    if (!doc.IsElement(n)) continue;
+    doc.SetAttribute(n, kAccessibilityAttr,
+                     labeling->accessible[n] ? "1" : "0");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+QualPtr WidenQual(const QualPtr& q);
+
+/// Rule 2: child axis -> descendant axis on every step.
+PathPtr WidenAxes(const PathPtr& p) {
+  switch (p->kind) {
+    case PathKind::kEmptySet:
+    case PathKind::kEpsilon:
+      return p;
+    case PathKind::kLabel:
+    case PathKind::kWildcard:
+      return MakeDescOrSelf(p);
+    case PathKind::kSlash:
+      return MakeSlash(WidenAxes(p->left), WidenAxes(p->right));
+    case PathKind::kDescOrSelf:
+      return MakeDescOrSelf(WidenAxes(p->left));
+    case PathKind::kUnion:
+      return MakeUnion(WidenAxes(p->left), WidenAxes(p->right));
+    case PathKind::kQualified:
+      return MakeQualified(WidenAxes(p->left), WidenQual(p->qualifier));
+  }
+  return p;
+}
+
+QualPtr WidenQual(const QualPtr& q) {
+  switch (q->kind) {
+    case QualKind::kTrue:
+    case QualKind::kFalse:
+    case QualKind::kAttrEq:
+    case QualKind::kAttrExists:
+      return q;
+    case QualKind::kPath:
+      return MakeQualPath(WidenAxes(q->path));
+    case QualKind::kPathEqConst:
+      return MakeQualEq(WidenAxes(q->path), q->constant, q->is_param);
+    case QualKind::kAnd:
+      return MakeQualAnd(WidenQual(q->left), WidenQual(q->right));
+    case QualKind::kOr:
+      return MakeQualOr(WidenQual(q->left), WidenQual(q->right));
+    case QualKind::kNot:
+      return MakeQualNot(WidenQual(q->left));
+  }
+  return q;
+}
+
+}  // namespace
+
+PathPtr NaiveRewrite(const PathPtr& p) {
+  // Rule 2 first (axis widening), then rule 1 (the accessibility filter on
+  // the final result set).
+  return MakeQualified(WidenAxes(p),
+                       MakeQualAttrEq(kAccessibilityAttr, "1"));
+}
+
+}  // namespace secview

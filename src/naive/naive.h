@@ -1,0 +1,40 @@
+#ifndef SECVIEW_NAIVE_NAIVE_H_
+#define SECVIEW_NAIVE_NAIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "security/access_spec.h"
+#include "xml/tree.h"
+#include "xpath/ast.h"
+
+namespace secview {
+
+/// The attribute the naive enforcement scheme stores per element.
+inline constexpr char kAccessibilityAttr[] = "accessibility";
+
+/// The paper's "naive" baseline (Section 6): instead of rewriting through
+/// the view DTD, every element of the document is annotated with an
+/// accessibility attribute, and queries are rewritten with two rules:
+///   1. append [@accessibility = "1"] to the last step, so only
+///      authorized elements are returned;
+///   2. replace every child axis by the descendant axis, because an edge
+///      of the (unknown to the baseline) view DTD may correspond to a
+///      longer path in the document.
+/// Rule 2 is sound as long as the DTD has unique element names (the
+/// paper's footnote 3); it is also why the baseline is slow — every
+/// step scans whole subtrees.
+
+/// Computes node accessibility w.r.t. the (bound) specification and
+/// stores it as accessibility="1"/"0" attributes on every element.
+Status AnnotateAccessibilityAttributes(
+    XmlTree& doc, const AccessSpec& spec,
+    const std::vector<std::pair<std::string, std::string>>& bindings = {});
+
+/// Applies the two naive rewrite rules to a view query.
+PathPtr NaiveRewrite(const PathPtr& p);
+
+}  // namespace secview
+
+#endif  // SECVIEW_NAIVE_NAIVE_H_

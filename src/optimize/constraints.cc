@@ -1,0 +1,410 @@
+#include "optimize/constraints.h"
+
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+#include "optimize/image_graph.h"
+#include "optimize/simulation.h"
+
+namespace secview {
+
+const char* TriToString(Tri t) {
+  switch (t) {
+    case Tri::kFalse:
+      return "false";
+    case Tri::kTrue:
+      return "true";
+    case Tri::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+Result<DtdPathIndex> DtdPathIndex::Compute(const DtdGraph& graph) {
+  if (graph.IsRecursive()) {
+    return Status::FailedPrecondition(
+        "DtdPathIndex requires a non-recursive document DTD");
+  }
+  const Dtd& dtd = graph.dtd();
+  const int n = dtd.NumTypes();
+  DtdPathIndex index;
+  index.reach_.resize(n);
+  index.recrw_.assign(n, std::vector<PathPtr>(n));
+
+  const std::vector<TypeId>& topo = graph.TopologicalOrder();
+  for (TypeId a = 0; a < n; ++a) {
+    std::vector<PathPtr>& expr = index.recrw_[a];
+    expr[a] = MakeEpsilon();
+    for (TypeId x : topo) {
+      if (!expr[x]) continue;
+      for (TypeId c : graph.Children(x)) {
+        PathPtr step = MakeSlash(expr[x], MakeLabel(dtd.TypeName(c)));
+        expr[c] = expr[c] ? MakeUnion(expr[c], step) : std::move(step);
+      }
+    }
+    index.reach_[a].push_back(a);
+    for (TypeId b = 0; b < n; ++b) {
+      if (b != a && expr[b]) index.reach_[a].push_back(b);
+    }
+  }
+  return index;
+}
+
+namespace {
+
+Tri TriAnd(Tri a, Tri b) {
+  if (a == Tri::kFalse || b == Tri::kFalse) return Tri::kFalse;
+  if (a == Tri::kTrue && b == Tri::kTrue) return Tri::kTrue;
+  return Tri::kUnknown;
+}
+
+Tri TriOr(Tri a, Tri b) {
+  if (a == Tri::kTrue || b == Tri::kTrue) return Tri::kTrue;
+  if (a == Tri::kFalse && b == Tri::kFalse) return Tri::kFalse;
+  return Tri::kUnknown;
+}
+
+Tri TriNot(Tri a) {
+  if (a == Tri::kTrue) return Tri::kFalse;
+  if (a == Tri::kFalse) return Tri::kTrue;
+  return Tri::kUnknown;
+}
+
+/// True iff every A element surely has a child of type m reachable via p
+/// (used to upgrade existence results from Unknown to True).
+bool GuaranteedReach(const DtdGraph& graph, const PathPtr& p, TypeId a,
+                     TypeId m) {
+  const Dtd& dtd = graph.dtd();
+  switch (p->kind) {
+    case PathKind::kEmptySet:
+      return false;
+    case PathKind::kEpsilon:
+      return a == m;
+    case PathKind::kLabel: {
+      TypeId c = dtd.FindType(p->label);
+      return c == m && dtd.HasChild(a, c) &&
+             dtd.Content(a).kind() == ContentKind::kSequence;
+    }
+    case PathKind::kWildcard:
+      return dtd.Content(a).kind() == ContentKind::kSequence &&
+             dtd.HasChild(a, m);
+    case PathKind::kSlash: {
+      for (TypeId mid : TypeLevelReach(graph, p->left, a)) {
+        if (GuaranteedReach(graph, p->left, a, mid) &&
+            GuaranteedReach(graph, p->right, mid, m)) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case PathKind::kDescOrSelf:
+      // Descendant-or-self includes self; a guarantee through self
+      // suffices.
+      return GuaranteedReach(graph, p->left, a, m);
+    case PathKind::kUnion:
+      return GuaranteedReach(graph, p->left, a, m) ||
+             GuaranteedReach(graph, p->right, a, m);
+    case PathKind::kQualified:
+      return false;  // the qualifier may fail at run time
+  }
+  return false;
+}
+
+class Evaluator {
+ public:
+  explicit Evaluator(const DtdGraph& graph)
+      : graph_(graph), dtd_(graph.dtd()) {}
+
+  Tri Qual(const QualPtr& q, TypeId a) {
+    switch (q->kind) {
+      case QualKind::kTrue:
+        return Tri::kTrue;
+      case QualKind::kFalse:
+        return Tri::kFalse;
+      case QualKind::kAttrEq:
+      case QualKind::kAttrExists:
+        return AttrTri(q, a);
+      case QualKind::kPath:
+        return Path(q->path, a);
+      case QualKind::kPathEqConst:
+        // A content comparison can only be refuted structurally.
+        return Path(q->path, a) == Tri::kFalse ? Tri::kFalse : Tri::kUnknown;
+      case QualKind::kAnd: {
+        Tri combined = TriAnd(Qual(q->left, a), Qual(q->right, a));
+        if (combined != Tri::kUnknown) return combined;
+        // Exclusive constraint: a disjunction production cannot satisfy
+        // conjuncts that demand two distinct children (Example 5.1).
+        if (dtd_.Content(a).kind() == ContentKind::kChoice) {
+          std::unordered_set<TypeId> required;
+          CollectRequiredChildLabels(q, a, required);
+          if (required.size() >= 2) return Tri::kFalse;
+        }
+        return Tri::kUnknown;
+      }
+      case QualKind::kOr:
+        return TriOr(Qual(q->left, a), Qual(q->right, a));
+      case QualKind::kNot:
+        return TriNot(Qual(q->left, a));
+    }
+    return Tri::kUnknown;
+  }
+
+  /// DTD-decided truth of an attribute test at A elements: undeclared
+  /// attributes never exist; #REQUIRED / defaulted ones always do;
+  /// #FIXED and enumerated declarations decide (or refute) equalities.
+  Tri AttrTri(const QualPtr& q, TypeId a) {
+    const AttributeDef* def = dtd_.FindAttribute(a, q->attr);
+    if (def == nullptr) return Tri::kFalse;  // non-existence
+    bool always_present =
+        def->presence == AttributeDef::Presence::kRequired ||
+        def->presence == AttributeDef::Presence::kDefault ||
+        def->presence == AttributeDef::Presence::kFixed;
+    if (q->kind == QualKind::kAttrExists) {
+      return always_present ? Tri::kTrue : Tri::kUnknown;
+    }
+    // kAttrEq.
+    if (def->presence == AttributeDef::Presence::kFixed) {
+      return def->default_value == q->constant ? Tri::kTrue : Tri::kFalse;
+    }
+    if (def->value_type == AttributeDef::ValueType::kEnumerated) {
+      bool possible = false;
+      for (const std::string& v : def->enum_values) {
+        if (v == q->constant) possible = true;
+      }
+      if (!possible) return Tri::kFalse;  // value outside the enumeration
+    }
+    return Tri::kUnknown;
+  }
+
+  /// bool of the existence qualifier [p] at A.
+  Tri Path(const PathPtr& p, TypeId a) {
+    switch (p->kind) {
+      case PathKind::kEmptySet:
+        return Tri::kFalse;
+      case PathKind::kEpsilon:
+        return Tri::kTrue;
+      case PathKind::kLabel: {
+        TypeId c = dtd_.FindType(p->label);
+        if (c == kNullType || !dtd_.HasChild(a, c)) {
+          return Tri::kFalse;  // non-existence constraint
+        }
+        // Co-existence: a sequence guarantees each listed child.
+        return dtd_.Content(a).kind() == ContentKind::kSequence
+                   ? Tri::kTrue
+                   : Tri::kUnknown;
+      }
+      case PathKind::kWildcard: {
+        switch (dtd_.Content(a).kind()) {
+          case ContentKind::kEmpty:
+          case ContentKind::kText:
+            return Tri::kFalse;
+          case ContentKind::kSequence:
+          case ContentKind::kChoice:
+            return Tri::kTrue;  // at least one child always exists
+          case ContentKind::kStar:
+            return Tri::kUnknown;
+        }
+        return Tri::kUnknown;
+      }
+      case PathKind::kSlash: {
+        std::vector<TypeId> mids = TypeLevelReach(graph_, p->left, a);
+        if (mids.empty()) return Tri::kFalse;
+        Tri combined = Tri::kFalse;
+        for (TypeId m : mids) {
+          Tri sub = Path(p->right, m);
+          if (sub == Tri::kTrue && GuaranteedReach(graph_, p->left, a, m)) {
+            return Tri::kTrue;
+          }
+          combined = TriOr(combined, sub == Tri::kFalse ? Tri::kFalse
+                                                        : Tri::kUnknown);
+        }
+        return combined == Tri::kFalse ? Tri::kFalse : Tri::kUnknown;
+      }
+      case PathKind::kDescOrSelf:
+        return DescOrSelfTri(p->left, a);
+      case PathKind::kUnion:
+        return TriOr(Path(p->left, a), Path(p->right, a));
+      case PathKind::kQualified: {
+        Tri base = Path(p->left, a);
+        if (base == Tri::kFalse) return Tri::kFalse;
+        // [p[q]]: true only if p surely reaches a node where q surely
+        // holds.
+        Tri all_quals = Tri::kTrue;
+        bool some_true_guaranteed = false;
+        for (TypeId m : TypeLevelReach(graph_, p->left, a)) {
+          Tri sub = Qual(p->qualifier, m);
+          all_quals = TriAnd(all_quals, sub);
+          if (sub == Tri::kTrue &&
+              GuaranteedReach(graph_, p->left, a, m)) {
+            some_true_guaranteed = true;
+          }
+        }
+        if (some_true_guaranteed) return Tri::kTrue;
+        if (all_quals == Tri::kFalse) {
+          // Every reachable target refutes the qualifier.
+          bool every_target_false = true;
+          for (TypeId m : TypeLevelReach(graph_, p->left, a)) {
+            if (Qual(p->qualifier, m) != Tri::kFalse) {
+              every_target_false = false;
+            }
+          }
+          if (every_target_false) return Tri::kFalse;
+        }
+        return Tri::kUnknown;
+      }
+    }
+    return Tri::kUnknown;
+  }
+
+  /// bool of [//rho] at A: rho holds somewhere in the descendant-or-self
+  /// closure. True when the DTD *guarantees* a witness: either rho holds
+  /// at A itself, or a guaranteed child (sequence slot, or every choice
+  /// alternative) guarantees it recursively. False when no reachable type
+  /// admits rho. Memoized per type; recursion (recursive DTDs) degrades
+  /// to Unknown.
+  Tri DescOrSelfTri(const PathPtr& rho, TypeId a) {
+    auto key = std::make_pair(rho.get(), a);
+    auto it = desc_memo_.find(key);
+    if (it != desc_memo_.end()) return it->second;
+    desc_memo_[key] = Tri::kUnknown;  // cycle guard
+
+    Tri result = Path(rho, a);
+    if (result != Tri::kTrue) {
+      const ContentModel& cm = dtd_.Content(a);
+      Tri via_children = Tri::kFalse;
+      switch (cm.kind()) {
+        case ContentKind::kEmpty:
+        case ContentKind::kText:
+          via_children = Tri::kFalse;
+          break;
+        case ContentKind::kSequence: {
+          // Every listed child exists: one guaranteed witness suffices.
+          via_children = Tri::kFalse;
+          for (TypeId c : graph_.Children(a)) {
+            via_children = TriOr(via_children, DescOrSelfTri(rho, c));
+          }
+          break;
+        }
+        case ContentKind::kChoice: {
+          // Exactly one alternative exists, but we don't know which: a
+          // guarantee needs every alternative to guarantee rho.
+          via_children = Tri::kTrue;
+          bool any_not_false = false;
+          for (TypeId c : graph_.Children(a)) {
+            Tri sub = DescOrSelfTri(rho, c);
+            via_children = TriAnd(via_children, sub);
+            if (sub != Tri::kFalse) any_not_false = true;
+          }
+          if (via_children == Tri::kFalse && any_not_false) {
+            via_children = Tri::kUnknown;
+          }
+          break;
+        }
+        case ContentKind::kStar: {
+          // Zero children are possible: never guaranteed, but possible.
+          Tri sub = DescOrSelfTri(rho, graph_.Children(a).empty()
+                                           ? a
+                                           : graph_.Children(a)[0]);
+          via_children = sub == Tri::kFalse ? Tri::kFalse : Tri::kUnknown;
+          break;
+        }
+      }
+      result = TriOr(result, via_children);
+    }
+    desc_memo_[key] = result;
+    return result;
+  }
+
+  /// Child types that `q` demands to exist directly under A (first label
+  /// steps of conjuncts), for the exclusive-constraint check.
+  void CollectRequiredChildLabels(const QualPtr& q, TypeId a,
+                                  std::unordered_set<TypeId>& out) {
+    switch (q->kind) {
+      case QualKind::kAnd:
+        CollectRequiredChildLabels(q->left, a, out);
+        CollectRequiredChildLabels(q->right, a, out);
+        return;
+      case QualKind::kPath:
+      case QualKind::kPathEqConst: {
+        TypeId first = FirstRequiredLabel(q->path);
+        if (first != kNullType) out.insert(first);
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+  /// The label of the first step when it is a definite child step.
+  TypeId FirstRequiredLabel(const PathPtr& p) {
+    switch (p->kind) {
+      case PathKind::kLabel:
+        return dtd_.FindType(p->label);
+      case PathKind::kSlash:
+        return FirstRequiredLabel(p->left);
+      case PathKind::kQualified:
+        return FirstRequiredLabel(p->left);
+      default:
+        return kNullType;
+    }
+  }
+
+ private:
+  const DtdGraph& graph_;
+  const Dtd& dtd_;
+  std::map<std::pair<const PathExpr*, TypeId>, Tri> desc_memo_;
+};
+
+}  // namespace
+
+Tri EvaluateQualifierAtType(const DtdGraph& graph, const QualPtr& q,
+                            TypeId a) {
+  return Evaluator(graph).Qual(q, a);
+}
+
+Tri EvaluatePathExistence(const DtdGraph& graph, const PathPtr& p, TypeId a) {
+  return Evaluator(graph).Path(p, a);
+}
+
+QualPtr SimplifyQualifier(const DtdGraph& graph, const QualPtr& q, TypeId a) {
+  Tri value = EvaluateQualifierAtType(graph, q, a);
+  if (value == Tri::kTrue) return MakeQualTrue();
+  if (value == Tri::kFalse) return MakeQualFalse();
+
+  switch (q->kind) {
+    case QualKind::kAnd: {
+      QualPtr left = SimplifyQualifier(graph, q->left, a);
+      QualPtr right = SimplifyQualifier(graph, q->right, a);
+      // Implied-conjunct pruning via approximate containment: if
+      // [left] is contained in [right] then right is implied — drop it.
+      if (left->kind != QualKind::kTrue && right->kind != QualKind::kTrue) {
+        ImageGraph gl = BuildQualifierImage(graph, left, a);
+        ImageGraph gr = BuildQualifierImage(graph, right, a);
+        if (Simulates(gl, gr)) return left;
+        if (Simulates(gr, gl)) return right;
+      }
+      return MakeQualAnd(std::move(left), std::move(right));
+    }
+    case QualKind::kOr: {
+      QualPtr left = SimplifyQualifier(graph, q->left, a);
+      QualPtr right = SimplifyQualifier(graph, q->right, a);
+      // If [left] is contained in [right], left is redundant in the
+      // disjunction.
+      if (left->kind != QualKind::kFalse &&
+          right->kind != QualKind::kFalse) {
+        ImageGraph gl = BuildQualifierImage(graph, left, a);
+        ImageGraph gr = BuildQualifierImage(graph, right, a);
+        if (Simulates(gl, gr)) return right;
+        if (Simulates(gr, gl)) return left;
+      }
+      return MakeQualOr(std::move(left), std::move(right));
+    }
+    case QualKind::kNot:
+      return MakeQualNot(SimplifyQualifier(graph, q->left, a));
+    default:
+      return q;
+  }
+}
+
+}  // namespace secview

@@ -1,0 +1,68 @@
+#ifndef SECVIEW_OPTIMIZE_CONSTRAINTS_H_
+#define SECVIEW_OPTIMIZE_CONSTRAINTS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "dtd/graph.h"
+#include "xpath/ast.h"
+
+namespace secview {
+
+/// Three-valued outcome of evaluating a qualifier against DTD structure.
+enum class Tri {
+  kFalse,
+  kTrue,
+  kUnknown,
+};
+
+const char* TriToString(Tri t);
+
+/// Precomputed '//' structure over the *document* DTD, the optimizer's
+/// analogue of recProc (paper Fig. 6 variant used in Fig. 10): for every
+/// type A, the descendant-or-self set and recrw(A, B) — a query built
+/// from label steps that captures all label paths A -> B in the DTD.
+/// Requires a non-recursive DTD.
+class DtdPathIndex {
+ public:
+  static Result<DtdPathIndex> Compute(const DtdGraph& graph);
+
+  const std::vector<TypeId>& ReachDescOrSelf(TypeId a) const {
+    return reach_[a];
+  }
+
+  /// recrw(a, b); epsilon when b == a; null when unreachable.
+  PathPtr RecRw(TypeId a, TypeId b) const { return recrw_[a][b]; }
+
+ private:
+  DtdPathIndex() = default;
+
+  std::vector<std::vector<TypeId>> reach_;
+  std::vector<std::vector<PathPtr>> recrw_;
+};
+
+/// The paper's bool([q], A) (Section 5.1): attempts to fix the truth
+/// value of qualifier `q` at A elements using the structural constraints
+/// the DTD imposes:
+///   * co-existence — a sequence production guarantees every listed
+///     child, so [b] and [b and c] fold to true under a -> (b, c);
+///   * exclusive   — a disjunction production admits exactly one child,
+///     so [b and c] folds to false under a -> (b | c);
+///   * non-existence — a step whose label is not reachable folds to
+///     false.
+/// Unknown is returned whenever the DTD does not decide the qualifier
+/// (including all content comparisons and attribute tests).
+Tri EvaluateQualifierAtType(const DtdGraph& graph, const QualPtr& q, TypeId a);
+
+/// Truth value of the *path existence* [p] at A elements.
+Tri EvaluatePathExistence(const DtdGraph& graph, const PathPtr& p, TypeId a);
+
+/// The paper's evaluate([q], A): rewrites the qualifier to an equivalent
+/// simplified one — true/false when the DTD decides it, with decided
+/// conjuncts/disjuncts removed and (approximately) implied conjuncts
+/// pruned via the simulation containment test.
+QualPtr SimplifyQualifier(const DtdGraph& graph, const QualPtr& q, TypeId a);
+
+}  // namespace secview
+
+#endif  // SECVIEW_OPTIMIZE_CONSTRAINTS_H_

@@ -1,0 +1,322 @@
+#include "optimize/image_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace secview {
+
+namespace {
+
+/// Type-level reachability of a path over the DTD graph, ignoring
+/// qualifiers (image emptiness only depends on reachable structure).
+class TypeReach {
+ public:
+  explicit TypeReach(const DtdGraph& graph) : graph_(graph) {}
+
+  std::vector<TypeId> Reach(const PathPtr& p, TypeId t) {
+    std::vector<TypeId> out;
+    std::unordered_set<TypeId> seen;
+    auto add = [&](TypeId x) {
+      if (seen.insert(x).second) out.push_back(x);
+    };
+    switch (p->kind) {
+      case PathKind::kEmptySet:
+        break;
+      case PathKind::kEpsilon:
+        add(t);
+        break;
+      case PathKind::kLabel: {
+        TypeId c = graph_.dtd().FindType(p->label);
+        if (c != kNullType && graph_.dtd().HasChild(t, c)) add(c);
+        break;
+      }
+      case PathKind::kWildcard:
+        for (TypeId c : graph_.Children(t)) add(c);
+        break;
+      case PathKind::kSlash:
+        for (TypeId m : Reach(p->left, t)) {
+          for (TypeId c : Reach(p->right, m)) add(c);
+        }
+        break;
+      case PathKind::kDescOrSelf:
+        for (TypeId b : graph_.DescendantsOrSelf(t)) {
+          for (TypeId c : Reach(p->left, b)) add(c);
+        }
+        break;
+      case PathKind::kUnion:
+        for (TypeId c : Reach(p->left, t)) add(c);
+        for (TypeId c : Reach(p->right, t)) add(c);
+        break;
+      case PathKind::kQualified:
+        // Qualifiers do not affect structural reachability (a constant
+        // false qualifier is folded upstream).
+        for (TypeId c : Reach(p->left, t)) add(c);
+        break;
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  const DtdGraph& graph_;
+};
+
+class Builder {
+ public:
+  explicit Builder(const DtdGraph& graph)
+      : graph_(graph), dtd_(graph.dtd()), type_reach_(graph) {}
+
+  ImageGraph BuildPath(const PathPtr& p, TypeId a) {
+    int root = NewNode(a);
+    g_.root = root;
+    g_.frontier = Build(p, {root});
+    if (g_.frontier.empty()) {
+      // p reaches nothing from A: the image is empty.
+      g_ = ImageGraph{};
+    }
+    for (int n : g_.frontier) g_.nodes[n].is_frontier = true;
+    return std::move(g_);
+  }
+
+  ImageGraph BuildQual(const QualPtr& q, TypeId a) {
+    // A wrapper node labeled A carrying the qualifier as '[]' children;
+    // comparing two such wrappers with the simulation relation tests
+    // qualifier implication directly (the '[]' direction flip).
+    int root = NewNode(a);
+    g_.root = root;
+    AttachQual(q, root);
+    g_.frontier.clear();
+    return std::move(g_);
+  }
+
+ private:
+  int NewNode(int label) {
+    ImageGraph::Node node;
+    node.label = label;
+    g_.nodes.push_back(std::move(node));
+    epochs_.push_back(epoch_);
+    return static_cast<int>(g_.nodes.size() - 1);
+  }
+
+  /// Child of `parent` with DTD type `type`: reuses a same-epoch,
+  /// qualifier-free existing child (layer merging), otherwise creates one.
+  int GetChild(int parent, TypeId type) {
+    for (int c : g_.nodes[parent].children) {
+      if (g_.nodes[c].label == type && epochs_[c] == epoch_ &&
+          g_.nodes[c].qual_children.empty()) {
+        return c;
+      }
+    }
+    int child = NewNode(type);
+    g_.nodes[parent].children.push_back(child);
+    return child;
+  }
+
+  /// Builds the image of `p` starting from the given graph nodes; returns
+  /// the frontier (deduplicated, order of first reach).
+  std::vector<int> Build(const PathPtr& p, const std::vector<int>& ctx) {
+    std::vector<int> out;
+    std::unordered_set<int> seen;
+    auto add = [&](int n) {
+      if (seen.insert(n).second) out.push_back(n);
+    };
+    switch (p->kind) {
+      case PathKind::kEmptySet:
+        break;
+      case PathKind::kEpsilon:
+        for (int n : ctx) add(n);
+        break;
+      case PathKind::kLabel: {
+        TypeId c = dtd_.FindType(p->label);
+        if (c == kNullType) break;
+        for (int n : ctx) {
+          if (dtd_.HasChild(g_.nodes[n].label, c)) add(GetChild(n, c));
+        }
+        break;
+      }
+      case PathKind::kWildcard:
+        for (int n : ctx) {
+          for (TypeId c : graph_.Children(g_.nodes[n].label)) {
+            add(GetChild(n, c));
+          }
+        }
+        break;
+      case PathKind::kSlash: {
+        std::vector<int> mid = Build(p->left, ctx);
+        for (int n : Build(p->right, mid)) add(n);
+        break;
+      }
+      case PathKind::kDescOrSelf: {
+        for (int n : ctx) {
+          for (int b : BuildDescLayer(n, p->left)) add(b);
+        }
+        break;
+      }
+      case PathKind::kUnion: {
+        // Distinct epochs per branch: nodes from different branches are
+        // never merged, so branch-local qualifiers stay branch-local.
+        int saved = epoch_;
+        epoch_ = ++epoch_counter_;
+        std::vector<int> left = Build(p->left, ctx);
+        epoch_ = ++epoch_counter_;
+        std::vector<int> right = Build(p->right, ctx);
+        epoch_ = saved;
+        for (int n : left) add(n);
+        for (int n : right) add(n);
+        break;
+      }
+      case PathKind::kQualified: {
+        // Normalized input has qualifiers on epsilon steps only, but a
+        // general p[q] is handled by qualifying p's frontier.
+        std::vector<int> frontier = Build(p->left, ctx);
+        for (int n : frontier) {
+          AttachQual(p->qualifier, n);
+          add(n);
+        }
+        break;
+      }
+    }
+    return out;
+  }
+
+  /// The '//' layer below node `n`: the sub-DAG of DTD types between
+  /// n's type and every descendant-or-self B where `inner` reaches
+  /// something, followed by the image of `inner` grafted at those B's.
+  std::vector<int> BuildDescLayer(int n, const PathPtr& inner) {
+    TypeId t = g_.nodes[n].label;
+    // Relevant endpoints: B in descOrSelf(t) with non-empty inner image.
+    std::vector<TypeId> endpoints;
+    for (TypeId b : graph_.DescendantsOrSelf(t)) {
+      if (!type_reach_.Reach(inner, b).empty()) endpoints.push_back(b);
+    }
+    if (endpoints.empty()) return {};
+
+    // Path subgraph: types on some path t ->* B.
+    std::unordered_set<TypeId> on_path;
+    for (TypeId x : graph_.DescendantsOrSelf(t)) {
+      for (TypeId b : endpoints) {
+        if (graph_.Reachable(x, b)) {
+          on_path.insert(x);
+          break;
+        }
+      }
+    }
+
+    // Instantiate one node per type in this layer (below n), wiring DTD
+    // edges inside the subgraph. n itself represents type t.
+    std::unordered_map<TypeId, int> instance;
+    instance.emplace(t, n);
+    for (TypeId x : graph_.DescendantsOrSelf(t)) {
+      if (x != t && on_path.count(x)) instance.emplace(x, NewNode(x));
+    }
+    for (const auto& [x, node] : instance) {
+      for (TypeId c : graph_.Children(x)) {
+        auto it = instance.find(c);
+        if (it == instance.end()) continue;
+        auto& children = g_.nodes[node].children;
+        if (std::find(children.begin(), children.end(), it->second) ==
+            children.end()) {
+          children.push_back(it->second);
+        }
+      }
+    }
+
+    std::vector<int> ctx;
+    ctx.reserve(endpoints.size());
+    for (TypeId b : endpoints) ctx.push_back(instance.at(b));
+    return Build(inner, ctx);
+  }
+
+  /// Attaches the qualifier structure to node `n` as '[]' children, one
+  /// per conjunct. Disjunction/negation have no sound structural image;
+  /// they are folded upstream where possible and otherwise skipped, which
+  /// is conservative for the G2 (container) side and marks the graph
+  /// imprecise for the G1 side via `has_opaque_qual`.
+  void AttachQual(const QualPtr& q, int n) {
+    if (epochs_[n] != epoch_ && !g_.nodes[n].qual_children.empty()) {
+      // Attaching to a node shared with another union branch would turn
+      // branch-disjoint qualifiers into a conjunction.
+      g_.imprecise = true;
+    }
+    switch (q->kind) {
+      case QualKind::kTrue:
+        return;
+      case QualKind::kFalse:
+        // Folded upstream; structurally treated as opaque.
+        g_.imprecise = true;
+        return;
+      case QualKind::kAnd:
+        AttachQual(q->left, n);
+        AttachQual(q->right, n);
+        return;
+      case QualKind::kPath:
+      case QualKind::kPathEqConst: {
+        // The '[]' node stands for the context node, so it keeps the
+        // context's DTD type as its label (needed both to build the
+        // qualifier path below it and to align '[]' comparisons during
+        // simulation); is_qual distinguishes it from ordinary nodes.
+        int qual = NewNode(g_.nodes[n].label);
+        g_.nodes[qual].is_qual = true;
+        if (q->kind == QualKind::kPathEqConst) {
+          g_.nodes[qual].tag = (q->is_param ? "$" : "=") + q->constant;
+        }
+        Build(q->path, {qual});
+        g_.nodes[n].qual_children.push_back(qual);
+        return;
+      }
+      case QualKind::kOr:
+      case QualKind::kNot:
+      case QualKind::kAttrEq:
+      case QualKind::kAttrExists:
+        // No sound structural representation; treated as opaque.
+        g_.imprecise = true;
+        return;
+    }
+  }
+
+  const DtdGraph& graph_;
+  const Dtd& dtd_;
+  TypeReach type_reach_;
+  ImageGraph g_;
+  std::vector<int> epochs_;
+  int epoch_ = 0;
+  int epoch_counter_ = 0;
+};
+
+}  // namespace
+
+std::vector<TypeId> TypeLevelReach(const DtdGraph& graph, const PathPtr& p,
+                                   TypeId t) {
+  return TypeReach(graph).Reach(p, t);
+}
+
+ImageGraph BuildImageGraph(const DtdGraph& graph, const PathPtr& p, TypeId a) {
+  return Builder(graph).BuildPath(p, a);
+}
+
+ImageGraph BuildQualifierImage(const DtdGraph& graph, const QualPtr& q,
+                               TypeId a) {
+  return Builder(graph).BuildQual(q, a);
+}
+
+std::string ToDebugString(const ImageGraph& g, const Dtd& dtd) {
+  std::string out;
+  if (g.empty()) return "(empty image)\n";
+  for (int i = 0; i < g.size(); ++i) {
+    const ImageGraph::Node& n = g.nodes[i];
+    out += "#" + std::to_string(i) + " ";
+    if (n.is_qual) out += "[]";
+    out += dtd.TypeName(n.label);
+    if (!n.tag.empty()) out += n.tag;
+    if (i == g.root) out += " (root)";
+    out += " ->";
+    for (int c : n.children) out += " #" + std::to_string(c);
+    for (int c : n.qual_children) out += " [#" + std::to_string(c) + "]";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace secview

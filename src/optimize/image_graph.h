@@ -1,0 +1,82 @@
+#ifndef SECVIEW_OPTIMIZE_IMAGE_GRAPH_H_
+#define SECVIEW_OPTIMIZE_IMAGE_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "dtd/dtd.h"
+#include "dtd/graph.h"
+#include "xpath/ast.h"
+
+namespace secview {
+
+/// The image graph of a query p at a DTD node A (paper Section 5.1): a
+/// graph rooted at A containing all DTD nodes reached from A via p along
+/// with the paths leading to them. Qualifiers appear as children labeled
+/// '[]' whose subtree is the image of the qualifier's path; an equality
+/// qualifier [p = c] carries the constant as a tag that must match during
+/// simulation.
+///
+/// Nodes of the same type under the same parent are merged, layer by
+/// layer, *except* when they carry qualifier children: merging branch
+/// qualifiers would turn a disjunction of constraints into a conjunction
+/// and break the soundness of the simulation containment test
+/// (Proposition 5.1). When such a merge would be required (a union whose
+/// branches impose different qualifiers on the same node) the graph is
+/// marked `imprecise` and the containment test conservatively fails.
+struct ImageGraph {
+  struct Node {
+    /// DTD TypeId of the node. '[]' nodes keep the type of the context
+    /// node they constrain.
+    int label = kNullType;
+    /// True for '[]' (qualifier) nodes.
+    bool is_qual = false;
+    /// True for nodes in the result frontier of p. The containment test
+    /// must distinguish result nodes from intermediate ones: '//.' and
+    /// '//*' traverse identical DTD paths but return different nodes.
+    bool is_frontier = false;
+    /// For '[]' nodes from [p = c]: the constant (with a marker prefix
+    /// for $parameters). Empty for plain existence qualifiers.
+    std::string tag;
+    std::vector<int> children;
+    /// '[]' children of this node, kept separately (simulation treats
+    /// them with reversed direction).
+    std::vector<int> qual_children;
+  };
+
+  std::vector<Node> nodes;
+  int root = -1;                 // -1 == empty graph (p is empty at A)
+  std::vector<int> frontier;     // nodes reached by p itself
+  bool imprecise = false;        // see class comment
+
+  bool empty() const { return root == -1; }
+  int size() const { return static_cast<int>(nodes.size()); }
+};
+
+/// Builds image(p, A). `p` must not contain kEmptySet short-circuits the
+/// caller cares about — an empty result graph means p reaches nothing
+/// from A. Requires a non-recursive document DTD (recursive DTDs are
+/// unfolded upstream, Section 4.2).
+///
+/// Qualifiers are embedded structurally; constant folding against DTD
+/// constraints happens in optimize/constraints.h before images are built.
+ImageGraph BuildImageGraph(const DtdGraph& graph, const PathPtr& p, TypeId a);
+
+/// Builds the image of a qualifier at A: a graph whose root is a '[]'
+/// node (paper's image([q], A)). Empty when the qualifier has no path
+/// structure to compare (kTrue/kFalse/kAttrEq).
+ImageGraph BuildQualifierImage(const DtdGraph& graph, const QualPtr& q,
+                               TypeId a);
+
+/// Multi-line rendering for tests and debugging.
+std::string ToDebugString(const ImageGraph& g, const Dtd& dtd);
+
+/// Type-level reachability: the set of DTD types reached from `t` via `p`,
+/// ignoring qualifiers. Sorted. Shared by the image builder and the
+/// constraint evaluator.
+std::vector<TypeId> TypeLevelReach(const DtdGraph& graph, const PathPtr& p,
+                                   TypeId t);
+
+}  // namespace secview
+
+#endif  // SECVIEW_OPTIMIZE_IMAGE_GRAPH_H_

@@ -1,0 +1,208 @@
+#include "optimize/optimizer.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "optimize/image_graph.h"
+#include "optimize/simulation.h"
+
+namespace secview {
+
+namespace {
+
+/// opt(p', A) per target type, mirroring the rewriter's Translation.
+struct OptResult {
+  std::vector<std::pair<TypeId, PathPtr>> by_target;
+
+  bool empty() const { return by_target.empty(); }
+
+  PathPtr Total() const {
+    std::vector<PathPtr> parts;
+    parts.reserve(by_target.size());
+    for (const auto& [target, q] : by_target) {
+      (void)target;
+      parts.push_back(q);
+    }
+    return MakeUnionAll(std::move(parts));
+  }
+
+  void Add(TypeId target, PathPtr q) {
+    for (auto& [t, existing] : by_target) {
+      if (t == target) {
+        existing = MakeUnion(existing, std::move(q));
+        return;
+      }
+    }
+    by_target.emplace_back(target, std::move(q));
+  }
+};
+
+class OptimizeDp {
+ public:
+  OptimizeDp(const DtdGraph& graph, const DtdPathIndex& index)
+      : graph_(graph), dtd_(graph.dtd()), index_(index) {}
+
+  PathPtr Run(const PathPtr& p, TypeId a) {
+    PathPtr normalized = NormalizeQualifierSteps(p);
+    return Opt(normalized, a).Total();
+  }
+
+ private:
+  const OptResult& Opt(const PathPtr& p, TypeId a) {
+    auto& per_type = memo_[p.get()];
+    auto it = per_type.find(a);
+    if (it != per_type.end()) return it->second;
+    OptResult r = Compute(p, a);
+    return per_type.emplace(a, std::move(r)).first->second;
+  }
+
+  OptResult Compute(const PathPtr& p, TypeId a) {
+    OptResult r;
+    switch (p->kind) {
+      case PathKind::kEmptySet:
+        return r;
+      case PathKind::kEpsilon:
+        r.Add(a, MakeEpsilon());
+        return r;
+      case PathKind::kLabel: {
+        // Case 2: keep the step only when the DTD admits it
+        // (non-existence pruning).
+        TypeId c = dtd_.FindType(p->label);
+        if (c != kNullType && dtd_.HasChild(a, c)) r.Add(c, p);
+        return r;
+      }
+      case PathKind::kWildcard: {
+        // Case 3: expand '*' into the concrete child labels.
+        for (TypeId c : graph_.Children(a)) {
+          r.Add(c, MakeLabel(dtd_.TypeName(c)));
+        }
+        return r;
+      }
+      case PathKind::kSlash: {
+        // Case 4, per target.
+        const OptResult first = Opt(p->left, a);
+        for (const auto& [mid, q1] : first.by_target) {
+          const OptResult& second = Opt(p->right, mid);
+          for (const auto& [target, q2] : second.by_target) {
+            r.Add(target, MakeSlash(q1, q2));
+          }
+        }
+        return r;
+      }
+      case PathKind::kDescOrSelf: {
+        // Case 5: expand '//' into the precise label paths recrw(A, B).
+        for (TypeId b : index_.ReachDescOrSelf(a)) {
+          const OptResult& inner = Opt(p->left, b);
+          if (inner.empty()) continue;
+          PathPtr prefix = index_.RecRw(a, b);
+          for (const auto& [target, q] : inner.by_target) {
+            r.Add(target, MakeSlash(prefix, q));
+          }
+        }
+        return r;
+      }
+      case PathKind::kUnion: {
+        // Case 6: approximate containment between the branches. Like the
+        // paper's Example 5.4, the test runs on the *optimized* branches
+        // (p'1, p'2): optimization already pruned structurally-dead arms,
+        // so their images compare cleanly; containment of equivalents
+        // implies containment of the originals.
+        const OptResult left = Opt(p->left, a);
+        const OptResult right = Opt(p->right, a);
+        ImageGraph g1 = BuildImageGraph(graph_, left.Total(), a);
+        ImageGraph g2 = BuildImageGraph(graph_, right.Total(), a);
+        if (Simulates(g1, g2)) return right;  // p1 redundant
+        if (Simulates(g2, g1)) return left;   // p2 redundant
+        for (const auto& [target, q] : left.by_target) r.Add(target, q);
+        for (const auto& [target, q] : right.by_target) r.Add(target, q);
+        return r;
+      }
+      case PathKind::kQualified: {
+        // Case 7: after normalization the qualified path is epsilon.
+        QualPtr optimized = OptQual(p->qualifier, a);
+        QualPtr simplified = SimplifyQualifier(graph_, optimized, a);
+        PathPtr out = MakeQualified(MakeEpsilon(), std::move(simplified));
+        if (out->kind != PathKind::kEmptySet) r.Add(a, std::move(out));
+        return r;
+      }
+    }
+    return r;
+  }
+
+  /// Optimizes the paths inside a qualifier at context type `a` (the
+  /// boolean structure is simplified afterwards by SimplifyQualifier).
+  QualPtr OptQual(const QualPtr& q, TypeId a) {
+    switch (q->kind) {
+      case QualKind::kTrue:
+      case QualKind::kFalse:
+      case QualKind::kAttrEq:
+      case QualKind::kAttrExists:
+        return q;
+      case QualKind::kPath:
+        return MakeQualPath(Opt(q->path, a).Total());
+      case QualKind::kPathEqConst:
+        return MakeQualEq(Opt(q->path, a).Total(), q->constant, q->is_param);
+      case QualKind::kAnd:
+        return MakeQualAnd(OptQual(q->left, a), OptQual(q->right, a));
+      case QualKind::kOr:
+        return MakeQualOr(OptQual(q->left, a), OptQual(q->right, a));
+      case QualKind::kNot:
+        return MakeQualNot(OptQual(q->left, a));
+    }
+    return q;
+  }
+
+  const DtdGraph& graph_;
+  const Dtd& dtd_;
+  const DtdPathIndex& index_;
+  std::unordered_map<const PathExpr*, std::unordered_map<TypeId, OptResult>>
+      memo_;
+};
+
+}  // namespace
+
+Result<QueryOptimizer> QueryOptimizer::Create(const Dtd& dtd) {
+  if (!dtd.finalized()) {
+    return Status::FailedPrecondition("DTD is not finalized");
+  }
+  auto graph = std::make_unique<DtdGraph>(dtd);
+  SECVIEW_ASSIGN_OR_RETURN(DtdPathIndex index, DtdPathIndex::Compute(*graph));
+  return QueryOptimizer(std::move(graph), std::move(index));
+}
+
+Result<PathPtr> QueryOptimizer::Optimize(const PathPtr& p) const {
+  return OptimizeAt(p, dtd().root());
+}
+
+Result<PathPtr> QueryOptimizer::OptimizeAt(const PathPtr& p, TypeId a) const {
+  if (!p) return Status::InvalidArgument("null query");
+  if (a == kNullType || a >= dtd().NumTypes()) {
+    return Status::InvalidArgument("invalid context type");
+  }
+  OptimizeDp dp(*graph_, index_);
+  return dp.Run(p, a);
+}
+
+Result<bool> IsContainedIn(const DtdGraph& graph, const PathPtr& p1,
+                           const PathPtr& p2, TypeId a) {
+  if (!p1 || !p2) return Status::InvalidArgument("null query");
+  if (graph.IsRecursive()) {
+    return Status::FailedPrecondition(
+        "the containment test requires a non-recursive DTD");
+  }
+  if (a == kNullType || a >= graph.dtd().NumTypes()) {
+    return Status::InvalidArgument("invalid context type");
+  }
+  ImageGraph g1 = BuildImageGraph(graph, NormalizeQualifierSteps(p1), a);
+  ImageGraph g2 = BuildImageGraph(graph, NormalizeQualifierSteps(p2), a);
+  return Simulates(g1, g2);
+}
+
+PathPtr OptimizeOrPassThrough(const Dtd& dtd, const PathPtr& p) {
+  Result<QueryOptimizer> optimizer = QueryOptimizer::Create(dtd);
+  if (!optimizer.ok()) return p;
+  Result<PathPtr> optimized = optimizer->Optimize(p);
+  return optimized.ok() ? std::move(optimized).value() : p;
+}
+
+}  // namespace secview

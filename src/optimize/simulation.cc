@@ -1,0 +1,116 @@
+#include "optimize/simulation.h"
+
+#include <vector>
+
+namespace secview {
+
+namespace {
+
+/// The two mutually-recursive relations: fwd[i][j] — node i of ga is
+/// simulated by node j of gb; rev[j][i] — node j of gb is simulated by
+/// node i of ga (needed because '[]' children flip direction).
+struct SimState {
+  const ImageGraph* g1;
+  const ImageGraph* g2;
+  std::vector<std::vector<bool>> fwd;  // g1 node simulated by g2 node
+  std::vector<std::vector<bool>> rev;  // g2 node simulated by g1 node
+};
+
+/// Can node `a` be simulated by node `b`? Labels and kinds must agree.
+/// For '[]' nodes, simu(a, b) witnesses "b's constraint implies a's", so
+/// an equality tag on `a` must be matched exactly by `b`, while a bare
+/// existence `a` is implied by any tag on `b`. A result (frontier) node
+/// can only be simulated by a result node — '//.' and '//*' share DTD
+/// paths but not result sets.
+bool LabelsCompatible(const ImageGraph::Node& a, const ImageGraph::Node& b) {
+  if (a.label != b.label || a.is_qual != b.is_qual) return false;
+  if (!(a.tag == b.tag || (a.is_qual && a.tag.empty()))) return false;
+  if (a.is_frontier && !b.is_frontier) return false;
+  return true;
+}
+
+/// One refinement pass over `rel` (nodes of `ga` simulated by nodes of
+/// `gb`, with `coRel` the opposite direction). Returns true if any entry
+/// was cleared.
+bool Refine(const ImageGraph& ga, const ImageGraph& gb,
+            std::vector<std::vector<bool>>& rel,
+            std::vector<std::vector<bool>>& co_rel) {
+  bool changed = false;
+  for (int i = 0; i < ga.size(); ++i) {
+    for (int j = 0; j < gb.size(); ++j) {
+      if (!rel[i][j]) continue;
+      const ImageGraph::Node& a = ga.nodes[i];
+      const ImageGraph::Node& b = gb.nodes[j];
+      bool ok = true;
+      // (2) every ordinary child of a must be simulated by some child
+      // of b.
+      for (int x : a.children) {
+        bool found = false;
+        for (int y : b.children) {
+          if (rel[x][y]) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          ok = false;
+          break;
+        }
+      }
+      // (3) every '[]' child of b must be simulated (direction flipped)
+      // by some '[]' child of a.
+      if (ok) {
+        for (int y : b.qual_children) {
+          bool found = false;
+          for (int x : a.qual_children) {
+            if (co_rel[y][x]) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (!ok) {
+        rel[i][j] = false;
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+bool Simulates(const ImageGraph& g1, const ImageGraph& g2) {
+  if (g1.empty()) return true;   // the empty query is contained in anything
+  if (g2.empty()) return false;  // nothing non-empty fits into empty
+  if (g1.imprecise || g2.imprecise) return false;  // conservative
+
+  SimState state;
+  state.g1 = &g1;
+  state.g2 = &g2;
+  state.fwd.assign(g1.size(), std::vector<bool>(g2.size(), false));
+  state.rev.assign(g2.size(), std::vector<bool>(g1.size(), false));
+  for (int i = 0; i < g1.size(); ++i) {
+    for (int j = 0; j < g2.size(); ++j) {
+      // Compatibility is direction-sensitive (tags, frontiers).
+      state.fwd[i][j] = LabelsCompatible(g1.nodes[i], g2.nodes[j]);
+      state.rev[j][i] = LabelsCompatible(g2.nodes[j], g1.nodes[i]);
+    }
+  }
+
+  // Greatest fixpoint: alternate refinement until both matrices are
+  // stable.
+  while (true) {
+    bool c1 = Refine(g1, g2, state.fwd, state.rev);
+    bool c2 = Refine(g2, g1, state.rev, state.fwd);
+    if (!c1 && !c2) break;
+  }
+  return state.fwd[g1.root][g2.root];
+}
+
+}  // namespace secview

@@ -1,0 +1,71 @@
+#include "rewrite/rec_paths.h"
+
+#include <deque>
+
+namespace secview {
+
+namespace {
+
+/// Topological order of the view DTD graph (parents before children).
+/// Returns an empty vector when the graph has a cycle.
+std::vector<ViewTypeId> TopologicalOrder(const SecurityView& view) {
+  const int n = view.NumTypes();
+  std::vector<int> indeg(n, 0);
+  for (ViewTypeId v = 0; v < n; ++v) {
+    for (const SecurityView::Edge& e : view.Edges(v)) ++indeg[e.child];
+  }
+  std::deque<ViewTypeId> queue;
+  for (ViewTypeId v = 0; v < n; ++v) {
+    if (indeg[v] == 0) queue.push_back(v);
+  }
+  std::vector<ViewTypeId> topo;
+  topo.reserve(n);
+  while (!queue.empty()) {
+    ViewTypeId v = queue.front();
+    queue.pop_front();
+    topo.push_back(v);
+    for (const SecurityView::Edge& e : view.Edges(v)) {
+      if (--indeg[e.child] == 0) queue.push_back(e.child);
+    }
+  }
+  if (static_cast<int>(topo.size()) != n) topo.clear();  // cycle
+  return topo;
+}
+
+}  // namespace
+
+Result<ViewReachability> ViewReachability::Compute(const SecurityView& view) {
+  std::vector<ViewTypeId> topo = TopologicalOrder(view);
+  if (topo.empty() && view.NumTypes() > 0) {
+    return Status::FailedPrecondition(
+        "recProc requires a non-recursive (DAG) view DTD; unfold the "
+        "recursive view first (rewrite/unfold.h)");
+  }
+
+  const int n = view.NumTypes();
+  ViewReachability result;
+  result.reach_.resize(n);
+  result.recrw_.assign(n, std::vector<PathPtr>(n));
+
+  for (ViewTypeId a = 0; a < n; ++a) {
+    std::vector<PathPtr>& expr = result.recrw_[a];
+    expr[a] = MakeEpsilon();
+    // One pass in topological order: every reachable node's expression is
+    // final before its children consume it.
+    for (ViewTypeId x : topo) {
+      if (!expr[x]) continue;
+      for (const SecurityView::Edge& e : view.Edges(x)) {
+        PathPtr step = MakeSlash(expr[x], e.sigma);
+        expr[e.child] = expr[e.child] ? MakeUnion(expr[e.child], step)
+                                      : std::move(step);
+      }
+    }
+    result.reach_[a].push_back(a);
+    for (ViewTypeId b = 0; b < n; ++b) {
+      if (b != a && expr[b]) result.reach_[a].push_back(b);
+    }
+  }
+  return result;
+}
+
+}  // namespace secview

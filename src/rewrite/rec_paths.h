@@ -1,0 +1,53 @@
+#ifndef SECVIEW_REWRITE_REC_PATHS_H_
+#define SECVIEW_REWRITE_REC_PATHS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "security/security_view.h"
+
+namespace secview {
+
+/// Precomputation for the fixed query '//' over a non-recursive (DAG)
+/// view DTD — the paper's procedure recProc (Fig. 6). For every view
+/// type A it computes
+///
+///   * reach(//, A): the view types reachable from A via zero or more
+///     edges (descendant-or-self, so A itself is included), and
+///   * recrw(A, B): an XPath query over the *document* that captures all
+///     label paths from A to B in the view DTD, with the sigma
+///     annotations substituted along the way. recrw(A, A) = epsilon.
+///
+/// The paper avoids path-enumeration blowup with symbolic Z_x variables
+/// plus a topological substitution pass; the equivalent formulation used
+/// here processes types in topological order and reuses the already-built
+/// (shared, immutable) expression of each intermediate node:
+///
+///   expr(A) = epsilon;  expr(y) = U_{x -> y} expr(x) / sigma(x, y)
+///
+/// so each intermediate node's prefix expression is included once and the
+/// result is DAG-shared, keeping recrw(A, B) linear in |Dv|.
+class ViewReachability {
+ public:
+  /// Fails with FailedPrecondition on recursive views (unfold them first;
+  /// see rewrite/unfold.h).
+  static Result<ViewReachability> Compute(const SecurityView& view);
+
+  /// Descendant-or-self set of `a` (a first, then BFS order).
+  const std::vector<ViewTypeId>& ReachDescOrSelf(ViewTypeId a) const {
+    return reach_[a];
+  }
+
+  /// recrw(a, b); null when b is not reachable from a.
+  PathPtr RecRw(ViewTypeId a, ViewTypeId b) const { return recrw_[a][b]; }
+
+ private:
+  ViewReachability() = default;
+
+  std::vector<std::vector<ViewTypeId>> reach_;
+  std::vector<std::vector<PathPtr>> recrw_;  // [a][b], null if unreachable
+};
+
+}  // namespace secview
+
+#endif  // SECVIEW_REWRITE_REC_PATHS_H_

@@ -1,0 +1,211 @@
+#include "rewrite/rewriter.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "rewrite/unfold.h"
+
+namespace secview {
+
+namespace {
+
+/// rw(p', A) as a per-target map: target view type -> document query
+/// landing exactly on that type's nodes. Sorted by target id.
+struct Translation {
+  std::vector<std::pair<ViewTypeId, PathPtr>> by_target;
+
+  bool empty() const { return by_target.empty(); }
+
+  PathPtr Total() const {
+    std::vector<PathPtr> parts;
+    parts.reserve(by_target.size());
+    for (const auto& [target, q] : by_target) {
+      (void)target;
+      parts.push_back(q);
+    }
+    return MakeUnionAll(std::move(parts));
+  }
+
+  void Add(ViewTypeId target, PathPtr q) {
+    for (auto& [t, existing] : by_target) {
+      if (t == target) {
+        existing = MakeUnion(existing, std::move(q));
+        return;
+      }
+    }
+    by_target.emplace_back(target, std::move(q));
+  }
+};
+
+/// The memoized dynamic program. Keyed on AST node identity — shared
+/// subexpressions (common after parsing) are rewritten once per view
+/// type, giving the O(|p| * |Dv|^2) bound.
+class RewriteDp {
+ public:
+  RewriteDp(const SecurityView& view, const ViewReachability& reach)
+      : view_(view), reach_(reach) {}
+
+  Result<PathPtr> Run(const PathPtr& p) {
+    PathPtr normalized = NormalizeQualifierSteps(p);
+    const Translation& t = Rw(normalized, view_.root());
+    return t.Total();
+  }
+
+ private:
+  const Translation& Rw(const PathPtr& p, ViewTypeId a) {
+    auto& per_type = path_memo_[p.get()];
+    auto it = per_type.find(a);
+    if (it != per_type.end()) return it->second;
+    Translation t = Compute(p, a);
+    return per_type.emplace(a, std::move(t)).first->second;
+  }
+
+  Translation Compute(const PathPtr& p, ViewTypeId a) {
+    Translation t;
+    switch (p->kind) {
+      case PathKind::kEmptySet:
+        return t;
+      case PathKind::kEpsilon:
+        t.Add(a, MakeEpsilon());
+        return t;
+      case PathKind::kLabel: {
+        // Case 2: l is a child type of A -> sigma(A, l), else empty.
+        for (const SecurityView::Edge& e : view_.Edges(a)) {
+          if (view_.type(e.child).base_label == p->label) {
+            t.Add(e.child, e.sigma);
+          }
+        }
+        return t;
+      }
+      case PathKind::kWildcard: {
+        // Case 3: union of sigma(A, v) over all child types v.
+        for (const SecurityView::Edge& e : view_.Edges(a)) {
+          t.Add(e.child, e.sigma);
+        }
+        return t;
+      }
+      case PathKind::kSlash: {
+        // Case 4, per target: U_B rw(p1,A)[B] / rw(p2,B)[.].
+        const Translation first = Rw(p->left, a);
+        for (const auto& [mid, q1] : first.by_target) {
+          const Translation& second = Rw(p->right, mid);
+          for (const auto& [target, q2] : second.by_target) {
+            t.Add(target, MakeSlash(q1, q2));
+          }
+        }
+        return t;
+      }
+      case PathKind::kDescOrSelf: {
+        // Case 5: precomputed reach(//, A) and recrw(A, B).
+        for (ViewTypeId b : reach_.ReachDescOrSelf(a)) {
+          const Translation& inner = Rw(p->left, b);
+          if (inner.empty()) continue;
+          PathPtr prefix = reach_.RecRw(a, b);
+          for (const auto& [target, q] : inner.by_target) {
+            t.Add(target, MakeSlash(prefix, q));
+          }
+        }
+        return t;
+      }
+      case PathKind::kUnion: {
+        const Translation left = Rw(p->left, a);
+        const Translation right = Rw(p->right, a);
+        for (const auto& [target, q] : left.by_target) t.Add(target, q);
+        for (const auto& [target, q] : right.by_target) t.Add(target, q);
+        return t;
+      }
+      case PathKind::kQualified: {
+        // After normalization the qualified path is always epsilon
+        // (case 7): .[q] stays at A with the qualifier rewritten at A.
+        QualPtr rewritten = RwQual(p->qualifier, a);
+        t.Add(a, MakeQualified(MakeEpsilon(), std::move(rewritten)));
+        return t;
+      }
+    }
+    return t;
+  }
+
+  /// Cases 8-12: qualifier translation at view type `a`.
+  QualPtr RwQual(const QualPtr& q, ViewTypeId a) {
+    switch (q->kind) {
+      case QualKind::kTrue:
+      case QualKind::kFalse:
+        return q;
+      case QualKind::kAttrEq:
+      case QualKind::kAttrExists:
+        // Attributes the view conceals do not exist for its users: the
+        // test is false on the view, so it must not consult the document.
+        if (view_.type(a).all_attributes_hidden ||
+            view_.IsAttributeHidden(a, q->attr)) {
+          return MakeQualFalse();
+        }
+        return q;
+      case QualKind::kPath: {
+        const Translation& t = Rw(q->path, a);
+        return MakeQualPath(t.Total());
+      }
+      case QualKind::kPathEqConst: {
+        // Per target: types whose text the view conceals must be compared
+        // against the view's (empty) text, not the document's.
+        const Translation& t = Rw(q->path, a);
+        QualPtr out = MakeQualFalse();
+        for (const auto& [target, path] : t.by_target) {
+          QualPtr piece;
+          if (!view_.type(target).text_hidden) {
+            piece = MakeQualEq(path, q->constant, q->is_param);
+          } else if (q->constant.empty() && !q->is_param) {
+            // The view node's text is always ""; equality degenerates to
+            // existence.
+            piece = MakeQualPath(path);
+          } else {
+            continue;  // can never hold in the view
+          }
+          out = MakeQualOr(std::move(out), std::move(piece));
+        }
+        return out;
+      }
+      case QualKind::kAnd:
+        return MakeQualAnd(RwQual(q->left, a), RwQual(q->right, a));
+      case QualKind::kOr:
+        return MakeQualOr(RwQual(q->left, a), RwQual(q->right, a));
+      case QualKind::kNot:
+        return MakeQualNot(RwQual(q->left, a));
+    }
+    return q;
+  }
+
+  const SecurityView& view_;
+  const ViewReachability& reach_;
+  std::unordered_map<const PathExpr*, std::unordered_map<ViewTypeId, Translation>>
+      path_memo_;
+};
+
+}  // namespace
+
+Result<QueryRewriter> QueryRewriter::Create(const SecurityView& view) {
+  SECVIEW_ASSIGN_OR_RETURN(ViewReachability reach,
+                           ViewReachability::Compute(view));
+  return QueryRewriter(view, std::move(reach));
+}
+
+Result<PathPtr> QueryRewriter::Rewrite(const PathPtr& p) const {
+  if (!p) return Status::InvalidArgument("null query");
+  RewriteDp dp(*view_, reach_);
+  return dp.Run(p);
+}
+
+Result<PathPtr> RewriteForDocument(const SecurityView& view, const PathPtr& p,
+                                   int doc_height) {
+  if (!view.IsRecursive()) {
+    SECVIEW_ASSIGN_OR_RETURN(QueryRewriter rewriter,
+                             QueryRewriter::Create(view));
+    return rewriter.Rewrite(p);
+  }
+  SECVIEW_ASSIGN_OR_RETURN(SecurityView unfolded,
+                           UnfoldView(view, doc_height));
+  SECVIEW_ASSIGN_OR_RETURN(QueryRewriter rewriter,
+                           QueryRewriter::Create(unfolded));
+  return rewriter.Rewrite(p);
+}
+
+}  // namespace secview

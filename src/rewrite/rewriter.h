@@ -1,0 +1,68 @@
+#ifndef SECVIEW_REWRITE_REWRITER_H_
+#define SECVIEW_REWRITE_REWRITER_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "rewrite/rec_paths.h"
+#include "security/security_view.h"
+#include "xpath/ast.h"
+
+namespace secview {
+
+/// Algorithm rewrite (paper Fig. 6): transforms an XPath query p posed
+/// over a security view into an equivalent query p_t over the original
+/// document, in O(|p| * |Dv|^2) time, so that p over the (virtual) view
+/// and p_t over the document return the same nodes.
+///
+/// The dynamic program computes, for each sub-query p' and view type A,
+/// the local translation rw(p', A) together with reach(p', A). Two
+/// faithful-but-careful deviations from the paper's pseudo-code:
+///
+///  * Qualified steps p[q] are normalized to p / .[q] first, so qualifiers
+///    are always rewritten at a definite view type (the paper's case 7).
+///  * The translation is kept *per target type*: rw(p', A) maps each
+///    B in reach(p', A) to a document query landing exactly on B-typed
+///    nodes. The paper's factored form rw(p1,A)/(U_B rw(p2,B)) can leak:
+///    a sub-query rewritten for type B may, when evaluated at a node of a
+///    different type B', match document nodes that are hidden in the
+///    view. Keeping targets separate composes only exact translations and
+///    preserves the complexity bound.
+///
+///  * [p = c] qualifiers whose path reaches a view type that conceals the
+///    document's text content (SecurityView::ViewType::text_hidden) are
+///    rewritten against the *view's* text semantics (no text), not the
+///    document's, closing a text-equality inference channel.
+class QueryRewriter {
+ public:
+  /// Fails on recursive views — unfold first (rewrite/unfold.h) or use
+  /// RewriteForDocument below.
+  static Result<QueryRewriter> Create(const SecurityView& view);
+
+  QueryRewriter(QueryRewriter&&) = default;
+  QueryRewriter& operator=(QueryRewriter&&) = default;
+
+  /// Rewrites a query over the view into the equivalent query over the
+  /// document, to be evaluated at the document root.
+  Result<PathPtr> Rewrite(const PathPtr& p) const;
+
+  const SecurityView& view() const { return *view_; }
+  const ViewReachability& reachability() const { return reach_; }
+
+ private:
+  QueryRewriter(const SecurityView& view, ViewReachability reach)
+      : view_(&view), reach_(std::move(reach)) {}
+
+  const SecurityView* view_;
+  ViewReachability reach_;
+};
+
+/// Convenience for possibly-recursive views: when `view` is recursive it
+/// is first unfolded to `doc_height` levels (Section 4.2 — the height of
+/// the concrete document bounds the unfolding), then rewritten.
+Result<PathPtr> RewriteForDocument(const SecurityView& view, const PathPtr& p,
+                                   int doc_height);
+
+}  // namespace secview
+
+#endif  // SECVIEW_REWRITE_REWRITER_H_

@@ -1,0 +1,87 @@
+#include "rewrite/unfold.h"
+
+#include <deque>
+#include <unordered_map>
+
+namespace secview {
+
+Result<SecurityView> UnfoldView(const SecurityView& view, int depth) {
+  if (depth < 0) {
+    return Status::InvalidArgument("unfold depth must be non-negative");
+  }
+
+  SecurityView out(view.doc_dtd());
+
+  // BFS over (type, level) pairs, creating one copy per pair.
+  auto key = [&](ViewTypeId t, int level) {
+    return static_cast<int64_t>(t) * (depth + 2) + level;
+  };
+  std::unordered_map<int64_t, ViewTypeId> copies;
+  std::deque<std::pair<ViewTypeId, int>> queue;
+
+  auto get_copy = [&](ViewTypeId t, int level) {
+    auto it = copies.find(key(t, level));
+    if (it != copies.end()) return it->second;
+    const SecurityView::ViewType& src = view.type(t);
+    std::string name = src.name + "@" + std::to_string(level);
+    ViewTypeId id = out.AddType(std::move(name), src.is_dummy, src.doc_type,
+                                src.base_label);
+    out.SetTextHidden(id, src.text_hidden);
+    out.SetHiddenAttributes(id, src.hidden_attributes);
+    if (src.all_attributes_hidden) out.SetAllAttributesHidden(id);
+    copies.emplace(key(t, level), id);
+    queue.emplace_back(t, level);
+    return id;
+  };
+
+  get_copy(view.root(), 0);
+
+  while (!queue.empty()) {
+    auto [t, level] = queue.front();
+    queue.pop_front();
+    ViewTypeId copy_id = copies.at(key(t, level));
+    const ViewProduction& src = view.Production(t);
+    ViewProduction prod;
+
+    if (level >= depth) {
+      // Leaf level: children would live below the document's height.
+      prod.kind = src.kind == ViewProduction::Kind::kText
+                      ? ViewProduction::Kind::kText
+                      : ViewProduction::Kind::kEmpty;
+      out.SetProduction(copy_id, std::move(prod));
+      continue;
+    }
+
+    switch (src.kind) {
+      case ViewProduction::Kind::kEmpty:
+      case ViewProduction::Kind::kText:
+        prod.kind = src.kind;
+        break;
+      case ViewProduction::Kind::kFields: {
+        prod.kind = ViewProduction::Kind::kFields;
+        for (const ViewField& f : src.fields) {
+          ViewTypeId child = view.FindType(f.child);
+          ViewTypeId child_copy = get_copy(child, level + 1);
+          prod.fields.push_back(
+              ViewField{out.TypeName(child_copy), f.mult, f.sigma});
+        }
+        break;
+      }
+      case ViewProduction::Kind::kChoice: {
+        prod.kind = ViewProduction::Kind::kChoice;
+        for (const ViewChoice::Alt& alt : src.choice.alts) {
+          ViewTypeId child = view.FindType(alt.child);
+          ViewTypeId child_copy = get_copy(child, level + 1);
+          prod.choice.alts.push_back(
+              ViewChoice::Alt{out.TypeName(child_copy), alt.sigma});
+        }
+        break;
+      }
+    }
+    out.SetProduction(copy_id, std::move(prod));
+  }
+
+  return out;
+}
+
+}  // namespace secview

@@ -1,0 +1,23 @@
+#ifndef SECVIEW_REWRITE_UNFOLD_H_
+#define SECVIEW_REWRITE_UNFOLD_H_
+
+#include "common/result.h"
+#include "security/security_view.h"
+
+namespace secview {
+
+/// Unfolds a (recursive) security view into a non-recursive DAG view of
+/// `depth` levels (paper Section 4.2). A view type T reachable at level k
+/// becomes a copy named "T@k" whose base_label stays T, so user queries
+/// still match by the original labels; sigma annotations are unchanged
+/// (they are document queries). Edges from level `depth` are cut — a
+/// document of height <= depth has no nodes below that level, so the
+/// unfolded view is equivalent over such documents.
+///
+/// The root is at level 0. `depth` must be >= 0; pass the concrete
+/// document's height (XmlTree::Height).
+Result<SecurityView> UnfoldView(const SecurityView& view, int depth);
+
+}  // namespace secview
+
+#endif  // SECVIEW_REWRITE_UNFOLD_H_

@@ -1,0 +1,230 @@
+#include "security/access_spec.h"
+
+#include <algorithm>
+
+#include "xpath/printer.h"
+
+namespace secview {
+
+std::string Annotation::ToString() const {
+  switch (kind) {
+    case AnnotationKind::kYes:
+      return "Y";
+    case AnnotationKind::kNo:
+      return "N";
+    case AnnotationKind::kQualifier:
+      return "[" + ToXPathString(qualifier) + "]";
+  }
+  return "?";
+}
+
+AccessSpec::AccessSpec(const Dtd& dtd) : dtd_(&dtd) {}
+
+Status AccessSpec::Annotate(std::string_view parent, std::string_view child,
+                            Annotation annotation) {
+  TypeId p = dtd_->FindType(parent);
+  if (p == kNullType) {
+    return Status::NotFound("unknown element type '" + std::string(parent) +
+                            "' in annotation");
+  }
+  TypeId c = dtd_->FindType(child);
+  if (c == kNullType) {
+    return Status::NotFound("unknown element type '" + std::string(child) +
+                            "' in annotation");
+  }
+  if (annotation.kind == AnnotationKind::kQualifier && !annotation.qualifier) {
+    return Status::InvalidArgument("qualifier annotation without a qualifier");
+  }
+  if (dtd_->HasChild(p, c)) {
+    annotations_[Key(p, c)] = std::move(annotation);
+    return Status::OK();
+  }
+  // Auxiliary types introduced by DTD normalization are transparent:
+  // ann(book, price) written against the *original* DTD resolves to the
+  // actual edge(s) (aux, price) reachable from `parent` through
+  // auxiliary types only. Aux types stay unannotated and inherit, so the
+  // semantics matches the original intent.
+  std::vector<TypeId> frontier{p};
+  std::vector<bool> seen(dtd_->NumTypes(), false);
+  seen[p] = true;
+  std::vector<TypeId> aux_parents;
+  while (!frontier.empty()) {
+    TypeId current = frontier.back();
+    frontier.pop_back();
+    for (const std::string& name : dtd_->Content(current).types()) {
+      TypeId t = dtd_->FindType(name);
+      if (t == c && dtd_->IsAuxiliary(current)) {
+        aux_parents.push_back(current);
+      } else if (dtd_->IsAuxiliary(t) && !seen[t]) {
+        seen[t] = true;
+        frontier.push_back(t);
+      }
+    }
+  }
+  if (aux_parents.empty()) {
+    return Status::InvalidArgument(
+        "'" + std::string(child) + "' does not occur in the production of '" +
+        std::string(parent) + "'");
+  }
+  for (TypeId aux : aux_parents) {
+    annotations_[Key(aux, c)] = annotation;
+  }
+  return Status::OK();
+}
+
+Status AccessSpec::AnnotateText(std::string_view parent,
+                                Annotation annotation) {
+  TypeId p = dtd_->FindType(parent);
+  if (p == kNullType) {
+    return Status::NotFound("unknown element type '" + std::string(parent) +
+                            "' in text annotation");
+  }
+  if (dtd_->Content(p).kind() != ContentKind::kText) {
+    return Status::InvalidArgument("'" + std::string(parent) +
+                                   "' does not have str (PCDATA) content");
+  }
+  if (annotation.kind == AnnotationKind::kQualifier) {
+    return Status::InvalidArgument(
+        "text content annotations must be Y or N");
+  }
+  text_annotations_[p] = std::move(annotation);
+  return Status::OK();
+}
+
+std::optional<Annotation> AccessSpec::Get(TypeId parent, TypeId child) const {
+  auto it = annotations_.find(Key(parent, child));
+  if (it == annotations_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Annotation> AccessSpec::GetText(TypeId parent) const {
+  auto it = text_annotations_.find(parent);
+  if (it == text_annotations_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status AccessSpec::AnnotateAttribute(std::string_view parent,
+                                     std::string_view attr,
+                                     Annotation annotation) {
+  TypeId p = dtd_->FindType(parent);
+  if (p == kNullType) {
+    return Status::NotFound("unknown element type '" + std::string(parent) +
+                            "' in attribute annotation");
+  }
+  if (dtd_->FindAttribute(p, attr) == nullptr) {
+    return Status::NotFound("element type '" + std::string(parent) +
+                            "' declares no attribute '" + std::string(attr) +
+                            "'");
+  }
+  if (annotation.kind == AnnotationKind::kQualifier) {
+    return Status::InvalidArgument("attribute annotations must be Y or N");
+  }
+  attr_hidden_[p][std::string(attr)] =
+      annotation.kind == AnnotationKind::kNo;
+  return Status::OK();
+}
+
+bool AccessSpec::IsAttributeHidden(TypeId parent,
+                                   std::string_view attr) const {
+  auto it = attr_hidden_.find(parent);
+  if (it == attr_hidden_.end()) return false;
+  auto jt = it->second.find(std::string(attr));
+  return jt != it->second.end() && jt->second;
+}
+
+std::vector<std::string> AccessSpec::HiddenAttributes(TypeId parent) const {
+  std::vector<std::string> out;
+  auto it = attr_hidden_.find(parent);
+  if (it == attr_hidden_.end()) return out;
+  for (const auto& [name, hidden] : it->second) {
+    if (hidden) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::tuple<TypeId, TypeId, Annotation>> AccessSpec::AllAnnotations()
+    const {
+  std::vector<std::tuple<TypeId, TypeId, Annotation>> out;
+  out.reserve(annotations_.size());
+  for (const auto& [key, ann] : annotations_) {
+    out.emplace_back(static_cast<TypeId>(key >> 32),
+                     static_cast<TypeId>(key & 0xffffffffu), ann);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) {
+              if (std::get<0>(a) != std::get<0>(b)) {
+                return std::get<0>(a) < std::get<0>(b);
+              }
+              return std::get<1>(a) < std::get<1>(b);
+            });
+  return out;
+}
+
+AccessSpec AccessSpec::Bind(
+    const std::vector<std::pair<std::string, std::string>>& bindings) const {
+  AccessSpec bound(*dtd_);
+  for (const auto& [key, ann] : annotations_) {
+    Annotation copy = ann;
+    if (copy.kind == AnnotationKind::kQualifier) {
+      // Qualifiers are stored as a path qualified by the annotation;
+      // binding rewrites the qualifier through the path API.
+      PathPtr wrapped = MakeQualified(MakeEpsilon(), copy.qualifier);
+      PathPtr bound_path = BindParams(wrapped, bindings);
+      if (bound_path->kind == PathKind::kQualified) {
+        copy.qualifier = bound_path->qualifier;
+      } else if (bound_path->kind == PathKind::kEpsilon) {
+        copy.qualifier = MakeQualTrue();
+      } else {
+        copy.qualifier = MakeQualFalse();
+      }
+    }
+    bound.annotations_[key] = std::move(copy);
+  }
+  bound.text_annotations_ = text_annotations_;
+  bound.attr_hidden_ = attr_hidden_;
+  return bound;
+}
+
+bool AccessSpec::HasUnboundParams() const {
+  for (const auto& [key, ann] : annotations_) {
+    (void)key;
+    if (ann.kind == AnnotationKind::kQualifier &&
+        secview::HasUnboundParams(ann.qualifier)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string AccessSpec::ToString() const {
+  std::string out;
+  for (const auto& [parent, child, ann] : AllAnnotations()) {
+    out += "ann(" + dtd_->TypeName(parent) + ", " + dtd_->TypeName(child) +
+           ") = " + ann.ToString() + "\n";
+  }
+  std::vector<TypeId> text_parents;
+  for (const auto& [parent, ann] : text_annotations_) {
+    (void)ann;
+    text_parents.push_back(parent);
+  }
+  std::sort(text_parents.begin(), text_parents.end());
+  for (TypeId parent : text_parents) {
+    out += "ann(" + dtd_->TypeName(parent) +
+           ", str) = " + text_annotations_.at(parent).ToString() + "\n";
+  }
+  std::vector<TypeId> attr_parents;
+  for (const auto& [parent, attrs] : attr_hidden_) {
+    (void)attrs;
+    attr_parents.push_back(parent);
+  }
+  std::sort(attr_parents.begin(), attr_parents.end());
+  for (TypeId parent : attr_parents) {
+    for (const std::string& attr : HiddenAttributes(parent)) {
+      out += "ann(" + dtd_->TypeName(parent) + ", @" + attr + ") = N\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace secview

@@ -1,0 +1,113 @@
+#ifndef SECVIEW_SECURITY_ACCESS_SPEC_H_
+#define SECVIEW_SECURITY_ACCESS_SPEC_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "dtd/dtd.h"
+#include "xpath/ast.h"
+
+namespace secview {
+
+/// The three security annotations of the paper (Section 3.2):
+/// ann(A,B) ::= Y | [q] | N.
+enum class AnnotationKind {
+  kYes,        ///< Y — accessible
+  kNo,         ///< N — inaccessible
+  kQualifier,  ///< [q] — conditionally accessible
+};
+
+/// One security annotation. `qualifier` is set only for kQualifier.
+struct Annotation {
+  AnnotationKind kind;
+  QualPtr qualifier;  // over the document, relative to the B child
+
+  static Annotation Yes() { return {AnnotationKind::kYes, nullptr}; }
+  static Annotation No() { return {AnnotationKind::kNo, nullptr}; }
+  static Annotation If(QualPtr q) {
+    return {AnnotationKind::kQualifier, std::move(q)};
+  }
+
+  std::string ToString() const;
+};
+
+/// An access specification S = (D, ann): a partial mapping that attaches
+/// annotations to (parent type, child type) pairs of the document DTD's
+/// productions (Section 3.2). Unannotated children inherit the
+/// accessibility of their parent; explicit annotations override it. The
+/// root is implicitly annotated Y.
+///
+/// Qualifier annotations may reference $parameters (the paper's $wardNo);
+/// they stay symbolic in the specification and are bound per user when
+/// the view is used.
+///
+/// The Dtd must be finalized and must outlive the specification.
+class AccessSpec {
+ public:
+  explicit AccessSpec(const Dtd& dtd);
+
+  const Dtd& dtd() const { return *dtd_; }
+
+  /// Annotates the B children of A elements. Fails if either type is
+  /// undefined or B does not occur in A's production.
+  Status Annotate(std::string_view parent, std::string_view child,
+                  Annotation annotation);
+
+  /// Annotates the text (str) content of A elements, the paper's
+  /// ann(A, str). Only Y/N make sense here; qualifiers are rejected.
+  Status AnnotateText(std::string_view parent, Annotation annotation);
+
+  /// The explicit annotation on (parent, child), if any.
+  std::optional<Annotation> Get(TypeId parent, TypeId child) const;
+
+  /// The explicit annotation on (parent, str), if any.
+  std::optional<Annotation> GetText(TypeId parent) const;
+
+  /// Annotates attribute `attr` of A elements, the extension Section 2
+  /// points at ("Attributes ... can be easily incorporated"). Y exposes,
+  /// N conceals; qualifiers are rejected (attribute visibility follows
+  /// the element's accessibility otherwise).
+  Status AnnotateAttribute(std::string_view parent, std::string_view attr,
+                           Annotation annotation);
+
+  /// True iff attribute `attr` of A elements is explicitly hidden.
+  bool IsAttributeHidden(TypeId parent, std::string_view attr) const;
+
+  /// All hidden attributes of `parent`.
+  std::vector<std::string> HiddenAttributes(TypeId parent) const;
+
+  /// All (parent, child, annotation) triples, for display and tests.
+  std::vector<std::tuple<TypeId, TypeId, Annotation>> AllAnnotations() const;
+
+  /// Returns a copy of this specification with $parameters in qualifier
+  /// annotations replaced per `bindings` (name -> value).
+  AccessSpec Bind(
+      const std::vector<std::pair<std::string, std::string>>& bindings) const;
+
+  /// True iff some qualifier annotation still contains an unbound
+  /// $parameter.
+  bool HasUnboundParams() const;
+
+  /// Multi-line rendering in the paper's ann(A,B) = ... syntax.
+  std::string ToString() const;
+
+ private:
+  static uint64_t Key(TypeId parent, TypeId child) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(parent)) << 32) |
+           static_cast<uint32_t>(child);
+  }
+
+  const Dtd* dtd_;
+  std::unordered_map<uint64_t, Annotation> annotations_;
+  std::unordered_map<TypeId, Annotation> text_annotations_;
+  /// (type, attribute name) -> hidden?
+  std::unordered_map<TypeId, std::unordered_map<std::string, bool>>
+      attr_hidden_;
+};
+
+}  // namespace secview
+
+#endif  // SECVIEW_SECURITY_ACCESS_SPEC_H_

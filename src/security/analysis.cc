@@ -1,0 +1,102 @@
+#include "security/analysis.h"
+
+#include "xpath/printer.h"
+
+namespace secview {
+
+namespace {
+
+/// True iff evaluating `p` can filter nodes at run time (contains a
+/// qualifier anywhere).
+bool HasQualifier(const PathPtr& p) {
+  if (!p) return false;
+  switch (p->kind) {
+    case PathKind::kEmptySet:
+    case PathKind::kEpsilon:
+    case PathKind::kLabel:
+    case PathKind::kWildcard:
+      return false;
+    case PathKind::kSlash:
+    case PathKind::kUnion:
+      return HasQualifier(p->left) || HasQualifier(p->right);
+    case PathKind::kDescOrSelf:
+      return HasQualifier(p->left);
+    case PathKind::kQualified:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<CompletenessWarning> AnalyzeViewCompleteness(
+    const SecurityView& view) {
+  std::vector<CompletenessWarning> warnings;
+  const Dtd& dtd = view.doc_dtd();
+
+  for (ViewTypeId id = 0; id < view.NumTypes(); ++id) {
+    const SecurityView::ViewType& type = view.type(id);
+    const ViewProduction& prod = type.production;
+
+    // Dropped disjunction alternatives: the document type has a choice
+    // with k alternatives, but the view's corresponding production keeps
+    // fewer slots.
+    if (type.doc_type != kNullType &&
+        dtd.Content(type.doc_type).kind() == ContentKind::kChoice) {
+      size_t doc_alts = dtd.Content(type.doc_type).types().size();
+      size_t view_alts = 0;
+      switch (prod.kind) {
+        case ViewProduction::Kind::kChoice:
+          view_alts = prod.choice.alts.size();
+          break;
+        case ViewProduction::Kind::kFields:
+          view_alts = prod.fields.size();
+          break;
+        default:
+          view_alts = 0;
+          break;
+      }
+      if (view_alts < doc_alts) {
+        warnings.push_back(CompletenessWarning{
+            view.TypeName(id), "",
+            "the document disjunction " +
+                dtd.Content(type.doc_type).ToString() + " has " +
+                std::to_string(doc_alts - view_alts) +
+                " alternative(s) with no accessible content; instances "
+                "choosing them cannot be represented (materialization "
+                "aborts)"});
+      }
+    }
+
+    // Conditional exactly-one slots.
+    if (prod.kind == ViewProduction::Kind::kFields) {
+      for (const ViewField& field : prod.fields) {
+        if (field.mult == ViewField::Multiplicity::kOne &&
+            HasQualifier(field.sigma)) {
+          warnings.push_back(CompletenessWarning{
+              view.TypeName(id), field.child,
+              "required field '" + field.child +
+                  "' is extracted by the conditional query " +
+                  ToXPathString(field.sigma) +
+                  "; instances where the qualifier fails cannot be "
+                  "represented (materialization aborts)"});
+        }
+      }
+    } else if (prod.kind == ViewProduction::Kind::kChoice) {
+      for (const ViewChoice::Alt& alt : prod.choice.alts) {
+        if (HasQualifier(alt.sigma)) {
+          warnings.push_back(CompletenessWarning{
+              view.TypeName(id), alt.child,
+              "disjunction alternative '" + alt.child +
+                  "' is extracted by the conditional query " +
+                  ToXPathString(alt.sigma) +
+                  "; instances where every alternative's qualifier fails "
+                  "cannot be represented"});
+        }
+      }
+    }
+  }
+  return warnings;
+}
+
+}  // namespace secview

@@ -1,0 +1,43 @@
+#ifndef SECVIEW_SECURITY_ANALYSIS_H_
+#define SECVIEW_SECURITY_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "security/security_view.h"
+
+namespace secview {
+
+/// Static completeness analysis for the security administrator.
+///
+/// Theorem 3.2 guarantees a sound and complete view *iff one exists*:
+/// some specifications admit document instances whose view cannot be
+/// built (materialization aborts, and the corresponding rewritten
+/// queries silently return nothing for the affected region). This
+/// analysis flags the two structural sources of such aborts so the
+/// administrator can adjust the policy:
+///
+///  * a disjunction alternative that was dropped entirely (hidden with
+///    no accessible content): instances choosing it cannot be
+///    represented;
+///  * a conditionally-accessible child in an exactly-one position (a
+///    sequence slot or a disjunction alternative): instances where the
+///    qualifier fails leave the slot unfillable.
+///
+/// Star slots are never flagged (conditional stars just filter).
+struct CompletenessWarning {
+  std::string view_type;   ///< where the abort can occur
+  std::string slot;        ///< the field/alternative concerned
+  std::string description; ///< human-readable explanation
+
+  std::string ToString() const {
+    return view_type + ": " + description;
+  }
+};
+
+std::vector<CompletenessWarning> AnalyzeViewCompleteness(
+    const SecurityView& view);
+
+}  // namespace secview
+
+#endif  // SECVIEW_SECURITY_ANALYSIS_H_

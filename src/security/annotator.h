@@ -1,0 +1,40 @@
+#ifndef SECVIEW_SECURITY_ANNOTATOR_H_
+#define SECVIEW_SECURITY_ANNOTATOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "security/access_spec.h"
+#include "xml/tree.h"
+
+namespace secview {
+
+/// The node-level accessibility labeling of a document w.r.t. an access
+/// specification (paper Section 3.2, Proposition 3.1). `accessible[n]`
+/// holds iff node n is accessible:
+///
+///   (1) its explicit annotation is Y, or is [q] with q true at n, and the
+///       qualifiers of ALL qualifier-annotated ancestors hold at those
+///       ancestors; or
+///   (2) it has no explicit annotation and its parent is accessible.
+///
+/// The root is annotated Y by default. N-annotated nodes are never
+/// accessible, but an explicitly Y-annotated descendant of an N node can
+/// be (overriding).
+struct AccessibilityLabeling {
+  std::vector<bool> accessible;
+
+  int CountAccessible() const;
+};
+
+/// Computes the labeling in one preorder pass. The specification's
+/// qualifier annotations must have all $parameters bound
+/// (AccessSpec::Bind). The tree must be an instance of the spec's DTD for
+/// the result to be meaningful; nodes with undeclared labels are treated
+/// as unannotated.
+Result<AccessibilityLabeling> ComputeAccessibility(const XmlTree& tree,
+                                                   const AccessSpec& spec);
+
+}  // namespace secview
+
+#endif  // SECVIEW_SECURITY_ANNOTATOR_H_

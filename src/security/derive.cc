@@ -1,0 +1,675 @@
+#include "security/derive.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dtd/graph.h"
+
+namespace secview {
+
+namespace {
+
+/// One slot of a reg(B) expression: the closest accessible (or dummy)
+/// descendant reached from the hidden node, with the XPath capturing the
+/// hidden path to it (the paper's path[B, C]).
+struct FrontierItem {
+  std::string view_type;
+  ViewField::Multiplicity mult = ViewField::Multiplicity::kOne;
+  PathPtr path;
+};
+
+/// The result of Proc_InAcc(B): reg(B) plus path[B, .] in one structure.
+/// The kind mirrors the normal form of the expression.
+struct InAccResult {
+  enum class Kind {
+    kPruned,    ///< reg(B) = empty set — B has no accessible descendants
+    kSequence,  ///< C1, ..., Ck (possibly with merged starred items)
+    kChoice,    ///< C1 + ... + Ck
+    kStarItem,  ///< C*
+    kText,      ///< explicitly accessible PCDATA under the hidden node
+  };
+
+  Kind kind = Kind::kPruned;
+  std::vector<FrontierItem> items;  // kSequence: slots; kChoice: alts;
+                                    // kStarItem: exactly one entry
+};
+
+class Deriver {
+ public:
+  explicit Deriver(const AccessSpec& spec)
+      : spec_(spec), dtd_(spec.dtd()), graph_(dtd_), view_(dtd_) {}
+
+  Result<SecurityView> Run() {
+    ComputeCanReachAccessible();
+    ProcAcc(dtd_.root());
+    return std::move(view_);
+  }
+
+ private:
+  enum class ChildClass { kAccessible, kConditional, kInaccessible };
+
+  /// Classifies the (parent, child) edge per the inheritance rule of
+  /// Section 3.2, from the perspective of `parent_accessible`.
+  ChildClass Classify(TypeId parent, TypeId child,
+                      bool parent_accessible) const {
+    std::optional<Annotation> ann = spec_.Get(parent, child);
+    if (!ann.has_value()) {
+      return parent_accessible ? ChildClass::kAccessible
+                               : ChildClass::kInaccessible;
+    }
+    switch (ann->kind) {
+      case AnnotationKind::kYes:
+        return ChildClass::kAccessible;
+      case AnnotationKind::kQualifier:
+        return ChildClass::kConditional;
+      case AnnotationKind::kNo:
+        return ChildClass::kInaccessible;
+    }
+    return ChildClass::kInaccessible;
+  }
+
+  /// The child step of the extraction query: B, or B[q] for conditional
+  /// children (qualifiers are preserved in sigma — Fig. 5 steps 8, 9).
+  PathPtr ChildStep(TypeId parent, TypeId child) const {
+    PathPtr step = MakeLabel(dtd_.TypeName(child));
+    std::optional<Annotation> ann = spec_.Get(parent, child);
+    if (ann.has_value() && ann->kind == AnnotationKind::kQualifier) {
+      step = MakeQualified(std::move(step), ann->qualifier);
+    }
+    return step;
+  }
+
+  /// Least fixpoint: can_reach_acc_[B] holds iff some Y/[q]-annotated
+  /// edge is reachable from B through N/unannotated edges. Drives the
+  /// pruning rule (Fig. 5, step 11).
+  void ComputeCanReachAccessible() {
+    const int n = dtd_.NumTypes();
+    can_reach_acc_.assign(n, false);
+    // A type with explicitly accessible text also counts as a frontier.
+    for (TypeId b = 0; b < n; ++b) {
+      std::optional<Annotation> text_ann = spec_.GetText(b);
+      if (text_ann.has_value() && text_ann->kind == AnnotationKind::kYes) {
+        can_reach_acc_[b] = true;
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (TypeId b = 0; b < n; ++b) {
+        if (can_reach_acc_[b]) continue;
+        for (TypeId c : graph_.Children(b)) {
+          std::optional<Annotation> ann = spec_.Get(b, c);
+          bool frontier =
+              ann.has_value() && ann->kind != AnnotationKind::kNo;
+          if (frontier || ((!ann.has_value() ||
+                            ann->kind == AnnotationKind::kNo) &&
+                           can_reach_acc_[c])) {
+            can_reach_acc_[b] = true;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // -- Proc_Acc ---------------------------------------------------------------
+
+  /// Processes accessible type A: creates the same-named view type and its
+  /// production (Fig. 5, Proc_Acc). Returns its view id. Memoized.
+  ViewTypeId ProcAcc(TypeId a) {
+    auto it = acc_view_.find(a);
+    if (it != acc_view_.end()) return it->second;
+    ViewTypeId id = view_.AddType(dtd_.TypeName(a), /*is_dummy=*/false, a);
+    acc_view_.emplace(a, id);
+    view_.SetHiddenAttributes(id, spec_.HiddenAttributes(a));
+
+    ViewProduction prod = BuildProduction(a);
+    view_.SetTextHidden(id,
+                        dtd_.Content(a).kind() == ContentKind::kText &&
+                            prod.kind != ViewProduction::Kind::kText);
+    view_.SetProduction(id, std::move(prod));
+    return id;
+  }
+
+  ViewProduction BuildProduction(TypeId a) {
+    const ContentModel& cm = dtd_.Content(a);
+    ViewProduction prod;
+    switch (cm.kind()) {
+      case ContentKind::kEmpty:
+        prod.kind = ViewProduction::Kind::kEmpty;
+        return prod;
+      case ContentKind::kText: {
+        std::optional<Annotation> text_ann = spec_.GetText(a);
+        bool hidden = text_ann.has_value() &&
+                      text_ann->kind == AnnotationKind::kNo;
+        prod.kind = hidden ? ViewProduction::Kind::kEmpty
+                           : ViewProduction::Kind::kText;
+        return prod;
+      }
+      case ContentKind::kSequence:
+        return BuildSequence(a, cm);
+      case ContentKind::kChoice:
+        return BuildChoice(a, cm);
+      case ContentKind::kStar:
+        return BuildStar(a, cm);
+    }
+    return prod;
+  }
+
+  ViewProduction BuildSequence(TypeId a, const ContentModel& cm) {
+    std::vector<ViewField> fields;
+    for (const std::string& child_name : cm.types()) {
+      TypeId c = dtd_.FindType(child_name);
+      switch (Classify(a, c, /*parent_accessible=*/true)) {
+        case ChildClass::kAccessible:
+        case ChildClass::kConditional: {
+          ProcAcc(c);
+          fields.push_back(ViewField{child_name,
+                                     ViewField::Multiplicity::kOne,
+                                     ChildStep(a, c)});
+          break;
+        }
+        case ChildClass::kInaccessible: {
+          const InAccResult& reg = ProcInAcc(c);
+          PathPtr hidden_step = MakeLabel(child_name);
+          switch (reg.kind) {
+            case InAccResult::Kind::kPruned:
+              break;  // Fig. 5, step 11: remove from the production
+            case InAccResult::Kind::kSequence:
+            case InAccResult::Kind::kStarItem:
+              // Fig. 5, steps 12-15: shortcut — splice reg into the
+              // parent sequence. A starred reg becomes a starred field
+              // (view productions mix multiplicities; Section 3.3's
+              // compact form).
+              for (const FrontierItem& item : reg.items) {
+                fields.push_back(ViewField{
+                    item.view_type, item.mult,
+                    MakeSlash(hidden_step, item.path)});
+              }
+              break;
+            default:
+              // Fig. 5, steps 16-20: rename to a dummy.
+              fields.push_back(ViewField{DummyName(c),
+                                         ViewField::Multiplicity::kOne,
+                                         hidden_step});
+              break;
+          }
+          break;
+        }
+      }
+    }
+    return FieldsProduction(MergeDuplicateFields(std::move(fields)));
+  }
+
+  ViewProduction BuildChoice(TypeId a, const ContentModel& cm) {
+    std::vector<ViewChoice::Alt> alts;
+    for (const std::string& child_name : cm.types()) {
+      TypeId c = dtd_.FindType(child_name);
+      switch (Classify(a, c, /*parent_accessible=*/true)) {
+        case ChildClass::kAccessible:
+        case ChildClass::kConditional: {
+          ProcAcc(c);
+          alts.push_back(ViewChoice::Alt{child_name, ChildStep(a, c)});
+          break;
+        }
+        case ChildClass::kInaccessible: {
+          const InAccResult& reg = ProcInAcc(c);
+          PathPtr hidden_step = MakeLabel(child_name);
+          switch (reg.kind) {
+            case InAccResult::Kind::kPruned:
+              break;  // dropped alternative
+            case InAccResult::Kind::kChoice:
+              // Fig. 5, case (2): splice a disjunction into a disjunction.
+              for (const FrontierItem& item : reg.items) {
+                alts.push_back(ViewChoice::Alt{
+                    item.view_type, MakeSlash(hidden_step, item.path)});
+              }
+              break;
+            default:
+              alts.push_back(ViewChoice::Alt{DummyName(c), hidden_step});
+              break;
+          }
+          break;
+        }
+      }
+    }
+    return ChoiceProduction(std::move(alts));
+  }
+
+  ViewProduction BuildStar(TypeId a, const ContentModel& cm) {
+    TypeId c = dtd_.FindType(cm.types()[0]);
+    ViewProduction prod;
+    switch (Classify(a, c, /*parent_accessible=*/true)) {
+      case ChildClass::kAccessible:
+      case ChildClass::kConditional: {
+        ProcAcc(c);
+        prod.kind = ViewProduction::Kind::kFields;
+        prod.fields.push_back(ViewField{cm.types()[0],
+                                        ViewField::Multiplicity::kStar,
+                                        ChildStep(a, c)});
+        return prod;
+      }
+      case ChildClass::kInaccessible: {
+        const InAccResult& reg = ProcInAcc(c);
+        PathPtr hidden_step = MakeLabel(cm.types()[0]);
+        switch (reg.kind) {
+          case InAccResult::Kind::kPruned:
+            prod.kind = ViewProduction::Kind::kEmpty;
+            return prod;
+          case InAccResult::Kind::kSequence:
+            // Fig. 5, case (3): shortcut only when reg is a single type
+            // (starred under a star collapses to a star).
+            if (reg.items.size() == 1) {
+              prod.kind = ViewProduction::Kind::kFields;
+              prod.fields.push_back(ViewField{
+                  reg.items[0].view_type, ViewField::Multiplicity::kStar,
+                  MakeSlash(hidden_step, reg.items[0].path)});
+              return prod;
+            }
+            break;
+          case InAccResult::Kind::kStarItem:
+            prod.kind = ViewProduction::Kind::kFields;
+            prod.fields.push_back(ViewField{
+                reg.items[0].view_type, ViewField::Multiplicity::kStar,
+                MakeSlash(hidden_step, reg.items[0].path)});
+            return prod;
+          default:
+            break;
+        }
+        prod.kind = ViewProduction::Kind::kFields;
+        prod.fields.push_back(ViewField{
+            DummyName(c), ViewField::Multiplicity::kStar, hidden_step});
+        return prod;
+      }
+    }
+    return prod;
+  }
+
+  // -- Proc_InAcc -------------------------------------------------------------
+
+  /// Processes inaccessible type B (Fig. 5, Proc_InAcc), memoized. On
+  /// re-entry (recursive inaccessible type) the occurrence is renamed to
+  /// a dummy, which keeps the recursive structure in the view.
+  const InAccResult& ProcInAcc(TypeId b) {
+    auto it = inacc_results_.find(b);
+    if (it != inacc_results_.end()) return it->second;
+    if (inacc_in_progress_.count(b)) {
+      // Recursive hidden type: the inner occurrence becomes a dummy; the
+      // dummy's production is filled in when the outer call finishes.
+      // Memoize a self-reference so that every later occurrence of b in
+      // the hidden region also uses the dummy.
+      recursion_hit_.insert(b);
+      auto [pos, inserted] = inacc_results_.emplace(b, InAccResult{});
+      assert(inserted);
+      InAccResult& r = pos->second;
+      r.kind = InAccResult::Kind::kSequence;
+      r.items.push_back(FrontierItem{DummyName(b),
+                                     ViewField::Multiplicity::kOne,
+                                     MakeEpsilon()});
+      return r;
+    }
+
+    inacc_in_progress_.insert(b);
+    InAccResult result = ComputeInAcc(b);
+    inacc_in_progress_.erase(b);
+
+    // The recursive marker (if any) was memoized as a placeholder; the
+    // real reg(B) replaces it, and the dummy gets its production now.
+    bool was_recursive = recursion_hit_.count(b) > 0;
+    if (was_recursive) {
+      SetDummyProduction(b, result);
+      inacc_results_.erase(b);
+    }
+    auto [pos, inserted] = inacc_results_.emplace(b, std::move(result));
+    assert(inserted);
+    (void)inserted;
+    if (!was_recursive && dummy_for_.count(b)) {
+      SetDummyProduction(b, pos->second);
+    }
+    return pos->second;
+  }
+
+  InAccResult ComputeInAcc(TypeId b) {
+    InAccResult result;
+    if (!can_reach_acc_[b]) {
+      result.kind = InAccResult::Kind::kPruned;  // Fig. 5, step 11
+      return result;
+    }
+    const ContentModel& cm = dtd_.Content(b);
+    switch (cm.kind()) {
+      case ContentKind::kEmpty:
+        result.kind = InAccResult::Kind::kPruned;
+        return result;
+      case ContentKind::kText: {
+        std::optional<Annotation> text_ann = spec_.GetText(b);
+        if (text_ann.has_value() &&
+            text_ann->kind == AnnotationKind::kYes) {
+          result.kind = InAccResult::Kind::kText;
+        } else {
+          result.kind = InAccResult::Kind::kPruned;
+        }
+        return result;
+      }
+      case ContentKind::kSequence: {
+        std::vector<FrontierItem> items;
+        for (const std::string& child_name : cm.types()) {
+          TypeId c = dtd_.FindType(child_name);
+          AppendFrontier(b, c, child_name, items);
+        }
+        items = MergeDuplicateItems(std::move(items));
+        if (items.empty()) {
+          result.kind = InAccResult::Kind::kPruned;
+        } else {
+          result.kind = InAccResult::Kind::kSequence;
+          result.items = std::move(items);
+        }
+        return result;
+      }
+      case ContentKind::kChoice: {
+        std::vector<FrontierItem> alts;
+        for (const std::string& child_name : cm.types()) {
+          TypeId c = dtd_.FindType(child_name);
+          PathPtr hidden_step = MakeLabel(child_name);
+          switch (Classify(b, c, /*parent_accessible=*/false)) {
+            case ChildClass::kAccessible:
+            case ChildClass::kConditional: {
+              ProcAcc(c);
+              alts.push_back(FrontierItem{child_name,
+                                          ViewField::Multiplicity::kOne,
+                                          ChildStep(b, c)});
+              break;
+            }
+            case ChildClass::kInaccessible: {
+              const InAccResult& reg = ProcInAcc(c);
+              switch (reg.kind) {
+                case InAccResult::Kind::kPruned:
+                  break;
+                case InAccResult::Kind::kChoice:
+                  for (const FrontierItem& item : reg.items) {
+                    alts.push_back(FrontierItem{
+                        item.view_type, ViewField::Multiplicity::kOne,
+                        MakeSlash(hidden_step, item.path)});
+                  }
+                  break;
+                default:
+                  alts.push_back(FrontierItem{DummyName(c),
+                                              ViewField::Multiplicity::kOne,
+                                              hidden_step});
+                  break;
+              }
+              break;
+            }
+          }
+        }
+        alts = MergeDuplicateAlts(std::move(alts));
+        if (alts.empty()) {
+          result.kind = InAccResult::Kind::kPruned;
+        } else if (alts.size() == 1) {
+          // A one-armed disjunction is a plain (spliceable) sequence slot.
+          result.kind = InAccResult::Kind::kSequence;
+          result.items = std::move(alts);
+        } else {
+          result.kind = InAccResult::Kind::kChoice;
+          result.items = std::move(alts);
+        }
+        return result;
+      }
+      case ContentKind::kStar: {
+        TypeId c = dtd_.FindType(cm.types()[0]);
+        PathPtr hidden_step = MakeLabel(cm.types()[0]);
+        switch (Classify(b, c, /*parent_accessible=*/false)) {
+          case ChildClass::kAccessible:
+          case ChildClass::kConditional: {
+            ProcAcc(c);
+            result.kind = InAccResult::Kind::kStarItem;
+            result.items.push_back(FrontierItem{
+                cm.types()[0], ViewField::Multiplicity::kStar,
+                ChildStep(b, c)});
+            return result;
+          }
+          case ChildClass::kInaccessible: {
+            const InAccResult& reg = ProcInAcc(c);
+            switch (reg.kind) {
+              case InAccResult::Kind::kPruned:
+                result.kind = InAccResult::Kind::kPruned;
+                return result;
+              case InAccResult::Kind::kSequence:
+                if (reg.items.size() == 1) {
+                  result.kind = InAccResult::Kind::kStarItem;
+                  result.items.push_back(FrontierItem{
+                      reg.items[0].view_type,
+                      ViewField::Multiplicity::kStar,
+                      MakeSlash(hidden_step, reg.items[0].path)});
+                  return result;
+                }
+                break;
+              case InAccResult::Kind::kStarItem:
+                result.kind = InAccResult::Kind::kStarItem;
+                result.items.push_back(FrontierItem{
+                    reg.items[0].view_type, ViewField::Multiplicity::kStar,
+                    MakeSlash(hidden_step, reg.items[0].path)});
+                return result;
+              default:
+                break;
+            }
+            result.kind = InAccResult::Kind::kStarItem;
+            result.items.push_back(FrontierItem{
+                DummyName(c), ViewField::Multiplicity::kStar, hidden_step});
+            return result;
+          }
+        }
+        return result;
+      }
+    }
+    return result;
+  }
+
+  /// Handles one child slot of a hidden sequence: appends the frontier
+  /// items it contributes.
+  void AppendFrontier(TypeId b, TypeId c, const std::string& child_name,
+                      std::vector<FrontierItem>& items) {
+    PathPtr hidden_step = MakeLabel(child_name);
+    switch (Classify(b, c, /*parent_accessible=*/false)) {
+      case ChildClass::kAccessible:
+      case ChildClass::kConditional: {
+        ProcAcc(c);
+        items.push_back(FrontierItem{child_name,
+                                     ViewField::Multiplicity::kOne,
+                                     ChildStep(b, c)});
+        return;
+      }
+      case ChildClass::kInaccessible: {
+        const InAccResult& reg = ProcInAcc(c);
+        switch (reg.kind) {
+          case InAccResult::Kind::kPruned:
+            return;
+          case InAccResult::Kind::kSequence:
+          case InAccResult::Kind::kStarItem:
+            for (const FrontierItem& item : reg.items) {
+              items.push_back(FrontierItem{
+                  item.view_type, item.mult,
+                  MakeSlash(hidden_step, item.path)});
+            }
+            return;
+          default:
+            items.push_back(FrontierItem{DummyName(c),
+                                         ViewField::Multiplicity::kOne,
+                                         hidden_step});
+            return;
+        }
+      }
+    }
+  }
+
+  // -- Dummies ----------------------------------------------------------------
+
+  /// The dummy view type standing for hidden document type `b`; created
+  /// on first use (production filled when reg(b) is known).
+  std::string DummyName(TypeId b) {
+    auto it = dummy_for_.find(b);
+    if (it != dummy_for_.end()) return view_.TypeName(it->second);
+    std::string name;
+    do {
+      name = "dummy" + std::to_string(++dummy_counter_);
+    } while (dtd_.FindType(name) != kNullType ||
+             view_.FindType(name) != kNullViewType);
+    ViewTypeId id = view_.AddType(name, /*is_dummy=*/true, b);
+    view_.SetAllAttributesHidden(id);  // hidden nodes expose no attributes
+    dummy_for_.emplace(b, id);
+    // If reg(b) is already known, define the production immediately.
+    auto done = inacc_results_.find(b);
+    if (done != inacc_results_.end()) {
+      SetDummyProduction(b, done->second);
+    }
+    return name;
+  }
+
+  void SetDummyProduction(TypeId b, const InAccResult& reg) {
+    auto it = dummy_for_.find(b);
+    if (it == dummy_for_.end()) return;
+    ViewProduction prod;
+    switch (reg.kind) {
+      case InAccResult::Kind::kPruned:
+        prod.kind = ViewProduction::Kind::kEmpty;
+        break;
+      case InAccResult::Kind::kText:
+        prod.kind = ViewProduction::Kind::kText;
+        break;
+      case InAccResult::Kind::kSequence:
+      case InAccResult::Kind::kStarItem: {
+        std::vector<ViewField> fields;
+        for (const FrontierItem& item : reg.items) {
+          fields.push_back(ViewField{item.view_type, item.mult, item.path});
+        }
+        prod = FieldsProduction(std::move(fields));
+        break;
+      }
+      case InAccResult::Kind::kChoice: {
+        std::vector<ViewChoice::Alt> alts;
+        for (const FrontierItem& item : reg.items) {
+          alts.push_back(ViewChoice::Alt{item.view_type, item.path});
+        }
+        prod = ChoiceProduction(std::move(alts));
+        break;
+      }
+    }
+    view_.SetTextHidden(it->second,
+                        dtd_.Content(b).kind() == ContentKind::kText &&
+                            prod.kind != ViewProduction::Kind::kText);
+    view_.SetProduction(it->second, std::move(prod));
+  }
+
+  // -- Helpers ----------------------------------------------------------------
+
+  /// Merges duplicate child types within a sequence into one starred
+  /// field with a union sigma — the paper's compact form.
+  static std::vector<ViewField> MergeDuplicateFields(
+      std::vector<ViewField> fields) {
+    std::vector<ViewField> out;
+    for (ViewField& f : fields) {
+      bool merged = false;
+      for (ViewField& existing : out) {
+        if (existing.child == f.child) {
+          existing.mult = ViewField::Multiplicity::kStar;
+          existing.sigma = MakeUnion(existing.sigma, f.sigma);
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) out.push_back(std::move(f));
+    }
+    return out;
+  }
+
+  static std::vector<FrontierItem> MergeDuplicateItems(
+      std::vector<FrontierItem> items) {
+    std::vector<FrontierItem> out;
+    for (FrontierItem& item : items) {
+      bool merged = false;
+      for (FrontierItem& existing : out) {
+        if (existing.view_type == item.view_type) {
+          existing.mult = ViewField::Multiplicity::kStar;
+          existing.path = MakeUnion(existing.path, item.path);
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) out.push_back(std::move(item));
+    }
+    return out;
+  }
+
+  /// Merges duplicate alternatives of a choice by unioning their paths
+  /// (still exactly one child materializes).
+  static std::vector<FrontierItem> MergeDuplicateAlts(
+      std::vector<FrontierItem> alts) {
+    std::vector<FrontierItem> out;
+    for (FrontierItem& alt : alts) {
+      bool merged = false;
+      for (FrontierItem& existing : out) {
+        if (existing.view_type == alt.view_type) {
+          existing.path = MakeUnion(existing.path, alt.path);
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) out.push_back(std::move(alt));
+    }
+    return out;
+  }
+
+  static ViewProduction FieldsProduction(std::vector<ViewField> fields) {
+    ViewProduction prod;
+    if (fields.empty()) {
+      prod.kind = ViewProduction::Kind::kEmpty;
+    } else {
+      prod.kind = ViewProduction::Kind::kFields;
+      prod.fields = std::move(fields);
+    }
+    return prod;
+  }
+
+  static ViewProduction ChoiceProduction(std::vector<ViewChoice::Alt> alts) {
+    ViewProduction prod;
+    if (alts.empty()) {
+      prod.kind = ViewProduction::Kind::kEmpty;
+    } else if (alts.size() == 1) {
+      // A one-armed disjunction is just a field.
+      prod.kind = ViewProduction::Kind::kFields;
+      prod.fields.push_back(ViewField{alts[0].child,
+                                      ViewField::Multiplicity::kOne,
+                                      alts[0].sigma});
+    } else {
+      prod.kind = ViewProduction::Kind::kChoice;
+      prod.choice.alts = std::move(alts);
+    }
+    return prod;
+  }
+
+  const AccessSpec& spec_;
+  const Dtd& dtd_;
+  DtdGraph graph_;
+  SecurityView view_;
+
+  std::vector<bool> can_reach_acc_;
+  std::unordered_map<TypeId, ViewTypeId> acc_view_;
+  std::unordered_map<TypeId, InAccResult> inacc_results_;
+  std::unordered_set<TypeId> inacc_in_progress_;
+  std::unordered_set<TypeId> recursion_hit_;
+  std::unordered_map<TypeId, ViewTypeId> dummy_for_;
+  int dummy_counter_ = 0;
+};
+
+}  // namespace
+
+Result<SecurityView> DeriveSecurityView(const AccessSpec& spec) {
+  if (!spec.dtd().finalized()) {
+    return Status::FailedPrecondition(
+        "access specification's DTD is not finalized");
+  }
+  return Deriver(spec).Run();
+}
+
+}  // namespace secview

@@ -1,0 +1,40 @@
+#ifndef SECVIEW_SECURITY_DERIVE_H_
+#define SECVIEW_SECURITY_DERIVE_H_
+
+#include "common/result.h"
+#include "security/access_spec.h"
+#include "security/security_view.h"
+
+namespace secview {
+
+/// Algorithm derive (paper Fig. 5): computes a sound and complete
+/// security-view definition V = (Dv, sigma) from an access specification
+/// S = (D, ann) in quadratic time.
+///
+/// Inaccessible element types are hidden by one of three means:
+///   * pruned   — no accessible descendants: the subgraph disappears;
+///   * shortcut — the closest accessible descendants (reg) are spliced
+///                into the parent production when the forms are
+///                compatible, with sigma following the hidden path;
+///   * renamed  — a fresh "dummyN" view type stands for the hidden node,
+///                retaining the DTD structure (e.g. disjunction
+///                semantics) while concealing the label.
+///
+/// When short-cutting makes the same child type reachable over several
+/// paths within one sequence, the occurrences are merged into a single
+/// starred field whose sigma is the union of the paths — the paper's
+/// "compact form" (Example 3.4: dept -> patientInfo*, staffInfo with
+/// sigma = (clinicalTrial | .)/patientInfo).
+///
+/// Recursive inaccessible types are renamed to dummies and retained, so
+/// recursive document DTDs yield (possibly recursive) views
+/// (Section 3.4's treatment of recursive nodes).
+///
+/// Qualifier annotations are copied into sigma symbolically; $parameters
+/// stay unbound and flow into rewritten queries, to be bound per user at
+/// query time.
+Result<SecurityView> DeriveSecurityView(const AccessSpec& spec);
+
+}  // namespace secview
+
+#endif  // SECVIEW_SECURITY_DERIVE_H_

@@ -1,0 +1,53 @@
+#ifndef SECVIEW_SECURITY_MATERIALIZER_H_
+#define SECVIEW_SECURITY_MATERIALIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "security/access_spec.h"
+#include "security/security_view.h"
+#include "xml/tree.h"
+
+namespace secview {
+
+/// Options for MaterializeView.
+struct MaterializeOptions {
+  /// Bindings for $parameters appearing in sigma annotations ($wardNo).
+  std::vector<std::pair<std::string, std::string>> bindings;
+
+  /// Follow the paper's semantics and keep only nodes accessible w.r.t.
+  /// the specification (Section 3.3). Dummy nodes are exempt: they stand
+  /// for hidden nodes and carry structure, not data.
+  bool filter_by_accessibility = true;
+};
+
+/// Materializes the security view Tv of `doc` (paper Section 3.3). Used
+/// to *define* the semantics and to test the rewriting algorithm — the
+/// production query path never materializes views.
+///
+/// Construction is top-down: the roots are mapped to each other and each
+/// view node's children are extracted by evaluating the sigma annotations
+/// at its origin document node, per production form:
+///   * a One field / a choice must yield exactly one (accessible) node,
+///     otherwise materialization aborts with StatusCode::kAborted;
+///   * a Star field yields all (accessible) extracted nodes in document
+///     order;
+///   * str content copies the origin's accessible text.
+///
+/// Every view node records its origin document node (XmlTree::origin),
+/// which is what query-equivalence is stated over.
+Result<XmlTree> MaterializeView(const XmlTree& doc, const SecurityView& view,
+                                const AccessSpec& spec,
+                                const MaterializeOptions& options = {});
+
+/// The origins of all element nodes of a materialized view, sorted. With
+/// `include_dummies` false, nodes whose view type is a dummy are skipped
+/// (they correspond to hidden document nodes).
+std::vector<NodeId> CollectViewOrigins(const XmlTree& view_tree,
+                                       const SecurityView& view,
+                                       bool include_dummies);
+
+}  // namespace secview
+
+#endif  // SECVIEW_SECURITY_MATERIALIZER_H_

@@ -1,0 +1,170 @@
+#include "security/security_view.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+#include "xpath/printer.h"
+
+namespace secview {
+
+std::string ViewProduction::ToString() const {
+  switch (kind) {
+    case Kind::kEmpty:
+      return "EMPTY";
+    case Kind::kText:
+      return "(#PCDATA)";
+    case Kind::kFields: {
+      std::vector<std::string> parts;
+      for (const ViewField& f : fields) {
+        parts.push_back(f.child +
+                        (f.mult == ViewField::Multiplicity::kStar ? "*" : ""));
+      }
+      return "(" + Join(parts, ", ") + ")";
+    }
+    case Kind::kChoice: {
+      std::vector<std::string> parts;
+      for (const ViewChoice::Alt& alt : choice.alts) {
+        parts.push_back(alt.child);
+      }
+      return "(" + Join(parts, " | ") + ")";
+    }
+  }
+  return "?";
+}
+
+ViewTypeId SecurityView::AddType(std::string name, bool is_dummy,
+                                 TypeId doc_type, std::string base_label) {
+  assert(!ids_.count(name) && "duplicate view type");
+  if (base_label.empty()) base_label = name;
+  ViewTypeId id = static_cast<ViewTypeId>(types_.size());
+  ids_.emplace(name, id);
+  ViewType type;
+  type.name = std::move(name);
+  type.base_label = std::move(base_label);
+  type.is_dummy = is_dummy;
+  type.doc_type = doc_type;
+  types_.push_back(std::move(type));
+  return id;
+}
+
+void SecurityView::SetProduction(ViewTypeId id, ViewProduction production) {
+  types_[id].production = std::move(production);
+}
+
+ViewTypeId SecurityView::FindType(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kNullViewType : it->second;
+}
+
+int SecurityView::Size() const {
+  int size = NumTypes();
+  for (const ViewType& t : types_) {
+    switch (t.production.kind) {
+      case ViewProduction::Kind::kFields:
+        size += static_cast<int>(t.production.fields.size());
+        break;
+      case ViewProduction::Kind::kChoice:
+        size += static_cast<int>(t.production.choice.alts.size());
+        break;
+      default:
+        break;
+    }
+  }
+  return size;
+}
+
+std::vector<SecurityView::Edge> SecurityView::Edges(ViewTypeId parent) const {
+  std::vector<Edge> out;
+  const ViewProduction& prod = types_[parent].production;
+  switch (prod.kind) {
+    case ViewProduction::Kind::kFields:
+      for (const ViewField& f : prod.fields) {
+        ViewTypeId child = FindType(f.child);
+        assert(child != kNullViewType);
+        out.push_back(Edge{child, f.sigma});
+      }
+      break;
+    case ViewProduction::Kind::kChoice:
+      for (const ViewChoice::Alt& alt : prod.choice.alts) {
+        ViewTypeId child = FindType(alt.child);
+        assert(child != kNullViewType);
+        out.push_back(Edge{child, alt.sigma});
+      }
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+PathPtr SecurityView::Sigma(ViewTypeId parent, ViewTypeId child) const {
+  for (const Edge& e : Edges(parent)) {
+    if (e.child == child) return e.sigma;
+  }
+  return nullptr;
+}
+
+bool SecurityView::IsRecursive() const {
+  // Iterative three-color DFS over the view DTD graph.
+  enum : uint8_t { kWhite, kGray, kBlack };
+  std::vector<uint8_t> color(types_.size(), kWhite);
+  for (ViewTypeId start = 0; start < NumTypes(); ++start) {
+    if (color[start] != kWhite) continue;
+    struct Frame {
+      ViewTypeId v;
+      std::vector<Edge> edges;
+      size_t next = 0;
+    };
+    std::vector<Frame> stack;
+    stack.push_back(Frame{start, Edges(start)});
+    color[start] = kGray;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next < f.edges.size()) {
+        ViewTypeId w = f.edges[f.next++].child;
+        if (color[w] == kGray) return true;
+        if (color[w] == kWhite) {
+          color[w] = kGray;
+          stack.push_back(Frame{w, Edges(w)});
+        }
+      } else {
+        color[f.v] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+std::string SecurityView::ViewDtdString() const {
+  std::string out;
+  for (ViewTypeId id = 0; id < NumTypes(); ++id) {
+    const ViewType& t = types_[id];
+    out += "<!ELEMENT " + t.name + " " + t.production.ToString() + ">\n";
+    if (t.all_attributes_hidden || t.doc_type == kNullType) continue;
+    for (const AttributeDef& def : doc_dtd_->Attributes(t.doc_type)) {
+      if (IsAttributeHidden(id, def.name)) continue;
+      out += "<!ATTLIST " + t.name + " " + def.ToString() + ">\n";
+    }
+  }
+  return out;
+}
+
+std::string SecurityView::DebugString() const {
+  std::string out;
+  for (ViewTypeId id = 0; id < NumTypes(); ++id) {
+    const ViewType& t = types_[id];
+    out += t.name;
+    if (t.is_dummy) {
+      out += " (dummy for " + doc_dtd_->TypeName(t.doc_type) + ")";
+    }
+    out += " -> " + t.production.ToString() + "\n";
+    for (const Edge& e : Edges(id)) {
+      out += "  sigma(" + t.name + ", " + types_[e.child].name +
+             ") = " + ToXPathString(e.sigma) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace secview

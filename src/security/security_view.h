@@ -1,0 +1,184 @@
+#ifndef SECVIEW_SECURITY_SECURITY_VIEW_H_
+#define SECVIEW_SECURITY_SECURITY_VIEW_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "dtd/dtd.h"
+#include "xpath/ast.h"
+
+namespace secview {
+
+/// Identifies an element type of a view DTD. Dense, starting at 0; the
+/// root view type is id 0.
+using ViewTypeId = int;
+
+inline constexpr ViewTypeId kNullViewType = -1;
+
+/// One slot of a view production: a child view type together with the
+/// XPath annotation sigma that extracts its document nodes from the
+/// parent's document node, and a multiplicity.
+///
+/// Multiplicity kStar corresponds both to star productions of the
+/// document DTD and to the paper's "compact form" that arises when
+/// short-cutting an inaccessible node makes the same child type reachable
+/// over several paths (Example 3.4: dept -> patientInfo*, staffInfo).
+struct ViewField {
+  enum class Multiplicity {
+    kOne,   ///< exactly one accessible node must be extracted (else abort)
+    kStar,  ///< zero or more
+  };
+
+  std::string child;
+  Multiplicity mult;
+  PathPtr sigma;
+};
+
+/// A disjunction slot: exactly one alternative materializes.
+struct ViewChoice {
+  struct Alt {
+    std::string child;
+    PathPtr sigma;
+  };
+  std::vector<Alt> alts;
+};
+
+/// The production of one view type. Slightly richer than the document
+/// normal form (a sequence may mix kOne and kStar fields) because
+/// short-cutting merges occurrences; see ViewField.
+struct ViewProduction {
+  enum class Kind {
+    kEmpty,   ///< no children
+    kText,    ///< str content, copied from the origin document node
+    kFields,  ///< sequence of fields
+    kChoice,  ///< disjunction
+  };
+
+  Kind kind = Kind::kEmpty;
+  std::vector<ViewField> fields;  // kFields
+  ViewChoice choice;              // kChoice
+
+  std::string ToString() const;
+};
+
+/// A security view definition V = (Dv, sigma) (paper Section 3.3): the
+/// view DTD exposed to authorized users plus the hidden XPath annotations
+/// that extract accessible data from document instances. Produced by
+/// DeriveSecurityView; the view is virtual — queries against it are
+/// answered by rewriting (rewrite/rewriter.h), and MaterializeView exists
+/// to define the semantics and for testing.
+class SecurityView {
+ public:
+  /// A view element type. `doc_type` is the document type this view type
+  /// stands for: the same-named type for ordinary types, the hidden
+  /// (renamed) type for dummies.
+  struct ViewType {
+    std::string name;
+    /// The label users see and query with. Equal to `name` except in
+    /// unfolded copies of recursive views (rewrite/unfold.h), where
+    /// `name` is "label@depth".
+    std::string base_label;
+    ViewProduction production;
+    bool is_dummy = false;
+    TypeId doc_type = kNullType;
+    /// True when the underlying document type has str content that the
+    /// view conceals; [p = c] qualifiers reaching this type must not be
+    /// compared against the document's text (rewrite/rewriter.cc).
+    bool text_hidden = false;
+    /// Attributes of the document type this view conceals. Dummies
+    /// conceal every attribute (all_attributes_hidden).
+    std::vector<std::string> hidden_attributes;
+    bool all_attributes_hidden = false;
+  };
+
+  explicit SecurityView(const Dtd& doc_dtd) : doc_dtd_(&doc_dtd) {}
+
+  SecurityView(SecurityView&&) = default;
+  SecurityView& operator=(SecurityView&&) = default;
+  SecurityView(const SecurityView&) = delete;
+  SecurityView& operator=(const SecurityView&) = delete;
+
+  const Dtd& doc_dtd() const { return *doc_dtd_; }
+
+  // -- Construction (used by the derivation algorithm) ---------------------
+
+  /// Adds a view type; the first added type is the root. The production
+  /// can be filled in later with SetProduction (needed for recursive
+  /// views). `base_label` defaults to `name`.
+  ViewTypeId AddType(std::string name, bool is_dummy, TypeId doc_type,
+                     std::string base_label = {});
+
+  void SetProduction(ViewTypeId id, ViewProduction production);
+
+  void SetTextHidden(ViewTypeId id, bool hidden) {
+    types_[id].text_hidden = hidden;
+  }
+
+  void SetHiddenAttributes(ViewTypeId id, std::vector<std::string> hidden) {
+    types_[id].hidden_attributes = std::move(hidden);
+  }
+  void SetAllAttributesHidden(ViewTypeId id) {
+    types_[id].all_attributes_hidden = true;
+  }
+
+  /// True iff attribute `attr` of this view type is concealed.
+  bool IsAttributeHidden(ViewTypeId id, std::string_view attr) const {
+    const ViewType& t = types_[id];
+    if (t.all_attributes_hidden) return true;
+    for (const std::string& name : t.hidden_attributes) {
+      if (name == attr) return true;
+    }
+    return false;
+  }
+
+  // -- Accessors ------------------------------------------------------------
+
+  int NumTypes() const { return static_cast<int>(types_.size()); }
+  ViewTypeId root() const { return types_.empty() ? kNullViewType : 0; }
+
+  ViewTypeId FindType(std::string_view name) const;
+  const ViewType& type(ViewTypeId id) const { return types_[id]; }
+  const std::string& TypeName(ViewTypeId id) const { return types_[id].name; }
+  const ViewProduction& Production(ViewTypeId id) const {
+    return types_[id].production;
+  }
+
+  /// |Dv|: number of types plus production slots (the size measure in the
+  /// rewriting complexity bound).
+  int Size() const;
+
+  /// The outgoing edges of `parent` in the view DTD graph: each distinct
+  /// child view type with its sigma annotation.
+  struct Edge {
+    ViewTypeId child;
+    PathPtr sigma;
+  };
+  std::vector<Edge> Edges(ViewTypeId parent) const;
+
+  /// sigma(parent, child), or null when child is not a child type of
+  /// parent in the view DTD.
+  PathPtr Sigma(ViewTypeId parent, ViewTypeId child) const;
+
+  /// True iff the view DTD graph has a cycle (recursive view,
+  /// Section 4.2).
+  bool IsRecursive() const;
+
+  /// The view DTD as text, as it would be published to authorized users
+  /// (sigma annotations omitted).
+  std::string ViewDtdString() const;
+
+  /// Full rendering including the hidden sigma annotations, for debugging
+  /// and the administrator.
+  std::string DebugString() const;
+
+ private:
+  const Dtd* doc_dtd_;
+  std::vector<ViewType> types_;
+  std::unordered_map<std::string, ViewTypeId> ids_;
+};
+
+}  // namespace secview
+
+#endif  // SECVIEW_SECURITY_SECURITY_VIEW_H_

@@ -1,0 +1,83 @@
+#include "security/spec_parser.h"
+
+#include "common/string_util.h"
+#include "xpath/parser.h"
+
+namespace secview {
+
+namespace {
+
+Status LineError(int line_no, const std::string& what) {
+  return Status::InvalidArgument("access-spec parse error on line " +
+                                 std::to_string(line_no) + ": " + what);
+}
+
+}  // namespace
+
+Result<AccessSpec> ParseAccessSpec(const Dtd& dtd, std::string_view text) {
+  AccessSpec spec(dtd);
+  int line_no = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line(raw_line);
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = StripWhitespace(line);
+    if (line.empty()) continue;
+
+    if (!StartsWith(line, "ann(")) {
+      return LineError(line_no, "expected 'ann(parent, child) = ...'");
+    }
+    size_t close = line.find(')');
+    if (close == std::string_view::npos) {
+      return LineError(line_no, "missing ')'");
+    }
+    std::string_view args = line.substr(4, close - 4);
+    size_t comma = args.find(',');
+    if (comma == std::string_view::npos) {
+      return LineError(line_no, "expected two names in ann(parent, child)");
+    }
+    std::string parent(StripWhitespace(args.substr(0, comma)));
+    std::string child(StripWhitespace(args.substr(comma + 1)));
+
+    std::string_view rhs = StripWhitespace(line.substr(close + 1));
+    if (rhs.empty() || rhs[0] != '=') {
+      return LineError(line_no, "expected '=' after ann(...)");
+    }
+    rhs = StripWhitespace(rhs.substr(1));
+
+    Annotation annotation = Annotation::Yes();
+    if (rhs == "Y") {
+      annotation = Annotation::Yes();
+    } else if (rhs == "N") {
+      annotation = Annotation::No();
+    } else if (rhs.size() >= 2 && rhs.front() == '[' && rhs.back() == ']') {
+      Result<QualPtr> q =
+          ParseXPathQualifier(rhs.substr(1, rhs.size() - 2));
+      if (!q.ok()) {
+        return LineError(line_no, q.status().message());
+      }
+      annotation = Annotation::If(std::move(q).value());
+    } else {
+      return LineError(line_no,
+                       "annotation must be Y, N, or a [qualifier], got '" +
+                           std::string(rhs) + "'");
+    }
+
+    Status status;
+    if (child == "str") {
+      status = spec.AnnotateText(parent, std::move(annotation));
+    } else if (!child.empty() && child[0] == '@') {
+      status = spec.AnnotateAttribute(parent, child.substr(1),
+                                      std::move(annotation));
+    } else {
+      status = spec.Annotate(parent, child, std::move(annotation));
+    }
+    if (!status.ok()) {
+      return LineError(line_no, status.message());
+    }
+  }
+  return spec;
+}
+
+}  // namespace secview

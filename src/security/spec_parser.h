@@ -1,0 +1,26 @@
+#ifndef SECVIEW_SECURITY_SPEC_PARSER_H_
+#define SECVIEW_SECURITY_SPEC_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "security/access_spec.h"
+
+namespace secview {
+
+/// Parses the textual annotation syntax used throughout the paper's
+/// examples (Example 3.1), one annotation per line:
+///
+///   # policy for nurses
+///   ann(hospital, dept)        = [*/patient/wardNo = $wardNo]
+///   ann(dept, clinicalTrial)   = N
+///   ann(clinicalTrial, patientInfo) = Y
+///   ann(bill, str)             = Y          # text-content annotation
+///
+/// Blank lines and '#' comments are ignored. The right-hand side is Y, N,
+/// or an XPath qualifier in brackets.
+Result<AccessSpec> ParseAccessSpec(const Dtd& dtd, std::string_view text);
+
+}  // namespace secview
+
+#endif  // SECVIEW_SECURITY_SPEC_PARSER_H_

@@ -1,0 +1,246 @@
+#include "security/view_io.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+#include "xpath/parser.h"
+#include "xpath/printer.h"
+
+namespace secview {
+
+namespace {
+
+constexpr char kHeader[] = "secview-definition 1";
+
+std::string ProductionKindName(ViewProduction::Kind kind) {
+  switch (kind) {
+    case ViewProduction::Kind::kEmpty:
+      return "empty";
+    case ViewProduction::Kind::kText:
+      return "text";
+    case ViewProduction::Kind::kFields:
+      return "fields";
+    case ViewProduction::Kind::kChoice:
+      return "choice";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string SerializeView(const SecurityView& view) {
+  std::string out = std::string(kHeader) + "\n";
+  out += "doc-root " + view.doc_dtd().TypeName(view.doc_dtd().root()) + "\n";
+  for (ViewTypeId id = 0; id < view.NumTypes(); ++id) {
+    const SecurityView::ViewType& t = view.type(id);
+    out += "type " + t.name + " kind=" +
+           ProductionKindName(t.production.kind);
+    if (t.doc_type != kNullType) {
+      out += " doc=" + view.doc_dtd().TypeName(t.doc_type);
+    }
+    if (t.base_label != t.name) out += " base=" + t.base_label;
+    if (t.is_dummy) out += " dummy";
+    if (t.text_hidden) out += " hide-text";
+    if (t.all_attributes_hidden) {
+      out += " hide-attrs=*";
+    } else if (!t.hidden_attributes.empty()) {
+      out += " hide-attrs=" + Join(t.hidden_attributes, ",");
+    }
+    out += "\n";
+    switch (t.production.kind) {
+      case ViewProduction::Kind::kFields:
+        for (const ViewField& f : t.production.fields) {
+          out += "  field " + f.child + " " +
+                 (f.mult == ViewField::Multiplicity::kStar ? "*" : "1") +
+                 " sigma=" + ToXPathString(f.sigma) + "\n";
+        }
+        break;
+      case ViewProduction::Kind::kChoice:
+        for (const ViewChoice::Alt& alt : t.production.choice.alts) {
+          out += "  alt " + alt.child + " sigma=" +
+                 ToXPathString(alt.sigma) + "\n";
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+Result<SecurityView> ParseView(const Dtd& doc_dtd, std::string_view text) {
+  std::vector<std::string> lines = Split(text, '\n');
+  size_t i = 0;
+  auto error = [&](const std::string& what) {
+    return Status::InvalidArgument("view definition parse error on line " +
+                                   std::to_string(i + 1) + ": " + what);
+  };
+  auto next_line = [&]() -> std::string_view {
+    while (i < lines.size() && StripWhitespace(lines[i]).empty()) ++i;
+    return i < lines.size() ? std::string_view(lines[i]) : std::string_view();
+  };
+
+  if (StripWhitespace(next_line()) != kHeader) {
+    return error("expected header '" + std::string(kHeader) + "'");
+  }
+  ++i;
+
+  std::string_view root_line = StripWhitespace(next_line());
+  if (!StartsWith(root_line, "doc-root ")) {
+    return error("expected 'doc-root <name>'");
+  }
+  std::string root_name(StripWhitespace(root_line.substr(9)));
+  if (doc_dtd.FindType(root_name) != doc_dtd.root()) {
+    return error("doc-root '" + root_name +
+                 "' does not match the document DTD");
+  }
+  ++i;
+
+  SecurityView view(doc_dtd);
+
+  struct PendingProduction {
+    ViewTypeId id;
+    ViewProduction production;
+  };
+  std::vector<PendingProduction> pending;
+
+  while (i < lines.size()) {
+    std::string_view line = StripWhitespace(next_line());
+    if (line.empty()) break;
+    if (!StartsWith(line, "type ")) {
+      return error("expected a 'type' line, got '" + std::string(line) + "'");
+    }
+    // type NAME kind=K [doc=D] [base=B] [dummy] [hide-text] [hide-attrs=..]
+    std::vector<std::string> tokens;
+    for (const std::string& token : Split(std::string(line), ' ')) {
+      if (!token.empty()) tokens.push_back(token);
+    }
+    if (tokens.size() < 3) return error("malformed type line");
+    std::string name = tokens[1];
+    std::string kind_name;
+    std::string doc_name;
+    std::string base = name;
+    bool dummy = false, hide_text = false, hide_all_attrs = false;
+    std::vector<std::string> hidden_attrs;
+    for (size_t k = 2; k < tokens.size(); ++k) {
+      const std::string& tok = tokens[k];
+      if (StartsWith(tok, "kind=")) {
+        kind_name = tok.substr(5);
+      } else if (StartsWith(tok, "doc=")) {
+        doc_name = tok.substr(4);
+      } else if (StartsWith(tok, "base=")) {
+        base = tok.substr(5);
+      } else if (tok == "dummy") {
+        dummy = true;
+      } else if (tok == "hide-text") {
+        hide_text = true;
+      } else if (StartsWith(tok, "hide-attrs=")) {
+        std::string value = tok.substr(11);
+        if (value == "*") {
+          hide_all_attrs = true;
+        } else {
+          hidden_attrs = Split(value, ',');
+        }
+      } else {
+        return error("unknown token '" + tok + "'");
+      }
+    }
+    TypeId doc_type = kNullType;
+    if (!doc_name.empty()) {
+      doc_type = doc_dtd.FindType(doc_name);
+      if (doc_type == kNullType) {
+        return error("unknown document type '" + doc_name + "'");
+      }
+    }
+    if (view.FindType(name) != kNullViewType) {
+      return error("duplicate view type '" + name + "'");
+    }
+    ViewTypeId id = view.AddType(name, dummy, doc_type, base);
+    view.SetTextHidden(id, hide_text);
+    if (hide_all_attrs) view.SetAllAttributesHidden(id);
+    if (!hidden_attrs.empty()) {
+      view.SetHiddenAttributes(id, std::move(hidden_attrs));
+    }
+
+    ViewProduction prod;
+    if (kind_name == "empty") {
+      prod.kind = ViewProduction::Kind::kEmpty;
+    } else if (kind_name == "text") {
+      prod.kind = ViewProduction::Kind::kText;
+    } else if (kind_name == "fields") {
+      prod.kind = ViewProduction::Kind::kFields;
+    } else if (kind_name == "choice") {
+      prod.kind = ViewProduction::Kind::kChoice;
+    } else {
+      return error("unknown production kind '" + kind_name + "'");
+    }
+    ++i;
+
+    // Slot lines.
+    while (i < lines.size()) {
+      std::string_view slot = StripWhitespace(lines[i]);
+      bool is_field = StartsWith(slot, "field ");
+      bool is_alt = StartsWith(slot, "alt ");
+      if (!is_field && !is_alt) break;
+      std::string_view rest = slot.substr(is_field ? 6 : 4);
+      size_t space = rest.find(' ');
+      if (space == std::string_view::npos) return error("malformed slot");
+      std::string child(rest.substr(0, space));
+      rest = StripWhitespace(rest.substr(space));
+      std::string mult = "1";
+      if (is_field) {
+        size_t space2 = rest.find(' ');
+        if (space2 == std::string_view::npos) return error("malformed field");
+        mult = std::string(rest.substr(0, space2));
+        rest = StripWhitespace(rest.substr(space2));
+      }
+      if (!StartsWith(rest, "sigma=")) {
+        return error("expected sigma= in slot");
+      }
+      Result<PathPtr> sigma = ParseXPath(rest.substr(6));
+      if (!sigma.ok()) return error(sigma.status().message());
+      if (is_field) {
+        if (prod.kind != ViewProduction::Kind::kFields) {
+          return error("'field' under a non-fields production");
+        }
+        prod.fields.push_back(
+            ViewField{std::move(child),
+                      mult == "*" ? ViewField::Multiplicity::kStar
+                                  : ViewField::Multiplicity::kOne,
+                      std::move(sigma).value()});
+      } else {
+        if (prod.kind != ViewProduction::Kind::kChoice) {
+          return error("'alt' under a non-choice production");
+        }
+        prod.choice.alts.push_back(
+            ViewChoice::Alt{std::move(child), std::move(sigma).value()});
+      }
+      ++i;
+    }
+    pending.push_back(PendingProduction{id, std::move(prod)});
+  }
+
+  // Productions are attached after all types exist so that forward
+  // references (recursive views) resolve.
+  for (PendingProduction& p : pending) {
+    for (const ViewField& f : p.production.fields) {
+      if (view.FindType(f.child) == kNullViewType) {
+        return Status::InvalidArgument("field references unknown view type '" +
+                                       f.child + "'");
+      }
+    }
+    for (const ViewChoice::Alt& alt : p.production.choice.alts) {
+      if (view.FindType(alt.child) == kNullViewType) {
+        return Status::InvalidArgument("alt references unknown view type '" +
+                                       alt.child + "'");
+      }
+    }
+    view.SetProduction(p.id, std::move(p.production));
+  }
+  if (view.NumTypes() == 0) {
+    return Status::InvalidArgument("view definition declares no types");
+  }
+  return view;
+}
+
+}  // namespace secview

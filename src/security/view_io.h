@@ -1,0 +1,39 @@
+#ifndef SECVIEW_SECURITY_VIEW_IO_H_
+#define SECVIEW_SECURITY_VIEW_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "security/security_view.h"
+
+namespace secview {
+
+/// Serialization of security-view definitions. In the paper's framework
+/// (Fig. 3) the security administrator derives V = (Dv, sigma) once per
+/// policy; persisting the definition lets the query processor load it
+/// without re-deriving (and without shipping the specification).
+///
+/// The format is line-oriented and human-auditable:
+///
+///   secview-definition 1
+///   doc-root hospital
+///   type dept kind=fields doc=dept
+///     field patientInfo * sigma=(clinicalTrial/patientInfo | patientInfo)
+///     field staffInfo 1 sigma=staffInfo
+///   type dummy1 kind=fields doc=trial dummy hide-attrs=*
+///     field bill 1 sigma=bill
+///   ...
+///
+/// Only the *administrator-side* definition is serialized; publish the
+/// user-facing schema with SecurityView::ViewDtdString() instead (it
+/// omits sigma).
+std::string SerializeView(const SecurityView& view);
+
+/// Parses a serialized definition against the document DTD it was derived
+/// from. Fails on version/format mismatches, unknown document types, or
+/// malformed sigma annotations.
+Result<SecurityView> ParseView(const Dtd& doc_dtd, std::string_view text);
+
+}  // namespace secview
+
+#endif  // SECVIEW_SECURITY_VIEW_IO_H_

@@ -1,0 +1,61 @@
+#ifndef SECVIEW_WORKLOAD_ADEX_H_
+#define SECVIEW_WORKLOAD_ADEX_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "dtd/dtd.h"
+#include "security/access_spec.h"
+#include "workload/generator.h"
+#include "xpath/ast.h"
+
+namespace secview {
+
+/// An Adex-like DTD reconstructed from the facts the paper states about
+/// the NAA classified-advertising standard it evaluates on (Section 6);
+/// the original Adex DTD [23] is not retrievable offline — see DESIGN.md,
+/// substitutions. Structure relevant to Table 1:
+///
+///   adex        -> (head, body)
+///   head        -> (transaction-info, buyer-info)
+///   buyer-info  -> (company-id, contact-info)     // co-existence for Q3
+///   body        -> ad-instance*
+///   ad-instance -> (ad-id, categories, content)
+///   content     -> (real-estate | automotive | employment | merchandise)
+///   real-estate -> (house | apartment)            // exclusive for Q4
+///   house       -> (..., r-e.asking-price, ..., r-e.warranty)
+///   apartment   -> (..., r-e.unit-type, ...)      // no r-e.warranty (Q2),
+///                                                 // no r-e.asking-price (Q4)
+/// plus filler subtrees (automotive/employment/merchandise, contact and
+/// transaction details) for realistic breadth.
+Dtd MakeAdexDtd();
+
+/// The evaluation's security policy: the children of the root are hidden,
+/// and the real-estate and buyer-info subtrees are re-exposed ("N on the
+/// children of adex, Y on the real-estate and buyer-info descendants").
+Result<AccessSpec> MakeAdexSpec(const Dtd& dtd);
+
+/// The four evaluation queries over the Adex security view (Section 6).
+struct AdexQueries {
+  PathPtr q1;  ///< //buyer-info/contact-info
+  PathPtr q2;  ///< //house/r-e.warranty | //apartment/r-e.warranty
+  PathPtr q3;  ///< //buyer-info[company-id and contact-info]
+  PathPtr q4;  ///< //real-estate[house/r-e.asking-price and
+               ///<               apartment/r-e.unit-type]
+               ///< (the paper's Q4 in its real-estate-anchored rewritten
+               ///< form; see MakeAdexQueries in adex.cc)
+
+  std::vector<std::pair<const char*, PathPtr>> All() const {
+    return {{"Q1", q1}, {"Q2", q2}, {"Q3", q3}, {"Q4", q4}};
+  }
+};
+
+Result<AdexQueries> MakeAdexQueries();
+
+/// Generator options for Adex data sets of a given target size.
+GeneratorOptions AdexGeneratorOptions(uint64_t seed, size_t target_bytes,
+                                      int max_branching);
+
+}  // namespace secview
+
+#endif  // SECVIEW_WORKLOAD_ADEX_H_

@@ -1,0 +1,95 @@
+#include "workload/auction.h"
+
+#include <cassert>
+
+#include "security/spec_parser.h"
+
+namespace secview {
+
+Dtd MakeAuctionDtd() {
+  Dtd dtd;
+  auto must = [](const Status& status) {
+    assert(status.ok());
+    (void)status;
+  };
+  auto seq = [](std::vector<std::string> types) {
+    return ContentModel::Sequence(std::move(types));
+  };
+
+  must(dtd.AddType("site",
+                   seq({"people", "open_auctions", "closed_auctions"})));
+  must(dtd.AddType("people", ContentModel::Star("person")));
+  must(dtd.AddType("person", seq({"name", "emailaddress", "credit-card",
+                                  "profile"})));
+  must(dtd.AddType("profile", seq({"education", "income"})));
+
+  must(dtd.AddType("open_auctions", ContentModel::Star("open_auction")));
+  must(dtd.AddType("open_auction", seq({"seller", "initial", "reserve",
+                                        "bid-history", "item-desc"})));
+  must(dtd.AddType("bid-history", ContentModel::Star("bid")));
+  must(dtd.AddType("bid", seq({"bidder", "amount", "bid-time"})));
+  must(dtd.AddType("item-desc", seq({"description"})));
+
+  // The XMark recursion: descriptions nest through parlists.
+  must(dtd.AddType("description", ContentModel::Choice({"text", "parlist"})));
+  must(dtd.AddType("parlist", ContentModel::Star("listitem")));
+  must(dtd.AddType("listitem", seq({"description"})));
+
+  must(dtd.AddType("closed_auctions", ContentModel::Star("closed_auction")));
+  must(dtd.AddType("closed_auction", seq({"buyer", "price", "closed-item"})));
+  must(dtd.AddType("closed-item", seq({"description"})));
+
+  for (const char* text_type :
+       {"name", "emailaddress", "credit-card", "education", "income",
+        "seller", "initial", "reserve", "bidder", "amount", "bid-time",
+        "text", "buyer", "price"}) {
+    must(dtd.AddType(text_type, ContentModel::Text()));
+  }
+  must(dtd.SetRoot("site"));
+  must(dtd.Finalize());
+  return dtd;
+}
+
+Result<AccessSpec> MakeBidderSpec(const Dtd& dtd) {
+  static constexpr char kSpecText[] = R"(
+    ann(person, credit-card)    = N
+    ann(open_auction, reserve)  = N
+    ann(site, closed_auctions)  = N
+  )";
+  return ParseAccessSpec(dtd, kSpecText);
+}
+
+Result<AccessSpec> MakeAuditorSpec(const Dtd& dtd) {
+  static constexpr char kSpecText[] = R"(
+    # The auditor follows the money but bids stay anonymous and private
+    # profile data stays private.
+    ann(bid, bidder)         = N
+    ann(person, credit-card) = N
+    ann(person, profile)     = N
+  )";
+  return ParseAccessSpec(dtd, kSpecText);
+}
+
+GeneratorOptions AuctionGeneratorOptions(uint64_t seed, size_t target_bytes) {
+  GeneratorOptions options;
+  options.seed = seed;
+  options.min_branching = 1;
+  options.max_branching = 4;
+  // Bound the description/parlist recursion.
+  options.max_depth = 14;
+  options.target_bytes = target_bytes;
+  options.text_provider = [](const std::string& type_name, uint64_t random) {
+    if (type_name == "amount" || type_name == "price" ||
+        type_name == "initial" || type_name == "reserve" ||
+        type_name == "income") {
+      return std::to_string(10 + random % 990);
+    }
+    static constexpr const char* kWords[] = {
+        "vintage", "rare", "mint", "boxed", "used", "antique", "signed",
+        "limited"};
+    return std::string(kWords[random % 8]) + std::to_string(random % 100);
+  };
+  return options;
+}
+
+}  // namespace secview

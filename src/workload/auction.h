@@ -1,0 +1,48 @@
+#ifndef SECVIEW_WORKLOAD_AUCTION_H_
+#define SECVIEW_WORKLOAD_AUCTION_H_
+
+#include "common/result.h"
+#include "dtd/dtd.h"
+#include "security/access_spec.h"
+#include "workload/generator.h"
+
+namespace secview {
+
+/// An XMark-flavored auction-site fixture with a *recursive* document
+/// DTD (the classic description/parlist cycle), exercising the paths the
+/// hospital/Adex fixtures cannot: recursive documents (no optimizer;
+/// Section 4.2 unfolding everywhere) at realistic breadth.
+///
+///   site            -> (people, open_auctions, closed_auctions)
+///   people          -> person*
+///   person          -> (name, emailaddress, credit-card, profile)
+///   profile         -> (education, income)
+///   open_auctions   -> open_auction*
+///   open_auction    -> (seller, initial, reserve, bid-history, item-desc)
+///   bid-history     -> bid*
+///   bid             -> (bidder, amount, bid-time)
+///   item-desc       -> description
+///   description     -> (text | parlist)        <-- recursion
+///   parlist         -> listitem*
+///   listitem        -> description
+///   closed_auctions -> closed_auction*
+///   closed_auction  -> (buyer, price, closed-item)
+///   closed-item     -> description
+Dtd MakeAuctionDtd();
+
+/// Public-bidder policy: browsing bidders may see people's profiles and
+/// the open auctions, but not credit cards, not the sellers' reserve
+/// prices, and nothing about closed auctions.
+Result<AccessSpec> MakeBidderSpec(const Dtd& dtd);
+
+/// Auditor policy: sees the money trail (auctions, bids, closed sales)
+/// but bids are anonymized (bidder identities hidden).
+Result<AccessSpec> MakeAuditorSpec(const Dtd& dtd);
+
+/// Generator options for auction documents (bounded description
+/// recursion depth).
+GeneratorOptions AuctionGeneratorOptions(uint64_t seed, size_t target_bytes);
+
+}  // namespace secview
+
+#endif  // SECVIEW_WORKLOAD_AUCTION_H_

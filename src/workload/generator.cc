@@ -1,0 +1,231 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "dtd/graph.h"
+
+namespace secview {
+
+namespace {
+
+constexpr int kInfiniteHeight = std::numeric_limits<int>::max() / 4;
+
+/// Minimal subtree height per type (number of element levels needed to
+/// terminate), via least fixpoint. Infinite for inconsistent types (those
+/// with no finite instance).
+std::vector<int> MinHeights(const Dtd& dtd) {
+  const int n = dtd.NumTypes();
+  std::vector<int> height(n, kInfiniteHeight);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (TypeId t = 0; t < n; ++t) {
+      const ContentModel& cm = dtd.Content(t);
+      int h = kInfiniteHeight;
+      switch (cm.kind()) {
+        case ContentKind::kEmpty:
+        case ContentKind::kText:
+        case ContentKind::kStar:  // zero repetitions terminate immediately
+          h = 0;
+          break;
+        case ContentKind::kSequence: {
+          int worst = 0;
+          for (const std::string& c : cm.types()) {
+            worst = std::max(worst, height[dtd.FindType(c)]);
+          }
+          h = worst >= kInfiniteHeight ? kInfiniteHeight : worst + 1;
+          break;
+        }
+        case ContentKind::kChoice: {
+          int best = kInfiniteHeight;
+          for (const std::string& c : cm.types()) {
+            best = std::min(best, height[dtd.FindType(c)]);
+          }
+          h = best >= kInfiniteHeight ? kInfiniteHeight : best + 1;
+          break;
+        }
+      }
+      if (h < height[t]) {
+        height[t] = h;
+        changed = true;
+      }
+    }
+  }
+  return height;
+}
+
+/// The root-most star-production type reachable from the root: the growth
+/// point used to hit target_bytes.
+TypeId FindGrowthType(const Dtd& dtd) {
+  std::deque<TypeId> queue{dtd.root()};
+  std::vector<bool> seen(dtd.NumTypes(), false);
+  seen[dtd.root()] = true;
+  while (!queue.empty()) {
+    TypeId t = queue.front();
+    queue.pop_front();
+    if (dtd.Content(t).kind() == ContentKind::kStar) return t;
+    for (TypeId c : dtd.ChildTypes(t)) {
+      if (!seen[c]) {
+        seen[c] = true;
+        queue.push_back(c);
+      }
+    }
+  }
+  return kNullType;
+}
+
+class Generator {
+ public:
+  Generator(const Dtd& dtd, const GeneratorOptions& options)
+      : dtd_(dtd),
+        options_(options),
+        rng_(options.seed),
+        min_heights_(MinHeights(dtd)),
+        growth_type_(options.target_bytes > 0 ? FindGrowthType(dtd)
+                                              : kNullType) {}
+
+  Result<XmlTree> Run() {
+    TypeId root = dtd_.root();
+    if (min_heights_[root] >= kInfiniteHeight) {
+      return Status::InvalidArgument(
+          "DTD is inconsistent: no finite instance exists");
+    }
+    if (min_heights_[root] > options_.max_depth) {
+      return Status::OutOfRange(
+          "max_depth too small for any instance of this DTD");
+    }
+    NodeId node = tree_.CreateRoot(dtd_.TypeName(root));
+    bytes_ += Cost(root);
+    EmitAttributes(node, root);
+    SECVIEW_RETURN_IF_ERROR(Expand(node, root, options_.max_depth));
+    return std::move(tree_);
+  }
+
+ private:
+  size_t Cost(TypeId t) const { return 2 * dtd_.TypeName(t).size() + 5; }
+
+  std::string MakeText(TypeId t) {
+    if (options_.text_provider) {
+      return options_.text_provider(dtd_.TypeName(t), rng_.Next());
+    }
+    return rng_.AlphaString(4 + rng_.Below(9));
+  }
+
+  Status Expand(NodeId node, TypeId t, int budget) {
+    const ContentModel& cm = dtd_.Content(t);
+    switch (cm.kind()) {
+      case ContentKind::kEmpty:
+        return Status::OK();
+      case ContentKind::kText: {
+        std::string text = MakeText(t);
+        bytes_ += text.size();
+        tree_.AppendText(node, text);
+        return Status::OK();
+      }
+      case ContentKind::kSequence: {
+        for (const std::string& name : cm.types()) {
+          SECVIEW_RETURN_IF_ERROR(Child(node, dtd_.FindType(name), budget));
+        }
+        return Status::OK();
+      }
+      case ContentKind::kChoice: {
+        // Among alternatives that fit the depth budget, pick uniformly.
+        std::vector<TypeId> viable;
+        for (const std::string& name : cm.types()) {
+          TypeId c = dtd_.FindType(name);
+          if (min_heights_[c] + 1 <= budget) viable.push_back(c);
+        }
+        if (viable.empty()) {
+          return Status::OutOfRange("depth budget exhausted under <" +
+                                    dtd_.TypeName(t) + ">");
+        }
+        return Child(node, viable[rng_.Below(viable.size())], budget);
+      }
+      case ContentKind::kStar: {
+        TypeId c = dtd_.FindType(cm.types()[0]);
+        bool fits = min_heights_[c] + 1 <= budget;
+        int count = 0;
+        if (!fits) {
+          count = 0;
+        } else if (t == growth_type_) {
+          count = -1;  // grow until the size target is met
+        } else {
+          count = rng_.RangeInclusive(options_.min_branching,
+                                      options_.max_branching);
+        }
+        if (count >= 0) {
+          for (int i = 0; i < count; ++i) {
+            SECVIEW_RETURN_IF_ERROR(Child(node, c, budget));
+          }
+        } else {
+          while (bytes_ < options_.target_bytes) {
+            SECVIEW_RETURN_IF_ERROR(Child(node, c, budget));
+          }
+        }
+        return Status::OK();
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Child(NodeId parent, TypeId t, int parent_budget) {
+    NodeId node = tree_.AppendElement(parent, dtd_.TypeName(t));
+    bytes_ += Cost(t);
+    EmitAttributes(node, t);
+    return Expand(node, t, parent_budget - 1);
+  }
+
+  /// Declared attributes: #REQUIRED and defaulted ones always appear,
+  /// #IMPLIED ones half of the time; enumerations pick a declared value.
+  void EmitAttributes(NodeId node, TypeId t) {
+    for (const AttributeDef& def : dtd_.Attributes(t)) {
+      if (def.presence == AttributeDef::Presence::kImplied &&
+          !rng_.Chance(0.5)) {
+        continue;
+      }
+      std::string value;
+      switch (def.presence) {
+        case AttributeDef::Presence::kFixed:
+          value = def.default_value;
+          break;
+        case AttributeDef::Presence::kDefault:
+          value = rng_.Chance(0.5) ? def.default_value : std::string();
+          if (!value.empty()) break;
+          [[fallthrough]];
+        default:
+          if (def.value_type == AttributeDef::ValueType::kEnumerated) {
+            value = def.enum_values[rng_.Below(def.enum_values.size())];
+          } else {
+            value = rng_.AlphaString(3 + rng_.Below(6));
+          }
+          break;
+      }
+      tree_.SetAttribute(node, def.name, value);
+      bytes_ += def.name.size() + value.size() + 4;
+    }
+  }
+
+  const Dtd& dtd_;
+  const GeneratorOptions& options_;
+  Rng rng_;
+  std::vector<int> min_heights_;
+  TypeId growth_type_;
+  XmlTree tree_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace
+
+Result<XmlTree> GenerateDocument(const Dtd& dtd,
+                                 const GeneratorOptions& options) {
+  if (!dtd.finalized()) {
+    return Status::FailedPrecondition("DTD is not finalized");
+  }
+  return Generator(dtd, options).Run();
+}
+
+}  // namespace secview

@@ -1,0 +1,52 @@
+#ifndef SECVIEW_WORKLOAD_GENERATOR_H_
+#define SECVIEW_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "dtd/dtd.h"
+#include "xml/tree.h"
+
+namespace secview {
+
+/// Controls for GenerateDocument. The defaults produce small documents;
+/// benchmarks raise target_bytes and max_branching the way the paper
+/// varies IBM XML Generator's maximum branching factor to obtain data
+/// sets D1..D4 (Section 6).
+struct GeneratorOptions {
+  uint64_t seed = 42;
+
+  /// Children drawn for a star production: uniform in
+  /// [min_branching, max_branching].
+  int min_branching = 0;
+  int max_branching = 3;
+
+  /// Depth budget for recursive DTDs: generation always picks
+  /// terminating alternatives once the remaining budget cannot
+  /// accommodate a subtree.
+  int max_depth = 50;
+
+  /// When > 0, the top-most star type reachable from the root keeps
+  /// receiving children until the estimated serialized size reaches this
+  /// many bytes (other stars use the branching bounds).
+  size_t target_bytes = 0;
+
+  /// Produces PCDATA for a str-typed element; defaults to a short random
+  /// string. Fixtures override it for content-based qualifiers (e.g.
+  /// hospital ward numbers).
+  std::function<std::string(const std::string& type_name, uint64_t random)>
+      text_provider;
+};
+
+/// Generates a random instance of `dtd` (our stand-in for the IBM XML
+/// Generator used in the paper's evaluation — see DESIGN.md,
+/// substitutions). The result always conforms to the DTD (ValidateInstance
+/// succeeds) provided the DTD is consistent within max_depth.
+Result<XmlTree> GenerateDocument(const Dtd& dtd,
+                                 const GeneratorOptions& options = {});
+
+}  // namespace secview
+
+#endif  // SECVIEW_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,75 @@
+#include "workload/hospital.h"
+
+#include <cassert>
+
+#include "security/spec_parser.h"
+
+namespace secview {
+
+Dtd MakeHospitalDtd() {
+  Dtd dtd;
+  auto must = [](const Status& status) {
+    assert(status.ok());
+    (void)status;
+  };
+  must(dtd.AddType("hospital", ContentModel::Star("dept")));
+  must(dtd.AddType(
+      "dept", ContentModel::Sequence({"clinicalTrial", "patientInfo",
+                                      "staffInfo"})));
+  must(dtd.AddType("clinicalTrial",
+                   ContentModel::Sequence({"patientInfo", "test"})));
+  must(dtd.AddType("patientInfo", ContentModel::Star("patient")));
+  must(dtd.AddType("patient",
+                   ContentModel::Sequence({"name", "wardNo", "treatment"})));
+  must(dtd.AddType("treatment", ContentModel::Choice({"trial", "regular"})));
+  must(dtd.AddType("trial", ContentModel::Sequence({"bill"})));
+  must(dtd.AddType("regular", ContentModel::Sequence({"bill", "medication"})));
+  must(dtd.AddType("staffInfo", ContentModel::Star("staff")));
+  must(dtd.AddType("staff", ContentModel::Choice({"doctor", "nurse"})));
+  for (const char* text_type : {"name", "wardNo", "test", "bill",
+                                "medication", "doctor", "nurse"}) {
+    must(dtd.AddType(text_type, ContentModel::Text()));
+  }
+  must(dtd.SetRoot("hospital"));
+  must(dtd.Finalize());
+  return dtd;
+}
+
+Result<AccessSpec> MakeNurseSpec(const Dtd& dtd) {
+  // Example 3.1, verbatim.
+  static constexpr char kSpecText[] = R"(
+    # Nurses access only their own ward's department ...
+    ann(hospital, dept) = [*/patient/wardNo = $wardNo]
+    # ... may not know which patients are in clinical trials ...
+    ann(dept, clinicalTrial) = N
+    ann(clinicalTrial, patientInfo) = Y
+    # ... nor the form of treatment, except bill and medication.
+    ann(treatment, trial) = N
+    ann(treatment, regular) = N
+    ann(trial, bill) = Y
+    ann(regular, bill) = Y
+    ann(regular, medication) = Y
+  )";
+  return ParseAccessSpec(dtd, kSpecText);
+}
+
+GeneratorOptions HospitalGeneratorOptions(uint64_t seed, size_t target_bytes) {
+  GeneratorOptions options;
+  options.seed = seed;
+  options.min_branching = 1;
+  options.max_branching = 6;
+  options.target_bytes = target_bytes;
+  options.text_provider = [](const std::string& type_name, uint64_t random) {
+    if (type_name == "wardNo") {
+      return std::to_string(1 + random % 8);
+    }
+    // Short pseudo-words keep document size dominated by markup, like
+    // typical generated XML.
+    static constexpr const char* kWords[] = {
+        "alpha", "bravo", "delta", "echo", "fox", "golf", "hotel", "india"};
+    return std::string(kWords[random % 8]) + std::to_string(random % 1000);
+  };
+  return options;
+}
+
+}  // namespace secview

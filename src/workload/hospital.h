@@ -1,0 +1,44 @@
+#ifndef SECVIEW_WORKLOAD_HOSPITAL_H_
+#define SECVIEW_WORKLOAD_HOSPITAL_H_
+
+#include "common/result.h"
+#include "dtd/dtd.h"
+#include "security/access_spec.h"
+#include "workload/generator.h"
+
+namespace secview {
+
+/// The paper's running example (Figs. 1, 2, 4; Examples 1.1-3.4): the
+/// hospital document DTD and the nurse access-control policy.
+///
+/// DTD (Fig. 1):
+///   hospital      -> dept*
+///   dept          -> (clinicalTrial, patientInfo, staffInfo)
+///   clinicalTrial -> (patientInfo, test)
+///   patientInfo   -> patient*
+///   patient       -> (name, wardNo, treatment)
+///   treatment     -> (trial | regular)
+///   trial         -> bill
+///   regular       -> (bill, medication)
+///   staffInfo     -> staff*
+///   staff         -> (doctor | nurse)
+///   name, wardNo, test, bill, medication, doctor, nurse -> (#PCDATA)
+///
+/// Nurse policy (Example 3.1): nurses of ward $wardNo see patient and
+/// staff data of their department only; whether a patient is in a
+/// clinical trial — and the form of treatment — is concealed, except for
+/// bill and medication.
+Dtd MakeHospitalDtd();
+
+/// The nurse access specification over `dtd` (must be MakeHospitalDtd()).
+/// The $wardNo parameter stays symbolic; bind it per nurse.
+Result<AccessSpec> MakeNurseSpec(const Dtd& dtd);
+
+/// Generator options producing hospital documents whose wardNo values
+/// range over "1".."8" (so the ward qualifier selects ~1/8 of depts) and
+/// whose medication/bill text is random.
+GeneratorOptions HospitalGeneratorOptions(uint64_t seed, size_t target_bytes);
+
+}  // namespace secview
+
+#endif  // SECVIEW_WORKLOAD_HOSPITAL_H_

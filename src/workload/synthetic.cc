@@ -1,0 +1,281 @@
+#include "workload/synthetic.h"
+
+#include <cassert>
+#include <vector>
+
+namespace secview {
+
+namespace {
+
+void Must(const Status& status) {
+  assert(status.ok());
+  (void)status;
+}
+
+std::string LayerName(int layer, int i) {
+  return "t" + std::to_string(layer) + "_" + std::to_string(i);
+}
+
+}  // namespace
+
+Dtd MakeLayeredDtd(int layers, int width) {
+  assert(layers >= 2 && width >= 1);
+  Dtd dtd;
+  // The root lists every first-layer type so the whole DTD is reachable.
+  std::vector<std::string> first_layer;
+  for (int i = 0; i < width; ++i) first_layer.push_back(LayerName(0, i));
+  Must(dtd.AddType("root", ContentModel::Sequence(first_layer)));
+  for (int layer = 0; layer < layers; ++layer) {
+    for (int i = 0; i < width; ++i) {
+      std::string name = LayerName(layer, i);
+      if (layer == layers - 1) {
+        Must(dtd.AddType(name, ContentModel::Text()));
+        continue;
+      }
+      // Children: two types of the next layer (wrapping), with the form
+      // rotating over sequence / choice / star.
+      std::string c1 = LayerName(layer + 1, i % width);
+      std::string c2 = LayerName(layer + 1, (i + 1) % width);
+      switch (i % 3) {
+        case 0:
+          Must(dtd.AddType(name, width == 1
+                                     ? ContentModel::Sequence({c1})
+                                     : ContentModel::Sequence({c1, c2})));
+          break;
+        case 1:
+          Must(dtd.AddType(name, width == 1
+                                     ? ContentModel::Sequence({c1})
+                                     : ContentModel::Choice({c1, c2})));
+          break;
+        default:
+          Must(dtd.AddType(name, ContentModel::Star(c1)));
+          break;
+      }
+    }
+  }
+  Must(dtd.SetRoot("root"));
+  Must(dtd.Finalize());
+  return dtd;
+}
+
+Dtd MakeChainDtd(int length) {
+  assert(length >= 1);
+  Dtd dtd;
+  for (int i = 0; i < length; ++i) {
+    std::string name = "a" + std::to_string(i);
+    if (i == length - 1) {
+      Must(dtd.AddType(name, ContentModel::Text()));
+    } else {
+      Must(dtd.AddType(name,
+                       ContentModel::Sequence({"a" + std::to_string(i + 1)})));
+    }
+  }
+  Must(dtd.SetRoot("a0"));
+  Must(dtd.Finalize());
+  return dtd;
+}
+
+RecursiveFixture MakeRecursiveFixture() {
+  RecursiveFixture fixture;
+  Must(fixture.dtd.AddType("doc", ContentModel::Star("section")));
+  Must(fixture.dtd.AddType("section",
+                           ContentModel::Sequence({"title", "meta"})));
+  Must(fixture.dtd.AddType("meta", ContentModel::Star("section")));
+  Must(fixture.dtd.AddType("title", ContentModel::Text()));
+  Must(fixture.dtd.SetRoot("doc"));
+  Must(fixture.dtd.Finalize());
+  // meta is hidden; its sections are re-exposed, so the view keeps the
+  // recursion: section ->(view) (title, section*), sigma = meta/section.
+  fixture.spec_text = R"(
+    ann(section, meta) = N
+    ann(meta, section) = Y
+  )";
+  return fixture;
+}
+
+Dtd MakeRandomDtd(Rng& rng, int num_types) {
+  assert(num_types >= 2);
+  Dtd dtd;
+  auto name = [](int i) { return "e" + std::to_string(i); };
+  for (int i = 0; i < num_types; ++i) {
+    int remaining = num_types - 1 - i;
+    if (remaining == 0) {
+      Must(dtd.AddType(name(i), ContentModel::Text()));
+      continue;
+    }
+    auto pick_later = [&] {
+      return name(i + 1 + static_cast<int>(rng.Below(remaining)));
+    };
+    switch (rng.Below(10)) {
+      case 0:
+        Must(dtd.AddType(name(i), ContentModel::Text()));
+        break;
+      case 1:
+        Must(dtd.AddType(name(i), ContentModel::Empty()));
+        break;
+      case 2:
+      case 3: {
+        // Choice of two distinct later types if possible.
+        std::string c1 = pick_later();
+        std::string c2 = pick_later();
+        if (c1 == c2) {
+          Must(dtd.AddType(name(i), ContentModel::Star(c1)));
+        } else {
+          Must(dtd.AddType(name(i), ContentModel::Choice({c1, c2})));
+        }
+        break;
+      }
+      case 4:
+      case 5:
+        Must(dtd.AddType(name(i), ContentModel::Star(pick_later())));
+        break;
+      default: {
+        int width = 1 + static_cast<int>(rng.Below(3));
+        std::vector<std::string> children;
+        for (int k = 0; k < width; ++k) children.push_back(pick_later());
+        Must(dtd.AddType(name(i), ContentModel::Sequence(children)));
+        break;
+      }
+    }
+  }
+  // Sprinkle attribute declarations for the attribute-control extension.
+  for (int i = 0; i < num_types; ++i) {
+    if (rng.Chance(0.25)) {
+      AttributeDef def;
+      def.name = "a" + std::to_string(rng.Below(3));
+      switch (rng.Below(3)) {
+        case 0:
+          def.presence = AttributeDef::Presence::kRequired;
+          break;
+        case 1:
+          def.presence = AttributeDef::Presence::kImplied;
+          break;
+        default:
+          def.presence = AttributeDef::Presence::kDefault;
+          def.default_value = "dflt";
+          break;
+      }
+      Must(dtd.AddAttribute(name(i), std::move(def)));
+    }
+  }
+  Must(dtd.SetRoot(name(0)));
+  Must(dtd.Finalize());
+  return dtd;
+}
+
+AccessSpec MakeRandomSpec(const Dtd& dtd, Rng& rng, double p_no, double p_yes,
+                          double p_qual) {
+  AccessSpec spec(dtd);
+  for (TypeId parent = 0; parent < dtd.NumTypes(); ++parent) {
+    for (TypeId child : dtd.ChildTypes(parent)) {
+      double roll = (rng.Next() >> 11) * 0x1.0p-53;
+      Annotation ann = Annotation::Yes();
+      if (roll < p_no) {
+        ann = Annotation::No();
+      } else if (roll < p_no + p_yes) {
+        ann = Annotation::Yes();
+      } else if (roll < p_no + p_yes + p_qual) {
+        // A simple structural or content qualifier over the child.
+        std::vector<TypeId> grandchildren = dtd.ChildTypes(child);
+        if (!grandchildren.empty() && rng.Chance(0.7)) {
+          TypeId g = grandchildren[rng.Below(grandchildren.size())];
+          ann = Annotation::If(MakeQualPath(MakeLabel(dtd.TypeName(g))));
+        } else if (dtd.Content(child).kind() == ContentKind::kText) {
+          ann = Annotation::If(MakeQualEq(
+              MakeEpsilon(), rng.Chance(0.5) ? "x" : rng.AlphaString(3)));
+        } else {
+          ann = Annotation::If(MakeQualPath(MakeWildcard()));
+        }
+      } else {
+        continue;  // unannotated: inherit
+      }
+      Must(spec.Annotate(dtd.TypeName(parent), dtd.TypeName(child),
+                         std::move(ann)));
+    }
+  }
+  for (TypeId t = 0; t < dtd.NumTypes(); ++t) {
+    for (const AttributeDef& def : dtd.Attributes(t)) {
+      if (rng.Chance(0.3)) {
+        Must(spec.AnnotateAttribute(dtd.TypeName(t), def.name,
+                                    rng.Chance(0.5) ? Annotation::No()
+                                                    : Annotation::Yes()));
+      }
+    }
+  }
+  return spec;
+}
+
+namespace {
+
+/// Random step over a label alphabet.
+PathPtr RandomStep(const std::vector<std::string>& labels, Rng& rng) {
+  uint64_t roll = rng.Below(10);
+  if (roll < 6 && !labels.empty()) {
+    return MakeLabel(labels[rng.Below(labels.size())]);
+  }
+  if (roll < 8) return MakeWildcard();
+  return MakeEpsilon();
+}
+
+PathPtr RandomQueryOverLabels(const std::vector<std::string>& labels,
+                              Rng& rng, int steps) {
+  PathPtr p = rng.Chance(0.5) ? MakeDescOrSelf(RandomStep(labels, rng))
+                              : RandomStep(labels, rng);
+  for (int i = 1; i < steps; ++i) {
+    if (rng.Chance(0.15)) {
+      // Union with a short branch.
+      PathPtr branch = rng.Chance(0.5)
+                           ? MakeDescOrSelf(RandomStep(labels, rng))
+                           : RandomStep(labels, rng);
+      p = MakeUnion(std::move(p), std::move(branch));
+      continue;
+    }
+    PathPtr step = RandomStep(labels, rng);
+    if (rng.Chance(0.2)) {
+      // Attach a simple qualifier.
+      QualPtr q;
+      uint64_t qroll = rng.Below(6);
+      if (qroll == 0) {
+        q = MakeQualPath(MakeWildcard());
+      } else if (qroll == 1 && !labels.empty()) {
+        q = MakeQualPath(MakeLabel(labels[rng.Below(labels.size())]));
+      } else if (qroll == 2 && !labels.empty()) {
+        q = MakeQualPath(
+            MakeDescOrSelf(MakeLabel(labels[rng.Below(labels.size())])));
+      } else if (qroll == 3) {
+        q = MakeQualAttrExists("a" + std::to_string(rng.Below(3)));
+      } else if (qroll == 4) {
+        q = MakeQualAttrEq("a" + std::to_string(rng.Below(3)), "dflt");
+      } else {
+        q = MakeQualNot(MakeQualPath(MakeWildcard()));
+      }
+      step = MakeQualified(std::move(step), std::move(q));
+    }
+    if (rng.Chance(0.3)) {
+      p = MakeSlash(std::move(p), MakeDescOrSelf(std::move(step)));
+    } else {
+      p = MakeSlash(std::move(p), std::move(step));
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+PathPtr MakeRandomViewQuery(const SecurityView& view, Rng& rng, int steps) {
+  std::vector<std::string> labels;
+  for (ViewTypeId id = 0; id < view.NumTypes(); ++id) {
+    labels.push_back(view.type(id).base_label);
+  }
+  return RandomQueryOverLabels(labels, rng, steps);
+}
+
+PathPtr MakeRandomDocQuery(const Dtd& dtd, Rng& rng, int steps) {
+  std::vector<std::string> labels;
+  for (TypeId id = 0; id < dtd.NumTypes(); ++id) {
+    labels.push_back(dtd.TypeName(id));
+  }
+  return RandomQueryOverLabels(labels, rng, steps);
+}
+
+}  // namespace secview

@@ -1,0 +1,56 @@
+#ifndef SECVIEW_WORKLOAD_SYNTHETIC_H_
+#define SECVIEW_WORKLOAD_SYNTHETIC_H_
+
+#include "common/rng.h"
+#include "dtd/dtd.h"
+#include "security/access_spec.h"
+#include "security/security_view.h"
+#include "xpath/ast.h"
+
+namespace secview {
+
+/// Synthetic fixtures for property tests and scaling benchmarks.
+
+/// A layered DAG DTD: `layers` levels of `width` types each; every type's
+/// production draws its children from the next level (round-robin over
+/// sequence / choice / star forms); the last level is PCDATA. Used to
+/// sweep |D| in bench_derive / bench_rewrite.
+Dtd MakeLayeredDtd(int layers, int width);
+
+/// A chain DTD a0 -> a1 -> ... -> a{n-1} (each a sequence of one), ending
+/// in PCDATA. recrw(a0, a{n-1}) exercises long '//' paths.
+Dtd MakeChainDtd(int length);
+
+/// A small recursive DTD with a policy that yields a *recursive security
+/// view* (Section 4.2's Fig. 7 shape):
+///   doc -> section*;  section -> (title, meta);  meta -> section*
+/// with meta hidden but its sections re-exposed, so the view has
+/// section -> (title, section*).
+struct RecursiveFixture {
+  Dtd dtd;
+  std::string spec_text;  // parse with ParseAccessSpec
+};
+RecursiveFixture MakeRecursiveFixture();
+
+/// A random consistent non-recursive DTD with `num_types` element types
+/// (type i only references types > i). Always finalized.
+Dtd MakeRandomDtd(Rng& rng, int num_types);
+
+/// A random specification over `dtd`: each production edge independently
+/// gets N / Y / [qualifier] / no annotation with the given probabilities
+/// (qualifiers test a grandchild label or a text comparison).
+AccessSpec MakeRandomSpec(const Dtd& dtd, Rng& rng, double p_no,
+                          double p_yes, double p_qual);
+
+/// A random query over the view's exposed labels (for rewriting property
+/// tests): composed of label/wildcard/'.' steps, '/', '//', unions and
+/// simple qualifiers, of roughly `steps` steps.
+PathPtr MakeRandomViewQuery(const SecurityView& view, Rng& rng, int steps);
+
+/// A random query over the document DTD's labels (for optimizer property
+/// tests).
+PathPtr MakeRandomDocQuery(const Dtd& dtd, Rng& rng, int steps);
+
+}  // namespace secview
+
+#endif  // SECVIEW_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,97 @@
+#include "xml/edit.h"
+
+namespace secview {
+
+namespace {
+
+/// Copies the subtree of `src` rooted at `node` under `parent` in `out`
+/// (or as the root when parent == kNullNode). `skip` prunes one subtree;
+/// `append_under` triggers the insertion of `extra` after the children of
+/// that node.
+struct CopyPlan {
+  NodeId skip = kNullNode;
+  NodeId append_under = kNullNode;
+  const XmlTree* extra = nullptr;
+  NodeId replace_text_of = kNullNode;
+  std::string_view replacement;
+};
+
+void CopyNode(const XmlTree& src, NodeId node, XmlTree& out, NodeId parent,
+              const CopyPlan& plan) {
+  if (node == plan.skip) return;
+  if (src.IsText(node)) {
+    if (src.parent(node) == plan.replace_text_of) return;  // dropped
+    out.AppendText(parent, src.text(node));
+    return;
+  }
+  NodeId copy = parent == kNullNode
+                    ? out.CreateRoot(src.label(node))
+                    : out.AppendElement(parent, src.label(node));
+  for (const auto& [name, value] : src.Attributes(node)) {
+    out.SetAttribute(copy, name, value);
+  }
+  for (NodeId c = src.first_child(node); c != kNullNode;
+       c = src.next_sibling(c)) {
+    CopyNode(src, c, out, copy, plan);
+  }
+  if (node == plan.replace_text_of) {
+    out.AppendText(copy, plan.replacement);
+  }
+  if (node == plan.append_under && plan.extra != nullptr) {
+    CopyPlan none;
+    CopyNode(*plan.extra, plan.extra->root(), out, copy, none);
+  }
+}
+
+bool ValidNode(const XmlTree& doc, NodeId node) {
+  return node >= 0 && node < static_cast<NodeId>(doc.node_count());
+}
+
+}  // namespace
+
+Result<XmlTree> InsertSubtree(const XmlTree& doc, NodeId parent,
+                              const XmlTree& fragment) {
+  if (doc.empty() || fragment.empty()) {
+    return Status::InvalidArgument("empty document or fragment");
+  }
+  if (!ValidNode(doc, parent) || !doc.IsElement(parent)) {
+    return Status::InvalidArgument("insertion parent must be an element");
+  }
+  XmlTree out;
+  CopyPlan plan;
+  plan.append_under = parent;
+  plan.extra = &fragment;
+  CopyNode(doc, doc.root(), out, kNullNode, plan);
+  return out;
+}
+
+Result<XmlTree> DeleteSubtree(const XmlTree& doc, NodeId node) {
+  if (doc.empty()) return Status::InvalidArgument("empty document");
+  if (!ValidNode(doc, node)) {
+    return Status::InvalidArgument("no such node");
+  }
+  if (node == doc.root()) {
+    return Status::InvalidArgument("cannot delete the document root");
+  }
+  XmlTree out;
+  CopyPlan plan;
+  plan.skip = node;
+  CopyNode(doc, doc.root(), out, kNullNode, plan);
+  return out;
+}
+
+Result<XmlTree> ReplaceText(const XmlTree& doc, NodeId node,
+                            std::string_view value) {
+  if (doc.empty()) return Status::InvalidArgument("empty document");
+  if (!ValidNode(doc, node) || !doc.IsElement(node)) {
+    return Status::InvalidArgument("text replacement needs an element");
+  }
+  XmlTree out;
+  CopyPlan plan;
+  plan.replace_text_of = node;
+  plan.replacement = value;
+  CopyNode(doc, doc.root(), out, kNullNode, plan);
+  return out;
+}
+
+}  // namespace secview

@@ -1,0 +1,34 @@
+#ifndef SECVIEW_XML_EDIT_H_
+#define SECVIEW_XML_EDIT_H_
+
+#include "common/result.h"
+#include "xml/tree.h"
+
+namespace secview {
+
+/// Functional document edits. XmlTree's arena keeps NodeId == document
+/// order, so edits produce a *new* tree (copy-on-write at whole-document
+/// granularity) rather than mutating in place. That is exactly the right
+/// shape for the maintenance comparison the paper argues from: after an
+/// update, security views need nothing recomputed (the definition lives
+/// at the schema level), while the annotation baseline must re-annotate
+/// and materialized views must be rebuilt — see bench/bench_updates.cc.
+
+/// Returns a copy of `doc` with a copy of `fragment` (rooted at its root)
+/// appended as the last child of `parent`. Attributes and text are
+/// copied; origins are not preserved (the result is a new document).
+Result<XmlTree> InsertSubtree(const XmlTree& doc, NodeId parent,
+                              const XmlTree& fragment);
+
+/// Returns a copy of `doc` without the subtree rooted at `node`.
+/// Deleting the root is an error.
+Result<XmlTree> DeleteSubtree(const XmlTree& doc, NodeId node);
+
+/// Returns a copy of `doc` with the text content of `node` (a str-typed
+/// element) replaced by `value`.
+Result<XmlTree> ReplaceText(const XmlTree& doc, NodeId node,
+                            std::string_view value);
+
+}  // namespace secview
+
+#endif  // SECVIEW_XML_EDIT_H_

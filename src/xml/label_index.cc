@@ -1,0 +1,40 @@
+#include "xml/label_index.h"
+
+#include <algorithm>
+
+namespace secview {
+
+LabelIndex::LabelIndex(const XmlTree& tree) : tree_(&tree) {
+  for (NodeId n = 0; n < static_cast<NodeId>(tree.node_count()); ++n) {
+    if (!tree.IsElement(n)) continue;
+    int label = tree.label_id(n);
+    if (label >= static_cast<int>(postings_.size())) {
+      postings_.resize(label + 1);
+    }
+    postings_[label].push_back(n);  // ascending by construction
+    ++total_;
+  }
+}
+
+const std::vector<NodeId>& LabelIndex::Nodes(int label_id) const {
+  // Never deleted, per the style rule against static objects with
+  // non-trivial destructors.
+  static const auto& kEmpty = *new std::vector<NodeId>();
+  if (label_id < 0 || label_id >= static_cast<int>(postings_.size())) {
+    return kEmpty;
+  }
+  return postings_[label_id];
+}
+
+std::pair<const NodeId*, const NodeId*> LabelIndex::Range(int label_id,
+                                                          NodeId begin,
+                                                          NodeId end) const {
+  const std::vector<NodeId>& list = Nodes(label_id);
+  const NodeId* first =
+      std::lower_bound(list.data(), list.data() + list.size(), begin);
+  const NodeId* last =
+      std::lower_bound(first, list.data() + list.size(), end);
+  return {first, last};
+}
+
+}  // namespace secview

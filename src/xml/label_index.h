@@ -1,0 +1,45 @@
+#ifndef SECVIEW_XML_LABEL_INDEX_H_
+#define SECVIEW_XML_LABEL_INDEX_H_
+
+#include <vector>
+
+#include "xml/tree.h"
+
+namespace secview {
+
+/// An inverted index from element label to the (document-ordered) list of
+/// nodes carrying it. Because NodeIds are preorder ranks and a subtree is
+/// the contiguous range [n, SubtreeEnd(n)), "descendants of n labeled l"
+/// is a binary-searchable slice of one posting list — the classic
+/// element-index trick of XPath engines.
+///
+/// The index is optional: XPathEvaluator uses it (when attached) to
+/// answer '//label' steps in O(log N + matches) instead of scanning
+/// subtrees. Build cost is one O(N) pass.
+///
+/// The tree must outlive the index and must not grow afterwards.
+class LabelIndex {
+ public:
+  explicit LabelIndex(const XmlTree& tree);
+
+  const XmlTree& tree() const { return *tree_; }
+
+  /// All element nodes with the given interned label id, sorted.
+  const std::vector<NodeId>& Nodes(int label_id) const;
+
+  /// The slice of Nodes(label_id) within the id range [begin, end).
+  /// Returned as [first, last) pointers into the posting list.
+  std::pair<const NodeId*, const NodeId*> Range(int label_id, NodeId begin,
+                                                NodeId end) const;
+
+  size_t TotalPostings() const { return total_; }
+
+ private:
+  const XmlTree* tree_;
+  std::vector<std::vector<NodeId>> postings_;  // by label id
+  size_t total_ = 0;
+};
+
+}  // namespace secview
+
+#endif  // SECVIEW_XML_LABEL_INDEX_H_

@@ -1,0 +1,340 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace secview {
+
+namespace {
+
+/// Cursor over the input with line tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view input) : input_(input) {}
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t offset) const {
+    size_t p = pos_ + offset;
+    return p < input_.size() ? input_[p] : '\0';
+  }
+  void Advance() {
+    if (input_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+  void AdvanceBy(size_t n) {
+    for (size_t i = 0; i < n && !AtEnd(); ++i) Advance();
+  }
+  bool Consume(std::string_view token) {
+    if (input_.substr(pos_).substr(0, token.size()) != token) return false;
+    AdvanceBy(token.size());
+    return true;
+  }
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+  size_t pos() const { return pos_; }
+  int line() const { return line_; }
+  std::string_view Remaining() const { return input_.substr(pos_); }
+  std::string_view Slice(size_t begin, size_t end) const {
+    return input_.substr(begin, end - begin);
+  }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+Status ParseError(const Cursor& cursor, const std::string& what) {
+  return Status::InvalidArgument("XML parse error at line " +
+                                 std::to_string(cursor.line()) + ": " + what);
+}
+
+/// Decodes the predefined entities and numeric character references in `raw`.
+Result<std::string> DecodeText(std::string_view raw, const Cursor& cursor) {
+  std::string out;
+  out.reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    char c = raw[i];
+    if (c != '&') {
+      out += c;
+      continue;
+    }
+    size_t semi = raw.find(';', i);
+    if (semi == std::string_view::npos) {
+      return ParseError(cursor, "unterminated entity reference");
+    }
+    std::string_view name = raw.substr(i + 1, semi - i - 1);
+    if (name == "amp") {
+      out += '&';
+    } else if (name == "lt") {
+      out += '<';
+    } else if (name == "gt") {
+      out += '>';
+    } else if (name == "quot") {
+      out += '"';
+    } else if (name == "apos") {
+      out += '\'';
+    } else if (!name.empty() && name[0] == '#') {
+      int code = 0;
+      bool hex = name.size() > 1 && (name[1] == 'x' || name[1] == 'X');
+      std::string digits(name.substr(hex ? 2 : 1));
+      try {
+        code = std::stoi(digits, nullptr, hex ? 16 : 10);
+      } catch (...) {
+        return ParseError(cursor, "bad character reference &" +
+                                      std::string(name) + ";");
+      }
+      if (code < 0 || code > 0x10FFFF) {
+        return ParseError(cursor, "character reference out of range");
+      }
+      // Encode as UTF-8.
+      if (code < 0x80) {
+        out += static_cast<char>(code);
+      } else if (code < 0x800) {
+        out += static_cast<char>(0xC0 | (code >> 6));
+        out += static_cast<char>(0x80 | (code & 0x3F));
+      } else if (code < 0x10000) {
+        out += static_cast<char>(0xE0 | (code >> 12));
+        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (code & 0x3F));
+      } else {
+        out += static_cast<char>(0xF0 | (code >> 18));
+        out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (code & 0x3F));
+      }
+    } else {
+      return ParseError(cursor,
+                        "unknown entity reference &" + std::string(name) + ";");
+    }
+    i = semi;
+  }
+  return out;
+}
+
+Result<std::string> ParseName(Cursor& cursor) {
+  if (cursor.AtEnd() || !IsNameStartChar(cursor.Peek())) {
+    return ParseError(cursor, "expected a name");
+  }
+  size_t begin = cursor.pos();
+  while (!cursor.AtEnd() && IsNameChar(cursor.Peek())) cursor.Advance();
+  return std::string(cursor.Slice(begin, cursor.pos()));
+}
+
+/// Skips comments, PIs in the prolog, and DOCTYPE (with internal subset).
+Status SkipMisc(Cursor& cursor, bool allow_doctype) {
+  while (true) {
+    cursor.SkipWhitespace();
+    if (cursor.Consume("<?")) {
+      size_t end = cursor.Remaining().find("?>");
+      if (end == std::string_view::npos) {
+        return ParseError(cursor, "unterminated processing instruction");
+      }
+      cursor.AdvanceBy(end + 2);
+    } else if (cursor.Consume("<!--")) {
+      size_t end = cursor.Remaining().find("-->");
+      if (end == std::string_view::npos) {
+        return ParseError(cursor, "unterminated comment");
+      }
+      cursor.AdvanceBy(end + 3);
+    } else if (allow_doctype && cursor.Consume("<!DOCTYPE")) {
+      // Skip to the matching '>' accounting for a bracketed internal subset.
+      int depth = 0;
+      while (!cursor.AtEnd()) {
+        char c = cursor.Peek();
+        cursor.Advance();
+        if (c == '[') ++depth;
+        if (c == ']') --depth;
+        if (c == '>' && depth == 0) break;
+      }
+    } else {
+      return Status::OK();
+    }
+  }
+}
+
+struct Attr {
+  std::string name;
+  std::string value;
+};
+
+Result<std::vector<Attr>> ParseAttributes(Cursor& cursor) {
+  std::vector<Attr> attrs;
+  while (true) {
+    cursor.SkipWhitespace();
+    if (cursor.AtEnd()) return ParseError(cursor, "unterminated start tag");
+    char c = cursor.Peek();
+    if (c == '>' || c == '/') return attrs;
+    SECVIEW_ASSIGN_OR_RETURN(std::string name, ParseName(cursor));
+    cursor.SkipWhitespace();
+    if (!cursor.Consume("=")) {
+      return ParseError(cursor, "expected '=' after attribute name");
+    }
+    cursor.SkipWhitespace();
+    char quote = cursor.AtEnd() ? '\0' : cursor.Peek();
+    if (quote != '"' && quote != '\'') {
+      return ParseError(cursor, "expected quoted attribute value");
+    }
+    cursor.Advance();
+    size_t begin = cursor.pos();
+    while (!cursor.AtEnd() && cursor.Peek() != quote) cursor.Advance();
+    if (cursor.AtEnd()) {
+      return ParseError(cursor, "unterminated attribute value");
+    }
+    SECVIEW_ASSIGN_OR_RETURN(
+        std::string value, DecodeText(cursor.Slice(begin, cursor.pos()), cursor));
+    cursor.Advance();  // closing quote
+    for (const Attr& existing : attrs) {
+      if (existing.name == name) {
+        return ParseError(cursor, "duplicate attribute '" + name + "'");
+      }
+    }
+    attrs.push_back({std::move(name), std::move(value)});
+  }
+}
+
+bool IsAllWhitespace(std::string_view s) {
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<XmlTree> ParseXml(std::string_view input, const XmlParseOptions& options) {
+  Cursor cursor(input);
+  SECVIEW_RETURN_IF_ERROR(SkipMisc(cursor, /*allow_doctype=*/true));
+
+  XmlTree tree;
+  std::vector<NodeId> open;  // stack of open elements
+
+  auto add_text = [&](std::string&& value) -> Status {
+    if (open.empty()) {
+      if (IsAllWhitespace(value)) return Status::OK();
+      return ParseError(cursor, "text outside the root element");
+    }
+    if (!options.keep_whitespace_text && IsAllWhitespace(value)) {
+      return Status::OK();
+    }
+    tree.AppendText(open.back(), value);
+    return Status::OK();
+  };
+
+  while (true) {
+    if (cursor.AtEnd()) break;
+    if (cursor.Peek() == '<') {
+      if (cursor.Consume("<!--")) {
+        size_t end = cursor.Remaining().find("-->");
+        if (end == std::string_view::npos) {
+          return ParseError(cursor, "unterminated comment");
+        }
+        cursor.AdvanceBy(end + 3);
+        continue;
+      }
+      if (cursor.Consume("<![CDATA[")) {
+        size_t end = cursor.Remaining().find("]]>");
+        if (end == std::string_view::npos) {
+          return ParseError(cursor, "unterminated CDATA section");
+        }
+        std::string value(cursor.Remaining().substr(0, end));
+        cursor.AdvanceBy(end + 3);
+        SECVIEW_RETURN_IF_ERROR(add_text(std::move(value)));
+        continue;
+      }
+      if (cursor.PeekAt(1) == '/') {
+        // End tag.
+        cursor.AdvanceBy(2);
+        SECVIEW_ASSIGN_OR_RETURN(std::string name, ParseName(cursor));
+        cursor.SkipWhitespace();
+        if (!cursor.Consume(">")) {
+          return ParseError(cursor, "expected '>' in end tag");
+        }
+        if (open.empty()) {
+          return ParseError(cursor, "unmatched end tag </" + name + ">");
+        }
+        if (tree.label(open.back()) != name) {
+          return ParseError(cursor, "mismatched end tag </" + name +
+                                        ">, expected </" +
+                                        std::string(tree.label(open.back())) +
+                                        ">");
+        }
+        open.pop_back();
+        if (open.empty()) break;  // document element closed
+        continue;
+      }
+      if (cursor.PeekAt(1) == '?') {
+        return ParseError(cursor, "processing instructions in content are "
+                                  "not supported");
+      }
+      // Start tag.
+      cursor.Advance();  // '<'
+      SECVIEW_ASSIGN_OR_RETURN(std::string name, ParseName(cursor));
+      SECVIEW_ASSIGN_OR_RETURN(std::vector<Attr> attrs,
+                               ParseAttributes(cursor));
+      bool self_closing = cursor.Consume("/");
+      if (!cursor.Consume(">")) {
+        return ParseError(cursor, "expected '>' in start tag");
+      }
+      NodeId node;
+      if (open.empty()) {
+        if (!tree.empty()) {
+          return ParseError(cursor, "multiple root elements");
+        }
+        node = tree.CreateRoot(name);
+      } else {
+        node = tree.AppendElement(open.back(), name);
+      }
+      for (const Attr& attr : attrs) {
+        tree.SetAttribute(node, attr.name, attr.value);
+      }
+      if (!self_closing) {
+        open.push_back(node);
+      } else if (open.empty()) {
+        break;  // self-closing root
+      }
+      continue;
+    }
+    // Character data.
+    size_t begin = cursor.pos();
+    while (!cursor.AtEnd() && cursor.Peek() != '<') cursor.Advance();
+    SECVIEW_ASSIGN_OR_RETURN(
+        std::string value, DecodeText(cursor.Slice(begin, cursor.pos()), cursor));
+    SECVIEW_RETURN_IF_ERROR(add_text(std::move(value)));
+  }
+
+  if (!open.empty()) {
+    return ParseError(cursor, "unexpected end of input: <" +
+                                  std::string(tree.label(open.back())) +
+                                  "> is not closed");
+  }
+  if (tree.empty()) {
+    return ParseError(cursor, "no root element");
+  }
+  // Trailing misc.
+  SECVIEW_RETURN_IF_ERROR(SkipMisc(cursor, /*allow_doctype=*/false));
+  cursor.SkipWhitespace();
+  if (!cursor.AtEnd()) {
+    return ParseError(cursor, "unexpected content after the root element");
+  }
+  return tree;
+}
+
+Result<XmlTree> ParseXmlFile(const std::string& path,
+                             const XmlParseOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseXml(buffer.str(), options);
+}
+
+}  // namespace secview

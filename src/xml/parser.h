@@ -1,0 +1,35 @@
+#ifndef SECVIEW_XML_PARSER_H_
+#define SECVIEW_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/tree.h"
+
+namespace secview {
+
+/// Parses a well-formed XML document into an XmlTree.
+///
+/// Supported: prolog, comments, DOCTYPE declarations (skipped), elements,
+/// attributes, character data with the five predefined entity references,
+/// and CDATA sections. Not supported (rejected): processing instructions
+/// in content, general entity definitions, namespaces-as-semantics (colons
+/// in names are treated as plain name characters).
+///
+/// Whitespace-only text between elements is dropped by default, matching
+/// the data model of the paper where PCDATA only appears under elements
+/// declared with `str` content. Set `keep_whitespace_text` to retain it.
+struct XmlParseOptions {
+  bool keep_whitespace_text = false;
+};
+
+Result<XmlTree> ParseXml(std::string_view input,
+                         const XmlParseOptions& options = {});
+
+/// Reads the file at `path` and parses it.
+Result<XmlTree> ParseXmlFile(const std::string& path,
+                             const XmlParseOptions& options = {});
+
+}  // namespace secview
+
+#endif  // SECVIEW_XML_PARSER_H_

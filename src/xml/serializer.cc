@@ -1,0 +1,84 @@
+#include "xml/serializer.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace secview {
+
+namespace {
+
+void WriteAttrs(const XmlTree& tree, NodeId node, std::ostream& os) {
+  for (const auto& [name, value] : tree.Attributes(node)) {
+    os << ' ' << name << "=\"" << XmlEscape(value) << '"';
+  }
+}
+
+void WriteNode(const XmlTree& tree, NodeId node, std::ostream& os,
+               const XmlWriteOptions& options, int depth) {
+  auto indent = [&](int d) {
+    if (!options.indent) return;
+    os << '\n';
+    for (int i = 0; i < d; ++i) os << "  ";
+  };
+  if (tree.IsText(node)) {
+    if (options.indent) indent(depth);
+    os << XmlEscape(tree.text(node));
+    return;
+  }
+  if (options.indent && depth > 0) indent(depth);
+  if (options.indent && depth == 0 && options.declaration) os << '\n';
+  os << '<' << tree.label(node);
+  WriteAttrs(tree, node, os);
+  NodeId child = tree.first_child(node);
+  if (child == kNullNode) {
+    os << "/>";
+    return;
+  }
+  os << '>';
+  bool text_only = true;
+  for (NodeId c = child; c != kNullNode; c = tree.next_sibling(c)) {
+    if (!tree.IsText(c)) text_only = false;
+  }
+  if (text_only && options.indent) {
+    // Keep `<name>value</name>` on one line for readability.
+    for (NodeId c = child; c != kNullNode; c = tree.next_sibling(c)) {
+      os << XmlEscape(tree.text(c));
+    }
+  } else {
+    for (NodeId c = child; c != kNullNode; c = tree.next_sibling(c)) {
+      WriteNode(tree, c, os, options, depth + 1);
+    }
+    if (options.indent) indent(depth);
+  }
+  os << "</" << tree.label(node) << '>';
+}
+
+}  // namespace
+
+void WriteXml(const XmlTree& tree, NodeId node, std::ostream& os,
+              const XmlWriteOptions& options) {
+  if (options.declaration) os << "<?xml version=\"1.0\"?>";
+  if (node == kNullNode) return;
+  WriteNode(tree, node, os, options, 0);
+  if (options.indent) os << '\n';
+}
+
+std::string ToXmlString(const XmlTree& tree, const XmlWriteOptions& options) {
+  std::ostringstream os;
+  WriteXml(tree, tree.root(), os, options);
+  return os.str();
+}
+
+Status WriteXmlFile(const XmlTree& tree, const std::string& path,
+                    const XmlWriteOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::NotFound("cannot open file for writing: " + path);
+  WriteXml(tree, tree.root(), out, options);
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace secview

@@ -1,0 +1,33 @@
+#ifndef SECVIEW_XML_SERIALIZER_H_
+#define SECVIEW_XML_SERIALIZER_H_
+
+#include <ostream>
+#include <string>
+
+#include "common/status.h"
+#include "xml/tree.h"
+
+namespace secview {
+
+struct XmlWriteOptions {
+  /// Pretty-print with two-space indentation when true; otherwise emit the
+  /// most compact form.
+  bool indent = false;
+  /// Emit the `<?xml version="1.0"?>` declaration.
+  bool declaration = false;
+};
+
+/// Serializes the subtree rooted at `node` to `os`.
+void WriteXml(const XmlTree& tree, NodeId node, std::ostream& os,
+              const XmlWriteOptions& options = {});
+
+/// Serializes the whole tree to a string.
+std::string ToXmlString(const XmlTree& tree, const XmlWriteOptions& options = {});
+
+/// Serializes the whole tree to the file at `path`.
+Status WriteXmlFile(const XmlTree& tree, const std::string& path,
+                    const XmlWriteOptions& options = {});
+
+}  // namespace secview
+
+#endif  // SECVIEW_XML_SERIALIZER_H_

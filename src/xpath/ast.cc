@@ -1,0 +1,454 @@
+#include "xpath/ast.h"
+
+namespace secview {
+
+namespace {
+
+PathPtr NewPath(PathKind kind) {
+  auto p = std::make_shared<PathExpr>();
+  p->kind = kind;
+  return p;
+}
+
+QualPtr NewQual(QualKind kind) {
+  auto q = std::make_shared<Qualifier>();
+  q->kind = kind;
+  return q;
+}
+
+}  // namespace
+
+PathPtr MakeEmptySet() {
+  // Shared singletons: the algebraic simplifications below test kinds, not
+  // identity, but sharing avoids churning tiny allocations.
+  static const auto& kInstance = *new PathPtr(NewPath(PathKind::kEmptySet));
+  return kInstance;
+}
+
+PathPtr MakeEpsilon() {
+  static const auto& kInstance = *new PathPtr(NewPath(PathKind::kEpsilon));
+  return kInstance;
+}
+
+PathPtr MakeLabel(std::string label) {
+  auto p = std::make_shared<PathExpr>();
+  p->kind = PathKind::kLabel;
+  p->label = std::move(label);
+  return p;
+}
+
+PathPtr MakeWildcard() {
+  static const auto& kInstance = *new PathPtr(NewPath(PathKind::kWildcard));
+  return kInstance;
+}
+
+PathPtr MakeSlash(PathPtr p1, PathPtr p2) {
+  if (p1->kind == PathKind::kEmptySet || p2->kind == PathKind::kEmptySet) {
+    return MakeEmptySet();
+  }
+  if (p1->kind == PathKind::kEpsilon) return p2;
+  if (p2->kind == PathKind::kEpsilon) return p1;
+  auto p = NewPath(PathKind::kSlash);
+  auto* mutable_p = const_cast<PathExpr*>(p.get());
+  mutable_p->left = std::move(p1);
+  mutable_p->right = std::move(p2);
+  return p;
+}
+
+PathPtr MakeDescOrSelf(PathPtr inner) {
+  if (inner->kind == PathKind::kEmptySet) return MakeEmptySet();
+  // //(//p) == //p
+  if (inner->kind == PathKind::kDescOrSelf) return inner;
+  auto p = NewPath(PathKind::kDescOrSelf);
+  const_cast<PathExpr*>(p.get())->left = std::move(inner);
+  return p;
+}
+
+PathPtr MakeUnion(PathPtr p1, PathPtr p2) {
+  if (p1->kind == PathKind::kEmptySet) return p2;
+  if (p2->kind == PathKind::kEmptySet) return p1;
+  if (p1 == p2 || PathEquals(p1, p2)) return p1;
+  // Distributivity: factoring common prefixes/suffixes keeps the
+  // recrw(A, B) expressions of the rewriting algorithm linear in |Dv|
+  // (the paper's symbolic-variable argument) and avoids re-evaluating
+  // shared branches.
+  if (p1->kind == PathKind::kSlash && p2->kind == PathKind::kSlash) {
+    if (p1->right == p2->right || PathEquals(p1->right, p2->right)) {
+      // x/c U y/c == (x U y)/c
+      return MakeSlash(MakeUnion(p1->left, p2->left), p1->right);
+    }
+    if (p1->left == p2->left || PathEquals(p1->left, p2->left)) {
+      // x/c U x/d == x/(c U d)
+      return MakeSlash(p1->left, MakeUnion(p1->right, p2->right));
+    }
+  }
+  auto p = NewPath(PathKind::kUnion);
+  auto* mutable_p = const_cast<PathExpr*>(p.get());
+  mutable_p->left = std::move(p1);
+  mutable_p->right = std::move(p2);
+  return p;
+}
+
+PathPtr MakeUnionAll(std::vector<PathPtr> paths) {
+  PathPtr out = MakeEmptySet();
+  for (PathPtr& p : paths) out = MakeUnion(std::move(out), std::move(p));
+  return out;
+}
+
+PathPtr MakeQualified(PathPtr p, QualPtr q) {
+  if (p->kind == PathKind::kEmptySet) return MakeEmptySet();
+  if (q->kind == QualKind::kTrue) return p;
+  if (q->kind == QualKind::kFalse) return MakeEmptySet();
+  auto out = NewPath(PathKind::kQualified);
+  auto* mutable_p = const_cast<PathExpr*>(out.get());
+  mutable_p->left = std::move(p);
+  mutable_p->qualifier = std::move(q);
+  return out;
+}
+
+PathPtr MakeDescendantStep(PathPtr p1, PathPtr p2) {
+  return MakeSlash(std::move(p1), MakeDescOrSelf(std::move(p2)));
+}
+
+QualPtr MakeQualPath(PathPtr p) {
+  if (p->kind == PathKind::kEmptySet) return MakeQualFalse();
+  if (p->kind == PathKind::kEpsilon) return MakeQualTrue();
+  auto q = NewQual(QualKind::kPath);
+  const_cast<Qualifier*>(q.get())->path = std::move(p);
+  return q;
+}
+
+QualPtr MakeQualEq(PathPtr p, std::string constant, bool is_param) {
+  if (p->kind == PathKind::kEmptySet) return MakeQualFalse();
+  auto q = NewQual(QualKind::kPathEqConst);
+  auto* mutable_q = const_cast<Qualifier*>(q.get());
+  mutable_q->path = std::move(p);
+  mutable_q->constant = std::move(constant);
+  mutable_q->is_param = is_param;
+  return q;
+}
+
+QualPtr MakeQualAttrEq(std::string attr, std::string value) {
+  auto q = NewQual(QualKind::kAttrEq);
+  auto* mutable_q = const_cast<Qualifier*>(q.get());
+  mutable_q->attr = std::move(attr);
+  mutable_q->constant = std::move(value);
+  return q;
+}
+
+QualPtr MakeQualAttrExists(std::string attr) {
+  auto q = NewQual(QualKind::kAttrExists);
+  const_cast<Qualifier*>(q.get())->attr = std::move(attr);
+  return q;
+}
+
+QualPtr MakeQualAnd(QualPtr a, QualPtr b) {
+  if (a->kind == QualKind::kFalse || b->kind == QualKind::kFalse) {
+    return MakeQualFalse();
+  }
+  if (a->kind == QualKind::kTrue) return b;
+  if (b->kind == QualKind::kTrue) return a;
+  auto q = NewQual(QualKind::kAnd);
+  auto* mutable_q = const_cast<Qualifier*>(q.get());
+  mutable_q->left = std::move(a);
+  mutable_q->right = std::move(b);
+  return q;
+}
+
+QualPtr MakeQualOr(QualPtr a, QualPtr b) {
+  if (a->kind == QualKind::kTrue || b->kind == QualKind::kTrue) {
+    return MakeQualTrue();
+  }
+  if (a->kind == QualKind::kFalse) return b;
+  if (b->kind == QualKind::kFalse) return a;
+  auto q = NewQual(QualKind::kOr);
+  auto* mutable_q = const_cast<Qualifier*>(q.get());
+  mutable_q->left = std::move(a);
+  mutable_q->right = std::move(b);
+  return q;
+}
+
+QualPtr MakeQualNot(QualPtr inner) {
+  if (inner->kind == QualKind::kTrue) return MakeQualFalse();
+  if (inner->kind == QualKind::kFalse) return MakeQualTrue();
+  if (inner->kind == QualKind::kNot) return inner->left;  // not(not(q)) == q
+  auto q = NewQual(QualKind::kNot);
+  const_cast<Qualifier*>(q.get())->left = std::move(inner);
+  return q;
+}
+
+QualPtr MakeQualTrue() {
+  static const auto& kInstance = *new QualPtr(NewQual(QualKind::kTrue));
+  return kInstance;
+}
+
+QualPtr MakeQualFalse() {
+  static const auto& kInstance = *new QualPtr(NewQual(QualKind::kFalse));
+  return kInstance;
+}
+
+bool PathEquals(const PathPtr& a, const PathPtr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case PathKind::kEmptySet:
+    case PathKind::kEpsilon:
+    case PathKind::kWildcard:
+      return true;
+    case PathKind::kLabel:
+      return a->label == b->label;
+    case PathKind::kSlash:
+    case PathKind::kUnion:
+      return PathEquals(a->left, b->left) && PathEquals(a->right, b->right);
+    case PathKind::kDescOrSelf:
+      return PathEquals(a->left, b->left);
+    case PathKind::kQualified:
+      return PathEquals(a->left, b->left) &&
+             QualEquals(a->qualifier, b->qualifier);
+  }
+  return false;
+}
+
+bool QualEquals(const QualPtr& a, const QualPtr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case QualKind::kTrue:
+    case QualKind::kFalse:
+      return true;
+    case QualKind::kPath:
+      return PathEquals(a->path, b->path);
+    case QualKind::kPathEqConst:
+      return a->constant == b->constant && a->is_param == b->is_param &&
+             PathEquals(a->path, b->path);
+    case QualKind::kAttrEq:
+      return a->attr == b->attr && a->constant == b->constant;
+    case QualKind::kAttrExists:
+      return a->attr == b->attr;
+    case QualKind::kAnd:
+    case QualKind::kOr:
+      return QualEquals(a->left, b->left) && QualEquals(a->right, b->right);
+    case QualKind::kNot:
+      return QualEquals(a->left, b->left);
+  }
+  return false;
+}
+
+int PathSize(const PathPtr& p) {
+  if (!p) return 0;
+  switch (p->kind) {
+    case PathKind::kEmptySet:
+    case PathKind::kEpsilon:
+    case PathKind::kWildcard:
+    case PathKind::kLabel:
+      return 1;
+    case PathKind::kSlash:
+    case PathKind::kUnion:
+      return 1 + PathSize(p->left) + PathSize(p->right);
+    case PathKind::kDescOrSelf:
+      return 1 + PathSize(p->left);
+    case PathKind::kQualified:
+      return 1 + PathSize(p->left) + QualSize(p->qualifier);
+  }
+  return 1;
+}
+
+int QualSize(const QualPtr& q) {
+  if (!q) return 0;
+  switch (q->kind) {
+    case QualKind::kTrue:
+    case QualKind::kFalse:
+      return 1;
+    case QualKind::kPath:
+      return 1 + PathSize(q->path);
+    case QualKind::kPathEqConst:
+      return 2 + PathSize(q->path);
+    case QualKind::kAttrEq:
+      return 2;
+    case QualKind::kAttrExists:
+      return 1;
+    case QualKind::kAnd:
+    case QualKind::kOr:
+      return 1 + QualSize(q->left) + QualSize(q->right);
+    case QualKind::kNot:
+      return 1 + QualSize(q->left);
+  }
+  return 1;
+}
+
+namespace {
+
+bool QualHasUnboundParams(const QualPtr& q) {
+  if (!q) return false;
+  switch (q->kind) {
+    case QualKind::kPathEqConst:
+      return q->is_param || HasUnboundParams(q->path);
+    case QualKind::kPath:
+      return HasUnboundParams(q->path);
+    case QualKind::kAnd:
+    case QualKind::kOr:
+      return QualHasUnboundParams(q->left) || QualHasUnboundParams(q->right);
+    case QualKind::kNot:
+      return QualHasUnboundParams(q->left);
+    default:
+      return false;
+  }
+}
+
+QualPtr BindQualParams(
+    const QualPtr& q,
+    const std::vector<std::pair<std::string, std::string>>& bindings);
+
+PathPtr BindPathParams(
+    const PathPtr& p,
+    const std::vector<std::pair<std::string, std::string>>& bindings) {
+  if (!p) return p;
+  switch (p->kind) {
+    case PathKind::kEmptySet:
+    case PathKind::kEpsilon:
+    case PathKind::kWildcard:
+    case PathKind::kLabel:
+      return p;
+    case PathKind::kSlash:
+      return MakeSlash(BindPathParams(p->left, bindings),
+                       BindPathParams(p->right, bindings));
+    case PathKind::kUnion:
+      return MakeUnion(BindPathParams(p->left, bindings),
+                       BindPathParams(p->right, bindings));
+    case PathKind::kDescOrSelf:
+      return MakeDescOrSelf(BindPathParams(p->left, bindings));
+    case PathKind::kQualified:
+      return MakeQualified(BindPathParams(p->left, bindings),
+                           BindQualParams(p->qualifier, bindings));
+  }
+  return p;
+}
+
+QualPtr BindQualParams(
+    const QualPtr& q,
+    const std::vector<std::pair<std::string, std::string>>& bindings) {
+  if (!q) return q;
+  switch (q->kind) {
+    case QualKind::kTrue:
+    case QualKind::kFalse:
+    case QualKind::kAttrEq:
+    case QualKind::kAttrExists:
+      return q;
+    case QualKind::kPath:
+      return MakeQualPath(BindPathParams(q->path, bindings));
+    case QualKind::kPathEqConst: {
+      std::string constant = q->constant;
+      bool is_param = q->is_param;
+      if (is_param) {
+        for (const auto& [name, value] : bindings) {
+          if (name == q->constant) {
+            constant = value;
+            is_param = false;
+            break;
+          }
+        }
+      }
+      return MakeQualEq(BindPathParams(q->path, bindings), std::move(constant),
+                        is_param);
+    }
+    case QualKind::kAnd:
+      return MakeQualAnd(BindQualParams(q->left, bindings),
+                         BindQualParams(q->right, bindings));
+    case QualKind::kOr:
+      return MakeQualOr(BindQualParams(q->left, bindings),
+                        BindQualParams(q->right, bindings));
+    case QualKind::kNot:
+      return MakeQualNot(BindQualParams(q->left, bindings));
+  }
+  return q;
+}
+
+}  // namespace
+
+bool HasUnboundParams(const PathPtr& p) {
+  if (!p) return false;
+  switch (p->kind) {
+    case PathKind::kEmptySet:
+    case PathKind::kEpsilon:
+    case PathKind::kWildcard:
+    case PathKind::kLabel:
+      return false;
+    case PathKind::kSlash:
+    case PathKind::kUnion:
+      return HasUnboundParams(p->left) || HasUnboundParams(p->right);
+    case PathKind::kDescOrSelf:
+      return HasUnboundParams(p->left);
+    case PathKind::kQualified:
+      return HasUnboundParams(p->left) || QualHasUnboundParams(p->qualifier);
+  }
+  return false;
+}
+
+namespace {
+
+QualPtr NormalizeQual(const QualPtr& q);
+
+PathPtr NormalizePathImpl(const PathPtr& p) {
+  switch (p->kind) {
+    case PathKind::kEmptySet:
+    case PathKind::kEpsilon:
+    case PathKind::kLabel:
+    case PathKind::kWildcard:
+      return p;
+    case PathKind::kSlash:
+      return MakeSlash(NormalizePathImpl(p->left), NormalizePathImpl(p->right));
+    case PathKind::kDescOrSelf:
+      return MakeDescOrSelf(NormalizePathImpl(p->left));
+    case PathKind::kUnion:
+      return MakeUnion(NormalizePathImpl(p->left), NormalizePathImpl(p->right));
+    case PathKind::kQualified: {
+      QualPtr q = NormalizeQual(p->qualifier);
+      if (p->left->kind == PathKind::kEpsilon) {
+        return MakeQualified(MakeEpsilon(), std::move(q));
+      }
+      return MakeSlash(NormalizePathImpl(p->left),
+                       MakeQualified(MakeEpsilon(), std::move(q)));
+    }
+  }
+  return p;
+}
+
+QualPtr NormalizeQual(const QualPtr& q) {
+  switch (q->kind) {
+    case QualKind::kTrue:
+    case QualKind::kFalse:
+    case QualKind::kAttrEq:
+    case QualKind::kAttrExists:
+      return q;
+    case QualKind::kPath:
+      return MakeQualPath(NormalizePathImpl(q->path));
+    case QualKind::kPathEqConst:
+      return MakeQualEq(NormalizePathImpl(q->path), q->constant, q->is_param);
+    case QualKind::kAnd:
+      return MakeQualAnd(NormalizeQual(q->left), NormalizeQual(q->right));
+    case QualKind::kOr:
+      return MakeQualOr(NormalizeQual(q->left), NormalizeQual(q->right));
+    case QualKind::kNot:
+      return MakeQualNot(NormalizeQual(q->left));
+  }
+  return q;
+}
+
+
+}  // namespace
+
+PathPtr NormalizeQualifierSteps(const PathPtr& p) {
+  return NormalizePathImpl(p);
+}
+
+bool HasUnboundParams(const QualPtr& q) { return QualHasUnboundParams(q); }
+
+PathPtr BindParams(
+    const PathPtr& p,
+    const std::vector<std::pair<std::string, std::string>>& bindings) {
+  return BindPathParams(p, bindings);
+}
+
+}  // namespace secview

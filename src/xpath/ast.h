@@ -1,0 +1,145 @@
+#ifndef SECVIEW_XPATH_AST_H_
+#define SECVIEW_XPATH_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace secview {
+
+struct PathExpr;
+struct Qualifier;
+
+/// XPath ASTs are immutable and shared: the rewriting and optimization
+/// algorithms build large unions that reuse subexpressions, so nodes are
+/// handed around as shared_ptr<const>.
+using PathPtr = std::shared_ptr<const PathExpr>;
+using QualPtr = std::shared_ptr<const Qualifier>;
+
+/// Node kinds of the paper's XPath fragment C (Section 2):
+///
+///   p ::= empty | epsilon | l | * | p/p | //p | p U p | p[q]
+///
+/// `kDescOrSelf` is the unary '//p' form: descendant-or-self, then p.
+enum class PathKind {
+  kEmptySet,   ///< the special query returning the empty set over all trees
+  kEpsilon,    ///< the empty path (context node itself)
+  kLabel,      ///< child step by element-type name
+  kWildcard,   ///< child step matching any element
+  kSlash,      ///< composition p1/p2
+  kDescOrSelf, ///< //p1
+  kUnion,      ///< p1 U p2
+  kQualified,  ///< p1[q]
+};
+
+/// Qualifier kinds:
+///
+///   q ::= p | p = 'c' | q and q | q or q | not(q)
+///
+/// plus the constant qualifiers (used by the optimizer when a DTD
+/// constraint fixes a truth value) and an attribute-equality extension
+/// used by the paper's "naive" baseline ([@accessibility="1"]).
+enum class QualKind {
+  kPath,        ///< [p]      — existence
+  kPathEqConst, ///< [p = c]  — some reached node has string value c
+  kAnd,
+  kOr,
+  kNot,
+  kTrue,        ///< always holds (optimizer result)
+  kFalse,       ///< never holds (optimizer result)
+  kAttrEq,      ///< [@name = "value"] — attribute extension
+  kAttrExists,  ///< [@name] — attribute presence
+};
+
+/// An XPath path expression. Construct via the Make* factories below,
+/// which apply the paper's algebraic identities (e.g. `empty/p == empty`,
+/// `empty U p == p`) so that generated queries stay small.
+struct PathExpr {
+  PathKind kind;
+  std::string label;  // kLabel only
+  PathPtr left;       // kSlash/kUnion: lhs; kDescOrSelf/kQualified: operand
+  PathPtr right;      // kSlash/kUnion: rhs
+  QualPtr qualifier;  // kQualified only
+};
+
+/// An XPath qualifier.
+struct Qualifier {
+  QualKind kind;
+  PathPtr path;          // kPath, kPathEqConst
+  std::string constant;  // kPathEqConst / kAttrEq: comparison value
+  bool is_param = false; // kPathEqConst: constant is a $parameter name
+  std::string attr;      // kAttrEq: attribute name
+  QualPtr left;          // kAnd/kOr: lhs; kNot: operand
+  QualPtr right;         // kAnd/kOr: rhs
+};
+
+// -- Path factories ---------------------------------------------------------
+
+PathPtr MakeEmptySet();
+PathPtr MakeEpsilon();
+PathPtr MakeLabel(std::string label);
+PathPtr MakeWildcard();
+
+/// p1/p2 with simplifications: empty absorbs, epsilon is the identity.
+PathPtr MakeSlash(PathPtr p1, PathPtr p2);
+
+/// //p with simplification //empty == empty.
+PathPtr MakeDescOrSelf(PathPtr p);
+
+/// p1 U p2 with simplifications: empty is the identity; p U p == p when
+/// the operands are the same object.
+PathPtr MakeUnion(PathPtr p1, PathPtr p2);
+
+/// Folds MakeUnion over the list; empty set for an empty list.
+PathPtr MakeUnionAll(std::vector<PathPtr> paths);
+
+/// p[q] with simplifications: p[true] == p, p[false] == empty,
+/// empty[q] == empty.
+PathPtr MakeQualified(PathPtr p, QualPtr q);
+
+/// Convenience: p1//p2 == p1 / (//p2).
+PathPtr MakeDescendantStep(PathPtr p1, PathPtr p2);
+
+// -- Qualifier factories ------------------------------------------------------
+
+QualPtr MakeQualPath(PathPtr p);
+QualPtr MakeQualEq(PathPtr p, std::string constant, bool is_param = false);
+QualPtr MakeQualAttrEq(std::string attr, std::string value);
+QualPtr MakeQualAttrExists(std::string attr);
+QualPtr MakeQualAnd(QualPtr a, QualPtr b);
+QualPtr MakeQualOr(QualPtr a, QualPtr b);
+QualPtr MakeQualNot(QualPtr q);
+QualPtr MakeQualTrue();
+QualPtr MakeQualFalse();
+
+// -- Inspection ---------------------------------------------------------------
+
+/// Structural equality.
+bool PathEquals(const PathPtr& a, const PathPtr& b);
+bool QualEquals(const QualPtr& a, const QualPtr& b);
+
+/// |p|: number of AST nodes (paths + qualifiers), the size measure in the
+/// paper's complexity bounds.
+int PathSize(const PathPtr& p);
+int QualSize(const QualPtr& q);
+
+/// True iff the expression contains a $parameter that must be bound
+/// before evaluation.
+bool HasUnboundParams(const PathPtr& p);
+bool HasUnboundParams(const QualPtr& q);
+
+/// Replaces every [p = $name] whose parameter appears in `bindings`
+/// (name -> value) by [p = value]. Unknown parameters are left in place.
+PathPtr BindParams(
+    const PathPtr& p,
+    const std::vector<std::pair<std::string, std::string>>& bindings);
+
+/// Normalizes p[q] (p != epsilon) into p/.[q], recursively (also inside
+/// qualifiers), so that algorithms that rewrite or optimize qualifiers
+/// always see them attached to a definite context (the paper's case
+/// epsilon[q]). Semantics-preserving.
+PathPtr NormalizeQualifierSteps(const PathPtr& p);
+
+}  // namespace secview
+
+#endif  // SECVIEW_XPATH_AST_H_

@@ -1,0 +1,218 @@
+#include "xpath/evaluator.h"
+
+#include <algorithm>
+
+#include "xml/label_index.h"
+
+namespace secview {
+
+Result<NodeSet> XPathEvaluator::Evaluate(const PathPtr& p, NodeId context) {
+  NodeSet ctx{context};
+  return Evaluate(p, ctx);
+}
+
+Result<NodeSet> XPathEvaluator::Evaluate(const PathPtr& p,
+                                         const NodeSet& context) {
+  if (!p) return Status::InvalidArgument("null query");
+  if (HasUnboundParams(p)) {
+    return Status::FailedPrecondition(
+        "query contains unbound $parameters; call BindParams first");
+  }
+  return Eval(p, context);
+}
+
+Result<bool> XPathEvaluator::EvaluateQualifier(const QualPtr& q, NodeId node) {
+  if (!q) return Status::InvalidArgument("null qualifier");
+  if (HasUnboundParams(q)) {
+    return Status::FailedPrecondition(
+        "qualifier contains unbound $parameters; call BindParams first");
+  }
+  return EvalQual(q, node);
+}
+
+void XPathEvaluator::SortUnique(NodeSet& set) {
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+}
+
+NodeSet XPathEvaluator::Eval(const PathPtr& p, const NodeSet& ctx) {
+  if (ctx.empty()) return {};
+  switch (p->kind) {
+    case PathKind::kEmptySet:
+      return {};
+    case PathKind::kEpsilon:
+      return ctx;
+    case PathKind::kLabel: {
+      int label_id = tree_->FindLabelId(p->label);
+      if (label_id < 0) return {};  // label absent from the document
+      return EvalLabel(label_id, ctx);
+    }
+    case PathKind::kWildcard:
+      return EvalWildcard(ctx);
+    case PathKind::kSlash: {
+      NodeSet mid = Eval(p->left, ctx);
+      return Eval(p->right, mid);
+    }
+    case PathKind::kDescOrSelf: {
+      // Indexed fast path for '//label' (with or without a qualifier):
+      // the descendants of each context subtree carrying the label are a
+      // binary-searchable slice of the index's posting list.
+      if (index_ != nullptr) {
+        const PathPtr& step = p->left;
+        const PathPtr* label_part = &step;
+        if (step->kind == PathKind::kQualified) label_part = &step->left;
+        if ((*label_part)->kind == PathKind::kLabel) {
+          int label_id = tree_->FindLabelId((*label_part)->label);
+          if (label_id < 0) return {};
+          NodeSet matches = EvalDescLabelIndexed(label_id, ctx);
+          if (step->kind != PathKind::kQualified) return matches;
+          NodeSet out;
+          out.reserve(matches.size());
+          for (NodeId v : matches) {
+            if (EvalQual(step->qualifier, v)) out.push_back(v);
+          }
+          return out;
+        }
+      }
+      NodeSet closure = EvalDescOrSelf(ctx);
+      return Eval(p->left, closure);
+    }
+    case PathKind::kUnion: {
+      NodeSet a = Eval(p->left, ctx);
+      NodeSet b = Eval(p->right, ctx);
+      NodeSet out;
+      out.reserve(a.size() + b.size());
+      std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                     std::back_inserter(out));
+      return out;
+    }
+    case PathKind::kQualified: {
+      NodeSet candidates = Eval(p->left, ctx);
+      NodeSet out;
+      out.reserve(candidates.size());
+      for (NodeId v : candidates) {
+        if (EvalQual(p->qualifier, v)) out.push_back(v);
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+NodeSet XPathEvaluator::EvalLabel(int label_id, const NodeSet& ctx) {
+  NodeSet out;
+  for (NodeId v : ctx) {
+    if (!tree_->IsElement(v)) continue;
+    for (NodeId c = tree_->first_child(v); c != kNullNode;
+         c = tree_->next_sibling(c)) {
+      ++work_;
+      if (tree_->IsElement(c) && tree_->label_id(c) == label_id) {
+        out.push_back(c);
+      }
+    }
+  }
+  // Context nodes may be nested within each other, in which case the
+  // concatenated child lists are not globally sorted.
+  SortUnique(out);
+  return out;
+}
+
+NodeSet XPathEvaluator::EvalWildcard(const NodeSet& ctx) {
+  NodeSet out;
+  for (NodeId v : ctx) {
+    if (!tree_->IsElement(v)) continue;
+    for (NodeId c = tree_->first_child(v); c != kNullNode;
+         c = tree_->next_sibling(c)) {
+      ++work_;
+      if (tree_->IsElement(c)) out.push_back(c);
+    }
+  }
+  SortUnique(out);
+  return out;
+}
+
+NodeSet XPathEvaluator::EvalDescLabelIndexed(int label_id,
+                                             const NodeSet& ctx) {
+  // '//l' selects l-children of the descendant-or-self closure — i.e.,
+  // l-labeled strict descendants of ctx nodes, plus l-labeled ctx
+  // children of... precisely: nodes labeled l whose parent is in the
+  // closure, which is every l node inside a ctx subtree except a ctx
+  // node that is itself the subtree root. Since the root of the range is
+  // never a child of a closure member unless nested in another ctx
+  // subtree (ranges below handle that by skipping covered ranges), drop
+  // the range's own first element when it equals the subtree root.
+  NodeSet out;
+  NodeId covered_until = kNullNode;
+  for (NodeId v : ctx) {
+    if (v < covered_until) continue;
+    NodeId end = tree_->SubtreeEnd(v);
+    auto [first, last] = index_->Range(label_id, v, end);
+    for (const NodeId* it = first; it != last; ++it) {
+      ++work_;
+      if (*it == v) continue;  // the subtree root is not its own child
+      out.push_back(*it);
+    }
+    covered_until = end;
+  }
+  return out;
+}
+
+NodeSet XPathEvaluator::EvalDescOrSelf(const NodeSet& ctx) {
+  // ctx is sorted; overlapping subtree ranges are skipped by tracking the
+  // end of the last emitted range. Output is sorted by construction.
+  NodeSet out;
+  NodeId covered_until = kNullNode;
+  for (NodeId v : ctx) {
+    if (v < covered_until) continue;  // already inside an emitted subtree
+    NodeId end = tree_->SubtreeEnd(v);
+    for (NodeId i = v; i < end; ++i) {
+      ++work_;
+      if (tree_->IsElement(i)) out.push_back(i);
+    }
+    covered_until = end;
+  }
+  return out;
+}
+
+bool XPathEvaluator::EvalQual(const QualPtr& q, NodeId node) {
+  switch (q->kind) {
+    case QualKind::kTrue:
+      return true;
+    case QualKind::kFalse:
+      return false;
+    case QualKind::kPath: {
+      NodeSet ctx{node};
+      return !Eval(q->path, ctx).empty();
+    }
+    case QualKind::kPathEqConst: {
+      NodeSet ctx{node};
+      NodeSet reached = Eval(q->path, ctx);
+      for (NodeId v : reached) {
+        ++work_;
+        if (tree_->CollectText(v) == q->constant) return true;
+      }
+      return false;
+    }
+    case QualKind::kAttrEq: {
+      auto value = tree_->GetAttribute(node, q->attr);
+      return value.has_value() && *value == q->constant;
+    }
+    case QualKind::kAttrExists:
+      return tree_->GetAttribute(node, q->attr).has_value();
+    case QualKind::kAnd:
+      return EvalQual(q->left, node) && EvalQual(q->right, node);
+    case QualKind::kOr:
+      return EvalQual(q->left, node) || EvalQual(q->right, node);
+    case QualKind::kNot:
+      return !EvalQual(q->left, node);
+  }
+  return false;
+}
+
+Result<NodeSet> EvaluateAtRoot(const XmlTree& tree, const PathPtr& p) {
+  if (tree.empty()) return Status::InvalidArgument("empty document");
+  XPathEvaluator evaluator(tree);
+  return evaluator.Evaluate(p, tree.root());
+}
+
+}  // namespace secview

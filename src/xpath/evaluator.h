@@ -1,0 +1,74 @@
+#ifndef SECVIEW_XPATH_EVALUATOR_H_
+#define SECVIEW_XPATH_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/tree.h"
+#include "xpath/ast.h"
+
+namespace secview {
+
+/// A set of element nodes, sorted by NodeId (== document order), no
+/// duplicates.
+using NodeSet = std::vector<NodeId>;
+
+/// Set-at-a-time evaluator for the paper's XPath fragment over one
+/// XmlTree. The result of evaluating p at context v is v[[p]]: the set of
+/// element nodes reachable via p from v (Section 2). Node sets contain
+/// element nodes; `[p = c]` compares the concatenated text content of the
+/// reached elements with c, which coincides with the paper's text-node
+/// formulation because PCDATA only occurs under str-typed elements.
+///
+/// The evaluator is stateless between calls apart from a work counter
+/// (nodes touched), which benchmarks use as a machine-independent cost
+/// measure.
+class LabelIndex;
+
+class XPathEvaluator {
+ public:
+  explicit XPathEvaluator(const XmlTree& tree) : tree_(&tree) {}
+
+  /// With a label index attached, '//label' steps are answered from the
+  /// index in O(log N + matches) instead of scanning subtrees (the index
+  /// must be built over the same tree).
+  XPathEvaluator(const XmlTree& tree, const LabelIndex* index)
+      : tree_(&tree), index_(index) {}
+
+  /// Evaluates `p` at a single context node. Fails if `p` still contains
+  /// unbound $parameters.
+  Result<NodeSet> Evaluate(const PathPtr& p, NodeId context);
+
+  /// Evaluates `p` at a set of context nodes (must be sorted, duplicate
+  /// free).
+  Result<NodeSet> Evaluate(const PathPtr& p, const NodeSet& context);
+
+  /// Evaluates a qualifier at one node.
+  Result<bool> EvaluateQualifier(const QualPtr& q, NodeId node);
+
+  /// Nodes touched since construction or ResetWork().
+  uint64_t work() const { return work_; }
+  void ResetWork() { work_ = 0; }
+
+ private:
+  NodeSet Eval(const PathPtr& p, const NodeSet& ctx);
+  NodeSet EvalLabel(int label_id, const NodeSet& ctx);
+  NodeSet EvalDescLabelIndexed(int label_id, const NodeSet& ctx);
+  NodeSet EvalWildcard(const NodeSet& ctx);
+  NodeSet EvalDescOrSelf(const NodeSet& ctx);
+  bool EvalQual(const QualPtr& q, NodeId node);
+
+  static void SortUnique(NodeSet& set);
+
+  const XmlTree* tree_;
+  const LabelIndex* index_ = nullptr;
+  uint64_t work_ = 0;
+};
+
+/// Convenience wrapper: evaluates `p` at the tree root.
+Result<NodeSet> EvaluateAtRoot(const XmlTree& tree, const PathPtr& p);
+
+}  // namespace secview
+
+#endif  // SECVIEW_XPATH_EVALUATOR_H_

@@ -1,0 +1,30 @@
+#ifndef SECVIEW_XPATH_PARSER_H_
+#define SECVIEW_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xpath/ast.h"
+
+namespace secview {
+
+/// Parses an XPath expression in the paper's fragment C (Section 2):
+///
+///   p ::= '.' | name | '*' | p '/' p | '//' p | p '|' p | p '[' q ']'
+///   q ::= p | p '=' literal | q 'and' q | q 'or' q | 'not(' q ')'
+///         | 'true()' | 'false()' | '@'name '=' literal
+///   literal ::= '"'chars'"' | "'"chars"'" | '$'name
+///
+/// `$name` literals are query parameters (the paper's $wardNo); bind them
+/// with BindParams() before evaluation. Expressions are relative to the
+/// context node; a leading '//' is allowed, a leading single '/' is not
+/// (the library evaluates queries at the root element, so absolute paths
+/// are expressed by omitting the root step).
+Result<PathPtr> ParseXPath(std::string_view input);
+
+/// Parses a bare qualifier (the part between '[' and ']').
+Result<QualPtr> ParseXPathQualifier(std::string_view input);
+
+}  // namespace secview
+
+#endif  // SECVIEW_XPATH_PARSER_H_

@@ -1,0 +1,22 @@
+#ifndef SECVIEW_XPATH_PRINTER_H_
+#define SECVIEW_XPATH_PRINTER_H_
+
+#include <string>
+
+#include "xpath/ast.h"
+
+namespace secview {
+
+/// Renders a path expression in the concrete syntax accepted by
+/// ParseXPath. Parentheses are inserted exactly where precedence demands
+/// (union under slash, composite steps under qualifiers), so
+/// ParseXPath(ToXPathString(p)) accepts every printable expression and
+/// yields a semantically equivalent one.
+std::string ToXPathString(const PathPtr& p);
+
+/// Renders a qualifier (without the surrounding brackets).
+std::string ToXPathString(const QualPtr& q);
+
+}  // namespace secview
+
+#endif  // SECVIEW_XPATH_PRINTER_H_

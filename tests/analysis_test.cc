@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "security/analysis.h"
+#include "security/derive.h"
+#include "security/materializer.h"
+#include "security/spec_parser.h"
+#include "workload/adex.h"
+#include "workload/hospital.h"
+#include "xml/parser.h"
+
+namespace secview {
+namespace {
+
+SecurityView Derive(const Dtd& dtd, const std::string& spec_text) {
+  auto spec = ParseAccessSpec(dtd, spec_text);
+  EXPECT_TRUE(spec.ok()) << spec.status();
+  auto view = DeriveSecurityView(*spec);
+  EXPECT_TRUE(view.ok()) << view.status();
+  return std::move(view).value();
+}
+
+TEST(AnalysisTest, NurseViewWarnsOnlyAboutTheWardQualifier) {
+  // The hospital nurse policy is complete except for the star-filtered
+  // dept qualifier — which is a star slot, so no warning; the view has
+  // no conditional One slots and no dropped alternatives.
+  Dtd dtd = MakeHospitalDtd();
+  auto spec = MakeNurseSpec(dtd);
+  ASSERT_TRUE(spec.ok());
+  auto view = DeriveSecurityView(*spec);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(AnalyzeViewCompleteness(*view).empty());
+}
+
+TEST(AnalysisTest, AdexViewIsComplete) {
+  Dtd dtd = MakeAdexDtd();
+  auto spec = MakeAdexSpec(dtd);
+  ASSERT_TRUE(spec.ok());
+  auto view = DeriveSecurityView(*spec);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(AnalyzeViewCompleteness(*view).empty());
+}
+
+TEST(AnalysisTest, FlagsDroppedChoiceAlternative) {
+  Dtd dtd;
+  ASSERT_TRUE(dtd.AddType("r", ContentModel::Choice({"x", "y"})).ok());
+  ASSERT_TRUE(dtd.AddType("x", ContentModel::Text()).ok());
+  ASSERT_TRUE(dtd.AddType("y", ContentModel::Text()).ok());
+  ASSERT_TRUE(dtd.SetRoot("r").ok());
+  ASSERT_TRUE(dtd.Finalize().ok());
+  SecurityView view = Derive(dtd, "ann(r, y) = N");
+  auto warnings = AnalyzeViewCompleteness(view);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].view_type, "r");
+  EXPECT_NE(warnings[0].description.find("alternative"), std::string::npos);
+
+  // The warning corresponds to a real abort.
+  auto spec = ParseAccessSpec(dtd, "ann(r, y) = N");
+  ASSERT_TRUE(spec.ok());
+  auto chose_y = ParseXml("<r><y>1</y></r>");
+  ASSERT_TRUE(chose_y.ok());
+  EXPECT_EQ(MaterializeView(*chose_y, view, *spec).status().code(),
+            StatusCode::kAborted);
+}
+
+TEST(AnalysisTest, FlagsConditionalRequiredField) {
+  Dtd dtd;
+  ASSERT_TRUE(dtd.AddType("r", ContentModel::Sequence({"a", "b"})).ok());
+  ASSERT_TRUE(dtd.AddType("a", ContentModel::Text()).ok());
+  ASSERT_TRUE(dtd.AddType("b", ContentModel::Text()).ok());
+  ASSERT_TRUE(dtd.SetRoot("r").ok());
+  ASSERT_TRUE(dtd.Finalize().ok());
+  SecurityView view = Derive(dtd, "ann(r, a) = [. = \"go\"]");
+  auto warnings = AnalyzeViewCompleteness(view);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].slot, "a");
+  EXPECT_NE(warnings[0].description.find("conditional"), std::string::npos);
+}
+
+TEST(AnalysisTest, StarQualifiersDoNotWarn) {
+  Dtd dtd;
+  ASSERT_TRUE(dtd.AddType("r", ContentModel::Star("item")).ok());
+  ASSERT_TRUE(dtd.AddType("item", ContentModel::Text()).ok());
+  ASSERT_TRUE(dtd.SetRoot("r").ok());
+  ASSERT_TRUE(dtd.Finalize().ok());
+  SecurityView view = Derive(dtd, "ann(r, item) = [. = \"keep\"]");
+  EXPECT_TRUE(AnalyzeViewCompleteness(view).empty());
+}
+
+TEST(AnalysisTest, WarningToString) {
+  CompletenessWarning warning{"t", "s", "something can abort"};
+  EXPECT_EQ(warning.ToString(), "t: something can abort");
+}
+
+}  // namespace
+}  // namespace secview

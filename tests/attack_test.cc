@@ -1,0 +1,202 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "security/annotator.h"
+#include "security/derive.h"
+#include "security/materializer.h"
+#include "workload/hospital.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xpath/parser.h"
+#include "xpath/evaluator.h"
+#include "xpath/printer.h"
+
+namespace secview {
+namespace {
+
+/// Adversarial probes against the nurse view: every query a user can
+/// write must return exactly what the (virtual) view semantics say —
+/// nothing about hidden structure, content, or membership may be
+/// inferable from answers. Each test expresses an attack strategy from
+/// the access-control literature the paper discusses.
+
+constexpr char kNursePolicy[] = R"(
+  ann(hospital, dept) = [*/patient/wardNo = $wardNo]
+  ann(dept, clinicalTrial) = N
+  ann(clinicalTrial, patientInfo) = Y
+  ann(treatment, trial) = N
+  ann(treatment, regular) = N
+  ann(trial, bill) = Y
+  ann(regular, bill) = Y
+  ann(regular, medication) = Y
+)";
+
+class AttackTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto engine = SecureQueryEngine::Create(MakeHospitalDtd());
+    ASSERT_TRUE(engine.ok());
+    engine_ = std::move(engine).value();
+    ASSERT_TRUE(engine_->RegisterPolicy("nurse", kNursePolicy).ok());
+    auto doc = ParseXml(R"(
+      <hospital>
+        <dept>
+          <clinicalTrial>
+            <patientInfo>
+              <patient><name>carol</name><wardNo>3</wardNo>
+                <treatment><trial><bill>900</bill></trial></treatment>
+              </patient>
+            </patientInfo>
+            <test>secret-trial-data</test>
+          </clinicalTrial>
+          <patientInfo>
+            <patient><name>dave</name><wardNo>3</wardNo>
+              <treatment><regular><bill>120</bill><medication>m</medication></regular></treatment>
+            </patient>
+          </patientInfo>
+          <staffInfo/>
+        </dept>
+      </hospital>
+    )");
+    ASSERT_TRUE(doc.ok());
+    doc_ = std::move(doc).value();
+    options_.bindings = {{"wardNo", "3"}};
+  }
+
+  NodeSet Run(const std::string& query) {
+    auto result = engine_->Execute("nurse", doc_, query, options_);
+    EXPECT_TRUE(result.ok()) << query << ": " << result.status();
+    return result.ok() ? result->nodes : NodeSet{};
+  }
+
+  std::unique_ptr<SecureQueryEngine> engine_;
+  XmlTree doc_;
+  ExecuteOptions options_;
+};
+
+TEST_F(AttackTest, HiddenLabelsInStepsReturnNothing) {
+  for (const char* probe :
+       {"//clinicalTrial", "//trial", "//regular", "//test",
+        "dept/clinicalTrial/patientInfo", "//clinicalTrial//name"}) {
+    EXPECT_TRUE(Run(probe).empty()) << probe;
+  }
+}
+
+TEST_F(AttackTest, HiddenLabelsInQualifiersBehaveAsViewSemantics) {
+  // [//trial] is false everywhere on the view (no trial elements exist
+  // there) — so the positive probe selects nothing and the negated probe
+  // selects everything, for trial and non-trial patients alike.
+  EXPECT_TRUE(Run("//patient[//trial]").empty());
+  EXPECT_EQ(Run("//patient[not(//trial)]").size(), 2u);
+  EXPECT_EQ(Run("//patient[not(//clinicalTrial)]/name").size(), 2u);
+  // Both answers are independent of actual trial membership: carol (in a
+  // trial) and dave (not) are indistinguishable.
+}
+
+TEST_F(AttackTest, TextOfHiddenElementsNotComparable) {
+  // The test element's content must not be probeable through any path.
+  EXPECT_TRUE(Run(".[//test = \"secret-trial-data\"]").empty());
+  EXPECT_TRUE(Run("//dept[clinicalTrial/test = \"secret-trial-data\"]")
+                  .empty());
+}
+
+TEST_F(AttackTest, CountingAttackOnDescendantVsChild) {
+  // Example 1.1 generalized: for every pair (child-axis path,
+  // descendant-axis variant) over exposed labels, the answers coincide —
+  // the view has no hidden intermediate levels to diff against.
+  const std::pair<const char*, const char*> pairs[] = {
+      {"dept/patientInfo/patient", "dept//patientInfo/patient"},
+      {"//dept/patientInfo/patient/name", "//dept//patientInfo/patient/name"},
+      {"//patient/treatment", "//patient//treatment"},
+  };
+  for (const auto& [child_axis, desc_axis] : pairs) {
+    EXPECT_EQ(Run(child_axis), Run(desc_axis))
+        << child_axis << " vs " << desc_axis;
+  }
+}
+
+TEST_F(AttackTest, DummiesExposeStructureButNotLabels) {
+  // The user can count treatment alternatives through the dummies but
+  // cannot tell which dummy is 'trial': both carry only a bill (dummy2
+  // additionally medication), and their document labels never appear in
+  // any answer.
+  NodeSet d1 = Run("//treatment/dummy1");
+  NodeSet d2 = Run("//treatment/dummy2");
+  EXPECT_EQ(d1.size(), 1u);
+  EXPECT_EQ(d2.size(), 1u);
+  // Serialized answers relabel hidden nodes by their dummy names.
+  auto answer = engine_->ExtractResults("nurse", doc_, Run("//treatment"),
+                                        options_.bindings);
+  ASSERT_TRUE(answer.ok());
+  std::string xml = ToXmlString(*answer);
+  EXPECT_EQ(xml.find("trial"), std::string::npos) << xml;
+  EXPECT_EQ(xml.find("regular"), std::string::npos) << xml;
+}
+
+TEST_F(AttackTest, OtherWardInvisibleEvenByExistence) {
+  // A ward-5 nurse gets an empty hospital; existence probes about other
+  // wards' data return nothing rather than failing differently.
+  ExecuteOptions other;
+  other.bindings = {{"wardNo", "5"}};
+  for (const char* probe : {"dept", "//patient", ".[//patient]",
+                            "//bill", "//name"}) {
+    auto result = engine_->Execute("nurse", doc_, probe, other);
+    ASSERT_TRUE(result.ok()) << probe;
+    EXPECT_TRUE(result->nodes.empty()) << probe;
+  }
+}
+
+TEST_F(AttackTest, EveryProbeReturnsOnlyAccessibleOrStructuralNodes) {
+  auto spec = MakeNurseSpec(engine_->dtd());
+  ASSERT_TRUE(spec.ok());
+  AccessSpec bound = spec->Bind(options_.bindings);
+  auto labeling = ComputeAccessibility(doc_, bound);
+  ASSERT_TRUE(labeling.ok());
+
+  for (const char* probe :
+       {"//*", "//*/*", "//*[*]", "//*[not(*)]", "*//*",
+        "//dummy1/* | //dummy2/*", "//*[bill]",
+        "//*[wardNo = \"3\"]"}) {
+    SCOPED_TRACE(probe);
+    for (NodeId n : Run(probe)) {
+      std::string_view label = doc_.label(n);
+      bool structural = label == "trial" || label == "regular";
+      EXPECT_TRUE(labeling->accessible[n] || structural)
+          << "leak: node #" << n << " <" << label << ">";
+    }
+  }
+}
+
+TEST_F(AttackTest, ViewAgreementUnderAdversarialProbes) {
+  // Ground truth: whatever the probe, answers equal evaluation over the
+  // materialized view (origins compared).
+  auto view = engine_->View("nurse");
+  ASSERT_TRUE(view.ok());
+  MaterializeOptions m;
+  m.bindings = options_.bindings;
+  auto spec = MakeNurseSpec(engine_->dtd());
+  ASSERT_TRUE(spec.ok());
+  auto tv = MaterializeView(doc_, **view, *spec, m);
+  ASSERT_TRUE(tv.ok());
+
+  for (const char* probe :
+       {"//patient[treatment/dummy1]", "//patient[treatment/dummy2]/name",
+        "//*[dummy1 or dummy2]", "//patient[bill]",  // bill not a child
+        "//patient[treatment/*/bill = \"900\"]/name"}) {
+    SCOPED_TRACE(probe);
+    NodeSet via_engine = Run(probe);
+    auto q = ParseXPath(probe);
+    ASSERT_TRUE(q.ok());
+    auto on_view = EvaluateAtRoot(*tv, *q);
+    ASSERT_TRUE(on_view.ok());
+    std::vector<NodeId> expected;
+    for (NodeId n : *on_view) expected.push_back(tv->origin(n));
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(via_engine, expected);
+  }
+}
+
+}  // namespace
+}  // namespace secview

@@ -1,0 +1,157 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "dtd/graph.h"
+#include "dtd/validator.h"
+#include "engine/engine.h"
+#include "rewrite/rewriter.h"
+#include "security/derive.h"
+#include "security/materializer.h"
+#include "workload/auction.h"
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+#include "xpath/printer.h"
+
+namespace secview {
+namespace {
+
+/// End-to-end coverage on a *recursive* document DTD — the regime where
+/// the optimizer is unavailable and every '//' rewriting goes through
+/// Section 4.2 unfolding.
+
+TEST(AuctionFixtureTest, DtdIsRecursive) {
+  Dtd dtd = MakeAuctionDtd();
+  DtdGraph graph(dtd);
+  EXPECT_TRUE(graph.IsRecursive());
+  EXPECT_TRUE(graph.IsRecursiveType(dtd.FindType("description")));
+  EXPECT_TRUE(graph.IsRecursiveType(dtd.FindType("parlist")));
+  EXPECT_FALSE(graph.IsRecursiveType(dtd.FindType("person")));
+}
+
+TEST(AuctionFixtureTest, GeneratorProducesValidRecursiveDocs) {
+  Dtd dtd = MakeAuctionDtd();
+  auto doc = GenerateDocument(dtd, AuctionGeneratorOptions(5, 60'000));
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_TRUE(ValidateInstance(*doc, dtd).ok());
+  // Recursion actually occurs: some parlist nests another description.
+  auto q = ParseXPath("//listitem/description");
+  ASSERT_TRUE(q.ok());
+  auto nested = EvaluateAtRoot(*doc, *q);
+  ASSERT_TRUE(nested.ok());
+  EXPECT_FALSE(nested->empty());
+}
+
+TEST(AuctionFixtureTest, BidderViewShape) {
+  Dtd dtd = MakeAuctionDtd();
+  auto spec = MakeBidderSpec(dtd);
+  ASSERT_TRUE(spec.ok());
+  auto view = DeriveSecurityView(*spec);
+  ASSERT_TRUE(view.ok()) << view.status();
+  // The view inherits the document recursion (description is visible).
+  EXPECT_TRUE(view->IsRecursive());
+  EXPECT_EQ(view->FindType("credit-card"), kNullViewType);
+  EXPECT_EQ(view->FindType("reserve"), kNullViewType);
+  EXPECT_EQ(view->FindType("closed_auctions"), kNullViewType);
+  EXPECT_EQ(view->FindType("closed_auction"), kNullViewType);
+  EXPECT_NE(view->FindType("description"), kNullViewType);
+}
+
+class AuctionEngineTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    Dtd dtd = MakeAuctionDtd();
+    auto engine = SecureQueryEngine::Create(std::move(dtd));
+    ASSERT_TRUE(engine.ok());
+    engine_ = std::move(engine).value();
+    // Recursive document DTD: no optimizer, unfolding everywhere.
+    EXPECT_FALSE(engine_->CanOptimize());
+
+    auto bidder = MakeBidderSpec(engine_->dtd());
+    ASSERT_TRUE(bidder.ok());
+    ASSERT_TRUE(
+        engine_->RegisterPolicy("bidder", std::move(bidder).value()).ok());
+    auto auditor = MakeAuditorSpec(engine_->dtd());
+    ASSERT_TRUE(auditor.ok());
+    ASSERT_TRUE(
+        engine_->RegisterPolicy("auditor", std::move(auditor).value()).ok());
+
+    auto doc = GenerateDocument(engine_->dtd(),
+                                AuctionGeneratorOptions(11, 80'000));
+    ASSERT_TRUE(doc.ok()) << doc.status();
+    doc_ = std::move(doc).value();
+  }
+
+  NodeSet Run(const std::string& policy, const std::string& query) {
+    auto result = engine_->Execute(policy, doc_, query);
+    EXPECT_TRUE(result.ok()) << policy << " / " << query << ": "
+                             << result.status();
+    return result.ok() ? result->nodes : NodeSet{};
+  }
+
+  std::unique_ptr<SecureQueryEngine> engine_;
+  XmlTree doc_;
+};
+
+TEST_F(AuctionEngineTest, PoliciesEnforceTheirBoundaries) {
+  // Bidders: no credit cards, no reserves, no closed auctions.
+  EXPECT_TRUE(Run("bidder", "//credit-card").empty());
+  EXPECT_TRUE(Run("bidder", "//reserve").empty());
+  EXPECT_TRUE(Run("bidder", "//closed_auction").empty());
+  EXPECT_TRUE(Run("bidder", "//buyer").empty());
+  EXPECT_FALSE(Run("bidder", "//open_auction").empty());
+  EXPECT_FALSE(Run("bidder", "//bid/bidder").empty());
+
+  // Auditors: anonymous bids, but full money trail.
+  EXPECT_TRUE(Run("auditor", "//bidder").empty());
+  EXPECT_TRUE(Run("auditor", "//credit-card").empty());
+  EXPECT_TRUE(Run("auditor", "//profile").empty());
+  EXPECT_FALSE(Run("auditor", "//closed_auction/price").empty());
+  EXPECT_FALSE(Run("auditor", "//bid/amount").empty());
+}
+
+TEST_F(AuctionEngineTest, RecursiveDescendantQueriesAgreeWithView) {
+  auto view = engine_->View("bidder");
+  ASSERT_TRUE(view.ok());
+  auto spec = MakeBidderSpec(engine_->dtd());
+  ASSERT_TRUE(spec.ok());
+  auto tv = MaterializeView(doc_, **view, *spec);
+  ASSERT_TRUE(tv.ok()) << tv.status();
+
+  for (const char* query :
+       {"//description", "//listitem//text", "//open_auction//text",
+        "//parlist/listitem/description", "//item-desc//listitem",
+        "//description[parlist]"}) {
+    SCOPED_TRACE(query);
+    NodeSet via_engine = Run("bidder", query);
+    auto q = ParseXPath(query);
+    ASSERT_TRUE(q.ok());
+    auto on_view = EvaluateAtRoot(*tv, *q);
+    ASSERT_TRUE(on_view.ok());
+    std::vector<NodeId> expected;
+    for (NodeId n : *on_view) expected.push_back(tv->origin(n));
+    std::sort(expected.begin(), expected.end());
+    expected.erase(std::unique(expected.begin(), expected.end()),
+                   expected.end());
+    EXPECT_EQ(via_engine, expected);
+  }
+}
+
+TEST_F(AuctionEngineTest, ClosedItemDescriptionsInvisibleToBidders) {
+  // Descriptions below closed auctions are pruned with the whole
+  // closed_auctions subtree; the same //description query returns only
+  // open-auction descriptions for bidders.
+  NodeSet bidder = Run("bidder", "//description");
+  NodeSet auditor = Run("auditor", "//description");
+  EXPECT_LT(bidder.size(), auditor.size());
+  // None of the bidder's descriptions sits under a closed auction.
+  for (NodeId n : bidder) {
+    for (NodeId a = n; a != kNullNode; a = doc_.parent(a)) {
+      EXPECT_NE(doc_.label(a), "closed_auction");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace secview

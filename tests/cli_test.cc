@@ -1,0 +1,318 @@
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cli/cli.h"
+
+namespace secview {
+namespace {
+
+constexpr char kHospitalDtdText[] = R"(
+  <!ELEMENT hospital (dept)*>
+  <!ELEMENT dept (clinicalTrial, patientInfo, staffInfo)>
+  <!ELEMENT clinicalTrial (patientInfo, test)>
+  <!ELEMENT patientInfo (patient)*>
+  <!ELEMENT patient (name, wardNo, treatment)>
+  <!ELEMENT treatment (trial | regular)>
+  <!ELEMENT trial (bill)>
+  <!ELEMENT regular (bill, medication)>
+  <!ELEMENT staffInfo (staff)*>
+  <!ELEMENT staff (doctor | nurse)>
+  <!ELEMENT name (#PCDATA)>
+  <!ELEMENT wardNo (#PCDATA)>
+  <!ELEMENT test (#PCDATA)>
+  <!ELEMENT bill (#PCDATA)>
+  <!ELEMENT medication (#PCDATA)>
+  <!ELEMENT doctor (#PCDATA)>
+  <!ELEMENT nurse (#PCDATA)>
+)";
+
+constexpr char kNurseSpecText[] = R"(
+  ann(hospital, dept) = [*/patient/wardNo = $wardNo]
+  ann(dept, clinicalTrial) = N
+  ann(clinicalTrial, patientInfo) = Y
+  ann(treatment, trial) = N
+  ann(treatment, regular) = N
+  ann(trial, bill) = Y
+  ann(regular, bill) = Y
+  ann(regular, medication) = Y
+)";
+
+constexpr char kDocText[] = R"(
+  <hospital>
+    <dept>
+      <clinicalTrial>
+        <patientInfo>
+          <patient><name>carol</name><wardNo>3</wardNo>
+            <treatment><trial><bill>900</bill></trial></treatment>
+          </patient>
+        </patientInfo>
+        <test>blood</test>
+      </clinicalTrial>
+      <patientInfo>
+        <patient><name>dave</name><wardNo>3</wardNo>
+          <treatment><regular><bill>120</bill><medication>m</medication></regular></treatment>
+        </patient>
+      </patientInfo>
+      <staffInfo/>
+    </dept>
+  </hospital>
+)";
+
+class CliTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/secview_cli";
+    WriteFile("hospital.dtd", kHospitalDtdText);
+    WriteFile("nurse.spec", kNurseSpecText);
+    WriteFile("doc.xml", kDocText);
+  }
+
+  void WriteFile(const std::string& name, const std::string& content) {
+    std::string path = Path(name);
+    // TempDir exists; create our subdirectory lazily via ofstream by
+    // writing into TempDir directly (flat names).
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.is_open()) << path;
+    out << content;
+  }
+
+  std::string Path(const std::string& name) {
+    return testing::TempDir() + "/secview_cli_" + name;
+  }
+
+  int Run(std::vector<std::string> args) {
+    out_.str("");
+    err_.str("");
+    return RunCli(args, out_, err_);
+  }
+
+  std::string dir_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(CliTest, Help) {
+  EXPECT_EQ(Run({"help"}), 0);
+  EXPECT_NE(out_.str().find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommand) {
+  EXPECT_EQ(Run({"frobnicate"}), 2);
+  EXPECT_NE(err_.str().find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingFlags) {
+  EXPECT_EQ(Run({"validate", "--dtd", Path("hospital.dtd")}), 2);
+  EXPECT_NE(err_.str().find("--xml"), std::string::npos);
+}
+
+TEST_F(CliTest, Validate) {
+  EXPECT_EQ(Run({"validate", "--dtd", Path("hospital.dtd"), "--xml",
+                 Path("doc.xml")}),
+            0);
+  EXPECT_NE(out_.str().find("valid"), std::string::npos);
+}
+
+TEST_F(CliTest, ValidateRejectsNonConforming) {
+  WriteFile("bad.xml", "<hospital><bogus/></hospital>");
+  EXPECT_EQ(Run({"validate", "--dtd", Path("hospital.dtd"), "--xml",
+                 Path("bad.xml")}),
+            1);
+}
+
+TEST_F(CliTest, DeriveShowsViewDtd) {
+  EXPECT_EQ(Run({"derive", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec")}),
+            0);
+  std::string text = out_.str();
+  EXPECT_NE(text.find("<!ELEMENT hospital"), std::string::npos) << text;
+  EXPECT_EQ(text.find("clinicalTrial"), std::string::npos);
+  EXPECT_EQ(text.find("sigma"), std::string::npos);
+}
+
+TEST_F(CliTest, DeriveShowSigma) {
+  EXPECT_EQ(Run({"derive", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--show-sigma"}),
+            0);
+  EXPECT_NE(out_.str().find("sigma("), std::string::npos);
+  EXPECT_NE(out_.str().find("clinicalTrial"), std::string::npos);
+}
+
+TEST_F(CliTest, RewriteQuery) {
+  EXPECT_EQ(Run({"rewrite", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--query", "//patient//bill"}),
+            0);
+  EXPECT_NE(out_.str().find("trial"), std::string::npos) << out_.str();
+  EXPECT_NE(out_.str().find("$wardNo"), std::string::npos);
+}
+
+TEST_F(CliTest, QueryWithBindings) {
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--query",
+                 "//patient/name", "--bind", "wardNo=3"}),
+            0);
+  std::string text = out_.str();
+  EXPECT_NE(text.find("# results: 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("carol"), std::string::npos);
+}
+
+TEST_F(CliTest, QueryWithoutBindingFails) {
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--query",
+                 "//patient/name"}),
+            1);
+  EXPECT_NE(err_.str().find("unbound"), std::string::npos);
+}
+
+TEST_F(CliTest, QueryExtract) {
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--query",
+                 "//patient", "--bind", "wardNo=3", "--extract"}),
+            0);
+  std::string text = out_.str();
+  EXPECT_NE(text.find("<results>"), std::string::npos) << text;
+  EXPECT_NE(text.find("dummy"), std::string::npos);
+  EXPECT_EQ(text.find("<trial"), std::string::npos);
+}
+
+TEST_F(CliTest, Materialize) {
+  EXPECT_EQ(Run({"materialize", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--bind",
+                 "wardNo=3"}),
+            0);
+  std::string text = out_.str();
+  EXPECT_NE(text.find("<hospital>"), std::string::npos) << text;
+  EXPECT_EQ(text.find("clinicalTrial"), std::string::npos);
+  EXPECT_NE(text.find("carol"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateProducesValidDocument) {
+  EXPECT_EQ(Run({"generate", "--dtd", Path("hospital.dtd"), "--bytes",
+                 "5000", "--seed", "7"}),
+            0);
+  WriteFile("generated.xml", out_.str());
+  EXPECT_EQ(Run({"validate", "--dtd", Path("hospital.dtd"), "--xml",
+                 Path("generated.xml")}),
+            0);
+}
+
+TEST_F(CliTest, GenerateDeterministicPerSeed) {
+  ASSERT_EQ(Run({"generate", "--dtd", Path("hospital.dtd"), "--seed", "5"}),
+            0);
+  std::string first = out_.str();
+  ASSERT_EQ(Run({"generate", "--dtd", Path("hospital.dtd"), "--seed", "5"}),
+            0);
+  EXPECT_EQ(out_.str(), first);
+  ASSERT_EQ(Run({"generate", "--dtd", Path("hospital.dtd"), "--seed", "6"}),
+            0);
+  EXPECT_NE(out_.str(), first);
+}
+
+
+TEST_F(CliTest, DeriveOutAndViewRoundTrip) {
+  // derive --out saves the definition; rewrite/query --view load it.
+  EXPECT_EQ(Run({"derive", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--out", Path("nurse.view")}),
+            0);
+  EXPECT_NE(out_.str().find("wrote view definition"), std::string::npos);
+
+  EXPECT_EQ(Run({"rewrite", "--dtd", Path("hospital.dtd"), "--view",
+                 Path("nurse.view"), "--query", "//patient//bill"}),
+            0);
+  std::string via_view = out_.str();
+  EXPECT_EQ(Run({"rewrite", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--query", "//patient//bill"}),
+            0);
+  EXPECT_EQ(out_.str(), via_view);
+
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--view",
+                 Path("nurse.view"), "--xml", Path("doc.xml"), "--query",
+                 "//patient/name", "--bind", "wardNo=3"}),
+            0);
+  EXPECT_NE(out_.str().find("# results: 2"), std::string::npos)
+      << out_.str();
+}
+
+TEST_F(CliTest, ViewFileErrorsSurface) {
+  WriteFile("broken.view", "not a view definition");
+  EXPECT_EQ(Run({"rewrite", "--dtd", Path("hospital.dtd"), "--view",
+                 Path("broken.view"), "--query", "//bill"}),
+            1);
+}
+
+
+TEST_F(CliTest, NonNormalFormDtdEndToEnd) {
+  // A real-world-style DTD with ?, +, and groups: the CLI normalizes the
+  // DTD, rewrites the document to match (aux wrappers), and the whole
+  // pipeline works on top.
+  WriteFile("book.dtd", R"(
+    <!ELEMENT book (title, (chapter | appendix)+, price?)>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT chapter (title, para*)>
+    <!ELEMENT appendix (para+)>
+    <!ELEMENT para (#PCDATA)>
+    <!ELEMENT price (#PCDATA)>
+  )");
+  WriteFile("book.xml",
+            "<book><title>t</title>"
+            "<chapter><title>c1</title><para>p1</para></chapter>"
+            "<appendix><para>ap</para></appendix>"
+            "<price>9.99</price></book>");
+  WriteFile("book.spec", "ann(book, price) = N\n");
+
+  EXPECT_EQ(Run({"validate", "--dtd", Path("book.dtd"), "--xml",
+                 Path("book.xml")}),
+            0);
+  EXPECT_NE(out_.str().find("auxiliary"), std::string::npos) << out_.str();
+
+  EXPECT_EQ(Run({"query", "--dtd", Path("book.dtd"), "--spec",
+                 Path("book.spec"), "--xml", Path("book.xml"), "--query",
+                 "//para"}),
+            0);
+  EXPECT_NE(out_.str().find("# results: 2"), std::string::npos)
+      << out_.str();
+
+  // The hidden price is unreachable.
+  EXPECT_EQ(Run({"query", "--dtd", Path("book.dtd"), "--spec",
+                 Path("book.spec"), "--xml", Path("book.xml"), "--query",
+                 "//price"}),
+            0);
+  EXPECT_NE(out_.str().find("# results: 0"), std::string::npos)
+      << out_.str();
+
+  EXPECT_EQ(Run({"materialize", "--dtd", Path("book.dtd"), "--spec",
+                 Path("book.spec"), "--xml", Path("book.xml")}),
+            0);
+  EXPECT_EQ(out_.str().find("price"), std::string::npos) << out_.str();
+  EXPECT_NE(out_.str().find("c1"), std::string::npos);
+}
+
+TEST_F(CliTest, DeriveWarnsAboutIncompletePolicies) {
+  WriteFile("choice.dtd",
+            "<!ELEMENT r (x | y)> <!ELEMENT x (#PCDATA)>"
+            "<!ELEMENT y (#PCDATA)>");
+  WriteFile("choice.spec", "ann(r, y) = N\n");
+  EXPECT_EQ(Run({"derive", "--dtd", Path("choice.dtd"), "--spec",
+                 Path("choice.spec")}),
+            0);
+  EXPECT_NE(out_.str().find("warning:"), std::string::npos) << out_.str();
+}
+
+TEST_F(CliTest, MissingFilesReported) {
+  EXPECT_EQ(Run({"derive", "--dtd", "/nonexistent.dtd", "--spec",
+                 Path("nurse.spec")}),
+            1);
+  EXPECT_NE(err_.str().find("cannot open"), std::string::npos);
+}
+
+TEST_F(CliTest, BadBindSyntax) {
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--query",
+                 "//name", "--bind", "wardNo"}),
+            2);
+}
+
+}  // namespace
+}  // namespace secview

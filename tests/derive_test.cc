@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include "security/derive.h"
+#include "security/spec_parser.h"
+#include "workload/adex.h"
+#include "workload/hospital.h"
+#include "workload/synthetic.h"
+#include "xpath/printer.h"
+
+namespace secview {
+namespace {
+
+SecurityView MustDerive(const AccessSpec& spec) {
+  auto view = DeriveSecurityView(spec);
+  EXPECT_TRUE(view.ok()) << view.status();
+  return std::move(view).value();
+}
+
+std::string SigmaString(const SecurityView& view, const std::string& parent,
+                        const std::string& child) {
+  ViewTypeId p = view.FindType(parent);
+  ViewTypeId c = view.FindType(child);
+  if (p == kNullViewType || c == kNullViewType) return "<no such type>";
+  PathPtr sigma = view.Sigma(p, c);
+  return sigma ? ToXPathString(sigma) : "<no edge>";
+}
+
+// -- The paper's running example (Example 3.2 / 3.4) ---------------------------
+
+class HospitalDeriveTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dtd_ = MakeHospitalDtd();
+    auto spec = MakeNurseSpec(dtd_);
+    ASSERT_TRUE(spec.ok()) << spec.status();
+    spec_ = std::make_unique<AccessSpec>(std::move(spec).value());
+    view_ = std::make_unique<SecurityView>(MustDerive(*spec_));
+  }
+
+  Dtd dtd_;
+  std::unique_ptr<AccessSpec> spec_;
+  std::unique_ptr<SecurityView> view_;
+};
+
+TEST_F(HospitalDeriveTest, HidesConfidentialTypes) {
+  // clinicalTrial, trial, regular, test must not be exposed.
+  EXPECT_EQ(view_->FindType("clinicalTrial"), kNullViewType);
+  EXPECT_EQ(view_->FindType("trial"), kNullViewType);
+  EXPECT_EQ(view_->FindType("regular"), kNullViewType);
+  EXPECT_EQ(view_->FindType("test"), kNullViewType);
+}
+
+TEST_F(HospitalDeriveTest, ExposesAccessibleTypes) {
+  for (const char* name : {"hospital", "dept", "patientInfo", "patient",
+                           "name", "wardNo", "treatment", "bill",
+                           "medication", "staffInfo", "staff", "doctor",
+                           "nurse"}) {
+    EXPECT_NE(view_->FindType(name), kNullViewType) << name;
+  }
+  EXPECT_EQ(view_->TypeName(view_->root()), "hospital");
+}
+
+TEST_F(HospitalDeriveTest, RootSigmaKeepsWardQualifier) {
+  // sigma(hospital, dept) = dept[*/patient/wardNo = $wardNo]  (p1).
+  EXPECT_EQ(SigmaString(*view_, "hospital", "dept"),
+            "dept[*/patient/wardNo = $wardNo]");
+}
+
+TEST_F(HospitalDeriveTest, DeptShortcutsClinicalTrial) {
+  // The paper's compact form: dept -> (patientInfo*, staffInfo), with
+  // sigma(dept, patientInfo) covering both the hidden path and the direct
+  // child (p2 = (clinicalTrial U .)/patientInfo, written as a union).
+  const ViewProduction& prod =
+      view_->Production(view_->FindType("dept"));
+  ASSERT_EQ(prod.kind, ViewProduction::Kind::kFields);
+  ASSERT_EQ(prod.fields.size(), 2u);
+  EXPECT_EQ(prod.fields[0].child, "patientInfo");
+  EXPECT_EQ(prod.fields[0].mult, ViewField::Multiplicity::kStar);
+  EXPECT_EQ(prod.fields[1].child, "staffInfo");
+  EXPECT_EQ(prod.fields[1].mult, ViewField::Multiplicity::kOne);
+
+  std::string sigma = SigmaString(*view_, "dept", "patientInfo");
+  EXPECT_NE(sigma.find("clinicalTrial/patientInfo"), std::string::npos)
+      << sigma;
+  EXPECT_NE(sigma.find("| patientInfo"), std::string::npos) << sigma;
+}
+
+TEST_F(HospitalDeriveTest, TreatmentDisjunctionBecomesDummies) {
+  ViewTypeId treatment = view_->FindType("treatment");
+  ASSERT_NE(treatment, kNullViewType);
+  const ViewProduction& prod = view_->Production(treatment);
+  ASSERT_EQ(prod.kind, ViewProduction::Kind::kChoice);
+  ASSERT_EQ(prod.choice.alts.size(), 2u);
+  // Both alternatives are dummies hiding trial / regular.
+  for (const ViewChoice::Alt& alt : prod.choice.alts) {
+    ViewTypeId t = view_->FindType(alt.child);
+    ASSERT_NE(t, kNullViewType);
+    EXPECT_TRUE(view_->type(t).is_dummy) << alt.child;
+  }
+  // sigma maps the dummies to the hidden labels.
+  EXPECT_EQ(ToXPathString(prod.choice.alts[0].sigma), "trial");
+  EXPECT_EQ(ToXPathString(prod.choice.alts[1].sigma), "regular");
+}
+
+TEST_F(HospitalDeriveTest, DummyProductions) {
+  // dummy for trial -> (bill); dummy for regular -> (bill, medication).
+  ViewTypeId treatment = view_->FindType("treatment");
+  const ViewProduction& prod = view_->Production(treatment);
+  ViewTypeId d1 = view_->FindType(prod.choice.alts[0].child);
+  ViewTypeId d2 = view_->FindType(prod.choice.alts[1].child);
+
+  const ViewProduction& p1 = view_->Production(d1);
+  ASSERT_EQ(p1.kind, ViewProduction::Kind::kFields);
+  ASSERT_EQ(p1.fields.size(), 1u);
+  EXPECT_EQ(p1.fields[0].child, "bill");
+  EXPECT_EQ(ToXPathString(p1.fields[0].sigma), "bill");
+
+  const ViewProduction& p2 = view_->Production(d2);
+  ASSERT_EQ(p2.kind, ViewProduction::Kind::kFields);
+  ASSERT_EQ(p2.fields.size(), 2u);
+  EXPECT_EQ(p2.fields[0].child, "bill");
+  EXPECT_EQ(p2.fields[1].child, "medication");
+}
+
+TEST_F(HospitalDeriveTest, UntouchedSubtreesKeepIdentitySigma) {
+  EXPECT_EQ(SigmaString(*view_, "dept", "staffInfo"), "staffInfo");
+  EXPECT_EQ(SigmaString(*view_, "staffInfo", "staff"), "staff");
+  EXPECT_EQ(SigmaString(*view_, "patient", "name"), "name");
+  EXPECT_EQ(SigmaString(*view_, "patient", "treatment"), "treatment");
+}
+
+TEST_F(HospitalDeriveTest, ViewIsNotRecursive) {
+  EXPECT_FALSE(view_->IsRecursive());
+}
+
+TEST_F(HospitalDeriveTest, ViewDtdStringOmitsSigma) {
+  std::string text = view_->ViewDtdString();
+  EXPECT_NE(text.find("<!ELEMENT hospital (dept*)"), std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("clinicalTrial"), std::string::npos) << text;
+  EXPECT_EQ(text.find("sigma"), std::string::npos);
+}
+
+// -- Adex policy ---------------------------------------------------------------
+
+class AdexDeriveTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dtd_ = MakeAdexDtd();
+    auto spec = MakeAdexSpec(dtd_);
+    ASSERT_TRUE(spec.ok()) << spec.status();
+    view_ = std::make_unique<SecurityView>(MustDerive(*spec));
+  }
+
+  Dtd dtd_;
+  std::unique_ptr<SecurityView> view_;
+};
+
+TEST_F(AdexDeriveTest, OnlyRealEstateAndBuyerSubtreesExposed) {
+  for (const char* hidden : {"head", "body", "ad-instance", "content",
+                             "transaction-info", "automotive", "employment",
+                             "merchandise", "ad-id", "categories"}) {
+    EXPECT_EQ(view_->FindType(hidden), kNullViewType) << hidden;
+  }
+  for (const char* exposed :
+       {"adex", "buyer-info", "company-id", "contact-info", "real-estate",
+        "house", "apartment", "r-e.warranty", "r-e.asking-price",
+        "r-e.unit-type"}) {
+    EXPECT_NE(view_->FindType(exposed), kNullViewType) << exposed;
+  }
+}
+
+TEST_F(AdexDeriveTest, RootProductionSplicesThroughHiddenRegion) {
+  // adex ->(view) (buyer-info, real-estate*) with deep sigma paths.
+  const ViewProduction& prod = view_->Production(view_->root());
+  ASSERT_EQ(prod.kind, ViewProduction::Kind::kFields);
+  ASSERT_EQ(prod.fields.size(), 2u);
+  EXPECT_EQ(prod.fields[0].child, "buyer-info");
+  EXPECT_EQ(prod.fields[0].mult, ViewField::Multiplicity::kOne);
+  EXPECT_EQ(ToXPathString(prod.fields[0].sigma), "head/buyer-info");
+  EXPECT_EQ(prod.fields[1].child, "real-estate");
+  EXPECT_EQ(prod.fields[1].mult, ViewField::Multiplicity::kStar);
+  EXPECT_EQ(ToXPathString(prod.fields[1].sigma),
+            "body/ad-instance/content/real-estate");
+}
+
+TEST_F(AdexDeriveTest, NoDummiesNeeded) {
+  for (ViewTypeId id = 0; id < view_->NumTypes(); ++id) {
+    EXPECT_FALSE(view_->type(id).is_dummy) << view_->TypeName(id);
+  }
+}
+
+// -- Structural corner cases ----------------------------------------------------
+
+Dtd SmallDtd(const std::string& root_content) {
+  Dtd dtd;
+  EXPECT_TRUE(dtd.AddType("r", ContentModel::Sequence({"h"})).ok());
+  if (root_content == "choice") {
+    EXPECT_TRUE(dtd.AddType("h", ContentModel::Choice({"x", "y"})).ok());
+  } else if (root_content == "star") {
+    EXPECT_TRUE(dtd.AddType("h", ContentModel::Star("x")).ok());
+  } else {
+    EXPECT_TRUE(dtd.AddType("h", ContentModel::Sequence({"x", "y"})).ok());
+  }
+  EXPECT_TRUE(dtd.AddType("x", ContentModel::Text()).ok());
+  EXPECT_TRUE(dtd.AddType("y", ContentModel::Text()).ok());
+  EXPECT_TRUE(dtd.SetRoot("r").ok());
+  EXPECT_TRUE(dtd.Finalize().ok());
+  return dtd;
+}
+
+TEST(DeriveCornersTest, PruneRegionWithNoAccessibleDescendants) {
+  Dtd dtd = SmallDtd("seq");
+  auto spec = ParseAccessSpec(dtd, "ann(r, h) = N");
+  ASSERT_TRUE(spec.ok());
+  SecurityView view = MustDerive(*spec);
+  // Everything below r is hidden: the view is just the root, empty.
+  EXPECT_EQ(view.NumTypes(), 1);
+  EXPECT_EQ(view.Production(view.root()).kind, ViewProduction::Kind::kEmpty);
+}
+
+TEST(DeriveCornersTest, ShortcutHiddenSequence) {
+  Dtd dtd = SmallDtd("seq");
+  auto spec = ParseAccessSpec(dtd, R"(
+    ann(r, h) = N
+    ann(h, x) = Y
+    ann(h, y) = Y
+  )");
+  ASSERT_TRUE(spec.ok());
+  SecurityView view = MustDerive(*spec);
+  const ViewProduction& prod = view.Production(view.root());
+  ASSERT_EQ(prod.kind, ViewProduction::Kind::kFields);
+  ASSERT_EQ(prod.fields.size(), 2u);
+  EXPECT_EQ(ToXPathString(prod.fields[0].sigma), "h/x");
+  EXPECT_EQ(ToXPathString(prod.fields[1].sigma), "h/y");
+}
+
+TEST(DeriveCornersTest, HiddenChoiceUnderSequenceBecomesDummy) {
+  Dtd dtd = SmallDtd("choice");
+  auto spec = ParseAccessSpec(dtd, R"(
+    ann(r, h) = N
+    ann(h, x) = Y
+    ann(h, y) = Y
+  )");
+  ASSERT_TRUE(spec.ok());
+  SecurityView view = MustDerive(*spec);
+  const ViewProduction& prod = view.Production(view.root());
+  ASSERT_EQ(prod.kind, ViewProduction::Kind::kFields);
+  ASSERT_EQ(prod.fields.size(), 1u);
+  ViewTypeId dummy = view.FindType(prod.fields[0].child);
+  EXPECT_TRUE(view.type(dummy).is_dummy);
+  EXPECT_EQ(view.Production(dummy).kind, ViewProduction::Kind::kChoice);
+}
+
+TEST(DeriveCornersTest, HiddenStarUnderSequenceSplicesAsStar) {
+  Dtd dtd = SmallDtd("star");
+  auto spec = ParseAccessSpec(dtd, R"(
+    ann(r, h) = N
+    ann(h, x) = Y
+  )");
+  ASSERT_TRUE(spec.ok());
+  SecurityView view = MustDerive(*spec);
+  const ViewProduction& prod = view.Production(view.root());
+  ASSERT_EQ(prod.kind, ViewProduction::Kind::kFields);
+  ASSERT_EQ(prod.fields.size(), 1u);
+  EXPECT_EQ(prod.fields[0].child, "x");
+  EXPECT_EQ(prod.fields[0].mult, ViewField::Multiplicity::kStar);
+  EXPECT_EQ(ToXPathString(prod.fields[0].sigma), "h/x");
+}
+
+TEST(DeriveCornersTest, HiddenTextWithExplicitYesBecomesTextDummy) {
+  Dtd dtd;
+  ASSERT_TRUE(dtd.AddType("r", ContentModel::Sequence({"secret"})).ok());
+  ASSERT_TRUE(dtd.AddType("secret", ContentModel::Text()).ok());
+  ASSERT_TRUE(dtd.SetRoot("r").ok());
+  ASSERT_TRUE(dtd.Finalize().ok());
+  auto spec = ParseAccessSpec(dtd, R"(
+    ann(r, secret) = N
+    ann(secret, str) = Y
+  )");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  SecurityView view = MustDerive(*spec);
+  const ViewProduction& prod = view.Production(view.root());
+  ASSERT_EQ(prod.kind, ViewProduction::Kind::kFields);
+  ViewTypeId dummy = view.FindType(prod.fields[0].child);
+  EXPECT_TRUE(view.type(dummy).is_dummy);
+  EXPECT_EQ(view.Production(dummy).kind, ViewProduction::Kind::kText);
+}
+
+TEST(DeriveCornersTest, HiddenTextWithExplicitNoOnAccessibleElement) {
+  Dtd dtd;
+  ASSERT_TRUE(dtd.AddType("r", ContentModel::Sequence({"v"})).ok());
+  ASSERT_TRUE(dtd.AddType("v", ContentModel::Text()).ok());
+  ASSERT_TRUE(dtd.SetRoot("r").ok());
+  ASSERT_TRUE(dtd.Finalize().ok());
+  auto spec = ParseAccessSpec(dtd, "ann(v, str) = N");
+  ASSERT_TRUE(spec.ok());
+  SecurityView view = MustDerive(*spec);
+  ViewTypeId v = view.FindType("v");
+  ASSERT_NE(v, kNullViewType);
+  // v stays visible but its PCDATA is concealed.
+  EXPECT_EQ(view.Production(v).kind, ViewProduction::Kind::kEmpty);
+  EXPECT_TRUE(view.type(v).text_hidden);
+}
+
+TEST(DeriveCornersTest, RecursiveHiddenTypeYieldsRecursiveView) {
+  RecursiveFixture fixture = MakeRecursiveFixture();
+  auto spec = ParseAccessSpec(fixture.dtd, fixture.spec_text);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  SecurityView view = MustDerive(*spec);
+  EXPECT_TRUE(view.IsRecursive());
+  EXPECT_EQ(view.FindType("meta"), kNullViewType);
+  // section ->(view) (title, section*) with sigma = meta/section.
+  ViewTypeId section = view.FindType("section");
+  ASSERT_NE(section, kNullViewType);
+  const ViewProduction& prod = view.Production(section);
+  ASSERT_EQ(prod.kind, ViewProduction::Kind::kFields);
+  ASSERT_EQ(prod.fields.size(), 2u);
+  EXPECT_EQ(prod.fields[0].child, "title");
+  EXPECT_EQ(prod.fields[1].child, "section");
+  EXPECT_EQ(prod.fields[1].mult, ViewField::Multiplicity::kStar);
+  EXPECT_EQ(ToXPathString(prod.fields[1].sigma), "meta/section");
+}
+
+TEST(DeriveCornersTest, ConditionalChildKeepsQualifierInSigma) {
+  Dtd dtd = SmallDtd("seq");
+  auto spec = ParseAccessSpec(dtd, "ann(r, h) = [x = \"1\"]");
+  ASSERT_TRUE(spec.ok());
+  SecurityView view = MustDerive(*spec);
+  EXPECT_EQ(SigmaString(view, "r", "h"), "h[x = \"1\"]");
+}
+
+TEST(DeriveCornersTest, DummyNamesAvoidDocumentTypeNames) {
+  Dtd dtd;
+  ASSERT_TRUE(dtd.AddType("r", ContentModel::Sequence({"dummy1"})).ok());
+  ASSERT_TRUE(dtd.AddType("dummy1", ContentModel::Choice({"x", "y"})).ok());
+  ASSERT_TRUE(dtd.AddType("x", ContentModel::Text()).ok());
+  ASSERT_TRUE(dtd.AddType("y", ContentModel::Text()).ok());
+  ASSERT_TRUE(dtd.SetRoot("r").ok());
+  ASSERT_TRUE(dtd.Finalize().ok());
+  auto spec = ParseAccessSpec(dtd, R"(
+    ann(r, dummy1) = N
+    ann(dummy1, x) = Y
+    ann(dummy1, y) = Y
+  )");
+  ASSERT_TRUE(spec.ok());
+  SecurityView view = MustDerive(*spec);
+  const ViewProduction& prod = view.Production(view.root());
+  ASSERT_EQ(prod.fields.size(), 1u);
+  // The generated dummy must not collide with the document's "dummy1".
+  EXPECT_NE(prod.fields[0].child, "dummy1");
+}
+
+}  // namespace
+}  // namespace secview

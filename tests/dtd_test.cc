@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include "dtd/content_model.h"
+#include "dtd/dtd.h"
+#include "dtd/dtd_parser.h"
+#include "dtd/graph.h"
+#include "dtd/normalizer.h"
+#include "dtd/validator.h"
+#include "workload/hospital.h"
+#include "xml/parser.h"
+
+namespace secview {
+namespace {
+
+TEST(ContentModelTest, ToStringForms) {
+  EXPECT_EQ(ContentModel::Empty().ToString(), "EMPTY");
+  EXPECT_EQ(ContentModel::Text().ToString(), "(#PCDATA)");
+  EXPECT_EQ(ContentModel::Sequence({"a", "b"}).ToString(), "(a, b)");
+  EXPECT_EQ(ContentModel::Choice({"a", "b"}).ToString(), "(a | b)");
+  EXPECT_EQ(ContentModel::Star("a").ToString(), "(a)*");
+}
+
+TEST(ContentModelTest, Mentions) {
+  ContentModel cm = ContentModel::Sequence({"a", "b"});
+  EXPECT_TRUE(cm.Mentions("a"));
+  EXPECT_FALSE(cm.Mentions("c"));
+}
+
+TEST(DtdTest, BuildAndQuery) {
+  Dtd dtd;
+  ASSERT_TRUE(dtd.AddType("r", ContentModel::Sequence({"a", "b"})).ok());
+  ASSERT_TRUE(dtd.AddType("a", ContentModel::Text()).ok());
+  ASSERT_TRUE(dtd.AddType("b", ContentModel::Star("a")).ok());
+  ASSERT_TRUE(dtd.SetRoot("r").ok());
+  ASSERT_TRUE(dtd.Finalize().ok());
+
+  EXPECT_EQ(dtd.NumTypes(), 3);
+  EXPECT_EQ(dtd.TypeName(dtd.root()), "r");
+  TypeId a = dtd.FindType("a");
+  TypeId b = dtd.FindType("b");
+  EXPECT_TRUE(dtd.HasChild(dtd.root(), a));
+  EXPECT_TRUE(dtd.HasChild(b, a));
+  EXPECT_FALSE(dtd.HasChild(a, b));
+  EXPECT_EQ(dtd.FindType("zz"), kNullType);
+  EXPECT_GT(dtd.Size(), dtd.NumTypes());
+}
+
+TEST(DtdTest, RejectsDuplicatesAndDanglingRefs) {
+  Dtd dtd;
+  ASSERT_TRUE(dtd.AddType("r", ContentModel::Star("a")).ok());
+  EXPECT_FALSE(dtd.AddType("r", ContentModel::Empty()).ok());
+  ASSERT_TRUE(dtd.SetRoot("r").ok());
+  EXPECT_FALSE(dtd.Finalize().ok());  // 'a' undefined
+}
+
+TEST(DtdTest, RejectsMissingRoot) {
+  Dtd dtd;
+  ASSERT_TRUE(dtd.AddType("r", ContentModel::Empty()).ok());
+  EXPECT_FALSE(dtd.Finalize().ok());
+  ASSERT_TRUE(dtd.SetRoot("nope").ok());
+  EXPECT_FALSE(dtd.Finalize().ok());
+}
+
+TEST(DtdTest, RejectsDuplicateChoiceAlternative) {
+  Dtd dtd;
+  ASSERT_TRUE(dtd.AddType("r", ContentModel::Choice({"a", "a"})).ok());
+  ASSERT_TRUE(dtd.AddType("a", ContentModel::Empty()).ok());
+  ASSERT_TRUE(dtd.SetRoot("r").ok());
+  EXPECT_FALSE(dtd.Finalize().ok());
+}
+
+TEST(DtdTest, RejectsInvalidName) {
+  Dtd dtd;
+  EXPECT_FALSE(dtd.AddType("9bad", ContentModel::Empty()).ok());
+}
+
+
+TEST(DtdTest, SizeCountsTypesAndProductionSymbols) {
+  Dtd dtd = MakeHospitalDtd();
+  // 17 types; production symbols: hospital(1) dept(3) clinicalTrial(2)
+  // patientInfo(1) patient(3) treatment(2) trial(1) regular(2)
+  // staffInfo(1) staff(2) + 7 text types(0) = 18.
+  EXPECT_EQ(dtd.NumTypes(), 17);
+  EXPECT_EQ(dtd.Size(), 17 + 18);
+}
+
+TEST(DtdGraphTest, HospitalStructure) {
+  Dtd dtd = MakeHospitalDtd();
+  DtdGraph graph(dtd);
+  EXPECT_FALSE(graph.IsRecursive());
+  TypeId hospital = dtd.FindType("hospital");
+  TypeId bill = dtd.FindType("bill");
+  TypeId staff = dtd.FindType("staff");
+  EXPECT_TRUE(graph.ReachableStrict(hospital, bill));
+  EXPECT_FALSE(graph.ReachableStrict(bill, hospital));
+  EXPECT_TRUE(graph.Reachable(bill, bill));  // or-self
+  EXPECT_FALSE(graph.ReachableStrict(staff, bill));
+  EXPECT_EQ(graph.TopologicalOrder().size(), size_t(dtd.NumTypes()));
+  EXPECT_TRUE(graph.UnreachableFromRoot().empty());
+}
+
+TEST(DtdGraphTest, DetectsRecursion) {
+  Dtd dtd;
+  ASSERT_TRUE(dtd.AddType("a", ContentModel::Star("b")).ok());
+  ASSERT_TRUE(dtd.AddType("b", ContentModel::Choice({"a", "c"})).ok());
+  ASSERT_TRUE(dtd.AddType("c", ContentModel::Text()).ok());
+  ASSERT_TRUE(dtd.SetRoot("a").ok());
+  ASSERT_TRUE(dtd.Finalize().ok());
+  DtdGraph graph(dtd);
+  EXPECT_TRUE(graph.IsRecursive());
+  EXPECT_TRUE(graph.IsRecursiveType(dtd.FindType("a")));
+  EXPECT_TRUE(graph.IsRecursiveType(dtd.FindType("b")));
+  EXPECT_FALSE(graph.IsRecursiveType(dtd.FindType("c")));
+  EXPECT_TRUE(graph.ReachableStrict(dtd.FindType("a"), dtd.FindType("a")));
+}
+
+TEST(DtdGraphTest, SelfLoop) {
+  Dtd dtd;
+  ASSERT_TRUE(dtd.AddType("a", ContentModel::Star("a")).ok());
+  ASSERT_TRUE(dtd.SetRoot("a").ok());
+  ASSERT_TRUE(dtd.Finalize().ok());
+  DtdGraph graph(dtd);
+  EXPECT_TRUE(graph.IsRecursive());
+  EXPECT_TRUE(graph.IsRecursiveType(0));
+}
+
+TEST(DtdGraphTest, ParentsAndChildren) {
+  Dtd dtd = MakeHospitalDtd();
+  DtdGraph graph(dtd);
+  TypeId patient_info = dtd.FindType("patientInfo");
+  // patientInfo appears under both dept and clinicalTrial.
+  EXPECT_EQ(graph.Parents(patient_info).size(), 2u);
+  EXPECT_EQ(graph.Children(patient_info).size(), 1u);
+}
+
+// -- DTD parser ---------------------------------------------------------------
+
+TEST(DtdParserTest, ParsesDeclarations) {
+  auto r = ParseDtdText(R"(
+    <!-- a comment -->
+    <!ELEMENT a (b, c?)>
+    <!ELEMENT b (#PCDATA)>
+    <!ELEMENT c (d | e)+>
+    <!ELEMENT d EMPTY>
+    <!ELEMENT e (#PCDATA)>
+    <!ATTLIST a x CDATA #IMPLIED>
+  )");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->elements.size(), 5u);
+  EXPECT_EQ(r->root, "a");
+  EXPECT_EQ(r->elements[0].content->ToString(), "(b, c?)");
+  EXPECT_EQ(r->elements[2].content->ToString(), "(d | e)+");
+}
+
+TEST(DtdParserTest, MixedContent) {
+  auto r = ParseDtdText("<!ELEMENT a (#PCDATA | b)*> <!ELEMENT b EMPTY>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->elements[0].content->kind, ContentRegex::Kind::kStar);
+}
+
+TEST(DtdParserTest, RejectsAnyAndGarbage) {
+  EXPECT_FALSE(ParseDtdText("<!ELEMENT a ANY>").ok());
+  EXPECT_FALSE(ParseDtdText("<!ELEMENT a (b,>").ok());
+  EXPECT_FALSE(ParseDtdText("nonsense").ok());
+  EXPECT_FALSE(ParseDtdText("").ok());
+}
+
+TEST(DtdParserTest, NestedGroups) {
+  auto r = ParseDtdText("<!ELEMENT a ((b, c) | (d, e))*>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->elements[0].content->ToString(), "((b, c) | (d, e))*");
+}
+
+// -- Normalizer ---------------------------------------------------------------
+
+TEST(NormalizerTest, AlreadyNormalFormsPassThrough) {
+  auto r = ParseAndNormalizeDtd(R"(
+    <!ELEMENT r (a, b)>
+    <!ELEMENT a (#PCDATA)>
+    <!ELEMENT b (c | d)>
+    <!ELEMENT c EMPTY>
+    <!ELEMENT d (d2)*>
+    <!ELEMENT d2 (#PCDATA)>
+  )");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->aux_types.empty());
+  EXPECT_EQ(r->dtd.NumTypes(), 6);
+  EXPECT_EQ(r->dtd.Content(r->dtd.FindType("b")).kind(),
+            ContentKind::kChoice);
+}
+
+TEST(NormalizerTest, OptionalBecomesStarByDefault) {
+  auto r = ParseAndNormalizeDtd(
+      "<!ELEMENT r (a?, b)> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  // (a?, b) => (aux, b) with aux -> a*.
+  const Dtd& dtd = r->dtd;
+  const ContentModel& root = dtd.Content(dtd.root());
+  ASSERT_EQ(root.kind(), ContentKind::kSequence);
+  ASSERT_EQ(root.types().size(), 2u);
+  ASSERT_EQ(r->aux_types.size(), 1u);
+  TypeId aux = dtd.FindType(r->aux_types[0]);
+  EXPECT_EQ(dtd.Content(aux).kind(), ContentKind::kStar);
+  EXPECT_EQ(dtd.Content(aux).types()[0], "a");
+}
+
+TEST(NormalizerTest, PlusKeepsAtLeastOne) {
+  auto r = ParseAndNormalizeDtd("<!ELEMENT r (a)+> <!ELEMENT a EMPTY>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const ContentModel& root = r->dtd.Content(r->dtd.root());
+  ASSERT_EQ(root.kind(), ContentKind::kSequence);
+  ASSERT_EQ(root.types().size(), 2u);
+  EXPECT_EQ(root.types()[0], "a");
+  EXPECT_EQ(r->dtd.Content(r->dtd.FindType(root.types()[1])).kind(),
+            ContentKind::kStar);
+}
+
+TEST(NormalizerTest, StarOfAlternationGetsAuxType) {
+  auto r = ParseAndNormalizeDtd(
+      "<!ELEMENT r (a | b)*> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const ContentModel& root = r->dtd.Content(r->dtd.root());
+  ASSERT_EQ(root.kind(), ContentKind::kStar);
+  TypeId aux = r->dtd.FindType(root.types()[0]);
+  ASSERT_NE(aux, kNullType);
+  EXPECT_EQ(r->dtd.Content(aux).kind(), ContentKind::kChoice);
+}
+
+TEST(NormalizerTest, FinalizedAndConsistent) {
+  auto r = ParseAndNormalizeDtd(R"(
+    <!ELEMENT book (title, (chapter | appendix)+, index?)>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT chapter (title, para*)>
+    <!ELEMENT appendix (para+)>
+    <!ELEMENT para (#PCDATA)>
+    <!ELEMENT index (#PCDATA)>
+  )");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->dtd.finalized());
+  EXPECT_GT(r->aux_types.size(), 0u);
+}
+
+// -- Validator ----------------------------------------------------------------
+
+class ValidatorTest : public testing::Test {
+ protected:
+  Dtd dtd_ = MakeHospitalDtd();
+};
+
+TEST_F(ValidatorTest, AcceptsConformingDocument) {
+  auto doc = ParseXml(R"(
+    <hospital>
+      <dept>
+        <clinicalTrial><patientInfo/><test>t</test></clinicalTrial>
+        <patientInfo>
+          <patient><name>n</name><wardNo>3</wardNo>
+            <treatment><trial><bill>10</bill></trial></treatment>
+          </patient>
+        </patientInfo>
+        <staffInfo><staff><nurse>sue</nurse></staff></staffInfo>
+      </dept>
+    </hospital>
+  )");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_TRUE(ValidateInstance(*doc, dtd_).ok());
+}
+
+TEST_F(ValidatorTest, RejectsWrongRoot) {
+  auto doc = ParseXml("<dept/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(ValidateInstance(*doc, dtd_).ok());
+}
+
+TEST_F(ValidatorTest, RejectsSequenceViolation) {
+  // dept missing staffInfo.
+  auto doc = ParseXml(
+      "<hospital><dept><clinicalTrial><patientInfo/><test>t</test>"
+      "</clinicalTrial><patientInfo/></dept></hospital>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(ValidateInstance(*doc, dtd_).ok());
+}
+
+TEST_F(ValidatorTest, RejectsChoiceWithBothAlternatives) {
+  auto doc = ParseXml(
+      "<hospital><dept>"
+      "<clinicalTrial><patientInfo/><test>t</test></clinicalTrial>"
+      "<patientInfo><patient><name>n</name><wardNo>1</wardNo>"
+      "<treatment><trial><bill>1</bill></trial>"
+      "<regular><bill>1</bill><medication>m</medication></regular>"
+      "</treatment></patient></patientInfo>"
+      "<staffInfo/></dept></hospital>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(ValidateInstance(*doc, dtd_).ok());
+}
+
+TEST_F(ValidatorTest, RejectsTextUnderNonTextElement) {
+  auto doc = ParseXml("<hospital>oops</hospital>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(ValidateInstance(*doc, dtd_).ok());
+}
+
+TEST_F(ValidatorTest, RejectsUndeclaredElement) {
+  auto doc = ParseXml("<hospital><mystery/></hospital>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(ValidateInstance(*doc, dtd_).ok());
+}
+
+TEST_F(ValidatorTest, StarAcceptsZeroChildren) {
+  auto doc = ParseXml("<hospital/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(ValidateInstance(*doc, dtd_).ok());
+}
+
+}  // namespace
+}  // namespace secview

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "dtd/validator.h"
+#include "workload/hospital.h"
+#include "xml/edit.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace secview {
+namespace {
+
+NodeId FindElement(const XmlTree& doc, std::string_view label) {
+  for (NodeId n = 0; n < static_cast<NodeId>(doc.node_count()); ++n) {
+    if (doc.IsElement(n) && doc.label(n) == label) return n;
+  }
+  return kNullNode;
+}
+
+TEST(EditTest, InsertAppendsAsLastChild) {
+  auto doc = ParseXml("<r><a/><b x=\"1\">t</b></r>");
+  auto fragment = ParseXml("<c><d>new</d></c>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(fragment.ok());
+  auto updated = InsertSubtree(*doc, doc->root(), *fragment);
+  ASSERT_TRUE(updated.ok()) << updated.status();
+  EXPECT_EQ(ToXmlString(*updated),
+            "<r><a/><b x=\"1\">t</b><c><d>new</d></c></r>");
+  // The original is untouched.
+  EXPECT_EQ(doc->node_count(), 4u);
+}
+
+TEST(EditTest, InsertIntoNestedParent) {
+  auto doc = ParseXml("<r><a><x/></a></r>");
+  auto fragment = ParseXml("<y attr=\"v\"/>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(fragment.ok());
+  NodeId a = FindElement(*doc, "a");
+  auto updated = InsertSubtree(*doc, a, *fragment);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(ToXmlString(*updated), "<r><a><x/><y attr=\"v\"/></a></r>");
+}
+
+TEST(EditTest, InsertErrors) {
+  auto doc = ParseXml("<r>text</r>");
+  auto fragment = ParseXml("<c/>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(fragment.ok());
+  EXPECT_FALSE(InsertSubtree(*doc, 999, *fragment).ok());
+  EXPECT_FALSE(InsertSubtree(*doc, -5, *fragment).ok());
+  // Text node as parent.
+  NodeId text = doc->first_child(doc->root());
+  ASSERT_TRUE(doc->IsText(text));
+  EXPECT_FALSE(InsertSubtree(*doc, text, *fragment).ok());
+}
+
+TEST(EditTest, DeleteRemovesSubtree) {
+  auto doc = ParseXml("<r><a><x/><y/></a><b/></r>");
+  ASSERT_TRUE(doc.ok());
+  NodeId a = FindElement(*doc, "a");
+  auto updated = DeleteSubtree(*doc, a);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(ToXmlString(*updated), "<r><b/></r>");
+  EXPECT_FALSE(DeleteSubtree(*doc, doc->root()).ok());
+  EXPECT_FALSE(DeleteSubtree(*doc, 12345).ok());
+}
+
+TEST(EditTest, ReplaceTextSwapsContent) {
+  auto doc = ParseXml("<r><v>old</v><w>keep</w></r>");
+  ASSERT_TRUE(doc.ok());
+  NodeId v = FindElement(*doc, "v");
+  auto updated = ReplaceText(*doc, v, "new");
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(ToXmlString(*updated), "<r><v>new</v><w>keep</w></r>");
+}
+
+TEST(EditTest, EditedHospitalStillValidates) {
+  Dtd dtd = MakeHospitalDtd();
+  auto doc = ParseXml(
+      "<hospital><dept>"
+      "<clinicalTrial><patientInfo/><test>t</test></clinicalTrial>"
+      "<patientInfo><patient><name>a</name><wardNo>1</wardNo>"
+      "<treatment><trial><bill>5</bill></trial></treatment>"
+      "</patient></patientInfo><staffInfo/></dept></hospital>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(ValidateInstance(*doc, dtd).ok());
+
+  // Insert another patient into the patientInfo star.
+  auto patient = ParseXml(
+      "<patient><name>b</name><wardNo>2</wardNo>"
+      "<treatment><regular><bill>7</bill><medication>m</medication>"
+      "</regular></treatment></patient>");
+  ASSERT_TRUE(patient.ok());
+  NodeId info = kNullNode;
+  for (NodeId n = 0; n < static_cast<NodeId>(doc->node_count()); ++n) {
+    if (doc->IsElement(n) && doc->label(n) == "patientInfo" &&
+        doc->label(doc->parent(n)) == "dept") {
+      info = n;
+    }
+  }
+  ASSERT_NE(info, kNullNode);
+  auto updated = InsertSubtree(*doc, info, *patient);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_TRUE(ValidateInstance(*updated, dtd).ok())
+      << ToXmlString(*updated);
+
+  // Deleting a star child keeps validity too.
+  NodeId inserted = FindElement(*updated, "patient");
+  auto removed = DeleteSubtree(*updated, inserted);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_TRUE(ValidateInstance(*removed, dtd).ok());
+}
+
+}  // namespace
+}  // namespace secview

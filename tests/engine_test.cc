@@ -1,0 +1,255 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "workload/hospital.h"
+#include "workload/synthetic.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xpath/printer.h"
+
+namespace secview {
+namespace {
+
+constexpr char kNursePolicy[] = R"(
+  ann(hospital, dept) = [*/patient/wardNo = $wardNo]
+  ann(dept, clinicalTrial) = N
+  ann(clinicalTrial, patientInfo) = Y
+  ann(treatment, trial) = N
+  ann(treatment, regular) = N
+  ann(trial, bill) = Y
+  ann(regular, bill) = Y
+  ann(regular, medication) = Y
+)";
+
+constexpr char kResearcherPolicy[] = R"(
+  # Researchers see clinical-trial data of every ward, nothing else.
+  ann(dept, patientInfo) = N
+  ann(dept, staffInfo) = N
+)";
+
+constexpr char kDoc[] = R"(
+  <hospital>
+    <dept>
+      <clinicalTrial>
+        <patientInfo>
+          <patient><name>carol</name><wardNo>3</wardNo>
+            <treatment><trial><bill>900</bill></trial></treatment>
+          </patient>
+        </patientInfo>
+        <test>blood</test>
+      </clinicalTrial>
+      <patientInfo>
+        <patient><name>dave</name><wardNo>3</wardNo>
+          <treatment><regular><bill>120</bill><medication>m</medication></regular></treatment>
+        </patient>
+      </patientInfo>
+      <staffInfo><staff><nurse>sue</nurse></staff></staffInfo>
+    </dept>
+  </hospital>
+)";
+
+class EngineTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto engine = SecureQueryEngine::Create(MakeHospitalDtd());
+    ASSERT_TRUE(engine.ok()) << engine.status();
+    engine_ = std::move(engine).value();
+    ASSERT_TRUE(engine_->RegisterPolicy("nurse", kNursePolicy).ok());
+    auto doc = ParseXml(kDoc);
+    ASSERT_TRUE(doc.ok()) << doc.status();
+    doc_ = std::move(doc).value();
+  }
+
+  std::unique_ptr<SecureQueryEngine> engine_;
+  XmlTree doc_;
+};
+
+TEST_F(EngineTest, RegisterAndListPolicies) {
+  EXPECT_EQ(engine_->PolicyNames(), std::vector<std::string>{"nurse"});
+  ASSERT_TRUE(engine_->RegisterPolicy("researcher", kResearcherPolicy).ok());
+  EXPECT_EQ(engine_->PolicyNames(),
+            (std::vector<std::string>{"nurse", "researcher"}));
+}
+
+TEST_F(EngineTest, RejectsDuplicateAndBadPolicies) {
+  EXPECT_FALSE(engine_->RegisterPolicy("nurse", kNursePolicy).ok());
+  EXPECT_FALSE(engine_->RegisterPolicy("", kNursePolicy).ok());
+  EXPECT_FALSE(engine_->RegisterPolicy("bad", "ann(zzz, qqq) = N").ok());
+}
+
+TEST_F(EngineTest, PublishedViewDtdHidesConfidentialLabels) {
+  auto dtd_text = engine_->PublishedViewDtd("nurse");
+  ASSERT_TRUE(dtd_text.ok());
+  EXPECT_EQ(dtd_text->find("clinicalTrial"), std::string::npos);
+  EXPECT_NE(dtd_text->find("dummy"), std::string::npos);
+  EXPECT_FALSE(engine_->PublishedViewDtd("ghost").ok());
+}
+
+TEST_F(EngineTest, ExecuteEnforcesPolicy) {
+  ExecuteOptions options;
+  options.bindings = {{"wardNo", "3"}};
+  auto result = engine_->Execute("nurse", doc_, "//patient/name", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->nodes.size(), 2u);  // carol + dave
+  EXPECT_GT(result->work, 0u);
+
+  options.bindings = {{"wardNo", "7"}};
+  auto other_ward = engine_->Execute("nurse", doc_, "//patient/name",
+                                     options);
+  ASSERT_TRUE(other_ward.ok());
+  EXPECT_TRUE(other_ward->nodes.empty());
+}
+
+TEST_F(EngineTest, ExecuteRequiresBindings) {
+  auto result = engine_->Execute("nurse", doc_, "//patient/name");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(EngineTest, ExecuteRejectsForeignDocuments) {
+  auto other = ParseXml("<library/>");
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(engine_->Execute("nurse", *other, "//x").ok());
+}
+
+TEST_F(EngineTest, ExecuteUnknownPolicyOrBadQuery) {
+  EXPECT_EQ(engine_->Execute("ghost", doc_, "//x").status().code(),
+            StatusCode::kNotFound);
+  ExecuteOptions options;
+  options.bindings = {{"wardNo", "3"}};
+  EXPECT_FALSE(engine_->Execute("nurse", doc_, "//x[", options).ok());
+}
+
+TEST_F(EngineTest, OptimizeToggleAgrees) {
+  ExecuteOptions with;
+  with.bindings = {{"wardNo", "3"}};
+  with.optimize = true;
+  ExecuteOptions without = with;
+  without.optimize = false;
+  for (const char* q : {"//bill", "//patient[name]/wardNo", "//dummy2"}) {
+    auto a = engine_->Execute("nurse", doc_, q, with);
+    auto b = engine_->Execute("nurse", doc_, q, without);
+    ASSERT_TRUE(a.ok()) << q;
+    ASSERT_TRUE(b.ok()) << q;
+    EXPECT_EQ(a->nodes, b->nodes) << q;
+  }
+}
+
+TEST_F(EngineTest, RewriteIsCached) {
+  auto first = engine_->Rewrite("nurse", "//patient//bill", true);
+  auto second = engine_->Rewrite("nurse", "//patient//bill", true);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // same cached object
+}
+
+TEST_F(EngineTest, MultiplePoliciesSeeDifferentData) {
+  ASSERT_TRUE(engine_->RegisterPolicy("researcher", kResearcherPolicy).ok());
+
+  ExecuteOptions nurse_options;
+  nurse_options.bindings = {{"wardNo", "3"}};
+  auto nurse = engine_->Execute("nurse", doc_, "//patient/name",
+                                nurse_options);
+  auto researcher = engine_->Execute("researcher", doc_, "//patient/name");
+  ASSERT_TRUE(nurse.ok());
+  ASSERT_TRUE(researcher.ok()) << researcher.status();
+  EXPECT_EQ(nurse->nodes.size(), 2u);
+  // Researchers see only the clinical-trial patient.
+  ASSERT_EQ(researcher->nodes.size(), 1u);
+  EXPECT_EQ(doc_.CollectText(researcher->nodes[0]), "carol");
+
+  // Researchers can see the test element nurses cannot.
+  auto tests = engine_->Execute("researcher", doc_, "//test");
+  ASSERT_TRUE(tests.ok());
+  EXPECT_EQ(tests->nodes.size(), 1u);
+  auto nurse_tests = engine_->Execute("nurse", doc_, "//test", nurse_options);
+  ASSERT_TRUE(nurse_tests.ok());
+  EXPECT_TRUE(nurse_tests->nodes.empty());
+}
+
+TEST_F(EngineTest, ExtractResultsServesViewSubtrees) {
+  ExecuteOptions options;
+  options.bindings = {{"wardNo", "3"}};
+  auto result = engine_->Execute("nurse", doc_, "//patient", options);
+  ASSERT_TRUE(result.ok());
+  auto answer = engine_->ExtractResults("nurse", doc_, result->nodes,
+                                        options.bindings);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  std::string xml = ToXmlString(*answer);
+  EXPECT_NE(xml.find("<results>"), std::string::npos);
+  EXPECT_NE(xml.find("carol"), std::string::npos);
+  // The serialized answer hides treatment kinds behind dummies and never
+  // contains hidden labels, even though trial nodes sit below patients in
+  // the raw document.
+  EXPECT_EQ(xml.find("<trial"), std::string::npos) << xml;
+  EXPECT_EQ(xml.find("<regular"), std::string::npos);
+  EXPECT_NE(xml.find("dummy"), std::string::npos);
+  EXPECT_NE(xml.find("<bill>900</bill>"), std::string::npos);
+}
+
+TEST_F(EngineTest, ExtractResultsSkipsInvisibleNodes) {
+  // Asking to extract a node outside the view yields nothing for it.
+  ExecuteOptions options;
+  options.bindings = {{"wardNo", "7"}};  // nothing visible
+  NodeSet everything;
+  for (NodeId n = 0; n < static_cast<NodeId>(doc_.node_count()); ++n) {
+    if (doc_.IsElement(n) && doc_.label(n) == "patient") {
+      everything.push_back(n);
+    }
+  }
+  auto answer = engine_->ExtractResults("nurse", doc_, everything,
+                                        options.bindings);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(ToXmlString(*answer), "<results/>");
+}
+
+
+TEST_F(EngineTest, ExtractResultsRequiresBindingsForParamPolicies) {
+  ExecuteOptions options;
+  options.bindings = {{"wardNo", "3"}};
+  auto result = engine_->Execute("nurse", doc_, "//patient", options);
+  ASSERT_TRUE(result.ok());
+  // Without bindings the accessibility filter cannot be evaluated.
+  auto answer = engine_->ExtractResults("nurse", doc_, result->nodes);
+  EXPECT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineRecursiveTest, RecursiveViewsWorkThroughTheEngine) {
+  RecursiveFixture fixture = MakeRecursiveFixture();
+  auto engine = SecureQueryEngine::Create(std::move(fixture.dtd));
+  ASSERT_TRUE(engine.ok());
+  // The recursive document DTD disables the optimizer but not querying.
+  EXPECT_FALSE((*engine)->CanOptimize());
+  ASSERT_TRUE((*engine)->RegisterPolicy("outline", fixture.spec_text).ok());
+
+  auto doc = ParseXml(
+      "<doc><section><title>a</title><meta>"
+      "<section><title>b</title><meta/></section>"
+      "</meta></section></doc>");
+  ASSERT_TRUE(doc.ok());
+  auto result = (*engine)->Execute("outline", *doc, "//title");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->nodes.size(), 2u);
+}
+
+TEST(EngineCreateTest, UnfinalizedDtdIsFinalized) {
+  Dtd dtd;
+  ASSERT_TRUE(dtd.AddType("r", ContentModel::Text()).ok());
+  ASSERT_TRUE(dtd.SetRoot("r").ok());
+  auto engine = SecureQueryEngine::Create(std::move(dtd));
+  EXPECT_TRUE(engine.ok());
+}
+
+TEST(EngineCreateTest, BrokenDtdRejected) {
+  Dtd dtd;
+  ASSERT_TRUE(dtd.AddType("r", ContentModel::Star("missing")).ok());
+  ASSERT_TRUE(dtd.SetRoot("r").ok());
+  auto engine = SecureQueryEngine::Create(std::move(dtd));
+  EXPECT_FALSE(engine.ok());
+}
+
+}  // namespace
+}  // namespace secview

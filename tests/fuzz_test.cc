@@ -1,0 +1,142 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dtd/dtd_parser.h"
+#include "security/spec_parser.h"
+#include "security/view_io.h"
+#include "workload/hospital.h"
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+#include "xpath/printer.h"
+
+namespace secview {
+namespace {
+
+/// Robustness sweeps: every parser must reject (or accept) arbitrary
+/// garbage gracefully — no crashes, no hangs — and truncations of valid
+/// inputs must never be mis-accepted as something structurally different.
+
+std::string RandomBytes(Rng& rng, size_t length) {
+  // Printable-heavy mix with structural characters over-represented.
+  static constexpr char kChars[] =
+      "<>/=\"'[]()|.*@$ \t\nabzA19-_&;#!?+,:{}\\";
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out += kChars[rng.Below(sizeof(kChars) - 1)];
+  }
+  return out;
+}
+
+TEST(FuzzTest, XPathParserSurvivesGarbage) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    std::string input = RandomBytes(rng, 1 + rng.Below(40));
+    auto result = ParseXPath(input);
+    if (result.ok()) {
+      // Whatever parsed must print and re-parse.
+      std::string printed = ToXPathString(*result);
+      auto again = ParseXPath(printed);
+      EXPECT_TRUE(again.ok()) << input << " -> " << printed;
+    }
+  }
+}
+
+TEST(FuzzTest, XPathParserSurvivesTruncations) {
+  const std::string valid =
+      "//dept[*/patient/wardNo = $w]/(clinicalTrial/patientInfo | "
+      "patientInfo)/patient[not(@x = \"1\") and name]//bill";
+  for (size_t len = 0; len <= valid.size(); ++len) {
+    auto result = ParseXPath(valid.substr(0, len));
+    if (result.ok()) {
+      EXPECT_TRUE(ParseXPath(ToXPathString(*result)).ok()) << len;
+    }
+  }
+}
+
+TEST(FuzzTest, XmlParserSurvivesGarbage) {
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    std::string input = RandomBytes(rng, 1 + rng.Below(60));
+    auto result = ParseXml(input);
+    (void)result;  // must simply not crash or hang
+  }
+}
+
+TEST(FuzzTest, XmlParserSurvivesTruncations) {
+  const std::string valid =
+      "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a (b)>]>"
+      "<a x=\"1&amp;2\"><b><![CDATA[zz]]></b><!-- c --><b>t</b></a>";
+  for (size_t len = 0; len <= valid.size(); ++len) {
+    auto result = ParseXml(valid.substr(0, len));
+    (void)result;
+  }
+}
+
+TEST(FuzzTest, DtdParserSurvivesGarbage) {
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    std::string input = "<!ELEMENT " + RandomBytes(rng, 1 + rng.Below(40));
+    auto result = ParseDtdText(input);
+    (void)result;
+  }
+}
+
+TEST(FuzzTest, DtdParserSurvivesTruncations) {
+  const std::string valid =
+      "<!ELEMENT a (b?, (c | d)+, e*)><!ELEMENT b (#PCDATA)>"
+      "<!ATTLIST a x CDATA #REQUIRED y (u|v) \"u\">"
+      "<!ELEMENT c EMPTY><!ELEMENT d (#PCDATA)><!ELEMENT e (b)>";
+  for (size_t len = 0; len <= valid.size(); ++len) {
+    auto result = ParseDtdText(valid.substr(0, len));
+    (void)result;
+  }
+}
+
+TEST(FuzzTest, SpecParserSurvivesGarbage) {
+  Dtd dtd = MakeHospitalDtd();
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    std::string input = "ann(" + RandomBytes(rng, 1 + rng.Below(30));
+    auto result = ParseAccessSpec(dtd, input);
+    (void)result;
+  }
+}
+
+TEST(FuzzTest, ViewIoSurvivesGarbageAndLineDeletions) {
+  Dtd dtd = MakeHospitalDtd();
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    std::string input =
+        "secview-definition 1\n" + RandomBytes(rng, 1 + rng.Below(80));
+    auto result = ParseView(dtd, input);
+    (void)result;
+  }
+}
+
+TEST(FuzzTest, RandomlyMutatedXPathNeverCrashesEvaluator) {
+  // Parseable mutants must also evaluate without crashing.
+  Dtd dtd = MakeHospitalDtd();
+  auto doc = ParseXml(
+      "<hospital><dept><clinicalTrial><patientInfo/><test>t</test>"
+      "</clinicalTrial><patientInfo/><staffInfo/></dept></hospital>");
+  ASSERT_TRUE(doc.ok());
+  Rng rng(6);
+  std::string base = "//dept/patientInfo[patient]/patient/name";
+  for (int i = 0; i < 1000; ++i) {
+    std::string mutated = base;
+    size_t pos = rng.Below(mutated.size());
+    mutated[pos] = "</|[]*.@"[rng.Below(8)];
+    auto parsed = ParseXPath(mutated);
+    if (!parsed.ok()) continue;
+    if (HasUnboundParams(*parsed)) continue;
+    auto result = EvaluateAtRoot(*doc, *parsed);
+    EXPECT_TRUE(result.ok()) << mutated;
+  }
+}
+
+}  // namespace
+}  // namespace secview

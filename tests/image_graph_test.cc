@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "optimize/image_graph.h"
+#include "workload/hospital.h"
+#include "xpath/parser.h"
+
+namespace secview {
+namespace {
+
+PathPtr MustParse(const std::string& text) {
+  auto r = ParseXPath(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status();
+  return r.ok() ? *r : MakeEmptySet();
+}
+
+/// Direct structural checks of image-graph construction (paper
+/// Section 5.1, Example 5.2 shapes).
+class ImageGraphTest : public testing::Test {
+ protected:
+  ImageGraphTest() : dtd_(BuildFig9()), graph_(dtd_) {}
+
+  static Dtd BuildFig9() {
+    Dtd dtd;
+    EXPECT_TRUE(dtd.AddType("a", ContentModel::Sequence({"b", "c"})).ok());
+    EXPECT_TRUE(dtd.AddType("b", ContentModel::Sequence({"d"})).ok());
+    EXPECT_TRUE(dtd.AddType("c", ContentModel::Sequence({"d"})).ok());
+    EXPECT_TRUE(dtd.AddType("d", ContentModel::Choice({"e", "f"})).ok());
+    EXPECT_TRUE(dtd.AddType("e", ContentModel::Sequence({"g"})).ok());
+    EXPECT_TRUE(dtd.AddType("f", ContentModel::Sequence({"g"})).ok());
+    EXPECT_TRUE(dtd.AddType("g", ContentModel::Text()).ok());
+    EXPECT_TRUE(dtd.SetRoot("a").ok());
+    EXPECT_TRUE(dtd.Finalize().ok());
+    return dtd;
+  }
+
+  ImageGraph Build(const std::string& query) {
+    return BuildImageGraph(graph_, MustParse(query), dtd_.FindType("a"));
+  }
+
+  int CountLabel(const ImageGraph& g, const char* name) {
+    TypeId t = dtd_.FindType(name);
+    int count = 0;
+    for (const ImageGraph::Node& n : g.nodes) {
+      if (n.label == t && !n.is_qual) ++count;
+    }
+    return count;
+  }
+
+  Dtd dtd_;
+  DtdGraph graph_;
+};
+
+TEST_F(ImageGraphTest, EmptyWhenNothingReached) {
+  EXPECT_TRUE(Build("zz").empty());
+  EXPECT_TRUE(Build("b/zz").empty());
+  EXPECT_TRUE(Build("g").empty());  // g is not a child of a
+}
+
+TEST_F(ImageGraphTest, WildcardChainMergesPerLayer) {
+  // */d/*/g (the paper's p1): one node per type per layer.
+  ImageGraph g = Build("*/d/*/g");
+  EXPECT_FALSE(g.empty());
+  EXPECT_EQ(CountLabel(g, "a"), 1);
+  EXPECT_EQ(CountLabel(g, "b"), 1);
+  EXPECT_EQ(CountLabel(g, "c"), 1);
+  // d appears once per parent (b and c have separate d children).
+  EXPECT_EQ(CountLabel(g, "d"), 2);
+  ASSERT_EQ(g.frontier.size(), 4u);  // g under e and f, per d instance
+  for (int n : g.frontier) {
+    EXPECT_TRUE(g.nodes[n].is_frontier);
+    EXPECT_EQ(g.nodes[n].label, dtd_.FindType("g"));
+  }
+}
+
+TEST_F(ImageGraphTest, UnionKeepsBranchesApartWithQualifiers) {
+  ImageGraph g = Build("b/d[e] | b/d[f]");
+  EXPECT_FALSE(g.imprecise);
+  // The two d's carry different qualifiers and must not merge.
+  EXPECT_EQ(CountLabel(g, "d"), 2);
+  int quals = 0;
+  for (const ImageGraph::Node& n : g.nodes) {
+    if (n.is_qual) ++quals;
+  }
+  EXPECT_EQ(quals, 2);
+}
+
+TEST_F(ImageGraphTest, QualifierOnSharedContextIsImprecise) {
+  ImageGraph g = Build(".[b] | .[c]");
+  EXPECT_TRUE(g.imprecise);
+}
+
+TEST_F(ImageGraphTest, EqualityTagsRecorded) {
+  ImageGraph g = Build("b/d[e = \"42\"]");
+  bool found = false;
+  for (const ImageGraph::Node& n : g.nodes) {
+    if (n.is_qual && n.tag == "=42") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ImageGraphTest, DescendantLayerFollowsOnlyUsefulPaths) {
+  // //e from a: the path layer must not contain f (no e below f).
+  ImageGraph g = Build("//e");
+  EXPECT_GT(CountLabel(g, "e"), 0);
+  EXPECT_EQ(CountLabel(g, "f"), 0);
+}
+
+TEST_F(ImageGraphTest, DebugStringRendersStructure) {
+  ImageGraph g = Build("b/d[e]");
+  std::string text = ToDebugString(g, dtd_);
+  EXPECT_NE(text.find("(root)"), std::string::npos) << text;
+  EXPECT_NE(text.find("[]"), std::string::npos) << text;
+  EXPECT_EQ(ToDebugString(ImageGraph{}, dtd_), "(empty image)\n");
+}
+
+TEST_F(ImageGraphTest, TypeLevelReachMatchesStructure) {
+  TypeId a = dtd_.FindType("a");
+  auto reach = TypeLevelReach(graph_, MustParse("*/d/*"), a);
+  // e and f.
+  EXPECT_EQ(reach.size(), 2u);
+  EXPECT_TRUE(TypeLevelReach(graph_, MustParse("zz"), a).empty());
+  auto self = TypeLevelReach(graph_, MustParse("."), a);
+  ASSERT_EQ(self.size(), 1u);
+  EXPECT_EQ(self[0], a);
+  // '//' reaches everything from the root.
+  EXPECT_EQ(TypeLevelReach(graph_, MustParse("//."), a).size(), 7u);
+}
+
+TEST(ImageGraphHospitalTest, QualifierSubtreeBuilt) {
+  Dtd dtd = MakeHospitalDtd();
+  DtdGraph graph(dtd);
+  PathPtr p = ParseXPath("dept[patientInfo/patient]").value();
+  ImageGraph g = BuildImageGraph(graph, p, dtd.root());
+  EXPECT_FALSE(g.empty());
+  // The qualifier's path structure lives under the '[]' node.
+  bool qual_with_children = false;
+  for (const ImageGraph::Node& n : g.nodes) {
+    if (n.is_qual && !n.children.empty()) qual_with_children = true;
+  }
+  EXPECT_TRUE(qual_with_children);
+}
+
+}  // namespace
+}  // namespace secview

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/adex.h"
+#include "workload/generator.h"
+#include "workload/hospital.h"
+#include "workload/synthetic.h"
+#include "xml/label_index.h"
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+#include "xpath/printer.h"
+
+namespace secview {
+namespace {
+
+TEST(LabelIndexTest, PostingsAreCompleteAndSorted) {
+  auto doc = ParseXml("<r><a/><b><a/><a/></b><a/></r>");
+  ASSERT_TRUE(doc.ok());
+  LabelIndex index(*doc);
+  EXPECT_EQ(index.TotalPostings(), 6u);  // r, 4 a's, b
+  const auto& as = index.Nodes(doc->FindLabelId("a"));
+  ASSERT_EQ(as.size(), 4u);
+  for (size_t i = 1; i < as.size(); ++i) EXPECT_LT(as[i - 1], as[i]);
+  EXPECT_TRUE(index.Nodes(-1).empty());
+  EXPECT_TRUE(index.Nodes(999).empty());
+}
+
+TEST(LabelIndexTest, RangeSlicesSubtrees) {
+  auto doc = ParseXml("<r><a/><b><a/><a/></b><a/></r>");
+  ASSERT_TRUE(doc.ok());
+  LabelIndex index(*doc);
+  NodeId b = kNullNode;
+  for (NodeId n = 0; n < static_cast<NodeId>(doc->node_count()); ++n) {
+    if (doc->IsElement(n) && doc->label(n) == "b") b = n;
+  }
+  ASSERT_NE(b, kNullNode);
+  auto [first, last] =
+      index.Range(doc->FindLabelId("a"), b, doc->SubtreeEnd(b));
+  EXPECT_EQ(last - first, 2);  // the two a's inside b
+}
+
+TEST(IndexedEvaluatorTest, MatchesUnindexedOnDescendantLabelSteps) {
+  auto doc = ParseXml(
+      "<r><a><b>1</b></a><c><a><b>2</b><b>3</b></a></c><b>4</b></r>");
+  ASSERT_TRUE(doc.ok());
+  LabelIndex index(*doc);
+  for (const char* query :
+       {"//b", "//a", "//a//b", "c//b", "//c/a/b", "//a[b]",
+        "//b[. = \"2\"]", "//zz", "(//a)[b]/b", "//. | //b"}) {
+    SCOPED_TRACE(query);
+    auto p = ParseXPath(query);
+    ASSERT_TRUE(p.ok());
+    XPathEvaluator plain(*doc);
+    XPathEvaluator indexed(*doc, &index);
+    auto a = plain.Evaluate(*p, doc->root());
+    auto b = indexed.Evaluate(*p, doc->root());
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b);
+  }
+}
+
+TEST(IndexedEvaluatorTest, SelfNodeExcludedLikeChildAxis) {
+  // //a at an 'a' context must not return the context itself (it is not
+  // a child of anything in its own closure).
+  auto doc = ParseXml("<a><a/><b><a/></b></a>");
+  ASSERT_TRUE(doc.ok());
+  LabelIndex index(*doc);
+  auto p = ParseXPath("//a");
+  ASSERT_TRUE(p.ok());
+  XPathEvaluator plain(*doc);
+  XPathEvaluator indexed(*doc, &index);
+  auto a = plain.Evaluate(*p, doc->root());
+  auto b = indexed.Evaluate(*p, doc->root());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(a->size(), 2u);
+}
+
+TEST(IndexedEvaluatorTest, NestedContextsAgree) {
+  auto doc = ParseXml("<r><a><a><x/></a><x/></a></r>");
+  ASSERT_TRUE(doc.ok());
+  LabelIndex index(*doc);
+  // Context set containing both nested a's.
+  auto ctx_query = ParseXPath("//a");
+  ASSERT_TRUE(ctx_query.ok());
+  XPathEvaluator plain(*doc);
+  XPathEvaluator indexed(*doc, &index);
+  auto ctx = plain.Evaluate(*ctx_query, doc->root());
+  ASSERT_TRUE(ctx.ok());
+  auto p = ParseXPath("//x");
+  ASSERT_TRUE(p.ok());
+  auto a = plain.Evaluate(*p, *ctx);
+  auto b = indexed.Evaluate(*p, *ctx);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(IndexedEvaluatorTest, TouchesFarFewerNodes) {
+  Dtd dtd = MakeAdexDtd();
+  auto doc = GenerateDocument(dtd, AdexGeneratorOptions(7, 300'000, 3));
+  ASSERT_TRUE(doc.ok());
+  LabelIndex index(*doc);
+  auto p = ParseXPath("//buyer-info");
+  ASSERT_TRUE(p.ok());
+  XPathEvaluator plain(*doc);
+  XPathEvaluator indexed(*doc, &index);
+  ASSERT_TRUE(plain.Evaluate(*p, doc->root()).ok());
+  ASSERT_TRUE(indexed.Evaluate(*p, doc->root()).ok());
+  EXPECT_LT(indexed.work() * 100, plain.work());
+}
+
+TEST(IndexedEvaluatorTest, RandomizedAgreement) {
+  Rng rng(91);
+  for (int round = 0; round < 8; ++round) {
+    Dtd dtd = MakeRandomDtd(rng, 4 + static_cast<int>(rng.Below(10)));
+    GeneratorOptions gen;
+    gen.seed = rng.Next();
+    gen.max_branching = 3;
+    auto doc = GenerateDocument(dtd, gen);
+    ASSERT_TRUE(doc.ok());
+    LabelIndex index(*doc);
+    for (int qi = 0; qi < 15; ++qi) {
+      PathPtr q = MakeRandomDocQuery(dtd, rng,
+                                     1 + static_cast<int>(rng.Below(5)));
+      XPathEvaluator plain(*doc);
+      XPathEvaluator indexed(*doc, &index);
+      auto a = plain.Evaluate(q, doc->root());
+      auto b = indexed.Evaluate(q, doc->root());
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(*a, *b) << ToXPathString(q) << "\nDTD:\n" << dtd.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace secview

@@ -1,0 +1,301 @@
+#include <functional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dtd/generic_validator.h"
+#include "dtd/instance_normalizer.h"
+#include "dtd/normalizer.h"
+#include "dtd/validator.h"
+#include "workload/generator.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace secview {
+namespace {
+
+constexpr char kBookDtd[] = R"(
+  <!ELEMENT book (title, (chapter | appendix)+, index?)>
+  <!ELEMENT title (#PCDATA)>
+  <!ELEMENT chapter (title, para*)>
+  <!ELEMENT appendix (para+)>
+  <!ELEMENT para (#PCDATA)>
+  <!ELEMENT index (#PCDATA)>
+)";
+
+class InstanceNormalizerTest : public testing::Test {
+ protected:
+  void Load(const char* dtd_text) {
+    auto generic = ParseDtdText(dtd_text);
+    ASSERT_TRUE(generic.ok()) << generic.status();
+    generic_ = std::move(generic).value();
+    auto normalized = NormalizeDtd(generic_);
+    ASSERT_TRUE(normalized.ok()) << normalized.status();
+    normalized_ = std::make_unique<NormalizeResult>(
+        std::move(normalized).value());
+  }
+
+  Result<XmlTree> NormalizeDoc(const char* xml) {
+    auto doc = ParseXml(xml);
+    EXPECT_TRUE(doc.ok()) << doc.status();
+    InstanceNormalizer normalizer = InstanceNormalizer::For(*normalized_);
+    return normalizer.Normalize(*doc);
+  }
+
+  GenericDtd generic_;
+  std::unique_ptr<NormalizeResult> normalized_;
+};
+
+TEST_F(InstanceNormalizerTest, BookRoundTrip) {
+  Load(kBookDtd);
+  const char* xml =
+      "<book><title>t</title>"
+      "<chapter><title>c1</title><para>p</para><para>q</para></chapter>"
+      "<appendix><para>a</para></appendix>"
+      "<index>i</index></book>";
+  auto doc = ParseXml(xml);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(ValidateGenericInstance(*doc, generic_).ok());
+
+  auto normalized = NormalizeDoc(xml);
+  ASSERT_TRUE(normalized.ok()) << normalized.status();
+  // The normalized instance conforms to the normalized DTD.
+  EXPECT_TRUE(ValidateInstance(*normalized, normalized_->dtd).ok())
+      << ToXmlString(*normalized);
+  // Original data is still there, under wrappers.
+  std::string out = ToXmlString(*normalized);
+  EXPECT_NE(out.find("<title>c1</title>"), std::string::npos) << out;
+  EXPECT_NE(out.find("<index>i</index>"), std::string::npos);
+  EXPECT_GT(normalized->node_count(), doc->node_count());
+}
+
+TEST_F(InstanceNormalizerTest, OptionalAbsent) {
+  Load(kBookDtd);
+  auto normalized = NormalizeDoc(
+      "<book><title>t</title><chapter><title>c</title></chapter></book>");
+  ASSERT_TRUE(normalized.ok()) << normalized.status();
+  EXPECT_TRUE(ValidateInstance(*normalized, normalized_->dtd).ok());
+}
+
+TEST_F(InstanceNormalizerTest, RejectsMissingRequiredGroup) {
+  Load(kBookDtd);
+  // (chapter | appendix)+ demands at least one.
+  auto normalized = NormalizeDoc("<book><title>t</title></book>");
+  EXPECT_FALSE(normalized.ok());
+}
+
+TEST_F(InstanceNormalizerTest, RejectsWrongOrder) {
+  Load(kBookDtd);
+  auto normalized = NormalizeDoc(
+      "<book><chapter><title>c</title></chapter><title>t</title></book>");
+  EXPECT_FALSE(normalized.ok());
+}
+
+TEST_F(InstanceNormalizerTest, RejectsUndeclaredElement) {
+  Load(kBookDtd);
+  auto normalized = NormalizeDoc(
+      "<book><title>t</title><mystery/></book>");
+  EXPECT_FALSE(normalized.ok());
+}
+
+TEST_F(InstanceNormalizerTest, IdentityForNormalFormDtds) {
+  Load("<!ELEMENT r (a, b)> <!ELEMENT a (#PCDATA)> <!ELEMENT b EMPTY>");
+  InstanceNormalizer normalizer = InstanceNormalizer::For(*normalized_);
+  EXPECT_TRUE(normalizer.IsIdentity());
+  auto normalized = NormalizeDoc("<r><a>x</a><b/></r>");
+  ASSERT_TRUE(normalized.ok());
+  EXPECT_EQ(normalized->node_count(), 4u);
+}
+
+TEST_F(InstanceNormalizerTest, OriginsPointToSource) {
+  Load(kBookDtd);
+  const char* xml =
+      "<book><title>t</title><chapter><title>c</title></chapter></book>";
+  auto doc = ParseXml(xml);
+  ASSERT_TRUE(doc.ok());
+  InstanceNormalizer normalizer = InstanceNormalizer::For(*normalized_);
+  auto normalized = normalizer.Normalize(*doc);
+  ASSERT_TRUE(normalized.ok());
+  for (NodeId n = 0; n < static_cast<NodeId>(normalized->node_count());
+       ++n) {
+    NodeId origin = normalized->origin(n);
+    ASSERT_NE(origin, kNullNode);
+    if (normalized->IsElement(n) &&
+        doc->FindLabelId(normalized->label(n)) != -1) {
+      // Original elements map to the same-labeled source node.
+      EXPECT_EQ(doc->label(origin), normalized->label(n));
+    }
+  }
+}
+
+TEST_F(InstanceNormalizerTest, AlternationStar) {
+  Load("<!ELEMENT r (a | b)*> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY>");
+  auto normalized = NormalizeDoc("<r><a/><b/><b/><a/></r>");
+  ASSERT_TRUE(normalized.ok()) << normalized.status();
+  EXPECT_TRUE(ValidateInstance(*normalized, normalized_->dtd).ok())
+      << ToXmlString(*normalized);
+  // One wrapper per item.
+  int wrappers = 0;
+  for (NodeId n = 0; n < static_cast<NodeId>(normalized->node_count());
+       ++n) {
+    if (normalized->IsElement(n) &&
+        std::string(normalized->label(n)).find("._") != std::string::npos) {
+      ++wrappers;
+    }
+  }
+  EXPECT_EQ(wrappers, 4);
+}
+
+TEST_F(InstanceNormalizerTest, NestedGroups) {
+  Load("<!ELEMENT r ((a, b) | (b, a))+>"
+       "<!ELEMENT a EMPTY> <!ELEMENT b EMPTY>");
+  for (const char* xml :
+       {"<r><a/><b/></r>", "<r><b/><a/></r>", "<r><a/><b/><b/><a/></r>"}) {
+    auto normalized = NormalizeDoc(xml);
+    ASSERT_TRUE(normalized.ok()) << xml << ": " << normalized.status();
+    EXPECT_TRUE(ValidateInstance(*normalized, normalized_->dtd).ok())
+        << xml << " -> " << ToXmlString(*normalized);
+  }
+  EXPECT_FALSE(NormalizeDoc("<r><a/><a/></r>").ok());
+}
+
+// -- Generic validator -----------------------------------------------------------
+
+class GenericValidatorTest : public testing::Test {
+ protected:
+  void Load(const char* dtd_text) {
+    auto generic = ParseDtdText(dtd_text);
+    ASSERT_TRUE(generic.ok()) << generic.status();
+    generic_ = std::move(generic).value();
+  }
+
+  Status Validate(const char* xml) {
+    auto doc = ParseXml(xml);
+    EXPECT_TRUE(doc.ok()) << doc.status();
+    return ValidateGenericInstance(*doc, generic_);
+  }
+
+  GenericDtd generic_;
+};
+
+TEST_F(GenericValidatorTest, AcceptsValidBooks) {
+  Load(kBookDtd);
+  EXPECT_TRUE(Validate("<book><title>t</title>"
+                       "<chapter><title>c</title></chapter></book>")
+                  .ok());
+  EXPECT_TRUE(Validate("<book><title>t</title>"
+                       "<appendix><para>p</para></appendix>"
+                       "<chapter><title>c</title></chapter>"
+                       "<index>i</index></book>")
+                  .ok());
+}
+
+TEST_F(GenericValidatorTest, RejectsViolations) {
+  Load(kBookDtd);
+  // Missing the required group.
+  EXPECT_FALSE(Validate("<book><title>t</title></book>").ok());
+  // appendix requires at least one para.
+  EXPECT_FALSE(Validate("<book><title>t</title><appendix/></book>").ok());
+  // Wrong root.
+  EXPECT_FALSE(Validate("<chapter><title>t</title></chapter>").ok());
+  // Text where elements are expected.
+  EXPECT_FALSE(
+      Validate("<book>hello<title>t</title>"
+               "<chapter><title>c</title></chapter></book>")
+          .ok());
+  // Element inside PCDATA content.
+  EXPECT_FALSE(Validate("<book><title><para>x</para></title>"
+                        "<chapter><title>c</title></chapter></book>")
+                   .ok());
+}
+
+TEST_F(GenericValidatorTest, OptionalAndStar) {
+  Load("<!ELEMENT r (a?, b*)> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY>");
+  EXPECT_TRUE(Validate("<r/>").ok());
+  EXPECT_TRUE(Validate("<r><a/></r>").ok());
+  EXPECT_TRUE(Validate("<r><b/><b/><b/></r>").ok());
+  EXPECT_TRUE(Validate("<r><a/><b/></r>").ok());
+  EXPECT_FALSE(Validate("<r><a/><a/></r>").ok());
+  EXPECT_FALSE(Validate("<r><b/><a/></r>").ok());
+}
+
+// -- Cross-check property: Strip o Normalize == identity ---------------------------
+
+/// Removes aux wrapper elements, promoting their children (the inverse
+/// of instance normalization).
+XmlTree StripWrappers(const XmlTree& doc, const NormalizeResult& result) {
+  XmlTree out;
+  std::function<void(NodeId, NodeId)> copy = [&](NodeId n, NodeId parent) {
+    if (doc.IsText(n)) {
+      out.AppendText(parent, doc.text(n));
+      return;
+    }
+    bool is_aux = false;
+    for (const std::string& aux : result.aux_types) {
+      if (doc.label(n) == aux) {
+        is_aux = true;
+        break;
+      }
+    }
+    NodeId target = parent;
+    if (!is_aux) {
+      target = parent == kNullNode ? out.CreateRoot(doc.label(n))
+                                   : out.AppendElement(parent, doc.label(n));
+    }
+    for (NodeId c = doc.first_child(n); c != kNullNode;
+         c = doc.next_sibling(c)) {
+      copy(c, target);
+    }
+  };
+  copy(doc.root(), kNullNode);
+  return out;
+}
+
+TEST(InstanceNormalizerPropertyTest, StripThenNormalizeIsIdentity) {
+  // Generate instances of the *normalized* DTD, strip the wrappers to get
+  // an "original" document, validate it against the generic DTD, and
+  // re-normalize: the result must equal the generated instance.
+  //
+  // Requires the exact (opt_as_star = false) normalization: the default
+  // relaxation turns `a?` into `a*`, whose instances may not conform to
+  // the original DTD.
+  constexpr const char* kDtds[] = {
+      kBookDtd,
+      "<!ELEMENT r (a?, (b | c)*, d)> <!ELEMENT a EMPTY>"
+      "<!ELEMENT b (#PCDATA)> <!ELEMENT c EMPTY> <!ELEMENT d (a+)>",
+      "<!ELEMENT r ((a, b)+ | c)> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY>"
+      "<!ELEMENT c EMPTY>",
+  };
+  Rng rng(2024);
+  for (const char* dtd_text : kDtds) {
+    SCOPED_TRACE(dtd_text);
+    auto generic = ParseDtdText(dtd_text);
+    ASSERT_TRUE(generic.ok());
+    NormalizeOptions exact;
+    exact.opt_as_star = false;
+    auto normalized = NormalizeDtd(*generic, exact);
+    ASSERT_TRUE(normalized.ok());
+    InstanceNormalizer normalizer = InstanceNormalizer::For(*normalized);
+
+    for (int round = 0; round < 10; ++round) {
+      GeneratorOptions gen;
+      gen.seed = rng.Next();
+      gen.max_branching = 3;
+      auto doc = GenerateDocument(normalized->dtd, gen);
+      ASSERT_TRUE(doc.ok()) << doc.status();
+
+      XmlTree stripped = StripWrappers(*doc, *normalized);
+      EXPECT_TRUE(ValidateGenericInstance(stripped, *generic).ok())
+          << ToXmlString(stripped);
+
+      auto renormalized = normalizer.Normalize(stripped);
+      ASSERT_TRUE(renormalized.ok())
+          << renormalized.status() << "\nstripped: " << ToXmlString(stripped);
+      EXPECT_EQ(ToXmlString(*renormalized), ToXmlString(*doc));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace secview

@@ -1,0 +1,279 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "dtd/validator.h"
+#include "security/annotator.h"
+#include "security/derive.h"
+#include "security/materializer.h"
+#include "security/spec_parser.h"
+#include "workload/generator.h"
+#include "workload/hospital.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace secview {
+namespace {
+
+class HospitalMaterializeTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dtd_ = MakeHospitalDtd();
+    auto spec = MakeNurseSpec(dtd_);
+    ASSERT_TRUE(spec.ok());
+    spec_ = std::make_unique<AccessSpec>(std::move(spec).value());
+    auto view = DeriveSecurityView(*spec_);
+    ASSERT_TRUE(view.ok()) << view.status();
+    view_ = std::make_unique<SecurityView>(std::move(view).value());
+
+    auto doc = ParseXml(R"(
+      <hospital>
+        <dept>
+          <clinicalTrial>
+            <patientInfo>
+              <patient><name>carol</name><wardNo>3</wardNo>
+                <treatment><trial><bill>90</bill></trial></treatment>
+              </patient>
+            </patientInfo>
+            <test>blood</test>
+          </clinicalTrial>
+          <patientInfo>
+            <patient><name>dave</name><wardNo>3</wardNo>
+              <treatment><regular><bill>10</bill><medication>aspirin</medication></regular></treatment>
+            </patient>
+          </patientInfo>
+          <staffInfo><staff><nurse>sue</nurse></staff></staffInfo>
+        </dept>
+        <dept>
+          <clinicalTrial><patientInfo/><test>x</test></clinicalTrial>
+          <patientInfo>
+            <patient><name>erin</name><wardNo>7</wardNo>
+              <treatment><trial><bill>55</bill></trial></treatment>
+            </patient>
+          </patientInfo>
+          <staffInfo/>
+        </dept>
+      </hospital>
+    )");
+    ASSERT_TRUE(doc.ok()) << doc.status();
+    doc_ = std::move(doc).value();
+  }
+
+  XmlTree Materialize(const std::string& ward) {
+    MaterializeOptions options;
+    options.bindings = {{"wardNo", ward}};
+    auto tv = MaterializeView(doc_, *view_, *spec_, options);
+    EXPECT_TRUE(tv.ok()) << tv.status();
+    return std::move(tv).value();
+  }
+
+  Dtd dtd_;
+  std::unique_ptr<AccessSpec> spec_;
+  std::unique_ptr<SecurityView> view_;
+  XmlTree doc_;
+};
+
+TEST_F(HospitalMaterializeTest, Ward3ViewKeepsOnlyWard3Dept) {
+  XmlTree tv = Materialize("3");
+  std::string xml = ToXmlString(tv);
+  // Both ward-3 patients appear, including the trial patient.
+  EXPECT_NE(xml.find("carol"), std::string::npos) << xml;
+  EXPECT_NE(xml.find("dave"), std::string::npos);
+  EXPECT_NE(xml.find("sue"), std::string::npos);
+  // The other ward and all confidential labels are gone.
+  EXPECT_EQ(xml.find("erin"), std::string::npos) << xml;
+  EXPECT_EQ(xml.find("clinicalTrial"), std::string::npos);
+  EXPECT_EQ(xml.find("<trial"), std::string::npos);
+  EXPECT_EQ(xml.find("<regular"), std::string::npos);
+  EXPECT_EQ(xml.find("<test"), std::string::npos);
+  EXPECT_EQ(xml.find("blood"), std::string::npos);
+  // Dummies hide the treatment kind, bills remain.
+  EXPECT_NE(xml.find("dummy"), std::string::npos);
+  EXPECT_NE(xml.find("<bill>90</bill>"), std::string::npos);
+  EXPECT_NE(xml.find("<bill>10</bill>"), std::string::npos);
+  EXPECT_EQ(xml.find("55"), std::string::npos);
+}
+
+TEST_F(HospitalMaterializeTest, Ward7ViewShowsOnlyErin) {
+  XmlTree tv = Materialize("7");
+  std::string xml = ToXmlString(tv);
+  EXPECT_NE(xml.find("erin"), std::string::npos) << xml;
+  EXPECT_EQ(xml.find("carol"), std::string::npos);
+  EXPECT_EQ(xml.find("dave"), std::string::npos);
+}
+
+TEST_F(HospitalMaterializeTest, UnknownWardYieldsEmptyHospital) {
+  XmlTree tv = Materialize("99");
+  EXPECT_EQ(ToXmlString(tv), "<hospital/>");
+}
+
+TEST_F(HospitalMaterializeTest, OriginsPointIntoDocument) {
+  XmlTree tv = Materialize("3");
+  for (NodeId n = 0; n < static_cast<NodeId>(tv.node_count()); ++n) {
+    NodeId origin = tv.origin(n);
+    ASSERT_NE(origin, kNullNode) << "node " << n << " lacks an origin";
+    ASSERT_LT(origin, static_cast<NodeId>(doc_.node_count()));
+    if (tv.IsText(n)) {
+      EXPECT_EQ(tv.text(n), doc_.text(origin));
+    }
+  }
+}
+
+TEST_F(HospitalMaterializeTest, SoundAndComplete) {
+  // Tv consists of all and only the accessible nodes (Section 3.3),
+  // modulo dummies which stand for hidden structural nodes.
+  XmlTree tv = Materialize("3");
+  AccessSpec bound = spec_->Bind({{"wardNo", "3"}});
+  auto labeling = ComputeAccessibility(doc_, bound);
+  ASSERT_TRUE(labeling.ok());
+
+  std::vector<NodeId> accessible;
+  for (NodeId n = 0; n < static_cast<NodeId>(doc_.node_count()); ++n) {
+    if (labeling->accessible[n]) accessible.push_back(n);
+  }
+  std::vector<NodeId> origins =
+      CollectViewOrigins(tv, *view_, /*include_dummies=*/false);
+  // Text-node origins are not covered by CollectViewOrigins; compare
+  // elements only.
+  std::vector<NodeId> accessible_elems;
+  for (NodeId n : accessible) {
+    if (doc_.IsElement(n)) accessible_elems.push_back(n);
+  }
+  EXPECT_EQ(origins, accessible_elems);
+}
+
+TEST_F(HospitalMaterializeTest, DummyOriginsAreHiddenNodes) {
+  XmlTree tv = Materialize("3");
+  AccessSpec bound = spec_->Bind({{"wardNo", "3"}});
+  auto labeling = ComputeAccessibility(doc_, bound);
+  ASSERT_TRUE(labeling.ok());
+  int dummies = 0;
+  for (NodeId n = 0; n < static_cast<NodeId>(tv.node_count()); ++n) {
+    if (!tv.IsElement(n)) continue;
+    ViewTypeId type = view_->FindType(tv.label(n));
+    if (type != kNullViewType && view_->type(type).is_dummy) {
+      ++dummies;
+      EXPECT_FALSE(labeling->accessible[tv.origin(n)]);
+    }
+  }
+  EXPECT_EQ(dummies, 2);  // one treatment dummy per ward-3 patient
+}
+
+TEST_F(HospitalMaterializeTest, RequiresBindings) {
+  MaterializeOptions options;  // no bindings
+  auto tv = MaterializeView(doc_, *view_, *spec_, options);
+  EXPECT_FALSE(tv.ok());
+}
+
+// -- Abort semantics -----------------------------------------------------------
+
+TEST(MaterializeAbortTest, OneFieldWithoutNodeAborts) {
+  // r -> (a, b); a hidden with no accessible descendants is fine (pruned),
+  // but a conditionally accessible child in a sequence aborts when its
+  // qualifier fails (paper Section 3.3, case 3).
+  Dtd dtd;
+  ASSERT_TRUE(dtd.AddType("r", ContentModel::Sequence({"a", "b"})).ok());
+  ASSERT_TRUE(dtd.AddType("a", ContentModel::Text()).ok());
+  ASSERT_TRUE(dtd.AddType("b", ContentModel::Text()).ok());
+  ASSERT_TRUE(dtd.SetRoot("r").ok());
+  ASSERT_TRUE(dtd.Finalize().ok());
+  auto spec = ParseAccessSpec(dtd, "ann(r, a) = [. = \"yes\"]");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  auto view = DeriveSecurityView(*spec);
+  ASSERT_TRUE(view.ok());
+
+  auto good = ParseXml("<r><a>yes</a><b>t</b></r>");
+  ASSERT_TRUE(good.ok());
+  auto tv = MaterializeView(*good, *view, *spec);
+  EXPECT_TRUE(tv.ok()) << tv.status();
+
+  auto bad = ParseXml("<r><a>no</a><b>t</b></r>");
+  ASSERT_TRUE(bad.ok());
+  auto tv2 = MaterializeView(*bad, *view, *spec);
+  ASSERT_FALSE(tv2.ok());
+  EXPECT_EQ(tv2.status().code(), StatusCode::kAborted);
+}
+
+TEST(MaterializeAbortTest, ChoiceWithDroppedAlternativeAborts) {
+  // r -> (x | y) with y hidden and content-free: instances choosing y
+  // cannot be represented in the view.
+  Dtd dtd;
+  ASSERT_TRUE(dtd.AddType("r", ContentModel::Choice({"x", "y"})).ok());
+  ASSERT_TRUE(dtd.AddType("x", ContentModel::Text()).ok());
+  ASSERT_TRUE(dtd.AddType("y", ContentModel::Text()).ok());
+  ASSERT_TRUE(dtd.SetRoot("r").ok());
+  ASSERT_TRUE(dtd.Finalize().ok());
+  auto spec = ParseAccessSpec(dtd, "ann(r, y) = N");
+  ASSERT_TRUE(spec.ok());
+  auto view = DeriveSecurityView(*spec);
+  ASSERT_TRUE(view.ok());
+
+  auto chose_x = ParseXml("<r><x>1</x></r>");
+  ASSERT_TRUE(chose_x.ok());
+  EXPECT_TRUE(MaterializeView(*chose_x, *view, *spec).ok());
+
+  auto chose_y = ParseXml("<r><y>1</y></r>");
+  ASSERT_TRUE(chose_y.ok());
+  auto tv = MaterializeView(*chose_y, *view, *spec);
+  ASSERT_FALSE(tv.ok());
+  EXPECT_EQ(tv.status().code(), StatusCode::kAborted);
+}
+
+
+TEST(MaterializeAbortTest, ChoiceWithTwoMatchesAborts) {
+  // A conditional disjunction where both alternatives extract a node is
+  // rejected (paper case 4: exactly one).
+  Dtd dtd;
+  ASSERT_TRUE(dtd.AddType("r", ContentModel::Choice({"x", "y"})).ok());
+  ASSERT_TRUE(dtd.AddType("x", ContentModel::Text()).ok());
+  ASSERT_TRUE(dtd.AddType("y", ContentModel::Text()).ok());
+  ASSERT_TRUE(dtd.SetRoot("r").ok());
+  ASSERT_TRUE(dtd.Finalize().ok());
+  AccessSpec spec(dtd);
+  auto view = DeriveSecurityView(spec);
+  ASSERT_TRUE(view.ok());
+  // Corrupt sigma: make both alternatives extract the same child kind.
+  SecurityView hacked(dtd);
+  hacked.AddType("r", false, dtd.root());
+  hacked.AddType("x", false, dtd.FindType("x"));
+  hacked.AddType("y", false, dtd.FindType("y"));
+  ViewProduction prod;
+  prod.kind = ViewProduction::Kind::kChoice;
+  prod.choice.alts.push_back(ViewChoice::Alt{"x", MakeWildcard()});
+  prod.choice.alts.push_back(ViewChoice::Alt{"y", MakeWildcard()});
+  hacked.SetProduction(0, std::move(prod));
+  ViewProduction text;
+  text.kind = ViewProduction::Kind::kText;
+  hacked.SetProduction(1, text);
+  hacked.SetProduction(2, std::move(text));
+
+  auto doc = ParseXml("<r><x>1</x></r>");
+  ASSERT_TRUE(doc.ok());
+  // The wildcard extracts one node for both alternatives -> abort.
+  auto tv = MaterializeView(*doc, hacked, spec);
+  ASSERT_FALSE(tv.ok());
+  EXPECT_EQ(tv.status().code(), StatusCode::kAborted);
+}
+
+// -- Generated documents ---------------------------------------------------------
+
+TEST(MaterializeGeneratedTest, GeneratedHospitalMaterializes) {
+  Dtd dtd = MakeHospitalDtd();
+  auto spec = MakeNurseSpec(dtd);
+  ASSERT_TRUE(spec.ok());
+  auto view = DeriveSecurityView(*spec);
+  ASSERT_TRUE(view.ok());
+  auto doc = GenerateDocument(dtd, HospitalGeneratorOptions(7, 50'000));
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_TRUE(ValidateInstance(*doc, dtd).ok());
+
+  MaterializeOptions options;
+  options.bindings = {{"wardNo", "3"}};
+  auto tv = MaterializeView(*doc, *view, *spec, options);
+  ASSERT_TRUE(tv.ok()) << tv.status();
+  EXPECT_GT(tv->node_count(), 1u);
+  EXPECT_LT(tv->node_count(), doc->node_count());
+}
+
+}  // namespace
+}  // namespace secview

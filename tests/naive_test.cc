@@ -1,0 +1,154 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "naive/naive.h"
+#include "security/derive.h"
+#include "security/materializer.h"
+#include "workload/hospital.h"
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+#include "xpath/printer.h"
+
+namespace secview {
+namespace {
+
+PathPtr MustParse(const std::string& text) {
+  auto r = ParseXPath(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status();
+  return r.ok() ? *r : MakeEmptySet();
+}
+
+TEST(NaiveRewriteTest, WidensAxesAndAppendsFilter) {
+  PathPtr p = MustParse("a/b");
+  EXPECT_EQ(ToXPathString(NaiveRewrite(p)),
+            "(//a//b)[@accessibility = \"1\"]");
+}
+
+TEST(NaiveRewriteTest, PaperExampleQ1) {
+  // Q1 //buyer-info/contact-info becomes
+  // //buyer-info//contact-info[@accessibility="1"] (Section 6).
+  PathPtr p = MustParse("//buyer-info/contact-info");
+  EXPECT_EQ(ToXPathString(NaiveRewrite(p)),
+            "(//buyer-info//contact-info)[@accessibility = \"1\"]");
+}
+
+TEST(NaiveRewriteTest, WidensInsideQualifiersAndUnions) {
+  PathPtr p = MustParse("a[b/c] | d");
+  EXPECT_EQ(ToXPathString(NaiveRewrite(p)),
+            "((//a)[//b//c] | //d)[@accessibility = \"1\"]");
+}
+
+TEST(NaiveRewriteTest, EpsilonUntouched) {
+  PathPtr p = MustParse(".");
+  EXPECT_EQ(ToXPathString(NaiveRewrite(p)), ".[@accessibility = \"1\"]");
+}
+
+class NaiveEnforcementTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dtd_ = MakeHospitalDtd();
+    auto spec = MakeNurseSpec(dtd_);
+    ASSERT_TRUE(spec.ok());
+    spec_ = std::make_unique<AccessSpec>(std::move(spec).value());
+    auto doc = ParseXml(R"(
+      <hospital>
+        <dept>
+          <clinicalTrial>
+            <patientInfo>
+              <patient><name>carol</name><wardNo>3</wardNo>
+                <treatment><trial><bill>90</bill></trial></treatment>
+              </patient>
+            </patientInfo>
+            <test>blood</test>
+          </clinicalTrial>
+          <patientInfo>
+            <patient><name>dave</name><wardNo>3</wardNo>
+              <treatment><regular><bill>10</bill><medication>m</medication></regular></treatment>
+            </patient>
+          </patientInfo>
+          <staffInfo/>
+        </dept>
+      </hospital>
+    )");
+    ASSERT_TRUE(doc.ok()) << doc.status();
+    doc_ = std::move(doc).value();
+    ASSERT_TRUE(AnnotateAccessibilityAttributes(doc_, *spec_,
+                                                {{"wardNo", "3"}})
+                    .ok());
+  }
+
+  Dtd dtd_;
+  std::unique_ptr<AccessSpec> spec_;
+  XmlTree doc_;
+};
+
+TEST_F(NaiveEnforcementTest, EveryElementAnnotated) {
+  for (NodeId n = 0; n < static_cast<NodeId>(doc_.node_count()); ++n) {
+    if (!doc_.IsElement(n)) continue;
+    auto attr = doc_.GetAttribute(n, kAccessibilityAttr);
+    ASSERT_TRUE(attr.has_value()) << "node " << n;
+    EXPECT_TRUE(*attr == "1" || *attr == "0");
+  }
+}
+
+TEST_F(NaiveEnforcementTest, FilterKeepsOnlyAccessibleResults) {
+  PathPtr naive = NaiveRewrite(MustParse("//patient/name"));
+  auto result = EvaluateAtRoot(doc_, naive);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 2u);  // carol and dave
+
+  // A query for the hidden trial nodes returns nothing.
+  PathPtr trial = NaiveRewrite(MustParse("//trial"));
+  auto none = EvaluateAtRoot(doc_, trial);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST_F(NaiveEnforcementTest, MatchesViewSemanticsForAccessibleLabels) {
+  // For queries over labels that exist in both the document and the view,
+  // the naive result equals the view-based result (that is the baseline's
+  // claim to correctness under unique element names).
+  auto view = DeriveSecurityView(*spec_);
+  ASSERT_TRUE(view.ok());
+  MaterializeOptions options;
+  options.bindings = {{"wardNo", "3"}};
+  auto tv = MaterializeView(doc_, *view, *spec_, options);
+  ASSERT_TRUE(tv.ok());
+
+  for (const char* query : {"//patient", "//bill", "//name", "//staffInfo",
+                            "//patientInfo/patient"}) {
+    PathPtr p = MustParse(query);
+    auto naive_result = EvaluateAtRoot(doc_, NaiveRewrite(p));
+    ASSERT_TRUE(naive_result.ok()) << query;
+    auto view_result = EvaluateAtRoot(*tv, p);
+    ASSERT_TRUE(view_result.ok()) << query;
+    std::vector<NodeId> view_origins;
+    for (NodeId n : *view_result) view_origins.push_back(tv->origin(n));
+    std::sort(view_origins.begin(), view_origins.end());
+    EXPECT_EQ(*naive_result, view_origins) << query;
+  }
+}
+
+TEST_F(NaiveEnforcementTest, NaiveCannotAnswerDummyQueries) {
+  // The baseline exposes no dummy labels: queries using view-DTD dummies
+  // return nothing (a functionality gap of element-level annotation).
+  PathPtr p = NaiveRewrite(MustParse("//dummy1/bill"));
+  auto result = EvaluateAtRoot(doc_, p);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(NaiveAnnotationTest, RequiresBoundSpec) {
+  Dtd dtd = MakeHospitalDtd();
+  auto spec = MakeNurseSpec(dtd);
+  ASSERT_TRUE(spec.ok());
+  auto doc = ParseXml("<hospital/>");
+  ASSERT_TRUE(doc.ok());
+  XmlTree tree = std::move(doc).value();
+  EXPECT_FALSE(AnnotateAccessibilityAttributes(tree, *spec).ok());
+}
+
+}  // namespace
+}  // namespace secview

@@ -1,0 +1,182 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "rewrite/rewriter.h"
+#include "rewrite/unfold.h"
+#include "security/derive.h"
+#include "security/materializer.h"
+#include "security/spec_parser.h"
+#include "workload/synthetic.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+#include "xpath/printer.h"
+
+namespace secview {
+namespace {
+
+PathPtr MustParse(const std::string& text) {
+  auto r = ParseXPath(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status();
+  return r.ok() ? *r : MakeEmptySet();
+}
+
+class RecursiveViewTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    fixture_ = MakeRecursiveFixture();
+    auto spec = ParseAccessSpec(fixture_.dtd, fixture_.spec_text);
+    ASSERT_TRUE(spec.ok()) << spec.status();
+    spec_ = std::make_unique<AccessSpec>(std::move(spec).value());
+    auto view = DeriveSecurityView(*spec_);
+    ASSERT_TRUE(view.ok()) << view.status();
+    view_ = std::make_unique<SecurityView>(std::move(view).value());
+
+    auto doc = ParseXml(R"(
+      <doc>
+        <section><title>t1</title>
+          <meta>
+            <section><title>t1.1</title>
+              <meta>
+                <section><title>t1.1.1</title><meta/></section>
+              </meta>
+            </section>
+            <section><title>t1.2</title><meta/></section>
+          </meta>
+        </section>
+        <section><title>t2</title><meta/></section>
+      </doc>
+    )");
+    ASSERT_TRUE(doc.ok()) << doc.status();
+    doc_ = std::move(doc).value();
+  }
+
+  RecursiveFixture fixture_;
+  std::unique_ptr<AccessSpec> spec_;
+  std::unique_ptr<SecurityView> view_;
+  XmlTree doc_;
+};
+
+TEST_F(RecursiveViewTest, ViewIsRecursive) {
+  EXPECT_TRUE(view_->IsRecursive());
+}
+
+TEST_F(RecursiveViewTest, UnfoldProducesDag) {
+  auto unfolded = UnfoldView(*view_, 6);
+  ASSERT_TRUE(unfolded.ok()) << unfolded.status();
+  EXPECT_FALSE(unfolded->IsRecursive());
+  // Copies carry the original labels as base labels.
+  ViewTypeId root = unfolded->root();
+  EXPECT_EQ(unfolded->type(root).base_label, "doc");
+  bool found_section_copy = false;
+  for (ViewTypeId id = 0; id < unfolded->NumTypes(); ++id) {
+    if (unfolded->type(id).base_label == "section") found_section_copy = true;
+  }
+  EXPECT_TRUE(found_section_copy);
+}
+
+TEST_F(RecursiveViewTest, UnfoldDepthZero) {
+  auto unfolded = UnfoldView(*view_, 0);
+  ASSERT_TRUE(unfolded.ok());
+  EXPECT_EQ(unfolded->NumTypes(), 1);
+  EXPECT_EQ(unfolded->Production(unfolded->root()).kind,
+            ViewProduction::Kind::kEmpty);
+  EXPECT_FALSE(UnfoldView(*view_, -1).ok());
+}
+
+TEST_F(RecursiveViewTest, RewriteRequiresUnfolding) {
+  EXPECT_FALSE(QueryRewriter::Create(*view_).ok());
+}
+
+void ExpectRecursiveEquivalent(const XmlTree& doc, const SecurityView& view,
+                               const AccessSpec& spec,
+                               const std::string& query) {
+  auto tv = MaterializeView(doc, view, spec);
+  ASSERT_TRUE(tv.ok()) << tv.status();
+  PathPtr p = MustParse(query);
+  auto view_result = EvaluateAtRoot(*tv, p);
+  ASSERT_TRUE(view_result.ok()) << view_result.status();
+  std::vector<NodeId> expected;
+  for (NodeId n : *view_result) expected.push_back(tv->origin(n));
+  std::sort(expected.begin(), expected.end());
+
+  auto rewritten = RewriteForDocument(view, p, doc.Height());
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status();
+  auto doc_result = EvaluateAtRoot(doc, *rewritten);
+  ASSERT_TRUE(doc_result.ok()) << doc_result.status();
+  EXPECT_EQ(*doc_result, expected)
+      << query << " -> " << ToXPathString(*rewritten);
+}
+
+TEST_F(RecursiveViewTest, MaterializedViewHidesMeta) {
+  auto tv = MaterializeView(doc_, *view_, *spec_);
+  ASSERT_TRUE(tv.ok()) << tv.status();
+  std::string xml = ToXmlString(*tv);
+  EXPECT_EQ(xml.find("meta"), std::string::npos) << xml;
+  EXPECT_NE(xml.find("t1.1.1"), std::string::npos) << xml;
+}
+
+TEST_F(RecursiveViewTest, DescendantQueryOverRecursiveView) {
+  // //section cannot be rewritten over the cyclic view directly, but the
+  // unfolding bounded by the document height is exact.
+  ExpectRecursiveEquivalent(doc_, *view_, *spec_, "//section");
+  ExpectRecursiveEquivalent(doc_, *view_, *spec_, "//title");
+  ExpectRecursiveEquivalent(doc_, *view_, *spec_, "section/section");
+  ExpectRecursiveEquivalent(doc_, *view_, *spec_, "//section/title");
+  ExpectRecursiveEquivalent(doc_, *view_, *spec_,
+                            "//section[section]/title");
+  ExpectRecursiveEquivalent(doc_, *view_, *spec_, "section//title");
+}
+
+TEST_F(RecursiveViewTest, RewrittenQueryRoutesThroughMeta) {
+  auto rewritten = RewriteForDocument(*view_, MustParse("section/section"),
+                                      doc_.Height());
+  ASSERT_TRUE(rewritten.ok());
+  std::string text = ToXPathString(*rewritten);
+  EXPECT_NE(text.find("meta/section"), std::string::npos) << text;
+}
+
+TEST_F(RecursiveViewTest, TallerDocumentNeedsDeeperUnfolding) {
+  // Build a document deeper than a shallow unfold and check the shallow
+  // rewrite misses the deep node while the correct one finds it.
+  auto deep = ParseXml(
+      "<doc><section><title>a</title><meta>"
+      "<section><title>b</title><meta>"
+      "<section><title>c</title><meta>"
+      "<section><title>deep</title><meta/></section>"
+      "</meta></section></meta></section></meta></section></doc>");
+  ASSERT_TRUE(deep.ok());
+
+  PathPtr q = MustParse("//title");
+  auto full = RewriteForDocument(*view_, q, deep->Height());
+  ASSERT_TRUE(full.ok());
+  auto full_result = EvaluateAtRoot(*deep, *full);
+  ASSERT_TRUE(full_result.ok());
+  EXPECT_EQ(full_result->size(), 4u);
+
+  auto shallow_view = UnfoldView(*view_, 3);
+  ASSERT_TRUE(shallow_view.ok());
+  auto shallow_rewriter = QueryRewriter::Create(*shallow_view);
+  ASSERT_TRUE(shallow_rewriter.ok());
+  auto shallow = shallow_rewriter->Rewrite(q);
+  ASSERT_TRUE(shallow.ok());
+  auto shallow_result = EvaluateAtRoot(*deep, *shallow);
+  ASSERT_TRUE(shallow_result.ok());
+  EXPECT_LT(shallow_result->size(), 4u);
+}
+
+TEST_F(RecursiveViewTest, UnfoldedMaterializationMatchesRecursive) {
+  // The unfolded view materializes the same tree (labels modulo @level).
+  auto tv = MaterializeView(doc_, *view_, *spec_);
+  ASSERT_TRUE(tv.ok());
+  auto unfolded = UnfoldView(*view_, doc_.Height());
+  ASSERT_TRUE(unfolded.ok());
+  auto tv2 = MaterializeView(doc_, *unfolded, *spec_);
+  ASSERT_TRUE(tv2.ok()) << tv2.status();
+  EXPECT_EQ(tv->node_count(), tv2->node_count());
+}
+
+}  // namespace
+}  // namespace secview

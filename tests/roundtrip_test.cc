@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dtd/normalizer.h"
+#include "engine/engine.h"
+#include "security/spec_parser.h"
+#include "workload/hospital.h"
+#include "workload/synthetic.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+#include "xpath/printer.h"
+
+namespace secview {
+namespace {
+
+/// Round-trip and cross-cutting invariants that tie several modules
+/// together.
+
+TEST(RoundTripTest, SpecToStringReparsesToEqualSpec) {
+  Dtd dtd = MakeHospitalDtd();
+  auto spec = MakeNurseSpec(dtd);
+  ASSERT_TRUE(spec.ok());
+  std::string text = spec->ToString();
+  auto again = ParseAccessSpec(dtd, text);
+  ASSERT_TRUE(again.ok()) << again.status() << "\n" << text;
+  EXPECT_EQ(again->ToString(), text);
+}
+
+TEST(RoundTripTest, RandomSpecsToStringReparse) {
+  Rng rng(7);
+  for (int round = 0; round < 10; ++round) {
+    Dtd dtd = MakeRandomDtd(rng, 4 + static_cast<int>(rng.Below(10)));
+    AccessSpec spec = MakeRandomSpec(dtd, rng, 0.3, 0.3, 0.15);
+    std::string text = spec.ToString();
+    auto again = ParseAccessSpec(dtd, text);
+    ASSERT_TRUE(again.ok()) << again.status() << "\n" << text;
+    EXPECT_EQ(again->ToString(), text);
+  }
+}
+
+TEST(RoundTripTest, DtdToStringReparsesEquivalently) {
+  Dtd dtd = MakeHospitalDtd();
+  auto again = ParseAndNormalizeDtd(dtd.ToString());
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_TRUE(again->aux_types.empty());
+  EXPECT_EQ(again->dtd.ToString(), dtd.ToString());
+}
+
+TEST(RoundTripTest, RandomQueryPrintParseFixpoint) {
+  Rng rng(13);
+  Dtd dtd = MakeRandomDtd(rng, 10);
+  for (int i = 0; i < 200; ++i) {
+    PathPtr q = MakeRandomDocQuery(dtd, rng, 1 + rng.Below(6));
+    std::string printed = ToXPathString(q);
+    auto parsed = ParseXPath(printed);
+    ASSERT_TRUE(parsed.ok()) << printed;
+    // Printing the parse of the print is a fixpoint.
+    EXPECT_EQ(ToXPathString(*parsed), printed);
+  }
+}
+
+TEST(RoundTripTest, GeneratedDocumentSerializeParseIdentity) {
+  Rng rng(17);
+  for (int round = 0; round < 5; ++round) {
+    Dtd dtd = MakeRandomDtd(rng, 4 + static_cast<int>(rng.Below(8)));
+    GeneratorOptions gen;
+    gen.seed = rng.Next();
+    auto doc = GenerateDocument(dtd, gen);
+    ASSERT_TRUE(doc.ok());
+    auto again = ParseXml(ToXmlString(*doc));
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(ToXmlString(*again), ToXmlString(*doc));
+    EXPECT_EQ(again->node_count(), doc->node_count());
+  }
+}
+
+TEST(EngineHeightTest, RecursiveEngineServesDocumentsOfDifferentHeights) {
+  RecursiveFixture fixture = MakeRecursiveFixture();
+  auto engine = SecureQueryEngine::Create(std::move(fixture.dtd));
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->RegisterPolicy("p", fixture.spec_text).ok());
+
+  auto shallow = ParseXml(
+      "<doc><section><title>a</title><meta/></section></doc>");
+  auto deep = ParseXml(
+      "<doc><section><title>a</title><meta>"
+      "<section><title>b</title><meta>"
+      "<section><title>c</title><meta/></section>"
+      "</meta></section></meta></section></doc>");
+  ASSERT_TRUE(shallow.ok());
+  ASSERT_TRUE(deep.ok());
+
+  // The same engine must pick per-document unfolding depths; caching by
+  // depth must not leak a shallow rewriting into the deep document.
+  auto deep_result = (*engine)->Execute("p", *deep, "//title");
+  ASSERT_TRUE(deep_result.ok());
+  EXPECT_EQ(deep_result->nodes.size(), 3u);
+  auto shallow_result = (*engine)->Execute("p", *shallow, "//title");
+  ASSERT_TRUE(shallow_result.ok());
+  EXPECT_EQ(shallow_result->nodes.size(), 1u);
+  // And repeating the deep query after the shallow one still finds all 3.
+  auto again = (*engine)->Execute("p", *deep, "//title");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->nodes.size(), 3u);
+}
+
+TEST(DeepDocumentTest, ParserSerializerEvaluatorHandleDepth10k) {
+  // Pathologically deep documents: the parser and evaluator are
+  // iterative; serializer/edit recursion stays within stack limits at
+  // this depth (documented bound).
+  constexpr int kDepth = 10'000;
+  std::string xml;
+  for (int i = 0; i < kDepth; ++i) xml += "<a>";
+  xml += "<leaf/>";
+  for (int i = 0; i < kDepth; ++i) xml += "</a>";
+
+  auto doc = ParseXml(xml);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->Height(), kDepth);
+
+  auto q = ParseXPath("//leaf");
+  ASSERT_TRUE(q.ok());
+  auto result = EvaluateAtRoot(*doc, *q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+
+  EXPECT_EQ(ToXmlString(*doc).size(), xml.size());
+}
+
+}  // namespace
+}  // namespace secview

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "security/access_spec.h"
+#include "security/annotator.h"
+#include "security/spec_parser.h"
+#include "workload/hospital.h"
+#include "xml/parser.h"
+
+namespace secview {
+namespace {
+
+class AccessSpecTest : public testing::Test {
+ protected:
+  Dtd dtd_ = MakeHospitalDtd();
+};
+
+TEST_F(AccessSpecTest, AnnotateAndGet) {
+  AccessSpec spec(dtd_);
+  ASSERT_TRUE(spec.Annotate("dept", "clinicalTrial", Annotation::No()).ok());
+  TypeId dept = dtd_.FindType("dept");
+  TypeId ct = dtd_.FindType("clinicalTrial");
+  auto ann = spec.Get(dept, ct);
+  ASSERT_TRUE(ann.has_value());
+  EXPECT_EQ(ann->kind, AnnotationKind::kNo);
+  EXPECT_FALSE(spec.Get(dept, dtd_.FindType("patientInfo")).has_value());
+}
+
+TEST_F(AccessSpecTest, RejectsUnknownTypesAndNonEdges) {
+  AccessSpec spec(dtd_);
+  EXPECT_EQ(spec.Annotate("nope", "dept", Annotation::Yes()).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(spec.Annotate("dept", "nope", Annotation::Yes()).code(),
+            StatusCode::kNotFound);
+  // bill is not a child of dept.
+  EXPECT_EQ(spec.Annotate("dept", "bill", Annotation::Yes()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(AccessSpecTest, TextAnnotations) {
+  AccessSpec spec(dtd_);
+  ASSERT_TRUE(spec.AnnotateText("bill", Annotation::No()).ok());
+  EXPECT_TRUE(spec.GetText(dtd_.FindType("bill")).has_value());
+  // dept has no PCDATA content.
+  EXPECT_FALSE(spec.AnnotateText("dept", Annotation::No()).ok());
+  // Text annotations must be Y/N.
+  EXPECT_FALSE(
+      spec.AnnotateText("test", Annotation::If(MakeQualTrue())).ok());
+}
+
+TEST_F(AccessSpecTest, BindReplacesParameters) {
+  auto spec = MakeNurseSpec(dtd_);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_TRUE(spec->HasUnboundParams());
+  AccessSpec bound = spec->Bind({{"wardNo", "3"}});
+  EXPECT_FALSE(bound.HasUnboundParams());
+  // The qualifier now compares against the constant.
+  auto ann = bound.Get(dtd_.FindType("hospital"), dtd_.FindType("dept"));
+  ASSERT_TRUE(ann.has_value());
+  EXPECT_NE(ann->ToString().find("\"3\""), std::string::npos)
+      << ann->ToString();
+}
+
+TEST_F(AccessSpecTest, ToStringListsAnnotationsDeterministically) {
+  auto spec = MakeNurseSpec(dtd_);
+  ASSERT_TRUE(spec.ok());
+  std::string text = spec->ToString();
+  EXPECT_NE(text.find("ann(dept, clinicalTrial) = N"), std::string::npos);
+  EXPECT_NE(text.find("ann(trial, bill) = Y"), std::string::npos);
+  EXPECT_EQ(text, spec->ToString());
+}
+
+// -- Spec parser --------------------------------------------------------------
+
+TEST_F(AccessSpecTest, ParserAcceptsPaperSyntax) {
+  auto spec = ParseAccessSpec(dtd_, R"(
+    # a comment
+    ann(dept, clinicalTrial) = N
+    ann(clinicalTrial, patientInfo) = Y   # trailing comment
+    ann(hospital, dept) = [*/patient/wardNo = $wardNo]
+  )");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  auto ann = spec->Get(dtd_.FindType("hospital"), dtd_.FindType("dept"));
+  ASSERT_TRUE(ann.has_value());
+  EXPECT_EQ(ann->kind, AnnotationKind::kQualifier);
+}
+
+TEST_F(AccessSpecTest, ParserRejectsBadLines) {
+  EXPECT_FALSE(ParseAccessSpec(dtd_, "nonsense").ok());
+  EXPECT_FALSE(ParseAccessSpec(dtd_, "ann(dept) = N").ok());
+  EXPECT_FALSE(ParseAccessSpec(dtd_, "ann(dept, clinicalTrial) = X").ok());
+  EXPECT_FALSE(ParseAccessSpec(dtd_, "ann(dept, clinicalTrial) N").ok());
+  EXPECT_FALSE(ParseAccessSpec(dtd_, "ann(dept, clinicalTrial) = [").ok());
+  EXPECT_FALSE(ParseAccessSpec(dtd_, "ann(dept, bogus) = N").ok());
+}
+
+TEST_F(AccessSpecTest, ParserHandlesTextAnnotations) {
+  auto spec = ParseAccessSpec(dtd_, "ann(bill, str) = N");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_TRUE(spec->GetText(dtd_.FindType("bill")).has_value());
+}
+
+// -- Annotator (node-level accessibility) --------------------------------------
+
+class AnnotatorTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dtd_ = MakeHospitalDtd();
+    auto doc = ParseXml(R"(
+      <hospital>
+        <dept>
+          <clinicalTrial>
+            <patientInfo>
+              <patient><name>carol</name><wardNo>3</wardNo>
+                <treatment><trial><bill>90</bill></trial></treatment>
+              </patient>
+            </patientInfo>
+            <test>blood</test>
+          </clinicalTrial>
+          <patientInfo>
+            <patient><name>dave</name><wardNo>3</wardNo>
+              <treatment><regular><bill>10</bill><medication>aspirin</medication></regular></treatment>
+            </patient>
+          </patientInfo>
+          <staffInfo><staff><nurse>sue</nurse></staff></staffInfo>
+        </dept>
+        <dept>
+          <clinicalTrial><patientInfo/><test>x</test></clinicalTrial>
+          <patientInfo>
+            <patient><name>erin</name><wardNo>7</wardNo>
+              <treatment><trial><bill>55</bill></trial></treatment>
+            </patient>
+          </patientInfo>
+          <staffInfo/>
+        </dept>
+      </hospital>
+    )");
+    ASSERT_TRUE(doc.ok()) << doc.status();
+    doc_ = std::move(doc).value();
+  }
+
+  NodeId FindByText(const std::string& label, const std::string& text) {
+    for (NodeId n = 0; n < static_cast<NodeId>(doc_.node_count()); ++n) {
+      if (doc_.IsElement(n) && doc_.label(n) == label &&
+          doc_.CollectText(n) == text) {
+        return n;
+      }
+    }
+    return kNullNode;
+  }
+
+  Dtd dtd_;
+  XmlTree doc_;
+};
+
+TEST_F(AnnotatorTest, RequiresBoundParams) {
+  auto spec = MakeNurseSpec(dtd_);
+  ASSERT_TRUE(spec.ok());
+  auto labeling = ComputeAccessibility(doc_, *spec);
+  EXPECT_FALSE(labeling.ok());
+  EXPECT_EQ(labeling.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(AnnotatorTest, NurseWard3Labeling) {
+  auto spec = MakeNurseSpec(dtd_);
+  ASSERT_TRUE(spec.ok());
+  AccessSpec bound = spec->Bind({{"wardNo", "3"}});
+  auto labeling = ComputeAccessibility(doc_, bound);
+  ASSERT_TRUE(labeling.ok()) << labeling.status();
+  const auto& acc = labeling->accessible;
+
+  // The root is always accessible.
+  EXPECT_TRUE(acc[doc_.root()]);
+
+  // Ward 3's patients are accessible, including the clinical-trial
+  // patient (carol) whose trial membership is hidden.
+  NodeId carol = FindByText("name", "carol");
+  NodeId dave = FindByText("name", "dave");
+  ASSERT_NE(carol, kNullNode);
+  ASSERT_NE(dave, kNullNode);
+  EXPECT_TRUE(acc[carol]);
+  EXPECT_TRUE(acc[dave]);
+  EXPECT_TRUE(acc[doc_.parent(carol)]);  // the patient node
+
+  // The ward-7 dept fails the ward qualifier: all below is inaccessible.
+  NodeId erin = FindByText("name", "erin");
+  ASSERT_NE(erin, kNullNode);
+  EXPECT_FALSE(acc[erin]);
+  EXPECT_FALSE(acc[doc_.parent(erin)]);
+
+  // clinicalTrial / trial / regular / test nodes are never accessible.
+  for (NodeId n = 0; n < static_cast<NodeId>(doc_.node_count()); ++n) {
+    if (!doc_.IsElement(n)) continue;
+    std::string_view label = doc_.label(n);
+    if (label == "clinicalTrial" || label == "trial" || label == "regular" ||
+        label == "test") {
+      EXPECT_FALSE(acc[n]) << label << " node #" << n;
+    }
+  }
+
+  // bill under ward 3's trial is accessible (explicit Y overrides the
+  // hidden trial); bill under ward 7 is not (ancestor qualifier fails).
+  NodeId bill90 = FindByText("bill", "90");
+  NodeId bill55 = FindByText("bill", "55");
+  ASSERT_NE(bill90, kNullNode);
+  ASSERT_NE(bill55, kNullNode);
+  EXPECT_TRUE(acc[bill90]);
+  EXPECT_FALSE(acc[bill55]);
+}
+
+TEST_F(AnnotatorTest, UnannotatedChildrenInherit) {
+  auto spec = MakeNurseSpec(dtd_);
+  ASSERT_TRUE(spec.ok());
+  AccessSpec bound = spec->Bind({{"wardNo", "3"}});
+  auto labeling = ComputeAccessibility(doc_, bound);
+  ASSERT_TRUE(labeling.ok());
+  // staffInfo has no annotation anywhere: inherits dept accessibility.
+  NodeId sue = FindByText("nurse", "sue");
+  ASSERT_NE(sue, kNullNode);
+  EXPECT_TRUE(labeling->accessible[sue]);
+}
+
+TEST_F(AnnotatorTest, TextNodesFollowTextAnnotations) {
+  AccessSpec spec(dtd_);
+  ASSERT_TRUE(spec.AnnotateText("bill", Annotation::No()).ok());
+  auto labeling = ComputeAccessibility(doc_, spec);
+  ASSERT_TRUE(labeling.ok());
+  NodeId bill = FindByText("bill", "90");
+  ASSERT_NE(bill, kNullNode);
+  NodeId text = doc_.first_child(bill);
+  ASSERT_TRUE(doc_.IsText(text));
+  EXPECT_FALSE(labeling->accessible[text]);
+  // The bill element itself stays accessible (inherits).
+  EXPECT_TRUE(labeling->accessible[bill]);
+}
+
+TEST_F(AnnotatorTest, EmptySpecMakesEverythingAccessible) {
+  AccessSpec spec(dtd_);
+  auto labeling = ComputeAccessibility(doc_, spec);
+  ASSERT_TRUE(labeling.ok());
+  EXPECT_EQ(labeling->CountAccessible(),
+            static_cast<int>(doc_.node_count()));
+}
+
+TEST_F(AnnotatorTest, CountAccessible) {
+  AccessSpec spec(dtd_);
+  ASSERT_TRUE(spec.Annotate("dept", "clinicalTrial", Annotation::No()).ok());
+  auto labeling = ComputeAccessibility(doc_, spec);
+  ASSERT_TRUE(labeling.ok());
+  EXPECT_LT(labeling->CountAccessible(),
+            static_cast<int>(doc_.node_count()));
+  EXPECT_GT(labeling->CountAccessible(), 0);
+}
+
+}  // namespace
+}  // namespace secview

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "rewrite/rewriter.h"
+#include "security/derive.h"
+#include "security/materializer.h"
+#include "security/spec_parser.h"
+#include "dtd/normalizer.h"
+#include "security/view_io.h"
+#include "workload/adex.h"
+#include "workload/hospital.h"
+#include "workload/synthetic.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xpath/parser.h"
+#include "xpath/printer.h"
+
+namespace secview {
+namespace {
+
+TEST(ViewIoTest, HospitalRoundTrip) {
+  Dtd dtd = MakeHospitalDtd();
+  auto spec = MakeNurseSpec(dtd);
+  ASSERT_TRUE(spec.ok());
+  auto view = DeriveSecurityView(*spec);
+  ASSERT_TRUE(view.ok());
+
+  std::string serialized = SerializeView(*view);
+  EXPECT_NE(serialized.find("secview-definition 1"), std::string::npos);
+  EXPECT_NE(serialized.find("dummy"), std::string::npos);
+
+  auto loaded = ParseView(dtd, serialized);
+  ASSERT_TRUE(loaded.ok()) << loaded.status() << "\n" << serialized;
+
+  // Structural identity: same types, productions, sigma.
+  ASSERT_EQ(loaded->NumTypes(), view->NumTypes());
+  for (ViewTypeId id = 0; id < view->NumTypes(); ++id) {
+    const auto& a = view->type(id);
+    const auto& b = loaded->type(id);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.is_dummy, b.is_dummy);
+    EXPECT_EQ(a.doc_type, b.doc_type);
+    EXPECT_EQ(a.text_hidden, b.text_hidden);
+    EXPECT_EQ(a.production.ToString(), b.production.ToString());
+    for (const SecurityView::Edge& e : view->Edges(id)) {
+      PathPtr sigma = loaded->Sigma(id, e.child);
+      ASSERT_NE(sigma, nullptr);
+      EXPECT_TRUE(PathEquals(sigma, e.sigma))
+          << view->TypeName(id) << " -> " << view->TypeName(e.child);
+    }
+  }
+  // And serializing again is a fixpoint.
+  EXPECT_EQ(SerializeView(*loaded), serialized);
+}
+
+TEST(ViewIoTest, LoadedViewAnswersQueriesIdentically) {
+  Dtd dtd = MakeHospitalDtd();
+  auto spec = MakeNurseSpec(dtd);
+  ASSERT_TRUE(spec.ok());
+  auto view = DeriveSecurityView(*spec);
+  ASSERT_TRUE(view.ok());
+  auto loaded = ParseView(dtd, SerializeView(*view));
+  ASSERT_TRUE(loaded.ok());
+
+  auto r1 = QueryRewriter::Create(*view);
+  auto r2 = QueryRewriter::Create(*loaded);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  for (const char* query :
+       {"//patient//bill", "//dummy1 | //dummy2", "dept/patientInfo",
+        "//patient[wardNo = \"3\"]/name"}) {
+    auto a = r1->Rewrite(ParseXPath(query).value());
+    auto b = r2->Rewrite(ParseXPath(query).value());
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE(PathEquals(*a, *b)) << query;
+  }
+}
+
+TEST(ViewIoTest, RecursiveViewRoundTrip) {
+  RecursiveFixture fixture = MakeRecursiveFixture();
+  auto spec = ParseAccessSpec(fixture.dtd, fixture.spec_text);
+  ASSERT_TRUE(spec.ok());
+  auto view = DeriveSecurityView(*spec);
+  ASSERT_TRUE(view.ok());
+  ASSERT_TRUE(view->IsRecursive());
+  auto loaded = ParseView(fixture.dtd, SerializeView(*view));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->IsRecursive());
+  EXPECT_EQ(SerializeView(*loaded), SerializeView(*view));
+}
+
+TEST(ViewIoTest, AdexRoundTripAndMaterializeAgrees) {
+  Dtd dtd = MakeAdexDtd();
+  auto spec = MakeAdexSpec(dtd);
+  ASSERT_TRUE(spec.ok());
+  auto view = DeriveSecurityView(*spec);
+  ASSERT_TRUE(view.ok());
+  auto loaded = ParseView(dtd, SerializeView(*view));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  auto doc = GenerateDocument(dtd, AdexGeneratorOptions(71, 30'000, 3));
+  ASSERT_TRUE(doc.ok());
+  auto tv1 = MaterializeView(*doc, *view, *spec);
+  auto tv2 = MaterializeView(*doc, *loaded, *spec);
+  ASSERT_TRUE(tv1.ok());
+  ASSERT_TRUE(tv2.ok());
+  EXPECT_EQ(ToXmlString(*tv1), ToXmlString(*tv2));
+}
+
+TEST(ViewIoTest, RejectsMalformedInput) {
+  Dtd dtd = MakeHospitalDtd();
+  EXPECT_FALSE(ParseView(dtd, "").ok());
+  EXPECT_FALSE(ParseView(dtd, "bogus header\n").ok());
+  EXPECT_FALSE(
+      ParseView(dtd, "secview-definition 1\ndoc-root nope\n").ok());
+  EXPECT_FALSE(ParseView(dtd,
+                         "secview-definition 1\ndoc-root hospital\n"
+                         "type a kind=weird\n")
+                   .ok());
+  EXPECT_FALSE(ParseView(dtd,
+                         "secview-definition 1\ndoc-root hospital\n"
+                         "type a kind=fields doc=nosuchtype\n")
+                   .ok());
+  EXPECT_FALSE(ParseView(dtd,
+                         "secview-definition 1\ndoc-root hospital\n"
+                         "type a kind=fields\n  field b 1 sigma=[[[\n")
+                   .ok());
+  EXPECT_FALSE(ParseView(dtd,
+                         "secview-definition 1\ndoc-root hospital\n"
+                         "type a kind=fields\n  field ghost 1 sigma=x\n")
+                   .ok());
+  EXPECT_FALSE(ParseView(dtd,
+                         "secview-definition 1\ndoc-root hospital\n"
+                         "type a kind=fields\ntype a kind=empty\n")
+                   .ok());
+  // alt under fields / field under choice.
+  EXPECT_FALSE(ParseView(dtd,
+                         "secview-definition 1\ndoc-root hospital\n"
+                         "type a kind=choice\n  field a 1 sigma=x\n")
+                   .ok());
+}
+
+TEST(ViewIoTest, AttributeVisibilityRoundTrips) {
+  auto parsed = ParseDtdText(R"(
+    <!ELEMENT r (p)*>
+    <!ELEMENT p (#PCDATA)>
+    <!ATTLIST p id CDATA #REQUIRED pay CDATA #IMPLIED>
+  )");
+  ASSERT_TRUE(parsed.ok());
+  auto normalized = NormalizeDtd(*parsed);
+  ASSERT_TRUE(normalized.ok());
+  auto spec = ParseAccessSpec(normalized->dtd, "ann(p, @pay) = N");
+  ASSERT_TRUE(spec.ok());
+  auto view = DeriveSecurityView(*spec);
+  ASSERT_TRUE(view.ok());
+  auto loaded = ParseView(normalized->dtd, SerializeView(*view));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ViewTypeId p = loaded->FindType("p");
+  ASSERT_NE(p, kNullViewType);
+  EXPECT_TRUE(loaded->IsAttributeHidden(p, "pay"));
+  EXPECT_FALSE(loaded->IsAttributeHidden(p, "id"));
+}
+
+}  // namespace
+}  // namespace secview

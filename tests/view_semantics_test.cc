@@ -1,0 +1,259 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "rewrite/rewriter.h"
+#include "security/derive.h"
+#include "security/materializer.h"
+#include "security/spec_parser.h"
+#include "workload/hospital.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+#include "xpath/printer.h"
+
+namespace secview {
+namespace {
+
+/// Deeper structural checks of the derive algorithm's output beyond the
+/// hospital/adex shapes covered in derive_test.cc.
+
+SecurityView MustDerive(const Dtd& dtd, const std::string& spec_text) {
+  auto spec = ParseAccessSpec(dtd, spec_text);
+  EXPECT_TRUE(spec.ok()) << spec.status();
+  auto view = DeriveSecurityView(*spec);
+  EXPECT_TRUE(view.ok()) << view.status();
+  return std::move(view).value();
+}
+
+Dtd BuildDtd(std::initializer_list<std::pair<const char*, ContentModel>>
+                 types,
+             const char* root) {
+  Dtd dtd;
+  for (const auto& [name, cm] : types) {
+    EXPECT_TRUE(dtd.AddType(name, cm).ok()) << name;
+  }
+  EXPECT_TRUE(dtd.SetRoot(root).ok());
+  EXPECT_TRUE(dtd.Finalize().ok());
+  return dtd;
+}
+
+TEST(ViewSemanticsTest, ConditionalEdgeInsideHiddenRegion) {
+  // r -> h (hidden); h -> (x, y); x conditionally accessible. The
+  // qualifier must survive into sigma through the shortcut path
+  // (Fig. 5, Proc_InAcc step 9).
+  Dtd dtd = BuildDtd({{"r", ContentModel::Sequence({"h"})},
+                      {"h", ContentModel::Sequence({"x", "y"})},
+                      {"x", ContentModel::Text()},
+                      {"y", ContentModel::Text()}},
+                     "r");
+  SecurityView view = MustDerive(dtd, R"(
+    ann(r, h) = N
+    ann(h, x) = [. = "go"]
+    ann(h, y) = Y
+  )");
+  ViewTypeId r = view.root();
+  ViewTypeId x = view.FindType("x");
+  ASSERT_NE(x, kNullViewType);
+  EXPECT_EQ(ToXPathString(view.Sigma(r, x)), "h/x[. = \"go\"]");
+
+  // Semantics: with the qualifier failing, materialization aborts (a One
+  // field yields no node).
+  auto spec = ParseAccessSpec(dtd, R"(
+    ann(r, h) = N
+    ann(h, x) = [. = "go"]
+    ann(h, y) = Y
+  )");
+  ASSERT_TRUE(spec.ok());
+  auto good = ParseXml("<r><h><x>go</x><y>t</y></h></r>");
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(MaterializeView(*good, view, *spec).ok());
+  auto bad = ParseXml("<r><h><x>stop</x><y>t</y></h></r>");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(MaterializeView(*bad, view, *spec).status().code(),
+            StatusCode::kAborted);
+}
+
+TEST(ViewSemanticsTest, NestedHiddenRegionsComposePaths) {
+  // r -> h1 -> h2 -> x with h1, h2 hidden: sigma(r, x) = h1/h2/x.
+  Dtd dtd = BuildDtd({{"r", ContentModel::Sequence({"h1"})},
+                      {"h1", ContentModel::Sequence({"h2"})},
+                      {"h2", ContentModel::Sequence({"x"})},
+                      {"x", ContentModel::Text()}},
+                     "r");
+  SecurityView view = MustDerive(dtd, R"(
+    ann(r, h1) = N
+    ann(h2, x) = Y
+  )");
+  EXPECT_EQ(view.NumTypes(), 2);
+  EXPECT_EQ(ToXPathString(view.Sigma(view.root(), view.FindType("x"))),
+            "h1/h2/x");
+}
+
+TEST(ViewSemanticsTest, HiddenStarOfHiddenStarCollapses) {
+  // r -> h*; h -> g*; g -> x: hiding h and g exposes x* with the composed
+  // path (case 3 shortcut through two levels).
+  Dtd dtd = BuildDtd({{"r", ContentModel::Star("h")},
+                      {"h", ContentModel::Star("g")},
+                      {"g", ContentModel::Sequence({"x"})},
+                      {"x", ContentModel::Text()}},
+                     "r");
+  SecurityView view = MustDerive(dtd, R"(
+    ann(r, h) = N
+    ann(g, x) = Y
+  )");
+  const ViewProduction& prod = view.Production(view.root());
+  ASSERT_EQ(prod.kind, ViewProduction::Kind::kFields);
+  ASSERT_EQ(prod.fields.size(), 1u);
+  EXPECT_EQ(prod.fields[0].child, "x");
+  EXPECT_EQ(prod.fields[0].mult, ViewField::Multiplicity::kStar);
+  EXPECT_EQ(ToXPathString(prod.fields[0].sigma), "h/g/x");
+
+  // Round trip through a document: all x's surface directly under r.
+  auto spec = ParseAccessSpec(dtd, "ann(r, h) = N\nann(g, x) = Y");
+  ASSERT_TRUE(spec.ok());
+  auto doc = ParseXml(
+      "<r><h><g><x>1</x></g><g><x>2</x></g></h><h><g><x>3</x></g></h></r>");
+  ASSERT_TRUE(doc.ok());
+  auto tv = MaterializeView(*doc, view, *spec);
+  ASSERT_TRUE(tv.ok()) << tv.status();
+  EXPECT_EQ(ToXmlString(*tv), "<r><x>1</x><x>2</x><x>3</x></r>");
+}
+
+TEST(ViewSemanticsTest, MixedAccessibleAndHiddenUnderChoice) {
+  // r -> (a | h); a visible, h hidden with a choice body: the hidden
+  // disjunction splices into the parent disjunction (Fig. 5 case 2).
+  Dtd dtd = BuildDtd({{"r", ContentModel::Choice({"a", "h"})},
+                      {"h", ContentModel::Choice({"x", "y"})},
+                      {"a", ContentModel::Text()},
+                      {"x", ContentModel::Text()},
+                      {"y", ContentModel::Text()}},
+                     "r");
+  SecurityView view = MustDerive(dtd, R"(
+    ann(r, h) = N
+    ann(h, x) = Y
+    ann(h, y) = Y
+  )");
+  const ViewProduction& prod = view.Production(view.root());
+  ASSERT_EQ(prod.kind, ViewProduction::Kind::kChoice);
+  ASSERT_EQ(prod.choice.alts.size(), 3u);
+  EXPECT_EQ(prod.choice.alts[0].child, "a");
+  EXPECT_EQ(prod.choice.alts[1].child, "x");
+  EXPECT_EQ(ToXPathString(prod.choice.alts[1].sigma), "h/x");
+  EXPECT_EQ(prod.choice.alts[2].child, "y");
+}
+
+TEST(ViewSemanticsTest, TypeBothAccessibleAndHidden) {
+  // 'x' is accessible under a but hidden (with accessible child) under b:
+  // the view has an 'x' type AND a dummy standing for the hidden x.
+  Dtd dtd = BuildDtd({{"r", ContentModel::Sequence({"a", "b"})},
+                      {"a", ContentModel::Sequence({"x"})},
+                      {"b", ContentModel::Sequence({"x"})},
+                      {"x", ContentModel::Choice({"u", "v"})},
+                      {"u", ContentModel::Text()},
+                      {"v", ContentModel::Text()}},
+                     "r");
+  SecurityView view = MustDerive(dtd, R"(
+    ann(b, x) = N
+    ann(x, u) = Y
+    ann(x, v) = Y
+  )");
+  ViewTypeId x = view.FindType("x");
+  ASSERT_NE(x, kNullViewType);
+  EXPECT_FALSE(view.type(x).is_dummy);
+  // b's production carries a dummy for the hidden x (its choice body
+  // cannot be spliced into b's sequence).
+  const ViewProduction& b = view.Production(view.FindType("b"));
+  ASSERT_EQ(b.kind, ViewProduction::Kind::kFields);
+  ASSERT_EQ(b.fields.size(), 1u);
+  ViewTypeId dummy = view.FindType(b.fields[0].child);
+  EXPECT_TRUE(view.type(dummy).is_dummy);
+  EXPECT_EQ(view.type(dummy).doc_type, dtd.FindType("x"));
+}
+
+TEST(ViewSemanticsTest, SizeCountsTypesAndSlots) {
+  Dtd dtd = MakeHospitalDtd();
+  auto spec = MakeNurseSpec(dtd);
+  ASSERT_TRUE(spec.ok());
+  auto view = DeriveSecurityView(*spec);
+  ASSERT_TRUE(view.ok());
+  // 15 view types (13 named + 2 dummies) plus one slot per field/alt.
+  EXPECT_EQ(view->NumTypes(), 15);
+  EXPECT_GT(view->Size(), view->NumTypes());
+}
+
+TEST(ViewSemanticsTest, EdgesMatchSigma) {
+  Dtd dtd = MakeHospitalDtd();
+  auto spec = MakeNurseSpec(dtd);
+  ASSERT_TRUE(spec.ok());
+  auto view = DeriveSecurityView(*spec);
+  ASSERT_TRUE(view.ok());
+  for (ViewTypeId id = 0; id < view->NumTypes(); ++id) {
+    for (const SecurityView::Edge& e : view->Edges(id)) {
+      PathPtr sigma = view->Sigma(id, e.child);
+      ASSERT_NE(sigma, nullptr);
+      EXPECT_TRUE(PathEquals(sigma, e.sigma));
+    }
+  }
+  // Sigma of a non-edge is null.
+  EXPECT_EQ(view->Sigma(view->FindType("bill"), view->root()), nullptr);
+}
+
+TEST(ViewSemanticsTest, QualifierOnStarChildFiltersInsteadOfAborting) {
+  // Conditional star children just filter (case 5 of the semantics).
+  Dtd dtd = BuildDtd({{"r", ContentModel::Star("item")},
+                      {"item", ContentModel::Text()}},
+                     "r");
+  auto spec = ParseAccessSpec(dtd, "ann(r, item) = [. = \"keep\"]");
+  ASSERT_TRUE(spec.ok());
+  auto view = DeriveSecurityView(*spec);
+  ASSERT_TRUE(view.ok());
+  auto doc = ParseXml(
+      "<r><item>keep</item><item>drop</item><item>keep</item></r>");
+  ASSERT_TRUE(doc.ok());
+  auto tv = MaterializeView(*doc, *view, *spec);
+  ASSERT_TRUE(tv.ok()) << tv.status();
+  EXPECT_EQ(ToXmlString(*tv), "<r><item>keep</item><item>keep</item></r>");
+
+  // And the rewritten query agrees.
+  auto rewriter = QueryRewriter::Create(*view);
+  ASSERT_TRUE(rewriter.ok());
+  auto q = ParseXPath("item");
+  ASSERT_TRUE(q.ok());
+  auto rewritten = rewriter->Rewrite(*q);
+  ASSERT_TRUE(rewritten.ok());
+  auto result = EvaluateAtRoot(*doc, *rewritten);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(ViewSemanticsTest, RootOnlyViewAnswersEpsilonQueries) {
+  Dtd dtd = BuildDtd({{"r", ContentModel::Star("s")},
+                      {"s", ContentModel::Text()}},
+                     "r");
+  SecurityView view = MustDerive(dtd, "ann(r, s) = N");
+  EXPECT_EQ(view.NumTypes(), 1);
+  auto rewriter = QueryRewriter::Create(view);
+  ASSERT_TRUE(rewriter.ok());
+  auto dot = rewriter->Rewrite(ParseXPath(".").value());
+  ASSERT_TRUE(dot.ok());
+  EXPECT_EQ(ToXPathString(*dot), ".");
+  auto s = rewriter->Rewrite(ParseXPath("//s").value());
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->kind, PathKind::kEmptySet);
+}
+
+TEST(ViewSemanticsTest, DebugStringMentionsDummiesAndSigma) {
+  Dtd dtd = MakeHospitalDtd();
+  auto spec = MakeNurseSpec(dtd);
+  ASSERT_TRUE(spec.ok());
+  auto view = DeriveSecurityView(*spec);
+  ASSERT_TRUE(view.ok());
+  std::string text = view->DebugString();
+  EXPECT_NE(text.find("(dummy for trial)"), std::string::npos) << text;
+  EXPECT_NE(text.find("sigma(treatment,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace secview

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "dtd/graph.h"
+#include "dtd/validator.h"
+#include "workload/adex.h"
+#include "workload/generator.h"
+#include "workload/hospital.h"
+#include "workload/synthetic.h"
+#include "xml/serializer.h"
+
+namespace secview {
+namespace {
+
+TEST(GeneratorTest, GeneratesConformingHospitalDocument) {
+  Dtd dtd = MakeHospitalDtd();
+  auto doc = GenerateDocument(dtd, HospitalGeneratorOptions(1, 20'000));
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_TRUE(ValidateInstance(*doc, dtd).ok());
+  EXPECT_GE(doc->EstimateSerializedSize(), 20'000u);
+}
+
+TEST(GeneratorTest, GeneratesConformingAdexDocument) {
+  Dtd dtd = MakeAdexDtd();
+  auto doc = GenerateDocument(dtd, AdexGeneratorOptions(2, 30'000, 3));
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_TRUE(ValidateInstance(*doc, dtd).ok());
+}
+
+TEST(GeneratorTest, Deterministic) {
+  Dtd dtd = MakeHospitalDtd();
+  auto a = GenerateDocument(dtd, HospitalGeneratorOptions(5, 10'000));
+  auto b = GenerateDocument(dtd, HospitalGeneratorOptions(5, 10'000));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ToXmlString(*a), ToXmlString(*b));
+  auto c = GenerateDocument(dtd, HospitalGeneratorOptions(6, 10'000));
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(ToXmlString(*a), ToXmlString(*c));
+}
+
+TEST(GeneratorTest, TargetBytesScalesDocument) {
+  Dtd dtd = MakeAdexDtd();
+  auto small = GenerateDocument(dtd, AdexGeneratorOptions(3, 10'000, 3));
+  auto large = GenerateDocument(dtd, AdexGeneratorOptions(3, 100'000, 3));
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(large->node_count(), 4 * small->node_count());
+}
+
+TEST(GeneratorTest, BranchingBoundsRespected) {
+  Dtd dtd = MakeHospitalDtd();
+  GeneratorOptions options;
+  options.seed = 9;
+  options.min_branching = 2;
+  options.max_branching = 3;
+  auto doc = GenerateDocument(dtd, options);
+  ASSERT_TRUE(doc.ok());
+  // Every star node (hospital, patientInfo, staffInfo) has 2..3 children.
+  for (NodeId n = 0; n < static_cast<NodeId>(doc->node_count()); ++n) {
+    if (!doc->IsElement(n)) continue;
+    std::string_view label = doc->label(n);
+    if (label == "hospital" || label == "patientInfo" ||
+        label == "staffInfo") {
+      int count = doc->ChildCount(n);
+      EXPECT_GE(count, 2) << label;
+      EXPECT_LE(count, 3) << label;
+    }
+  }
+}
+
+TEST(GeneratorTest, RecursiveDtdRespectsDepthBudget) {
+  RecursiveFixture fixture = MakeRecursiveFixture();
+  GeneratorOptions options;
+  options.seed = 4;
+  options.min_branching = 1;
+  options.max_branching = 2;
+  options.max_depth = 9;
+  auto doc = GenerateDocument(fixture.dtd, options);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_TRUE(ValidateInstance(*doc, fixture.dtd).ok());
+  EXPECT_LE(doc->Height(), 10);  // +1 for text leaves
+}
+
+TEST(GeneratorTest, InconsistentDtdRejected) {
+  Dtd dtd;
+  ASSERT_TRUE(dtd.AddType("a", ContentModel::Sequence({"b"})).ok());
+  ASSERT_TRUE(dtd.AddType("b", ContentModel::Sequence({"a"})).ok());
+  ASSERT_TRUE(dtd.SetRoot("a").ok());
+  ASSERT_TRUE(dtd.Finalize().ok());
+  auto doc = GenerateDocument(dtd, {});
+  EXPECT_FALSE(doc.ok());
+}
+
+TEST(GeneratorTest, TextProviderUsed) {
+  Dtd dtd = MakeHospitalDtd();
+  auto doc = GenerateDocument(dtd, HospitalGeneratorOptions(8, 5'000));
+  ASSERT_TRUE(doc.ok());
+  bool saw_ward = false;
+  for (NodeId n = 0; n < static_cast<NodeId>(doc->node_count()); ++n) {
+    if (doc->IsElement(n) && doc->label(n) == "wardNo") {
+      saw_ward = true;
+      std::string text = doc->CollectText(n);
+      ASSERT_FALSE(text.empty());
+      int value = std::stoi(text);
+      EXPECT_GE(value, 1);
+      EXPECT_LE(value, 8);
+    }
+  }
+  EXPECT_TRUE(saw_ward);
+}
+
+TEST(SyntheticTest, LayeredDtdShape) {
+  Dtd dtd = MakeLayeredDtd(4, 3);
+  EXPECT_EQ(dtd.NumTypes(), 13);  // root + 4 layers x 3
+  DtdGraph graph(dtd);
+  EXPECT_FALSE(graph.IsRecursive());
+  EXPECT_TRUE(graph.UnreachableFromRoot().empty());
+}
+
+TEST(SyntheticTest, ChainDtd) {
+  Dtd dtd = MakeChainDtd(10);
+  EXPECT_EQ(dtd.NumTypes(), 10);
+  DtdGraph graph(dtd);
+  EXPECT_TRUE(graph.ReachableStrict(dtd.FindType("a0"), dtd.FindType("a9")));
+}
+
+TEST(SyntheticTest, RandomDtdIsConsistent) {
+  Rng rng(123);
+  for (int i = 0; i < 20; ++i) {
+    Dtd dtd = MakeRandomDtd(rng, 3 + static_cast<int>(rng.Below(15)));
+    EXPECT_TRUE(dtd.finalized());
+    DtdGraph graph(dtd);
+    EXPECT_FALSE(graph.IsRecursive());
+    GeneratorOptions options;
+    options.seed = rng.Next();
+    auto doc = GenerateDocument(dtd, options);
+    ASSERT_TRUE(doc.ok()) << doc.status();
+    EXPECT_TRUE(ValidateInstance(*doc, dtd).ok());
+  }
+}
+
+TEST(SyntheticTest, RandomSpecAnnotatesEdgesOnly) {
+  Rng rng(55);
+  Dtd dtd = MakeRandomDtd(rng, 12);
+  AccessSpec spec = MakeRandomSpec(dtd, rng, 0.3, 0.2, 0.2);
+  for (const auto& [parent, child, ann] : spec.AllAnnotations()) {
+    (void)ann;
+    EXPECT_TRUE(dtd.HasChild(parent, child));
+  }
+}
+
+TEST(SyntheticTest, RandomQueriesParseablyPrint) {
+  Rng rng(77);
+  Dtd dtd = MakeRandomDtd(rng, 10);
+  for (int i = 0; i < 50; ++i) {
+    PathPtr q = MakeRandomDocQuery(dtd, rng, 1 + rng.Below(5));
+    ASSERT_NE(q, nullptr);
+    EXPECT_GE(PathSize(q), 1);
+  }
+}
+
+}  // namespace
+}  // namespace secview

@@ -1,0 +1,14 @@
+// Entry point for the `secview` command-line tool; all logic lives in
+// cli/cli.h so tests can drive it.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) args.push_back("help");
+  return secview::RunCli(args, std::cout, std::cerr);
+}
