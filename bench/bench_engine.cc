@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "engine/engine.h"
+#include "metrics_emit.h"
 #include "workload/hospital.h"
 #include "xml/parser.h"
 
@@ -88,7 +89,43 @@ void BM_ExecuteEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecuteEndToEnd)->Unit(benchmark::kMicrosecond);
 
+/// The trajectory-point workload behind --metrics-json: a fresh engine
+/// executing a small mixed query set (cold + cached, optimized + not) so
+/// the emitted registry covers the rewrite, optimize, and evaluate
+/// phases deterministically (fixed seed, fixed queries).
+int EmitEngineMetrics(const std::string& path) {
+  auto engine = SecureQueryEngine::Create(MakeHospitalDtd());
+  if (!engine.ok()) return 1;
+  if (!(*engine)->RegisterPolicy("nurse", kNursePolicy).ok()) return 1;
+  auto doc = GenerateDocument(MakeHospitalDtd(),
+                              HospitalGeneratorOptions(3, 100'000));
+  if (!doc.ok()) return 1;
+  ExecuteOptions options;
+  options.bindings = {{"wardNo", "3"}};
+  const char* queries[] = {"//patient//bill", "//patient//bill",
+                           "//bill", "patientInfo/patient/name"};
+  for (const char* q : queries) {
+    for (bool optimize : {true, false}) {
+      options.optimize = optimize;
+      if (!(*engine)->Execute("nurse", *doc, q, options).ok()) return 1;
+    }
+  }
+  return benchutil::EmitMetricsJson(path, "bench_engine",
+                                    (*engine)->metrics());
+}
+
 }  // namespace
 }  // namespace secview
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string metrics_path =
+      secview::benchutil::ExtractMetricsJsonFlag(&argc, argv);
+  benchmark::Initialize(&argc, &argv[0]);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!metrics_path.empty()) {
+    return secview::EmitEngineMetrics(metrics_path);
+  }
+  return 0;
+}

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "metrics_emit.h"
+#include "obs/trace.h"
 #include "workload/adex.h"
 #include "workload/generator.h"
 #include "xpath/evaluator.h"
@@ -67,7 +69,40 @@ BENCHMARK(BM_PreciseDeepChain)->Arg(1'000'000)->Arg(8'000'000);
 BENCHMARK(BM_DescendantDeep)->Arg(1'000'000)->Arg(8'000'000);
 BENCHMARK(BM_WildcardChain)->Arg(1'000'000)->Arg(8'000'000);
 
+/// --metrics-json workload: run each benchmark query once against the
+/// 1 MB document with a registry attached, emitting the evaluator's
+/// eval.* counters as a trajectory point (fixed seed, deterministic).
+int EmitEvalMetrics(const std::string& path) {
+  obs::MetricsRegistry registry;
+  const XmlTree& doc = AdexDoc(1'000'000);
+  const char* queries[] = {
+      "head/buyer-info/contact-info", "//contact-info",
+      "//buyer-info//contact-info",
+      "body/ad-instance/content/real-estate/house/r-e.warranty",
+      "//house//r-e.warranty", "*/*/*/*"};
+  for (const char* text : queries) {
+    auto q = ParseXPath(text);
+    if (!q.ok()) return 1;
+    XPathEvaluator evaluator(doc);
+    evaluator.set_metrics(&registry);
+    obs::ScopedTimer timer(&registry.GetHistogram("phase.evaluate.micros"));
+    if (!evaluator.Evaluate(*q, doc.root()).ok()) return 1;
+  }
+  return benchutil::EmitMetricsJson(path, "bench_xpath_eval", registry);
+}
+
 }  // namespace
 }  // namespace secview
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string metrics_path =
+      secview::benchutil::ExtractMetricsJsonFlag(&argc, argv);
+  benchmark::Initialize(&argc, &argv[0]);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!metrics_path.empty()) {
+    return secview::EmitEvalMetrics(metrics_path);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Shared --metrics-json support for the bench binaries.
+//
+// Benches that want their run captured as a trajectory point replace
+// BENCHMARK_MAIN() with a custom main that (1) strips the
+// --metrics-json=PATH flag before benchmark::Initialize sees it, (2)
+// runs the registered benchmarks as usual, and (3) runs a small
+// instrumented workload and emits its obs::MetricsRegistry as a
+// `secview.metrics.v1` JSON document ('-' = stdout). The schema is
+// documented in docs/observability.md; tools/bench_summary diffs two
+// such files.
+
+#ifndef SECVIEW_BENCH_METRICS_EMIT_H_
+#define SECVIEW_BENCH_METRICS_EMIT_H_
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace secview {
+namespace benchutil {
+
+/// Removes `--metrics-json=PATH` (or `--metrics_json=PATH`) from argv
+/// and returns PATH; returns "" when the flag is absent. Call before
+/// benchmark::Initialize so google-benchmark does not reject the flag.
+inline std::string ExtractMetricsJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string_view arg = argv[i];
+    constexpr std::string_view kDash = "--metrics-json=";
+    constexpr std::string_view kUnder = "--metrics_json=";
+    if (arg.rfind(kDash, 0) == 0) {
+      path = std::string(arg.substr(kDash.size()));
+    } else if (arg.rfind(kUnder, 0) == 0) {
+      path = std::string(arg.substr(kUnder.size()));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+/// Writes {"schema":"secview.metrics.v1","bench":<name>,"metrics":<registry>}
+/// to `path` ('-' = stdout). Returns 0 on success, 1 on I/O failure.
+inline int EmitMetricsJson(const std::string& path, std::string_view bench_name,
+                           const obs::MetricsRegistry& registry) {
+  obs::Json doc = obs::Json::Object();
+  doc.Set("schema", obs::Json("secview.metrics.v1"));
+  doc.Set("bench", obs::Json(std::string(bench_name)));
+  doc.Set("metrics", registry.ToJson());
+  std::string text = doc.Dump(/*pretty=*/true);
+  if (path == "-") {
+    std::cout << text << "\n";
+    return 0;
+  }
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  file << text << "\n";
+  return 0;
+}
+
+}  // namespace benchutil
+}  // namespace secview
+
+#endif  // SECVIEW_BENCH_METRICS_EMIT_H_

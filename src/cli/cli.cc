@@ -11,6 +11,8 @@
 #include "dtd/normalizer.h"
 #include "dtd/validator.h"
 #include "engine/engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "security/derive.h"
 #include "security/materializer.h"
 #include "security/spec_parser.h"
@@ -38,7 +40,7 @@ usage:
                       [--no-optimize]
   secview query       --dtd FILE (--spec FILE | --view FILE) --xml FILE
                       --query XPATH [--bind NAME=VALUE]... [--no-optimize]
-                      [--extract]
+                      [--extract] [--stats] [--trace-json FILE]
   secview materialize --dtd FILE --spec FILE --xml FILE [--bind NAME=VALUE]...
   secview generate    --dtd FILE [--bytes N] [--seed N] [--branch N]
   secview help
@@ -50,6 +52,12 @@ the child name for text-content annotations, `@name` for attributes.
 `derive --out` saves the derived view definition (including the hidden
 sigma annotations); `--view` loads one instead of re-deriving from a
 specification.
+
+Observability (docs/observability.md): `query --stats` appends the
+engine's metrics summary (per-phase latencies, rewrite/optimize DP and
+prune counters, evaluator node touches); `query --trace-json FILE`
+writes the per-query phase-span tree (parse/unfold/rewrite/optimize/
+bind/evaluate) as JSON to FILE ('-' for stdout).
 )";
 
 /// Parsed command line: flags with values, boolean switches, repeated
@@ -68,7 +76,7 @@ Result<Args> ParseArgs(const std::vector<std::string>& argv) {
   for (size_t i = 1; i < argv.size(); ++i) {
     const std::string& arg = argv[i];
     if (arg == "--show-sigma" || arg == "--no-optimize" ||
-        arg == "--extract") {
+        arg == "--extract" || arg == "--stats") {
       args.switches[arg] = true;
       continue;
     }
@@ -234,6 +242,23 @@ Status CmdRewrite(const Args& args, std::ostream& out) {
   return Status::OK();
 }
 
+/// Writes the trace span tree to the --trace-json target ('-' = `out`).
+Status DumpTraceJson(const Args& args, const obs::Trace& trace,
+                     std::ostream& out) {
+  auto it = args.values.find("--trace-json");
+  if (it == args.values.end()) return Status::OK();
+  if (it->second == "-") {
+    out << trace.ToJsonString(/*pretty=*/true) << "\n";
+    return Status::OK();
+  }
+  std::ofstream file(it->second, std::ios::binary);
+  if (!file) {
+    return Status::NotFound("cannot open for writing: " + it->second);
+  }
+  file << trace.ToJsonString(/*pretty=*/true) << "\n";
+  return Status::OK();
+}
+
 Status CmdQuery(const Args& args, std::ostream& out) {
   SECVIEW_ASSIGN_OR_RETURN(DtdBundle bundle, LoadDtdBundle(args));
   SECVIEW_ASSIGN_OR_RETURN(XmlTree doc, LoadXml(args, bundle));
@@ -241,6 +266,8 @@ Status CmdQuery(const Args& args, std::ostream& out) {
                            Required(args, "--query"));
   const bool use_view_file = args.values.count("--view") > 0;
   const bool optimize = !args.switches.count("--no-optimize");
+  const bool want_stats = args.switches.count("--stats") > 0;
+  obs::Trace trace("secview.query");
 
   if (!use_view_file) {
     SECVIEW_ASSIGN_OR_RETURN(std::unique_ptr<SecureQueryEngine> engine,
@@ -248,6 +275,7 @@ Status CmdQuery(const Args& args, std::ostream& out) {
     ExecuteOptions options;
     options.bindings = args.bindings;
     options.optimize = optimize;
+    options.trace = &trace;
     SECVIEW_ASSIGN_OR_RETURN(
         ExecuteResult result,
         engine->Execute("policy", doc, query_text, options));
@@ -270,21 +298,64 @@ Status CmdQuery(const Args& args, std::ostream& out) {
         out << "\n";
       }
     }
-    return Status::OK();
+    if (want_stats) {
+      const ExecuteStats& s = result.stats;
+      out << "# stats: cache=" << (s.cache_hit ? "hit" : "miss")
+          << " nodes_touched=" << s.nodes_touched
+          << " predicate_evals=" << s.predicate_evals
+          << " ast_rewritten=" << s.ast_size_rewritten
+          << " ast_evaluated=" << s.ast_size_evaluated << "\n";
+      out << engine->metrics().ToText();
+    }
+    return DumpTraceJson(args, trace, out);
   }
 
   // Saved-view path: rewrite against the loaded definition directly (no
-  // specification needed).
+  // specification needed). Instrumented with a local registry so --stats
+  // and --trace-json behave the same as the engine path.
+  obs::MetricsRegistry metrics;
   const Dtd& dtd = bundle.normalized.dtd;
   SECVIEW_ASSIGN_OR_RETURN(SecurityView view, LoadView(args, dtd));
-  SECVIEW_ASSIGN_OR_RETURN(PathPtr query, ParseXPath(query_text));
-  SECVIEW_ASSIGN_OR_RETURN(PathPtr rewritten,
-                           RewriteForDocument(view, query, doc.Height()));
+  PathPtr query;
+  {
+    obs::ScopedSpan span(&trace, "parse");
+    obs::ScopedTimer timer(&metrics.GetHistogram("phase.parse.micros"));
+    SECVIEW_ASSIGN_OR_RETURN(query, ParseXPath(query_text));
+  }
+  PathPtr rewritten;
+  {
+    obs::ScopedSpan span(&trace, "rewrite");
+    obs::ScopedTimer timer(&metrics.GetHistogram("phase.rewrite.micros"));
+    SECVIEW_ASSIGN_OR_RETURN(rewritten,
+                             RewriteForDocument(view, query, doc.Height()));
+    span.SetAttr("ast_size", PathSize(rewritten));
+    metrics.GetCounter("rewrite.queries").Add();
+  }
   out << "# rewritten: " << ToXPathString(rewritten) << "\n";
-  if (optimize) rewritten = OptimizeOrPassThrough(dtd, rewritten);
-  PathPtr bound = BindParams(rewritten, args.bindings);
+  if (optimize) {
+    obs::ScopedSpan span(&trace, "optimize");
+    obs::ScopedTimer timer(&metrics.GetHistogram("phase.optimize.micros"));
+    span.SetAttr("ast_before", PathSize(rewritten));
+    rewritten = OptimizeOrPassThrough(dtd, rewritten);
+    span.SetAttr("ast_after", PathSize(rewritten));
+    metrics.GetCounter("optimize.queries").Add();
+  }
+  PathPtr bound;
+  {
+    obs::ScopedSpan span(&trace, "bind");
+    bound = BindParams(rewritten, args.bindings);
+  }
   out << "# evaluated: " << ToXPathString(bound) << "\n";
-  SECVIEW_ASSIGN_OR_RETURN(NodeSet nodes, EvaluateAtRoot(doc, bound));
+  NodeSet nodes;
+  {
+    obs::ScopedSpan span(&trace, "evaluate");
+    obs::ScopedTimer timer(&metrics.GetHistogram("phase.evaluate.micros"));
+    XPathEvaluator evaluator(doc);
+    evaluator.set_metrics(&metrics);
+    SECVIEW_ASSIGN_OR_RETURN(nodes, evaluator.Evaluate(bound, doc.root()));
+    span.SetAttr("nodes_touched", evaluator.counters().nodes_touched);
+    span.SetAttr("results", static_cast<uint64_t>(nodes.size()));
+  }
   out << "# results: " << nodes.size() << "\n";
   for (NodeId n : nodes) {
     out << "<" << doc.label(n) << "> node #" << n;
@@ -292,7 +363,8 @@ Status CmdQuery(const Args& args, std::ostream& out) {
     if (!text.empty()) out << " text=\"" << text << "\"";
     out << "\n";
   }
-  return Status::OK();
+  if (want_stats) out << metrics.ToText();
+  return DumpTraceJson(args, trace, out);
 }
 
 Status CmdMaterialize(const Args& args, std::ostream& out) {

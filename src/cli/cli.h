@@ -15,6 +15,7 @@ namespace secview {
 ///   secview rewrite     --dtd F --spec F --query Q [--no-optimize]
 ///   secview query       --dtd F --spec F --xml F --query Q
 ///                       [--bind NAME=VALUE]... [--no-optimize] [--extract]
+///                       [--stats] [--trace-json FILE]
 ///   secview materialize --dtd F --spec F --xml F [--bind NAME=VALUE]...
 ///   secview generate    --dtd F [--bytes N] [--seed N] [--branch N]
 ///   secview help

@@ -46,7 +46,11 @@ Status SecureQueryEngine::RegisterPolicy(const std::string& name,
     return Status::InvalidArgument(
         "specification was built against a different DTD instance");
   }
-  SECVIEW_ASSIGN_OR_RETURN(SecurityView view, DeriveSecurityView(spec));
+  Result<SecurityView> derived = [&]() -> Result<SecurityView> {
+    obs::ScopedTimer timer(&metrics_.GetHistogram("phase.derive.micros"));
+    return DeriveSecurityView(spec);
+  }();
+  SECVIEW_ASSIGN_OR_RETURN(SecurityView view, std::move(derived));
 
   auto policy = std::make_unique<Policy>(
       Policy{std::move(spec), std::move(view), std::nullopt, {}});
@@ -56,6 +60,9 @@ Status SecureQueryEngine::RegisterPolicy(const std::string& name,
     policy->rewriter.emplace(std::move(rewriter));
   }
   policies_.emplace(name, std::move(policy));
+  metrics_.GetCounter("engine.policies_registered").Add();
+  metrics_.GetGauge("engine.policies")
+      .Set(static_cast<int64_t>(policies_.size()));
   return Status::OK();
 }
 
@@ -100,38 +107,111 @@ Result<std::string> SecureQueryEngine::PublishedViewDtd(
   return p->view.ViewDtdString();
 }
 
+Result<PathPtr> SecureQueryEngine::Prepare(const std::string& policy_name,
+                                           Policy& policy,
+                                           std::string_view query_text,
+                                           bool optimize, int depth,
+                                           obs::Trace* trace,
+                                           ExecuteStats* stats) {
+  const bool recursive = !policy.rewriter.has_value();
+  std::string cache_key = std::string(query_text) + "\x1f" +
+                          (optimize ? "1" : "0") + "\x1f" +
+                          std::to_string(depth);
+  auto cached = policy.cache.find(cache_key);
+  if (cached != policy.cache.end()) {
+    metrics_.GetCounter("engine.rewrite_cache.hits").Add();
+    if (stats != nullptr) stats->cache_hit = true;
+    return cached->second;
+  }
+  metrics_.GetCounter("engine.rewrite_cache.misses").Add();
+  if (stats != nullptr) stats->cache_hit = false;
+
+  PathPtr query;
+  {
+    obs::ScopedSpan span(trace, "parse");
+    obs::ScopedTimer timer(&metrics_.GetHistogram("phase.parse.micros"),
+                           stats != nullptr ? &stats->parse_micros : nullptr);
+    SECVIEW_ASSIGN_OR_RETURN(query, ParseXPath(query_text));
+    span.SetAttr("ast_size", PathSize(query));
+  }
+
+  // Recursive views: unfold to the document height first, then rewrite
+  // over the unfolded (now non-recursive) view.
+  std::optional<SecurityView> unfolded;
+  if (recursive) {
+    obs::ScopedSpan span(trace, "unfold");
+    obs::ScopedTimer timer(&metrics_.GetHistogram("phase.unfold.micros"));
+    SECVIEW_ASSIGN_OR_RETURN(SecurityView u, UnfoldView(policy.view, depth));
+    unfolded.emplace(std::move(u));
+    span.SetAttr("depth", depth);
+    metrics_.GetCounter("rewrite.unfolds").Add();
+  }
+
+  PathPtr rewritten;
+  {
+    obs::ScopedSpan span(trace, "rewrite");
+    obs::ScopedTimer timer(
+        &metrics_.GetHistogram("phase.rewrite.micros"),
+        stats != nullptr ? &stats->rewrite_micros : nullptr);
+    RewriteStats rstats;
+    if (recursive) {
+      SECVIEW_ASSIGN_OR_RETURN(QueryRewriter rewriter,
+                               QueryRewriter::Create(*unfolded));
+      SECVIEW_ASSIGN_OR_RETURN(rewritten, rewriter.Rewrite(query, &rstats));
+    } else {
+      SECVIEW_ASSIGN_OR_RETURN(rewritten,
+                               policy.rewriter->Rewrite(query, &rstats));
+    }
+    span.SetAttr("dp_entries", static_cast<uint64_t>(rstats.dp_entries));
+    span.SetAttr("ast_size", rstats.output_size);
+    metrics_.GetCounter("rewrite.queries").Add();
+    metrics_.GetCounter("rewrite.dp_entries")
+        .Add(static_cast<uint64_t>(rstats.dp_entries));
+  }
+
+  if (optimize && optimizer_.has_value()) {
+    obs::ScopedSpan span(trace, "optimize");
+    obs::ScopedTimer timer(
+        &metrics_.GetHistogram("phase.optimize.micros"),
+        stats != nullptr ? &stats->optimize_micros : nullptr);
+    span.SetAttr("ast_before", PathSize(rewritten));
+    OptimizeStats ostats;
+    SECVIEW_ASSIGN_OR_RETURN(rewritten,
+                             optimizer_->Optimize(rewritten, &ostats));
+    span.SetAttr("ast_after", ostats.output_size);
+    span.SetAttr("union_prunes", static_cast<uint64_t>(ostats.union_prunes));
+    metrics_.GetCounter("optimize.queries").Add();
+    metrics_.GetCounter("optimize.dp_entries")
+        .Add(static_cast<uint64_t>(ostats.dp_entries));
+    metrics_.GetCounter("optimize.nonexistence_prunes")
+        .Add(static_cast<uint64_t>(ostats.nonexistence_prunes));
+    metrics_.GetCounter("optimize.simulation_tests")
+        .Add(static_cast<uint64_t>(ostats.simulation_tests));
+    metrics_.GetCounter("optimize.union_prunes")
+        .Add(static_cast<uint64_t>(ostats.union_prunes));
+  }
+  policy.cache.emplace(std::move(cache_key), rewritten);
+  metrics_.GetGauge("policy." + policy_name + ".cache_size")
+      .Set(static_cast<int64_t>(policy.cache.size()));
+  return rewritten;
+}
+
 Result<PathPtr> SecureQueryEngine::Rewrite(const std::string& policy_name,
                                            std::string_view query_text,
                                            bool optimize, int doc_height) {
   SECVIEW_ASSIGN_OR_RETURN(Policy* policy, FindPolicy(policy_name));
-
-  const bool recursive = !policy->rewriter.has_value();
-  const int depth = recursive ? doc_height : 0;
-  std::string cache_key = std::string(query_text) + "\x1f" +
-                          (optimize ? "1" : "0") + "\x1f" +
-                          std::to_string(depth);
-  auto cached = policy->cache.find(cache_key);
-  if (cached != policy->cache.end()) return cached->second;
-
-  SECVIEW_ASSIGN_OR_RETURN(PathPtr query, ParseXPath(query_text));
-
-  PathPtr rewritten;
-  if (recursive) {
-    SECVIEW_ASSIGN_OR_RETURN(rewritten,
-                             RewriteForDocument(policy->view, query, depth));
-  } else {
-    SECVIEW_ASSIGN_OR_RETURN(rewritten, policy->rewriter->Rewrite(query));
-  }
-  if (optimize && optimizer_.has_value()) {
-    SECVIEW_ASSIGN_OR_RETURN(rewritten, optimizer_->Optimize(rewritten));
-  }
-  policy->cache.emplace(std::move(cache_key), rewritten);
-  return rewritten;
+  const int depth = policy->rewriter.has_value() ? 0 : doc_height;
+  return Prepare(policy_name, *policy, query_text, optimize, depth,
+                 /*trace=*/nullptr, /*stats=*/nullptr);
 }
 
 Result<ExecuteResult> SecureQueryEngine::Execute(
     const std::string& policy_name, const XmlTree& doc,
     std::string_view query_text, const ExecuteOptions& options) {
+  obs::ScopedSpan exec_span(options.trace, "execute");
+  exec_span.SetAttr("policy", policy_name);
+  exec_span.SetAttr("query", std::string(query_text));
+
   if (doc.empty()) return Status::InvalidArgument("empty document");
   if (doc.label(doc.root()) != dtd_->TypeName(dtd_->root())) {
     return Status::InvalidArgument(
@@ -140,31 +220,57 @@ Result<ExecuteResult> SecureQueryEngine::Execute(
   // The document height (an O(N) scan) is only needed to pick the
   // unfolding depth of recursive views.
   SECVIEW_ASSIGN_OR_RETURN(Policy* policy, FindPolicy(policy_name));
+  metrics_.GetCounter("engine.queries").Add();
+  metrics_.GetCounter("policy." + policy_name + ".queries").Add();
+
   const int doc_height = policy->rewriter.has_value() ? 0 : doc.Height();
-  SECVIEW_ASSIGN_OR_RETURN(
-      PathPtr rewritten,
-      Rewrite(policy_name, query_text, /*optimize=*/false, doc_height));
 
   ExecuteResult result;
+  result.stats.unfold_depth = doc_height;
+  SECVIEW_ASSIGN_OR_RETURN(
+      PathPtr rewritten,
+      Prepare(policy_name, *policy, query_text, /*optimize=*/false,
+              doc_height, options.trace, &result.stats));
   result.rewritten = rewritten;
   PathPtr to_run = rewritten;
   if (options.optimize) {
+    // stats.cache_hit ends up describing this (the evaluated) entry.
     SECVIEW_ASSIGN_OR_RETURN(
-        to_run,
-        Rewrite(policy_name, query_text, /*optimize=*/true, doc_height));
+        to_run, Prepare(policy_name, *policy, query_text, /*optimize=*/true,
+                        doc_height, options.trace, &result.stats));
   }
-  to_run = BindParams(to_run, options.bindings);
+  {
+    obs::ScopedSpan span(options.trace, "bind");
+    to_run = BindParams(to_run, options.bindings);
+  }
   if (HasUnboundParams(to_run)) {
     return Status::FailedPrecondition(
         "the policy's qualifiers have unbound $parameters; pass them in "
         "ExecuteOptions::bindings");
   }
   result.evaluated = to_run;
+  result.stats.ast_size_rewritten = PathSize(result.rewritten);
+  result.stats.ast_size_evaluated = PathSize(to_run);
 
-  XPathEvaluator evaluator(doc);
-  SECVIEW_ASSIGN_OR_RETURN(result.nodes,
-                           evaluator.Evaluate(to_run, doc.root()));
-  result.work = evaluator.work();
+  {
+    obs::ScopedSpan span(options.trace, "evaluate");
+    obs::ScopedTimer timer(&metrics_.GetHistogram("phase.evaluate.micros"),
+                           &result.stats.evaluate_micros);
+    XPathEvaluator evaluator(doc);
+    evaluator.set_metrics(&metrics_);
+    SECVIEW_ASSIGN_OR_RETURN(result.nodes,
+                             evaluator.Evaluate(to_run, doc.root()));
+    result.stats.nodes_touched = evaluator.counters().nodes_touched;
+    result.stats.predicate_evals = evaluator.counters().predicate_evals;
+    span.SetAttr("nodes_touched", result.stats.nodes_touched);
+    span.SetAttr("predicate_evals", result.stats.predicate_evals);
+    span.SetAttr("results", static_cast<uint64_t>(result.nodes.size()));
+  }
+  result.stats.result_count = result.nodes.size();
+  metrics_.GetCounter("engine.results_returned")
+      .Add(static_cast<uint64_t>(result.nodes.size()));
+  exec_span.SetAttr("cache",
+                    result.stats.cache_hit ? "hit" : "miss");
   return result;
 }
 

@@ -9,6 +9,8 @@
 
 #include "common/result.h"
 #include "dtd/dtd.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimize/optimizer.h"
 #include "rewrite/rewriter.h"
 #include "security/access_spec.h"
@@ -26,6 +28,35 @@ struct ExecuteOptions {
   /// Run the DTD-based optimizer over the rewritten query (Section 5).
   /// Ignored (treated as false) when the document DTD is recursive.
   bool optimize = true;
+
+  /// When non-null, Execute records its phase-span tree (parse, unfold,
+  /// rewrite, optimize, bind, evaluate) into this trace.
+  obs::Trace* trace = nullptr;
+};
+
+/// Structured per-execution statistics (the successor of the old bare
+/// `work` counter). Phase durations are wall-clock microseconds; when a
+/// phase runs more than once per execution (e.g. parse, for both the
+/// provenance and the optimized preparation) the durations sum.
+struct ExecuteStats {
+  /// Evaluator node touches (machine-independent cost).
+  uint64_t nodes_touched = 0;
+  /// Qualifier evaluations during evaluation.
+  uint64_t predicate_evals = 0;
+  /// Number of result nodes.
+  size_t result_count = 0;
+  /// True iff the *evaluated* query came out of the rewrite cache.
+  bool cache_hit = false;
+  /// Unfolding depth used (0 for non-recursive views).
+  int unfold_depth = 0;
+  /// |p| after rewriting, before optimization.
+  int ast_size_rewritten = 0;
+  /// |p| of the query actually evaluated.
+  int ast_size_evaluated = 0;
+  uint64_t parse_micros = 0;
+  uint64_t rewrite_micros = 0;
+  uint64_t optimize_micros = 0;
+  uint64_t evaluate_micros = 0;
 };
 
 /// Execution outcome with provenance, for auditing and the CLI.
@@ -36,8 +67,12 @@ struct ExecuteResult {
   PathPtr rewritten;
   /// The query actually evaluated (optimized + bound).
   PathPtr evaluated;
-  /// Evaluator node touches (machine-independent cost).
-  uint64_t work = 0;
+  /// Per-execution cost and provenance statistics.
+  ExecuteStats stats;
+
+  /// Evaluator node touches — backward-compatible accessor for the old
+  /// `work` field.
+  uint64_t work() const { return stats.nodes_touched; }
 };
 
 /// The secure query-answering framework of the paper's Fig. 3: one
@@ -53,9 +88,18 @@ struct ExecuteResult {
 ///                                 {.bindings = {{"wardNo", "3"}}});
 ///
 /// Rewritten/optimized queries are cached per (policy, query text,
-/// optimize flag); recursive views are additionally keyed by the
-/// unfolding depth, which is derived from each document's height
-/// (Section 4.2).
+/// optimize flag). For *recursive* views the cache key additionally
+/// includes the unfolding depth — the rewritten query is only equivalent
+/// over documents of height <= depth, so two documents of different
+/// heights must not share a cache entry (Section 4.2; the depth is
+/// derived from each document's height and is 0 for non-recursive
+/// views). engine_test.cc guards this keying with a regression test.
+///
+/// The engine keeps a lifetime obs::MetricsRegistry (see metrics()):
+/// per-policy query counts, rewrite-cache hits/misses, rewriter/optimizer
+/// DP sizes and prune counts, evaluator node touches, and per-phase
+/// latency histograms. Pass an obs::Trace in ExecuteOptions to capture a
+/// per-query span tree.
 ///
 /// The engine is single-threaded by design (the cache is not locked).
 class SecureQueryEngine {
@@ -67,6 +111,10 @@ class SecureQueryEngine {
 
   /// True iff the document DTD admits the optimizer (non-recursive).
   bool CanOptimize() const { return optimizer_.has_value(); }
+
+  /// Engine-lifetime metrics (metric catalog: docs/observability.md).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   // -- Policies -------------------------------------------------------------
 
@@ -121,8 +169,11 @@ class SecureQueryEngine {
     SecurityView view;
     /// Prepared rewriter for non-recursive views.
     std::optional<QueryRewriter> rewriter;
-    /// (query text, optimize, unfold depth) -> rewritten query. Depth is
-    /// 0 for non-recursive views.
+    /// Cache key: query text + "\x1f" + optimize flag + "\x1f" + unfold
+    /// depth. The depth component matters for recursive views only — a
+    /// rewriting unfolded to depth d is valid for documents of height
+    /// <= d, so entries for different heights must stay distinct. For
+    /// non-recursive views the depth is always 0.
     std::unordered_map<std::string, PathPtr> cache;
   };
 
@@ -132,9 +183,17 @@ class SecureQueryEngine {
   Result<Policy*> FindPolicy(const std::string& name);
   Result<const Policy*> FindPolicy(const std::string& name) const;
 
+  /// The instrumented preparation path behind Rewrite and Execute: cache
+  /// lookup, then parse -> [unfold ->] rewrite -> [optimize ->] cache.
+  /// `trace` and `stats` may be null.
+  Result<PathPtr> Prepare(const std::string& policy_name, Policy& policy,
+                          std::string_view query_text, bool optimize,
+                          int depth, obs::Trace* trace, ExecuteStats* stats);
+
   std::unique_ptr<Dtd> dtd_;
   std::optional<QueryOptimizer> optimizer_;
   std::unordered_map<std::string, std::unique_ptr<Policy>> policies_;
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace secview

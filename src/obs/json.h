@@ -1,0 +1,95 @@
+#ifndef SECVIEW_OBS_JSON_H_
+#define SECVIEW_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace secview::obs {
+
+/// A minimal, zero-dependency JSON document model backing the
+/// observability exporters (metrics snapshots, span trees) and the
+/// bench_summary diff tool. Objects preserve insertion order so exported
+/// documents diff cleanly across runs.
+///
+/// Numbers are stored as double; integral values up to 2^53 round-trip
+/// exactly, which covers every counter this codebase emits.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Json(double d) : kind_(Kind::kNumber), number_(d) {}
+  Json(int v) : kind_(Kind::kNumber), number_(v) {}
+  Json(int64_t v) : kind_(Kind::kNumber), number_(static_cast<double>(v)) {}
+  Json(uint64_t v) : kind_(Kind::kNumber), number_(static_cast<double>(v)) {}
+  Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  Json(const char* s) : kind_(Kind::kString), string_(s) {}
+
+  static Json Array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+
+  /// Array elements (valid for kArray).
+  const std::vector<Json>& items() const { return items_; }
+  /// Object members in insertion order (valid for kObject).
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Appends to an array (the value must be kArray); returns *this.
+  Json& Append(Json value);
+  /// Sets/overwrites an object member; returns *this for chaining.
+  Json& Set(std::string key, Json value);
+  /// Looks up an object member; nullptr when absent or not an object.
+  const Json* Find(std::string_view key) const;
+
+  /// Serializes; pretty uses 2-space indentation.
+  std::string Dump(bool pretty = false) const;
+
+  /// Strict-enough parser for everything Dump produces (and ordinary
+  /// hand-written JSON): nested values, string escapes incl. \uXXXX,
+  /// scientific numbers. Trailing garbage is an error.
+  static Result<Json> Parse(std::string_view text);
+
+  /// Deep structural equality (object member *order* is ignored).
+  bool Equals(const Json& other) const;
+
+ private:
+  void DumpTo(std::string& out, bool pretty, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace secview::obs
+
+#endif  // SECVIEW_OBS_JSON_H_

@@ -1,0 +1,160 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace secview::obs {
+
+Histogram::Histogram(std::vector<uint64_t> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::Observe(uint64_t sample) {
+  size_t i =
+      std::lower_bound(bounds_.begin(), bounds_.end(), sample) - bounds_.begin();
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+uint64_t Histogram::ApproxPercentile(double p) const {
+  uint64_t total = count();
+  if (total == 0) return 0;
+  p = std::min(std::max(p, 0.0), 1.0);
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total - 1)) + 1;
+  uint64_t seen = 0;
+  std::vector<uint64_t> counts = BucketCounts();
+  for (size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      return i < bounds_.size() ? bounds_[i]
+                                : (bounds_.empty() ? 0 : bounds_.back());
+    }
+  }
+  return bounds_.empty() ? 0 : bounds_.back();
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = DefaultLatencyBounds();
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+Json MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json root = Json::Object();
+  Json counters = Json::Object();
+  for (const auto& [name, c] : counters_) counters.Set(name, c->value());
+  root.Set("counters", std::move(counters));
+  Json gauges = Json::Object();
+  for (const auto& [name, g] : gauges_) gauges.Set(name, g->value());
+  root.Set("gauges", std::move(gauges));
+  Json histograms = Json::Object();
+  for (const auto& [name, h] : histograms_) {
+    Json hist = Json::Object();
+    hist.Set("count", h->count());
+    hist.Set("sum", h->sum());
+    Json buckets = Json::Array();
+    std::vector<uint64_t> counts = h->BucketCounts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      Json bucket = Json::Object();
+      if (i < h->bounds().size()) {
+        bucket.Set("le", h->bounds()[i]);
+      } else {
+        bucket.Set("le", "inf");
+      }
+      bucket.Set("count", counts[i]);
+      buckets.Append(std::move(bucket));
+    }
+    hist.Set("buckets", std::move(buckets));
+    histograms.Set(name, std::move(hist));
+  }
+  root.Set("histograms", std::move(histograms));
+  return root;
+}
+
+std::string MetricsRegistry::ToJsonString(bool pretty) const {
+  return ToJson().Dump(pretty);
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    out << name << " = " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << name << " = " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    uint64_t n = h->count();
+    out << name << " count=" << n << " sum=" << h->sum();
+    if (n > 0) {
+      out << " mean=" << (h->sum() / n) << " p50~" << h->ApproxPercentile(0.5)
+          << " p99~" << h->ApproxPercentile(0.99);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::vector<uint64_t> MetricsRegistry::DefaultLatencyBounds() {
+  return {1,    2,    5,     10,    25,    50,     100,    250,     500,
+          1000, 2500, 5000,  10000, 25000, 50000,  100000, 250000,  500000,
+          1000000, 2500000, 5000000, 10000000};
+}
+
+}  // namespace secview::obs

@@ -1,0 +1,112 @@
+#ifndef SECVIEW_OBS_METRICS_H_
+#define SECVIEW_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace secview::obs {
+
+/// Monotone event counter. Updates are relaxed atomics: safe to bump from
+/// several threads, never a lock on the hot path.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. number of registered
+/// policies, cache size).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the
+/// first N buckets, with an implicit +inf overflow bucket. Observations
+/// and bucket bumps are relaxed atomics; the bucket layout is immutable
+/// after construction, so concurrent Observe calls never contend on a
+/// lock.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<uint64_t> bounds);
+
+  void Observe(uint64_t sample);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<uint64_t> BucketCounts() const;
+
+  /// Approximate quantile read off the bucket boundaries (the upper bound
+  /// of the bucket containing the p-quantile observation; 0 when empty).
+  uint64_t ApproxPercentile(double p) const;
+
+  void Reset();
+
+ private:
+  std::vector<uint64_t> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Name -> instrument registry. Instrument lookup/creation takes a mutex;
+/// the returned references stay valid for the registry's lifetime, so hot
+/// paths resolve a name once and then update lock-free. Names use dotted
+/// lowercase segments, e.g. "engine.rewrite_cache.hits" (see
+/// docs/observability.md for the catalog).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  /// `bounds` is only consulted when the histogram is first created.
+  Histogram& GetHistogram(std::string_view name,
+                          std::vector<uint64_t> bounds = {});
+
+  /// Zeroes every instrument (registrations survive).
+  void Reset();
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  ///  {"count": n, "sum": s, "buckets": [{"le": bound, "count": c}...]}}}
+  Json ToJson() const;
+  std::string ToJsonString(bool pretty = true) const;
+
+  /// Human-readable summary, one instrument per line, sorted by name.
+  std::string ToText() const;
+
+  /// Microsecond-latency bucket bounds used for the phase.* histograms.
+  static std::vector<uint64_t> DefaultLatencyBounds();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace secview::obs
+
+#endif  // SECVIEW_OBS_METRICS_H_

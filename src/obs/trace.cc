@@ -1,0 +1,162 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace secview::obs {
+
+void Span::SetAttr(std::string key, std::string value) {
+  for (auto& [k, v] : attributes) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attributes.emplace_back(std::move(key), std::move(value));
+}
+
+void Span::SetAttr(std::string key, const char* value) {
+  SetAttr(std::move(key), std::string(value));
+}
+
+void Span::SetAttr(std::string key, uint64_t value) {
+  SetAttr(std::move(key), std::to_string(value));
+}
+
+void Span::SetAttr(std::string key, int64_t value) {
+  SetAttr(std::move(key), std::to_string(value));
+}
+
+void Span::SetAttr(std::string key, int value) {
+  SetAttr(std::move(key), std::to_string(value));
+}
+
+const std::string* Span::FindAttr(std::string_view key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Span* Span::FindSpan(std::string_view target) const {
+  if (name == target) return this;
+  for (const auto& child : children) {
+    if (const Span* found = child->FindSpan(target)) return found;
+  }
+  return nullptr;
+}
+
+size_t Span::TreeSize() const {
+  size_t n = 1;
+  for (const auto& child : children) n += child->TreeSize();
+  return n;
+}
+
+Trace::Trace(std::string root_name)
+    : start_(std::chrono::steady_clock::now()),
+      root_(std::make_unique<Span>()) {
+  root_->name = std::move(root_name);
+  open_.push_back(root_.get());
+}
+
+uint64_t Trace::ElapsedMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+void Trace::Finish() {
+  if (finished_) return;
+  root_->duration_micros = ElapsedMicros();
+  finished_ = true;
+}
+
+Span* Trace::Open(std::string name) {
+  Span* parent = open_.empty() ? root_.get() : open_.back();
+  auto span = std::make_unique<Span>();
+  span->name = std::move(name);
+  span->start_micros = ElapsedMicros();
+  Span* raw = span.get();
+  parent->children.push_back(std::move(span));
+  open_.push_back(raw);
+  return raw;
+}
+
+void Trace::Close(Span* span) {
+  if (span == nullptr) return;
+  span->duration_micros = ElapsedMicros() - span->start_micros;
+  // RAII guards close in LIFO order; tolerate out-of-order closes by
+  // popping through (inner guards were leaked/moved — still safe).
+  auto it = std::find(open_.begin(), open_.end(), span);
+  if (it != open_.end()) open_.erase(it, open_.end());
+}
+
+namespace {
+
+Json SpanToJson(const Span& span) {
+  Json node = Json::Object();
+  node.Set("name", span.name);
+  node.Set("start_us", span.start_micros);
+  node.Set("duration_us", span.duration_micros);
+  if (!span.attributes.empty()) {
+    Json attrs = Json::Object();
+    for (const auto& [k, v] : span.attributes) attrs.Set(k, v);
+    node.Set("attrs", std::move(attrs));
+  }
+  if (!span.children.empty()) {
+    Json children = Json::Array();
+    for (const auto& child : span.children) {
+      children.Append(SpanToJson(*child));
+    }
+    node.Set("children", std::move(children));
+  }
+  return node;
+}
+
+void SpanToText(const Span& span, int depth, std::ostringstream& out) {
+  out << std::string(static_cast<size_t>(2 * depth), ' ') << span.name << " "
+      << span.duration_micros << "us";
+  for (const auto& [k, v] : span.attributes) out << " " << k << "=" << v;
+  out << "\n";
+  for (const auto& child : span.children) SpanToText(*child, depth + 1, out);
+}
+
+}  // namespace
+
+Json Trace::ToJson() const {
+  // Exports snapshot the tree; an unfinished root reports the elapsed
+  // time so far (spans can still be added after an export).
+  if (!finished_) root_->duration_micros = ElapsedMicros();
+  return SpanToJson(*root_);
+}
+
+std::string Trace::ToJsonString(bool pretty) const {
+  return ToJson().Dump(pretty);
+}
+
+std::string Trace::ToText() const {
+  if (!finished_) root_->duration_micros = ElapsedMicros();
+  std::ostringstream out;
+  SpanToText(*root_, 0, out);
+  return out.str();
+}
+
+ScopedSpan::ScopedSpan(Trace* trace, std::string name) : trace_(trace) {
+  if (trace_ != nullptr) span_ = trace_->Open(std::move(name));
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (trace_ != nullptr && span_ != nullptr) trace_->Close(span_);
+}
+
+ScopedTimer::~ScopedTimer() {
+  uint64_t micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0_)
+          .count());
+  if (hist_ != nullptr) hist_->Observe(micros);
+  if (out_ != nullptr) *out_ += micros;
+}
+
+}  // namespace secview::obs

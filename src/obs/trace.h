@@ -1,0 +1,128 @@
+#ifndef SECVIEW_OBS_TRACE_H_
+#define SECVIEW_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace secview::obs {
+
+/// One node of a phase-span tree: a named wall-time interval with string
+/// attributes and child spans. Timestamps are microseconds relative to
+/// the owning trace's start.
+struct Span {
+  std::string name;
+  uint64_t start_micros = 0;
+  uint64_t duration_micros = 0;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<std::unique_ptr<Span>> children;
+
+  void SetAttr(std::string key, std::string value);
+  void SetAttr(std::string key, const char* value);
+  void SetAttr(std::string key, uint64_t value);
+  void SetAttr(std::string key, int64_t value);
+  void SetAttr(std::string key, int value);
+  /// nullptr when no attribute with that key exists.
+  const std::string* FindAttr(std::string_view key) const;
+  /// Depth-first search for a descendant (or this span) by name.
+  const Span* FindSpan(std::string_view name) const;
+  /// Total number of spans in this subtree (including this one).
+  size_t TreeSize() const;
+};
+
+/// A single-threaded trace: one root span plus a stack of open child
+/// spans, populated through RAII ScopedSpan guards. Query pipelines pass
+/// a Trace* down the call chain (nullptr disables tracing with no
+/// branches beyond a pointer test).
+class Trace {
+ public:
+  explicit Trace(std::string root_name = "trace");
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  Span& root() { return *root_; }
+  const Span& root() const { return *root_; }
+
+  /// Microseconds since the trace was constructed.
+  uint64_t ElapsedMicros() const;
+
+  /// Closes the root span (idempotent; exporters call it implicitly).
+  void Finish();
+
+  /// {"name":..., "start_us":..., "duration_us":..., "attrs": {...},
+  ///  "children": [...]} — one object per span, recursively.
+  Json ToJson() const;
+  std::string ToJsonString(bool pretty = true) const;
+  /// Indented one-line-per-span rendering for terminals.
+  std::string ToText() const;
+
+ private:
+  friend class ScopedSpan;
+  Span* Open(std::string name);
+  void Close(Span* span);
+
+  std::chrono::steady_clock::time_point start_;
+  std::unique_ptr<Span> root_;
+  std::vector<Span*> open_;  // innermost span last; root_ is open_[0]
+  bool finished_ = false;
+};
+
+/// RAII guard opening a child span of the trace's innermost open span.
+/// A null trace makes every member a no-op, so call sites instrument
+/// unconditionally:
+///
+///   obs::ScopedSpan span(options.trace, "rewrite");
+///   span.SetAttr("dp_entries", stats.dp_entries);
+class ScopedSpan {
+ public:
+  ScopedSpan(Trace* trace, std::string name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  template <typename V>
+  void SetAttr(std::string key, V&& value) {
+    if (span_ != nullptr) {
+      span_->SetAttr(std::move(key), std::forward<V>(value));
+    }
+  }
+
+  /// The underlying span; nullptr for a disabled guard.
+  Span* span() { return span_; }
+
+ private:
+  Trace* trace_ = nullptr;
+  Span* span_ = nullptr;
+};
+
+/// RAII wall-clock timer: on destruction adds the elapsed microseconds to
+/// an optional histogram and/or an optional plain accumulator (+=, so
+/// repeated phases within one query sum up).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(uint64_t* out) : out_(out) { Start(); }
+  explicit ScopedTimer(Histogram* hist, uint64_t* out = nullptr)
+      : hist_(hist), out_(out) {
+    Start();
+  }
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  void Start() { t0_ = std::chrono::steady_clock::now(); }
+
+  Histogram* hist_ = nullptr;
+  uint64_t* out_ = nullptr;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace secview::obs
+
+#endif  // SECVIEW_OBS_TRACE_H_

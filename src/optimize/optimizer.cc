@@ -39,12 +39,22 @@ struct OptResult {
 
 class OptimizeDp {
  public:
-  OptimizeDp(const DtdGraph& graph, const DtdPathIndex& index)
-      : graph_(graph), dtd_(graph.dtd()), index_(index) {}
+  OptimizeDp(const DtdGraph& graph, const DtdPathIndex& index,
+             OptimizeStats* stats)
+      : graph_(graph), dtd_(graph.dtd()), index_(index), stats_(stats) {}
 
   PathPtr Run(const PathPtr& p, TypeId a) {
     PathPtr normalized = NormalizeQualifierSteps(p);
-    return Opt(normalized, a).Total();
+    PathPtr out = Opt(normalized, a).Total();
+    if (stats_ != nullptr) {
+      stats_->dp_path_nodes = memo_.size();
+      for (const auto& [expr, per_type] : memo_) {
+        (void)expr;
+        stats_->dp_entries += per_type.size();
+      }
+      stats_->output_size = PathSize(out);
+    }
+    return out;
   }
 
  private:
@@ -68,7 +78,11 @@ class OptimizeDp {
         // Case 2: keep the step only when the DTD admits it
         // (non-existence pruning).
         TypeId c = dtd_.FindType(p->label);
-        if (c != kNullType && dtd_.HasChild(a, c)) r.Add(c, p);
+        if (c != kNullType && dtd_.HasChild(a, c)) {
+          r.Add(c, p);
+        } else if (stats_ != nullptr) {
+          ++stats_->nonexistence_prunes;
+        }
         return r;
       }
       case PathKind::kWildcard: {
@@ -111,8 +125,16 @@ class OptimizeDp {
         const OptResult right = Opt(p->right, a);
         ImageGraph g1 = BuildImageGraph(graph_, left.Total(), a);
         ImageGraph g2 = BuildImageGraph(graph_, right.Total(), a);
-        if (Simulates(g1, g2)) return right;  // p1 redundant
-        if (Simulates(g2, g1)) return left;   // p2 redundant
+        if (stats_ != nullptr) ++stats_->simulation_tests;
+        if (Simulates(g1, g2)) {  // p1 redundant
+          if (stats_ != nullptr) ++stats_->union_prunes;
+          return right;
+        }
+        if (stats_ != nullptr) ++stats_->simulation_tests;
+        if (Simulates(g2, g1)) {  // p2 redundant
+          if (stats_ != nullptr) ++stats_->union_prunes;
+          return left;
+        }
         for (const auto& [target, q] : left.by_target) r.Add(target, q);
         for (const auto& [target, q] : right.by_target) r.Add(target, q);
         return r;
@@ -155,6 +177,7 @@ class OptimizeDp {
   const DtdGraph& graph_;
   const Dtd& dtd_;
   const DtdPathIndex& index_;
+  OptimizeStats* stats_;
   std::unordered_map<const PathExpr*, std::unordered_map<TypeId, OptResult>>
       memo_;
 };
@@ -170,16 +193,18 @@ Result<QueryOptimizer> QueryOptimizer::Create(const Dtd& dtd) {
   return QueryOptimizer(std::move(graph), std::move(index));
 }
 
-Result<PathPtr> QueryOptimizer::Optimize(const PathPtr& p) const {
-  return OptimizeAt(p, dtd().root());
+Result<PathPtr> QueryOptimizer::Optimize(const PathPtr& p,
+                                         OptimizeStats* stats) const {
+  return OptimizeAt(p, dtd().root(), stats);
 }
 
-Result<PathPtr> QueryOptimizer::OptimizeAt(const PathPtr& p, TypeId a) const {
+Result<PathPtr> QueryOptimizer::OptimizeAt(const PathPtr& p, TypeId a,
+                                           OptimizeStats* stats) const {
   if (!p) return Status::InvalidArgument("null query");
   if (a == kNullType || a >= dtd().NumTypes()) {
     return Status::InvalidArgument("invalid context type");
   }
-  OptimizeDp dp(*graph_, index_);
+  OptimizeDp dp(*graph_, index_, stats);
   return dp.Run(p, a);
 }
 

@@ -11,6 +11,17 @@
 
 namespace secview {
 
+/// What one optimizer run did, for observability: DP-table sizes plus the
+/// pruning decisions that make optimized queries cheaper to evaluate.
+struct OptimizeStats {
+  size_t dp_path_nodes = 0;        ///< distinct sub-queries memoized
+  size_t dp_entries = 0;           ///< filled (sub-query, type) cells
+  size_t nonexistence_prunes = 0;  ///< label steps the DTD rules out
+  size_t simulation_tests = 0;     ///< containment (simulation) checks run
+  size_t union_prunes = 0;         ///< union branches proven redundant
+  int output_size = 0;             ///< |optimize(p)| (AST nodes)
+};
+
 /// Algorithm optimize (paper Fig. 10): rewrites an XPath query into an
 /// equivalent but cheaper query over instances of a document DTD, by
 ///   * pruning sub-queries the DTD makes unsatisfiable (non-existence),
@@ -35,11 +46,14 @@ class QueryOptimizer {
   QueryOptimizer(QueryOptimizer&&) = default;
   QueryOptimizer& operator=(QueryOptimizer&&) = default;
 
-  /// Optimizes `p` for evaluation at root elements.
-  Result<PathPtr> Optimize(const PathPtr& p) const;
+  /// Optimizes `p` for evaluation at root elements. When `stats` is
+  /// non-null it receives the DP sizes and pruning counts of this run.
+  Result<PathPtr> Optimize(const PathPtr& p,
+                           OptimizeStats* stats = nullptr) const;
 
   /// Optimizes `p` for evaluation at `a` elements.
-  Result<PathPtr> OptimizeAt(const PathPtr& p, TypeId a) const;
+  Result<PathPtr> OptimizeAt(const PathPtr& p, TypeId a,
+                             OptimizeStats* stats = nullptr) const;
 
   const Dtd& dtd() const { return graph_->dtd(); }
   const DtdGraph& graph() const { return *graph_; }

@@ -45,10 +45,20 @@ class RewriteDp {
   RewriteDp(const SecurityView& view, const ViewReachability& reach)
       : view_(view), reach_(reach) {}
 
-  Result<PathPtr> Run(const PathPtr& p) {
+  Result<PathPtr> Run(const PathPtr& p, RewriteStats* stats) {
     PathPtr normalized = NormalizeQualifierSteps(p);
     const Translation& t = Rw(normalized, view_.root());
-    return t.Total();
+    PathPtr out = t.Total();
+    if (stats != nullptr) {
+      stats->dp_path_nodes = path_memo_.size();
+      stats->dp_entries = 0;
+      for (const auto& [expr, per_type] : path_memo_) {
+        (void)expr;
+        stats->dp_entries += per_type.size();
+      }
+      stats->output_size = PathSize(out);
+    }
+    return out;
   }
 
  private:
@@ -188,10 +198,11 @@ Result<QueryRewriter> QueryRewriter::Create(const SecurityView& view) {
   return QueryRewriter(view, std::move(reach));
 }
 
-Result<PathPtr> QueryRewriter::Rewrite(const PathPtr& p) const {
+Result<PathPtr> QueryRewriter::Rewrite(const PathPtr& p,
+                                       RewriteStats* stats) const {
   if (!p) return Status::InvalidArgument("null query");
   RewriteDp dp(*view_, reach_);
-  return dp.Run(p);
+  return dp.Run(p, stats);
 }
 
 Result<PathPtr> RewriteForDocument(const SecurityView& view, const PathPtr& p,

@@ -10,6 +10,15 @@
 
 namespace secview {
 
+/// Size of the rewriting dynamic program, for observability: how many
+/// distinct (sub-query, view type) cells the memo table filled, over how
+/// many distinct sub-query AST nodes.
+struct RewriteStats {
+  size_t dp_path_nodes = 0;  ///< distinct sub-queries memoized
+  size_t dp_entries = 0;     ///< filled (sub-query, view type) cells
+  int output_size = 0;       ///< |rw(p)| (AST nodes of the result)
+};
+
 /// Algorithm rewrite (paper Fig. 6): transforms an XPath query p posed
 /// over a security view into an equivalent query p_t over the original
 /// document, in O(|p| * |Dv|^2) time, so that p over the (virtual) view
@@ -43,8 +52,10 @@ class QueryRewriter {
   QueryRewriter& operator=(QueryRewriter&&) = default;
 
   /// Rewrites a query over the view into the equivalent query over the
-  /// document, to be evaluated at the document root.
-  Result<PathPtr> Rewrite(const PathPtr& p) const;
+  /// document, to be evaluated at the document root. When `stats` is
+  /// non-null it receives the DP-table sizes of this run.
+  Result<PathPtr> Rewrite(const PathPtr& p,
+                          RewriteStats* stats = nullptr) const;
 
   const SecurityView& view() const { return *view_; }
   const ViewReachability& reachability() const { return reach_; }

@@ -18,7 +18,10 @@ Result<NodeSet> XPathEvaluator::Evaluate(const PathPtr& p,
     return Status::FailedPrecondition(
         "query contains unbound $parameters; call BindParams first");
   }
-  return Eval(p, context);
+  EvalCounters before = counters_;
+  NodeSet result = Eval(p, context);
+  FlushDelta(before);
+  return result;
 }
 
 Result<bool> XPathEvaluator::EvaluateQualifier(const QualPtr& q, NodeId node) {
@@ -27,7 +30,23 @@ Result<bool> XPathEvaluator::EvaluateQualifier(const QualPtr& q, NodeId node) {
     return Status::FailedPrecondition(
         "qualifier contains unbound $parameters; call BindParams first");
   }
-  return EvalQual(q, node);
+  EvalCounters before = counters_;
+  bool result = EvalQual(q, node);
+  FlushDelta(before);
+  return result;
+}
+
+void XPathEvaluator::FlushDelta(const EvalCounters& before) {
+  if (metrics_ == nullptr) return;
+  if (uint64_t d = counters_.nodes_touched - before.nodes_touched; d > 0) {
+    metrics_->GetCounter("eval.nodes_touched").Add(d);
+  }
+  if (uint64_t d = counters_.predicate_evals - before.predicate_evals; d > 0) {
+    metrics_->GetCounter("eval.predicate_evals").Add(d);
+  }
+  if (uint64_t d = counters_.index_scans - before.index_scans; d > 0) {
+    metrics_->GetCounter("eval.index_scans").Add(d);
+  }
 }
 
 void XPathEvaluator::SortUnique(NodeSet& set) {
@@ -105,7 +124,7 @@ NodeSet XPathEvaluator::EvalLabel(int label_id, const NodeSet& ctx) {
     if (!tree_->IsElement(v)) continue;
     for (NodeId c = tree_->first_child(v); c != kNullNode;
          c = tree_->next_sibling(c)) {
-      ++work_;
+      ++counters_.nodes_touched;
       if (tree_->IsElement(c) && tree_->label_id(c) == label_id) {
         out.push_back(c);
       }
@@ -123,7 +142,7 @@ NodeSet XPathEvaluator::EvalWildcard(const NodeSet& ctx) {
     if (!tree_->IsElement(v)) continue;
     for (NodeId c = tree_->first_child(v); c != kNullNode;
          c = tree_->next_sibling(c)) {
-      ++work_;
+      ++counters_.nodes_touched;
       if (tree_->IsElement(c)) out.push_back(c);
     }
   }
@@ -133,6 +152,7 @@ NodeSet XPathEvaluator::EvalWildcard(const NodeSet& ctx) {
 
 NodeSet XPathEvaluator::EvalDescLabelIndexed(int label_id,
                                              const NodeSet& ctx) {
+  ++counters_.index_scans;
   // '//l' selects l-children of the descendant-or-self closure — i.e.,
   // l-labeled strict descendants of ctx nodes, plus l-labeled ctx
   // children of... precisely: nodes labeled l whose parent is in the
@@ -148,7 +168,7 @@ NodeSet XPathEvaluator::EvalDescLabelIndexed(int label_id,
     NodeId end = tree_->SubtreeEnd(v);
     auto [first, last] = index_->Range(label_id, v, end);
     for (const NodeId* it = first; it != last; ++it) {
-      ++work_;
+      ++counters_.nodes_touched;
       if (*it == v) continue;  // the subtree root is not its own child
       out.push_back(*it);
     }
@@ -166,7 +186,7 @@ NodeSet XPathEvaluator::EvalDescOrSelf(const NodeSet& ctx) {
     if (v < covered_until) continue;  // already inside an emitted subtree
     NodeId end = tree_->SubtreeEnd(v);
     for (NodeId i = v; i < end; ++i) {
-      ++work_;
+      ++counters_.nodes_touched;
       if (tree_->IsElement(i)) out.push_back(i);
     }
     covered_until = end;
@@ -175,6 +195,7 @@ NodeSet XPathEvaluator::EvalDescOrSelf(const NodeSet& ctx) {
 }
 
 bool XPathEvaluator::EvalQual(const QualPtr& q, NodeId node) {
+  ++counters_.predicate_evals;
   switch (q->kind) {
     case QualKind::kTrue:
       return true;
@@ -188,7 +209,7 @@ bool XPathEvaluator::EvalQual(const QualPtr& q, NodeId node) {
       NodeSet ctx{node};
       NodeSet reached = Eval(q->path, ctx);
       for (NodeId v : reached) {
-        ++work_;
+        ++counters_.nodes_touched;
         if (tree_->CollectText(v) == q->constant) return true;
       }
       return false;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "xml/tree.h"
 #include "xpath/ast.h"
 
@@ -21,10 +22,18 @@ using NodeSet = std::vector<NodeId>;
 /// reached elements with c, which coincides with the paper's text-node
 /// formulation because PCDATA only occurs under str-typed elements.
 ///
-/// The evaluator is stateless between calls apart from a work counter
-/// (nodes touched), which benchmarks use as a machine-independent cost
-/// measure.
+/// The evaluator is stateless between calls apart from its cost counters
+/// (below), which benchmarks use as machine-independent cost measures.
 class LabelIndex;
+
+/// Machine-independent evaluation costs, accumulated across calls until
+/// ResetWork(). `nodes_touched` is the paper's node-visit count; the
+/// others break the same work down for observability.
+struct EvalCounters {
+  uint64_t nodes_touched = 0;    ///< tree nodes inspected
+  uint64_t predicate_evals = 0;  ///< qualifier evaluations at a node
+  uint64_t index_scans = 0;      ///< '//label' steps answered by the index
+};
 
 class XPathEvaluator {
  public:
@@ -47,9 +56,19 @@ class XPathEvaluator {
   /// Evaluates a qualifier at one node.
   Result<bool> EvaluateQualifier(const QualPtr& q, NodeId node);
 
-  /// Nodes touched since construction or ResetWork().
-  uint64_t work() const { return work_; }
-  void ResetWork() { work_ = 0; }
+  /// Attaches a metrics registry: every public Evaluate/EvaluateQualifier
+  /// call flushes the counters it accumulated into `eval.nodes_touched`,
+  /// `eval.predicate_evals`, and `eval.index_scans`. The hot loops only
+  /// bump plain fields; the atomic adds happen once per call.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Costs accumulated since construction or ResetWork().
+  const EvalCounters& counters() const { return counters_; }
+
+  /// Nodes touched since construction or ResetWork() (backward-compatible
+  /// alias for counters().nodes_touched).
+  uint64_t work() const { return counters_.nodes_touched; }
+  void ResetWork() { counters_ = {}; }
 
  private:
   NodeSet Eval(const PathPtr& p, const NodeSet& ctx);
@@ -61,9 +80,13 @@ class XPathEvaluator {
 
   static void SortUnique(NodeSet& set);
 
+  /// Adds the counter deltas since `before` to the attached registry.
+  void FlushDelta(const EvalCounters& before);
+
   const XmlTree* tree_;
   const LabelIndex* index_ = nullptr;
-  uint64_t work_ = 0;
+  EvalCounters counters_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 /// Convenience wrapper: evaluates `p` at the tree root.

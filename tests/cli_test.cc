@@ -1,9 +1,16 @@
+#include <unistd.h>
+
+#include <cstdio>
 #include <fstream>
+#include <functional>
+#include <set>
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "cli/cli.h"
+#include "obs/json.h"
 
 namespace secview {
 namespace {
@@ -72,10 +79,17 @@ class CliTest : public testing::Test {
   void WriteFile(const std::string& name, const std::string& content) {
     std::string path = Path(name);
     // TempDir exists; create our subdirectory lazily via ofstream by
-    // writing into TempDir directly (flat names).
-    std::ofstream out(path, std::ios::binary);
-    ASSERT_TRUE(out.is_open()) << path;
-    out << content;
+    // writing into TempDir directly (flat names). Write to a
+    // process-unique temp name and rename into place: ctest runs each
+    // case as its own process, and a plain truncate-rewrite lets a
+    // concurrent case read a half-written fixture.
+    std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    {
+      std::ofstream out(tmp, std::ios::binary);
+      ASSERT_TRUE(out.is_open()) << tmp;
+      out << content;
+    }
+    ASSERT_EQ(std::rename(tmp.c_str(), path.c_str()), 0) << path;
   }
 
   std::string Path(const std::string& name) {
@@ -96,6 +110,87 @@ class CliTest : public testing::Test {
 TEST_F(CliTest, Help) {
   EXPECT_EQ(Run({"help"}), 0);
   EXPECT_NE(out_.str().find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, HelpListsObservabilityFlags) {
+  EXPECT_EQ(Run({"help"}), 0);
+  std::string text = out_.str();
+  EXPECT_NE(text.find("--stats"), std::string::npos);
+  EXPECT_NE(text.find("--trace-json"), std::string::npos);
+}
+
+TEST_F(CliTest, QueryStats) {
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--query",
+                 "//patient//bill", "--bind", "wardNo=3", "--stats"}),
+            0);
+  std::string text = out_.str();
+  // Nonzero counters for the rewrite, optimize, and evaluate phases.
+  EXPECT_NE(text.find("# stats:"), std::string::npos) << text;
+  EXPECT_NE(text.find("rewrite.queries = 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("optimize.queries = 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("eval.nodes_touched = "), std::string::npos);
+  EXPECT_EQ(text.find("eval.nodes_touched = 0"), std::string::npos);
+  EXPECT_NE(text.find("phase.evaluate.micros count=1"), std::string::npos);
+}
+
+TEST_F(CliTest, QueryTraceJson) {
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--query",
+                 "//patient//bill", "--bind", "wardNo=3", "--trace-json",
+                 Path("trace.json")}),
+            0);
+  std::ifstream in(Path("trace.json"), std::ios::binary);
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto trace = obs::Json::Parse(buffer.str());
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+
+  // The span tree must contain at least 4 distinct pipeline phases.
+  std::function<void(const obs::Json&, std::set<std::string>&)> collect =
+      [&](const obs::Json& span, std::set<std::string>& names) {
+        if (const obs::Json* name = span.Find("name")) {
+          names.insert(name->AsString());
+        }
+        if (const obs::Json* children = span.Find("children")) {
+          for (const obs::Json& child : children->items()) {
+            collect(child, names);
+          }
+        }
+      };
+  std::set<std::string> names;
+  collect(*trace, names);
+  int phases = 0;
+  for (const char* phase :
+       {"parse", "rewrite", "optimize", "bind", "evaluate", "unfold"}) {
+    if (names.count(phase)) ++phases;
+  }
+  EXPECT_GE(phases, 4) << "phases seen: " << names.size();
+}
+
+TEST_F(CliTest, QueryTraceJsonToStdout) {
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--query",
+                 "//patient//bill", "--bind", "wardNo=3", "--trace-json",
+                 "-"}),
+            0);
+  EXPECT_NE(out_.str().find("\"name\": \"execute\""), std::string::npos);
+}
+
+TEST_F(CliTest, QueryStatsWithSavedView) {
+  ASSERT_EQ(Run({"derive", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--out", Path("nurse.view")}),
+            0);
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--view",
+                 Path("nurse.view"), "--xml", Path("doc.xml"), "--query",
+                 "//patient//bill", "--bind", "wardNo=3", "--stats",
+                 "--trace-json", "-"}),
+            0);
+  std::string text = out_.str();
+  EXPECT_NE(text.find("rewrite.queries = 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("eval.nodes_touched = "), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"evaluate\""), std::string::npos);
 }
 
 TEST_F(CliTest, UnknownCommand) {

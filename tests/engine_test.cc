@@ -93,13 +93,106 @@ TEST_F(EngineTest, ExecuteEnforcesPolicy) {
   auto result = engine_->Execute("nurse", doc_, "//patient/name", options);
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(result->nodes.size(), 2u);  // carol + dave
-  EXPECT_GT(result->work, 0u);
+  EXPECT_GT(result->work(), 0u);
 
   options.bindings = {{"wardNo", "7"}};
   auto other_ward = engine_->Execute("nurse", doc_, "//patient/name",
                                      options);
   ASSERT_TRUE(other_ward.ok());
   EXPECT_TRUE(other_ward->nodes.empty());
+}
+
+TEST_F(EngineTest, ExecuteReportsStructuredStats) {
+  ExecuteOptions options;
+  options.bindings = {{"wardNo", "3"}};
+  auto result = engine_->Execute("nurse", doc_, "//patient/name", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const ExecuteStats& stats = result->stats;
+  EXPECT_GT(stats.nodes_touched, 0u);
+  EXPECT_EQ(stats.nodes_touched, result->work());
+  EXPECT_EQ(stats.result_count, result->nodes.size());
+  EXPECT_FALSE(stats.cache_hit);  // first time this query is prepared
+  EXPECT_EQ(stats.unfold_depth, 0);  // hospital DTD is non-recursive
+  EXPECT_EQ(stats.ast_size_rewritten, PathSize(result->rewritten));
+  EXPECT_EQ(stats.ast_size_evaluated, PathSize(result->evaluated));
+  EXPECT_GT(stats.predicate_evals, 0u);  // the $wardNo qualifier ran
+
+  auto again = engine_->Execute("nurse", doc_, "//patient/name", options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->stats.cache_hit);
+}
+
+TEST_F(EngineTest, MetricsTrackCacheHitsAndQueryCounts) {
+  ExecuteOptions options;
+  options.bindings = {{"wardNo", "3"}};
+  // Each Execute prepares the unoptimized (provenance) and optimized
+  // entries, so a cold query costs two misses and a warm one two hits.
+  ASSERT_TRUE(engine_->Execute("nurse", doc_, "//bill", options).ok());
+  obs::MetricsRegistry& metrics = engine_->metrics();
+  EXPECT_EQ(metrics.GetCounter("engine.rewrite_cache.misses").value(), 2u);
+  EXPECT_EQ(metrics.GetCounter("engine.rewrite_cache.hits").value(), 0u);
+
+  ASSERT_TRUE(engine_->Execute("nurse", doc_, "//bill", options).ok());
+  EXPECT_EQ(metrics.GetCounter("engine.rewrite_cache.misses").value(), 2u);
+  EXPECT_EQ(metrics.GetCounter("engine.rewrite_cache.hits").value(), 2u);
+
+  EXPECT_EQ(metrics.GetCounter("engine.queries").value(), 2u);
+  EXPECT_EQ(metrics.GetCounter("policy.nurse.queries").value(), 2u);
+  EXPECT_GT(metrics.GetCounter("eval.nodes_touched").value(), 0u);
+  EXPECT_GT(metrics.GetCounter("rewrite.queries").value(), 0u);
+  EXPECT_GT(metrics.GetCounter("optimize.queries").value(), 0u);
+}
+
+TEST_F(EngineTest, TraceRecordsPhaseSpans) {
+  obs::Trace trace("test.query");
+  ExecuteOptions options;
+  options.bindings = {{"wardNo", "3"}};
+  options.trace = &trace;
+  ASSERT_TRUE(engine_->Execute("nurse", doc_, "//bill", options).ok());
+  trace.Finish();
+
+  const obs::Span& root = trace.root();
+  const obs::Span* execute = root.FindSpan("execute");
+  ASSERT_NE(execute, nullptr);
+  for (const char* phase : {"parse", "rewrite", "optimize", "bind",
+                            "evaluate"}) {
+    EXPECT_NE(execute->FindSpan(phase), nullptr) << phase;
+  }
+  const std::string* cache = execute->FindAttr("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(*cache, "miss");
+  const obs::Span* evaluate = execute->FindSpan("evaluate");
+  EXPECT_NE(evaluate->FindAttr("nodes_touched"), nullptr);
+
+  // The whole tree exports as valid JSON.
+  auto parsed = obs::Json::Parse(trace.ToJsonString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+}
+
+TEST(EngineOptimizeStatsTest, OptimizedExecutionTouchesFewerNodes) {
+  // On a document big enough for evaluation cost to matter, the DTD-based
+  // optimizer (paper Section 5) must strictly reduce the evaluator's
+  // node-touch count for a descendant query over the nurse view.
+  auto engine = SecureQueryEngine::Create(MakeHospitalDtd());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->RegisterPolicy("nurse", kNursePolicy).ok());
+  auto doc = GenerateDocument(MakeHospitalDtd(),
+                              HospitalGeneratorOptions(3, 200'000));
+  ASSERT_TRUE(doc.ok()) << doc.status();
+
+  ExecuteOptions optimized;
+  optimized.bindings = {{"wardNo", "3"}};
+  optimized.optimize = true;
+  ExecuteOptions unoptimized = optimized;
+  unoptimized.optimize = false;
+
+  auto fast = (*engine)->Execute("nurse", *doc, "//patient//bill", optimized);
+  auto slow = (*engine)->Execute("nurse", *doc, "//patient//bill",
+                                 unoptimized);
+  ASSERT_TRUE(fast.ok()) << fast.status();
+  ASSERT_TRUE(slow.ok()) << slow.status();
+  EXPECT_EQ(fast->nodes, slow->nodes);
+  EXPECT_LT(fast->stats.nodes_touched, slow->stats.nodes_touched);
 }
 
 TEST_F(EngineTest, ExecuteRequiresBindings) {
@@ -233,6 +326,48 @@ TEST(EngineRecursiveTest, RecursiveViewsWorkThroughTheEngine) {
   auto result = (*engine)->Execute("outline", *doc, "//title");
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(result->nodes.size(), 2u);
+}
+
+TEST(EngineRecursiveTest, CacheIsKeyedByUnfoldDepth) {
+  // Regression test for the rewrite-cache key (engine.h): a recursive
+  // view's rewriting is unfolded to the document height, so the same
+  // query over documents of different heights must NOT share a cache
+  // entry — reusing a shallow unfolding on a taller document would
+  // silently drop the deeper matches.
+  RecursiveFixture fixture = MakeRecursiveFixture();
+  auto engine = SecureQueryEngine::Create(std::move(fixture.dtd));
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->RegisterPolicy("outline", fixture.spec_text).ok());
+
+  auto shallow = ParseXml(
+      "<doc><section><title>a</title><meta/></section></doc>");
+  auto deep = ParseXml(
+      "<doc><section><title>a</title><meta>"
+      "<section><title>b</title><meta>"
+      "<section><title>c</title><meta/></section>"
+      "</meta></section>"
+      "</meta></section></doc>");
+  ASSERT_TRUE(shallow.ok());
+  ASSERT_TRUE(deep.ok());
+
+  auto first = (*engine)->Execute("outline", *shallow, "//title");
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->nodes.size(), 1u);
+  EXPECT_FALSE(first->stats.cache_hit);
+
+  // The taller document must be a cache MISS (different depth key) and
+  // must see every nested title.
+  auto second = (*engine)->Execute("outline", *deep, "//title");
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second->nodes.size(), 3u);
+  EXPECT_FALSE(second->stats.cache_hit);
+  EXPECT_GT(second->stats.unfold_depth, first->stats.unfold_depth);
+
+  // Same height again: now it is a hit, and still correct.
+  auto third = (*engine)->Execute("outline", *deep, "//title");
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->nodes.size(), 3u);
+  EXPECT_TRUE(third->stats.cache_hit);
 }
 
 TEST(EngineCreateTest, UnfinalizedDtdIsFinalized) {

@@ -1,0 +1,128 @@
+// Diffs two secview metrics/trace JSON files (the output of a bench's
+// --metrics-json flag, the CLI's --trace-json flag, or the engine's
+// MetricsRegistry::ToJsonString) for bench trajectory tracking:
+//
+//   bench_summary OLD.json NEW.json     # old/new/delta table
+//   bench_summary FILE.json             # flatten one file
+//
+// Every numeric leaf is flattened to a dotted path (arrays indexed as
+// [i]) and compared; keys present in only one file are shown as added
+// or removed. Exit code 0 on success, 1 on I/O or parse errors.
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace secview {
+namespace {
+
+std::optional<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Collects every numeric leaf of `v` into `out` under dotted paths.
+void Flatten(const obs::Json& v, const std::string& prefix,
+             std::map<std::string, double>& out) {
+  switch (v.kind()) {
+    case obs::Json::Kind::kNumber:
+      out[prefix.empty() ? "." : prefix] = v.AsNumber();
+      break;
+    case obs::Json::Kind::kObject:
+      for (const auto& [key, child] : v.members()) {
+        Flatten(child, prefix.empty() ? key : prefix + "." + key, out);
+      }
+      break;
+    case obs::Json::Kind::kArray: {
+      size_t i = 0;
+      for (const obs::Json& child : v.items()) {
+        Flatten(child, prefix + "[" + std::to_string(i++) + "]", out);
+      }
+      break;
+    }
+    default:
+      break;  // strings/bools/nulls are labels, not measurements
+  }
+}
+
+int LoadFlat(const std::string& path, std::map<std::string, double>& out) {
+  std::optional<std::string> text = ReadFile(path);
+  if (!text) {
+    std::fprintf(stderr, "bench_summary: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  Result<obs::Json> doc = obs::Json::Parse(*text);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "bench_summary: %s: %s\n", path.c_str(),
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+  Flatten(*doc, "", out);
+  return 0;
+}
+
+std::string FormatNumber(double v) {
+  char buffer[64];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buffer, sizeof buffer, "%.0f", v);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.3f", v);
+  }
+  return buffer;
+}
+
+int Run(int argc, char** argv) {
+  if (argc != 2 && argc != 3) {
+    std::fprintf(stderr, "usage: bench_summary OLD.json [NEW.json]\n");
+    return 1;
+  }
+  std::map<std::string, double> old_flat;
+  if (LoadFlat(argv[1], old_flat) != 0) return 1;
+  if (argc == 2) {
+    for (const auto& [key, value] : old_flat) {
+      std::printf("%-56s %s\n", key.c_str(), FormatNumber(value).c_str());
+    }
+    return 0;
+  }
+  std::map<std::string, double> new_flat;
+  if (LoadFlat(argv[2], new_flat) != 0) return 1;
+
+  std::printf("%-56s %14s %14s %14s %9s\n", "metric", "old", "new", "delta",
+              "pct");
+  for (const auto& [key, old_value] : old_flat) {
+    auto it = new_flat.find(key);
+    if (it == new_flat.end()) {
+      std::printf("%-56s %14s %14s %14s %9s\n", key.c_str(),
+                  FormatNumber(old_value).c_str(), "-", "-", "removed");
+      continue;
+    }
+    double delta = it->second - old_value;
+    std::string pct = old_value != 0.0
+                          ? FormatNumber(100.0 * delta / old_value) + "%"
+                          : (delta == 0.0 ? "0%" : "inf%");
+    std::printf("%-56s %14s %14s %14s %9s\n", key.c_str(),
+                FormatNumber(old_value).c_str(),
+                FormatNumber(it->second).c_str(), FormatNumber(delta).c_str(),
+                pct.c_str());
+  }
+  for (const auto& [key, new_value] : new_flat) {
+    if (old_flat.count(key)) continue;
+    std::printf("%-56s %14s %14s %14s %9s\n", key.c_str(), "-",
+                FormatNumber(new_value).c_str(), "-", "added");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace secview
+
+int main(int argc, char** argv) { return secview::Run(argc, argv); }
