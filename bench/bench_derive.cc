@@ -5,6 +5,8 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "metrics_emit.h"
+#include "obs/trace.h"
 #include "security/derive.h"
 #include "workload/synthetic.h"
 
@@ -49,7 +51,39 @@ void BM_DeriveHospitalLikeDensity(benchmark::State& state) {
 }
 BENCHMARK(BM_DeriveHospitalLikeDensity)->Arg(8)->Arg(32)->Arg(128);
 
+/// The trajectory-point workload behind --metrics-json: a few layered
+/// derivations at growing DTD sizes, covering derive.views and the
+/// phase.derive.micros histogram deterministically.
+int EmitDeriveMetrics(const std::string& path) {
+  obs::MetricsRegistry registry;
+  const int sizes[][2] = {{4, 4}, {6, 8}, {8, 16}};
+  for (const auto& [layers, width] : sizes) {
+    Dtd dtd = MakeLayeredDtd(layers, width);
+    Rng rng(42);
+    AccessSpec spec = MakeRandomSpec(dtd, rng, /*p_no=*/0.25, /*p_yes=*/0.25,
+                                     /*p_qual=*/0.0);
+    {
+      obs::ScopedTimer timer(&registry.GetHistogram("phase.derive.micros"));
+      auto view = DeriveSecurityView(spec);
+      if (!view.ok()) return 1;
+    }
+    registry.GetCounter("derive.views").Add();
+  }
+  return benchutil::EmitMetricsJson(path, "bench_derive", registry);
+}
+
 }  // namespace
 }  // namespace secview
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string metrics_path =
+      secview::benchutil::ExtractMetricsJsonFlag(&argc, argv);
+  benchmark::Initialize(&argc, &argv[0]);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!metrics_path.empty()) {
+    return secview::EmitDeriveMetrics(metrics_path);
+  }
+  return 0;
+}

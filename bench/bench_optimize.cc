@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "metrics_emit.h"
+#include "obs/trace.h"
 #include "optimize/image_graph.h"
 #include "optimize/optimizer.h"
 #include "optimize/simulation.h"
@@ -83,7 +85,47 @@ void BM_OptimizeRandomQueries(benchmark::State& state) {
 }
 BENCHMARK(BM_OptimizeRandomQueries);
 
+/// The trajectory-point workload behind --metrics-json: the Adex query
+/// suite optimized once each, covering the optimize.* counters and the
+/// phase.optimize.micros histogram deterministically.
+int EmitOptimizeMetrics(const std::string& path) {
+  obs::MetricsRegistry registry;
+  Dtd dtd = MakeAdexDtd();
+  auto optimizer = QueryOptimizer::Create(dtd);
+  auto queries = MakeAdexQueries();
+  if (!optimizer.ok() || !queries.ok()) return 1;
+  for (const auto& [name, query] : queries->All()) {
+    OptimizeStats stats;
+    {
+      obs::ScopedTimer timer(&registry.GetHistogram("phase.optimize.micros"));
+      auto optimized = optimizer->Optimize(query, &stats);
+      if (!optimized.ok()) return 1;
+    }
+    registry.GetCounter("optimize.queries").Add();
+    registry.GetCounter("optimize.dp_entries")
+        .Add(static_cast<uint64_t>(stats.dp_entries));
+    registry.GetCounter("optimize.nonexistence_prunes")
+        .Add(static_cast<uint64_t>(stats.nonexistence_prunes));
+    registry.GetCounter("optimize.simulation_tests")
+        .Add(static_cast<uint64_t>(stats.simulation_tests));
+    registry.GetCounter("optimize.union_prunes")
+        .Add(static_cast<uint64_t>(stats.union_prunes));
+  }
+  return benchutil::EmitMetricsJson(path, "bench_optimize", registry);
+}
+
 }  // namespace
 }  // namespace secview
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string metrics_path =
+      secview::benchutil::ExtractMetricsJsonFlag(&argc, argv);
+  benchmark::Initialize(&argc, &argv[0]);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!metrics_path.empty()) {
+    return secview::EmitOptimizeMetrics(metrics_path);
+  }
+  return 0;
+}

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "metrics_emit.h"
+#include "obs/trace.h"
 #include "rewrite/rewriter.h"
 #include "rewrite/unfold.h"
 #include "security/derive.h"
@@ -88,7 +90,43 @@ void BM_EvaluateUnfoldedRewriting(benchmark::State& state) {
 }
 BENCHMARK(BM_EvaluateUnfoldedRewriting)->Arg(6)->Arg(12)->Arg(24);
 
+/// The trajectory-point workload behind --metrics-json: bounded
+/// unfolding + rewriting of the recursive fixture at several depths,
+/// covering rewrite.unfolds / rewrite.queries and the
+/// phase.unfold.micros / phase.rewrite.micros histograms.
+int EmitRecursiveMetrics(const std::string& path) {
+  obs::MetricsRegistry registry;
+  const RecursiveSetup& setup = RecursiveSetup::Get();
+  PathPtr q = ParseXPath("//section/title").value();
+  for (int depth : {2, 4, 8}) {
+    {
+      obs::ScopedTimer timer(&registry.GetHistogram("phase.unfold.micros"));
+      auto unfolded = UnfoldView(*setup.view, depth);
+      if (!unfolded.ok()) return 1;
+    }
+    registry.GetCounter("rewrite.unfolds").Add();
+    {
+      obs::ScopedTimer timer(&registry.GetHistogram("phase.rewrite.micros"));
+      auto rewritten = RewriteForDocument(*setup.view, q, depth);
+      if (!rewritten.ok()) return 1;
+    }
+    registry.GetCounter("rewrite.queries").Add();
+  }
+  return benchutil::EmitMetricsJson(path, "bench_recursive", registry);
+}
+
 }  // namespace
 }  // namespace secview
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string metrics_path =
+      secview::benchutil::ExtractMetricsJsonFlag(&argc, argv);
+  benchmark::Initialize(&argc, &argv[0]);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!metrics_path.empty()) {
+    return secview::EmitRecursiveMetrics(metrics_path);
+  }
+  return 0;
+}

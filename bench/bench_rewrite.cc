@@ -5,6 +5,8 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "metrics_emit.h"
+#include "obs/trace.h"
 #include "rewrite/rec_paths.h"
 #include "rewrite/rewriter.h"
 #include "security/derive.h"
@@ -90,7 +92,49 @@ BENCHMARK(BM_RewriteViewSizeSweep)
     ->Args({8, 16})
     ->Args({10, 32});
 
+/// The trajectory-point workload behind --metrics-json: the hospital
+/// nurse view rewriting a fixed query set, so the emitted registry
+/// covers rewrite.queries / rewrite.dp_entries and the
+/// phase.rewrite.micros histogram deterministically.
+int EmitRewriteMetrics(const std::string& path) {
+  obs::MetricsRegistry registry;
+  Dtd dtd = MakeHospitalDtd();
+  auto spec = MakeNurseSpec(dtd);
+  auto view = DeriveSecurityView(*spec);
+  if (!view.ok()) return 1;
+  auto rewriter = QueryRewriter::Create(*view);
+  if (!rewriter.ok()) return 1;
+  const char* queries[] = {"//patient//bill", "//bill",
+                           "patientInfo/patient/name",
+                           "//patient/name | //staff"};
+  for (const char* text : queries) {
+    auto q = ParseXPath(text);
+    if (!q.ok()) return 1;
+    RewriteStats stats;
+    {
+      obs::ScopedTimer timer(&registry.GetHistogram("phase.rewrite.micros"));
+      auto rewritten = rewriter->Rewrite(*q, &stats);
+      if (!rewritten.ok()) return 1;
+    }
+    registry.GetCounter("rewrite.queries").Add();
+    registry.GetCounter("rewrite.dp_entries")
+        .Add(static_cast<uint64_t>(stats.dp_entries));
+  }
+  return benchutil::EmitMetricsJson(path, "bench_rewrite", registry);
+}
+
 }  // namespace
 }  // namespace secview
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string metrics_path =
+      secview::benchutil::ExtractMetricsJsonFlag(&argc, argv);
+  benchmark::Initialize(&argc, &argv[0]);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!metrics_path.empty()) {
+    return secview::EmitRewriteMetrics(metrics_path);
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Walkthrough of the observability surface on the hospital example:
+# audit trail, EXPLAIN plans, span traces, and the Prometheus exporter.
+# Everything runs against a throwaway directory; nothing is left behind.
+#
+# Usage: examples/observability_walkthrough.sh [BUILD_DIR]  (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SECVIEW="$BUILD_DIR/src/cli/secview"
+if [[ ! -x "$SECVIEW" ]]; then
+  SECVIEW="$(find "$BUILD_DIR" -name secview -type f -perm -u+x | head -1)"
+fi
+if [[ -z "$SECVIEW" || ! -x "$SECVIEW" ]]; then
+  echo "walkthrough: build the project first (cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+cat > "$WORK/hospital.dtd" <<'EOF'
+<!ELEMENT hospital (dept)*>
+<!ELEMENT dept (clinicalTrial, patientInfo, staffInfo)>
+<!ELEMENT clinicalTrial (patientInfo, test)>
+<!ELEMENT patientInfo (patient)*>
+<!ELEMENT patient (name, wardNo, treatment)>
+<!ELEMENT treatment (trial | regular)>
+<!ELEMENT trial (bill)>
+<!ELEMENT regular (bill, medication)>
+<!ELEMENT staffInfo (staff)*>
+<!ELEMENT staff (doctor | nurse)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT wardNo (#PCDATA)>
+<!ELEMENT test (#PCDATA)>
+<!ELEMENT bill (#PCDATA)>
+<!ELEMENT medication (#PCDATA)>
+<!ELEMENT doctor (#PCDATA)>
+<!ELEMENT nurse (#PCDATA)>
+EOF
+
+cat > "$WORK/nurse.spec" <<'EOF'
+ann(hospital, dept) = [*/patient/wardNo = $wardNo]
+ann(dept, clinicalTrial) = N
+ann(clinicalTrial, patientInfo) = Y
+ann(treatment, trial) = N
+ann(treatment, regular) = N
+ann(trial, bill) = Y
+ann(regular, bill) = Y
+ann(regular, medication) = Y
+EOF
+
+cat > "$WORK/doc.xml" <<'EOF'
+<hospital><dept>
+  <clinicalTrial>
+    <patientInfo><patient><name>carol</name><wardNo>3</wardNo>
+      <treatment><trial><bill>900</bill></trial></treatment>
+    </patient></patientInfo>
+    <test>blood</test>
+  </clinicalTrial>
+  <patientInfo><patient><name>dave</name><wardNo>3</wardNo>
+    <treatment><regular><bill>120</bill><medication>m</medication></regular></treatment>
+  </patient></patientInfo>
+  <staffInfo/>
+</dept></hospital>
+EOF
+
+banner() { printf '\n======== %s ========\n' "$*"; }
+
+banner "1. EXPLAIN: why does '//patient//bill' return what it returns?"
+# No document, no evaluation — just the rewrite decision trail: which
+# sigma annotations fire, what gets pruned (and why), what the optimizer
+# does on top.
+"$SECVIEW" explain --dtd "$WORK/hospital.dtd" --spec "$WORK/nurse.spec" \
+  --query 'dept/patientInfo/patient/name | //clinicalTrial'
+
+banner "2. Audited query with a span trace"
+# --audit-log appends one secview.audit.v1 record; --trace-json dumps the
+# per-phase span tree ('-' = stdout).
+"$SECVIEW" query --dtd "$WORK/hospital.dtd" --spec "$WORK/nurse.spec" \
+  --xml "$WORK/doc.xml" --query '//patient/name' --bind wardNo=3 \
+  --audit-log "$WORK/audit.jsonl" --trace-json "$WORK/trace.json"
+echo "trace spans written to trace.json:"
+head -c 300 "$WORK/trace.json"; echo " ..."
+
+banner "3. A denied query is audited too"
+"$SECVIEW" query --dtd "$WORK/hospital.dtd" --spec "$WORK/nurse.spec" \
+  --xml "$WORK/doc.xml" --query '//patient/name' \
+  --audit-log "$WORK/audit.jsonl" || true
+
+banner "4. The audit trail"
+cat "$WORK/audit.jsonl"
+"$SECVIEW" audit-verify --log "$WORK/audit.jsonl"
+
+banner "5. Prometheus metrics"
+"$SECVIEW" query --dtd "$WORK/hospital.dtd" --spec "$WORK/nurse.spec" \
+  --xml "$WORK/doc.xml" --query '//bill' --bind wardNo=3 \
+  --metrics-prom - --metrics-snapshot-dir "$WORK/snap" | tail -30
+echo "snapshot dir contents:"; ls "$WORK/snap"
+
+banner "done"

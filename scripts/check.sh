@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Pre-commit gate: AddressSanitizer build, full test suite, audit smoke.
+#
+# Usage: scripts/check.sh [BUILD_DIR]   (default: build-asan)
+set -euo pipefail
+
+BUILD_DIR="${1:-build-asan}"
+JOBS="${JOBS:-2}"
+
+cmake -B "$BUILD_DIR" -S . -DSECVIEW_SANITIZE=address
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+scripts/audit_smoke.sh "$BUILD_DIR"
+
+echo "check: all green"

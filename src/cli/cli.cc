@@ -11,6 +11,9 @@
 #include "dtd/normalizer.h"
 #include "dtd/validator.h"
 #include "engine/engine.h"
+#include "engine/explain.h"
+#include "obs/audit.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "security/derive.h"
@@ -41,6 +44,11 @@ usage:
   secview query       --dtd FILE (--spec FILE | --view FILE) --xml FILE
                       --query XPATH [--bind NAME=VALUE]... [--no-optimize]
                       [--extract] [--stats] [--trace-json FILE]
+                      [--audit-log FILE [--audit-max-bytes N]]
+                      [--metrics-prom FILE] [--metrics-snapshot-dir DIR]
+  secview explain     --dtd FILE (--spec FILE | --view FILE) --query XPATH
+                      [--no-optimize] [--height N] [--json]
+  secview audit-verify --log FILE
   secview materialize --dtd FILE --spec FILE --xml FILE [--bind NAME=VALUE]...
   secview generate    --dtd FILE [--bytes N] [--seed N] [--branch N]
   secview help
@@ -58,6 +66,17 @@ engine's metrics summary (per-phase latencies, rewrite/optimize DP and
 prune counters, evaluator node touches); `query --trace-json FILE`
 writes the per-query phase-span tree (parse/unfold/rewrite/optimize/
 bind/evaluate) as JSON to FILE ('-' for stdout).
+
+`query --audit-log FILE` appends one secview.audit.v1 JSONL record per
+execution — successes and denials alike — with size-based rotation at
+--audit-max-bytes (engine path only); `audit-verify` checks such a log
+line by line. `query --metrics-prom FILE` dumps the metrics in the
+Prometheus text format ('-' for stdout); `--metrics-snapshot-dir DIR`
+writes atomic metrics.prom/metrics.json snapshots into DIR. `explain`
+renders the rewrite decision trail — σ annotations fired, subqueries
+pruned and why, DP cells, optimizer actions — without touching any
+document (--json for the secview.explain.v1 document; --height sets the
+unfolding depth for recursive views).
 )";
 
 /// Parsed command line: flags with values, boolean switches, repeated
@@ -76,7 +95,7 @@ Result<Args> ParseArgs(const std::vector<std::string>& argv) {
   for (size_t i = 1; i < argv.size(); ++i) {
     const std::string& arg = argv[i];
     if (arg == "--show-sigma" || arg == "--no-optimize" ||
-        arg == "--extract" || arg == "--stats") {
+        arg == "--extract" || arg == "--stats" || arg == "--json") {
       args.switches[arg] = true;
       continue;
     }
@@ -259,6 +278,23 @@ Status DumpTraceJson(const Args& args, const obs::Trace& trace,
   return Status::OK();
 }
 
+/// Writes the metrics in Prometheus text format to the --metrics-prom
+/// target ('-' = `out`).
+Status DumpPrometheus(const Args& args, const obs::MetricsRegistry& metrics,
+                      std::ostream& out) {
+  auto it = args.values.find("--metrics-prom");
+  if (it == args.values.end()) return Status::OK();
+  std::string text = obs::RenderPrometheusText(metrics.Collect());
+  if (it->second == "-") {
+    out << text;
+    return Status::OK();
+  }
+  std::ofstream file(it->second, std::ios::binary);
+  if (!file) return Status::NotFound("cannot open for writing: " + it->second);
+  file << text;
+  return Status::OK();
+}
+
 Status CmdQuery(const Args& args, std::ostream& out) {
   SECVIEW_ASSIGN_OR_RETURN(DtdBundle bundle, LoadDtdBundle(args));
   SECVIEW_ASSIGN_OR_RETURN(XmlTree doc, LoadXml(args, bundle));
@@ -269,16 +305,52 @@ Status CmdQuery(const Args& args, std::ostream& out) {
   const bool want_stats = args.switches.count("--stats") > 0;
   obs::Trace trace("secview.query");
 
+  if (use_view_file && args.values.count("--audit-log")) {
+    return Status::InvalidArgument(
+        "--audit-log needs the audited engine path; use --spec instead of "
+        "--view");
+  }
+
   if (!use_view_file) {
     SECVIEW_ASSIGN_OR_RETURN(std::unique_ptr<SecureQueryEngine> engine,
                              LoadEngine(args));
+
+    std::unique_ptr<obs::JsonlAuditLog> audit_log;
+    auto audit_path = args.values.find("--audit-log");
+    if (audit_path != args.values.end()) {
+      obs::JsonlAuditLog::Options audit_options;
+      auto max_bytes = args.values.find("--audit-max-bytes");
+      if (max_bytes != args.values.end()) {
+        audit_options.max_bytes =
+            static_cast<uint64_t>(std::stoll(max_bytes->second));
+      }
+      SECVIEW_ASSIGN_OR_RETURN(
+          audit_log, obs::JsonlAuditLog::Open(audit_path->second,
+                                              audit_options));
+    }
+    std::unique_ptr<obs::MetricsSnapshotWriter> snapshots;
+    auto snapshot_dir = args.values.find("--metrics-snapshot-dir");
+    if (snapshot_dir != args.values.end()) {
+      snapshots = std::make_unique<obs::MetricsSnapshotWriter>(
+          &engine->metrics(), snapshot_dir->second);
+      snapshots->Start();
+    }
+
     ExecuteOptions options;
     options.bindings = args.bindings;
     options.optimize = optimize;
     options.trace = &trace;
-    SECVIEW_ASSIGN_OR_RETURN(
-        ExecuteResult result,
-        engine->Execute("policy", doc, query_text, options));
+    options.audit = audit_log.get();
+    Result<ExecuteResult> executed =
+        engine->Execute("policy", doc, query_text, options);
+    // The final snapshot and the audit record must land even when the
+    // query is denied — that is the point of an audit trail.
+    if (snapshots != nullptr) snapshots->Stop();
+    if (!executed.ok()) {
+      SECVIEW_RETURN_IF_ERROR(DumpPrometheus(args, engine->metrics(), out));
+      return executed.status();
+    }
+    ExecuteResult result = std::move(executed).value();
     out << "# rewritten: " << ToXPathString(result.rewritten) << "\n";
     out << "# evaluated: " << ToXPathString(result.evaluated) << "\n";
     out << "# results: " << result.nodes.size() << "\n";
@@ -307,6 +379,14 @@ Status CmdQuery(const Args& args, std::ostream& out) {
           << " ast_evaluated=" << s.ast_size_evaluated << "\n";
       out << engine->metrics().ToText();
     }
+    if (audit_log != nullptr) {
+      out << "# audit: " << audit_log->events() << " event(s) appended to "
+          << audit_log->path() << "\n";
+    }
+    if (snapshots != nullptr) {
+      out << "# metrics snapshot: " << snapshots->dir() << "\n";
+    }
+    SECVIEW_RETURN_IF_ERROR(DumpPrometheus(args, engine->metrics(), out));
     return DumpTraceJson(args, trace, out);
   }
 
@@ -364,7 +444,50 @@ Status CmdQuery(const Args& args, std::ostream& out) {
     out << "\n";
   }
   if (want_stats) out << metrics.ToText();
+  SECVIEW_RETURN_IF_ERROR(DumpPrometheus(args, metrics, out));
   return DumpTraceJson(args, trace, out);
+}
+
+Status CmdExplain(const Args& args, std::ostream& out) {
+  SECVIEW_ASSIGN_OR_RETURN(Dtd dtd, LoadDtd(args));
+  SECVIEW_ASSIGN_OR_RETURN(SecurityView view, LoadView(args, dtd));
+  SECVIEW_ASSIGN_OR_RETURN(std::string query_text, Required(args, "--query"));
+  ExplainOptions options;
+  options.optimize = !args.switches.count("--no-optimize");
+  auto height = args.values.find("--height");
+  if (height != args.values.end()) {
+    options.doc_height = static_cast<int>(std::stoll(height->second));
+  }
+  SECVIEW_ASSIGN_OR_RETURN(QueryExplain explain,
+                           ExplainQuery(dtd, view, query_text, options));
+  explain.policy = "policy";
+  if (args.switches.count("--json")) {
+    out << explain.ToJson().Dump(/*pretty=*/true) << "\n";
+  } else {
+    out << explain.ToText();
+  }
+  return Status::OK();
+}
+
+Status CmdAuditVerify(const Args& args, std::ostream& out) {
+  SECVIEW_ASSIGN_OR_RETURN(std::string path, Required(args, "--log"));
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open audit log: " + path);
+  std::string line;
+  size_t line_no = 0;
+  size_t events = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    Status status = obs::ValidateAuditLine(line);
+    if (!status.ok()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": " + status.message());
+    }
+    ++events;
+  }
+  out << "ok: " << events << " audit events validated\n";
+  return Status::OK();
 }
 
 Status CmdMaterialize(const Args& args, std::ostream& out) {
@@ -425,6 +548,10 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     status = CmdRewrite(*parsed, out);
   } else if (parsed->command == "query") {
     status = CmdQuery(*parsed, out);
+  } else if (parsed->command == "explain") {
+    status = CmdExplain(*parsed, out);
+  } else if (parsed->command == "audit-verify") {
+    status = CmdAuditVerify(*parsed, out);
   } else if (parsed->command == "materialize") {
     status = CmdMaterialize(*parsed, out);
   } else if (parsed->command == "generate") {

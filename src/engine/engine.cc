@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "engine/explain.h"
+#include "obs/audit.h"
 #include "rewrite/unfold.h"
 #include "security/derive.h"
 #include "security/materializer.h"
 #include "security/spec_parser.h"
 #include "xpath/parser.h"
+#include "xpath/printer.h"
 
 namespace secview {
 
@@ -167,6 +170,9 @@ Result<PathPtr> SecureQueryEngine::Prepare(const std::string& policy_name,
     metrics_.GetCounter("rewrite.queries").Add();
     metrics_.GetCounter("rewrite.dp_entries")
         .Add(static_cast<uint64_t>(rstats.dp_entries));
+    if (stats != nullptr) {
+      stats->rewrite_dp_entries += static_cast<uint64_t>(rstats.dp_entries);
+    }
   }
 
   if (optimize && optimizer_.has_value()) {
@@ -189,6 +195,14 @@ Result<PathPtr> SecureQueryEngine::Prepare(const std::string& policy_name,
         .Add(static_cast<uint64_t>(ostats.simulation_tests));
     metrics_.GetCounter("optimize.union_prunes")
         .Add(static_cast<uint64_t>(ostats.union_prunes));
+    if (stats != nullptr) {
+      stats->optimize_dp_entries += static_cast<uint64_t>(ostats.dp_entries);
+      stats->nonexistence_prunes +=
+          static_cast<uint64_t>(ostats.nonexistence_prunes);
+      stats->simulation_tests +=
+          static_cast<uint64_t>(ostats.simulation_tests);
+      stats->union_prunes += static_cast<uint64_t>(ostats.union_prunes);
+    }
   }
   policy.cache.emplace(std::move(cache_key), rewritten);
   metrics_.GetGauge("policy." + policy_name + ".cache_size")
@@ -205,9 +219,11 @@ Result<PathPtr> SecureQueryEngine::Rewrite(const std::string& policy_name,
                  /*trace=*/nullptr, /*stats=*/nullptr);
 }
 
-Result<ExecuteResult> SecureQueryEngine::Execute(
-    const std::string& policy_name, const XmlTree& doc,
-    std::string_view query_text, const ExecuteOptions& options) {
+Status SecureQueryEngine::ExecuteInto(const std::string& policy_name,
+                                      const XmlTree& doc,
+                                      std::string_view query_text,
+                                      const ExecuteOptions& options,
+                                      ExecuteResult& result) {
   obs::ScopedSpan exec_span(options.trace, "execute");
   exec_span.SetAttr("policy", policy_name);
   exec_span.SetAttr("query", std::string(query_text));
@@ -225,7 +241,6 @@ Result<ExecuteResult> SecureQueryEngine::Execute(
 
   const int doc_height = policy->rewriter.has_value() ? 0 : doc.Height();
 
-  ExecuteResult result;
   result.stats.unfold_depth = doc_height;
   SECVIEW_ASSIGN_OR_RETURN(
       PathPtr rewritten,
@@ -271,7 +286,81 @@ Result<ExecuteResult> SecureQueryEngine::Execute(
       .Add(static_cast<uint64_t>(result.nodes.size()));
   exec_span.SetAttr("cache",
                     result.stats.cache_hit ? "hit" : "miss");
+  return Status::OK();
+}
+
+Result<ExecuteResult> SecureQueryEngine::Execute(
+    const std::string& policy_name, const XmlTree& doc,
+    std::string_view query_text, const ExecuteOptions& options) {
+  ExecuteResult result;
+  Status status = ExecuteInto(policy_name, doc, query_text, options, result);
+  if (options.audit != nullptr) {
+    obs::AuditEvent event;
+    event.unix_micros = obs::AuditEvent::NowUnixMicros();
+    event.policy = policy_name;
+    event.query = std::string(query_text);
+    if (!status.ok()) {
+      event.outcome = "error";
+      event.status = StatusCodeToString(status.code());
+      event.error = status.message();
+    }
+    // A failed execution still reports whatever provenance it produced
+    // before failing (e.g. the rewritten query when binding failed).
+    if (result.rewritten != nullptr) {
+      event.rewritten = ToXPathString(result.rewritten);
+    }
+    if (result.evaluated != nullptr) {
+      event.evaluated = ToXPathString(result.evaluated);
+    }
+    const ExecuteStats& s = result.stats;
+    event.results = static_cast<uint64_t>(s.result_count);
+    event.cache_hit = s.cache_hit;
+    event.unfold_depth = s.unfold_depth;
+    event.ast_size_rewritten = s.ast_size_rewritten;
+    event.ast_size_evaluated = s.ast_size_evaluated;
+    event.parse_micros = s.parse_micros;
+    event.rewrite_micros = s.rewrite_micros;
+    event.optimize_micros = s.optimize_micros;
+    event.evaluate_micros = s.evaluate_micros;
+    event.nodes_touched = s.nodes_touched;
+    event.predicate_evals = s.predicate_evals;
+    event.rewrite_dp_entries = s.rewrite_dp_entries;
+    event.optimize_dp_entries = s.optimize_dp_entries;
+    event.nonexistence_prunes = s.nonexistence_prunes;
+    event.simulation_tests = s.simulation_tests;
+    event.union_prunes = s.union_prunes;
+    options.audit->Record(event);
+    metrics_.GetCounter("audit.events").Add();
+  }
+  if (!status.ok()) {
+    metrics_.GetCounter("engine.execute_errors").Add();
+    return status;
+  }
+  if (options.explain != nullptr) {
+    ExplainOptions explain_options;
+    explain_options.optimize = options.optimize;
+    explain_options.doc_height = doc.Height();
+    SECVIEW_ASSIGN_OR_RETURN(
+        *options.explain, Explain(policy_name, query_text, explain_options));
+  }
   return result;
+}
+
+Result<QueryExplain> SecureQueryEngine::Explain(const std::string& policy,
+                                                std::string_view query_text) {
+  return Explain(policy, query_text, ExplainOptions{});
+}
+
+Result<QueryExplain> SecureQueryEngine::Explain(
+    const std::string& policy_name, std::string_view query_text,
+    const ExplainOptions& options) {
+  SECVIEW_ASSIGN_OR_RETURN(Policy* policy, FindPolicy(policy_name));
+  metrics_.GetCounter("engine.explains").Add();
+  SECVIEW_ASSIGN_OR_RETURN(
+      QueryExplain explain,
+      ExplainQuery(*dtd_, policy->view, query_text, options));
+  explain.policy = policy_name;
+  return explain;
 }
 
 namespace {

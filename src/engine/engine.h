@@ -20,6 +20,13 @@
 
 namespace secview {
 
+namespace obs {
+class AuditSink;
+}  // namespace obs
+
+struct QueryExplain;
+struct ExplainOptions;
+
 /// Per-execution options.
 struct ExecuteOptions {
   /// Bindings for the policy's $parameters (e.g. {"wardNo", "3"}).
@@ -32,6 +39,16 @@ struct ExecuteOptions {
   /// When non-null, Execute records its phase-span tree (parse, unfold,
   /// rewrite, optimize, bind, evaluate) into this trace.
   obs::Trace* trace = nullptr;
+
+  /// When non-null, Execute records exactly one audit event into this
+  /// sink — for successes *and* failures (denied/malformed queries show
+  /// up with outcome "error"). See obs/audit.h.
+  obs::AuditSink* audit = nullptr;
+
+  /// When non-null, Execute additionally fills this with the rewrite
+  /// decision trail (see engine/explain.h). Adds a non-cached explain
+  /// pass on top of the normal preparation.
+  QueryExplain* explain = nullptr;
 };
 
 /// Structured per-execution statistics (the successor of the old bare
@@ -57,6 +74,16 @@ struct ExecuteStats {
   uint64_t rewrite_micros = 0;
   uint64_t optimize_micros = 0;
   uint64_t evaluate_micros = 0;
+
+  /// DP table sizes and optimizer prune counts, accumulated across the
+  /// (up to two) preparations of one execution. All zero when every
+  /// preparation was served from the rewrite cache — the work literally
+  /// did not happen again.
+  uint64_t rewrite_dp_entries = 0;
+  uint64_t optimize_dp_entries = 0;
+  uint64_t nonexistence_prunes = 0;
+  uint64_t simulation_tests = 0;
+  uint64_t union_prunes = 0;
 };
 
 /// Execution outcome with provenance, for auditing and the CLI.
@@ -151,6 +178,18 @@ class SecureQueryEngine {
                                 std::string_view query_text,
                                 const ExecuteOptions& options = {});
 
+  /// Renders the rewrite decision trail for a query without evaluating
+  /// it: the (unfolded) view, which σ annotations fired at which steps,
+  /// which subqueries were pruned and why, and what the optimizer did.
+  /// Deterministic — the output carries no timestamps or durations (see
+  /// engine/explain.h). The overload without options uses the defaults
+  /// (optimize on, default unfolding depth for recursive views).
+  Result<QueryExplain> Explain(const std::string& policy,
+                               std::string_view query_text);
+  Result<QueryExplain> Explain(const std::string& policy,
+                               std::string_view query_text,
+                               const ExplainOptions& options);
+
   /// Builds a serialization-safe answer document: the *view* subtrees of
   /// the result nodes, copied under a fresh <results> root. Answers never
   /// contain concealed labels or inaccessible descendants because they
@@ -189,6 +228,13 @@ class SecureQueryEngine {
   Result<PathPtr> Prepare(const std::string& policy_name, Policy& policy,
                           std::string_view query_text, bool optimize,
                           int depth, obs::Trace* trace, ExecuteStats* stats);
+
+  /// Execute minus the audit bookkeeping; fills `result` as far as the
+  /// execution got, so a failing run still exposes partial provenance
+  /// (e.g. the rewritten query when binding failed) to the audit event.
+  Status ExecuteInto(const std::string& policy_name, const XmlTree& doc,
+                     std::string_view query_text,
+                     const ExecuteOptions& options, ExecuteResult& result);
 
   std::unique_ptr<Dtd> dtd_;
   std::optional<QueryOptimizer> optimizer_;

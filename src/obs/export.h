@@ -1,0 +1,93 @@
+#ifndef SECVIEW_OBS_EXPORT_H_
+#define SECVIEW_OBS_EXPORT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+
+namespace secview::obs {
+
+/// Maps a dotted secview metric name onto the Prometheus name grammar
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*): every invalid character (including the
+/// dots) becomes '_', and `ns` is prepended as "<ns>_". E.g.
+/// "policy.nurse.cache_size" -> "secview_policy_nurse_cache_size".
+std::string PrometheusMetricName(std::string_view name,
+                                 std::string_view ns = "secview");
+
+/// Renders a metrics snapshot in the Prometheus text exposition format
+/// (version 0.0.4): counters as "<name>_total" with "# TYPE ... counter",
+/// gauges verbatim, histograms as cumulative "<name>_bucket{le="..."}"
+/// series ending in le="+Inf" plus "<name>_sum" / "<name>_count".
+/// Bucket bounds are the registry's microsecond bounds, rendered as
+/// integers. The output ends with a newline, as scrapers require.
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot,
+                                 std::string_view ns = "secview");
+
+/// Checks `text` against the Prometheus text-format grammar: comment and
+/// TYPE/HELP lines, metric lines "<name>[{labels}] <value> [timestamp]"
+/// with valid names, label syntax, and float values. Returns the first
+/// violation with its line number.
+Status ValidatePrometheusText(std::string_view text);
+
+/// Periodically writes consistent snapshots of a MetricsRegistry into a
+/// directory as both Prometheus text ("metrics.prom") and the
+/// secview.metrics.v1 JSON document ("metrics.json"). Each write goes to
+/// a temporary file in the same directory followed by an atomic rename,
+/// so scrapers and `node_exporter`-style textfile collectors never read
+/// a torn snapshot. Start() launches the interval loop; Stop() (and the
+/// destructor) joins it after writing one final snapshot, so short-lived
+/// processes still leave a complete artifact behind.
+class MetricsSnapshotWriter {
+ public:
+  struct Options {
+    std::chrono::milliseconds interval{10'000};
+    std::string prom_filename = "metrics.prom";
+    std::string json_filename = "metrics.json";
+    std::string ns = "secview";  ///< Prometheus name prefix
+  };
+
+  /// `registry` must outlive the writer. The directory is created on the
+  /// first write if missing.
+  MetricsSnapshotWriter(const MetricsRegistry* registry, std::string dir);
+  MetricsSnapshotWriter(const MetricsRegistry* registry, std::string dir,
+                        Options options);
+  ~MetricsSnapshotWriter();
+
+  MetricsSnapshotWriter(const MetricsSnapshotWriter&) = delete;
+  MetricsSnapshotWriter& operator=(const MetricsSnapshotWriter&) = delete;
+
+  /// Takes one snapshot and writes both files (atomic rename). Usable
+  /// without Start() for one-shot exports.
+  Status WriteOnce();
+
+  void Start();
+  /// Idempotent; writes a final snapshot before joining the loop thread.
+  void Stop();
+
+  uint64_t writes() const { return writes_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  void Loop();
+
+  const MetricsRegistry* registry_;
+  std::string dir_;
+  Options options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+  std::atomic<uint64_t> writes_{0};
+};
+
+}  // namespace secview::obs
+
+#endif  // SECVIEW_OBS_EXPORT_H_

@@ -302,6 +302,43 @@ class Parser {
     }
   }
 
+  Result<unsigned> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code += static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code += static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code += static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        return Error("invalid \\u escape");
+      }
+    }
+    return code;
+  }
+
+  static void AppendUtf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
   Result<std::string> ParseString() {
     Consume('"');
     std::string out;
@@ -340,33 +377,30 @@ class Parser {
           out.push_back('\t');
           break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code += static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code += static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code += static_cast<unsigned>(h - 'A' + 10);
+          SECVIEW_ASSIGN_OR_RETURN(unsigned code, ParseHex4());
+          // Recombine surrogate pairs into one code point so non-BMP
+          // text (e.g. emoji in audit-logged query strings) round-trips
+          // as valid UTF-8 rather than CESU-8. Unpaired surrogates
+          // decode to U+FFFD, matching common lenient parsers.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 <= text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              size_t mark = pos_;
+              pos_ += 2;
+              SECVIEW_ASSIGN_OR_RETURN(unsigned low, ParseHex4());
+              if (low >= 0xDC00 && low <= 0xDFFF) {
+                code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+              } else {
+                pos_ = mark;  // re-read the escape as its own code point
+                code = 0xFFFD;
+              }
             } else {
-              return Error("invalid \\u escape");
+              code = 0xFFFD;
             }
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            code = 0xFFFD;  // low surrogate with no preceding high
           }
-          // UTF-8 encode (surrogate pairs are not recombined; the
-          // exporters never emit them).
-          if (code < 0x80) {
-            out.push_back(static_cast<char>(code));
-          } else if (code < 0x800) {
-            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
-            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
-            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
-            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          }
+          AppendUtf8(out, code);
           break;
         }
         default:

@@ -72,7 +72,8 @@ class Json {
   std::string Dump(bool pretty = false) const;
 
   /// Strict-enough parser for everything Dump produces (and ordinary
-  /// hand-written JSON): nested values, string escapes incl. \uXXXX,
+  /// hand-written JSON): nested values, string escapes incl. \uXXXX with
+  /// surrogate-pair recombination (unpaired surrogates decode to U+FFFD),
   /// scientific numbers. Trailing garbage is an error.
   static Result<Json> Parse(std::string_view text);
 

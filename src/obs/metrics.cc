@@ -93,34 +93,59 @@ void MetricsRegistry::Reset() {
   for (auto& [name, h] : histograms_) h->Reset();
 }
 
-Json MetricsRegistry::ToJson() const {
+MetricsSnapshot MetricsRegistry::Collect() const {
   std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snapshot.counters.emplace_back(name, c->value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snapshot.gauges.emplace_back(name, g->value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramSnapshot hist;
+    hist.name = name;
+    hist.bounds = h->bounds();
+    hist.buckets = h->BucketCounts();
+    // Derive count from the buckets so count == sum(buckets) within the
+    // snapshot even under concurrent Observe calls.
+    for (uint64_t b : hist.buckets) hist.count += b;
+    hist.sum = h->sum();
+    snapshot.histograms.push_back(std::move(hist));
+  }
+  return snapshot;
+}
+
+Json MetricsRegistry::ToJson() const {
+  MetricsSnapshot snapshot = Collect();
   Json root = Json::Object();
   Json counters = Json::Object();
-  for (const auto& [name, c] : counters_) counters.Set(name, c->value());
+  for (const auto& [name, value] : snapshot.counters) counters.Set(name, value);
   root.Set("counters", std::move(counters));
   Json gauges = Json::Object();
-  for (const auto& [name, g] : gauges_) gauges.Set(name, g->value());
+  for (const auto& [name, value] : snapshot.gauges) gauges.Set(name, value);
   root.Set("gauges", std::move(gauges));
   Json histograms = Json::Object();
-  for (const auto& [name, h] : histograms_) {
+  for (const MetricsSnapshot::HistogramSnapshot& h : snapshot.histograms) {
     Json hist = Json::Object();
-    hist.Set("count", h->count());
-    hist.Set("sum", h->sum());
+    hist.Set("count", h.count);
+    hist.Set("sum", h.sum);
     Json buckets = Json::Array();
-    std::vector<uint64_t> counts = h->BucketCounts();
-    for (size_t i = 0; i < counts.size(); ++i) {
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
       Json bucket = Json::Object();
-      if (i < h->bounds().size()) {
-        bucket.Set("le", h->bounds()[i]);
+      if (i < h.bounds.size()) {
+        bucket.Set("le", h.bounds[i]);
       } else {
         bucket.Set("le", "inf");
       }
-      bucket.Set("count", counts[i]);
+      bucket.Set("count", h.buckets[i]);
       buckets.Append(std::move(bucket));
     }
     hist.Set("buckets", std::move(buckets));
-    histograms.Set(name, std::move(hist));
+    histograms.Set(h.name, std::move(hist));
   }
   root.Set("histograms", std::move(histograms));
   return root;

@@ -69,6 +69,27 @@ class Histogram {
   std::atomic<uint64_t> sum_{0};
 };
 
+/// A point-in-time copy of every instrument in a registry, taken under
+/// one lock acquisition so exporters (JSON, text, Prometheus, snapshot
+/// files) all see the same set of instruments. Instrument lists are
+/// sorted by name. A histogram's `count` is derived from its bucket
+/// counts, so count == sum(buckets) always holds within a snapshot even
+/// when other threads are concurrently observing (`sum` may trail by the
+/// in-flight observations).
+struct MetricsSnapshot {
+  struct HistogramSnapshot {
+    std::string name;
+    std::vector<uint64_t> bounds;   ///< inclusive upper bounds
+    std::vector<uint64_t> buckets;  ///< bounds.size() + 1; last = overflow
+    uint64_t count = 0;             ///< == sum of `buckets`
+    uint64_t sum = 0;
+  };
+
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
 /// Name -> instrument registry. Instrument lookup/creation takes a mutex;
 /// the returned references stay valid for the registry's lifetime, so hot
 /// paths resolve a name once and then update lock-free. Names use dotted
@@ -88,6 +109,11 @@ class MetricsRegistry {
 
   /// Zeroes every instrument (registrations survive).
   void Reset();
+
+  /// Consistent snapshot of every instrument (see MetricsSnapshot). All
+  /// exporters below are defined in terms of Collect, so a document
+  /// rendered from one snapshot never mixes instrument sets.
+  MetricsSnapshot Collect() const;
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {name:
   ///  {"count": n, "sum": s, "buckets": [{"le": bound, "count": c}...]}}}

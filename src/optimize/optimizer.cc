@@ -5,6 +5,7 @@
 
 #include "optimize/image_graph.h"
 #include "optimize/simulation.h"
+#include "xpath/printer.h"
 
 namespace secview {
 
@@ -41,7 +42,11 @@ class OptimizeDp {
  public:
   OptimizeDp(const DtdGraph& graph, const DtdPathIndex& index,
              OptimizeStats* stats)
-      : graph_(graph), dtd_(graph.dtd()), index_(index), stats_(stats) {}
+      : graph_(graph),
+        dtd_(graph.dtd()),
+        index_(index),
+        stats_(stats),
+        explain_(stats != nullptr && stats->collect_explain) {}
 
   PathPtr Run(const PathPtr& p, TypeId a) {
     PathPtr normalized = NormalizeQualifierSteps(p);
@@ -82,6 +87,12 @@ class OptimizeDp {
           r.Add(c, p);
         } else if (stats_ != nullptr) {
           ++stats_->nonexistence_prunes;
+          if (explain_) {
+            stats_->prune_trail.push_back(
+                {"nonexistence", dtd_.TypeName(a),
+                 "label '" + p->label + "' is not a child of '" +
+                     dtd_.TypeName(a) + "' in any instance of the DTD"});
+          }
         }
         return r;
       }
@@ -127,12 +138,30 @@ class OptimizeDp {
         ImageGraph g2 = BuildImageGraph(graph_, right.Total(), a);
         if (stats_ != nullptr) ++stats_->simulation_tests;
         if (Simulates(g1, g2)) {  // p1 redundant
-          if (stats_ != nullptr) ++stats_->union_prunes;
+          if (stats_ != nullptr) {
+            ++stats_->union_prunes;
+            if (explain_) {
+              stats_->prune_trail.push_back(
+                  {"union-simulation", dtd_.TypeName(a),
+                   "branch '" + ToXPathString(left.Total()) +
+                       "' is contained in '" + ToXPathString(right.Total()) +
+                       "' (simulation); the union keeps only the latter"});
+            }
+          }
           return right;
         }
         if (stats_ != nullptr) ++stats_->simulation_tests;
         if (Simulates(g2, g1)) {  // p2 redundant
-          if (stats_ != nullptr) ++stats_->union_prunes;
+          if (stats_ != nullptr) {
+            ++stats_->union_prunes;
+            if (explain_) {
+              stats_->prune_trail.push_back(
+                  {"union-simulation", dtd_.TypeName(a),
+                   "branch '" + ToXPathString(right.Total()) +
+                       "' is contained in '" + ToXPathString(left.Total()) +
+                       "' (simulation); the union keeps only the former"});
+            }
+          }
           return left;
         }
         for (const auto& [target, q] : left.by_target) r.Add(target, q);
@@ -144,7 +173,14 @@ class OptimizeDp {
         QualPtr optimized = OptQual(p->qualifier, a);
         QualPtr simplified = SimplifyQualifier(graph_, optimized, a);
         PathPtr out = MakeQualified(MakeEpsilon(), std::move(simplified));
-        if (out->kind != PathKind::kEmptySet) r.Add(a, std::move(out));
+        if (out->kind != PathKind::kEmptySet) {
+          r.Add(a, std::move(out));
+        } else if (explain_) {
+          stats_->prune_trail.push_back(
+              {"qualifier-false", dtd_.TypeName(a),
+               "the DTD's constraints decide the qualifier to false at '" +
+                   dtd_.TypeName(a) + "'; the qualified step never matches"});
+        }
         return r;
       }
     }
@@ -178,6 +214,7 @@ class OptimizeDp {
   const Dtd& dtd_;
   const DtdPathIndex& index_;
   OptimizeStats* stats_;
+  const bool explain_;
   std::unordered_map<const PathExpr*, std::unordered_map<TypeId, OptResult>>
       memo_;
 };

@@ -2,6 +2,8 @@
 #define SECVIEW_OPTIMIZE_OPTIMIZER_H_
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "dtd/dtd.h"
@@ -13,6 +15,9 @@ namespace secview {
 
 /// What one optimizer run did, for observability: DP-table sizes plus the
 /// pruning decisions that make optimized queries cheaper to evaluate.
+/// With `collect_explain` set before the run, every pruning decision is
+/// additionally recorded with its context and reason for EXPLAIN
+/// rendering (engine/explain.h).
 struct OptimizeStats {
   size_t dp_path_nodes = 0;        ///< distinct sub-queries memoized
   size_t dp_entries = 0;           ///< filled (sub-query, type) cells
@@ -20,6 +25,17 @@ struct OptimizeStats {
   size_t simulation_tests = 0;     ///< containment (simulation) checks run
   size_t union_prunes = 0;         ///< union branches proven redundant
   int output_size = 0;             ///< |optimize(p)| (AST nodes)
+
+  /// Opt-in: the trail allocates strings per pruning decision.
+  bool collect_explain = false;
+
+  struct Prune {
+    /// "nonexistence" | "union-simulation" | "qualifier-false".
+    std::string kind;
+    std::string at;  ///< DTD type the sub-query was optimized at
+    std::string detail;
+  };
+  std::vector<Prune> prune_trail;
 };
 
 /// Algorithm optimize (paper Fig. 10): rewrites an XPath query into an

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "rewrite/unfold.h"
+#include "xpath/printer.h"
 
 namespace secview {
 
@@ -46,6 +47,8 @@ class RewriteDp {
       : view_(view), reach_(reach) {}
 
   Result<PathPtr> Run(const PathPtr& p, RewriteStats* stats) {
+    stats_ = stats;
+    explain_ = stats != nullptr && stats->collect_explain;
     PathPtr normalized = NormalizeQualifierSteps(p);
     const Translation& t = Rw(normalized, view_.root());
     PathPtr out = t.Total();
@@ -71,6 +74,22 @@ class RewriteDp {
   }
 
   Translation Compute(const PathPtr& p, ViewTypeId a) {
+    Translation t = ComputeImpl(p, a);
+    if (explain_) {
+      RewriteStats::DpCell cell;
+      cell.view_type = view_.type(a).name;
+      cell.subquery = ToXPathString(p);
+      cell.targets.reserve(t.by_target.size());
+      for (const auto& [target, q] : t.by_target) {
+        (void)q;
+        cell.targets.push_back(view_.type(target).name);
+      }
+      stats_->dp_cells.push_back(std::move(cell));
+    }
+    return t;
+  }
+
+  Translation ComputeImpl(const PathPtr& p, ViewTypeId a) {
     Translation t;
     switch (p->kind) {
       case PathKind::kEmptySet:
@@ -83,7 +102,18 @@ class RewriteDp {
         for (const SecurityView::Edge& e : view_.Edges(a)) {
           if (view_.type(e.child).base_label == p->label) {
             t.Add(e.child, e.sigma);
+            if (explain_) {
+              stats_->sigma_firings.push_back({p->label, view_.type(a).name,
+                                               view_.type(e.child).name,
+                                               ToXPathString(e.sigma)});
+            }
           }
+        }
+        if (explain_ && t.empty()) {
+          stats_->prunes.push_back(
+              {p->label, view_.type(a).name,
+               "no view edge of '" + view_.type(a).name + "' matches label '" +
+                   p->label + "' (nonexistence)"});
         }
         return t;
       }
@@ -91,6 +121,16 @@ class RewriteDp {
         // Case 3: union of sigma(A, v) over all child types v.
         for (const SecurityView::Edge& e : view_.Edges(a)) {
           t.Add(e.child, e.sigma);
+          if (explain_) {
+            stats_->sigma_firings.push_back({"*", view_.type(a).name,
+                                             view_.type(e.child).name,
+                                             ToXPathString(e.sigma)});
+          }
+        }
+        if (explain_ && t.empty()) {
+          stats_->prunes.push_back(
+              {"*", view_.type(a).name,
+               "view type '" + view_.type(a).name + "' has no child types"});
         }
         return t;
       }
@@ -147,6 +187,12 @@ class RewriteDp {
         // test is false on the view, so it must not consult the document.
         if (view_.type(a).all_attributes_hidden ||
             view_.IsAttributeHidden(a, q->attr)) {
+          if (explain_) {
+            stats_->prunes.push_back(
+                {"[@" + q->attr + "]", view_.type(a).name,
+                 "attribute '" + q->attr +
+                     "' is hidden in the view; the test is false"});
+          }
           return MakeQualFalse();
         }
         return q;
@@ -168,6 +214,13 @@ class RewriteDp {
             // existence.
             piece = MakeQualPath(path);
           } else {
+            if (explain_) {
+              stats_->prunes.push_back(
+                  {ToXPathString(q->path), view_.type(target).name,
+                   "text of '" + view_.type(target).name +
+                       "' is concealed in the view; the equality can never "
+                       "hold"});
+            }
             continue;  // can never hold in the view
           }
           out = MakeQualOr(std::move(out), std::move(piece));
@@ -186,6 +239,8 @@ class RewriteDp {
 
   const SecurityView& view_;
   const ViewReachability& reach_;
+  RewriteStats* stats_ = nullptr;
+  bool explain_ = false;
   std::unordered_map<const PathExpr*, std::unordered_map<ViewTypeId, Translation>>
       path_memo_;
 };

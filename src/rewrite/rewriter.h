@@ -2,6 +2,8 @@
 #define SECVIEW_REWRITE_REWRITER_H_
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "rewrite/rec_paths.h"
@@ -12,11 +14,50 @@ namespace secview {
 
 /// Size of the rewriting dynamic program, for observability: how many
 /// distinct (sub-query, view type) cells the memo table filled, over how
-/// many distinct sub-query AST nodes.
+/// many distinct sub-query AST nodes. When `collect_explain` is set
+/// before the run, the rewriter additionally records its decision trail
+/// (which σ annotations fired, which sub-queries it pruned and why, the
+/// DP cells it filled) for EXPLAIN rendering — see engine/explain.h.
 struct RewriteStats {
   size_t dp_path_nodes = 0;  ///< distinct sub-queries memoized
   size_t dp_entries = 0;     ///< filled (sub-query, view type) cells
   int output_size = 0;       ///< |rw(p)| (AST nodes of the result)
+
+  /// Opt-in: the trail below allocates strings per DP decision, so the
+  /// hot path leaves it off.
+  bool collect_explain = false;
+
+  /// One σ annotation substituted for a query step (the paper's case 2/3:
+  /// a label or wildcard step at view type `at` resolving to child type
+  /// `child` through the view edge's extraction query σ(at, child)).
+  struct SigmaFiring {
+    std::string step;   ///< the view-query step ("ward", "*")
+    std::string at;     ///< view type the step was rewritten at
+    std::string child;  ///< view type the σ annotation leads to
+    std::string sigma;  ///< serialized σ(at, child)
+  };
+
+  /// One sub-query dropped during rewriting: a step no view edge matches
+  /// (the view-level analogue of the optimizer's non-existence pruning),
+  /// or a qualifier the view decides to false (hidden attribute,
+  /// concealed text).
+  struct Prune {
+    std::string step;    ///< the pruned step / qualifier
+    std::string at;      ///< view type it was being rewritten at
+    std::string reason;
+  };
+
+  /// One filled rw(p', A) cell with its reachable target types, in the
+  /// (deterministic) order the DP first computed them.
+  struct DpCell {
+    std::string view_type;             ///< context type A
+    std::string subquery;              ///< serialized sub-query p'
+    std::vector<std::string> targets;  ///< reach(p', A)
+  };
+
+  std::vector<SigmaFiring> sigma_firings;
+  std::vector<Prune> prunes;
+  std::vector<DpCell> dp_cells;
 };
 
 /// Algorithm rewrite (paper Fig. 6): transforms an XPath query p posed

@@ -1,0 +1,280 @@
+#include "obs/audit.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "workload/hospital.h"
+#include "xml/parser.h"
+
+namespace secview {
+namespace {
+
+using obs::AuditEvent;
+using obs::JsonlAuditLog;
+using obs::ValidateAuditLine;
+
+constexpr char kNursePolicy[] = R"(
+  ann(hospital, dept) = [*/patient/wardNo = $wardNo]
+  ann(dept, clinicalTrial) = N
+  ann(clinicalTrial, patientInfo) = Y
+  ann(treatment, trial) = N
+  ann(treatment, regular) = N
+  ann(trial, bill) = Y
+  ann(regular, bill) = Y
+  ann(regular, medication) = Y
+)";
+
+constexpr char kDoc[] = R"(
+  <hospital><dept>
+    <patientInfo>
+      <patient><name>dave</name><wardNo>3</wardNo>
+        <treatment><regular><bill>120</bill><medication>m</medication></regular></treatment>
+      </patient>
+    </patientInfo>
+    <staffInfo><staff><nurse>sue</nurse></staff></staffInfo>
+  </dept></hospital>
+)";
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+AuditEvent MakeOkEvent(const std::string& query) {
+  AuditEvent event;
+  event.unix_micros = AuditEvent::NowUnixMicros();
+  event.policy = "nurse";
+  event.query = query;
+  event.rewritten = "dept/dummy1/patientInfo";
+  event.evaluated = "dept/dummy1/patientInfo";
+  event.results = 2;
+  return event;
+}
+
+TEST(AuditLogTest, RecordsValidSchemaLines) {
+  std::string path = TempPath("audit_basic.jsonl");
+  std::filesystem::remove(path);
+  auto log = JsonlAuditLog::Open(path);
+  ASSERT_TRUE(log.ok()) << log.status();
+  (*log)->Record(MakeOkEvent("//patient"));
+  (*log)->Record(MakeOkEvent("//bill"));
+  EXPECT_EQ((*log)->events(), 2u);
+  EXPECT_EQ((*log)->rotations(), 0u);
+
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(ValidateAuditLine(line).ok())
+        << ValidateAuditLine(line).ToString() << "\n" << line;
+  }
+  // The sink stamps a monotone sequence.
+  auto first = obs::Json::Parse(lines[0]);
+  auto second = obs::Json::Parse(lines[1]);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(first->Find("seq")->AsNumber(), 1);
+  EXPECT_EQ(second->Find("seq")->AsNumber(), 2);
+}
+
+TEST(AuditLogTest, AppendsAcrossReopen) {
+  std::string path = TempPath("audit_reopen.jsonl");
+  std::filesystem::remove(path);
+  {
+    auto log = JsonlAuditLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    (*log)->Record(MakeOkEvent("//patient"));
+    (*log)->Record(MakeOkEvent("//bill"));
+  }
+  {
+    auto log = JsonlAuditLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    (*log)->Record(MakeOkEvent("//name"));
+  }
+  EXPECT_EQ(ReadLines(path).size(), 3u);
+}
+
+TEST(AuditLogTest, RotationKeepsEveryLineValid) {
+  std::string path = TempPath("audit_rotate.jsonl");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".1");
+  std::filesystem::remove(path + ".2");
+
+  JsonlAuditLog::Options options;
+  options.max_bytes = 600;  // a handful of events per file
+  auto log = JsonlAuditLog::Open(path, options);
+  ASSERT_TRUE(log.ok()) << log.status();
+  for (int i = 0; i < 12; ++i) {
+    (*log)->Record(MakeOkEvent("//patient[" + std::to_string(i) + "]"));
+  }
+  ASSERT_GT((*log)->rotations(), 0u);
+
+  size_t total = 0;
+  std::vector<std::string> files = {path};
+  for (uint64_t r = 1; r <= (*log)->rotations(); ++r) {
+    files.push_back(path + "." + std::to_string(r));
+  }
+  for (const std::string& file : files) {
+    ASSERT_TRUE(std::filesystem::exists(file)) << file;
+    std::vector<std::string> lines = ReadLines(file);
+    EXPECT_FALSE(lines.empty()) << file;
+    for (const std::string& line : lines) {
+      EXPECT_TRUE(ValidateAuditLine(line).ok())
+          << file << ": " << ValidateAuditLine(line).ToString();
+    }
+    // No file grows far past the rotation threshold (one event of slack).
+    EXPECT_LE(std::filesystem::file_size(file), 2 * options.max_bytes) << file;
+    total += lines.size();
+  }
+  EXPECT_EQ(total, 12u);
+}
+
+TEST(AuditLogTest, ConcurrentWritersNeverTearLines) {
+  std::string path = TempPath("audit_threads.jsonl");
+  std::filesystem::remove(path);
+  auto log = JsonlAuditLog::Open(path);
+  ASSERT_TRUE(log.ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        (*log)->Record(
+            MakeOkEvent("//t" + std::to_string(t) + "_" + std::to_string(i)));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ((*log)->events(), uint64_t{kThreads * kPerThread});
+
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), size_t{kThreads * kPerThread});
+  std::vector<bool> seen(kThreads * kPerThread + 1, false);
+  for (const std::string& line : lines) {
+    ASSERT_TRUE(ValidateAuditLine(line).ok())
+        << ValidateAuditLine(line).ToString() << "\n" << line;
+    auto parsed = obs::Json::Parse(line);
+    ASSERT_TRUE(parsed.ok());
+    int seq = static_cast<int>(parsed->Find("seq")->AsNumber());
+    ASSERT_GE(seq, 1);
+    ASSERT_LE(seq, kThreads * kPerThread);
+    EXPECT_FALSE(seen[seq]) << "duplicate seq " << seq;
+    seen[seq] = true;
+  }
+}
+
+TEST(AuditLogTest, OpenRejectsBadArguments) {
+  EXPECT_FALSE(JsonlAuditLog::Open("").ok());
+  JsonlAuditLog::Options zero;
+  zero.max_bytes = 0;
+  EXPECT_FALSE(JsonlAuditLog::Open(TempPath("x.jsonl"), zero).ok());
+}
+
+TEST(AuditValidateTest, RejectsMalformedRecords) {
+  // Build a known-good line, then derive broken variants from it.
+  AuditEvent event = MakeOkEvent("//bill");
+  event.seq = 1;
+  std::string good = event.ToJson().Dump(/*pretty=*/false);
+  ASSERT_TRUE(ValidateAuditLine(good).ok());
+
+  EXPECT_FALSE(ValidateAuditLine("not json").ok());
+  EXPECT_FALSE(ValidateAuditLine("[1,2]").ok());
+  EXPECT_FALSE(ValidateAuditLine("{}").ok());
+
+  auto mutate = [&event](auto&& change) {
+    AuditEvent copy = event;
+    change(copy);
+    return copy.ToJson().Dump(/*pretty=*/false);
+  };
+  // outcome/status invariants
+  EXPECT_FALSE(
+      ValidateAuditLine(mutate([](AuditEvent& e) { e.outcome = "maybe"; }))
+          .ok());
+  EXPECT_FALSE(
+      ValidateAuditLine(mutate([](AuditEvent& e) { e.status = "NOT_FOUND"; }))
+          .ok());  // ok outcome with non-OK status
+  EXPECT_FALSE(
+      ValidateAuditLine(mutate([](AuditEvent& e) { e.error = "boom"; })).ok());
+  EXPECT_FALSE(ValidateAuditLine(mutate([](AuditEvent& e) {
+                 e.outcome = "error";  // error outcome needs non-OK status
+               })).ok());
+  EXPECT_FALSE(
+      ValidateAuditLine(mutate([](AuditEvent& e) { e.seq = 0; })).ok());
+  // An error event done right passes.
+  EXPECT_TRUE(ValidateAuditLine(mutate([](AuditEvent& e) {
+                e.outcome = "error";
+                e.status = "FAILED_PRECONDITION";
+                e.error = "unbound parameter $wardNo";
+              })).ok());
+  // wrong schema tag
+  std::string wrong = good;
+  size_t at = wrong.find("secview.audit.v1");
+  ASSERT_NE(at, std::string::npos);
+  wrong.replace(at, 16, "secview.audit.v9");
+  EXPECT_FALSE(ValidateAuditLine(wrong).ok());
+}
+
+TEST(AuditEngineTest, ExecuteRecordsOkAndErrorOutcomes) {
+  std::string path = TempPath("audit_engine.jsonl");
+  std::filesystem::remove(path);
+  auto log = JsonlAuditLog::Open(path);
+  ASSERT_TRUE(log.ok());
+
+  auto engine = SecureQueryEngine::Create(MakeHospitalDtd());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->RegisterPolicy("nurse", kNursePolicy).ok());
+  auto doc = ParseXml(kDoc);
+  ASSERT_TRUE(doc.ok());
+
+  ExecuteOptions options;
+  options.audit = log->get();
+  options.bindings = {{"wardNo", "3"}};
+  ASSERT_TRUE((*engine)->Execute("nurse", *doc, "//patient/name", options).ok());
+
+  // A denied execution (missing binding) must also land in the trail.
+  ExecuteOptions unbound;
+  unbound.audit = log->get();
+  auto denied = (*engine)->Execute("nurse", *doc, "//patient/name", unbound);
+  ASSERT_FALSE(denied.ok());
+
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(ValidateAuditLine(line).ok())
+        << ValidateAuditLine(line).ToString() << "\n" << line;
+  }
+  auto ok_record = obs::Json::Parse(lines[0]);
+  ASSERT_TRUE(ok_record.ok());
+  EXPECT_EQ(ok_record->Find("outcome")->AsString(), "ok");
+  EXPECT_EQ(ok_record->Find("policy")->AsString(), "nurse");
+  EXPECT_EQ(ok_record->Find("query")->AsString(), "//patient/name");
+  EXPECT_EQ(ok_record->Find("results")->AsNumber(), 1);
+  EXPECT_FALSE(ok_record->Find("rewritten")->AsString().empty());
+  EXPECT_GT(ok_record->Find("dp")->Find("rewrite_entries")->AsNumber(), 0);
+
+  auto err_record = obs::Json::Parse(lines[1]);
+  ASSERT_TRUE(err_record.ok());
+  EXPECT_EQ(err_record->Find("outcome")->AsString(), "error");
+  EXPECT_NE(err_record->Find("status")->AsString(), "OK");
+  EXPECT_FALSE(err_record->Find("error")->AsString().empty());
+  // The engine's audit counter saw both executions.
+  EXPECT_EQ((*engine)->metrics().GetCounter("audit.events").value(), 2u);
+}
+
+}  // namespace
+}  // namespace secview

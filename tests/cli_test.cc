@@ -402,6 +402,138 @@ TEST_F(CliTest, MissingFilesReported) {
   EXPECT_NE(err_.str().find("cannot open"), std::string::npos);
 }
 
+TEST_F(CliTest, QueryAuditLogRecordsOkAndDeniedThenVerifies) {
+  std::string log = Path("audit.jsonl");
+  std::remove(log.c_str());
+
+  // A successful query appends an "ok" record and reports the count.
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--query",
+                 "//patient/name", "--bind", "wardNo=3", "--audit-log", log}),
+            0);
+  EXPECT_NE(out_.str().find("# audit: 1 event(s) appended to"),
+            std::string::npos)
+      << out_.str();
+
+  // A denied query (missing binding) still exits 1 AND lands in the same
+  // log as an "error" record.
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--query",
+                 "//patient/name", "--audit-log", log}),
+            1);
+
+  std::ifstream in(log, std::ios::binary);
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string trail = buffer.str();
+  EXPECT_NE(trail.find("\"outcome\":\"ok\""), std::string::npos) << trail;
+  EXPECT_NE(trail.find("\"outcome\":\"error\""), std::string::npos);
+  EXPECT_NE(trail.find("\"schema\":\"secview.audit.v1\""), std::string::npos);
+
+  EXPECT_EQ(Run({"audit-verify", "--log", log}), 0);
+  EXPECT_NE(out_.str().find("ok: 2 audit events validated"),
+            std::string::npos)
+      << out_.str();
+}
+
+TEST_F(CliTest, AuditVerifyRejectsCorruptLogs) {
+  WriteFile("bad_audit.jsonl", "{\"schema\":\"secview.audit.v1\"}\n");
+  EXPECT_EQ(Run({"audit-verify", "--log", Path("bad_audit.jsonl")}), 1);
+  EXPECT_NE(err_.str().find(":1:"), std::string::npos) << err_.str();
+}
+
+TEST_F(CliTest, AuditLogRequiresEnginePath) {
+  ASSERT_EQ(Run({"derive", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--out", Path("nurse.view")}),
+            0);
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--view",
+                 Path("nurse.view"), "--xml", Path("doc.xml"), "--query",
+                 "//bill", "--bind", "wardNo=3", "--audit-log",
+                 Path("nope.jsonl")}),
+            1);
+  EXPECT_NE(err_.str().find("--spec"), std::string::npos) << err_.str();
+}
+
+TEST_F(CliTest, ExplainTextNamesSigmaAndPrunes) {
+  EXPECT_EQ(Run({"explain", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--query",
+                 "dept/patientInfo/patient/name | //clinicalTrial"}),
+            0);
+  std::string text = out_.str();
+  EXPECT_NE(text.find("explain secview.explain.v1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("[rewrite/sigma]"), std::string::npos) << text;
+  EXPECT_NE(text.find("$wardNo"), std::string::npos);
+  EXPECT_NE(text.find("[rewrite/prune]"), std::string::npos);
+  EXPECT_NE(text.find("nonexistence"), std::string::npos);
+  EXPECT_NE(text.find("final query"), std::string::npos);
+}
+
+TEST_F(CliTest, ExplainJsonParses) {
+  EXPECT_EQ(Run({"explain", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--query", "//patient//bill",
+                 "--json"}),
+            0);
+  auto parsed = obs::Json::Parse(out_.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("schema")->AsString(), "secview.explain.v1");
+  ASSERT_NE(parsed->Find("rewrite"), nullptr);
+  EXPECT_NE(parsed->Find("rewrite")->Find("dp_cells"), nullptr);
+}
+
+TEST_F(CliTest, ExplainIsDeterministic) {
+  ASSERT_EQ(Run({"explain", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--query", "//patient//bill"}),
+            0);
+  std::string first = out_.str();
+  ASSERT_EQ(Run({"explain", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--query", "//patient//bill"}),
+            0);
+  EXPECT_EQ(out_.str(), first);
+}
+
+TEST_F(CliTest, QueryMetricsPromToStdout) {
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--query",
+                 "//patient/name", "--bind", "wardNo=3", "--metrics-prom",
+                 "-"}),
+            0);
+  std::string text = out_.str();
+  EXPECT_NE(text.find("# TYPE secview_engine_queries counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("secview_engine_queries_total 1"), std::string::npos);
+  EXPECT_NE(text.find("secview_phase_evaluate_micros_bucket"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, QueryMetricsSnapshotDir) {
+  std::string dir = testing::TempDir() + "/secview_cli_snapdir";
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--query",
+                 "//patient/name", "--bind", "wardNo=3",
+                 "--metrics-snapshot-dir", dir}),
+            0);
+  EXPECT_NE(out_.str().find("# metrics snapshot: " + dir),
+            std::string::npos)
+      << out_.str();
+  std::ifstream prom(dir + "/metrics.prom");
+  EXPECT_TRUE(prom.good());
+  std::ifstream json(dir + "/metrics.json");
+  EXPECT_TRUE(json.good());
+}
+
+TEST_F(CliTest, HelpListsAuditAndExplain) {
+  EXPECT_EQ(Run({"help"}), 0);
+  std::string text = out_.str();
+  EXPECT_NE(text.find("--audit-log"), std::string::npos);
+  EXPECT_NE(text.find("audit-verify"), std::string::npos);
+  EXPECT_NE(text.find("explain"), std::string::npos);
+  EXPECT_NE(text.find("--metrics-prom"), std::string::npos);
+  EXPECT_NE(text.find("--metrics-snapshot-dir"), std::string::npos);
+}
+
 TEST_F(CliTest, BadBindSyntax) {
   EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--spec",
                  Path("nurse.spec"), "--xml", Path("doc.xml"), "--query",

@@ -2,10 +2,15 @@
 // semantics, span-tree construction, and the JSON model both exporters
 // share.
 
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <thread>
 
 #include <gtest/gtest.h>
 
+#include "obs/export.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -57,6 +62,34 @@ TEST(JsonTest, SetOverwritesAndPreservesOrder) {
   EXPECT_EQ(obj.members()[0].first, "b");
   EXPECT_DOUBLE_EQ(obj.members()[0].second.AsNumber(), 3.0);
   EXPECT_EQ(obj.members()[1].first, "a");
+}
+
+TEST(JsonTest, EscapesControlCharactersInDump) {
+  Json doc = Json::Object();
+  doc.Set("s", Json(std::string("a\x01" "b\x1f\tc")));
+  std::string dumped = doc.Dump(/*pretty=*/false);
+  // Raw control bytes must never appear in the output.
+  for (char c : dumped) EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  EXPECT_NE(dumped.find("\\u0001"), std::string::npos) << dumped;
+  EXPECT_NE(dumped.find("\\u001f"), std::string::npos);
+  EXPECT_NE(dumped.find("\\t"), std::string::npos);
+  auto parsed = Json::Parse(dumped);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("s")->AsString(), "a\x01" "b\x1f\tc");
+}
+
+TEST(JsonTest, RecombinesSurrogatePairs) {
+  // U+1F600 as a surrogate pair must decode to 4-byte UTF-8, not CESU-8.
+  auto parsed = Json::Parse("{\"s\":\"\\ud83d\\ude00\"}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("s")->AsString(), "\xf0\x9f\x98\x80");
+  // Unpaired surrogates decode leniently to U+FFFD.
+  auto lone_high = Json::Parse(R"({"s":"\ud83dx"})");
+  ASSERT_TRUE(lone_high.ok());
+  EXPECT_EQ(lone_high->Find("s")->AsString(), "\xef\xbf\xbdx");
+  auto lone_low = Json::Parse(R"({"s":"\ude00"})");
+  ASSERT_TRUE(lone_low.ok());
+  EXPECT_EQ(lone_low->Find("s")->AsString(), "\xef\xbf\xbd");
 }
 
 // -- Metrics ------------------------------------------------------------
@@ -146,6 +179,149 @@ TEST(MetricsTest, TextExportListsInstruments) {
   EXPECT_NE(text.find("engine.queries = 3"), std::string::npos);
   EXPECT_NE(text.find("phase.parse.micros"), std::string::npos);
   EXPECT_NE(text.find("count=1"), std::string::npos);
+}
+
+TEST(MetricsTest, CollectTakesAConsistentSnapshot) {
+  MetricsRegistry registry;
+  registry.GetCounter("engine.queries").Add(3);
+  registry.GetGauge("engine.policies").Set(2);
+  registry.GetHistogram("phase.rewrite.micros", {10, 100}).Observe(42);
+
+  MetricsSnapshot snapshot = registry.Collect();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].first, "engine.queries");
+  EXPECT_EQ(snapshot.counters[0].second, 3u);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].second, 2);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const MetricsSnapshot::HistogramSnapshot& h = snapshot.histograms[0];
+  EXPECT_EQ(h.name, "phase.rewrite.micros");
+  ASSERT_EQ(h.bounds.size(), 2u);
+  ASSERT_EQ(h.buckets.size(), 3u);  // bounds + overflow
+  EXPECT_EQ(h.count, 1u);
+  EXPECT_EQ(h.sum, 42u);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : h.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, h.count);
+  // The snapshot is detached: later updates do not alter it.
+  registry.GetCounter("engine.queries").Add(10);
+  EXPECT_EQ(snapshot.counters[0].second, 3u);
+}
+
+// -- Prometheus export --------------------------------------------------
+
+TEST(ExportTest, PrometheusMetricNameSanitizes) {
+  EXPECT_EQ(PrometheusMetricName("engine.queries"), "secview_engine_queries");
+  EXPECT_EQ(PrometheusMetricName("policy.nurse.cache_size"),
+            "secview_policy_nurse_cache_size");
+  EXPECT_EQ(PrometheusMetricName("weird-name!", "ns"), "ns_weird_name_");
+  // Without a namespace a leading digit gets an underscore prefix.
+  EXPECT_EQ(PrometheusMetricName("9lives", ""), "_9lives");
+}
+
+TEST(ExportTest, RenderedTextValidatesAndCoversEveryInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("engine.queries").Add(5);
+  registry.GetGauge("engine.policies").Set(-1);
+  Histogram& h = registry.GetHistogram("phase.rewrite.micros", {10, 100});
+  h.Observe(7);
+  h.Observe(5000);
+
+  std::string text = RenderPrometheusText(registry.Collect());
+  Status valid = ValidatePrometheusText(text);
+  EXPECT_TRUE(valid.ok()) << valid.ToString() << "\n" << text;
+
+  EXPECT_NE(text.find("# TYPE secview_engine_queries counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("secview_engine_queries_total 5"), std::string::npos);
+  EXPECT_NE(text.find("secview_engine_policies -1"), std::string::npos);
+  // Histogram buckets are cumulative and end with +Inf; _sum and _count
+  // follow.
+  EXPECT_NE(text.find("secview_phase_rewrite_micros_bucket{le=\"10\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("secview_phase_rewrite_micros_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("secview_phase_rewrite_micros_sum 5007"),
+            std::string::npos);
+  EXPECT_NE(text.find("secview_phase_rewrite_micros_count 2"),
+            std::string::npos);
+}
+
+TEST(ExportTest, ValidatorRejectsMalformedText) {
+  EXPECT_TRUE(ValidatePrometheusText("").ok());
+  EXPECT_TRUE(ValidatePrometheusText("# just a comment\n").ok());
+  EXPECT_FALSE(ValidatePrometheusText("# TYPE m spaceship\n").ok());
+  EXPECT_FALSE(ValidatePrometheusText("9bad_name 1\n").ok());
+  EXPECT_FALSE(ValidatePrometheusText("name_without_value\n").ok());
+  EXPECT_FALSE(ValidatePrometheusText("m{unclosed=\"x\" 1\n").ok());
+  EXPECT_FALSE(ValidatePrometheusText("m not_a_number\n").ok());
+  EXPECT_TRUE(ValidatePrometheusText("m{le=\"+Inf\"} 3\nm_sum 4\n").ok());
+}
+
+TEST(ExportTest, SnapshotWriterWritesBothFormatsAtomically) {
+  MetricsRegistry registry;
+  registry.GetCounter("engine.queries").Add(2);
+  std::string dir = testing::TempDir() + "/secview_snap_once";
+  std::filesystem::remove_all(dir);
+
+  MetricsSnapshotWriter writer(&registry, dir);
+  Status wrote = writer.WriteOnce();
+  ASSERT_TRUE(wrote.ok()) << wrote.ToString();
+  EXPECT_EQ(writer.writes(), 1u);
+
+  std::ifstream prom(dir + "/metrics.prom");
+  ASSERT_TRUE(prom.good());
+  std::stringstream prom_text;
+  prom_text << prom.rdbuf();
+  EXPECT_TRUE(ValidatePrometheusText(prom_text.str()).ok());
+  EXPECT_NE(prom_text.str().find("secview_engine_queries_total 2"),
+            std::string::npos);
+
+  std::ifstream json(dir + "/metrics.json");
+  ASSERT_TRUE(json.good());
+  std::stringstream json_text;
+  json_text << json.rdbuf();
+  auto parsed = Json::Parse(json_text.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("schema")->AsString(), "secview.metrics.v1");
+  EXPECT_DOUBLE_EQ(
+      parsed->Find("counters")->Find("engine.queries")->AsNumber(), 2.0);
+  // No temp files survive the atomic rename.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().filename().string().find(".tmp."),
+              std::string::npos);
+  }
+}
+
+TEST(ExportTest, SnapshotWriterBackgroundLoopAndFinalWrite) {
+  MetricsRegistry registry;
+  registry.GetCounter("engine.queries").Add(1);
+  std::string dir = testing::TempDir() + "/secview_snap_loop";
+  std::filesystem::remove_all(dir);
+
+  MetricsSnapshotWriter::Options options;
+  options.interval = std::chrono::milliseconds(5);
+  MetricsSnapshotWriter writer(&registry, dir, options);
+  writer.Start();
+  // Let the loop tick at least once, then update and stop; Stop() must
+  // flush a final snapshot carrying the latest values.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  registry.GetCounter("engine.queries").Add(41);
+  writer.Stop();
+  EXPECT_GE(writer.writes(), 1u);
+
+  std::ifstream prom(dir + "/metrics.prom");
+  ASSERT_TRUE(prom.good());
+  std::stringstream text;
+  text << prom.rdbuf();
+  EXPECT_NE(text.str().find("secview_engine_queries_total 42"),
+            std::string::npos)
+      << text.str();
+  // Stop is idempotent and Start/Stop can cycle.
+  writer.Stop();
+  writer.Start();
+  writer.Stop();
 }
 
 // -- Trace --------------------------------------------------------------
