@@ -1,0 +1,172 @@
+// Concurrent serving throughput over the sealed engine: a fixed mixed
+// query workload fanned out over a QueryWorkerPool at 1/2/4/8 worker
+// threads, reporting queries/sec and the sharded rewrite-cache hit rate
+// per configuration.
+//
+// Like bench_table1 this uses its own harness (a scaling table, not
+// google-benchmark output). With --metrics-json=PATH the run emits a
+// secview.metrics.v1 document whose registry includes one
+// `bench.concurrent.qps.threads_<n>` gauge per configuration next to
+// the 8-thread engine registry, so tools/bench_summary can diff and
+// gate runs (e.g. --fail-above on a regression budget).
+//
+// Scaling caveat: queries/sec scales with worker threads only up to the
+// machine's core count. On a single-core host every configuration
+// measures roughly the same throughput (the pool adds scheduling, not
+// parallelism); run on a multi-core host to see the speedup.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/worker_pool.h"
+#include "metrics_emit.h"
+#include "workload/hospital.h"
+
+namespace secview {
+namespace {
+
+constexpr char kNursePolicy[] = R"(
+  ann(hospital, dept) = [*/patient/wardNo = $wardNo]
+  ann(dept, clinicalTrial) = N
+  ann(clinicalTrial, patientInfo) = Y
+  ann(treatment, trial) = N
+  ann(treatment, regular) = N
+  ann(trial, bill) = Y
+  ann(regular, bill) = Y
+  ann(regular, medication) = Y
+)";
+
+// Mixed serving workload: repeated hot queries (cache hits) plus
+// distinct shapes so every batch exercises both cache paths and a
+// spread of evaluation costs.
+const std::vector<std::string>& Workload() {
+  static const std::vector<std::string>* queries =
+      new std::vector<std::string>{
+          "//patient//bill",
+          "//patient//bill",
+          "//patient//bill",
+          "//patient",
+          "//patient/name",
+          "//bill",
+          "patientInfo/patient/name",
+          "//patient[wardNo = \"3\"]",
+          "//regular/medication",
+          "//patient//bill | //medication",
+      };
+  return *queries;
+}
+
+struct ServeResult {
+  size_t threads = 0;
+  double qps = 0;
+  double hit_rate = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
+/// Runs `rounds` ExecuteBatch calls of the workload on a fresh engine
+/// with a pool of `threads` workers (one untimed warm-up batch first).
+ServeResult ServeAtThreadCount(const XmlTree& doc, size_t threads,
+                               size_t rounds,
+                               std::unique_ptr<SecureQueryEngine>* engine_out) {
+  auto engine = SecureQueryEngine::Create(MakeHospitalDtd());
+  if (!engine.ok()) std::abort();
+  if (!(*engine)->RegisterPolicy("nurse", kNursePolicy).ok()) std::abort();
+
+  ExecuteOptions options;
+  options.bindings = {{"wardNo", "3"}};
+
+  QueryWorkerPool::Options pool_options;
+  pool_options.threads = threads;
+  QueryWorkerPool pool(**engine, pool_options);
+
+  for (const auto& result :
+       pool.ExecuteBatch("nurse", doc, Workload(), options)) {
+    if (!result.ok()) std::abort();
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  for (size_t round = 0; round < rounds; ++round) {
+    pool.ExecuteBatch("nurse", doc, Workload(), options);
+  }
+  auto stop = std::chrono::steady_clock::now();
+  double seconds = std::chrono::duration<double>(stop - start).count();
+
+  ServeResult out;
+  out.threads = pool.threads();
+  size_t executed = Workload().size() * rounds;
+  out.qps = seconds > 0 ? static_cast<double>(executed) / seconds : 0.0;
+  obs::MetricsRegistry& metrics = (*engine)->metrics();
+  out.hits = metrics.GetCounter("engine.rewrite_cache.hits").value();
+  out.misses = metrics.GetCounter("engine.rewrite_cache.misses").value();
+  out.hit_rate = out.hits + out.misses > 0
+                     ? static_cast<double>(out.hits) /
+                           static_cast<double>(out.hits + out.misses)
+                     : 0.0;
+  if (engine_out != nullptr) *engine_out = std::move(engine).value();
+  return out;
+}
+
+int Run(const std::string& metrics_path) {
+  auto doc = GenerateDocument(MakeHospitalDtd(),
+                              HospitalGeneratorOptions(3, 200'000));
+  if (!doc.ok()) {
+    std::fprintf(stderr, "document generation failed: %s\n",
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+
+  constexpr size_t kRounds = 200;
+  std::printf("bench_concurrent: %zu queries/batch, %zu batches/config\n",
+              Workload().size(), kRounds);
+  std::printf("%-8s %14s %10s %8s\n", "threads", "queries/sec", "hit rate",
+              "speedup");
+
+  std::unique_ptr<SecureQueryEngine> last_engine;
+  std::vector<ServeResult> results;
+  double baseline_qps = 0;
+  for (size_t threads : {1, 2, 4, 8}) {
+    ServeResult r = ServeAtThreadCount(*doc, threads, kRounds, &last_engine);
+    if (baseline_qps == 0) baseline_qps = r.qps;
+    results.push_back(r);
+    std::printf("%-8zu %14.0f %9.1f%% %7.2fx\n", r.threads, r.qps,
+                r.hit_rate * 100.0, baseline_qps > 0 ? r.qps / baseline_qps
+                                                     : 0.0);
+  }
+
+  if (!metrics_path.empty()) {
+    // The emitted registry is the 8-thread engine's (cache, pool, and
+    // evaluator instruments) plus one throughput gauge per config.
+    obs::MetricsRegistry& metrics = last_engine->metrics();
+    for (const ServeResult& r : results) {
+      metrics
+          .GetGauge("bench.concurrent.qps.threads_" +
+                    std::to_string(r.threads))
+          .Set(static_cast<int64_t>(r.qps));
+    }
+    return benchutil::EmitMetricsJson(metrics_path, "bench_concurrent",
+                                      metrics);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace secview
+
+int main(int argc, char** argv) {
+  std::string metrics_path =
+      secview::benchutil::ExtractMetricsJsonFlag(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: bench_concurrent [--metrics-json=PATH]\n"
+          "Concurrent serving throughput at 1/2/4/8 worker threads.\n");
+      return 0;
+    }
+  }
+  return secview::Run(metrics_path);
+}

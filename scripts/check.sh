@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# Pre-commit gate: AddressSanitizer build, full test suite, audit smoke.
+# Pre-commit gate: AddressSanitizer build + full test suite + audit
+# smoke, then a ThreadSanitizer build running the concurrency suite
+# (docs/concurrency.md) — the serve phase must be race-free, not merely
+# passing.
 #
-# Usage: scripts/check.sh [BUILD_DIR]   (default: build-asan)
+# Usage: scripts/check.sh [BUILD_DIR] [TSAN_BUILD_DIR]
+#        (defaults: build-asan, build-tsan)
 set -euo pipefail
 
 BUILD_DIR="${1:-build-asan}"
+TSAN_BUILD_DIR="${2:-build-tsan}"
 JOBS="${JOBS:-2}"
 
 cmake -B "$BUILD_DIR" -S . -DSECVIEW_SANITIZE=address
@@ -12,5 +17,11 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
 scripts/audit_smoke.sh "$BUILD_DIR"
+
+# TSan and ASan cannot share a build tree; the concurrent tests are the
+# ones with real thread interleavings to check.
+cmake -B "$TSAN_BUILD_DIR" -S . -DSECVIEW_SANITIZE=thread
+cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target concurrent_test
+"$TSAN_BUILD_DIR"/tests/concurrent_test
 
 echo "check: all green"

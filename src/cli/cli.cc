@@ -1,9 +1,12 @@
 #include "cli/cli.h"
 
+#include <chrono>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <sstream>
+
+#include "engine/worker_pool.h"
 
 #include "common/result.h"
 #include "dtd/generic_validator.h"
@@ -49,6 +52,9 @@ usage:
   secview explain     --dtd FILE (--spec FILE | --view FILE) --query XPATH
                       [--no-optimize] [--height N] [--json]
   secview audit-verify --log FILE
+  secview bench-serve  --dtd FILE --spec FILE --xml FILE --queries FILE
+                      [--threads N] [--repeat N] [--bind NAME=VALUE]...
+                      [--no-optimize] [--metrics-prom FILE]
   secview materialize --dtd FILE --spec FILE --xml FILE [--bind NAME=VALUE]...
   secview generate    --dtd FILE [--bytes N] [--seed N] [--branch N]
   secview help
@@ -77,6 +83,13 @@ renders the rewrite decision trail — σ annotations fired, subqueries
 pruned and why, DP cells, optimizer actions — without touching any
 document (--json for the secview.explain.v1 document; --height sets the
 unfolding depth for recursive views).
+
+`bench-serve` measures concurrent serving throughput (docs/
+concurrency.md): it loads the policy, seals the engine, fans the
+queries file (one XPath per line, `#` comments) out over a
+QueryWorkerPool of --threads workers (default: hardware concurrency),
+repeating the whole batch --repeat times (default 10), and reports
+queries/sec and the rewrite-cache hit rate.
 )";
 
 /// Parsed command line: flags with values, boolean switches, repeated
@@ -490,6 +503,107 @@ Status CmdAuditVerify(const Args& args, std::ostream& out) {
   return Status::OK();
 }
 
+/// Loads a queries file: one XPath expression per line, blank lines and
+/// `#` comment lines skipped.
+Result<std::vector<std::string>> LoadQueriesFile(const std::string& path) {
+  SECVIEW_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  std::vector<std::string> queries;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    // Trim leading/trailing whitespace so indented entries work.
+    size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    size_t end = line.find_last_not_of(" \t\r");
+    line = line.substr(begin, end - begin + 1);
+    if (line.empty() || line[0] == '#') continue;
+    queries.push_back(line);
+  }
+  if (queries.empty()) {
+    return Status::InvalidArgument("queries file has no queries: " + path);
+  }
+  return queries;
+}
+
+Status CmdBenchServe(const Args& args, std::ostream& out) {
+  SECVIEW_ASSIGN_OR_RETURN(DtdBundle bundle, LoadDtdBundle(args));
+  SECVIEW_ASSIGN_OR_RETURN(XmlTree doc, LoadXml(args, bundle));
+  SECVIEW_ASSIGN_OR_RETURN(std::string queries_path,
+                           Required(args, "--queries"));
+  SECVIEW_ASSIGN_OR_RETURN(std::vector<std::string> queries,
+                           LoadQueriesFile(queries_path));
+  SECVIEW_ASSIGN_OR_RETURN(std::unique_ptr<SecureQueryEngine> engine,
+                           LoadEngine(args));
+
+  size_t threads = 0;
+  auto threads_flag = args.values.find("--threads");
+  if (threads_flag != args.values.end()) {
+    long long n = std::stoll(threads_flag->second);
+    if (n < 1) return Status::InvalidArgument("--threads must be >= 1");
+    threads = static_cast<size_t>(n);
+  }
+  size_t repeat = 10;
+  auto repeat_flag = args.values.find("--repeat");
+  if (repeat_flag != args.values.end()) {
+    long long n = std::stoll(repeat_flag->second);
+    if (n < 1) return Status::InvalidArgument("--repeat must be >= 1");
+    repeat = static_cast<size_t>(n);
+  }
+
+  ExecuteOptions options;
+  options.bindings = args.bindings;
+  options.optimize = !args.switches.count("--no-optimize");
+
+  QueryWorkerPool::Options pool_options;
+  pool_options.threads = threads;
+  QueryWorkerPool pool(*engine, pool_options);
+
+  // One untimed warm-up pass populates the rewrite cache and surfaces
+  // per-query failures before the measured runs.
+  size_t ok = 0;
+  size_t failed = 0;
+  for (const Result<ExecuteResult>& r :
+       pool.ExecuteBatch("policy", doc, queries, options)) {
+    if (r.ok()) {
+      ++ok;
+    } else {
+      if (failed == 0) {
+        out << "# warning: some queries fail (first: "
+            << r.status().ToString() << ")\n";
+      }
+      ++failed;
+    }
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  for (size_t round = 0; round < repeat; ++round) {
+    pool.ExecuteBatch("policy", doc, queries, options);
+  }
+  auto stop = std::chrono::steady_clock::now();
+  double seconds = std::chrono::duration<double>(stop - start).count();
+  size_t executed = queries.size() * repeat;
+  double qps = seconds > 0 ? static_cast<double>(executed) / seconds : 0.0;
+
+  obs::MetricsRegistry& metrics = engine->metrics();
+  uint64_t hits = metrics.GetCounter("engine.rewrite_cache.hits").value();
+  uint64_t misses = metrics.GetCounter("engine.rewrite_cache.misses").value();
+  double hit_rate =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0;
+
+  out << "threads: " << pool.threads() << "\n";
+  out << "queries: " << queries.size() << " (" << ok << " ok, " << failed
+      << " failing), repeated " << repeat << "x\n";
+  out << "executed: " << executed << " in " << seconds << " s\n";
+  out << "throughput: " << qps << " queries/sec\n";
+  out << "cache: " << hits << " hits, " << misses << " misses ("
+      << hit_rate * 100.0 << "% hit rate), size "
+      << metrics.GetGauge("engine.cache.size").value() << ", evictions "
+      << metrics.GetCounter("engine.cache.evictions").value() << "\n";
+  return DumpPrometheus(args, metrics, out);
+}
+
 Status CmdMaterialize(const Args& args, std::ostream& out) {
   SECVIEW_ASSIGN_OR_RETURN(DtdBundle bundle, LoadDtdBundle(args));
   const Dtd& dtd = bundle.normalized.dtd;
@@ -552,6 +666,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     status = CmdExplain(*parsed, out);
   } else if (parsed->command == "audit-verify") {
     status = CmdAuditVerify(*parsed, out);
+  } else if (parsed->command == "bench-serve") {
+    status = CmdBenchServe(*parsed, out);
   } else if (parsed->command == "materialize") {
     status = CmdMaterialize(*parsed, out);
   } else if (parsed->command == "generate") {

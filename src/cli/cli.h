@@ -16,6 +16,8 @@ namespace secview {
 ///   secview query       --dtd F --spec F --xml F --query Q
 ///                       [--bind NAME=VALUE]... [--no-optimize] [--extract]
 ///                       [--stats] [--trace-json FILE]
+///   secview bench-serve --dtd F --spec F --xml F --queries F
+///                       [--threads N] [--repeat N]
 ///   secview materialize --dtd F --spec F --xml F [--bind NAME=VALUE]...
 ///   secview generate    --dtd F [--bytes N] [--seed N] [--branch N]
 ///   secview help

@@ -13,13 +13,36 @@
 
 namespace secview {
 
+SecureQueryEngine::SecureQueryEngine(std::unique_ptr<Dtd> dtd,
+                                     const EngineOptions& options)
+    : dtd_(std::move(dtd)), options_(options) {
+  hot_.queries = &metrics_.GetCounter("engine.queries");
+  hot_.results_returned = &metrics_.GetCounter("engine.results_returned");
+  hot_.execute_errors = &metrics_.GetCounter("engine.execute_errors");
+  hot_.cache_hits = &metrics_.GetCounter("engine.rewrite_cache.hits");
+  hot_.cache_misses = &metrics_.GetCounter("engine.rewrite_cache.misses");
+  hot_.cache_evictions = &metrics_.GetCounter("engine.cache.evictions");
+  hot_.cache_size = &metrics_.GetGauge("engine.cache.size");
+  const size_t shards = std::max<size_t>(1, options_.cache_shards);
+  hot_.shard_size.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    hot_.shard_size.push_back(&metrics_.GetGauge(
+        "engine.cache.shard_" + std::to_string(i) + ".size"));
+  }
+}
+
 Result<std::unique_ptr<SecureQueryEngine>> SecureQueryEngine::Create(Dtd dtd) {
+  return Create(std::move(dtd), EngineOptions{});
+}
+
+Result<std::unique_ptr<SecureQueryEngine>> SecureQueryEngine::Create(
+    Dtd dtd, const EngineOptions& options) {
   if (!dtd.finalized()) {
     SECVIEW_RETURN_IF_ERROR(dtd.Finalize());
   }
   auto owned = std::make_unique<Dtd>(std::move(dtd));
   std::unique_ptr<SecureQueryEngine> engine(
-      new SecureQueryEngine(std::move(owned)));
+      new SecureQueryEngine(std::move(owned), options));
   Result<QueryOptimizer> optimizer = QueryOptimizer::Create(*engine->dtd_);
   if (optimizer.ok()) {
     engine->optimizer_.emplace(std::move(optimizer).value());
@@ -38,6 +61,11 @@ Status SecureQueryEngine::RegisterPolicy(const std::string& name,
 
 Status SecureQueryEngine::RegisterPolicy(const std::string& name,
                                          AccessSpec spec) {
+  if (sealed()) {
+    return Status::FailedPrecondition(
+        "the engine is sealed (serve phase); register every policy "
+        "before Seal() / before attaching a QueryWorkerPool");
+  }
   if (name.empty()) {
     return Status::InvalidArgument("policy name must not be empty");
   }
@@ -55,13 +83,20 @@ Status SecureQueryEngine::RegisterPolicy(const std::string& name,
   }();
   SECVIEW_ASSIGN_OR_RETURN(SecurityView view, std::move(derived));
 
-  auto policy = std::make_unique<Policy>(
-      Policy{std::move(spec), std::move(view), std::nullopt, {}});
+  ShardedRewriteCache::Options cache_options;
+  cache_options.shards = options_.cache_shards;
+  cache_options.capacity = options_.cache_capacity;
+  auto policy = std::make_unique<Policy>(std::move(spec), std::move(view),
+                                         cache_options);
   if (!policy->view.IsRecursive()) {
     SECVIEW_ASSIGN_OR_RETURN(QueryRewriter rewriter,
                              QueryRewriter::Create(policy->view));
     policy->rewriter.emplace(std::move(rewriter));
   }
+  policy->queries_counter =
+      &metrics_.GetCounter("policy." + name + ".queries");
+  policy->cache_size_gauge =
+      &metrics_.GetGauge("policy." + name + ".cache_size");
   policies_.emplace(name, std::move(policy));
   metrics_.GetCounter("engine.policies_registered").Add();
   metrics_.GetGauge("engine.policies")
@@ -110,8 +145,7 @@ Result<std::string> SecureQueryEngine::PublishedViewDtd(
   return p->view.ViewDtdString();
 }
 
-Result<PathPtr> SecureQueryEngine::Prepare(const std::string& policy_name,
-                                           Policy& policy,
+Result<PathPtr> SecureQueryEngine::Prepare(Policy& policy,
                                            std::string_view query_text,
                                            bool optimize, int depth,
                                            obs::Trace* trace,
@@ -120,13 +154,12 @@ Result<PathPtr> SecureQueryEngine::Prepare(const std::string& policy_name,
   std::string cache_key = std::string(query_text) + "\x1f" +
                           (optimize ? "1" : "0") + "\x1f" +
                           std::to_string(depth);
-  auto cached = policy.cache.find(cache_key);
-  if (cached != policy.cache.end()) {
-    metrics_.GetCounter("engine.rewrite_cache.hits").Add();
+  if (PathPtr cached = policy.cache.Lookup(cache_key)) {
+    hot_.cache_hits->Add();
     if (stats != nullptr) stats->cache_hit = true;
-    return cached->second;
+    return cached;
   }
-  metrics_.GetCounter("engine.rewrite_cache.misses").Add();
+  hot_.cache_misses->Add();
   if (stats != nullptr) stats->cache_hit = false;
 
   PathPtr query;
@@ -204,10 +237,22 @@ Result<PathPtr> SecureQueryEngine::Prepare(const std::string& policy_name,
       stats->union_prunes += static_cast<uint64_t>(ostats.union_prunes);
     }
   }
-  policy.cache.emplace(std::move(cache_key), rewritten);
-  metrics_.GetGauge("policy." + policy_name + ".cache_size")
-      .Set(static_cast<int64_t>(policy.cache.size()));
-  return rewritten;
+  // Two threads that missed on the same key both computed the (same,
+  // deterministic) rewriting; Insert keeps whichever landed first and
+  // returns the resident value so every caller shares one AST.
+  ShardedRewriteCache::InsertOutcome outcome =
+      policy.cache.Insert(cache_key, std::move(rewritten));
+  if (outcome.evicted) hot_.cache_evictions->Add();
+  if (outcome.inserted) {
+    // Size gauges track the insert/evict delta; an eviction and an
+    // insert land in the same shard, so they cancel there too.
+    if (!outcome.evicted) {
+      hot_.cache_size->Add(1);
+      hot_.shard_size[outcome.shard % hot_.shard_size.size()]->Add(1);
+    }
+    policy.cache_size_gauge->Set(static_cast<int64_t>(policy.cache.size()));
+  }
+  return outcome.value;
 }
 
 Result<PathPtr> SecureQueryEngine::Rewrite(const std::string& policy_name,
@@ -215,7 +260,7 @@ Result<PathPtr> SecureQueryEngine::Rewrite(const std::string& policy_name,
                                            bool optimize, int doc_height) {
   SECVIEW_ASSIGN_OR_RETURN(Policy* policy, FindPolicy(policy_name));
   const int depth = policy->rewriter.has_value() ? 0 : doc_height;
-  return Prepare(policy_name, *policy, query_text, optimize, depth,
+  return Prepare(*policy, query_text, optimize, depth,
                  /*trace=*/nullptr, /*stats=*/nullptr);
 }
 
@@ -236,23 +281,23 @@ Status SecureQueryEngine::ExecuteInto(const std::string& policy_name,
   // The document height (an O(N) scan) is only needed to pick the
   // unfolding depth of recursive views.
   SECVIEW_ASSIGN_OR_RETURN(Policy* policy, FindPolicy(policy_name));
-  metrics_.GetCounter("engine.queries").Add();
-  metrics_.GetCounter("policy." + policy_name + ".queries").Add();
+  hot_.queries->Add();
+  policy->queries_counter->Add();
 
   const int doc_height = policy->rewriter.has_value() ? 0 : doc.Height();
 
   result.stats.unfold_depth = doc_height;
   SECVIEW_ASSIGN_OR_RETURN(
       PathPtr rewritten,
-      Prepare(policy_name, *policy, query_text, /*optimize=*/false,
-              doc_height, options.trace, &result.stats));
+      Prepare(*policy, query_text, /*optimize=*/false, doc_height,
+              options.trace, &result.stats));
   result.rewritten = rewritten;
   PathPtr to_run = rewritten;
   if (options.optimize) {
     // stats.cache_hit ends up describing this (the evaluated) entry.
     SECVIEW_ASSIGN_OR_RETURN(
-        to_run, Prepare(policy_name, *policy, query_text, /*optimize=*/true,
-                        doc_height, options.trace, &result.stats));
+        to_run, Prepare(*policy, query_text, /*optimize=*/true, doc_height,
+                        options.trace, &result.stats));
   }
   {
     obs::ScopedSpan span(options.trace, "bind");
@@ -282,8 +327,7 @@ Status SecureQueryEngine::ExecuteInto(const std::string& policy_name,
     span.SetAttr("results", static_cast<uint64_t>(result.nodes.size()));
   }
   result.stats.result_count = result.nodes.size();
-  metrics_.GetCounter("engine.results_returned")
-      .Add(static_cast<uint64_t>(result.nodes.size()));
+  hot_.results_returned->Add(static_cast<uint64_t>(result.nodes.size()));
   exec_span.SetAttr("cache",
                     result.stats.cache_hit ? "hit" : "miss");
   return Status::OK();
@@ -333,13 +377,19 @@ Result<ExecuteResult> SecureQueryEngine::Execute(
     metrics_.GetCounter("audit.events").Add();
   }
   if (!status.ok()) {
-    metrics_.GetCounter("engine.execute_errors").Add();
+    hot_.execute_errors->Add();
     return status;
   }
   if (options.explain != nullptr) {
     ExplainOptions explain_options;
     explain_options.optimize = options.optimize;
-    explain_options.doc_height = doc.Height();
+    // Same depth selection as the Prepare path: the document height is
+    // only meaningful (and only worth the O(N) scan) for recursive
+    // views, and it makes the explain's reported unfold depth match
+    // result.stats.unfold_depth.
+    SECVIEW_ASSIGN_OR_RETURN(Policy * policy, FindPolicy(policy_name));
+    explain_options.doc_height =
+        policy->rewriter.has_value() ? 0 : doc.Height();
     SECVIEW_ASSIGN_OR_RETURN(
         *options.explain, Explain(policy_name, query_text, explain_options));
   }
@@ -356,9 +406,17 @@ Result<QueryExplain> SecureQueryEngine::Explain(
     const ExplainOptions& options) {
   SECVIEW_ASSIGN_OR_RETURN(Policy* policy, FindPolicy(policy_name));
   metrics_.GetCounter("engine.explains").Add();
+  // Reuse the Prepare path's rewriter/optimizer: no per-explain rebuild,
+  // and EXPLAIN describes exactly the objects Execute runs with. Safe
+  // while serving — both are const, and the sharded cache is never
+  // touched (the trail must re-run the DP with collect_explain anyway).
+  PreparedExplainInputs prepared;
+  prepared.rewriter =
+      policy->rewriter.has_value() ? &*policy->rewriter : nullptr;
+  prepared.optimizer = optimizer_.has_value() ? &*optimizer_ : nullptr;
   SECVIEW_ASSIGN_OR_RETURN(
       QueryExplain explain,
-      ExplainQuery(*dtd_, policy->view, query_text, options));
+      ExplainQuery(*dtd_, policy->view, query_text, options, prepared));
   explain.policy = policy_name;
   return explain;
 }

@@ -1,6 +1,7 @@
 #ifndef SECVIEW_ENGINE_ENGINE_H_
 #define SECVIEW_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -9,6 +10,7 @@
 
 #include "common/result.h"
 #include "dtd/dtd.h"
+#include "engine/rewrite_cache.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optimize/optimizer.h"
@@ -26,6 +28,19 @@ class AuditSink;
 
 struct QueryExplain;
 struct ExplainOptions;
+
+/// Engine-construction knobs (defaults fit tests and the CLI; servers
+/// tune them once at startup).
+struct EngineOptions {
+  /// Lock stripes of each policy's rewrite cache. More shards = less
+  /// contention between concurrent cache hits/inserts.
+  size_t cache_shards = 8;
+  /// Entry budget of each policy's rewrite cache. Every distinct
+  /// (query text, optimize flag, unfold depth) triple is one entry, so
+  /// the bound is what keeps a hostile query stream from growing the
+  /// cache without limit.
+  size_t cache_capacity = 1024;
+};
 
 /// Per-execution options.
 struct ExecuteOptions {
@@ -121,6 +136,8 @@ struct ExecuteResult {
 /// heights must not share a cache entry (Section 4.2; the depth is
 /// derived from each document's height and is 0 for non-recursive
 /// views). engine_test.cc guards this keying with a regression test.
+/// The cache is sharded, lock-striped, and bounded (EngineOptions);
+/// evictions are LRU-ish per shard.
 ///
 /// The engine keeps a lifetime obs::MetricsRegistry (see metrics()):
 /// per-policy query counts, rewrite-cache hits/misses, rewriter/optimizer
@@ -128,11 +145,29 @@ struct ExecuteResult {
 /// latency histograms. Pass an obs::Trace in ExecuteOptions to capture a
 /// per-query span tree.
 ///
-/// The engine is single-threaded by design (the cache is not locked).
+/// Threading contract (details: docs/concurrency.md). The engine's
+/// lifetime splits into a *setup* phase and a *serve* phase:
+///
+///  * Setup — Create + RegisterPolicy calls — is single-threaded and
+///    must complete before any concurrent use. Seal() ends it
+///    explicitly (later registrations fail); QueryWorkerPool seals on
+///    construction.
+///  * Serve — Rewrite, Execute, ExecuteBatch, Explain, View,
+///    PublishedViewDtd, metrics() — is safe from any number of threads
+///    against the sealed policy set. The document, DTD, views, prepared
+///    rewriter/optimizer, and cached ASTs are all immutable; the only
+///    mutable shared state is the sharded cache (internally locked) and
+///    the metrics instruments (atomics).
+///
+/// Per-execution scratch state (the XPathEvaluator and its counters)
+/// lives on the calling thread's stack and flushes into the shared
+/// atomic metrics at the end of each call.
 class SecureQueryEngine {
  public:
   /// Takes ownership of the (finalized) document DTD.
   static Result<std::unique_ptr<SecureQueryEngine>> Create(Dtd dtd);
+  static Result<std::unique_ptr<SecureQueryEngine>> Create(
+      Dtd dtd, const EngineOptions& options);
 
   const Dtd& dtd() const { return *dtd_; }
 
@@ -146,12 +181,19 @@ class SecureQueryEngine {
   // -- Policies -------------------------------------------------------------
 
   /// Registers a policy from the textual annotation syntax
-  /// (security/spec_parser.h). Fails on parse errors, duplicate names, or
-  /// derivation failure.
+  /// (security/spec_parser.h). Fails on parse errors, duplicate names,
+  /// derivation failure, or after Seal(). Setup-phase only: must not run
+  /// concurrently with any other engine call.
   Status RegisterPolicy(const std::string& name, std::string_view spec_text);
 
   /// Registers an already-built specification.
   Status RegisterPolicy(const std::string& name, AccessSpec spec);
+
+  /// Ends the setup phase: subsequent RegisterPolicy calls fail with
+  /// FailedPrecondition. Idempotent. Sealing is what makes concurrent
+  /// serving sound — the policy map is only read from then on.
+  void Seal() { sealed_.store(true, std::memory_order_release); }
+  bool sealed() const { return sealed_.load(std::memory_order_acquire); }
 
   std::vector<std::string> PolicyNames() const;
 
@@ -177,6 +219,18 @@ class SecureQueryEngine {
   Result<ExecuteResult> Execute(const std::string& policy, const XmlTree& doc,
                                 std::string_view query_text,
                                 const ExecuteOptions& options = {});
+
+  /// Fans a batch of queries out over `threads` worker threads (0 picks
+  /// the hardware concurrency, 1 runs inline) and returns per-query
+  /// results in input order. Seals the engine. `options` applies to
+  /// every query of the batch; its `trace`/`explain` outputs are ignored
+  /// (see QueryWorkerPool::ExecuteBatch, which this wraps — servers that
+  /// serve many batches should hold a long-lived QueryWorkerPool
+  /// instead of paying thread startup per call).
+  std::vector<Result<ExecuteResult>> ExecuteBatch(
+      const std::string& policy, const XmlTree& doc,
+      const std::vector<std::string>& queries,
+      const ExecuteOptions& options = {}, size_t threads = 0);
 
   /// Renders the rewrite decision trail for a query without evaluating
   /// it: the (unfolded) view, which σ annotations fired at which steps,
@@ -206,28 +260,51 @@ class SecureQueryEngine {
   struct Policy {
     AccessSpec spec;
     SecurityView view;
-    /// Prepared rewriter for non-recursive views.
+    /// Prepared rewriter for non-recursive views. Rewrite() is const
+    /// and stateless per call, so many threads may share it.
     std::optional<QueryRewriter> rewriter;
     /// Cache key: query text + "\x1f" + optimize flag + "\x1f" + unfold
     /// depth. The depth component matters for recursive views only — a
     /// rewriting unfolded to depth d is valid for documents of height
     /// <= d, so entries for different heights must stay distinct. For
     /// non-recursive views the depth is always 0.
-    std::unordered_map<std::string, PathPtr> cache;
+    ShardedRewriteCache cache;
+    /// Pre-resolved instruments (resolving a name takes the registry
+    /// lock; the serve path must not).
+    obs::Counter* queries_counter = nullptr;
+    obs::Gauge* cache_size_gauge = nullptr;
+
+    Policy(AccessSpec s, SecurityView v,
+           const ShardedRewriteCache::Options& cache_options)
+        : spec(std::move(s)), view(std::move(v)), cache(cache_options) {}
   };
 
-  explicit SecureQueryEngine(std::unique_ptr<Dtd> dtd)
-      : dtd_(std::move(dtd)) {}
+  /// Engine-wide instruments resolved once at construction so the serve
+  /// path updates them lock-free (obs/metrics.h documents this pattern).
+  struct HotMetrics {
+    obs::Counter* queries = nullptr;
+    obs::Counter* results_returned = nullptr;
+    obs::Counter* execute_errors = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* cache_evictions = nullptr;
+    obs::Gauge* cache_size = nullptr;
+    /// engine.cache.shard_<i>.size, aggregated across policies.
+    std::vector<obs::Gauge*> shard_size;
+  };
+
+  SecureQueryEngine(std::unique_ptr<Dtd> dtd, const EngineOptions& options);
 
   Result<Policy*> FindPolicy(const std::string& name);
   Result<const Policy*> FindPolicy(const std::string& name) const;
 
-  /// The instrumented preparation path behind Rewrite and Execute: cache
-  /// lookup, then parse -> [unfold ->] rewrite -> [optimize ->] cache.
-  /// `trace` and `stats` may be null.
-  Result<PathPtr> Prepare(const std::string& policy_name, Policy& policy,
-                          std::string_view query_text, bool optimize,
-                          int depth, obs::Trace* trace, ExecuteStats* stats);
+  /// The instrumented preparation path behind Rewrite, Execute, and the
+  /// explain pass: sharded-cache lookup, then parse -> [unfold ->]
+  /// rewrite -> [optimize ->] cache insert. Safe from many threads
+  /// (serve phase). `trace` and `stats` may be null.
+  Result<PathPtr> Prepare(Policy& policy, std::string_view query_text,
+                          bool optimize, int depth, obs::Trace* trace,
+                          ExecuteStats* stats);
 
   /// Execute minus the audit bookkeeping; fills `result` as far as the
   /// execution got, so a failing run still exposes partial provenance
@@ -237,9 +314,12 @@ class SecureQueryEngine {
                      const ExecuteOptions& options, ExecuteResult& result);
 
   std::unique_ptr<Dtd> dtd_;
+  EngineOptions options_;
   std::optional<QueryOptimizer> optimizer_;
   std::unordered_map<std::string, std::unique_ptr<Policy>> policies_;
   obs::MetricsRegistry metrics_;
+  HotMetrics hot_;
+  std::atomic<bool> sealed_{false};
 };
 
 }  // namespace secview

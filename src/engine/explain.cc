@@ -181,9 +181,18 @@ obs::Json QueryExplain::ToJson() const {
   return j;
 }
 
-Result<QueryExplain> ExplainQuery(const Dtd& dtd, const SecurityView& view,
-                                  std::string_view query_text,
-                                  const ExplainOptions& options) {
+namespace {
+
+/// Shared body of the two ExplainQuery overloads. `prepared_rewriter`
+/// and `prepared_optimizer` are reused when given; when
+/// `optimizer_known` is true their availability is taken as-is instead
+/// of probing QueryOptimizer::Create (the engine already knows).
+Result<QueryExplain> ExplainQueryImpl(const Dtd& dtd, const SecurityView& view,
+                                      std::string_view query_text,
+                                      const ExplainOptions& options,
+                                      const QueryRewriter* prepared_rewriter,
+                                      const QueryOptimizer* prepared_optimizer,
+                                      bool optimizer_known) {
   QueryExplain out;
   out.query = std::string(query_text);
   out.optimize_requested = options.optimize;
@@ -208,15 +217,32 @@ Result<QueryExplain> ExplainQuery(const Dtd& dtd, const SecurityView& view,
   }
 
   out.rewrite.collect_explain = true;
-  SECVIEW_ASSIGN_OR_RETURN(QueryRewriter rewriter,
-                           QueryRewriter::Create(*effective));
-  SECVIEW_ASSIGN_OR_RETURN(PathPtr rewritten,
-                           rewriter.Rewrite(query, &out.rewrite));
+  PathPtr rewritten;
+  // A prepared rewriter only applies to non-recursive views (recursive
+  // ones are rewritten over the per-depth unfolded view built above).
+  if (!out.view_recursive && prepared_rewriter != nullptr) {
+    SECVIEW_ASSIGN_OR_RETURN(rewritten,
+                             prepared_rewriter->Rewrite(query, &out.rewrite));
+  } else {
+    SECVIEW_ASSIGN_OR_RETURN(QueryRewriter rewriter,
+                             QueryRewriter::Create(*effective));
+    SECVIEW_ASSIGN_OR_RETURN(rewritten, rewriter.Rewrite(query, &out.rewrite));
+  }
   out.rewritten_xpath = ToXPathString(rewritten);
   out.final_xpath = out.rewritten_xpath;
 
-  Result<QueryOptimizer> optimizer = QueryOptimizer::Create(dtd);
-  out.optimizer_available = optimizer.ok();
+  std::optional<QueryOptimizer> local_optimizer;
+  const QueryOptimizer* optimizer = prepared_optimizer;
+  if (optimizer_known) {
+    out.optimizer_available = optimizer != nullptr;
+  } else {
+    Result<QueryOptimizer> created = QueryOptimizer::Create(dtd);
+    out.optimizer_available = created.ok();
+    if (created.ok()) {
+      local_optimizer.emplace(std::move(created).value());
+      optimizer = &*local_optimizer;
+    }
+  }
   if (out.optimize_ran()) {
     out.optimize.collect_explain = true;
     SECVIEW_ASSIGN_OR_RETURN(PathPtr optimized,
@@ -224,6 +250,25 @@ Result<QueryExplain> ExplainQuery(const Dtd& dtd, const SecurityView& view,
     out.final_xpath = ToXPathString(optimized);
   }
   return out;
+}
+
+}  // namespace
+
+Result<QueryExplain> ExplainQuery(const Dtd& dtd, const SecurityView& view,
+                                  std::string_view query_text,
+                                  const ExplainOptions& options) {
+  return ExplainQueryImpl(dtd, view, query_text, options,
+                          /*prepared_rewriter=*/nullptr,
+                          /*prepared_optimizer=*/nullptr,
+                          /*optimizer_known=*/false);
+}
+
+Result<QueryExplain> ExplainQuery(const Dtd& dtd, const SecurityView& view,
+                                  std::string_view query_text,
+                                  const ExplainOptions& options,
+                                  const PreparedExplainInputs& prepared) {
+  return ExplainQueryImpl(dtd, view, query_text, options, prepared.rewriter,
+                          prepared.optimizer, /*optimizer_known=*/true);
 }
 
 }  // namespace secview

@@ -82,6 +82,32 @@ Result<QueryExplain> ExplainQuery(const Dtd& dtd, const SecurityView& view,
                                   std::string_view query_text,
                                   const ExplainOptions& options = {});
 
+/// Already-prepared query machinery the engine's Prepare path holds, so
+/// an EXPLAIN run while serving reuses the very objects the executing
+/// threads use — no per-explain QueryRewriter/QueryOptimizer rebuild
+/// (rebuilding the optimizer re-derives the whole DTD graph), and no
+/// divergence between what EXPLAIN reports and what Execute runs. Both
+/// objects are const and stateless per call, so explaining concurrently
+/// with serving is safe and never touches (or bypasses the locking of)
+/// the sharded rewrite cache.
+struct PreparedExplainInputs {
+  /// The policy's prepared rewriter; null for recursive views (those
+  /// are rewritten over a per-depth unfolded view, rebuilt per call).
+  const QueryRewriter* rewriter = nullptr;
+  /// The engine's prepared optimizer; null when the document DTD is
+  /// recursive. Its presence *defines* optimizer availability here —
+  /// this overload never constructs one.
+  const QueryOptimizer* optimizer = nullptr;
+};
+
+/// The engine path: identical output to the overload above (explain
+/// determinism is a contract; explain_test.cc compares the two), but
+/// reusing `prepared` instead of rebuilding.
+Result<QueryExplain> ExplainQuery(const Dtd& dtd, const SecurityView& view,
+                                  std::string_view query_text,
+                                  const ExplainOptions& options,
+                                  const PreparedExplainInputs& prepared);
+
 }  // namespace secview
 
 #endif  // SECVIEW_ENGINE_EXPLAIN_H_

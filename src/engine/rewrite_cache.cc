@@ -1,0 +1,92 @@
+#include "engine/rewrite_cache.h"
+
+#include <algorithm>
+#include <functional>
+#include <mutex>
+
+namespace secview {
+
+ShardedRewriteCache::ShardedRewriteCache() : ShardedRewriteCache(Options{}) {}
+
+ShardedRewriteCache::ShardedRewriteCache(const Options& options) {
+  const size_t shard_count = std::max<size_t>(1, options.shards);
+  const size_t capacity = std::max<size_t>(1, options.capacity);
+  // Round the per-shard budget up so the total is never below the
+  // requested capacity (a shard always holds at least one entry).
+  shard_capacity_ = (capacity + shard_count - 1) / shard_count;
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+size_t ShardedRewriteCache::ShardIndex(const std::string& key) const {
+  return std::hash<std::string>{}(key) % shards_.size();
+}
+
+PathPtr ShardedRewriteCache::Lookup(const std::string& key) {
+  Shard& shard = *shards_[ShardIndex(key)];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return nullptr;
+  it->second->last_used.store(NextTick(), std::memory_order_relaxed);
+  return it->second->value;
+}
+
+ShardedRewriteCache::InsertOutcome ShardedRewriteCache::Insert(
+    const std::string& key, PathPtr value) {
+  InsertOutcome outcome;
+  outcome.shard = ShardIndex(key);
+  Shard& shard = *shards_[outcome.shard];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    // Another thread prepared the same key concurrently; keep its entry
+    // (the rewrite is deterministic, so the values are equivalent).
+    it->second->last_used.store(NextTick(), std::memory_order_relaxed);
+    outcome.value = it->second->value;
+    return outcome;
+  }
+  if (shard.map.size() >= shard_capacity_) {
+    auto victim = shard.map.begin();
+    uint64_t oldest = victim->second->last_used.load(std::memory_order_relaxed);
+    for (auto cand = shard.map.begin(); cand != shard.map.end(); ++cand) {
+      uint64_t stamp = cand->second->last_used.load(std::memory_order_relaxed);
+      if (stamp < oldest) {
+        oldest = stamp;
+        victim = cand;
+      }
+    }
+    shard.map.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    outcome.evicted = true;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->value = value;
+  entry->last_used.store(NextTick(), std::memory_order_relaxed);
+  shard.map.emplace(key, std::move(entry));
+  outcome.value = std::move(value);
+  outcome.inserted = true;
+  return outcome;
+}
+
+void ShardedRewriteCache::Clear() {
+  for (auto& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard->mu);
+    shard->map.clear();
+  }
+}
+
+size_t ShardedRewriteCache::ShardSize(size_t i) const {
+  const Shard& shard = *shards_[i];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  return shard.map.size();
+}
+
+size_t ShardedRewriteCache::size() const {
+  size_t total = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) total += ShardSize(i);
+  return total;
+}
+
+}  // namespace secview

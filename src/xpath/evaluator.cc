@@ -47,6 +47,9 @@ void XPathEvaluator::FlushDelta(const EvalCounters& before) {
   if (uint64_t d = counters_.index_scans - before.index_scans; d > 0) {
     metrics_->GetCounter("eval.index_scans").Add(d);
   }
+  if (uint64_t d = counters_.sort_skips - before.sort_skips; d > 0) {
+    metrics_->GetCounter("eval.sort_skips").Add(d);
+  }
 }
 
 void XPathEvaluator::SortUnique(NodeSet& set) {
@@ -131,8 +134,13 @@ NodeSet XPathEvaluator::EvalLabel(int label_id, const NodeSet& ctx) {
     }
   }
   // Context nodes may be nested within each other, in which case the
-  // concatenated child lists are not globally sorted.
-  SortUnique(out);
+  // concatenated child lists are not globally sorted. A single context
+  // node's child list is already in document order and duplicate-free.
+  if (ctx.size() == 1) {
+    ++counters_.sort_skips;
+  } else {
+    SortUnique(out);
+  }
   return out;
 }
 
@@ -146,7 +154,11 @@ NodeSet XPathEvaluator::EvalWildcard(const NodeSet& ctx) {
       if (tree_->IsElement(c)) out.push_back(c);
     }
   }
-  SortUnique(out);
+  if (ctx.size() == 1) {
+    ++counters_.sort_skips;
+  } else {
+    SortUnique(out);
+  }
   return out;
 }
 

@@ -33,6 +33,7 @@ struct EvalCounters {
   uint64_t nodes_touched = 0;    ///< tree nodes inspected
   uint64_t predicate_evals = 0;  ///< qualifier evaluations at a node
   uint64_t index_scans = 0;      ///< '//label' steps answered by the index
+  uint64_t sort_skips = 0;       ///< child steps that skipped SortUnique
 };
 
 class XPathEvaluator {
@@ -58,8 +59,9 @@ class XPathEvaluator {
 
   /// Attaches a metrics registry: every public Evaluate/EvaluateQualifier
   /// call flushes the counters it accumulated into `eval.nodes_touched`,
-  /// `eval.predicate_evals`, and `eval.index_scans`. The hot loops only
-  /// bump plain fields; the atomic adds happen once per call.
+  /// `eval.predicate_evals`, `eval.index_scans`, and `eval.sort_skips`.
+  /// The hot loops only bump plain fields; the atomic adds happen once
+  /// per call.
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
   /// Costs accumulated since construction or ResetWork().

@@ -541,5 +541,45 @@ TEST_F(CliTest, BadBindSyntax) {
             2);
 }
 
+TEST_F(CliTest, BenchServeReportsThroughputAndCacheHits) {
+  WriteFile("queries.txt",
+            "# mixed serving workload\n"
+            "//name\n"
+            "//patient\n"
+            "//patient/wardNo\n"
+            "\n"
+            "  //bill  \n");
+  EXPECT_EQ(Run({"bench-serve", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--queries",
+                 Path("queries.txt"), "--threads", "2", "--repeat", "3",
+                 "--bind", "wardNo=3"}),
+            0)
+      << err_.str();
+  std::string text = out_.str();
+  EXPECT_NE(text.find("threads: 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("queries: 4 (4 ok, 0 failing), repeated 3x"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("queries/sec"), std::string::npos);
+  // The warm-up batch populates the cache; the 3 measured batches hit.
+  EXPECT_NE(text.find("cache: 24 hits, 8 misses"), std::string::npos) << text;
+}
+
+TEST_F(CliTest, BenchServeRejectsEmptyQueriesFile) {
+  WriteFile("empty.txt", "# only comments\n\n");
+  EXPECT_EQ(Run({"bench-serve", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--queries",
+                 Path("empty.txt"), "--threads", "1"}),
+            1);
+}
+
+TEST_F(CliTest, HelpListsBenchServe) {
+  EXPECT_EQ(Run({"help"}), 0);
+  std::string text = out_.str();
+  EXPECT_NE(text.find("bench-serve"), std::string::npos);
+  EXPECT_NE(text.find("--threads"), std::string::npos);
+  EXPECT_NE(text.find("--queries"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace secview

@@ -1,0 +1,387 @@
+// Concurrency coverage for the serve phase: many threads x mixed
+// policies x cache hits/misses/evictions x recursive-view depth keys,
+// always asserting byte-identical results against a serial engine, plus
+// worker-pool batch semantics (input order, per-slot failures) and
+// EXPLAIN-while-serving. Run these under -DSECVIEW_SANITIZE=thread
+// (scripts/check.sh does) — a passing race-free run is the point.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "engine/explain.h"
+#include "engine/rewrite_cache.h"
+#include "engine/worker_pool.h"
+#include "workload/hospital.h"
+#include "workload/synthetic.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+#include "xpath/printer.h"
+
+namespace secview {
+namespace {
+
+constexpr char kNursePolicy[] = R"(
+  ann(hospital, dept) = [*/patient/wardNo = $wardNo]
+  ann(dept, clinicalTrial) = N
+  ann(clinicalTrial, patientInfo) = Y
+  ann(treatment, trial) = N
+  ann(treatment, regular) = N
+  ann(trial, bill) = Y
+  ann(regular, bill) = Y
+  ann(regular, medication) = Y
+)";
+
+constexpr char kResearcherPolicy[] = R"(
+  # Researchers see clinical-trial data of every ward, nothing else.
+  ann(dept, patientInfo) = N
+  ann(dept, staffInfo) = N
+)";
+
+// A mixed query set: repeats make cache hits, distinct texts make
+// misses, and all are valid over both views' exposed labels.
+const char* kQueries[] = {
+    "//patient/name",  "//bill",           "//patient//bill",
+    "//patient/name",  "//wardNo",         "//patient[wardNo]/name",
+    "//bill",          "patientInfo//name", "//medication",
+    "//patient/name | //bill",
+};
+
+std::unique_ptr<SecureQueryEngine> MakeHospitalEngine(
+    const EngineOptions& options = EngineOptions{}) {
+  auto engine = SecureQueryEngine::Create(MakeHospitalDtd(), options);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  auto e = std::move(engine).value();
+  EXPECT_TRUE(e->RegisterPolicy("nurse", kNursePolicy).ok());
+  EXPECT_TRUE(e->RegisterPolicy("researcher", kResearcherPolicy).ok());
+  return e;
+}
+
+XmlTree MakeHospitalDoc() {
+  auto doc = GenerateDocument(MakeHospitalDtd(),
+                              HospitalGeneratorOptions(7, 60'000));
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  return std::move(doc).value();
+}
+
+ExecuteOptions NurseOptions() {
+  ExecuteOptions options;
+  options.bindings = {{"wardNo", "3"}};
+  return options;
+}
+
+TEST(ShardedRewriteCacheTest, LookupInsertEvict) {
+  ShardedRewriteCache::Options options;
+  options.shards = 2;
+  options.capacity = 4;
+  ShardedRewriteCache cache(options);
+  EXPECT_EQ(cache.shard_count(), 2u);
+  EXPECT_EQ(cache.shard_capacity(), 2u);
+  EXPECT_EQ(cache.Lookup("missing"), nullptr);
+
+  // Insert more keys than the budget; every shard stays within its
+  // capacity and evictions are counted.
+  for (int i = 0; i < 20; ++i) {
+    auto r = ParseXPath("//bill");
+    ASSERT_TRUE(r.ok());
+    cache.Insert("key" + std::to_string(i), *r);
+  }
+  EXPECT_LE(cache.ShardSize(0), cache.shard_capacity());
+  EXPECT_LE(cache.ShardSize(1), cache.shard_capacity());
+  EXPECT_LE(cache.size(), 4u);
+  EXPECT_GE(cache.evictions(), 16u);
+
+  // A key collision keeps the resident value.
+  auto a = ParseXPath("//bill");
+  auto b = ParseXPath("//wardNo");
+  ASSERT_TRUE(a.ok() && b.ok());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  auto first = cache.Insert("k", *a);
+  EXPECT_TRUE(first.inserted);
+  auto second = cache.Insert("k", *b);
+  EXPECT_FALSE(second.inserted);
+  EXPECT_EQ(second.value.get(), a->get());
+  EXPECT_EQ(cache.Lookup("k").get(), a->get());
+}
+
+TEST(ShardedRewriteCacheTest, LruIshEvictionKeepsRecentlyUsed) {
+  ShardedRewriteCache::Options options;
+  options.shards = 1;  // one shard makes the eviction order deterministic
+  options.capacity = 3;
+  ShardedRewriteCache cache(options);
+  auto q = ParseXPath("//bill");
+  ASSERT_TRUE(q.ok());
+  cache.Insert("a", *q);
+  cache.Insert("b", *q);
+  cache.Insert("c", *q);
+  // Touch "a" so "b" is now the least recently used.
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  cache.Insert("d", *q);
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+  EXPECT_NE(cache.Lookup("d"), nullptr);
+}
+
+TEST(ConcurrentEngineTest, SealStopsRegistration) {
+  auto engine = MakeHospitalEngine();
+  EXPECT_FALSE(engine->sealed());
+  engine->Seal();
+  EXPECT_TRUE(engine->sealed());
+  Status late = engine->RegisterPolicy("late", kResearcherPolicy);
+  EXPECT_FALSE(late.ok());
+  EXPECT_EQ(late.code(), StatusCode::kFailedPrecondition);
+  // Serving still works after sealing.
+  XmlTree doc = MakeHospitalDoc();
+  EXPECT_TRUE(engine->Execute("nurse", doc, "//bill", NurseOptions()).ok());
+}
+
+TEST(ConcurrentEngineTest, PoolConstructionSealsEngine) {
+  auto engine = MakeHospitalEngine();
+  QueryWorkerPool::Options options;
+  options.threads = 2;
+  QueryWorkerPool pool(*engine, options);
+  EXPECT_EQ(pool.threads(), 2u);
+  EXPECT_TRUE(engine->sealed());
+  EXPECT_EQ(engine->metrics().GetGauge("engine.pool.threads").value(), 2);
+}
+
+// The central identity check: a multi-threaded engine must return
+// byte-identical results (node ids, order, rewritten queries) to a
+// serial engine for the same query stream.
+TEST(ConcurrentEngineTest, ManyThreadsMatchSerialResults) {
+  XmlTree doc = MakeHospitalDoc();
+
+  // Serial baseline on its own engine.
+  auto serial = MakeHospitalEngine();
+  std::vector<std::vector<NodeId>> nurse_expected;
+  std::vector<std::vector<NodeId>> researcher_expected;
+  std::vector<std::string> nurse_rewritten;
+  for (const char* q : kQueries) {
+    auto rn = serial->Execute("nurse", doc, q, NurseOptions());
+    ASSERT_TRUE(rn.ok()) << q << ": " << rn.status();
+    nurse_expected.push_back(rn->nodes);
+    nurse_rewritten.push_back(ToXPathString(rn->rewritten));
+    auto rr = serial->Execute("researcher", doc, q);
+    ASSERT_TRUE(rr.ok()) << q << ": " << rr.status();
+    researcher_expected.push_back(rr->nodes);
+  }
+
+  // Shared concurrent engine with a small sharded cache so hits,
+  // misses, collisions, and evictions all happen under contention.
+  EngineOptions small;
+  small.cache_shards = 4;
+  small.cache_capacity = 8;
+  auto engine = MakeHospitalEngine(small);
+  engine->Seal();
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const int num_queries = static_cast<int>(std::size(kQueries));
+      for (int round = 0; round < kRounds; ++round) {
+        // Each thread walks the query list at its own offset so threads
+        // collide on some keys and diverge on others.
+        int i = (t + round) % num_queries;
+        const char* q = kQueries[i];
+        if (t % 2 == 0) {
+          auto r = engine->Execute("nurse", doc, q, NurseOptions());
+          if (!r.ok() || r->nodes != nurse_expected[i] ||
+              ToXPathString(r->rewritten) != nurse_rewritten[i]) {
+            failures.fetch_add(1);
+          }
+        } else {
+          auto r = engine->Execute("researcher", doc, q);
+          if (!r.ok() || r->nodes != researcher_expected[i]) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  obs::MetricsRegistry& metrics = engine->metrics();
+  EXPECT_GT(metrics.GetCounter("engine.rewrite_cache.hits").value(), 0u);
+  EXPECT_GT(metrics.GetCounter("engine.rewrite_cache.misses").value(), 0u);
+  // The tiny capacity guarantees the eviction path ran under load.
+  EXPECT_GT(metrics.GetCounter("engine.cache.evictions").value(), 0u);
+  EXPECT_LE(metrics.GetGauge("engine.cache.size").value(),
+            2 * static_cast<int64_t>(small.cache_capacity));
+}
+
+// Recursive views key the cache by unfolding depth; concurrent queries
+// against documents of different heights must stay isolated.
+TEST(ConcurrentEngineTest, RecursiveDepthKeysUnderConcurrency) {
+  RecursiveFixture fixture = MakeRecursiveFixture();
+  auto engine = SecureQueryEngine::Create(std::move(fixture.dtd));
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  ASSERT_TRUE((*engine)->RegisterPolicy("p", fixture.spec_text).ok());
+
+  auto shallow = ParseXml(
+      "<doc><section><title>t</title><meta/></section></doc>");
+  auto deep = ParseXml(R"(
+    <doc>
+      <section><title>t1</title>
+        <meta>
+          <section><title>t1.1</title>
+            <meta>
+              <section><title>t1.1.1</title><meta/></section>
+            </meta>
+          </section>
+        </meta>
+      </section>
+    </doc>
+  )");
+  ASSERT_TRUE(shallow.ok() && deep.ok());
+
+  auto expected_shallow = (*engine)->Execute("p", *shallow, "//title");
+  auto expected_deep = (*engine)->Execute("p", *deep, "//title");
+  ASSERT_TRUE(expected_shallow.ok() && expected_deep.ok());
+  ASSERT_NE(expected_shallow->nodes.size(), expected_deep->nodes.size());
+
+  (*engine)->Seal();
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 20; ++round) {
+        const bool use_deep = (t + round) % 2 == 0;
+        const XmlTree& doc = use_deep ? *deep : *shallow;
+        const auto& expected =
+            use_deep ? expected_deep->nodes : expected_shallow->nodes;
+        auto r = (*engine)->Execute("p", doc, "//title");
+        if (!r.ok() || r->nodes != expected) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ConcurrentEngineTest, ExecuteBatchPreservesInputOrder) {
+  auto engine = MakeHospitalEngine();
+  XmlTree doc = MakeHospitalDoc();
+
+  std::vector<std::string> queries;
+  for (int round = 0; round < 5; ++round) {
+    for (const char* q : kQueries) queries.push_back(q);
+  }
+  // Serial expectations, in input order.
+  auto serial = MakeHospitalEngine();
+  std::vector<std::vector<NodeId>> expected;
+  for (const std::string& q : queries) {
+    auto r = serial->Execute("nurse", doc, q, NurseOptions());
+    ASSERT_TRUE(r.ok()) << q;
+    expected.push_back(r->nodes);
+  }
+
+  QueryWorkerPool::Options pool_options;
+  pool_options.threads = 4;
+  QueryWorkerPool pool(*engine, pool_options);
+  auto results = pool.ExecuteBatch("nurse", doc, queries, NurseOptions());
+  ASSERT_EQ(results.size(), queries.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << queries[i] << ": " << results[i].status();
+    EXPECT_EQ(results[i]->nodes, expected[i]) << "slot " << i;
+  }
+  EXPECT_GE(engine->metrics().GetCounter("engine.pool.tasks").value(),
+            queries.size());
+  EXPECT_GE(engine->metrics().GetCounter("engine.pool.batches").value(), 1u);
+}
+
+TEST(ConcurrentEngineTest, ExecuteBatchReportsPerSlotFailures) {
+  auto engine = MakeHospitalEngine();
+  XmlTree doc = MakeHospitalDoc();
+  std::vector<std::string> queries = {"//bill", "//(((", "//wardNo"};
+  auto results = engine->ExecuteBatch("nurse", doc, queries, NurseOptions(),
+                                      /*threads=*/2);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_TRUE(results[2].ok());
+  EXPECT_TRUE(engine->sealed());
+}
+
+TEST(ConcurrentEngineTest, EngineExecuteBatchSerialPathMatchesPool) {
+  auto engine = MakeHospitalEngine();
+  XmlTree doc = MakeHospitalDoc();
+  std::vector<std::string> queries(kQueries, std::end(kQueries));
+  auto serial = engine->ExecuteBatch("nurse", doc, queries, NurseOptions(),
+                                     /*threads=*/1);
+  auto pooled = engine->ExecuteBatch("nurse", doc, queries, NurseOptions(),
+                                     /*threads=*/3);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok() && pooled[i].ok());
+    EXPECT_EQ(serial[i]->nodes, pooled[i]->nodes) << "slot " << i;
+    EXPECT_EQ(ToXPathString(serial[i]->evaluated),
+              ToXPathString(pooled[i]->evaluated));
+  }
+}
+
+// Explain runs the same prepared rewriter/optimizer the serving threads
+// use; it must neither race with them nor disturb the cache.
+TEST(ConcurrentEngineTest, ExplainWhileServing) {
+  auto engine = MakeHospitalEngine();
+  XmlTree doc = MakeHospitalDoc();
+  engine->Seal();
+
+  auto baseline = engine->Explain("nurse", "//patient//bill");
+  ASSERT_TRUE(baseline.ok());
+  const std::string baseline_text = baseline->ToText();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> servers;
+  for (int t = 0; t < 4; ++t) {
+    servers.emplace_back([&] {
+      while (!stop.load()) {
+        auto r = engine->Execute("nurse", doc, "//patient//bill",
+                                 NurseOptions());
+        if (!r.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (int i = 0; i < 20; ++i) {
+    auto explain = engine->Explain("nurse", "//patient//bill");
+    if (!explain.ok() || explain->ToText() != baseline_text) {
+      failures.fetch_add(1);
+    }
+  }
+  stop.store(true);
+  for (std::thread& t : servers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Execute-with-explain agrees with the standalone Explain while the
+  // cache is warm (the explain pass must not be poisoned by caching).
+  ExecuteOptions options = NurseOptions();
+  QueryExplain via_execute;
+  options.explain = &via_execute;
+  ASSERT_TRUE(
+      engine->Execute("nurse", doc, "//patient//bill", options).ok());
+  QueryExplain expected = std::move(baseline).value();
+  EXPECT_EQ(via_execute.ToText(), expected.ToText());
+}
+
+// The EvalLabel/EvalWildcard fast path (single context node skips
+// SortUnique) must fire and be observable.
+TEST(ConcurrentEngineTest, SortSkipCounterFires) {
+  auto engine = MakeHospitalEngine();
+  XmlTree doc = MakeHospitalDoc();
+  ASSERT_TRUE(engine->Execute("nurse", doc, "//bill", NurseOptions()).ok());
+  EXPECT_GT(engine->metrics().GetCounter("eval.sort_skips").value(), 0u);
+}
+
+}  // namespace
+}  // namespace secview

@@ -6,6 +6,10 @@
 //   bench_summary FILE.json             # flatten one file
 //   bench_summary --fail-above 20 OLD.json NEW.json
 //                                       # exit 3 if any metric grew >20%
+//   bench_summary --fail-above 50 BENCH_concurrent_old.json \
+//       BENCH_concurrent.json           # gate a bench_concurrent run
+//                                       # (its qps gauges are wall-clock,
+//                                       # so budget generously)
 //
 // Every numeric leaf is flattened to a dotted path (arrays indexed as
 // [i]) and compared; keys present in only one file are shown as added
