@@ -1,0 +1,23 @@
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "dtd/dtd_parser.h"
+#include "dtd/normalizer.h"
+
+/// libFuzzer entry point for the DTD parser + normalizer
+/// (docs/robustness.md). Inputs that parse are also normalized, since
+/// the normalizer consumes attacker-shaped content models too.
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  secview::DtdParseLimits limits;
+  limits.max_depth = 32;
+  limits.max_decls = 256;
+  limits.max_regex_nodes = 4096;
+  auto parsed = secview::ParseDtdText(input, limits);
+  if (parsed.ok()) {
+    auto normalized = secview::NormalizeDtd(*parsed);
+    (void)normalized;
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "xpath/parser.h"
+#include "xpath/printer.h"
+
+/// libFuzzer entry point for the XPath parser (docs/robustness.md).
+/// Checks the print/re-parse round trip on accepted inputs, the same
+/// property tests/fuzz_test.cc sweeps randomly.
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  secview::XPathParseLimits limits;
+  limits.max_depth = 64;
+  limits.max_tokens = 4096;
+  auto result = secview::ParseXPath(input, limits);
+  if (result.ok()) {
+    std::string printed = secview::ToXPathString(*result);
+    auto again = secview::ParseXPath(printed, limits);
+    if (!again.ok()) __builtin_trap();  // round-trip property violated
+  }
+  return 0;
+}

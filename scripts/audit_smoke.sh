@@ -86,8 +86,8 @@ echo "== verifying trail =="
 # Compact JSON: no spaces around ':'.
 grep -q '"outcome":"ok"' "$LOG" || {
   echo "audit_smoke: missing ok record" >&2; exit 1; }
-grep -q '"outcome":"error"' "$LOG" || {
-  echo "audit_smoke: missing error record" >&2; exit 1; }
+grep -q '"outcome":"denied"' "$LOG" || {
+  echo "audit_smoke: missing denied record" >&2; exit 1; }
 [[ "$(wc -l < "$LOG")" -eq 2 ]] || {
   echo "audit_smoke: expected exactly 2 records" >&2; exit 1; }
 

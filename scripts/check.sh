@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Pre-commit gate: AddressSanitizer build + full test suite + audit
-# smoke, then a ThreadSanitizer build running the concurrency suite
-# (docs/concurrency.md) — the serve phase must be race-free, not merely
-# passing.
+# Pre-commit gate: AddressSanitizer build + full test suite (including
+# the hostile-input hardening suite, docs/robustness.md) + audit smoke +
+# fuzz smoke over the seed corpus, then a ThreadSanitizer build running
+# the concurrency suite (docs/concurrency.md) — the serve phase must be
+# race-free, not merely passing.
 #
 # Usage: scripts/check.sh [BUILD_DIR] [TSAN_BUILD_DIR]
 #        (defaults: build-asan, build-tsan)
@@ -12,11 +13,24 @@ BUILD_DIR="${1:-build-asan}"
 TSAN_BUILD_DIR="${2:-build-tsan}"
 JOBS="${JOBS:-2}"
 
-cmake -B "$BUILD_DIR" -S . -DSECVIEW_SANITIZE=address
+cmake -B "$BUILD_DIR" -S . -DSECVIEW_SANITIZE=address -DSECVIEW_FUZZ=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
+# The hardening suite is part of ctest above; rerun it alone so a
+# hostile-input regression is called out by name in the gate output.
+"$BUILD_DIR"/tests/hardening_test
+
 scripts/audit_smoke.sh "$BUILD_DIR"
+
+# Fuzz smoke: replay the seed corpus (and, under the fallback driver,
+# every truncation of each seed) through the ASan-instrumented parsers.
+# With a clang toolchain these are real libFuzzer binaries; add
+# `-runs=10000 tests/corpus/<kind>` for a deeper local session.
+echo "== fuzz smoke =="
+"$BUILD_DIR"/fuzz/fuzz_xml   tests/corpus/xml/*
+"$BUILD_DIR"/fuzz/fuzz_dtd   tests/corpus/dtd/*
+"$BUILD_DIR"/fuzz/fuzz_xpath tests/corpus/xpath/*
 
 # TSan and ASan cannot share a build tree; the concurrent tests are the
 # ones with real thread interleavings to check.

@@ -1,10 +1,14 @@
 #include "cli/cli.h"
 
+#include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <sstream>
+
+#include "common/budget.h"
 
 #include "engine/worker_pool.h"
 
@@ -49,12 +53,14 @@ usage:
                       [--extract] [--stats] [--trace-json FILE]
                       [--audit-log FILE [--audit-max-bytes N]]
                       [--metrics-prom FILE] [--metrics-snapshot-dir DIR]
+                      [--deadline-ms N] [--max-nodes N] [--max-parse-depth N]
   secview explain     --dtd FILE (--spec FILE | --view FILE) --query XPATH
                       [--no-optimize] [--height N] [--json]
   secview audit-verify --log FILE
   secview bench-serve  --dtd FILE --spec FILE --xml FILE --queries FILE
                       [--threads N] [--repeat N] [--bind NAME=VALUE]...
                       [--no-optimize] [--metrics-prom FILE]
+                      [--deadline-ms N] [--max-nodes N] [--queue-cap N]
   secview materialize --dtd FILE --spec FILE --xml FILE [--bind NAME=VALUE]...
   secview generate    --dtd FILE [--bytes N] [--seed N] [--branch N]
   secview help
@@ -90,6 +96,15 @@ queries file (one XPath per line, `#` comments) out over a
 QueryWorkerPool of --threads workers (default: hardware concurrency),
 repeating the whole batch --repeat times (default 10), and reports
 queries/sec and the rewrite-cache hit rate.
+
+Defensive serving (docs/robustness.md): `--deadline-ms N` bounds each
+execution's wall clock, `--max-nodes N` its evaluator node-visit
+budget, and `--max-parse-depth N` the XML/XPath parser nesting depth;
+0 (the default) means unlimited for the first two and the built-in
+generous default for the third. `bench-serve --queue-cap N` bounds
+the pool's submission queue — overflow tasks are shed with
+ResourceExhausted instead of queued. Exit codes: 0 ok, 1 failure,
+2 usage, 4 deadline exceeded, 5 budget/queue exhausted, 6 cancelled.
 )";
 
 /// Parsed command line: flags with values, boolean switches, repeated
@@ -137,6 +152,31 @@ Result<Args> ParseArgs(const std::vector<std::string>& argv) {
   return args;
 }
 
+/// Parses a flag value as a non-negative integer. Flags never reach
+/// std::stoll (which throws on garbage); malformed or out-of-range
+/// values become usage errors instead.
+Result<uint64_t> ParseCount(const std::string& flag, const std::string& text) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::InvalidArgument(flag + " needs a non-negative integer, " +
+                                   "got '" + text + "'");
+  }
+  errno = 0;
+  uint64_t value = std::strtoull(text.c_str(), nullptr, 10);
+  if (errno == ERANGE) {
+    return Status::InvalidArgument(flag + " is out of range: " + text);
+  }
+  return value;
+}
+
+/// The value of a numeric flag, or `fallback` when absent.
+Result<uint64_t> CountFlag(const Args& args, const std::string& flag,
+                           uint64_t fallback) {
+  auto it = args.values.find(flag);
+  if (it == args.values.end()) return fallback;
+  return ParseCount(flag, it->second);
+}
+
 Result<std::string> Required(const Args& args, const std::string& flag) {
   auto it = args.values.find(flag);
   if (it == args.values.end()) {
@@ -174,11 +214,36 @@ Result<Dtd> LoadDtd(const Args& args) {
   return std::move(bundle.normalized.dtd);
 }
 
+/// Defensive-serving limits shared by `query` and `bench-serve`
+/// (docs/robustness.md). 0 keeps a budget unlimited; --max-parse-depth 0
+/// keeps the parsers' built-in generous defaults.
+struct ServeLimits {
+  BudgetLimits budget;
+  XPathParseLimits xpath;
+  XmlParseOptions xml;
+};
+
+Result<ServeLimits> LoadServeLimits(const Args& args) {
+  ServeLimits limits;
+  SECVIEW_ASSIGN_OR_RETURN(limits.budget.deadline_ms,
+                           CountFlag(args, "--deadline-ms", 0));
+  SECVIEW_ASSIGN_OR_RETURN(limits.budget.max_nodes,
+                           CountFlag(args, "--max-nodes", 0));
+  SECVIEW_ASSIGN_OR_RETURN(uint64_t depth,
+                           CountFlag(args, "--max-parse-depth", 0));
+  if (depth > 0) {
+    limits.xpath.max_depth = static_cast<size_t>(depth);
+    limits.xml.max_depth = static_cast<size_t>(depth);
+  }
+  return limits;
+}
+
 /// Loads the document and, when the DTD needed auxiliary types, rewrites
 /// it into an instance of the normalized DTD (aux wrappers inserted).
-Result<XmlTree> LoadXml(const Args& args, const DtdBundle& bundle) {
+Result<XmlTree> LoadXml(const Args& args, const DtdBundle& bundle,
+                        const XmlParseOptions& xml_options = {}) {
   SECVIEW_ASSIGN_OR_RETURN(std::string path, Required(args, "--xml"));
-  SECVIEW_ASSIGN_OR_RETURN(XmlTree doc, ParseXmlFile(path));
+  SECVIEW_ASSIGN_OR_RETURN(XmlTree doc, ParseXmlFile(path, xml_options));
   InstanceNormalizer normalizer = InstanceNormalizer::For(bundle.normalized);
   if (normalizer.IsIdentity()) return doc;
   return normalizer.Normalize(doc);
@@ -309,8 +374,9 @@ Status DumpPrometheus(const Args& args, const obs::MetricsRegistry& metrics,
 }
 
 Status CmdQuery(const Args& args, std::ostream& out) {
+  SECVIEW_ASSIGN_OR_RETURN(ServeLimits limits, LoadServeLimits(args));
   SECVIEW_ASSIGN_OR_RETURN(DtdBundle bundle, LoadDtdBundle(args));
-  SECVIEW_ASSIGN_OR_RETURN(XmlTree doc, LoadXml(args, bundle));
+  SECVIEW_ASSIGN_OR_RETURN(XmlTree doc, LoadXml(args, bundle, limits.xml));
   SECVIEW_ASSIGN_OR_RETURN(std::string query_text,
                            Required(args, "--query"));
   const bool use_view_file = args.values.count("--view") > 0;
@@ -332,11 +398,9 @@ Status CmdQuery(const Args& args, std::ostream& out) {
     auto audit_path = args.values.find("--audit-log");
     if (audit_path != args.values.end()) {
       obs::JsonlAuditLog::Options audit_options;
-      auto max_bytes = args.values.find("--audit-max-bytes");
-      if (max_bytes != args.values.end()) {
-        audit_options.max_bytes =
-            static_cast<uint64_t>(std::stoll(max_bytes->second));
-      }
+      SECVIEW_ASSIGN_OR_RETURN(
+          audit_options.max_bytes,
+          CountFlag(args, "--audit-max-bytes", audit_options.max_bytes));
       SECVIEW_ASSIGN_OR_RETURN(
           audit_log, obs::JsonlAuditLog::Open(audit_path->second,
                                               audit_options));
@@ -354,6 +418,8 @@ Status CmdQuery(const Args& args, std::ostream& out) {
     options.optimize = optimize;
     options.trace = &trace;
     options.audit = audit_log.get();
+    options.limits = limits.budget;
+    options.parse_limits = limits.xpath;
     Result<ExecuteResult> executed =
         engine->Execute("policy", doc, query_text, options);
     // The final snapshot and the audit record must land even when the
@@ -413,7 +479,7 @@ Status CmdQuery(const Args& args, std::ostream& out) {
   {
     obs::ScopedSpan span(&trace, "parse");
     obs::ScopedTimer timer(&metrics.GetHistogram("phase.parse.micros"));
-    SECVIEW_ASSIGN_OR_RETURN(query, ParseXPath(query_text));
+    SECVIEW_ASSIGN_OR_RETURN(query, ParseXPath(query_text, limits.xpath));
   }
   PathPtr rewritten;
   {
@@ -469,7 +535,9 @@ Status CmdExplain(const Args& args, std::ostream& out) {
   options.optimize = !args.switches.count("--no-optimize");
   auto height = args.values.find("--height");
   if (height != args.values.end()) {
-    options.doc_height = static_cast<int>(std::stoll(height->second));
+    SECVIEW_ASSIGN_OR_RETURN(uint64_t h,
+                             ParseCount("--height", height->second));
+    options.doc_height = static_cast<int>(h);
   }
   SECVIEW_ASSIGN_OR_RETURN(QueryExplain explain,
                            ExplainQuery(dtd, view, query_text, options));
@@ -526,8 +594,9 @@ Result<std::vector<std::string>> LoadQueriesFile(const std::string& path) {
 }
 
 Status CmdBenchServe(const Args& args, std::ostream& out) {
+  SECVIEW_ASSIGN_OR_RETURN(ServeLimits limits, LoadServeLimits(args));
   SECVIEW_ASSIGN_OR_RETURN(DtdBundle bundle, LoadDtdBundle(args));
-  SECVIEW_ASSIGN_OR_RETURN(XmlTree doc, LoadXml(args, bundle));
+  SECVIEW_ASSIGN_OR_RETURN(XmlTree doc, LoadXml(args, bundle, limits.xml));
   SECVIEW_ASSIGN_OR_RETURN(std::string queries_path,
                            Required(args, "--queries"));
   SECVIEW_ASSIGN_OR_RETURN(std::vector<std::string> queries,
@@ -535,27 +604,25 @@ Status CmdBenchServe(const Args& args, std::ostream& out) {
   SECVIEW_ASSIGN_OR_RETURN(std::unique_ptr<SecureQueryEngine> engine,
                            LoadEngine(args));
 
-  size_t threads = 0;
-  auto threads_flag = args.values.find("--threads");
-  if (threads_flag != args.values.end()) {
-    long long n = std::stoll(threads_flag->second);
-    if (n < 1) return Status::InvalidArgument("--threads must be >= 1");
-    threads = static_cast<size_t>(n);
+  SECVIEW_ASSIGN_OR_RETURN(uint64_t threads_n, CountFlag(args, "--threads", 0));
+  if (args.values.count("--threads") && threads_n < 1) {
+    return Status::InvalidArgument("--threads must be >= 1");
   }
-  size_t repeat = 10;
-  auto repeat_flag = args.values.find("--repeat");
-  if (repeat_flag != args.values.end()) {
-    long long n = std::stoll(repeat_flag->second);
-    if (n < 1) return Status::InvalidArgument("--repeat must be >= 1");
-    repeat = static_cast<size_t>(n);
-  }
+  SECVIEW_ASSIGN_OR_RETURN(uint64_t repeat_n, CountFlag(args, "--repeat", 10));
+  if (repeat_n < 1) return Status::InvalidArgument("--repeat must be >= 1");
+  size_t threads = static_cast<size_t>(threads_n);
+  size_t repeat = static_cast<size_t>(repeat_n);
+  SECVIEW_ASSIGN_OR_RETURN(uint64_t queue_cap, CountFlag(args, "--queue-cap", 0));
 
   ExecuteOptions options;
   options.bindings = args.bindings;
   options.optimize = !args.switches.count("--no-optimize");
+  options.limits = limits.budget;
+  options.parse_limits = limits.xpath;
 
   QueryWorkerPool::Options pool_options;
   pool_options.threads = threads;
+  pool_options.queue_cap = static_cast<size_t>(queue_cap);
   QueryWorkerPool pool(*engine, pool_options);
 
   // One untimed warm-up pass populates the rewrite cache and surfaces
@@ -601,6 +668,15 @@ Status CmdBenchServe(const Args& args, std::ostream& out) {
       << hit_rate * 100.0 << "% hit rate), size "
       << metrics.GetGauge("engine.cache.size").value() << ", evictions "
       << metrics.GetCounter("engine.cache.evictions").value() << "\n";
+  uint64_t shed = metrics.GetCounter("engine.pool.shed").value();
+  uint64_t deadline_rejects =
+      metrics.GetCounter("engine.rejected.deadline").value();
+  uint64_t budget_rejects =
+      metrics.GetCounter("engine.rejected.budget").value();
+  if (shed + deadline_rejects + budget_rejects > 0) {
+    out << "rejected: " << shed << " shed, " << deadline_rejects
+        << " deadline, " << budget_rejects << " budget\n";
+  }
   return DumpPrometheus(args, metrics, out);
 }
 
@@ -626,14 +702,12 @@ Status CmdMaterialize(const Args& args, std::ostream& out) {
 Status CmdGenerate(const Args& args, std::ostream& out) {
   SECVIEW_ASSIGN_OR_RETURN(Dtd dtd, LoadDtd(args));
   GeneratorOptions options;
-  auto number = [&](const char* flag, auto fallback) -> decltype(fallback) {
-    auto it = args.values.find(flag);
-    if (it == args.values.end()) return fallback;
-    return static_cast<decltype(fallback)>(std::stoll(it->second));
-  };
-  options.target_bytes = number("--bytes", static_cast<size_t>(0));
-  options.seed = number("--seed", static_cast<uint64_t>(42));
-  options.max_branching = number("--branch", 3);
+  SECVIEW_ASSIGN_OR_RETURN(uint64_t bytes, CountFlag(args, "--bytes", 0));
+  SECVIEW_ASSIGN_OR_RETURN(uint64_t seed, CountFlag(args, "--seed", 42));
+  SECVIEW_ASSIGN_OR_RETURN(uint64_t branch, CountFlag(args, "--branch", 3));
+  options.target_bytes = static_cast<size_t>(bytes);
+  options.seed = seed;
+  options.max_branching = static_cast<int>(branch);
   options.min_branching = options.max_branching > 0 ? 1 : 0;
   SECVIEW_ASSIGN_OR_RETURN(XmlTree doc, GenerateDocument(dtd, options));
   WriteXml(doc, doc.root(), out);
@@ -678,6 +752,11 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   }
   if (!status.ok()) {
     err << "error: " << status.ToString() << "\n";
+    // Distinct exit codes let serving wrappers tell resource pressure
+    // (retryable) from denials (not): see docs/robustness.md.
+    if (status.IsDeadlineExceeded()) return 4;
+    if (status.IsResourceExhausted()) return 5;
+    if (status.IsCancelled()) return 6;
     return status.code() == StatusCode::kInvalidArgument &&
                    status.message().rfind("missing required", 0) == 0
                ? 2

@@ -1,0 +1,77 @@
+#include "common/budget.h"
+
+#include <string>
+
+namespace secview {
+
+QueryBudget::QueryBudget(const BudgetLimits& limits, CancelToken cancel)
+    : limits_(limits), cancel_(cancel) {
+  if (limits_.deadline_ms > 0) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(limits_.deadline_ms);
+    has_deadline_ = true;
+  }
+  active_ = limits_.any() || cancel_.valid();
+}
+
+QueryBudget::QueryBudget(const BudgetLimits& limits,
+                         std::chrono::steady_clock::time_point deadline,
+                         CancelToken cancel)
+    : limits_(limits), cancel_(cancel) {
+  if (limits_.deadline_ms > 0) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  active_ = limits_.any() || cancel_.valid();
+}
+
+Status QueryBudget::CheckClockAndCancel() {
+  if (cancel_.cancelled()) {
+    tripped_ = Status::Cancelled("execution cancelled (CancelAll)");
+    return tripped_;
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    tripped_ = Status::DeadlineExceeded(
+        "deadline of " + std::to_string(limits_.deadline_ms) +
+        " ms exceeded");
+    return tripped_;
+  }
+  return Status::OK();
+}
+
+Status QueryBudget::ChargeNodes(uint64_t n) {
+  if (!active_) return Status::OK();
+  if (!tripped_.ok()) return tripped_;
+  ++checks_;
+  nodes_used_ += n;
+  if (limits_.max_nodes != 0 && nodes_used_ > limits_.max_nodes) {
+    tripped_ = Status::ResourceExhausted(
+        "node-visit budget exhausted: " + std::to_string(nodes_used_) +
+        " visits > limit of " + std::to_string(limits_.max_nodes));
+    return tripped_;
+  }
+  return CheckClockAndCancel();
+}
+
+Status QueryBudget::ChargeMemory(uint64_t units) {
+  if (!active_) return Status::OK();
+  if (!tripped_.ok()) return tripped_;
+  ++checks_;
+  memory_used_ += units;
+  if (limits_.max_memory != 0 && memory_used_ > limits_.max_memory) {
+    tripped_ = Status::ResourceExhausted(
+        "allocation budget exhausted: " + std::to_string(memory_used_) +
+        " units > limit of " + std::to_string(limits_.max_memory));
+    return tripped_;
+  }
+  return CheckClockAndCancel();
+}
+
+Status QueryBudget::Check() {
+  if (!active_) return Status::OK();
+  if (!tripped_.ok()) return tripped_;
+  ++checks_;
+  return CheckClockAndCancel();
+}
+
+}  // namespace secview

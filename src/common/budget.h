@@ -1,0 +1,156 @@
+#ifndef SECVIEW_COMMON_BUDGET_H_
+#define SECVIEW_COMMON_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace secview {
+
+/// Cooperative cancellation, RocksDB/gRPC style: a long-lived
+/// CancelSource owned by whoever can abort work (a worker pool, a
+/// server), and cheap CancelToken snapshots handed to each execution.
+///
+/// The source counts *generations* rather than holding a single flag:
+/// CancelAll() bumps the generation, which cancels every token
+/// snapshotted before the bump while tokens taken afterwards start
+/// clean. That is exactly the worker-pool semantic — "abort everything
+/// in flight, keep serving new batches" — without any reset handshake.
+class CancelSource {
+ public:
+  CancelSource() = default;
+  CancelSource(const CancelSource&) = delete;
+  CancelSource& operator=(const CancelSource&) = delete;
+
+  /// Cancels every token snapshotted before this call. Thread-safe.
+  void CancelAll() { generation_.fetch_add(1, std::memory_order_release); }
+
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<uint64_t> generation_{0};
+};
+
+/// A copyable snapshot of a CancelSource. Default-constructed tokens are
+/// never cancelled. The source must outlive every token taken from it.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  explicit CancelToken(const CancelSource& source)
+      : source_(&source), snapshot_(source.generation()) {}
+
+  /// True iff this token is attached to a source at all.
+  bool valid() const { return source_ != nullptr; }
+
+  bool cancelled() const {
+    return source_ != nullptr && source_->generation() != snapshot_;
+  }
+
+ private:
+  const CancelSource* source_ = nullptr;
+  uint64_t snapshot_ = 0;
+};
+
+/// Per-query resource limits. Zero means unlimited for every field, so a
+/// default-constructed BudgetLimits preserves the historical
+/// "run to completion" behavior exactly.
+struct BudgetLimits {
+  /// Wall-clock deadline, relative to budget construction.
+  uint64_t deadline_ms = 0;
+  /// Evaluator node-visit budget (the paper's machine-independent cost
+  /// unit; ExecuteStats::nodes_touched counts the same thing).
+  uint64_t max_nodes = 0;
+  /// Allocation budget in abstract units: rewriter/optimizer DP cells
+  /// and other per-query allocations charge against it. Bounds the
+  /// memory a hostile query can pin, machine-independently.
+  uint64_t max_memory = 0;
+
+  bool any() const {
+    return deadline_ms != 0 || max_nodes != 0 || max_memory != 0;
+  }
+};
+
+/// The defensive-serving companion of one query execution: a wall-clock
+/// deadline, a node-visit budget, an allocation budget, and a
+/// cancellation token, checked *cooperatively* at coarse granularity by
+/// the XPath evaluator (every ~kNodeStride node visits), the rewriter
+/// and optimizer (every DP cell), and the engine (between phases).
+///
+/// A budget is owned by exactly one execution on one thread; the only
+/// cross-thread signal is the CancelToken's atomic generation read.
+/// Errors are sticky: once a limit trips, every later Charge/Check
+/// returns the same Status without consulting the clock again, so
+/// callers deep in a recursion unwind quickly.
+///
+/// An inactive budget (no limits, no token) makes every call a no-op
+/// returning OK; the engine skips installing such budgets entirely so
+/// the hot path stays hot.
+class QueryBudget {
+ public:
+  /// Node visits between two deadline checks in the evaluator. Coarse
+  /// enough that the per-node cost is one compare; fine enough that a
+  /// 50 ms deadline is honored within a small multiple.
+  static constexpr uint64_t kNodeStride = 1024;
+
+  /// Unlimited budget (active() == false).
+  QueryBudget() = default;
+
+  /// Limits are relative to "now" at construction.
+  explicit QueryBudget(const BudgetLimits& limits,
+                       CancelToken cancel = CancelToken());
+
+  /// Queued-work form: the deadline was fixed when the work was
+  /// *submitted*, not when it started running (time spent waiting in a
+  /// queue counts against the caller's deadline).
+  QueryBudget(const BudgetLimits& limits,
+              std::chrono::steady_clock::time_point deadline,
+              CancelToken cancel);
+
+  QueryBudget(const QueryBudget&) = delete;
+  QueryBudget& operator=(const QueryBudget&) = delete;
+
+  /// True iff any limit or a cancellation token is attached.
+  bool active() const { return active_; }
+
+  /// Charges `n` evaluator node visits. Checks the node budget on every
+  /// call and the clock/cancellation lazily (callers already stride).
+  Status ChargeNodes(uint64_t n);
+
+  /// Charges `units` allocation units (one rewriter/optimizer DP cell =
+  /// one unit). Checks the memory budget, the clock, and cancellation.
+  Status ChargeMemory(uint64_t units);
+
+  /// Checks deadline and cancellation only; used between engine phases.
+  Status Check();
+
+  uint64_t nodes_used() const { return nodes_used_; }
+  uint64_t memory_used() const { return memory_used_; }
+  /// Number of limit consultations (exported as xpath.budget_checks for
+  /// the evaluator's share).
+  uint64_t checks() const { return checks_; }
+
+  bool has_deadline() const { return has_deadline_; }
+  std::chrono::steady_clock::time_point deadline() const { return deadline_; }
+
+ private:
+  Status CheckClockAndCancel();
+
+  BudgetLimits limits_;
+  CancelToken cancel_;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  bool active_ = false;
+
+  uint64_t nodes_used_ = 0;
+  uint64_t memory_used_ = 0;
+  uint64_t checks_ = 0;
+  Status tripped_;  ///< sticky first failure
+};
+
+}  // namespace secview
+
+#endif  // SECVIEW_COMMON_BUDGET_H_

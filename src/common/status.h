@@ -18,6 +18,9 @@ enum class StatusCode {
   kInternal,          ///< Invariant violation inside the library.
   kUnimplemented,     ///< Feature intentionally not supported.
   kAborted,           ///< View materialization aborted (paper Section 3.3).
+  kDeadlineExceeded,  ///< A wall-clock deadline expired before completion.
+  kResourceExhausted, ///< A resource budget (nodes, memory, queue) ran out.
+  kCancelled,         ///< The caller cancelled the work (e.g. CancelAll).
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -57,8 +60,25 @@ class Status {
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

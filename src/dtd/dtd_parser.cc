@@ -94,7 +94,8 @@ namespace {
 /// Recursive-descent parser for content-model expressions.
 class RegexParser {
  public:
-  explicit RegexParser(std::string_view input) : input_(input) {}
+  RegexParser(std::string_view input, const DtdParseLimits& limits)
+      : input_(input), limits_(limits) {}
 
   Result<std::unique_ptr<ContentRegex>> Parse() {
     SkipWs();
@@ -127,8 +128,33 @@ class RegexParser {
     return true;
   }
 
+  /// Balances depth_ across every exit path of ParseExpr.
+  struct DepthGuard {
+    explicit DepthGuard(RegexParser* p) : p_(p) { ++p_->depth_; }
+    ~DepthGuard() { --p_->depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    RegexParser* p_;
+  };
+
+  Status CountNode() {
+    ++nodes_;
+    if (limits_.max_regex_nodes != 0 && nodes_ > limits_.max_regex_nodes) {
+      return Status::OutOfRange(
+          "content model exceeds the regex node limit of " +
+          std::to_string(limits_.max_regex_nodes));
+    }
+    return Status::OK();
+  }
+
   /// expr := term (',' term)* | term ('|' term)*
   Result<std::unique_ptr<ContentRegex>> ParseExpr() {
+    DepthGuard depth(this);
+    if (limits_.max_depth != 0 && depth_ > limits_.max_depth) {
+      return Status::OutOfRange(
+          "content model nesting exceeds the depth limit of " +
+          std::to_string(limits_.max_depth));
+    }
     SECVIEW_ASSIGN_OR_RETURN(auto first, ParseTerm());
     SkipWs();
     std::vector<std::unique_ptr<ContentRegex>> parts;
@@ -171,6 +197,7 @@ class RegexParser {
 
   /// atom := '(' expr ')' | '#PCDATA' | name
   Result<std::unique_ptr<ContentRegex>> ParseAtom() {
+    SECVIEW_RETURN_IF_ERROR(CountNode());
     SkipWs();
     if (Consume("(")) {
       SkipWs();
@@ -210,7 +237,10 @@ class RegexParser {
   }
 
   std::string_view input_;
+  DtdParseLimits limits_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
+  size_t nodes_ = 0;
 };
 
 /// Parses the body of an <!ATTLIST elem ...> declaration (after "elem").
@@ -320,13 +350,32 @@ class AttlistParser {
 }  // namespace
 
 Result<GenericDtd> ParseDtdText(std::string_view input) {
+  return ParseDtdText(input, DtdParseLimits{});
+}
+
+Result<GenericDtd> ParseDtdText(std::string_view input,
+                                const DtdParseLimits& limits) {
+  if (limits.max_input_bytes != 0 && input.size() > limits.max_input_bytes) {
+    return Status::OutOfRange(
+        "DTD input of " + std::to_string(input.size()) +
+        " bytes exceeds limit of " + std::to_string(limits.max_input_bytes));
+  }
   GenericDtd dtd;
   size_t pos = 0;
+  size_t decls = 0;
   auto skip_ws = [&] {
     while (pos < input.size() &&
            std::isspace(static_cast<unsigned char>(input[pos]))) {
       ++pos;
     }
+  };
+  auto count_decl = [&]() -> Status {
+    ++decls;
+    if (limits.max_decls != 0 && decls > limits.max_decls) {
+      return Status::OutOfRange("DTD exceeds the declaration limit of " +
+                                std::to_string(limits.max_decls));
+    }
+    return Status::OK();
   };
   while (true) {
     skip_ws();
@@ -349,6 +398,7 @@ Result<GenericDtd> ParseDtdText(std::string_view input) {
       continue;
     }
     if (StartsWith(rest, "<!ELEMENT")) {
+      SECVIEW_RETURN_IF_ERROR(count_decl());
       size_t end = input.find('>', pos);
       if (end == std::string_view::npos) {
         return Status::InvalidArgument("unterminated <!ELEMENT declaration");
@@ -366,13 +416,14 @@ Result<GenericDtd> ParseDtdText(std::string_view input) {
         return Status::InvalidArgument("invalid element name in <!ELEMENT " +
                                        std::string(trimmed.substr(0, 20)));
       }
-      RegexParser parser(trimmed.substr(name_end));
+      RegexParser parser(trimmed.substr(name_end), limits);
       SECVIEW_ASSIGN_OR_RETURN(auto content, parser.Parse());
       if (dtd.elements.empty()) dtd.root = name;
       dtd.elements.push_back({std::move(name), std::move(content)});
       continue;
     }
     if (StartsWith(rest, "<!ATTLIST")) {
+      SECVIEW_RETURN_IF_ERROR(count_decl());
       size_t end = input.find('>', pos);
       if (end == std::string_view::npos) {
         return Status::InvalidArgument("unterminated <!ATTLIST declaration");
@@ -396,6 +447,7 @@ Result<GenericDtd> ParseDtdText(std::string_view input) {
       continue;
     }
     if (StartsWith(rest, "<!ENTITY") || StartsWith(rest, "<!NOTATION")) {
+      SECVIEW_RETURN_IF_ERROR(count_decl());
       size_t end = input.find('>', pos);
       if (end == std::string_view::npos) {
         return Status::InvalidArgument("unterminated declaration in DTD");
@@ -414,11 +466,16 @@ Result<GenericDtd> ParseDtdText(std::string_view input) {
 }
 
 Result<GenericDtd> ParseDtdFile(const std::string& path) {
+  return ParseDtdFile(path, DtdParseLimits{});
+}
+
+Result<GenericDtd> ParseDtdFile(const std::string& path,
+                                const DtdParseLimits& limits) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open DTD file: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return ParseDtdText(buffer.str());
+  return ParseDtdText(buffer.str(), limits);
 }
 
 }  // namespace secview

@@ -67,6 +67,25 @@ struct GenericDtd {
   std::string root;
 };
 
+/// Hostile-input hardening limits for DTD parsing. DTDs shape every
+/// later phase (normalization introduces aux types per regex node, view
+/// derivation walks the type graph), so a malicious DTD is amplified
+/// downstream; these caps bound the damage at the door. Exceeding a
+/// limit returns kOutOfRange; zero disables that limit. Note the
+/// normalizer does NOT inline-expand element references, so a
+/// billion-laughs-shaped DTD is bounded by these parser-level caps
+/// alone — there is no exponential blowup to chase further in.
+struct DtdParseLimits {
+  /// Maximum DTD text length in bytes.
+  size_t max_input_bytes = 8 << 20;
+  /// Maximum nesting depth of parentheses in one content model.
+  size_t max_depth = 128;
+  /// Maximum number of declarations (<!ELEMENT>, <!ATTLIST>, ...).
+  size_t max_decls = 65536;
+  /// Maximum regex AST nodes in one content model.
+  size_t max_regex_nodes = 1 << 20;
+};
+
 /// Parses DTD text consisting of <!ELEMENT ...> and <!ATTLIST ...>
 /// declarations; <!ENTITY>, <!NOTATION>, comments and PIs are skipped.
 /// The first declared element is taken as the root. `ANY` content is
@@ -74,9 +93,13 @@ struct GenericDtd {
 /// other than CDATA and enumerations (ID, NMTOKEN, ...) are kept as
 /// CDATA.
 Result<GenericDtd> ParseDtdText(std::string_view input);
+Result<GenericDtd> ParseDtdText(std::string_view input,
+                                const DtdParseLimits& limits);
 
 /// Reads and parses the DTD file at `path`.
 Result<GenericDtd> ParseDtdFile(const std::string& path);
+Result<GenericDtd> ParseDtdFile(const std::string& path,
+                                const DtdParseLimits& limits);
 
 }  // namespace secview
 

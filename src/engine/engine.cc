@@ -19,6 +19,8 @@ SecureQueryEngine::SecureQueryEngine(std::unique_ptr<Dtd> dtd,
   hot_.queries = &metrics_.GetCounter("engine.queries");
   hot_.results_returned = &metrics_.GetCounter("engine.results_returned");
   hot_.execute_errors = &metrics_.GetCounter("engine.execute_errors");
+  hot_.rejected_deadline = &metrics_.GetCounter("engine.rejected.deadline");
+  hot_.rejected_budget = &metrics_.GetCounter("engine.rejected.budget");
   hot_.cache_hits = &metrics_.GetCounter("engine.rewrite_cache.hits");
   hot_.cache_misses = &metrics_.GetCounter("engine.rewrite_cache.misses");
   hot_.cache_evictions = &metrics_.GetCounter("engine.cache.evictions");
@@ -149,7 +151,9 @@ Result<PathPtr> SecureQueryEngine::Prepare(Policy& policy,
                                            std::string_view query_text,
                                            bool optimize, int depth,
                                            obs::Trace* trace,
-                                           ExecuteStats* stats) {
+                                           ExecuteStats* stats,
+                                           const XPathParseLimits& parse_limits,
+                                           QueryBudget* budget) {
   const bool recursive = !policy.rewriter.has_value();
   std::string cache_key = std::string(query_text) + "\x1f" +
                           (optimize ? "1" : "0") + "\x1f" +
@@ -167,9 +171,10 @@ Result<PathPtr> SecureQueryEngine::Prepare(Policy& policy,
     obs::ScopedSpan span(trace, "parse");
     obs::ScopedTimer timer(&metrics_.GetHistogram("phase.parse.micros"),
                            stats != nullptr ? &stats->parse_micros : nullptr);
-    SECVIEW_ASSIGN_OR_RETURN(query, ParseXPath(query_text));
+    SECVIEW_ASSIGN_OR_RETURN(query, ParseXPath(query_text, parse_limits));
     span.SetAttr("ast_size", PathSize(query));
   }
+  if (budget != nullptr) SECVIEW_RETURN_IF_ERROR(budget->Check());
 
   // Recursive views: unfold to the document height first, then rewrite
   // over the unfolded (now non-recursive) view.
@@ -193,10 +198,11 @@ Result<PathPtr> SecureQueryEngine::Prepare(Policy& policy,
     if (recursive) {
       SECVIEW_ASSIGN_OR_RETURN(QueryRewriter rewriter,
                                QueryRewriter::Create(*unfolded));
-      SECVIEW_ASSIGN_OR_RETURN(rewritten, rewriter.Rewrite(query, &rstats));
-    } else {
       SECVIEW_ASSIGN_OR_RETURN(rewritten,
-                               policy.rewriter->Rewrite(query, &rstats));
+                               rewriter.Rewrite(query, &rstats, budget));
+    } else {
+      SECVIEW_ASSIGN_OR_RETURN(
+          rewritten, policy.rewriter->Rewrite(query, &rstats, budget));
     }
     span.SetAttr("dp_entries", static_cast<uint64_t>(rstats.dp_entries));
     span.SetAttr("ast_size", rstats.output_size);
@@ -216,7 +222,7 @@ Result<PathPtr> SecureQueryEngine::Prepare(Policy& policy,
     span.SetAttr("ast_before", PathSize(rewritten));
     OptimizeStats ostats;
     SECVIEW_ASSIGN_OR_RETURN(rewritten,
-                             optimizer_->Optimize(rewritten, &ostats));
+                             optimizer_->Optimize(rewritten, &ostats, budget));
     span.SetAttr("ast_after", ostats.output_size);
     span.SetAttr("union_prunes", static_cast<uint64_t>(ostats.union_prunes));
     metrics_.GetCounter("optimize.queries").Add();
@@ -261,7 +267,8 @@ Result<PathPtr> SecureQueryEngine::Rewrite(const std::string& policy_name,
   SECVIEW_ASSIGN_OR_RETURN(Policy* policy, FindPolicy(policy_name));
   const int depth = policy->rewriter.has_value() ? 0 : doc_height;
   return Prepare(*policy, query_text, optimize, depth,
-                 /*trace=*/nullptr, /*stats=*/nullptr);
+                 /*trace=*/nullptr, /*stats=*/nullptr, XPathParseLimits{},
+                 /*budget=*/nullptr);
 }
 
 Status SecureQueryEngine::ExecuteInto(const std::string& policy_name,
@@ -284,21 +291,30 @@ Status SecureQueryEngine::ExecuteInto(const std::string& policy_name,
   hot_.queries->Add();
   policy->queries_counter->Add();
 
+  // One budget spans the whole execution; it is only installed when a
+  // limit or a cancellation token is present, so unlimited executions
+  // pay nothing beyond this stack object.
+  QueryBudget budget(options.limits, options.cancel);
+  QueryBudget* budget_ptr = budget.active() ? &budget : nullptr;
+
   const int doc_height = policy->rewriter.has_value() ? 0 : doc.Height();
 
   result.stats.unfold_depth = doc_height;
   SECVIEW_ASSIGN_OR_RETURN(
       PathPtr rewritten,
       Prepare(*policy, query_text, /*optimize=*/false, doc_height,
-              options.trace, &result.stats));
+              options.trace, &result.stats, options.parse_limits, budget_ptr));
   result.rewritten = rewritten;
   PathPtr to_run = rewritten;
   if (options.optimize) {
     // stats.cache_hit ends up describing this (the evaluated) entry.
     SECVIEW_ASSIGN_OR_RETURN(
-        to_run, Prepare(*policy, query_text, /*optimize=*/true, doc_height,
-                        options.trace, &result.stats));
+        to_run,
+        Prepare(*policy, query_text, /*optimize=*/true, doc_height,
+                options.trace, &result.stats, options.parse_limits,
+                budget_ptr));
   }
+  if (budget_ptr != nullptr) SECVIEW_RETURN_IF_ERROR(budget_ptr->Check());
   {
     obs::ScopedSpan span(options.trace, "bind");
     to_run = BindParams(to_run, options.bindings);
@@ -318,6 +334,7 @@ Status SecureQueryEngine::ExecuteInto(const std::string& policy_name,
                            &result.stats.evaluate_micros);
     XPathEvaluator evaluator(doc);
     evaluator.set_metrics(&metrics_);
+    evaluator.set_budget(budget_ptr);
     SECVIEW_ASSIGN_OR_RETURN(result.nodes,
                              evaluator.Evaluate(to_run, doc.root()));
     result.stats.nodes_touched = evaluator.counters().nodes_touched;
@@ -344,7 +361,7 @@ Result<ExecuteResult> SecureQueryEngine::Execute(
     event.policy = policy_name;
     event.query = std::string(query_text);
     if (!status.ok()) {
-      event.outcome = "error";
+      event.outcome = obs::AuditOutcomeForStatus(status);
       event.status = StatusCodeToString(status.code());
       event.error = status.message();
     }
@@ -378,6 +395,8 @@ Result<ExecuteResult> SecureQueryEngine::Execute(
   }
   if (!status.ok()) {
     hot_.execute_errors->Add();
+    if (status.IsDeadlineExceeded()) hot_.rejected_deadline->Add();
+    if (status.IsResourceExhausted()) hot_.rejected_budget->Add();
     return status;
   }
   if (options.explain != nullptr) {

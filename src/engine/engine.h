@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/result.h"
 #include "dtd/dtd.h"
 #include "engine/rewrite_cache.h"
@@ -19,6 +20,7 @@
 #include "security/security_view.h"
 #include "xml/tree.h"
 #include "xpath/evaluator.h"
+#include "xpath/parser.h"
 
 namespace secview {
 
@@ -56,9 +58,25 @@ struct ExecuteOptions {
   obs::Trace* trace = nullptr;
 
   /// When non-null, Execute records exactly one audit event into this
-  /// sink — for successes *and* failures (denied/malformed queries show
-  /// up with outcome "error"). See obs/audit.h.
+  /// sink — for successes *and* failures. Failed executions carry an
+  /// outcome distinguishing "denied" (policy/input failures), "timeout"
+  /// (deadline or budget exhausted), and "shed" (cancelled / rejected
+  /// under load). See obs/audit.h.
   obs::AuditSink* audit = nullptr;
+
+  /// Per-execution resource budget (all-zero = unlimited, the default).
+  /// Enforced cooperatively through rewrite, optimize, and evaluate;
+  /// tripping returns kDeadlineExceeded / kResourceExhausted. The
+  /// deadline is relative to the start of Execute.
+  BudgetLimits limits;
+
+  /// Cooperative cancellation token (common/budget.h). A cancelled
+  /// execution returns kCancelled at its next budget checkpoint.
+  /// QueryWorkerPool installs its own token for queued tasks.
+  CancelToken cancel;
+
+  /// Hardening limits applied when parsing the query text.
+  XPathParseLimits parse_limits;
 
   /// When non-null, Execute additionally fills this with the rewrite
   /// decision trail (see engine/explain.h). Adds a non-cached explain
@@ -285,6 +303,10 @@ class SecureQueryEngine {
     obs::Counter* queries = nullptr;
     obs::Counter* results_returned = nullptr;
     obs::Counter* execute_errors = nullptr;
+    /// Executions that failed with kDeadlineExceeded.
+    obs::Counter* rejected_deadline = nullptr;
+    /// Executions that failed with kResourceExhausted.
+    obs::Counter* rejected_budget = nullptr;
     obs::Counter* cache_hits = nullptr;
     obs::Counter* cache_misses = nullptr;
     obs::Counter* cache_evictions = nullptr;
@@ -301,10 +323,13 @@ class SecureQueryEngine {
   /// The instrumented preparation path behind Rewrite, Execute, and the
   /// explain pass: sharded-cache lookup, then parse -> [unfold ->]
   /// rewrite -> [optimize ->] cache insert. Safe from many threads
-  /// (serve phase). `trace` and `stats` may be null.
+  /// (serve phase). `trace`, `stats`, and `budget` may be null. A
+  /// budget-tripped preparation is never cached.
   Result<PathPtr> Prepare(Policy& policy, std::string_view query_text,
                           bool optimize, int depth, obs::Trace* trace,
-                          ExecuteStats* stats);
+                          ExecuteStats* stats,
+                          const XPathParseLimits& parse_limits,
+                          QueryBudget* budget);
 
   /// Execute minus the audit bookkeeping; fills `result` as far as the
   /// execution got, so a failing run still exposes partial provenance

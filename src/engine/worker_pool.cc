@@ -1,9 +1,33 @@
 #include "engine/worker_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
+#include "obs/audit.h"
+
 namespace secview {
+
+namespace {
+
+/// Audit record for a task the pool disposed of *without* executing it
+/// (shed at submission, expired or cancelled in the queue). The engine
+/// never saw the query, so the pool writes the trail entry itself,
+/// through the same outcome mapping Execute uses.
+void RecordPoolAudit(obs::AuditSink* sink, const std::string& policy,
+                     const std::string& query, const Status& status) {
+  if (sink == nullptr) return;
+  obs::AuditEvent event;
+  event.unix_micros = obs::AuditEvent::NowUnixMicros();
+  event.policy = policy;
+  event.query = query;
+  event.outcome = obs::AuditOutcomeForStatus(status);
+  event.status = StatusCodeToString(status.code());
+  event.error = status.message();
+  sink->Record(event);
+}
+
+}  // namespace
 
 QueryWorkerPool::QueryWorkerPool(SecureQueryEngine& engine)
     : QueryWorkerPool(engine, Options{}) {}
@@ -11,8 +35,10 @@ QueryWorkerPool::QueryWorkerPool(SecureQueryEngine& engine)
 QueryWorkerPool::QueryWorkerPool(SecureQueryEngine& engine,
                                  const Options& options)
     : engine_(engine),
+      options_(options),
       tasks_counter_(&engine.metrics().GetCounter("engine.pool.tasks")),
       batches_counter_(&engine.metrics().GetCounter("engine.pool.batches")),
+      shed_counter_(&engine.metrics().GetCounter("engine.pool.shed")),
       queue_depth_gauge_(&engine.metrics().GetGauge("engine.pool.queue_depth")),
       threads_gauge_(&engine.metrics().GetGauge("engine.pool.threads")) {
   // Serving from many threads requires the policy set to be fixed.
@@ -82,21 +108,73 @@ std::vector<Result<ExecuteResult>> QueryWorkerPool::ExecuteBatch(
   task_options.trace = nullptr;
   task_options.explain = nullptr;
 
+  // The deadline is absolute from here on: time a task spends queued
+  // counts against it. The pool's own cancellation token replaces any
+  // caller-provided one (CancelAll must reach every task it fans out).
+  const uint64_t deadline_ms = options.limits.deadline_ms;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(deadline_ms);
+  task_options.cancel = CancelToken(cancel_source_);
+
+  auto run_task = [this, state, &policy, &doc, &queries, task_options,
+                   deadline_ms, deadline](size_t i) {
+    ExecuteOptions opts = task_options;
+    Result<ExecuteResult> result = [&]() -> Result<ExecuteResult> {
+      if (opts.cancel.cancelled()) {
+        Status st = Status::Cancelled("query cancelled while queued");
+        RecordPoolAudit(opts.audit, policy, queries[i], st);
+        return st;
+      }
+      if (deadline_ms > 0) {
+        auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) {
+          engine_.metrics().GetCounter("engine.rejected.deadline").Add();
+          Status st = Status::DeadlineExceeded(
+              "deadline of " + std::to_string(deadline_ms) +
+              " ms expired while the query was queued");
+          RecordPoolAudit(opts.audit, policy, queries[i], st);
+          return st;
+        }
+        auto remaining_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                deadline - now)
+                                .count();
+        opts.limits.deadline_ms =
+            std::max<uint64_t>(1, static_cast<uint64_t>(remaining_ms));
+      }
+      return engine_.Execute(policy, doc, queries[i], opts);
+    }();
+    std::lock_guard<std::mutex> slot_lock(state->mu);
+    state->results[i] = std::move(result);
+    if (--state->remaining == 0) state->done_cv.notify_all();
+  };
+
+  // Enqueue under one lock hold, so shedding is deterministic: with a
+  // cap of C and a queue already holding Q tasks, exactly the first
+  // max(0, C - Q) tasks of this batch enqueue and the rest shed.
+  std::vector<size_t> shed;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t i = 0; i < queries.size(); ++i) {
-      queue_.emplace_back([this, state, &policy, &doc, &queries, task_options,
-                           i] {
-        Result<ExecuteResult> result =
-            engine_.Execute(policy, doc, queries[i], task_options);
-        std::lock_guard<std::mutex> slot_lock(state->mu);
-        state->results[i] = std::move(result);
-        if (--state->remaining == 0) state->done_cv.notify_all();
-      });
+      if (options_.queue_cap != 0 && queue_.size() >= options_.queue_cap) {
+        shed.push_back(i);
+        continue;
+      }
+      queue_.emplace_back([run_task, i] { run_task(i); });
+      queue_depth_gauge_->Add(1);
     }
   }
-  queue_depth_gauge_->Add(static_cast<int64_t>(queries.size()));
   work_available_.notify_all();
+
+  for (size_t i : shed) {
+    shed_counter_->Add();
+    Status st = Status::ResourceExhausted(
+        "query shed: the pool's submission queue is full (cap " +
+        std::to_string(options_.queue_cap) + ")");
+    RecordPoolAudit(task_options.audit, policy, queries[i], st);
+    std::lock_guard<std::mutex> slot_lock(state->mu);
+    state->results[i] = std::move(st);
+    if (--state->remaining == 0) state->done_cv.notify_all();
+  }
 
   std::unique_lock<std::mutex> lock(state->mu);
   state->done_cv.wait(lock, [&] { return state->remaining == 0; });

@@ -31,15 +31,38 @@ namespace secview {
 ///   engine.pool.queue_depth  gauge    tasks enqueued but not started
 ///   engine.pool.tasks        counter  tasks executed (lifetime)
 ///   engine.pool.batches      counter  ExecuteBatch calls (lifetime)
+///   engine.pool.shed         counter  tasks rejected at submission
+///                                     because the queue was full
 ///
 /// ExecuteBatch may be called from several client threads at once; each
 /// batch tracks its own completion state.
+///
+/// Defensive serving (docs/robustness.md):
+///
+///  * `Options::queue_cap` bounds the submission queue. A batch whose
+///    tasks would push the queue past the cap has the overflow *shed*:
+///    those slots return ResourceExhausted immediately, without
+///    executing, and engine.pool.shed counts them. The whole batch is
+///    enqueued under one lock hold, so shedding is deterministic —
+///    exactly the tasks beyond the cap are rejected.
+///  * `ExecuteOptions::limits.deadline_ms` is fixed at *submission*:
+///    queue wait counts against it. A task whose deadline expired while
+///    queued returns DeadlineExceeded without executing; one that starts
+///    in time runs with the remaining milliseconds.
+///  * CancelAll() aborts everything submitted so far — queued tasks
+///    return Cancelled when dequeued, running executions trip at their
+///    next budget checkpoint. Batches submitted afterwards run clean.
+///    The pool installs its own CancelToken into every task, replacing
+///    any caller-provided token.
 class QueryWorkerPool {
  public:
   struct Options {
     /// Worker threads; 0 picks std::thread::hardware_concurrency()
     /// (minimum 1).
     size_t threads = 0;
+    /// Maximum tasks enqueued-but-not-started before submissions shed.
+    /// 0 = unbounded (the historical behavior).
+    size_t queue_cap = 0;
   };
 
   explicit QueryWorkerPool(SecureQueryEngine& engine);
@@ -50,6 +73,10 @@ class QueryWorkerPool {
   QueryWorkerPool& operator=(const QueryWorkerPool&) = delete;
 
   size_t threads() const { return workers_.size(); }
+
+  /// Cancels every task submitted before this call (queued or running);
+  /// see the class comment. Thread-safe; later batches are unaffected.
+  void CancelAll() { cancel_source_.CancelAll(); }
 
   /// Executes every query of `queries` against (`policy`, `doc`) on the
   /// pool and blocks until all are done. Results are returned in input
@@ -71,7 +98,9 @@ class QueryWorkerPool {
   void WorkerLoop();
 
   SecureQueryEngine& engine_;
+  Options options_;
   std::vector<std::thread> workers_;
+  CancelSource cancel_source_;
 
   std::mutex mu_;
   std::condition_variable work_available_;
@@ -80,6 +109,7 @@ class QueryWorkerPool {
 
   obs::Counter* tasks_counter_;
   obs::Counter* batches_counter_;
+  obs::Counter* shed_counter_;
   obs::Gauge* queue_depth_gauge_;
   obs::Gauge* threads_gauge_;
 };

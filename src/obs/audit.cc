@@ -41,6 +41,15 @@ Json AuditEvent::ToJson() const {
   return j;
 }
 
+const char* AuditOutcomeForStatus(const Status& status) {
+  if (status.ok()) return "ok";
+  if (status.IsDeadlineExceeded() || status.IsResourceExhausted()) {
+    return "timeout";
+  }
+  if (status.IsCancelled()) return "shed";
+  return "denied";
+}
+
 int64_t AuditEvent::NowUnixMicros() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::system_clock::now().time_since_epoch())
@@ -180,9 +189,12 @@ Status ValidateAuditLine(std::string_view line) {
     if (record.Find("error") != nullptr) {
       return Status::InvalidArgument("ok outcome carries an error message");
     }
-  } else if (outcome == "error") {
+  } else if (outcome == "error" || outcome == "denied" ||
+             outcome == "timeout" || outcome == "shed") {
+    // "error" is the legacy catch-all; "denied"/"timeout"/"shed" refine
+    // it. All four share the failure invariants.
     if (record.Find("status")->AsString() == "OK") {
-      return Status::InvalidArgument("error outcome with OK status");
+      return Status::InvalidArgument(outcome + " outcome with OK status");
     }
     if (RequireMember(record, "error", Json::Kind::kString, &st) == nullptr) {
       return st;

@@ -32,8 +32,13 @@ struct AuditEvent {
   std::string policy;
   std::string query;
 
-  /// "ok" for answered queries, "error" for rejected/failed ones
-  /// (unknown policy, malformed query, unbound parameters, ...).
+  /// "ok" for answered queries; failures are split by cause:
+  ///   "denied"  — policy/input failures (unknown policy, malformed
+  ///               query, unbound parameters, limit violations, ...),
+  ///   "timeout" — the execution's deadline or resource budget tripped,
+  ///   "shed"    — the work was cancelled or rejected under load.
+  /// ("error" is the pre-v1.1 catch-all for all failures; readers must
+  /// keep accepting it.)
   std::string outcome = "ok";
   /// StatusCodeToString of the execution status ("OK" when ok).
   std::string status = "OK";
@@ -128,11 +133,19 @@ class JsonlAuditLog : public AuditSink {
   uint64_t rotations_ = 0;
 };
 
+/// Maps an execution status to its audit outcome: "ok" for OK,
+/// "timeout" for DeadlineExceeded/ResourceExhausted, "shed" for
+/// Cancelled, "denied" for every other failure. The engine and the
+/// worker pool both record through this mapping so the trail's outcome
+/// taxonomy is consistent.
+const char* AuditOutcomeForStatus(const Status& status);
+
 /// Checks that `line` is a valid secview.audit.v1 record: parseable
 /// JSON object, correct schema tag, all required fields present with the
 /// right types, outcome-specific invariants (errors carry a message,
 /// successes carry a result count and rewritten query). Returns the
-/// first violation found.
+/// first violation found. Error-like outcomes are "error" (legacy),
+/// "denied", "timeout", and "shed"; all share the same invariants.
 Status ValidateAuditLine(std::string_view line);
 
 }  // namespace secview::obs

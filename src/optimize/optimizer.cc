@@ -48,9 +48,11 @@ class OptimizeDp {
         stats_(stats),
         explain_(stats != nullptr && stats->collect_explain) {}
 
-  PathPtr Run(const PathPtr& p, TypeId a) {
+  Result<PathPtr> Run(const PathPtr& p, TypeId a, QueryBudget* budget) {
+    budget_ = budget;
     PathPtr normalized = NormalizeQualifierSteps(p);
     PathPtr out = Opt(normalized, a).Total();
+    if (!budget_status_.ok()) return budget_status_;
     if (stats_ != nullptr) {
       stats_->dp_path_nodes = memo_.size();
       for (const auto& [expr, per_type] : memo_) {
@@ -73,6 +75,11 @@ class OptimizeDp {
 
   OptResult Compute(const PathPtr& p, TypeId a) {
     OptResult r;
+    // One DP cell = one allocation unit, as in the rewriter's DP.
+    if (budget_ != nullptr && budget_status_.ok()) {
+      budget_status_ = budget_->ChargeMemory(1);
+    }
+    if (!budget_status_.ok()) return r;
     switch (p->kind) {
       case PathKind::kEmptySet:
         return r;
@@ -214,6 +221,8 @@ class OptimizeDp {
   const Dtd& dtd_;
   const DtdPathIndex& index_;
   OptimizeStats* stats_;
+  QueryBudget* budget_ = nullptr;
+  Status budget_status_;
   const bool explain_;
   std::unordered_map<const PathExpr*, std::unordered_map<TypeId, OptResult>>
       memo_;
@@ -231,18 +240,20 @@ Result<QueryOptimizer> QueryOptimizer::Create(const Dtd& dtd) {
 }
 
 Result<PathPtr> QueryOptimizer::Optimize(const PathPtr& p,
-                                         OptimizeStats* stats) const {
-  return OptimizeAt(p, dtd().root(), stats);
+                                         OptimizeStats* stats,
+                                         QueryBudget* budget) const {
+  return OptimizeAt(p, dtd().root(), stats, budget);
 }
 
 Result<PathPtr> QueryOptimizer::OptimizeAt(const PathPtr& p, TypeId a,
-                                           OptimizeStats* stats) const {
+                                           OptimizeStats* stats,
+                                           QueryBudget* budget) const {
   if (!p) return Status::InvalidArgument("null query");
   if (a == kNullType || a >= dtd().NumTypes()) {
     return Status::InvalidArgument("invalid context type");
   }
   OptimizeDp dp(*graph_, index_, stats);
-  return dp.Run(p, a);
+  return dp.Run(p, a, budget);
 }
 
 Result<bool> IsContainedIn(const DtdGraph& graph, const PathPtr& p1,

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/result.h"
 #include "dtd/dtd.h"
 #include "dtd/graph.h"
@@ -64,12 +65,16 @@ class QueryOptimizer {
 
   /// Optimizes `p` for evaluation at root elements. When `stats` is
   /// non-null it receives the DP sizes and pruning counts of this run.
-  Result<PathPtr> Optimize(const PathPtr& p,
-                           OptimizeStats* stats = nullptr) const;
+  /// When `budget` is non-null, every filled DP cell charges one
+  /// allocation unit and the run aborts with the budget's error once it
+  /// trips (same contract as QueryRewriter::Rewrite).
+  Result<PathPtr> Optimize(const PathPtr& p, OptimizeStats* stats = nullptr,
+                           QueryBudget* budget = nullptr) const;
 
   /// Optimizes `p` for evaluation at `a` elements.
   Result<PathPtr> OptimizeAt(const PathPtr& p, TypeId a,
-                             OptimizeStats* stats = nullptr) const;
+                             OptimizeStats* stats = nullptr,
+                             QueryBudget* budget = nullptr) const;
 
   const Dtd& dtd() const { return graph_->dtd(); }
   const DtdGraph& graph() const { return *graph_; }

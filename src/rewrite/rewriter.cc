@@ -46,11 +46,14 @@ class RewriteDp {
   RewriteDp(const SecurityView& view, const ViewReachability& reach)
       : view_(view), reach_(reach) {}
 
-  Result<PathPtr> Run(const PathPtr& p, RewriteStats* stats) {
+  Result<PathPtr> Run(const PathPtr& p, RewriteStats* stats,
+                      QueryBudget* budget) {
     stats_ = stats;
+    budget_ = budget;
     explain_ = stats != nullptr && stats->collect_explain;
     PathPtr normalized = NormalizeQualifierSteps(p);
     const Translation& t = Rw(normalized, view_.root());
+    if (!budget_status_.ok()) return budget_status_;
     PathPtr out = t.Total();
     if (stats != nullptr) {
       stats->dp_path_nodes = path_memo_.size();
@@ -74,6 +77,13 @@ class RewriteDp {
   }
 
   Translation Compute(const PathPtr& p, ViewTypeId a) {
+    // One DP cell = one allocation unit. Once the budget trips, cells
+    // compute to empty so the whole table drains quickly; Run discards
+    // the bogus result and returns the budget's error.
+    if (budget_ != nullptr && budget_status_.ok()) {
+      budget_status_ = budget_->ChargeMemory(1);
+    }
+    if (!budget_status_.ok()) return Translation{};
     Translation t = ComputeImpl(p, a);
     if (explain_) {
       RewriteStats::DpCell cell;
@@ -240,6 +250,8 @@ class RewriteDp {
   const SecurityView& view_;
   const ViewReachability& reach_;
   RewriteStats* stats_ = nullptr;
+  QueryBudget* budget_ = nullptr;
+  Status budget_status_;
   bool explain_ = false;
   std::unordered_map<const PathExpr*, std::unordered_map<ViewTypeId, Translation>>
       path_memo_;
@@ -253,11 +265,11 @@ Result<QueryRewriter> QueryRewriter::Create(const SecurityView& view) {
   return QueryRewriter(view, std::move(reach));
 }
 
-Result<PathPtr> QueryRewriter::Rewrite(const PathPtr& p,
-                                       RewriteStats* stats) const {
+Result<PathPtr> QueryRewriter::Rewrite(const PathPtr& p, RewriteStats* stats,
+                                       QueryBudget* budget) const {
   if (!p) return Status::InvalidArgument("null query");
   RewriteDp dp(*view_, reach_);
-  return dp.Run(p, stats);
+  return dp.Run(p, stats, budget);
 }
 
 Result<PathPtr> RewriteForDocument(const SecurityView& view, const PathPtr& p,

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/result.h"
 #include "rewrite/rec_paths.h"
 #include "security/security_view.h"
@@ -94,9 +95,12 @@ class QueryRewriter {
 
   /// Rewrites a query over the view into the equivalent query over the
   /// document, to be evaluated at the document root. When `stats` is
-  /// non-null it receives the DP-table sizes of this run.
-  Result<PathPtr> Rewrite(const PathPtr& p,
-                          RewriteStats* stats = nullptr) const;
+  /// non-null it receives the DP-table sizes of this run. When `budget`
+  /// is non-null, every filled DP cell charges one allocation unit to it
+  /// and the run aborts with the budget's error once it trips — bounding
+  /// the memo table a hostile query can force the rewriter to build.
+  Result<PathPtr> Rewrite(const PathPtr& p, RewriteStats* stats = nullptr,
+                          QueryBudget* budget = nullptr) const;
 
   const SecurityView& view() const { return *view_; }
   const ViewReachability& reachability() const { return reach_; }

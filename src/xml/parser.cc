@@ -57,6 +57,11 @@ Status ParseError(const Cursor& cursor, const std::string& what) {
                                  std::to_string(cursor.line()) + ": " + what);
 }
 
+Status LimitError(const Cursor& cursor, const std::string& what) {
+  return Status::OutOfRange("XML limit exceeded at line " +
+                            std::to_string(cursor.line()) + ": " + what);
+}
+
 /// Decodes the predefined entities and numeric character references in `raw`.
 Result<std::string> DecodeText(std::string_view raw, const Cursor& cursor) {
   std::string out;
@@ -120,12 +125,18 @@ Result<std::string> DecodeText(std::string_view raw, const Cursor& cursor) {
   return out;
 }
 
-Result<std::string> ParseName(Cursor& cursor) {
+Result<std::string> ParseName(Cursor& cursor, size_t max_name_bytes) {
   if (cursor.AtEnd() || !IsNameStartChar(cursor.Peek())) {
     return ParseError(cursor, "expected a name");
   }
   size_t begin = cursor.pos();
   while (!cursor.AtEnd() && IsNameChar(cursor.Peek())) cursor.Advance();
+  size_t length = cursor.pos() - begin;
+  if (max_name_bytes != 0 && length > max_name_bytes) {
+    return LimitError(cursor, "name of " + std::to_string(length) +
+                                  " bytes exceeds limit of " +
+                                  std::to_string(max_name_bytes));
+  }
   return std::string(cursor.Slice(begin, cursor.pos()));
 }
 
@@ -166,14 +177,21 @@ struct Attr {
   std::string value;
 };
 
-Result<std::vector<Attr>> ParseAttributes(Cursor& cursor) {
+Result<std::vector<Attr>> ParseAttributes(Cursor& cursor,
+                                          const XmlParseOptions& options) {
   std::vector<Attr> attrs;
   while (true) {
     cursor.SkipWhitespace();
     if (cursor.AtEnd()) return ParseError(cursor, "unterminated start tag");
     char c = cursor.Peek();
     if (c == '>' || c == '/') return attrs;
-    SECVIEW_ASSIGN_OR_RETURN(std::string name, ParseName(cursor));
+    if (options.max_attrs != 0 && attrs.size() >= options.max_attrs) {
+      return LimitError(cursor, "element has more than " +
+                                    std::to_string(options.max_attrs) +
+                                    " attributes");
+    }
+    SECVIEW_ASSIGN_OR_RETURN(std::string name,
+                             ParseName(cursor, options.max_name_bytes));
     cursor.SkipWhitespace();
     if (!cursor.Consume("=")) {
       return ParseError(cursor, "expected '=' after attribute name");
@@ -191,6 +209,13 @@ Result<std::vector<Attr>> ParseAttributes(Cursor& cursor) {
     }
     SECVIEW_ASSIGN_OR_RETURN(
         std::string value, DecodeText(cursor.Slice(begin, cursor.pos()), cursor));
+    if (options.max_attr_value_bytes != 0 &&
+        value.size() > options.max_attr_value_bytes) {
+      return LimitError(cursor, "attribute value of " +
+                                    std::to_string(value.size()) +
+                                    " bytes exceeds limit of " +
+                                    std::to_string(options.max_attr_value_bytes));
+    }
     cursor.Advance();  // closing quote
     for (const Attr& existing : attrs) {
       if (existing.name == name) {
@@ -218,6 +243,11 @@ Result<XmlTree> ParseXml(std::string_view input, const XmlParseOptions& options)
   std::vector<NodeId> open;  // stack of open elements
 
   auto add_text = [&](std::string&& value) -> Status {
+    if (options.max_text_bytes != 0 && value.size() > options.max_text_bytes) {
+      return LimitError(cursor, "text run of " + std::to_string(value.size()) +
+                                    " bytes exceeds limit of " +
+                                    std::to_string(options.max_text_bytes));
+    }
     if (open.empty()) {
       if (IsAllWhitespace(value)) return Status::OK();
       return ParseError(cursor, "text outside the root element");
@@ -253,7 +283,8 @@ Result<XmlTree> ParseXml(std::string_view input, const XmlParseOptions& options)
       if (cursor.PeekAt(1) == '/') {
         // End tag.
         cursor.AdvanceBy(2);
-        SECVIEW_ASSIGN_OR_RETURN(std::string name, ParseName(cursor));
+        SECVIEW_ASSIGN_OR_RETURN(std::string name,
+                                 ParseName(cursor, options.max_name_bytes));
         cursor.SkipWhitespace();
         if (!cursor.Consume(">")) {
           return ParseError(cursor, "expected '>' in end tag");
@@ -277,9 +308,10 @@ Result<XmlTree> ParseXml(std::string_view input, const XmlParseOptions& options)
       }
       // Start tag.
       cursor.Advance();  // '<'
-      SECVIEW_ASSIGN_OR_RETURN(std::string name, ParseName(cursor));
+      SECVIEW_ASSIGN_OR_RETURN(std::string name,
+                               ParseName(cursor, options.max_name_bytes));
       SECVIEW_ASSIGN_OR_RETURN(std::vector<Attr> attrs,
-                               ParseAttributes(cursor));
+                               ParseAttributes(cursor, options));
       bool self_closing = cursor.Consume("/");
       if (!cursor.Consume(">")) {
         return ParseError(cursor, "expected '>' in start tag");
@@ -297,6 +329,10 @@ Result<XmlTree> ParseXml(std::string_view input, const XmlParseOptions& options)
         tree.SetAttribute(node, attr.name, attr.value);
       }
       if (!self_closing) {
+        if (options.max_depth != 0 && open.size() >= options.max_depth) {
+          return LimitError(cursor, "element nesting deeper than limit of " +
+                                        std::to_string(options.max_depth));
+        }
         open.push_back(node);
       } else if (open.empty()) {
         break;  // self-closing root

@@ -19,8 +19,25 @@ namespace secview {
 /// Whitespace-only text between elements is dropped by default, matching
 /// the data model of the paper where PCDATA only appears under elements
 /// declared with `str` content. Set `keep_whitespace_text` to retain it.
+///
+/// The limit fields harden the parser against hostile documents (stack
+/// exhaustion via nesting, memory exhaustion via giant names/values).
+/// Exceeding a limit returns kOutOfRange; zero disables that limit. The
+/// defaults comfortably admit every corpus in the paper's experiments.
 struct XmlParseOptions {
   bool keep_whitespace_text = false;
+  /// Maximum element nesting depth. The parser is iterative, so depth
+  /// costs memory rather than stack; the default admits the documented
+  /// depth-10k bound with headroom.
+  size_t max_depth = 16384;
+  /// Maximum length of an element or attribute name, in bytes.
+  size_t max_name_bytes = 4096;
+  /// Maximum number of attributes on a single element.
+  size_t max_attrs = 1024;
+  /// Maximum decoded length of one attribute value, in bytes.
+  size_t max_attr_value_bytes = 1 << 20;
+  /// Maximum decoded length of one contiguous text run, in bytes.
+  size_t max_text_bytes = 16 << 20;
 };
 
 Result<XmlTree> ParseXml(std::string_view input,

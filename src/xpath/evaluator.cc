@@ -21,6 +21,9 @@ Result<NodeSet> XPathEvaluator::Evaluate(const PathPtr& p,
   EvalCounters before = counters_;
   NodeSet result = Eval(p, context);
   FlushDelta(before);
+  if (budget_ != nullptr) {
+    SECVIEW_RETURN_IF_ERROR(FinishBudget());
+  }
   return result;
 }
 
@@ -33,7 +36,29 @@ Result<bool> XPathEvaluator::EvaluateQualifier(const QualPtr& q, NodeId node) {
   EvalCounters before = counters_;
   bool result = EvalQual(q, node);
   FlushDelta(before);
+  if (budget_ != nullptr) {
+    SECVIEW_RETURN_IF_ERROR(FinishBudget());
+  }
   return result;
+}
+
+void XPathEvaluator::ChargeBudget(uint64_t delta) {
+  budget_charged_ = counters_.nodes_touched;
+  ++counters_.budget_checks;
+  Status st = budget_->ChargeNodes(delta);
+  if (!st.ok()) {
+    budget_stop_ = true;
+    budget_status_ = std::move(st);
+  }
+}
+
+Status XPathEvaluator::FinishBudget() {
+  // Charge the sub-stride tail so small budgets trip deterministically
+  // even on queries that never cross a stride boundary.
+  if (!budget_stop_) {
+    ChargeBudget(counters_.nodes_touched - budget_charged_);
+  }
+  return budget_status_;
 }
 
 void XPathEvaluator::FlushDelta(const EvalCounters& before) {
@@ -50,6 +75,9 @@ void XPathEvaluator::FlushDelta(const EvalCounters& before) {
   if (uint64_t d = counters_.sort_skips - before.sort_skips; d > 0) {
     metrics_->GetCounter("eval.sort_skips").Add(d);
   }
+  if (uint64_t d = counters_.budget_checks - before.budget_checks; d > 0) {
+    metrics_->GetCounter("xpath.budget_checks").Add(d);
+  }
 }
 
 void XPathEvaluator::SortUnique(NodeSet& set) {
@@ -59,6 +87,7 @@ void XPathEvaluator::SortUnique(NodeSet& set) {
 
 NodeSet XPathEvaluator::Eval(const PathPtr& p, const NodeSet& ctx) {
   if (ctx.empty()) return {};
+  if (BudgetTripped()) return {};
   switch (p->kind) {
     case PathKind::kEmptySet:
       return {};
@@ -124,6 +153,7 @@ NodeSet XPathEvaluator::Eval(const PathPtr& p, const NodeSet& ctx) {
 NodeSet XPathEvaluator::EvalLabel(int label_id, const NodeSet& ctx) {
   NodeSet out;
   for (NodeId v : ctx) {
+    if (BudgetTripped()) break;
     if (!tree_->IsElement(v)) continue;
     for (NodeId c = tree_->first_child(v); c != kNullNode;
          c = tree_->next_sibling(c)) {
@@ -147,6 +177,7 @@ NodeSet XPathEvaluator::EvalLabel(int label_id, const NodeSet& ctx) {
 NodeSet XPathEvaluator::EvalWildcard(const NodeSet& ctx) {
   NodeSet out;
   for (NodeId v : ctx) {
+    if (BudgetTripped()) break;
     if (!tree_->IsElement(v)) continue;
     for (NodeId c = tree_->first_child(v); c != kNullNode;
          c = tree_->next_sibling(c)) {
@@ -176,6 +207,7 @@ NodeSet XPathEvaluator::EvalDescLabelIndexed(int label_id,
   NodeSet out;
   NodeId covered_until = kNullNode;
   for (NodeId v : ctx) {
+    if (BudgetTripped()) break;
     if (v < covered_until) continue;
     NodeId end = tree_->SubtreeEnd(v);
     auto [first, last] = index_->Range(label_id, v, end);
@@ -199,6 +231,10 @@ NodeSet XPathEvaluator::EvalDescOrSelf(const NodeSet& ctx) {
     NodeId end = tree_->SubtreeEnd(v);
     for (NodeId i = v; i < end; ++i) {
       ++counters_.nodes_touched;
+      if ((counters_.nodes_touched & (QueryBudget::kNodeStride - 1)) == 0 &&
+          BudgetTripped()) {
+        return out;
+      }
       if (tree_->IsElement(i)) out.push_back(i);
     }
     covered_until = end;
@@ -207,6 +243,7 @@ NodeSet XPathEvaluator::EvalDescOrSelf(const NodeSet& ctx) {
 }
 
 bool XPathEvaluator::EvalQual(const QualPtr& q, NodeId node) {
+  if (BudgetTripped()) return false;
   ++counters_.predicate_evals;
   switch (q->kind) {
     case QualKind::kTrue:

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/result.h"
 #include "obs/metrics.h"
 #include "xml/tree.h"
@@ -34,6 +35,7 @@ struct EvalCounters {
   uint64_t predicate_evals = 0;  ///< qualifier evaluations at a node
   uint64_t index_scans = 0;      ///< '//label' steps answered by the index
   uint64_t sort_skips = 0;       ///< child steps that skipped SortUnique
+  uint64_t budget_checks = 0;    ///< strided QueryBudget charge points
 };
 
 class XPathEvaluator {
@@ -64,6 +66,19 @@ class XPathEvaluator {
   /// per call.
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Attaches a cooperative budget: evaluation charges node visits to it
+  /// every QueryBudget::kNodeStride touches and unwinds with the budget's
+  /// error (DeadlineExceeded / ResourceExhausted / Cancelled) once it
+  /// trips. The budget must outlive the evaluator's use of it; pass
+  /// nullptr to detach. The unbudgeted fast path costs one pointer
+  /// compare per checkpoint.
+  void set_budget(QueryBudget* budget) {
+    budget_ = budget;
+    budget_charged_ = counters_.nodes_touched;
+    budget_stop_ = false;
+    budget_status_ = Status::OK();
+  }
+
   /// Costs accumulated since construction or ResetWork().
   const EvalCounters& counters() const { return counters_; }
 
@@ -85,10 +100,31 @@ class XPathEvaluator {
   /// Adds the counter deltas since `before` to the attached registry.
   void FlushDelta(const EvalCounters& before);
 
+  /// Charges uncharged node visits to the budget once kNodeStride have
+  /// accumulated. Returns true when evaluation must stop; the verdict is
+  /// sticky so deep recursion unwinds without re-checking the clock.
+  bool BudgetTripped() {
+    if (budget_ == nullptr || budget_stop_) return budget_stop_;
+    uint64_t delta = counters_.nodes_touched - budget_charged_;
+    if (delta < QueryBudget::kNodeStride) return false;
+    ChargeBudget(delta);
+    return budget_stop_;
+  }
+
+  void ChargeBudget(uint64_t delta);
+
+  /// Charges the final sub-stride remainder and returns the budget's
+  /// verdict for this evaluation (OK when nothing tripped).
+  Status FinishBudget();
+
   const XmlTree* tree_;
   const LabelIndex* index_ = nullptr;
   EvalCounters counters_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  QueryBudget* budget_ = nullptr;
+  uint64_t budget_charged_ = 0;
+  bool budget_stop_ = false;
+  Status budget_status_;
 };
 
 /// Convenience wrapper: evaluates `p` at the tree root.

@@ -12,9 +12,11 @@ namespace {
 /// loosest first: union < slash < qualifier application.
 class Parser {
  public:
-  explicit Parser(std::string_view input) : input_(input) {}
+  Parser(std::string_view input, const XPathParseLimits& limits)
+      : input_(input), limits_(limits) {}
 
   Result<PathPtr> ParsePath() {
+    SECVIEW_RETURN_IF_ERROR(CheckInputSize());
     SECVIEW_ASSIGN_OR_RETURN(PathPtr p, ParseUnion());
     SkipWs();
     if (!AtEnd()) {
@@ -24,6 +26,7 @@ class Parser {
   }
 
   Result<QualPtr> ParseQualifierOnly() {
+    SECVIEW_RETURN_IF_ERROR(CheckInputSize());
     SECVIEW_ASSIGN_OR_RETURN(QualPtr q, ParseQual());
     SkipWs();
     if (!AtEnd()) {
@@ -33,6 +36,46 @@ class Parser {
   }
 
  private:
+  /// Balances depth_ across every exit path of a recursive production.
+  struct DepthGuard {
+    explicit DepthGuard(Parser* p) : p_(p) { ++p_->depth_; }
+    ~DepthGuard() { --p_->depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser* p_;
+  };
+
+  Status CheckInputSize() const {
+    if (limits_.max_input_bytes != 0 &&
+        input_.size() > limits_.max_input_bytes) {
+      return Status::OutOfRange(
+          "XPath input of " + std::to_string(input_.size()) +
+          " bytes exceeds limit of " + std::to_string(limits_.max_input_bytes));
+    }
+    return Status::OK();
+  }
+
+  Status CheckDepth() const {
+    if (limits_.max_depth != 0 && depth_ > limits_.max_depth) {
+      return Status::OutOfRange(
+          "XPath nesting depth exceeds limit of " +
+          std::to_string(limits_.max_depth));
+    }
+    return Status::OK();
+  }
+
+  /// Counts one parsed token (step, literal, qualifier atom). Backtracked
+  /// tokens stay counted, which only makes the bound more conservative.
+  Status CountToken() {
+    ++tokens_;
+    if (limits_.max_tokens != 0 && tokens_ > limits_.max_tokens) {
+      return Status::OutOfRange(
+          "XPath token count exceeds limit of " +
+          std::to_string(limits_.max_tokens));
+    }
+    return Status::OK();
+  }
+
   bool AtEnd() const { return pos_ >= input_.size(); }
   char Peek() const { return AtEnd() ? '\0' : input_[pos_]; }
   char PeekAt(size_t k) const {
@@ -75,6 +118,8 @@ class Parser {
 
   /// union := seq ('|' seq)*
   Result<PathPtr> ParseUnion() {
+    DepthGuard depth(this);
+    SECVIEW_RETURN_IF_ERROR(CheckDepth());
     SECVIEW_ASSIGN_OR_RETURN(PathPtr p, ParseSeq());
     while (Consume("|")) {
       SECVIEW_ASSIGN_OR_RETURN(PathPtr rhs, ParseSeq());
@@ -124,6 +169,7 @@ class Parser {
 
   /// primary := '.' | '*' | '(' union ')' | name
   Result<PathPtr> ParsePrimary() {
+    SECVIEW_RETURN_IF_ERROR(CountToken());
     SkipWs();
     if (Consume("(")) {
       SECVIEW_ASSIGN_OR_RETURN(PathPtr p, ParseUnion());
@@ -141,6 +187,8 @@ class Parser {
 
   /// qual := and_expr ('or' and_expr)*
   Result<QualPtr> ParseQual() {
+    DepthGuard depth(this);
+    SECVIEW_RETURN_IF_ERROR(CheckDepth());
     SECVIEW_ASSIGN_OR_RETURN(QualPtr q, ParseQualAnd());
     while (ConsumeWord("or")) {
       SECVIEW_ASSIGN_OR_RETURN(QualPtr rhs, ParseQualAnd());
@@ -162,6 +210,7 @@ class Parser {
   /// unary := 'not(' qual ')' | 'true()' | 'false()' | '(' qual ')'
   ///        | '@'name '=' literal | path ('=' literal)?
   Result<QualPtr> ParseQualUnary() {
+    SECVIEW_RETURN_IF_ERROR(CountToken());
     SkipWs();
     if (ConsumeWord("not")) {
       if (!Consume("(")) return Error("expected '(' after not");
@@ -227,6 +276,7 @@ class Parser {
   };
 
   Result<Literal> ParseLiteral() {
+    SECVIEW_RETURN_IF_ERROR(CountToken());
     SkipWs();
     if (Peek() == '$') {
       ++pos_;
@@ -247,17 +297,30 @@ class Parser {
   }
 
   std::string_view input_;
+  XPathParseLimits limits_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
+  size_t tokens_ = 0;
 };
 
 }  // namespace
 
 Result<PathPtr> ParseXPath(std::string_view input) {
-  return Parser(input).ParsePath();
+  return Parser(input, XPathParseLimits{}).ParsePath();
+}
+
+Result<PathPtr> ParseXPath(std::string_view input,
+                           const XPathParseLimits& limits) {
+  return Parser(input, limits).ParsePath();
 }
 
 Result<QualPtr> ParseXPathQualifier(std::string_view input) {
-  return Parser(input).ParseQualifierOnly();
+  return Parser(input, XPathParseLimits{}).ParseQualifierOnly();
+}
+
+Result<QualPtr> ParseXPathQualifier(std::string_view input,
+                                    const XPathParseLimits& limits) {
+  return Parser(input, limits).ParseQualifierOnly();
 }
 
 }  // namespace secview

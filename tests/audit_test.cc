@@ -269,7 +269,7 @@ TEST(AuditEngineTest, ExecuteRecordsOkAndErrorOutcomes) {
 
   auto err_record = obs::Json::Parse(lines[1]);
   ASSERT_TRUE(err_record.ok());
-  EXPECT_EQ(err_record->Find("outcome")->AsString(), "error");
+  EXPECT_EQ(err_record->Find("outcome")->AsString(), "denied");
   EXPECT_NE(err_record->Find("status")->AsString(), "OK");
   EXPECT_FALSE(err_record->Find("error")->AsString().empty());
   // The engine's audit counter saw both executions.

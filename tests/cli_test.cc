@@ -428,7 +428,7 @@ TEST_F(CliTest, QueryAuditLogRecordsOkAndDeniedThenVerifies) {
   buffer << in.rdbuf();
   std::string trail = buffer.str();
   EXPECT_NE(trail.find("\"outcome\":\"ok\""), std::string::npos) << trail;
-  EXPECT_NE(trail.find("\"outcome\":\"error\""), std::string::npos);
+  EXPECT_NE(trail.find("\"outcome\":\"denied\""), std::string::npos);
   EXPECT_NE(trail.find("\"schema\":\"secview.audit.v1\""), std::string::npos);
 
   EXPECT_EQ(Run({"audit-verify", "--log", log}), 0);
@@ -579,6 +579,111 @@ TEST_F(CliTest, HelpListsBenchServe) {
   EXPECT_NE(text.find("bench-serve"), std::string::npos);
   EXPECT_NE(text.find("--threads"), std::string::npos);
   EXPECT_NE(text.find("--queries"), std::string::npos);
+}
+
+// --- Defensive serving flags (docs/robustness.md) ---
+
+TEST_F(CliTest, HelpListsDefensiveServingFlags) {
+  EXPECT_EQ(Run({"help"}), 0);
+  std::string text = out_.str();
+  EXPECT_NE(text.find("--deadline-ms"), std::string::npos);
+  EXPECT_NE(text.find("--max-nodes"), std::string::npos);
+  EXPECT_NE(text.find("--max-parse-depth"), std::string::npos);
+  EXPECT_NE(text.find("--queue-cap"), std::string::npos);
+}
+
+TEST_F(CliTest, QueryZeroLimitsMeanUnlimited) {
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--query",
+                 "//patient//bill", "--bind", "wardNo=3", "--deadline-ms", "0",
+                 "--max-nodes", "0", "--max-parse-depth", "0"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("900"), std::string::npos);
+}
+
+TEST_F(CliTest, QueryNodeBudgetExhaustionExitsFive) {
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--query",
+                 "//patient//bill", "--bind", "wardNo=3", "--max-nodes", "1"}),
+            5);
+  EXPECT_NE(err_.str().find("node-visit budget exhausted"), std::string::npos)
+      << err_.str();
+}
+
+TEST_F(CliTest, QueryDeadlineExceededExitsFour) {
+  // A generated multi-megabyte document makes the evaluate phase far
+  // exceed a 1 ms wall-clock deadline; the stride-checked budget turns
+  // that into a clean DeadlineExceeded instead of an unbounded stall.
+  ASSERT_EQ(Run({"generate", "--dtd", Path("hospital.dtd"), "--bytes",
+                 "4000000", "--seed", "7"}),
+            0);
+  WriteFile("big.xml", out_.str());
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("big.xml"), "--query",
+                 "//dept//patient//bill", "--bind", "wardNo=3",
+                 "--deadline-ms", "1"}),
+            4);
+  EXPECT_NE(err_.str().find("deadline of 1 ms exceeded"), std::string::npos)
+      << err_.str();
+}
+
+TEST_F(CliTest, QueryMaxParseDepthBoundsDocumentNesting) {
+  // The fixture document nests eight elements deep; a limit of 4 must
+  // reject it at parse time with OutOfRange (generic failure, exit 1).
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--query",
+                 "//patient//bill", "--bind", "wardNo=3", "--max-parse-depth",
+                 "4"}),
+            1);
+  EXPECT_NE(err_.str().find("XML limit exceeded"), std::string::npos)
+      << err_.str();
+}
+
+TEST_F(CliTest, QueryMaxParseDepthBoundsQueryNesting) {
+  // Depth 10 admits the document (depth 8) but not a query whose
+  // qualifiers nest eleven deep, so the rejection is the XPath parser's.
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--query",
+                 "//dept[patientInfo[patient[name[a[b[c[d[e[f[g]]]]]]]]]]",
+                 "--bind", "wardNo=3", "--max-parse-depth", "10"}),
+            1);
+  EXPECT_NE(err_.str().find("XPath nesting depth exceeds limit"),
+            std::string::npos)
+      << err_.str();
+}
+
+TEST_F(CliTest, QueryRejectsNonNumericLimitFlag) {
+  EXPECT_NE(Run({"query", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--query",
+                 "//patient//bill", "--bind", "wardNo=3", "--deadline-ms",
+                 "garbage"}),
+            0);
+  EXPECT_NE(err_.str().find("--deadline-ms needs a non-negative integer"),
+            std::string::npos)
+      << err_.str();
+}
+
+TEST_F(CliTest, BenchServeQueueCapShedsAndReportsRejections) {
+  // One worker and a queue cap of 1: each 6-query batch admits one
+  // query and sheds five, deterministically (the whole batch is
+  // enqueued under a single lock hold; see docs/robustness.md).
+  WriteFile("six.txt",
+            "//name\n//patient\n//bill\n//wardNo\n//patient/name\n"
+            "//patient/wardNo\n");
+  EXPECT_EQ(Run({"bench-serve", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--queries",
+                 Path("six.txt"), "--threads", "1", "--queue-cap", "1",
+                 "--repeat", "1", "--bind", "wardNo=3"}),
+            0)
+      << err_.str();
+  std::string text = out_.str();
+  EXPECT_NE(text.find("queries: 6 (1 ok, 5 failing)"), std::string::npos)
+      << text;
+  // Warm-up plus one measured round: 5 shed in each.
+  EXPECT_NE(text.find("rejected: 10 shed, 0 deadline, 0 budget"),
+            std::string::npos)
+      << text;
 }
 
 }  // namespace
