@@ -15,15 +15,23 @@
 // measures roughly the same throughput (the pool adds scheduling, not
 // parallelism); run on a multi-core host to see the speedup.
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/engine.h"
 #include "engine/worker_pool.h"
 #include "metrics_emit.h"
+#include "net/http_client.h"
+#include "net/telemetry_server.h"
+#include "obs/export.h"
+#include "obs/serving_stats.h"
+#include "obs/slow_query_log.h"
 #include "workload/hospital.h"
 
 namespace secview {
@@ -66,16 +74,44 @@ struct ServeResult {
   double hit_rate = 0;
   uint64_t hits = 0;
   uint64_t misses = 0;
+  /// Mid-run /metrics self-scrapes (self_scrape configs only).
+  uint64_t scrapes = 0;
+  uint64_t scrape_failures = 0;
+  double window_qps = 0;  ///< telemetry's own 10s-window estimate
 };
 
 /// Runs `rounds` ExecuteBatch calls of the workload on a fresh engine
 /// with a pool of `threads` workers (one untimed warm-up batch first).
+/// With `self_scrape` the engine additionally runs a live telemetry
+/// server on an ephemeral localhost port and a scraper thread hammers
+/// /metrics and /statusz *during* the timed rounds, validating every
+/// /metrics body against the Prometheus text grammar — the bench thus
+/// doubles as an end-to-end check that scraping a serving engine works
+/// and stays consistent under load.
 ServeResult ServeAtThreadCount(const XmlTree& doc, size_t threads,
                                size_t rounds,
-                               std::unique_ptr<SecureQueryEngine>* engine_out) {
+                               std::unique_ptr<SecureQueryEngine>* engine_out,
+                               bool self_scrape = false) {
   auto engine = SecureQueryEngine::Create(MakeHospitalDtd());
   if (!engine.ok()) std::abort();
   if (!(*engine)->RegisterPolicy("nurse", kNursePolicy).ok()) std::abort();
+
+  obs::SlidingWindowStats window;
+  obs::SlowQueryLog::Options slow_options;
+  slow_options.threshold_micros = 0;  // log everything; bounded ring anyway
+  obs::SlowQueryLog slow_log(slow_options);
+  std::unique_ptr<net::TelemetryServer> telemetry;
+  if (self_scrape) {
+    (*engine)->AttachServingObservers(&window, &slow_log);
+    net::TelemetryServer::Options telemetry_options;
+    telemetry_options.window = &window;
+    telemetry_options.slow_log = &slow_log;
+    SecureQueryEngine* raw = engine->get();
+    telemetry_options.ready = [raw] { return raw->sealed(); };
+    telemetry = std::make_unique<net::TelemetryServer>(&(*engine)->metrics(),
+                                                       telemetry_options);
+    if (!telemetry->Start().ok()) std::abort();
+  }
 
   ExecuteOptions options;
   options.bindings = {{"wardNo", "3"}};
@@ -89,6 +125,30 @@ ServeResult ServeAtThreadCount(const XmlTree& doc, size_t threads,
     if (!result.ok()) std::abort();
   }
 
+  std::atomic<bool> stop_scraper{false};
+  std::atomic<uint64_t> scrapes{0};
+  std::atomic<uint64_t> scrape_failures{0};
+  std::thread scraper;
+  if (self_scrape) {
+    uint16_t port = telemetry->port();
+    scraper = std::thread([&stop_scraper, &scrapes, &scrape_failures, port] {
+      while (!stop_scraper.load(std::memory_order_acquire)) {
+        auto response = net::HttpGet("127.0.0.1", port, "/metrics", 2000);
+        bool ok = response.ok() && response->status == 200 &&
+                  obs::ValidatePrometheusText(response->body).ok();
+        scrapes.fetch_add(1, std::memory_order_relaxed);
+        if (!ok) scrape_failures.fetch_add(1, std::memory_order_relaxed);
+        // /statusz exercises the window/slow-log readers concurrently
+        // with the writers on the serving threads.
+        auto statusz = net::HttpGet("127.0.0.1", port, "/statusz", 2000);
+        if (!statusz.ok() || statusz->status != 200) {
+          scrape_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
+
   auto start = std::chrono::steady_clock::now();
   for (size_t round = 0; round < rounds; ++round) {
     pool.ExecuteBatch("nurse", doc, Workload(), options);
@@ -97,6 +157,16 @@ ServeResult ServeAtThreadCount(const XmlTree& doc, size_t threads,
   double seconds = std::chrono::duration<double>(stop - start).count();
 
   ServeResult out;
+  if (self_scrape) {
+    out.window_qps = window.Snapshot(10).qps;
+    stop_scraper.store(true, std::memory_order_release);
+    scraper.join();
+    telemetry->Stop();
+    // The observers live on this stack frame; the engine outlives it.
+    (*engine)->AttachServingObservers(nullptr, nullptr);
+    out.scrapes = scrapes.load();
+    out.scrape_failures = scrape_failures.load();
+  }
   out.threads = pool.threads();
   size_t executed = Workload().size() * rounds;
   out.qps = seconds > 0 ? static_cast<double>(executed) / seconds : 0.0;
@@ -130,12 +200,28 @@ int Run(const std::string& metrics_path) {
   std::vector<ServeResult> results;
   double baseline_qps = 0;
   for (size_t threads : {1, 2, 4, 8}) {
-    ServeResult r = ServeAtThreadCount(*doc, threads, kRounds, &last_engine);
+    // The last (8-thread) config self-scrapes its telemetry endpoints
+    // mid-run; a scrape failure fails the whole bench below.
+    const bool self_scrape = threads == 8;
+    ServeResult r = ServeAtThreadCount(*doc, threads, kRounds, &last_engine,
+                                       self_scrape);
     if (baseline_qps == 0) baseline_qps = r.qps;
     results.push_back(r);
     std::printf("%-8zu %14.0f %9.1f%% %7.2fx\n", r.threads, r.qps,
                 r.hit_rate * 100.0, baseline_qps > 0 ? r.qps / baseline_qps
                                                      : 0.0);
+    if (self_scrape) {
+      std::printf(
+          "self-scrape: %llu mid-run scrape(s), %llu failure(s), "
+          "window qps ~%.0f\n",
+          static_cast<unsigned long long>(r.scrapes),
+          static_cast<unsigned long long>(r.scrape_failures), r.window_qps);
+      if (r.scrapes == 0 || r.scrape_failures > 0) {
+        std::fprintf(stderr,
+                     "bench_concurrent: telemetry self-scrape failed\n");
+        return 1;
+      }
+    }
   }
 
   if (!metrics_path.empty()) {

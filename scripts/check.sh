@@ -23,6 +23,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure
 
 scripts/audit_smoke.sh "$BUILD_DIR"
 
+# Live-telemetry smoke: `serve` on an ephemeral port, all four endpoints
+# scraped through the built-in client (/metrics grammar-validated), then
+# a SIGINT shutdown — under ASan, so the socket paths get leak-checked.
+scripts/telemetry_smoke.sh "$BUILD_DIR"
+
 # Fuzz smoke: replay the seed corpus (and, under the fallback driver,
 # every truncation of each seed) through the ASan-instrumented parsers.
 # With a clang toolchain these are real libFuzzer binaries; add
@@ -33,9 +38,14 @@ echo "== fuzz smoke =="
 "$BUILD_DIR"/fuzz/fuzz_xpath tests/corpus/xpath/*
 
 # TSan and ASan cannot share a build tree; the concurrent tests are the
-# ones with real thread interleavings to check.
+# ones with real thread interleavings to check. net_test/telemetry_test
+# cover the HTTP server's accept/worker handoff and scrape-while-serving
+# against the sliding-window and slow-query-ring writers.
 cmake -B "$TSAN_BUILD_DIR" -S . -DSECVIEW_SANITIZE=thread
-cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target concurrent_test
+cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
+  --target concurrent_test net_test telemetry_test
 "$TSAN_BUILD_DIR"/tests/concurrent_test
+"$TSAN_BUILD_DIR"/tests/net_test
+"$TSAN_BUILD_DIR"/tests/telemetry_test
 
 echo "check: all green"

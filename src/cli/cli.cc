@@ -1,12 +1,16 @@
 #include "cli/cli.h"
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "common/budget.h"
 
@@ -19,9 +23,13 @@
 #include "dtd/validator.h"
 #include "engine/engine.h"
 #include "engine/explain.h"
+#include "net/http_client.h"
+#include "net/telemetry_server.h"
 #include "obs/audit.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/serving_stats.h"
+#include "obs/slow_query_log.h"
 #include "obs/trace.h"
 #include "security/derive.h"
 #include "security/materializer.h"
@@ -61,6 +69,16 @@ usage:
                       [--threads N] [--repeat N] [--bind NAME=VALUE]...
                       [--no-optimize] [--metrics-prom FILE]
                       [--deadline-ms N] [--max-nodes N] [--queue-cap N]
+                      [--telemetry-addr HOST:PORT] [--port-file FILE]
+                      [--slow-query-micros N]
+  secview serve       --dtd FILE --spec FILE --xml FILE
+                      [--telemetry-addr HOST:PORT] [--port-file FILE]
+                      [--queries FILE [--replay-delay-ms N]]
+                      [--threads N] [--queue-cap N] [--slow-query-micros N]
+                      [--max-seconds N] [--bind NAME=VALUE]...
+                      [--no-optimize] [--deadline-ms N] [--max-nodes N]
+  secview scrape      (--addr HOST:PORT | --port N) [--path TARGET]
+                      [--validate-prom] [--timeout-ms N]
   secview materialize --dtd FILE --spec FILE --xml FILE [--bind NAME=VALUE]...
   secview generate    --dtd FILE [--bytes N] [--seed N] [--branch N]
   secview help
@@ -105,6 +123,21 @@ generous default for the third. `bench-serve --queue-cap N` bounds
 the pool's submission queue — overflow tasks are shed with
 ResourceExhausted instead of queued. Exit codes: 0 ok, 1 failure,
 2 usage, 4 deadline exceeded, 5 budget/queue exhausted, 6 cancelled.
+
+Telemetry (docs/observability.md): `serve` runs a long-lived engine
+behind an embedded HTTP server (localhost by default; port 0 picks an
+ephemeral port, discoverable via --port-file) exposing /metrics
+(Prometheus text), /varz (secview.metrics.v1 JSON), /healthz
+(readiness = engine sealed), and /statusz (build info, uptime,
+windowed QPS/error/shed rates, rewrite-cache occupancy, pool queue
+depth, slowest recent queries; --slow-query-micros sets the slow-query
+threshold, 0 logs every execution). With --queries it replays the file
+through the worker pool every --replay-delay-ms (default 100) until
+SIGINT/SIGTERM (or --max-seconds). `bench-serve --telemetry-addr`
+serves the same endpoints live during a bench run. `scrape` is a
+minimal built-in HTTP client for those endpoints; --validate-prom
+additionally checks the fetched body against the Prometheus text
+grammar.
 )";
 
 /// Parsed command line: flags with values, boolean switches, repeated
@@ -123,7 +156,8 @@ Result<Args> ParseArgs(const std::vector<std::string>& argv) {
   for (size_t i = 1; i < argv.size(); ++i) {
     const std::string& arg = argv[i];
     if (arg == "--show-sigma" || arg == "--no-optimize" ||
-        arg == "--extract" || arg == "--stats" || arg == "--json") {
+        arg == "--extract" || arg == "--stats" || arg == "--json" ||
+        arg == "--validate-prom") {
       args.switches[arg] = true;
       continue;
     }
@@ -593,6 +627,215 @@ Result<std::vector<std::string>> LoadQueriesFile(const std::string& path) {
   return queries;
 }
 
+/// "HOST:PORT" (or ":PORT" / bare "PORT" with host 127.0.0.1).
+Result<std::pair<std::string, uint16_t>> ParseHostPort(
+    const std::string& flag, const std::string& text) {
+  std::string host = "127.0.0.1";
+  std::string port_text = text;
+  size_t colon = text.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon > 0) host = text.substr(0, colon);
+    port_text = text.substr(colon + 1);
+  }
+  SECVIEW_ASSIGN_OR_RETURN(uint64_t port, ParseCount(flag, port_text));
+  if (port > 65535) {
+    return Status::InvalidArgument(flag + " port out of range: " + port_text);
+  }
+  return std::make_pair(host, static_cast<uint16_t>(port));
+}
+
+/// Publishes the bound telemetry port for scripts and tests: written to
+/// a temp file then renamed, so a reader polling the path never sees a
+/// partial write.
+Status WritePortFile(const std::string& path, uint16_t port) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) return Status::NotFound("cannot open for writing: " + tmp);
+    file << port << "\n";
+    if (!file.flush()) return Status::Internal("cannot write " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("cannot rename " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+/// The serving observers plus the telemetry HTTP server that exposes
+/// them, owned together so their lifetimes cannot diverge from the
+/// engine they observe.
+struct TelemetryBundle {
+  obs::SlidingWindowStats window;
+  obs::SlowQueryLog slow_log;
+  std::unique_ptr<net::TelemetryServer> server;
+
+  explicit TelemetryBundle(obs::SlowQueryLog::Options slow_options)
+      : slow_log(slow_options) {}
+};
+
+/// Builds, attaches, and starts the telemetry stack for `engine` when
+/// --telemetry-addr is present (or `require` forces it on, as `serve`
+/// does, defaulting to an ephemeral localhost port). Returns null when
+/// telemetry was not requested.
+Result<std::unique_ptr<TelemetryBundle>> StartTelemetry(
+    const Args& args, SecureQueryEngine& engine, bool require,
+    std::ostream& out) {
+  auto addr_flag = args.values.find("--telemetry-addr");
+  if (addr_flag == args.values.end() && !require) return {nullptr};
+  std::string addr_text =
+      addr_flag != args.values.end() ? addr_flag->second : "127.0.0.1:0";
+  SECVIEW_ASSIGN_OR_RETURN(auto addr,
+                           ParseHostPort("--telemetry-addr", addr_text));
+
+  obs::SlowQueryLog::Options slow_options;
+  SECVIEW_ASSIGN_OR_RETURN(
+      slow_options.threshold_micros,
+      CountFlag(args, "--slow-query-micros", slow_options.threshold_micros));
+  auto bundle = std::make_unique<TelemetryBundle>(slow_options);
+  // Attach during setup: the engine reads these pointers unsynchronized
+  // on the serve path.
+  engine.AttachServingObservers(&bundle->window, &bundle->slow_log);
+
+  net::TelemetryServer::Options server_options;
+  server_options.http.bind_address = addr.first;
+  server_options.http.port = addr.second;
+  server_options.ready = [&engine] { return engine.sealed(); };
+  server_options.window = &bundle->window;
+  server_options.slow_log = &bundle->slow_log;
+  bundle->server = std::make_unique<net::TelemetryServer>(&engine.metrics(),
+                                                          server_options);
+  SECVIEW_RETURN_IF_ERROR(bundle->server->Start());
+  out << "# telemetry: http://" << addr.first << ":" << bundle->server->port()
+      << " (/metrics /varz /healthz /statusz)\n";
+  auto port_file = args.values.find("--port-file");
+  if (port_file != args.values.end()) {
+    SECVIEW_RETURN_IF_ERROR(
+        WritePortFile(port_file->second, bundle->server->port()));
+  }
+  return bundle;
+}
+
+/// SIGINT/SIGTERM latch for `serve` — a plain flag is all a signal
+/// handler may touch.
+std::atomic<bool> g_serve_stop{false};
+
+void HandleServeSignal(int) { g_serve_stop.store(true); }
+
+Status CmdServe(const Args& args, std::ostream& out) {
+  SECVIEW_ASSIGN_OR_RETURN(ServeLimits limits, LoadServeLimits(args));
+  SECVIEW_ASSIGN_OR_RETURN(DtdBundle bundle, LoadDtdBundle(args));
+  SECVIEW_ASSIGN_OR_RETURN(XmlTree doc, LoadXml(args, bundle, limits.xml));
+  SECVIEW_ASSIGN_OR_RETURN(std::unique_ptr<SecureQueryEngine> engine,
+                           LoadEngine(args));
+
+  std::vector<std::string> queries;
+  if (args.values.count("--queries")) {
+    SECVIEW_ASSIGN_OR_RETURN(queries,
+                             LoadQueriesFile(args.values.at("--queries")));
+  }
+  SECVIEW_ASSIGN_OR_RETURN(uint64_t threads_n, CountFlag(args, "--threads", 0));
+  SECVIEW_ASSIGN_OR_RETURN(uint64_t queue_cap,
+                           CountFlag(args, "--queue-cap", 0));
+  SECVIEW_ASSIGN_OR_RETURN(uint64_t replay_delay_ms,
+                           CountFlag(args, "--replay-delay-ms", 100));
+  SECVIEW_ASSIGN_OR_RETURN(uint64_t max_seconds,
+                           CountFlag(args, "--max-seconds", 0));
+
+  SECVIEW_ASSIGN_OR_RETURN(
+      std::unique_ptr<TelemetryBundle> telemetry,
+      StartTelemetry(args, *engine, /*require=*/true, out));
+
+  QueryWorkerPool::Options pool_options;
+  pool_options.threads = static_cast<size_t>(threads_n);
+  pool_options.queue_cap = static_cast<size_t>(queue_cap);
+  QueryWorkerPool pool(*engine, pool_options);  // seals the engine
+
+  ExecuteOptions options;
+  options.bindings = args.bindings;
+  options.optimize = !args.switches.count("--no-optimize");
+  options.limits = limits.budget;
+  options.parse_limits = limits.xpath;
+
+  g_serve_stop.store(false);
+  auto old_int = std::signal(SIGINT, HandleServeSignal);
+  auto old_term = std::signal(SIGTERM, HandleServeSignal);
+  out << "# serving; stop with SIGINT/SIGTERM"
+      << (max_seconds > 0
+              ? " (or after " + std::to_string(max_seconds) + "s)"
+              : std::string())
+      << "\n";
+  out.flush();
+
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t rounds = 0;
+  while (!g_serve_stop.load()) {
+    if (max_seconds > 0 &&
+        std::chrono::steady_clock::now() - start >=
+            std::chrono::seconds(max_seconds)) {
+      break;
+    }
+    if (!queries.empty()) {
+      pool.ExecuteBatch("policy", doc, queries, options);
+      ++rounds;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        queries.empty() ? 50 : replay_delay_ms));
+  }
+  std::signal(SIGINT, old_int);
+  std::signal(SIGTERM, old_term);
+
+  telemetry->server->Stop();
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  out << "# served " << seconds << " s, " << rounds << " replay round(s), "
+      << telemetry->window.total() << " queries observed, "
+      << telemetry->server->http().requests_handled()
+      << " telemetry request(s)\n";
+  return Status::OK();
+}
+
+Status CmdScrape(const Args& args, std::ostream& out) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  auto addr_flag = args.values.find("--addr");
+  if (addr_flag != args.values.end()) {
+    SECVIEW_ASSIGN_OR_RETURN(auto addr,
+                             ParseHostPort("--addr", addr_flag->second));
+    host = addr.first;
+    port = addr.second;
+  } else {
+    SECVIEW_ASSIGN_OR_RETURN(uint64_t p, CountFlag(args, "--port", 0));
+    if (p == 0 || p > 65535) {
+      return Status::InvalidArgument("scrape needs --addr HOST:PORT or --port N");
+    }
+    port = static_cast<uint16_t>(p);
+  }
+  std::string path = "/metrics";
+  auto path_flag = args.values.find("--path");
+  if (path_flag != args.values.end()) path = path_flag->second;
+  SECVIEW_ASSIGN_OR_RETURN(uint64_t timeout_ms,
+                           CountFlag(args, "--timeout-ms", 5000));
+
+  SECVIEW_ASSIGN_OR_RETURN(
+      net::FetchedResponse response,
+      net::HttpGet(host, port, path, static_cast<int>(timeout_ms)));
+  if (response.status != 200) {
+    return Status::Internal("HTTP " + std::to_string(response.status) +
+                            " from " + path + ": " + response.body);
+  }
+  if (args.switches.count("--validate-prom")) {
+    Status valid = obs::ValidatePrometheusText(response.body);
+    if (!valid.ok()) {
+      return Status::InvalidArgument("fetched body fails Prometheus text "
+                                     "validation: " +
+                                     valid.message());
+    }
+  }
+  out << response.body;
+  return Status::OK();
+}
+
 Status CmdBenchServe(const Args& args, std::ostream& out) {
   SECVIEW_ASSIGN_OR_RETURN(ServeLimits limits, LoadServeLimits(args));
   SECVIEW_ASSIGN_OR_RETURN(DtdBundle bundle, LoadDtdBundle(args));
@@ -619,6 +862,12 @@ Status CmdBenchServe(const Args& args, std::ostream& out) {
   options.optimize = !args.switches.count("--no-optimize");
   options.limits = limits.budget;
   options.parse_limits = limits.xpath;
+
+  // With --telemetry-addr the endpoints stay live for the whole run, so
+  // an external scraper (or the run's own scripts) can watch the bench.
+  SECVIEW_ASSIGN_OR_RETURN(
+      std::unique_ptr<TelemetryBundle> telemetry,
+      StartTelemetry(args, *engine, /*require=*/false, out));
 
   QueryWorkerPool::Options pool_options;
   pool_options.threads = threads;
@@ -676,6 +925,13 @@ Status CmdBenchServe(const Args& args, std::ostream& out) {
   if (shed + deadline_rejects + budget_rejects > 0) {
     out << "rejected: " << shed << " shed, " << deadline_rejects
         << " deadline, " << budget_rejects << " budget\n";
+  }
+  if (telemetry != nullptr) {
+    obs::SlidingWindowStats::Window window = telemetry->window.Snapshot(60);
+    out << "telemetry: " << telemetry->server->http().requests_handled()
+        << " request(s) served, window(60s) " << window.count
+        << " queries at " << window.qps << " qps\n";
+    telemetry->server->Stop();
   }
   return DumpPrometheus(args, metrics, out);
 }
@@ -742,6 +998,10 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     status = CmdAuditVerify(*parsed, out);
   } else if (parsed->command == "bench-serve") {
     status = CmdBenchServe(*parsed, out);
+  } else if (parsed->command == "serve") {
+    status = CmdServe(*parsed, out);
+  } else if (parsed->command == "scrape") {
+    status = CmdScrape(*parsed, out);
   } else if (parsed->command == "materialize") {
     status = CmdMaterialize(*parsed, out);
   } else if (parsed->command == "generate") {

@@ -1,0 +1,63 @@
+#include "common/build_info.h"
+
+#include <chrono>
+
+namespace secview {
+
+namespace {
+
+constexpr char kVersion[] = "0.5.0";
+
+std::string CompilerString() {
+#if defined(__clang__)
+  return "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+/// Both clocks are captured together, once, so the wall-clock start and
+/// the steady uptime baseline describe the same instant.
+struct ProcessClock {
+  int64_t start_unix_seconds;
+  std::chrono::steady_clock::time_point start_steady;
+
+  ProcessClock()
+      : start_unix_seconds(std::chrono::duration_cast<std::chrono::seconds>(
+                               std::chrono::system_clock::now()
+                                   .time_since_epoch())
+                               .count()),
+        start_steady(std::chrono::steady_clock::now()) {}
+};
+
+const ProcessClock& GetProcessClock() {
+  static const ProcessClock clock;
+  return clock;
+}
+
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info{kVersion, CompilerString(),
+                              "c++" + std::to_string(__cplusplus / 100 % 100)};
+  return info;
+}
+
+int64_t ProcessStartUnixSeconds() {
+  return GetProcessClock().start_unix_seconds;
+}
+
+uint64_t ProcessUptimeMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - GetProcessClock().start_steady)
+          .count());
+}
+
+}  // namespace secview

@@ -1,0 +1,35 @@
+#ifndef SECVIEW_COMMON_BUILD_INFO_H_
+#define SECVIEW_COMMON_BUILD_INFO_H_
+
+#include <cstdint>
+#include <string>
+
+namespace secview {
+
+/// Static facts about this build, exported so scrapes and status pages
+/// can tell which binary is answering (e.g. after a rolling restart).
+struct BuildInfo {
+  /// Library version, bumped per release line.
+  std::string version;
+  /// Compiler identification (e.g. "gcc 13.2.0").
+  std::string compiler;
+  /// Language standard the library was built against (e.g. "c++20").
+  std::string cxx_standard;
+};
+
+/// The process-wide build description (computed once).
+const BuildInfo& GetBuildInfo();
+
+/// Wall-clock seconds since the Unix epoch at process start (captured
+/// the first time any process-info accessor runs; stable afterwards, so
+/// a scraper sees the same start time on every scrape and can detect
+/// restarts as a change in this value).
+int64_t ProcessStartUnixSeconds();
+
+/// Milliseconds of steady-clock time since the start captured above.
+/// Monotone: never affected by wall-clock adjustments.
+uint64_t ProcessUptimeMillis();
+
+}  // namespace secview
+
+#endif  // SECVIEW_COMMON_BUILD_INFO_H_

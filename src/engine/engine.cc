@@ -1,9 +1,12 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "engine/explain.h"
 #include "obs/audit.h"
+#include "obs/serving_stats.h"
+#include "obs/slow_query_log.h"
 #include "rewrite/unfold.h"
 #include "security/derive.h"
 #include "security/materializer.h"
@@ -25,6 +28,7 @@ SecureQueryEngine::SecureQueryEngine(std::unique_ptr<Dtd> dtd,
   hot_.cache_misses = &metrics_.GetCounter("engine.rewrite_cache.misses");
   hot_.cache_evictions = &metrics_.GetCounter("engine.cache.evictions");
   hot_.cache_size = &metrics_.GetGauge("engine.cache.size");
+  hot_.execute_micros = &metrics_.GetHistogram("engine.execute.micros");
   const size_t shards = std::max<size_t>(1, options_.cache_shards);
   hot_.shard_size.reserve(shards);
   for (size_t i = 0; i < shards; ++i) {
@@ -350,11 +354,61 @@ Status SecureQueryEngine::ExecuteInto(const std::string& policy_name,
   return Status::OK();
 }
 
+void SecureQueryEngine::AttachServingObservers(obs::SlidingWindowStats* window,
+                                               obs::SlowQueryLog* slow_log) {
+  window_stats_ = window;
+  slow_log_ = slow_log;
+}
+
+void SecureQueryEngine::RecordServingOutcome(const std::string& policy,
+                                             std::string_view query_text,
+                                             const Status& status,
+                                             uint64_t latency_micros) {
+  obs::ServeOutcome outcome = obs::ServeOutcomeForStatus(status);
+  if (window_stats_ != nullptr) {
+    window_stats_->Record(latency_micros, outcome);
+  }
+  if (slow_log_ != nullptr) {
+    obs::SlowQueryLog::Entry entry;
+    entry.unix_micros = obs::AuditEvent::NowUnixMicros();
+    entry.policy = policy;
+    entry.query = std::string(query_text);
+    entry.outcome = outcome;
+    entry.latency_micros = latency_micros;
+    slow_log_->MaybeRecord(std::move(entry));
+  }
+}
+
 Result<ExecuteResult> SecureQueryEngine::Execute(
     const std::string& policy_name, const XmlTree& doc,
     std::string_view query_text, const ExecuteOptions& options) {
   ExecuteResult result;
+  const auto exec_start = std::chrono::steady_clock::now();
   Status status = ExecuteInto(policy_name, doc, query_text, options, result);
+  const uint64_t latency_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - exec_start)
+          .count());
+  hot_.execute_micros->Observe(latency_micros);
+  if (window_stats_ != nullptr || slow_log_ != nullptr) {
+    obs::ServeOutcome outcome = obs::ServeOutcomeForStatus(status);
+    if (window_stats_ != nullptr) {
+      window_stats_->Record(latency_micros, outcome);
+    }
+    if (slow_log_ != nullptr) {
+      obs::SlowQueryLog::Entry entry;
+      entry.unix_micros = obs::AuditEvent::NowUnixMicros();
+      entry.policy = policy_name;
+      entry.query = std::string(query_text);
+      entry.outcome = outcome;
+      entry.latency_micros = latency_micros;
+      entry.cache_hit = result.stats.cache_hit;
+      entry.nodes_touched = result.stats.nodes_touched;
+      entry.predicate_evals = result.stats.predicate_evals;
+      entry.results = static_cast<uint64_t>(result.stats.result_count);
+      slow_log_->MaybeRecord(std::move(entry));
+    }
+  }
   if (options.audit != nullptr) {
     obs::AuditEvent event;
     event.unix_micros = obs::AuditEvent::NowUnixMicros();

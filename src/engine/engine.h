@@ -26,6 +26,8 @@ namespace secview {
 
 namespace obs {
 class AuditSink;
+class SlidingWindowStats;
+class SlowQueryLog;
 }  // namespace obs
 
 struct QueryExplain;
@@ -196,6 +198,23 @@ class SecureQueryEngine {
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Attaches serving-time observers: every Execute (and every query a
+  /// QueryWorkerPool disposes of without executing) is recorded into
+  /// `window` (sliding-window QPS/latency aggregates) and offered to
+  /// `slow_log` (bounded slow-query ring). Either may be null. The
+  /// observers must outlive the engine's serve phase; attach them during
+  /// setup, before concurrent serving starts — the pointers themselves
+  /// are not synchronized.
+  void AttachServingObservers(obs::SlidingWindowStats* window,
+                              obs::SlowQueryLog* slow_log);
+
+  /// Records a query outcome that bypassed Execute (e.g. shed at a
+  /// worker pool's queue) into the attached serving observers, keeping
+  /// /statusz rates in line with the audit trail.
+  void RecordServingOutcome(const std::string& policy,
+                            std::string_view query_text, const Status& status,
+                            uint64_t latency_micros);
+
   // -- Policies -------------------------------------------------------------
 
   /// Registers a policy from the textual annotation syntax
@@ -311,6 +330,9 @@ class SecureQueryEngine {
     obs::Counter* cache_misses = nullptr;
     obs::Counter* cache_evictions = nullptr;
     obs::Gauge* cache_size = nullptr;
+    /// engine.execute.micros — end-to-end Execute latency (all phases,
+    /// successes and failures alike).
+    obs::Histogram* execute_micros = nullptr;
     /// engine.cache.shard_<i>.size, aggregated across policies.
     std::vector<obs::Gauge*> shard_size;
   };
@@ -344,6 +366,9 @@ class SecureQueryEngine {
   std::unordered_map<std::string, std::unique_ptr<Policy>> policies_;
   obs::MetricsRegistry metrics_;
   HotMetrics hot_;
+  /// Serving observers (AttachServingObservers); null until attached.
+  obs::SlidingWindowStats* window_stats_ = nullptr;
+  obs::SlowQueryLog* slow_log_ = nullptr;
   std::atomic<bool> sealed_{false};
 };
 

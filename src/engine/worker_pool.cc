@@ -123,6 +123,7 @@ std::vector<Result<ExecuteResult>> QueryWorkerPool::ExecuteBatch(
       if (opts.cancel.cancelled()) {
         Status st = Status::Cancelled("query cancelled while queued");
         RecordPoolAudit(opts.audit, policy, queries[i], st);
+        engine_.RecordServingOutcome(policy, queries[i], st, 0);
         return st;
       }
       if (deadline_ms > 0) {
@@ -133,6 +134,7 @@ std::vector<Result<ExecuteResult>> QueryWorkerPool::ExecuteBatch(
               "deadline of " + std::to_string(deadline_ms) +
               " ms expired while the query was queued");
           RecordPoolAudit(opts.audit, policy, queries[i], st);
+          engine_.RecordServingOutcome(policy, queries[i], st, 0);
           return st;
         }
         auto remaining_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -171,6 +173,7 @@ std::vector<Result<ExecuteResult>> QueryWorkerPool::ExecuteBatch(
         "query shed: the pool's submission queue is full (cap " +
         std::to_string(options_.queue_cap) + ")");
     RecordPoolAudit(task_options.audit, policy, queries[i], st);
+    engine_.RecordServingOutcome(policy, queries[i], st, 0);
     std::lock_guard<std::mutex> slot_lock(state->mu);
     state->results[i] = std::move(st);
     if (--state->remaining == 0) state->done_cv.notify_all();

@@ -1,0 +1,167 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace secview::net {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view TrimSpace(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Splits off the next line (CRLF or LF terminated). Returns false when
+/// no full line remains.
+bool NextLine(std::string_view& rest, std::string_view& line) {
+  size_t nl = rest.find('\n');
+  if (nl == std::string_view::npos) return false;
+  line = rest.substr(0, nl);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  rest.remove_prefix(nl + 1);
+  return true;
+}
+
+bool ValidTargetByte(unsigned char c) {
+  // Printable ASCII excluding space; control bytes and 8-bit bytes in a
+  // request target are a malformed (or hostile) client.
+  return c > 0x20 && c < 0x7f;
+}
+
+}  // namespace
+
+std::string_view HttpRequest::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return {};
+}
+
+HttpResponse HttpResponse::Text(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  return response;
+}
+
+const char* HttpStatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 414: return "URI Too Long";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+Result<HttpRequest> ParseHttpRequest(std::string_view head,
+                                     const HttpLimits& limits) {
+  if (head.size() > limits.max_request_bytes) {
+    return Status::OutOfRange("request head exceeds max_request_bytes (" +
+                              std::to_string(limits.max_request_bytes) + ")");
+  }
+  std::string_view rest = head;
+  std::string_view line;
+  if (!NextLine(rest, line) || line.empty()) {
+    return Status::InvalidArgument("missing request line");
+  }
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                             : line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return Status::InvalidArgument(
+        "malformed request line (want 'METHOD target HTTP/1.x')");
+  }
+  HttpRequest request;
+  request.method = std::string(line.substr(0, sp1));
+  request.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request.version = std::string(line.substr(sp2 + 1));
+  if (request.method != "GET" && request.method != "HEAD") {
+    return Status::Unimplemented("method '" + request.method +
+                                 "' not allowed (GET/HEAD only)");
+  }
+  if (request.version != "HTTP/1.1" && request.version != "HTTP/1.0") {
+    return Status::InvalidArgument("unsupported HTTP version '" +
+                                   request.version + "'");
+  }
+  if (request.target.empty() || request.target.front() != '/') {
+    return Status::InvalidArgument("request target must be origin-form");
+  }
+  if (request.target.size() > limits.max_target_bytes) {
+    return Status::OutOfRange("request target exceeds max_target_bytes (" +
+                              std::to_string(limits.max_target_bytes) + ")");
+  }
+  for (char c : request.target) {
+    if (!ValidTargetByte(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument("request target contains invalid byte");
+    }
+  }
+
+  bool terminated = false;
+  while (NextLine(rest, line)) {
+    if (line.empty()) {
+      terminated = true;
+      break;
+    }
+    if (request.headers.size() >= limits.max_headers) {
+      return Status::OutOfRange("request exceeds max_headers (" +
+                                std::to_string(limits.max_headers) + ")");
+    }
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Status::InvalidArgument("malformed header line");
+    }
+    std::string name = ToLower(TrimSpace(line.substr(0, colon)));
+    if (name.find(' ') != std::string::npos ||
+        name.find('\t') != std::string::npos) {
+      return Status::InvalidArgument("whitespace inside header name");
+    }
+    request.headers.emplace_back(std::move(name),
+                                 std::string(TrimSpace(line.substr(colon + 1))));
+  }
+  if (!terminated) {
+    return Status::InvalidArgument("request head not terminated by blank line");
+  }
+  if (!request.Header("content-length").empty() ||
+      !request.Header("transfer-encoding").empty()) {
+    return Status::InvalidArgument(
+        "request bodies are not accepted on the telemetry port");
+  }
+  return request;
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool head_only) {
+  std::string out;
+  out.reserve(128 + (head_only ? 0 : response.body.size()));
+  out += "HTTP/1.1 " + std::to_string(response.status) + " " +
+         HttpStatusReason(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  if (!head_only) out += response.body;
+  return out;
+}
+
+}  // namespace secview::net

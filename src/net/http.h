@@ -1,0 +1,71 @@
+#ifndef SECVIEW_NET_HTTP_H_
+#define SECVIEW_NET_HTTP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace secview::net {
+
+/// Hard caps applied while reading and parsing one HTTP request, in the
+/// same spirit as the XPath parser's hostile-input limits: a telemetry
+/// port exposed on a host must not be a memory or CPU amplifier. A
+/// request that exceeds a cap is answered with a 4xx and the connection
+/// is closed — nothing is ever buffered past `max_request_bytes`.
+struct HttpLimits {
+  /// Total bytes of request head (request line + headers) accepted.
+  size_t max_request_bytes = 8192;
+  /// Maximum number of header lines.
+  size_t max_headers = 64;
+  /// Maximum request-target (path) length.
+  size_t max_target_bytes = 1024;
+};
+
+/// A parsed HTTP/1.x request head. Telemetry serving never needs request
+/// bodies, so requests carrying Content-Length / Transfer-Encoding are
+/// rejected outright instead of being read.
+struct HttpRequest {
+  std::string method;   ///< "GET" or "HEAD" (anything else is rejected)
+  std::string target;   ///< origin-form target, e.g. "/metrics"
+  std::string version;  ///< "HTTP/1.0" or "HTTP/1.1"
+  /// Header name/value pairs in order of appearance; names lowercased.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// First value of a (lowercase) header name, or "" when absent.
+  std::string_view Header(std::string_view name) const;
+};
+
+/// An HTTP response about to be serialized. The server always adds
+/// Content-Length and Connection: close.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+
+  static HttpResponse Text(int status, std::string body);
+};
+
+/// The canonical reason phrase for the status codes the telemetry server
+/// emits (200, 400, 404, 405, 408, 431, 500, 503, ...).
+const char* HttpStatusReason(int status);
+
+/// Parses a full request head (everything up to and including the blank
+/// line, CRLF or bare-LF line endings). Enforces `limits` and the
+/// GET/HEAD-only, no-body discipline; violations come back as
+/// InvalidArgument (malformed / too large) or Unimplemented (method not
+/// allowed), with messages that name the violated cap.
+Result<HttpRequest> ParseHttpRequest(std::string_view head,
+                                     const HttpLimits& limits = {});
+
+/// Serializes status line + headers + body. `head_only` elides the body
+/// (HEAD responses) while keeping the true Content-Length.
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool head_only = false);
+
+}  // namespace secview::net
+
+#endif  // SECVIEW_NET_HTTP_H_

@@ -1,0 +1,98 @@
+#include "net/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+namespace secview::net {
+
+Result<FetchedResponse> HttpGet(const std::string& host, uint16_t port,
+                                const std::string& target, int timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("invalid IPv4 address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::Internal("connect " + host + ":" +
+                                     std::to_string(port) + ": " +
+                                     std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+
+  std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host +
+                        "\r\nConnection: close\r\n\r\n";
+  std::string_view out = request;
+  while (!out.empty()) {
+    ssize_t n = ::send(fd, out.data(), out.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status =
+          Status::Internal(std::string("send: ") + std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    out.remove_prefix(static_cast<size_t>(n));
+  }
+
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = (errno == EAGAIN || errno == EWOULDBLOCK)
+                          ? Status::DeadlineExceeded("read timed out")
+                          : Status::Internal(std::string("recv: ") +
+                                             std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  // Status line: "HTTP/1.1 NNN Reason".
+  size_t sp = raw.find(' ');
+  if (raw.compare(0, 5, "HTTP/") != 0 || sp == std::string::npos ||
+      sp + 4 > raw.size()) {
+    return Status::InvalidArgument("malformed HTTP response");
+  }
+  FetchedResponse response;
+  response.status = std::atoi(raw.c_str() + sp + 1);
+  if (response.status < 100 || response.status > 599) {
+    return Status::InvalidArgument("malformed HTTP status code");
+  }
+  size_t body = raw.find("\r\n\r\n");
+  size_t skip = 4;
+  if (body == std::string::npos) {
+    body = raw.find("\n\n");
+    skip = 2;
+  }
+  if (body != std::string::npos) {
+    response.body = raw.substr(body + skip);
+  }
+  return response;
+}
+
+}  // namespace secview::net

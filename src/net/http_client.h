@@ -1,0 +1,29 @@
+#ifndef SECVIEW_NET_HTTP_CLIENT_H_
+#define SECVIEW_NET_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace secview::net {
+
+/// A fetched HTTP response, as far as the minimal client parses it.
+struct FetchedResponse {
+  int status = 0;
+  std::string body;
+};
+
+/// Minimal blocking HTTP/1.x GET against an IPv4 address — just enough
+/// client to scrape the telemetry server from tests, the bench harness,
+/// and `secview scrape` without any external tooling (the CI image has
+/// no curl guarantee). One request, Connection: close, response read to
+/// EOF; headers are skipped except the status line. `timeout_ms` bounds
+/// connect and each read.
+Result<FetchedResponse> HttpGet(const std::string& host, uint16_t port,
+                                const std::string& target,
+                                int timeout_ms = 5000);
+
+}  // namespace secview::net
+
+#endif  // SECVIEW_NET_HTTP_CLIENT_H_

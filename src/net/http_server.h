@@ -1,0 +1,116 @@
+#ifndef SECVIEW_NET_HTTP_SERVER_H_
+#define SECVIEW_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "net/http.h"
+
+namespace secview::net {
+
+/// A deliberately small embedded HTTP/1.1 server for telemetry traffic:
+/// one accept thread plus a bounded pool of connection workers, GET/HEAD
+/// only, one request per connection ("Connection: close"), no TLS, no
+/// keep-alive, no bodies. It binds to localhost by default — exposing a
+/// metrics port beyond the host is a conscious operator decision
+/// (Options::bind_address), not a default.
+///
+/// Defensive posture (mirrors the query pipeline's hostile-input
+/// hardening): request heads are read under a receive timeout and a byte
+/// cap, parsed under HttpLimits, and every violation is answered with a
+/// specific 4xx before the connection is dropped. When all workers are
+/// busy and the pending-connection queue is full, new connections get an
+/// immediate 503 from the accept thread instead of queueing without
+/// bound — the same shed-don't-collapse discipline as the query worker
+/// pool.
+class HttpServer {
+ public:
+  /// Handles one parsed request; runs on a worker thread, so it must be
+  /// thread-safe. HEAD is handled by the server (the handler builds the
+  /// full response; the body is elided on the wire).
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  struct Options {
+    /// Bind address. Keep "127.0.0.1" unless the port must be scraped
+    /// from another host.
+    std::string bind_address = "127.0.0.1";
+    /// TCP port; 0 picks an ephemeral port (see port()).
+    uint16_t port = 0;
+    /// listen(2) backlog.
+    int backlog = 16;
+    /// Connection worker threads.
+    size_t workers = 2;
+    /// Accepted connections waiting for a worker before new ones are
+    /// shed with 503.
+    size_t pending_cap = 16;
+    /// Per-read timeout while receiving the request head; a client that
+    /// stalls longer gets 408 (anti-slowloris).
+    int recv_timeout_ms = 2000;
+    HttpLimits limits;
+  };
+
+  HttpServer(Handler handler, Options options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and starts the accept/worker threads. Fails (and
+  /// leaves the server stopped) when the address cannot be bound.
+  Status Start();
+
+  /// Stops accepting, drains in-flight connections, joins all threads.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound TCP port (resolves ephemeral port 0); 0 before Start().
+  uint16_t port() const { return port_; }
+
+  /// Served-request counters, for tests and /statusz.
+  uint64_t requests_handled() const {
+    return requests_handled_.load(std::memory_order_relaxed);
+  }
+  uint64_t requests_rejected() const {
+    return requests_rejected_.load(std::memory_order_relaxed);
+  }
+  uint64_t connections_shed() const {
+    return connections_shed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void HandleConnection(int fd);
+
+  Handler handler_;
+  Options options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<int> pending_;  ///< accepted fds awaiting a worker
+
+  std::atomic<uint64_t> requests_handled_{0};
+  std::atomic<uint64_t> requests_rejected_{0};
+  std::atomic<uint64_t> connections_shed_{0};
+};
+
+}  // namespace secview::net
+
+#endif  // SECVIEW_NET_HTTP_SERVER_H_

@@ -1,0 +1,166 @@
+#include "net/telemetry_server.h"
+
+#include <cstdio>
+#include <sstream>
+#include <string_view>
+
+#include "common/build_info.h"
+#include "obs/export.h"
+
+namespace secview::net {
+
+namespace {
+
+std::string FormatRate(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+/// "1h 02m 03s" from milliseconds; hours unbounded.
+std::string FormatUptime(uint64_t ms) {
+  uint64_t s = ms / 1000;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lluh %02llum %02llus",
+                static_cast<unsigned long long>(s / 3600),
+                static_cast<unsigned long long>((s / 60) % 60),
+                static_cast<unsigned long long>(s % 60));
+  return buf;
+}
+
+void AppendWindow(std::ostringstream& out,
+                  const obs::SlidingWindowStats::Window& w) {
+  out << "  last " << w.seconds << "s: " << w.count << " queries, "
+      << FormatRate(w.qps) << " qps, error rate " << FormatRate(w.error_rate)
+      << ", shed rate " << FormatRate(w.shed_rate);
+  if (w.count > 0) {
+    out << ", p50 " << w.p50_micros << "us, p95 " << w.p95_micros
+        << "us, p99 " << (w.p99_overflow ? ">" : "") << w.p99_micros << "us";
+  }
+  out << "\n";
+}
+
+}  // namespace
+
+TelemetryServer::TelemetryServer(const obs::MetricsRegistry* registry,
+                                 Options options)
+    : registry_(registry), options_(std::move(options)) {
+  http_ = std::make_unique<HttpServer>(
+      [this](const HttpRequest& request) { return Handle(request); },
+      options_.http);
+}
+
+TelemetryServer::~TelemetryServer() { Stop(); }
+
+Status TelemetryServer::Start() { return http_->Start(); }
+
+void TelemetryServer::Stop() { http_->Stop(); }
+
+HttpResponse TelemetryServer::Handle(const HttpRequest& request) const {
+  const std::string& target = request.target;
+  if (target == "/metrics") {
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body =
+        obs::RenderPrometheusText(registry_->Collect(), options_.ns);
+    return response;
+  }
+  if (target == "/varz") {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = obs::MetricsV1Document(registry_->Collect()).Dump(true);
+    response.body += "\n";
+    return response;
+  }
+  if (target == "/healthz") {
+    bool ready = !options_.ready || options_.ready();
+    return ready ? HttpResponse::Text(200, "ok\n")
+                 : HttpResponse::Text(503, "starting\n");
+  }
+  if (target == "/statusz") {
+    return HttpResponse::Text(200, RenderStatusz());
+  }
+  if (target == "/") {
+    return HttpResponse::Text(
+        200, "secview telemetry: /metrics /varz /healthz /statusz\n");
+  }
+  return HttpResponse::Text(404, "no such endpoint: " + target + "\n");
+}
+
+std::string TelemetryServer::RenderStatusz() const {
+  const BuildInfo& build = GetBuildInfo();
+  std::ostringstream out;
+  out << "secview " << build.version << " (" << build.compiler << ", "
+      << build.cxx_standard << ")\n";
+  out << "uptime: " << FormatUptime(ProcessUptimeMillis())
+      << "   start_unix: " << ProcessStartUnixSeconds() << "\n";
+  bool ready = !options_.ready || options_.ready();
+  out << "ready: " << (ready ? "yes" : "no") << "\n";
+  out << "telemetry: " << http_->requests_handled() << " handled, "
+      << http_->requests_rejected() << " rejected, "
+      << http_->connections_shed() << " shed\n";
+
+  out << "\nserving\n";
+  if (options_.window != nullptr) {
+    AppendWindow(out, options_.window->Snapshot(10));
+    AppendWindow(out, options_.window->Snapshot(60));
+    out << "  lifetime: " << options_.window->total() << " queries\n";
+  } else {
+    out << "  no serving stats attached\n";
+  }
+
+  // Cache occupancy and pool depth read off the shared registry, so
+  // /statusz needs no reference to the engine itself.
+  obs::MetricsSnapshot snapshot = registry_->Collect();
+  out << "\nrewrite cache\n";
+  bool any_cache = false;
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string_view n = name;
+    if (n == "engine.cache.size") {
+      out << "  total entries: " << value << "\n";
+      any_cache = true;
+    } else if (n.size() > 18 && n.substr(0, 18) == "engine.cache.shard") {
+      out << "  " << n << " = " << value << "\n";
+      any_cache = true;
+    }
+  }
+  if (!any_cache) out << "  no cache gauges registered\n";
+
+  out << "\nworker pool\n";
+  bool any_pool = false;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (std::string_view(name).substr(0, 12) == "engine.pool.") {
+      out << "  " << name << " = " << value << "\n";
+      any_pool = true;
+    }
+  }
+  for (const auto& [name, value] : snapshot.counters) {
+    if (std::string_view(name).substr(0, 12) == "engine.pool.") {
+      out << "  " << name << " = " << value << "\n";
+      any_pool = true;
+    }
+  }
+  if (!any_pool) out << "  no pool attached\n";
+
+  out << "\nslow queries";
+  if (options_.slow_log != nullptr) {
+    out << " (threshold " << options_.slow_log->threshold_micros()
+        << "us, " << options_.slow_log->recorded() << " recorded, newest "
+        << "first)\n";
+    std::vector<obs::SlowQueryLog::Entry> entries =
+        options_.slow_log->Snapshot();
+    if (entries.empty()) out << "  none\n";
+    for (const obs::SlowQueryLog::Entry& e : entries) {
+      out << "  [" << obs::ServeOutcomeName(e.outcome) << "] "
+          << e.latency_micros << "us policy=" << e.policy
+          << " cache=" << (e.cache_hit ? "hit" : "miss")
+          << " nodes=" << e.nodes_touched << " preds=" << e.predicate_evals
+          << " results=" << e.results << " query=" << e.query << "\n";
+    }
+  } else {
+    out << "\n  no slow-query log attached\n";
+  }
+  return out.str();
+}
+
+}  // namespace secview::net

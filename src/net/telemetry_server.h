@@ -1,0 +1,77 @@
+#ifndef SECVIEW_NET_TELEMETRY_SERVER_H_
+#define SECVIEW_NET_TELEMETRY_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "net/http_server.h"
+#include "obs/metrics.h"
+#include "obs/serving_stats.h"
+#include "obs/slow_query_log.h"
+
+namespace secview::net {
+
+/// The secview telemetry endpoint set, served over an embedded
+/// HttpServer:
+///
+///   /metrics  - live Prometheus text exposition (RenderPrometheusText
+///               over a fresh registry Collect(), process info included)
+///   /varz     - the same snapshot as secview.metrics.v1 JSON
+///   /healthz  - liveness + readiness: "ok\n" (200) once the ready
+///               predicate holds (engine sealed), 503 "starting\n" before
+///   /statusz  - human-oriented status page: build info, uptime,
+///               windowed QPS / error / shed rates and latency
+///               percentiles, per-shard rewrite-cache occupancy, worker
+///               pool queue depth, and the slowest recent queries
+///
+/// The server only *reads* observability state — a scrape can never
+/// mutate engine behavior — and depends on obs/common alone, so it can
+/// front any registry-bearing process, not just the query engine.
+class TelemetryServer {
+ public:
+  struct Options {
+    HttpServer::Options http;
+    /// Prometheus namespace prefix for /metrics.
+    std::string ns = "secview";
+    /// Readiness predicate for /healthz (e.g. engine sealed). Null means
+    /// always ready.
+    std::function<bool()> ready;
+    /// Optional serving-window aggregator feeding /statusz rates; may be
+    /// null (rates section reports "no serving stats attached").
+    const obs::SlidingWindowStats* window = nullptr;
+    /// Optional slow-query ring feeding /statusz; may be null.
+    const obs::SlowQueryLog* slow_log = nullptr;
+  };
+
+  /// `registry` must outlive the server.
+  TelemetryServer(const obs::MetricsRegistry* registry, Options options);
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  uint16_t port() const { return http_->port(); }
+  bool running() const { return http_->running(); }
+  const HttpServer& http() const { return *http_; }
+
+  /// The routing logic behind the socket server, exposed for tests:
+  /// handles one parsed request without any networking.
+  HttpResponse Handle(const HttpRequest& request) const;
+
+ private:
+  std::string RenderStatusz() const;
+
+  const obs::MetricsRegistry* registry_;
+  Options options_;
+  std::unique_ptr<HttpServer> http_;
+};
+
+}  // namespace secview::net
+
+#endif  // SECVIEW_NET_TELEMETRY_SERVER_H_

@@ -1,5 +1,6 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -7,6 +8,7 @@
 #include <fstream>
 #include <unistd.h>
 
+#include "common/build_info.h"
 #include "obs/json.h"
 
 namespace secview::obs {
@@ -80,6 +82,44 @@ std::string RenderPrometheusText(const MetricsSnapshot& snapshot,
     append_u64(h.count);
     out.push_back('\n');
   }
+  out += RenderProcessInfoText(ns);
+  return out;
+}
+
+namespace {
+
+/// Escapes a label value per the text format: backslash, double quote,
+/// and newline become \\, \", \n.
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderProcessInfoText(std::string_view ns) {
+  const BuildInfo& build = GetBuildInfo();
+  std::string start_name = PrometheusMetricName("process.start_time_unix", ns);
+  std::string uptime_name = PrometheusMetricName("process.uptime_ms", ns);
+  std::string build_name = PrometheusMetricName("build_info", ns);
+  std::string out;
+  out += "# TYPE " + start_name + " gauge\n";
+  out += start_name + " " + std::to_string(ProcessStartUnixSeconds()) + "\n";
+  out += "# TYPE " + uptime_name + " gauge\n";
+  out += uptime_name + " " + std::to_string(ProcessUptimeMillis()) + "\n";
+  out += "# TYPE " + build_name + " gauge\n";
+  out += build_name + "{version=\"" + EscapeLabelValue(build.version) +
+         "\",compiler=\"" + EscapeLabelValue(build.compiler) + "\",std=\"" +
+         EscapeLabelValue(build.cxx_standard) + "\"} 1\n";
   return out;
 }
 
@@ -162,6 +202,13 @@ Status ValidatePrometheusText(std::string_view text) {
     return Status::InvalidArgument("prometheus text line " +
                                    std::to_string(line_no) + ": " + what);
   };
+  // The exposition format requires the last line to end in '\n'; a
+  // scrape cut off mid-line must be rejected, not silently accepted.
+  if (!text.empty() && text.back() != '\n') {
+    line_no = 1 + static_cast<size_t>(
+                      std::count(text.begin(), text.end(), '\n'));
+    return fail("missing trailing newline");
+  }
   while (start <= text.size()) {
     size_t end = text.find('\n', start);
     std::string_view line = text.substr(
@@ -247,19 +294,7 @@ Status AtomicWrite(const std::string& dir, const std::string& filename,
 
 }  // namespace
 
-Status MetricsSnapshotWriter::WriteOnce() {
-  std::error_code ec;
-  std::filesystem::create_directories(dir_, ec);
-  if (ec) {
-    return Status::NotFound("cannot create snapshot dir " + dir_ + ": " +
-                            ec.message());
-  }
-  MetricsSnapshot snapshot = registry_->Collect();
-  SECVIEW_RETURN_IF_ERROR(AtomicWrite(
-      dir_, options_.prom_filename, RenderPrometheusText(snapshot,
-                                                         options_.ns)));
-  // The JSON twin mirrors MetricsRegistry::ToJson but is rendered from
-  // the *same* snapshot, so the two files always agree.
+Json MetricsV1Document(const MetricsSnapshot& snapshot) {
   Json counters = Json::Object();
   for (const auto& [name, value] : snapshot.counters) counters.Set(name, value);
   Json gauges = Json::Object();
@@ -288,8 +323,25 @@ Status MetricsSnapshotWriter::WriteOnce() {
   doc.Set("counters", std::move(counters));
   doc.Set("gauges", std::move(gauges));
   doc.Set("histograms", std::move(histograms));
-  SECVIEW_RETURN_IF_ERROR(
-      AtomicWrite(dir_, options_.json_filename, doc.Dump(/*pretty=*/true)));
+  return doc;
+}
+
+Status MetricsSnapshotWriter::WriteOnce() {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return Status::NotFound("cannot create snapshot dir " + dir_ + ": " +
+                            ec.message());
+  }
+  MetricsSnapshot snapshot = registry_->Collect();
+  SECVIEW_RETURN_IF_ERROR(AtomicWrite(
+      dir_, options_.prom_filename, RenderPrometheusText(snapshot,
+                                                         options_.ns)));
+  // The JSON twin is rendered from the *same* snapshot, so the two
+  // files always agree.
+  SECVIEW_RETURN_IF_ERROR(AtomicWrite(dir_, options_.json_filename,
+                                      MetricsV1Document(snapshot)
+                                          .Dump(/*pretty=*/true)));
   writes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }

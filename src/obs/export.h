@@ -26,14 +26,36 @@ std::string PrometheusMetricName(std::string_view name,
 /// series ending in le="+Inf" plus "<name>_sum" / "<name>_count".
 /// Bucket bounds are the registry's microsecond bounds, rendered as
 /// integers. The output ends with a newline, as scrapers require.
+///
+/// Every render is suffixed with the process-level series of
+/// RenderProcessInfoText, so any scrape — one-shot CLI dump, snapshot
+/// file, or the live /metrics endpoint — can detect restarts.
 std::string RenderPrometheusText(const MetricsSnapshot& snapshot,
                                  std::string_view ns = "secview");
 
+/// The process-level series appended to every Prometheus render:
+///
+///   <ns>_process_start_time_unix   gauge  wall-clock start (seconds)
+///   <ns>_process_uptime_ms         gauge  steady-clock uptime
+///   <ns>_build_info{version,compiler,std} 1
+///
+/// A scrape that sees start_time change (or uptime shrink) is looking
+/// at a restarted process; build_info labels say which binary answers.
+std::string RenderProcessInfoText(std::string_view ns = "secview");
+
 /// Checks `text` against the Prometheus text-format grammar: comment and
 /// TYPE/HELP lines, metric lines "<name>[{labels}] <value> [timestamp]"
-/// with valid names, label syntax, and float values. Returns the first
-/// violation with its line number.
+/// with valid names, label syntax, and float values, plus the format's
+/// trailing-newline requirement (a non-empty exposition must end in
+/// '\n'). Returns the first violation with its line number.
 Status ValidatePrometheusText(std::string_view text);
+
+/// The secview.metrics.v1 JSON document for a snapshot:
+/// {"schema": "secview.metrics.v1", "counters": {...}, "gauges": {...},
+///  "histograms": {name: {"count", "sum", "buckets": [{"le","count"}]}}}.
+/// Shared by MetricsSnapshotWriter and the /varz telemetry endpoint so
+/// both emit byte-compatible documents from one Collect().
+Json MetricsV1Document(const MetricsSnapshot& snapshot);
 
 /// Periodically writes consistent snapshots of a MetricsRegistry into a
 /// directory as both Prometheus text ("metrics.prom") and the

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace secview::obs {
@@ -28,21 +29,39 @@ std::vector<uint64_t> Histogram::BucketCounts() const {
   return out;
 }
 
-uint64_t Histogram::ApproxPercentile(double p) const {
+uint64_t Histogram::OverflowCount() const {
+  return buckets_[bounds_.size()].load(std::memory_order_relaxed);
+}
+
+PercentileEstimate Histogram::ApproxPercentileEstimate(double p) const {
+  PercentileEstimate estimate;
   uint64_t total = count();
-  if (total == 0) return 0;
+  if (total == 0) return estimate;
   p = std::min(std::max(p, 0.0), 1.0);
-  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total - 1)) + 1;
+  // Nearest-rank: the ceil(p*n)-th smallest sample, so p99 over 10+
+  // samples reaches the actual tail instead of stopping one short.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p * static_cast<double>(total)));
+  rank = std::min(std::max<uint64_t>(rank, 1), total);
   uint64_t seen = 0;
   std::vector<uint64_t> counts = BucketCounts();
   for (size_t i = 0; i < counts.size(); ++i) {
     seen += counts[i];
     if (seen >= rank) {
-      return i < bounds_.size() ? bounds_[i]
-                                : (bounds_.empty() ? 0 : bounds_.back());
+      estimate.overflow = i >= bounds_.size();
+      estimate.value = estimate.overflow
+                           ? (bounds_.empty() ? 0 : bounds_.back())
+                           : bounds_[i];
+      return estimate;
     }
   }
-  return bounds_.empty() ? 0 : bounds_.back();
+  estimate.overflow = true;
+  estimate.value = bounds_.empty() ? 0 : bounds_.back();
+  return estimate;
+}
+
+uint64_t Histogram::ApproxPercentile(double p) const {
+  return ApproxPercentileEstimate(p).value;
 }
 
 void Histogram::Reset() {
@@ -168,8 +187,13 @@ std::string MetricsRegistry::ToText() const {
     uint64_t n = h->count();
     out << name << " count=" << n << " sum=" << h->sum();
     if (n > 0) {
-      out << " mean=" << (h->sum() / n) << " p50~" << h->ApproxPercentile(0.5)
-          << " p99~" << h->ApproxPercentile(0.99);
+      // A '>' marks a percentile that landed in the +Inf overflow
+      // bucket: the true value is at least the printed bound.
+      PercentileEstimate p50 = h->ApproxPercentileEstimate(0.5);
+      PercentileEstimate p99 = h->ApproxPercentileEstimate(0.99);
+      out << " mean=" << (h->sum() / n) << " p50~"
+          << (p50.overflow ? ">" : "") << p50.value << " p99~"
+          << (p99.overflow ? ">" : "") << p99.value;
     }
     out << "\n";
   }

@@ -39,6 +39,17 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
+/// An ApproxPercentile answer that can say "beyond the largest bucket".
+/// When the p-quantile observation landed in the +Inf overflow bucket
+/// the histogram carries no upper bound for it: `value` is the largest
+/// finite bound and `overflow` is true, meaning the true percentile is
+/// *at least* `value`. Reporting the clamped value alone silently caps
+/// tail percentiles (a p99 of "5s" could really be minutes).
+struct PercentileEstimate {
+  uint64_t value = 0;
+  bool overflow = false;
+};
+
 /// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the
 /// first N buckets, with an implicit +inf overflow bucket. Observations
 /// and bucket bumps are relaxed atomics; the bucket layout is immutable
@@ -55,9 +66,18 @@ class Histogram {
   const std::vector<uint64_t>& bounds() const { return bounds_; }
   /// bounds().size() + 1 entries; the last is the overflow bucket.
   std::vector<uint64_t> BucketCounts() const;
+  /// Samples that exceeded every finite bound (the +Inf bucket count).
+  uint64_t OverflowCount() const;
 
-  /// Approximate quantile read off the bucket boundaries (the upper bound
-  /// of the bucket containing the p-quantile observation; 0 when empty).
+  /// Approximate quantile read off the bucket boundaries: the upper
+  /// bound of the bucket containing the p-quantile observation (0 when
+  /// empty), with an explicit overflow flag when that bucket is +Inf.
+  PercentileEstimate ApproxPercentileEstimate(double p) const;
+
+  /// Legacy clamped form of ApproxPercentileEstimate: overflow answers
+  /// come back as the largest finite bound, indistinguishable from a
+  /// sample that genuinely landed there. Prefer the estimate API for
+  /// anything user-facing.
   uint64_t ApproxPercentile(double p) const;
 
   void Reset();

@@ -1,0 +1,148 @@
+#include "obs/serving_stats.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace secview::obs {
+
+ServeOutcome ServeOutcomeForStatus(const Status& status) {
+  if (status.ok()) return ServeOutcome::kOk;
+  if (status.IsDeadlineExceeded() || status.IsResourceExhausted()) {
+    return ServeOutcome::kTimeout;
+  }
+  if (status.IsCancelled()) return ServeOutcome::kShed;
+  return ServeOutcome::kDenied;
+}
+
+const char* ServeOutcomeName(ServeOutcome outcome) {
+  switch (outcome) {
+    case ServeOutcome::kOk: return "ok";
+    case ServeOutcome::kDenied: return "denied";
+    case ServeOutcome::kTimeout: return "timeout";
+    case ServeOutcome::kShed: return "shed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+uint64_t SteadyNowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+SlidingWindowStats::SlidingWindowStats() : SlidingWindowStats(Options{}) {}
+
+SlidingWindowStats::SlidingWindowStats(Options options)
+    : bounds_(options.latency_bounds.empty()
+                  ? MetricsRegistry::DefaultLatencyBounds()
+                  : std::move(options.latency_bounds)),
+      buckets_n_(std::max<size_t>(options.window_seconds, 2)),
+      buckets_(std::make_unique<Bucket[]>(buckets_n_)),
+      now_micros_(options.now_micros ? std::move(options.now_micros)
+                                     : SteadyNowMicros) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  for (size_t i = 0; i < buckets_n_; ++i) {
+    buckets_[i].latency.assign(bounds_.size() + 1, 0);
+  }
+}
+
+int64_t SlidingWindowStats::NowSecond() const {
+  return static_cast<int64_t>(now_micros_() / 1'000'000);
+}
+
+void SlidingWindowStats::ResetBucketLocked(Bucket& bucket, int64_t second) {
+  bucket.second = second;
+  bucket.ok = bucket.denied = bucket.timeout = bucket.shed = 0;
+  std::fill(bucket.latency.begin(), bucket.latency.end(), 0);
+}
+
+void SlidingWindowStats::Record(uint64_t latency_micros, ServeOutcome outcome) {
+  int64_t second = NowSecond();
+  Bucket& bucket = buckets_[static_cast<size_t>(second) % buckets_n_];
+  {
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    if (bucket.second != second) ResetBucketLocked(bucket, second);
+    switch (outcome) {
+      case ServeOutcome::kOk: ++bucket.ok; break;
+      case ServeOutcome::kDenied: ++bucket.denied; break;
+      case ServeOutcome::kTimeout: ++bucket.timeout; break;
+      case ServeOutcome::kShed: ++bucket.shed; break;
+    }
+    size_t i = std::lower_bound(bounds_.begin(), bounds_.end(), latency_micros) -
+               bounds_.begin();
+    ++bucket.latency[i];
+  }
+  std::lock_guard<std::mutex> lock(total_mu_);
+  ++total_;
+}
+
+SlidingWindowStats::Window SlidingWindowStats::Snapshot(
+    uint64_t seconds) const {
+  Window window;
+  window.seconds = std::max<uint64_t>(
+      1, std::min<uint64_t>(seconds, static_cast<uint64_t>(buckets_n_)));
+  int64_t now = NowSecond();
+  int64_t oldest = now - static_cast<int64_t>(window.seconds) + 1;
+  std::vector<uint64_t> latency(bounds_.size() + 1, 0);
+  for (int64_t s = oldest; s <= now; ++s) {
+    if (s < 0) continue;
+    const Bucket& bucket = buckets_[static_cast<size_t>(s) % buckets_n_];
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    if (bucket.second != s) continue;  // stale or never filled
+    window.ok += bucket.ok;
+    window.denied += bucket.denied;
+    window.timeout += bucket.timeout;
+    window.shed += bucket.shed;
+    for (size_t i = 0; i < latency.size(); ++i) latency[i] += bucket.latency[i];
+  }
+  window.count = window.ok + window.denied + window.timeout + window.shed;
+  window.qps =
+      static_cast<double>(window.count) / static_cast<double>(window.seconds);
+  if (window.count > 0) {
+    uint64_t errors = window.denied + window.timeout + window.shed;
+    window.error_rate =
+        static_cast<double>(errors) / static_cast<double>(window.count);
+    window.shed_rate =
+        static_cast<double>(window.shed) / static_cast<double>(window.count);
+    auto percentile = [&](double p) {
+      // Nearest-rank, matching Histogram::ApproxPercentileEstimate.
+      uint64_t rank = static_cast<uint64_t>(
+          std::ceil(p * static_cast<double>(window.count)));
+      rank = std::min(std::max<uint64_t>(rank, 1), window.count);
+      uint64_t seen = 0;
+      for (size_t i = 0; i < latency.size(); ++i) {
+        seen += latency[i];
+        if (seen >= rank) {
+          bool overflow = i >= bounds_.size();
+          uint64_t value =
+              overflow ? (bounds_.empty() ? 0 : bounds_.back()) : bounds_[i];
+          return std::pair<uint64_t, bool>(value, overflow);
+        }
+      }
+      return std::pair<uint64_t, bool>(bounds_.empty() ? 0 : bounds_.back(),
+                                       true);
+    };
+    window.p50_micros = percentile(0.50).first;
+    window.p95_micros = percentile(0.95).first;
+    auto [p99, p99_overflow] = percentile(0.99);
+    window.p99_micros = p99;
+    window.p99_overflow = p99_overflow;
+  }
+  return window;
+}
+
+uint64_t SlidingWindowStats::total() const {
+  std::lock_guard<std::mutex> lock(total_mu_);
+  return total_;
+}
+
+}  // namespace secview::obs

@@ -1,0 +1,43 @@
+#include "obs/slow_query_log.h"
+
+#include <algorithm>
+
+namespace secview::obs {
+
+SlowQueryLog::SlowQueryLog(Options options) : options_(options) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  ring_.reserve(options_.capacity);
+}
+
+void SlowQueryLog::MaybeRecord(Entry entry) {
+  if (entry.latency_micros < options_.threshold_micros) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < options_.capacity) {
+    ring_.push_back(std::move(entry));
+  } else {
+    ring_[next_] = std::move(entry);
+  }
+  next_ = (next_ + 1) % options_.capacity;
+  ++recorded_;
+}
+
+std::vector<SlowQueryLog::Entry> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(ring_.size());
+  // `next_` points at the oldest retained entry once the ring is full;
+  // walk backwards from the newest so callers get newest-first order.
+  size_t n = ring_.size();
+  for (size_t i = 0; i < n; ++i) {
+    size_t idx = (next_ + n - 1 - i) % n;
+    out.push_back(ring_[idx]);
+  }
+  return out;
+}
+
+uint64_t SlowQueryLog::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+}  // namespace secview::obs

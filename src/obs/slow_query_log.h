@@ -1,0 +1,68 @@
+#ifndef SECVIEW_OBS_SLOW_QUERY_LOG_H_
+#define SECVIEW_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/serving_stats.h"
+
+namespace secview::obs {
+
+/// Bounded in-memory ring of the most recent "slow" query executions,
+/// surfaced on the /statusz telemetry page. A query is logged when its
+/// latency meets the threshold; a threshold of 0 logs every execution
+/// (useful in tests and for low-traffic debugging). The ring keeps the
+/// newest `capacity` entries and overwrites the oldest — memory is fixed
+/// no matter how long the process serves.
+///
+/// Entries store the query *text*, not results: the log is an operator
+/// diagnosis surface and must never leak data a policy hid.
+class SlowQueryLog {
+ public:
+  struct Entry {
+    int64_t unix_micros = 0;  ///< wall clock at completion
+    std::string policy;
+    std::string query;
+    ServeOutcome outcome = ServeOutcome::kOk;
+    uint64_t latency_micros = 0;
+    bool cache_hit = false;
+    uint64_t nodes_touched = 0;
+    uint64_t predicate_evals = 0;
+    uint64_t results = 0;
+  };
+
+  struct Options {
+    size_t capacity = 32;
+    /// Minimum latency to record; 0 records everything.
+    uint64_t threshold_micros = 100'000;
+  };
+
+  SlowQueryLog() : SlowQueryLog(Options{}) {}
+  explicit SlowQueryLog(Options options);
+
+  /// Records the entry if entry.latency_micros >= threshold.
+  void MaybeRecord(Entry entry);
+
+  /// Newest-first copy of the retained entries.
+  std::vector<Entry> Snapshot() const;
+
+  /// Total entries ever recorded (not just retained).
+  uint64_t recorded() const;
+
+  uint64_t threshold_micros() const { return options_.threshold_micros; }
+  size_t capacity() const { return options_.capacity; }
+
+ private:
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::vector<Entry> ring_;
+  size_t next_ = 0;       ///< slot the next entry lands in
+  uint64_t recorded_ = 0;
+};
+
+}  // namespace secview::obs
+
+#endif  // SECVIEW_OBS_SLOW_QUERY_LOG_H_

@@ -1,11 +1,13 @@
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <functional>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -684,6 +686,123 @@ TEST_F(CliTest, BenchServeQueueCapShedsAndReportsRejections) {
   EXPECT_NE(text.find("rejected: 10 shed, 0 deadline, 0 budget"),
             std::string::npos)
       << text;
+}
+
+// --- Live telemetry endpoint (docs/observability.md) ---
+
+TEST_F(CliTest, HelpListsTelemetryCommands) {
+  EXPECT_EQ(Run({"help"}), 0);
+  std::string text = out_.str();
+  EXPECT_NE(text.find("serve"), std::string::npos);
+  EXPECT_NE(text.find("scrape"), std::string::npos);
+  EXPECT_NE(text.find("--telemetry-addr"), std::string::npos);
+  EXPECT_NE(text.find("--port-file"), std::string::npos);
+  EXPECT_NE(text.find("--slow-query-micros"), std::string::npos);
+  EXPECT_NE(text.find("--validate-prom"), std::string::npos);
+  EXPECT_NE(text.find("/metrics"), std::string::npos);
+}
+
+TEST_F(CliTest, ScrapeRequiresAddress) {
+  EXPECT_EQ(Run({"scrape"}), 1);
+  EXPECT_NE(err_.str().find("--addr"), std::string::npos) << err_.str();
+}
+
+TEST_F(CliTest, BenchServeStartsTelemetryWhenRequested) {
+  WriteFile("queries.txt", "//name\n//patient\n");
+  std::string port_file = Path("bench.port");
+  std::remove(port_file.c_str());
+  EXPECT_EQ(Run({"bench-serve", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--queries",
+                 Path("queries.txt"), "--threads", "2", "--repeat", "2",
+                 "--bind", "wardNo=3", "--telemetry-addr", "127.0.0.1:0",
+                 "--port-file", port_file}),
+            0)
+      << err_.str();
+  std::string text = out_.str();
+  // The bound (ephemeral) address is announced up front and the summary
+  // reports the window the live endpoints were serving from.
+  EXPECT_NE(text.find("# telemetry: http://127.0.0.1:"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("window(60s)"), std::string::npos) << text;
+  std::ifstream in(port_file);
+  int port = 0;
+  ASSERT_TRUE(in >> port);
+  EXPECT_GT(port, 0);
+  EXPECT_LE(port, 65535);
+  std::remove(port_file.c_str());
+}
+
+TEST_F(CliTest, ServeExposesLiveEndpointsEndToEnd) {
+  WriteFile("queries.txt", "//name\n//patient//bill\n");
+  std::string port_file = Path("serve.port");
+  std::remove(port_file.c_str());
+
+  // `serve` blocks until --max-seconds, so it runs on its own thread
+  // with its own streams while this thread scrapes it over HTTP.
+  std::ostringstream serve_out;
+  std::ostringstream serve_err;
+  int serve_rc = -1;
+  std::thread server([&] {
+    serve_rc = RunCli(
+        {"serve", "--dtd", Path("hospital.dtd"), "--spec",
+         Path("nurse.spec"), "--xml", Path("doc.xml"), "--queries",
+         Path("queries.txt"), "--bind", "wardNo=3", "--replay-delay-ms",
+         "10", "--max-seconds", "3", "--slow-query-micros", "0",
+         "--port-file", port_file},
+        serve_out, serve_err);
+  });
+
+  // The port file is written atomically once the listener is up.
+  int port = 0;
+  for (int i = 0; i < 200 && port == 0; ++i) {
+    std::ifstream in(port_file);
+    if (!(in >> port)) {
+      port = 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  }
+  ASSERT_GT(port, 0) << serve_err.str();
+  std::string port_text = std::to_string(port);
+
+  // The engine is sealed by the worker pool, so /healthz reports ready
+  // once the replay loop is serving.
+  int health_rc = 1;
+  for (int i = 0; i < 100; ++i) {
+    health_rc =
+        Run({"scrape", "--port", port_text, "--path", "/healthz"});
+    if (health_rc == 0 && out_.str().find("ok") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  EXPECT_EQ(health_rc, 0) << err_.str();
+
+  // A validated /metrics scrape shows live engine series.
+  EXPECT_EQ(Run({"scrape", "--port", port_text, "--validate-prom"}), 0)
+      << err_.str();
+  std::string metrics = out_.str();
+  EXPECT_NE(metrics.find("secview_engine_queries_total"), std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("secview_build_info{"), std::string::npos);
+
+  // /statusz folds in the sliding window and the slow-query ring (the
+  // zero threshold logs every replayed query).
+  EXPECT_EQ(Run({"scrape", "--port", port_text, "--path", "/statusz"}), 0)
+      << err_.str();
+  std::string statusz = out_.str();
+  EXPECT_NE(statusz.find("ready: yes"), std::string::npos) << statusz;
+  EXPECT_NE(statusz.find("last 10s:"), std::string::npos);
+  EXPECT_NE(statusz.find("query=//name"), std::string::npos) << statusz;
+
+  // /varz serves the same document schema the snapshot writer emits.
+  EXPECT_EQ(Run({"scrape", "--port", port_text, "--path", "/varz"}), 0);
+  auto varz = obs::Json::Parse(out_.str());
+  ASSERT_TRUE(varz.ok()) << varz.status().ToString();
+  EXPECT_EQ(varz->Find("schema")->AsString(), "secview.metrics.v1");
+
+  server.join();
+  EXPECT_EQ(serve_rc, 0) << serve_err.str();
+  EXPECT_NE(serve_out.str().find("# served"), std::string::npos)
+      << serve_out.str();
+  std::remove(port_file.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,240 @@
+// Tests for the embedded HTTP layer (src/net): request parsing under
+// the hostile-input limits, response serialization, and the socket
+// server/client pair end to end on an ephemeral localhost port.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+
+namespace secview::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ParseHttpRequest
+
+TEST(HttpParseTest, ParsesSimpleGet) {
+  auto parsed = ParseHttpRequest(
+      "GET /metrics HTTP/1.1\r\nHost: localhost\r\nAccept: */*\r\n\r\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->method, "GET");
+  EXPECT_EQ(parsed->target, "/metrics");
+  EXPECT_EQ(parsed->version, "HTTP/1.1");
+  EXPECT_EQ(parsed->Header("host"), "localhost");
+  EXPECT_EQ(parsed->Header("accept"), "*/*");
+  EXPECT_EQ(parsed->Header("absent"), "");
+}
+
+TEST(HttpParseTest, AcceptsHeadAndBareLfLines) {
+  auto parsed = ParseHttpRequest("HEAD /healthz HTTP/1.0\nHost: x\n\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->method, "HEAD");
+  EXPECT_EQ(parsed->version, "HTTP/1.0");
+}
+
+TEST(HttpParseTest, LowercasesHeaderNamesAndTrimsValues) {
+  auto parsed =
+      ParseHttpRequest("GET / HTTP/1.1\r\nX-Custom-Header:   padded \r\n\r\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->Header("x-custom-header"), "padded");
+}
+
+TEST(HttpParseTest, RejectsNonGetMethods) {
+  for (const char* method : {"POST", "PUT", "DELETE", "OPTIONS", "TRACE"}) {
+    auto parsed = ParseHttpRequest(std::string(method) + " / HTTP/1.1\r\n\r\n");
+    ASSERT_FALSE(parsed.ok()) << method;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kUnimplemented) << method;
+  }
+}
+
+TEST(HttpParseTest, RejectsMalformedRequestLines) {
+  for (const char* head :
+       {"", "\r\n\r\n", "GET\r\n\r\n", "GET /\r\n\r\n",
+        "GET / HTTP/1.1 extra\r\n\r\n", "GET / HTTP/2.0\r\n\r\n",
+        "GET metrics HTTP/1.1\r\n\r\n"}) {
+    auto parsed = ParseHttpRequest(head);
+    EXPECT_FALSE(parsed.ok()) << "head: '" << head << "'";
+  }
+}
+
+TEST(HttpParseTest, RejectsUnterminatedHead) {
+  auto parsed = ParseHttpRequest("GET / HTTP/1.1\r\nHost: x\r\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HttpParseTest, RejectsControlBytesInTarget) {
+  auto parsed = ParseHttpRequest("GET /me\ttrics HTTP/1.1\r\n\r\n");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(HttpParseTest, EnforcesHeaderCountCap) {
+  HttpLimits limits;
+  limits.max_headers = 4;
+  std::string head = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 5; ++i) {
+    head += "h" + std::to_string(i) + ": v\r\n";
+  }
+  head += "\r\n";
+  auto parsed = ParseHttpRequest(head, limits);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(parsed.status().message().find("max_headers"), std::string::npos);
+}
+
+TEST(HttpParseTest, EnforcesTargetLengthCap) {
+  HttpLimits limits;
+  limits.max_target_bytes = 16;
+  std::string head =
+      "GET /" + std::string(32, 'a') + " HTTP/1.1\r\n\r\n";
+  auto parsed = ParseHttpRequest(head, limits);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(HttpParseTest, EnforcesTotalSizeCap) {
+  HttpLimits limits;
+  limits.max_request_bytes = 64;
+  std::string head = "GET / HTTP/1.1\r\nPadding: " + std::string(128, 'x') +
+                     "\r\n\r\n";
+  auto parsed = ParseHttpRequest(head, limits);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(HttpParseTest, RejectsRequestBodies) {
+  auto with_length =
+      ParseHttpRequest("GET / HTTP/1.1\r\nContent-Length: 4\r\n\r\n");
+  EXPECT_FALSE(with_length.ok());
+  auto chunked =
+      ParseHttpRequest("GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  EXPECT_FALSE(chunked.ok());
+}
+
+// ---------------------------------------------------------------------------
+// SerializeHttpResponse
+
+TEST(HttpSerializeTest, IncludesLengthAndConnectionClose) {
+  HttpResponse response = HttpResponse::Text(200, "hello\n");
+  std::string wire = SerializeHttpResponse(response);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 6\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 6), "hello\n");
+}
+
+TEST(HttpSerializeTest, HeadElidesBodyButKeepsLength) {
+  HttpResponse response = HttpResponse::Text(200, "hello\n");
+  std::string wire = SerializeHttpResponse(response, /*head_only=*/true);
+  EXPECT_NE(wire.find("Content-Length: 6\r\n"), std::string::npos);
+  EXPECT_EQ(wire.find("hello"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// HttpServer + HttpGet end to end
+
+class HttpServerTest : public ::testing::Test {
+ protected:
+  /// Starts a server echoing the request target; fails the test on error.
+  std::unique_ptr<HttpServer> StartEcho(HttpServer::Options options = {}) {
+    auto server = std::make_unique<HttpServer>(
+        [](const HttpRequest& request) {
+          return HttpResponse::Text(200, "target=" + request.target + "\n");
+        },
+        options);
+    Status started = server->Start();
+    EXPECT_TRUE(started.ok()) << started;
+    EXPECT_NE(server->port(), 0);
+    return server;
+  }
+};
+
+TEST_F(HttpServerTest, ServesGetOnEphemeralPort) {
+  auto server = StartEcho();
+  auto response = HttpGet("127.0.0.1", server->port(), "/ping");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "target=/ping\n");
+  EXPECT_GE(server->requests_handled(), 1u);
+}
+
+TEST_F(HttpServerTest, ServesManyConcurrentClients) {
+  auto server = StartEcho();
+  constexpr int kClients = 16;
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      auto response =
+          HttpGet("127.0.0.1", server->port(), "/c" + std::to_string(i));
+      if (response.ok() && response->status == 200 &&
+          response->body == "target=/c" + std::to_string(i) + "\n") {
+        ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok.load(), kClients);
+}
+
+TEST_F(HttpServerTest, StopIsIdempotentAndRestartable) {
+  auto server = StartEcho();
+  uint16_t first_port = server->port();
+  server->Stop();
+  server->Stop();
+  EXPECT_FALSE(server->running());
+  // A fresh Start binds again (possibly a different ephemeral port).
+  ASSERT_TRUE(server->Start().ok());
+  EXPECT_TRUE(server->running());
+  auto response = HttpGet("127.0.0.1", server->port(), "/again");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 200);
+  (void)first_port;
+}
+
+TEST_F(HttpServerTest, RejectsOversizedAndMalformedRequests) {
+  HttpServer::Options options;
+  options.limits.max_request_bytes = 256;
+  auto server = StartEcho(options);
+  // The client helper only speaks well-formed GET, so drive the raw
+  // socket through it with hostile paths instead: an over-long target
+  // trips the byte cap at the parse layer.
+  auto long_target =
+      HttpGet("127.0.0.1", server->port(), "/" + std::string(2048, 'a'));
+  ASSERT_TRUE(long_target.ok()) << long_target.status();
+  EXPECT_EQ(long_target->status, 431);
+  EXPECT_GE(server->requests_rejected(), 1u);
+}
+
+TEST_F(HttpServerTest, RefusesDoubleStart) {
+  auto server = StartEcho();
+  Status second = server->Start();
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(HttpClientTest, ReportsConnectionRefused) {
+  // Bind-then-close to find a port that is very likely unused.
+  HttpServer probe([](const HttpRequest&) { return HttpResponse::Text(200, ""); },
+                   {});
+  ASSERT_TRUE(probe.Start().ok());
+  uint16_t dead_port = probe.port();
+  probe.Stop();
+  auto response = HttpGet("127.0.0.1", dead_port, "/", 500);
+  EXPECT_FALSE(response.ok());
+}
+
+TEST(HttpClientTest, RejectsBadHost) {
+  auto response = HttpGet("not-an-ip", 80, "/", 100);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace secview::net

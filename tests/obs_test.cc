@@ -130,6 +130,52 @@ TEST(MetricsTest, HistogramBucketsAndPercentiles) {
   EXPECT_EQ(h.ApproxPercentile(1.0), 1000u);
 }
 
+TEST(MetricsTest, PercentileEstimateFlagsOverflow) {
+  Histogram h({10, 100});
+  for (int i = 0; i < 9; ++i) h.Observe(5);
+  h.Observe(50'000);  // lands in the +Inf bucket
+  EXPECT_EQ(h.OverflowCount(), 1u);
+
+  PercentileEstimate p50 = h.ApproxPercentileEstimate(0.5);
+  EXPECT_EQ(p50.value, 10u);
+  EXPECT_FALSE(p50.overflow);
+
+  // The tail sample is in the overflow bucket: the clamped value is the
+  // largest finite bound, and the flag says it is only a lower bound.
+  PercentileEstimate p99 = h.ApproxPercentileEstimate(0.99);
+  EXPECT_EQ(p99.value, 100u);
+  EXPECT_TRUE(p99.overflow);
+  // The legacy API still returns the clamped value alone.
+  EXPECT_EQ(h.ApproxPercentile(0.99), 100u);
+}
+
+TEST(MetricsTest, PercentileEstimateOnEmptyAndAllOverflow) {
+  Histogram empty({10});
+  PercentileEstimate none = empty.ApproxPercentileEstimate(0.5);
+  EXPECT_EQ(none.value, 0u);
+  EXPECT_FALSE(none.overflow);
+
+  Histogram tail({10});
+  tail.Observe(1000);
+  tail.Observe(2000);
+  EXPECT_EQ(tail.OverflowCount(), 2u);
+  PercentileEstimate p50 = tail.ApproxPercentileEstimate(0.5);
+  EXPECT_EQ(p50.value, 10u);
+  EXPECT_TRUE(p50.overflow);
+}
+
+TEST(MetricsTest, ToTextMarksOverflowedPercentiles) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("phase.tail.micros", {10, 100});
+  for (int i = 0; i < 9; ++i) h.Observe(5);
+  h.Observe(50'000);
+  std::string text = registry.ToText();
+  // p50 is a normal in-range estimate; p99 landed beyond the last bound,
+  // so it carries the '>' lower-bound marker.
+  EXPECT_NE(text.find("p50~10"), std::string::npos) << text;
+  EXPECT_NE(text.find("p99~>100"), std::string::npos) << text;
+}
+
 TEST(MetricsTest, ConcurrentCounterUpdates) {
   MetricsRegistry registry;
   constexpr int kThreads = 4;
@@ -259,6 +305,76 @@ TEST(ExportTest, ValidatorRejectsMalformedText) {
   EXPECT_TRUE(ValidatePrometheusText("m{le=\"+Inf\"} 3\nm_sum 4\n").ok());
 }
 
+TEST(ExportTest, ValidatorRequiresTrailingNewline) {
+  // A non-empty exposition must end in '\n'; scrapers treat a missing
+  // terminator as a truncated response.
+  EXPECT_FALSE(ValidatePrometheusText("m 1").ok());
+  EXPECT_TRUE(ValidatePrometheusText("m 1\n").ok());
+  EXPECT_FALSE(ValidatePrometheusText("m 1\nm2 2").ok());
+}
+
+TEST(ExportTest, ValidatorAcceptsEscapedLabelValues) {
+  EXPECT_TRUE(
+      ValidatePrometheusText("m{path=\"a\\\\b\",msg=\"say \\\"hi\\\"\"} 1\n")
+          .ok());
+  EXPECT_TRUE(ValidatePrometheusText("m{note=\"line\\nbreak\"} 1\n").ok());
+  // An unescaped quote inside a value terminates it early and leaves
+  // garbage before the closing brace.
+  EXPECT_FALSE(ValidatePrometheusText("m{msg=\"say \"hi\"\"} 1\n").ok());
+}
+
+TEST(ExportTest, RenderIncludesProcessAndBuildInfo) {
+  MetricsRegistry registry;
+  registry.GetCounter("engine.queries").Add(1);
+  std::string text = RenderPrometheusText(registry.Collect());
+  Status valid = ValidatePrometheusText(text);
+  EXPECT_TRUE(valid.ok()) << valid.ToString() << "\n" << text;
+
+  // Every render carries the process-level series so any scrape can
+  // detect a restart and identify the answering binary.
+  EXPECT_NE(text.find("secview_process_start_time_unix "), std::string::npos);
+  EXPECT_NE(text.find("secview_process_uptime_ms "), std::string::npos);
+  EXPECT_NE(text.find("secview_build_info{version=\""), std::string::npos);
+  EXPECT_NE(text.find("compiler=\""), std::string::npos);
+  EXPECT_NE(text.find("std=\""), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+
+  // The standalone process render validates on its own too, and its
+  // start time is stable across calls (a scraper keys restarts off it).
+  std::string info = RenderProcessInfoText();
+  EXPECT_TRUE(ValidatePrometheusText(info).ok()) << info;
+  std::string again = RenderProcessInfoText();
+  auto start_line = [](const std::string& t) {
+    size_t at = t.find("secview_process_start_time_unix ");
+    return t.substr(at, t.find('\n', at) - at);
+  };
+  EXPECT_EQ(start_line(info), start_line(again));
+}
+
+TEST(ExportTest, MetricsV1DocumentMatchesRegistryExport) {
+  MetricsRegistry registry;
+  registry.GetCounter("engine.queries").Add(3);
+  registry.GetGauge("engine.policies").Set(2);
+  registry.GetHistogram("phase.eval.micros", {10, 100}).Observe(42);
+
+  Json doc = MetricsV1Document(registry.Collect());
+  EXPECT_EQ(doc.Find("schema")->AsString(), "secview.metrics.v1");
+  EXPECT_DOUBLE_EQ(doc.Find("counters")->Find("engine.queries")->AsNumber(),
+                   3.0);
+  EXPECT_DOUBLE_EQ(doc.Find("gauges")->Find("engine.policies")->AsNumber(),
+                   2.0);
+  const Json* hist = doc.Find("histograms")->Find("phase.eval.micros");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->Find("count")->AsNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(hist->Find("sum")->AsNumber(), 42.0);
+  // bounds + the +Inf overflow bucket.
+  EXPECT_EQ(hist->Find("buckets")->items().size(), 3u);
+  // The document round-trips through the JSON parser.
+  auto parsed = Json::Parse(doc.Dump(true));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->Equals(doc));
+}
+
 TEST(ExportTest, SnapshotWriterWritesBothFormatsAtomically) {
   MetricsRegistry registry;
   registry.GetCounter("engine.queries").Add(2);
@@ -322,6 +438,31 @@ TEST(ExportTest, SnapshotWriterBackgroundLoopAndFinalWrite) {
   writer.Stop();
   writer.Start();
   writer.Stop();
+}
+
+TEST(ExportTest, SnapshotWriterReportsUnusableDirectory) {
+  MetricsRegistry registry;
+  registry.GetCounter("engine.queries").Add(1);
+  // A regular file where the snapshot directory should go: the
+  // create_directories step (or the write below it) must fail, and the
+  // error must surface from WriteOnce rather than being swallowed.
+  // (chmod-based setups don't work here — the suite may run as root.)
+  std::string blocker = testing::TempDir() + "/secview_snap_blocker";
+  std::filesystem::remove_all(blocker);
+  std::ofstream(blocker) << "not a directory";
+
+  MetricsSnapshotWriter writer(&registry, blocker + "/snapshots");
+  Status wrote = writer.WriteOnce();
+  EXPECT_FALSE(wrote.ok());
+  EXPECT_EQ(writer.writes(), 0u);
+
+  // The background loop and Stop()'s final flush tolerate the same
+  // persistent failure: no crash, no partial files, still zero writes.
+  writer.Start();
+  writer.Stop();
+  EXPECT_EQ(writer.writes(), 0u);
+  EXPECT_FALSE(std::filesystem::exists(blocker + "/snapshots"));
+  std::filesystem::remove(blocker);
 }
 
 // -- Trace --------------------------------------------------------------

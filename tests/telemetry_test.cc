@@ -1,0 +1,390 @@
+// Tests for the serving-observability pieces added with the telemetry
+// endpoint: the sliding-window serving stats (deterministic via an
+// injected clock), the bounded slow-query ring, and the TelemetryServer
+// routes — both the pure Handle() routing and end to end over a socket
+// against a live, sealed engine.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/worker_pool.h"
+#include "net/http_client.h"
+#include "net/telemetry_server.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/serving_stats.h"
+#include "obs/slow_query_log.h"
+#include "workload/hospital.h"
+
+namespace secview {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ServeOutcomeForStatus
+
+TEST(ServeOutcomeTest, MatchesAuditTaxonomy) {
+  using obs::ServeOutcome;
+  EXPECT_EQ(obs::ServeOutcomeForStatus(Status::OK()), ServeOutcome::kOk);
+  EXPECT_EQ(obs::ServeOutcomeForStatus(Status::InvalidArgument("x")),
+            ServeOutcome::kDenied);
+  EXPECT_EQ(obs::ServeOutcomeForStatus(Status::NotFound("x")),
+            ServeOutcome::kDenied);
+  EXPECT_EQ(obs::ServeOutcomeForStatus(Status::DeadlineExceeded("x")),
+            ServeOutcome::kTimeout);
+  EXPECT_EQ(obs::ServeOutcomeForStatus(Status::ResourceExhausted("x")),
+            ServeOutcome::kTimeout);
+  EXPECT_EQ(obs::ServeOutcomeForStatus(Status::Cancelled("x")),
+            ServeOutcome::kShed);
+  EXPECT_STREQ(obs::ServeOutcomeName(ServeOutcome::kShed), "shed");
+}
+
+// ---------------------------------------------------------------------------
+// SlidingWindowStats (injected clock; no sleeps)
+
+class WindowTest : public ::testing::Test {
+ protected:
+  obs::SlidingWindowStats MakeStats(size_t window_seconds = 120) {
+    obs::SlidingWindowStats::Options options;
+    options.window_seconds = window_seconds;
+    options.now_micros = [this] { return now_micros_; };
+    return obs::SlidingWindowStats(std::move(options));
+  }
+
+  void AdvanceSeconds(uint64_t s) { now_micros_ += s * 1'000'000; }
+
+  uint64_t now_micros_ = 1'000'000'000;  // arbitrary epoch
+};
+
+TEST_F(WindowTest, AggregatesCountsAndRates) {
+  obs::SlidingWindowStats stats = MakeStats();
+  for (int i = 0; i < 8; ++i) stats.Record(100, obs::ServeOutcome::kOk);
+  stats.Record(100, obs::ServeOutcome::kDenied);
+  stats.Record(100, obs::ServeOutcome::kShed);
+
+  obs::SlidingWindowStats::Window w = stats.Snapshot(10);
+  EXPECT_EQ(w.count, 10u);
+  EXPECT_EQ(w.ok, 8u);
+  EXPECT_EQ(w.denied, 1u);
+  EXPECT_EQ(w.shed, 1u);
+  EXPECT_DOUBLE_EQ(w.qps, 1.0);  // 10 queries over a 10s window
+  EXPECT_DOUBLE_EQ(w.error_rate, 0.2);
+  EXPECT_DOUBLE_EQ(w.shed_rate, 0.1);
+  EXPECT_EQ(stats.total(), 10u);
+}
+
+TEST_F(WindowTest, OldSecondsFallOutOfTheWindow) {
+  obs::SlidingWindowStats stats = MakeStats();
+  stats.Record(100, obs::ServeOutcome::kOk);
+  AdvanceSeconds(5);
+  stats.Record(100, obs::ServeOutcome::kOk);
+
+  EXPECT_EQ(stats.Snapshot(10).count, 2u);
+  // A 3s window reaches back only to now-2s: the first record is gone.
+  EXPECT_EQ(stats.Snapshot(3).count, 1u);
+  AdvanceSeconds(100);
+  EXPECT_EQ(stats.Snapshot(10).count, 0u);
+  EXPECT_EQ(stats.total(), 2u) << "lifetime total never decays";
+}
+
+TEST_F(WindowTest, LappedBucketsAreNotDoubleCounted) {
+  obs::SlidingWindowStats stats = MakeStats(/*window_seconds=*/4);
+  stats.Record(100, obs::ServeOutcome::kOk);
+  // Advance a full ring length plus one: the writer lands in the same
+  // physical bucket as the first record and must reset it, not add.
+  AdvanceSeconds(5);
+  stats.Record(100, obs::ServeOutcome::kOk);
+  EXPECT_EQ(stats.Snapshot(4).count, 1u);
+}
+
+TEST_F(WindowTest, PercentilesReadOffLatencyBuckets) {
+  obs::SlidingWindowStats::Options options;
+  options.latency_bounds = {10, 100, 1000};
+  options.now_micros = [this] { return now_micros_; };
+  obs::SlidingWindowStats stats(std::move(options));
+  // 100 samples: ranks 1-89 land in the <=10 bucket, 90-98 in <=100,
+  // 99-100 in <=1000; nearest-rank p50/p95/p99 are ranks 50/95/99.
+  for (int i = 0; i < 89; ++i) stats.Record(5, obs::ServeOutcome::kOk);
+  for (int i = 0; i < 9; ++i) stats.Record(50, obs::ServeOutcome::kOk);
+  stats.Record(500, obs::ServeOutcome::kOk);
+  stats.Record(500, obs::ServeOutcome::kOk);
+
+  obs::SlidingWindowStats::Window w = stats.Snapshot(10);
+  EXPECT_EQ(w.p50_micros, 10u);
+  EXPECT_EQ(w.p95_micros, 100u);
+  EXPECT_EQ(w.p99_micros, 1000u);
+  EXPECT_FALSE(w.p99_overflow);
+}
+
+TEST_F(WindowTest, TailBeyondLastBoundIsFlaggedAsOverflow) {
+  obs::SlidingWindowStats::Options options;
+  options.latency_bounds = {10, 100};
+  options.now_micros = [this] { return now_micros_; };
+  obs::SlidingWindowStats stats(std::move(options));
+  for (int i = 0; i < 10; ++i) stats.Record(50'000, obs::ServeOutcome::kOk);
+
+  obs::SlidingWindowStats::Window w = stats.Snapshot(10);
+  EXPECT_EQ(w.p99_micros, 100u) << "clamped to the last finite bound";
+  EXPECT_TRUE(w.p99_overflow) << "but marked as a lower bound";
+}
+
+TEST_F(WindowTest, ConcurrentRecordAndSnapshot) {
+  // Real clock here: this is the TSan-facing smoke for writer/reader
+  // interleavings across bucket mutexes.
+  obs::SlidingWindowStats stats;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&stats, &stop] {
+      while (!stop.load()) {
+        stats.Record(42, obs::ServeOutcome::kOk);
+      }
+    });
+  }
+  // Don't start reading until at least one writer got scheduled, or the
+  // 200 snapshots can finish before any Record lands.
+  while (stats.total() == 0) std::this_thread::yield();
+  uint64_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    obs::SlidingWindowStats::Window w = stats.Snapshot(10);
+    EXPECT_GE(w.count + 1, last);  // snapshots are non-garbled
+    last = w.count;
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  EXPECT_GT(stats.total(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SlowQueryLog
+
+obs::SlowQueryLog::Entry MakeEntry(const std::string& query,
+                                   uint64_t latency_micros) {
+  obs::SlowQueryLog::Entry entry;
+  entry.policy = "nurse";
+  entry.query = query;
+  entry.latency_micros = latency_micros;
+  return entry;
+}
+
+TEST(SlowQueryLogTest, ThresholdFiltersFastQueries) {
+  obs::SlowQueryLog::Options options;
+  options.threshold_micros = 1000;
+  obs::SlowQueryLog log(options);
+  log.MaybeRecord(MakeEntry("fast", 10));
+  log.MaybeRecord(MakeEntry("slow", 5000));
+  ASSERT_EQ(log.Snapshot().size(), 1u);
+  EXPECT_EQ(log.Snapshot()[0].query, "slow");
+  EXPECT_EQ(log.recorded(), 1u);
+}
+
+TEST(SlowQueryLogTest, ZeroThresholdLogsEverything) {
+  obs::SlowQueryLog::Options options;
+  options.threshold_micros = 0;
+  obs::SlowQueryLog log(options);
+  log.MaybeRecord(MakeEntry("q", 0));
+  EXPECT_EQ(log.Snapshot().size(), 1u);
+}
+
+TEST(SlowQueryLogTest, RingKeepsNewestAndOrdersNewestFirst) {
+  obs::SlowQueryLog::Options options;
+  options.capacity = 3;
+  options.threshold_micros = 0;
+  obs::SlowQueryLog log(options);
+  for (int i = 0; i < 5; ++i) {
+    log.MaybeRecord(MakeEntry("q" + std::to_string(i), 100));
+  }
+  std::vector<obs::SlowQueryLog::Entry> entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].query, "q4");
+  EXPECT_EQ(entries[1].query, "q3");
+  EXPECT_EQ(entries[2].query, "q2");
+  EXPECT_EQ(log.recorded(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryServer routing + end to end against a live engine
+
+constexpr char kNursePolicy[] = R"(
+  ann(hospital, dept) = [*/patient/wardNo = $wardNo]
+  ann(dept, clinicalTrial) = N
+  ann(clinicalTrial, patientInfo) = Y
+  ann(treatment, trial) = N
+  ann(treatment, regular) = N
+  ann(trial, bill) = Y
+  ann(regular, bill) = Y
+  ann(regular, medication) = Y
+)";
+
+class TelemetryServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto engine = SecureQueryEngine::Create(MakeHospitalDtd());
+    ASSERT_TRUE(engine.ok()) << engine.status();
+    engine_ = std::move(engine).value();
+    ASSERT_TRUE(engine_->RegisterPolicy("nurse", kNursePolicy).ok());
+    auto doc = GenerateDocument(MakeHospitalDtd(),
+                                HospitalGeneratorOptions(7, 20'000));
+    ASSERT_TRUE(doc.ok()) << doc.status();
+    doc_ = std::make_unique<XmlTree>(std::move(doc).value());
+
+    obs::SlowQueryLog::Options slow_options;
+    slow_options.threshold_micros = 0;  // log every execution
+    slow_log_ = std::make_unique<obs::SlowQueryLog>(slow_options);
+    window_ = std::make_unique<obs::SlidingWindowStats>();
+    engine_->AttachServingObservers(window_.get(), slow_log_.get());
+
+    net::TelemetryServer::Options options;
+    options.ready = [this] { return engine_->sealed(); };
+    options.window = window_.get();
+    options.slow_log = slow_log_.get();
+    server_ = std::make_unique<net::TelemetryServer>(&engine_->metrics(),
+                                                     options);
+  }
+
+  net::HttpRequest Get(const std::string& target) {
+    net::HttpRequest request;
+    request.method = "GET";
+    request.target = target;
+    request.version = "HTTP/1.1";
+    return request;
+  }
+
+  void ExecuteSome() {
+    ExecuteOptions options;
+    options.bindings = {{"wardNo", "3"}};
+    for (const char* q : {"//patient//bill", "//patient/name", "//bill"}) {
+      auto result = engine_->Execute("nurse", *doc_, q, options);
+      ASSERT_TRUE(result.ok()) << result.status();
+    }
+    // One denial, so error-rate surfaces are nonzero too.
+    auto denied = engine_->Execute("nurse", *doc_, "//patient[", options);
+    ASSERT_FALSE(denied.ok());
+  }
+
+  std::unique_ptr<SecureQueryEngine> engine_;
+  std::unique_ptr<XmlTree> doc_;
+  std::unique_ptr<obs::SlidingWindowStats> window_;
+  std::unique_ptr<obs::SlowQueryLog> slow_log_;
+  std::unique_ptr<net::TelemetryServer> server_;
+};
+
+TEST_F(TelemetryServerTest, HealthzTracksEngineSealing) {
+  EXPECT_EQ(server_->Handle(Get("/healthz")).status, 503);
+  engine_->Seal();
+  net::HttpResponse response = server_->Handle(Get("/healthz"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "ok\n");
+}
+
+TEST_F(TelemetryServerTest, MetricsRouteRendersValidPrometheusText) {
+  engine_->Seal();
+  ExecuteSome();
+  net::HttpResponse response = server_->Handle(Get("/metrics"));
+  ASSERT_EQ(response.status, 200);
+  Status valid = obs::ValidatePrometheusText(response.body);
+  EXPECT_TRUE(valid.ok()) << valid;
+  EXPECT_NE(response.body.find("secview_engine_queries_total"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("secview_engine_execute_micros_bucket"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("secview_build_info{"), std::string::npos);
+  EXPECT_NE(response.body.find("secview_process_start_time_unix"),
+            std::string::npos);
+}
+
+TEST_F(TelemetryServerTest, VarzRouteIsTheMetricsV1Document) {
+  engine_->Seal();
+  ExecuteSome();
+  net::HttpResponse response = server_->Handle(Get("/varz"));
+  ASSERT_EQ(response.status, 200);
+  auto parsed = obs::Json::Parse(response.body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const obs::Json* schema = parsed->Find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->AsString(), "secview.metrics.v1");
+  ASSERT_NE(parsed->Find("counters"), nullptr);
+  ASSERT_NE(parsed->Find("histograms"), nullptr);
+}
+
+TEST_F(TelemetryServerTest, StatuszReportsServingStateAndSlowQueries) {
+  engine_->Seal();
+  ExecuteSome();
+  net::HttpResponse response = server_->Handle(Get("/statusz"));
+  ASSERT_EQ(response.status, 200);
+  const std::string& body = response.body;
+  EXPECT_NE(body.find("uptime:"), std::string::npos);
+  EXPECT_NE(body.find("ready: yes"), std::string::npos);
+  EXPECT_NE(body.find("last 10s:"), std::string::npos);
+  EXPECT_NE(body.find("qps"), std::string::npos);
+  EXPECT_NE(body.find("engine.cache.shard"), std::string::npos);
+  // Threshold 0 logs every execution: the slow-query section must list
+  // the queries just run, newest first, including the denied one.
+  EXPECT_NE(body.find("query=//patient//bill"), std::string::npos);
+  EXPECT_NE(body.find("[denied]"), std::string::npos);
+  // Window saw 4 executions (3 ok + 1 denied) within the last 10s.
+  EXPECT_EQ(window_->Snapshot(10).count, 4u);
+  EXPECT_EQ(window_->Snapshot(10).denied, 1u);
+}
+
+TEST_F(TelemetryServerTest, UnknownRouteIs404) {
+  EXPECT_EQ(server_->Handle(Get("/nope")).status, 404);
+  EXPECT_EQ(server_->Handle(Get("/")).status, 200);
+}
+
+TEST_F(TelemetryServerTest, EndToEndScrapeWhileServing) {
+  ASSERT_TRUE(server_->Start().ok());
+  ASSERT_NE(server_->port(), 0);
+
+  QueryWorkerPool pool(*engine_);  // seals the engine
+
+  // Scrape concurrently with batch execution: the acceptance shape for
+  // the live-telemetry feature (and the unit-level TSan surface).
+  std::atomic<bool> stop{false};
+  std::atomic<int> good_scrapes{0};
+  std::atomic<int> bad_scrapes{0};
+  std::thread scraper([&] {
+    while (!stop.load()) {
+      auto response = net::HttpGet("127.0.0.1", server_->port(), "/metrics");
+      if (response.ok() && response->status == 200 &&
+          obs::ValidatePrometheusText(response->body).ok()) {
+        good_scrapes.fetch_add(1);
+      } else {
+        bad_scrapes.fetch_add(1);
+      }
+    }
+  });
+
+  ExecuteOptions options;
+  options.bindings = {{"wardNo", "3"}};
+  std::vector<std::string> queries = {"//patient//bill", "//patient/name",
+                                      "//bill", "//regular/medication"};
+  for (int round = 0; round < 5; ++round) {
+    for (const auto& result : pool.ExecuteBatch("nurse", *doc_, queries,
+                                                options)) {
+      ASSERT_TRUE(result.ok()) << result.status();
+    }
+  }
+  stop.store(true);
+  scraper.join();
+  EXPECT_GT(good_scrapes.load(), 0);
+  EXPECT_EQ(bad_scrapes.load(), 0);
+
+  // The scrape saw a live engine: pool/cache counters are nonzero now.
+  auto healthz = net::HttpGet("127.0.0.1", server_->port(), "/healthz");
+  ASSERT_TRUE(healthz.ok()) << healthz.status();
+  EXPECT_EQ(healthz->status, 200);
+  auto statusz = net::HttpGet("127.0.0.1", server_->port(), "/statusz");
+  ASSERT_TRUE(statusz.ok()) << statusz.status();
+  EXPECT_NE(statusz->body.find("engine.pool.tasks"), std::string::npos);
+  EXPECT_GT(window_->Snapshot(60).count, 0u);
+  server_->Stop();
+}
+
+}  // namespace
+}  // namespace secview

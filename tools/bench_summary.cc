@@ -6,8 +6,8 @@
 //   bench_summary FILE.json             # flatten one file
 //   bench_summary --fail-above 20 OLD.json NEW.json
 //                                       # exit 3 if any metric grew >20%
-//   bench_summary --fail-above 50 BENCH_concurrent_old.json \
-//       BENCH_concurrent.json           # gate a bench_concurrent run
+//   bench_summary --fail-above 50 OLD.json BENCH_concurrent.json
+//                                       # gate a bench_concurrent run
 //                                       # (its qps gauges are wall-clock,
 //                                       # so budget generously)
 //
@@ -15,8 +15,10 @@
 // [i]) and compared; keys present in only one file are shown as added
 // or removed. Histogram-shaped objects ({"count","sum","buckets":
 // [{"le","count"}...]}, as written by MetricsRegistry::ToJson and the
-// snapshot writer) are summarized to .count/.sum/.p50/.p95/.p99 instead
-// of per-bucket leaves, so bucket boundary changes don't churn the diff.
+// snapshot writer) are summarized to .count/.sum/.p50/.p95/.p99 plus an
+// .overflow leaf (the +Inf bucket's occupancy — nonzero means the .p*
+// values are clamped lower bounds) instead of per-bucket leaves, so
+// bucket boundary changes don't churn the diff.
 // Exit code 0 on success, 1 on I/O or parse errors, 3 when --fail-above
 // trips.
 
@@ -131,6 +133,14 @@ void Flatten(const obs::Json& v, const std::string& prefix,
         out[prefix + ".p50"] = HistogramPercentile(buckets, 0.50);
         out[prefix + ".p95"] = HistogramPercentile(buckets, 0.95);
         out[prefix + ".p99"] = HistogramPercentile(buckets, 0.99);
+        // Overflow-bucket occupancy, surfaced so a clamped percentile is
+        // visible as such: when .overflow grows, the .p* values above are
+        // lower bounds, not estimates.
+        double overflow = 0;
+        for (const Bucket& b : buckets) {
+          if (!std::isfinite(b.le)) overflow += b.count;
+        }
+        out[prefix + ".overflow"] = overflow;
         break;
       }
       for (const auto& [key, child] : v.members()) {
