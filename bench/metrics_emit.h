@@ -17,7 +17,10 @@
 #include <iostream>
 #include <string>
 #include <string_view>
+#include <thread>
 
+#include "common/alloc_tracker.h"
+#include "common/build_info.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 
@@ -46,13 +49,34 @@ inline std::string ExtractMetricsJsonFlag(int* argc, char** argv) {
   return path;
 }
 
-/// Writes {"schema":"secview.metrics.v1","bench":<name>,"metrics":<registry>}
-/// to `path` ('-' = stdout). Returns 0 on success, 1 on I/O failure.
+/// The machine and build the numbers came from, so two trajectory
+/// points can be compared like-for-like (a debug or ASan run is not a
+/// regression against a release one).
+inline obs::Json HostContextJson() {
+  const BuildInfo& build = GetBuildInfo();
+  obs::Json host = obs::Json::Object();
+  host.Set("hardware_concurrency",
+           obs::Json(static_cast<int64_t>(std::thread::hardware_concurrency())));
+  obs::Json b = obs::Json::Object();
+  b.Set("version", obs::Json(build.version));
+  b.Set("compiler", obs::Json(build.compiler));
+  b.Set("std", obs::Json(build.cxx_standard));
+  b.Set("build_type", obs::Json(build.build_type));
+  b.Set("sanitizer", obs::Json(build.sanitizer));
+  b.Set("alloc_tracker", obs::Json(AllocTrackingAvailable()));
+  host.Set("build", b);
+  return host;
+}
+
+/// Writes {"schema":"secview.metrics.v1","bench":<name>,"host":<context>,
+/// "metrics":<registry>} to `path` ('-' = stdout). Returns 0 on
+/// success, 1 on I/O failure.
 inline int EmitMetricsJson(const std::string& path, std::string_view bench_name,
                            const obs::MetricsRegistry& registry) {
   obs::Json doc = obs::Json::Object();
   doc.Set("schema", obs::Json("secview.metrics.v1"));
   doc.Set("bench", obs::Json(std::string(bench_name)));
+  doc.Set("host", HostContextJson());
   doc.Set("metrics", registry.ToJson());
   std::string text = doc.Dump(/*pretty=*/true);
   if (path == "-") {

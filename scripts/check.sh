@@ -28,6 +28,18 @@ scripts/audit_smoke.sh "$BUILD_DIR"
 # a SIGINT shutdown — under ASan, so the socket paths get leak-checked.
 scripts/telemetry_smoke.sh "$BUILD_DIR"
 
+# Request-tracing smoke: serve with --trace-sample 1, scrape /tracez in
+# both renderings, and round-trip the secview.trace.v1 JSONL through
+# `trace-export --validate` and `--chrome`.
+scripts/trace_smoke.sh "$BUILD_DIR"
+
+# The allocation tracker replaces global operator new/delete; run its
+# unit suite under the ASan build by name to prove the hooks compose
+# with the sanitizer's malloc interposition (forwarding to std::malloc
+# keeps ASan's redzones and leak checking intact).
+echo "== alloc tracker under ASan =="
+"$BUILD_DIR"/tests/common_test --gtest_filter='AllocTracker*'
+
 # Fuzz smoke: replay the seed corpus (and, under the fallback driver,
 # every truncation of each seed) through the ASan-instrumented parsers.
 # With a clang toolchain these are real libFuzzer binaries; add

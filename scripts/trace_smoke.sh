@@ -1,0 +1,158 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of request tracing: start `secview serve` with
+# --trace-sample 1 on an ephemeral localhost port, scrape /tracez (human
+# page) and /tracez?format=json (secview.trace.v1 JSONL), round-trip the
+# JSONL through `secview trace-export --validate` and `--chrome`, and
+# check the Chrome trace-event output is structurally sound.
+#
+# Usage: scripts/trace_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SECVIEW="$BUILD_DIR/src/cli/secview"
+if [[ ! -x "$SECVIEW" ]]; then
+  # The CLI target location depends on the generator; fall back to a search.
+  SECVIEW="$(find "$BUILD_DIR" -name secview -type f -perm -u+x | head -1)"
+fi
+if [[ -z "$SECVIEW" || ! -x "$SECVIEW" ]]; then
+  echo "trace_smoke: no secview binary under $BUILD_DIR (build first)" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  if [[ -n "$SERVE_PID" ]] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill -INT "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+cat > "$WORK/hospital.dtd" <<'EOF'
+<!ELEMENT hospital (dept)*>
+<!ELEMENT dept (clinicalTrial, patientInfo, staffInfo)>
+<!ELEMENT clinicalTrial (patientInfo, test)>
+<!ELEMENT patientInfo (patient)*>
+<!ELEMENT patient (name, wardNo, treatment)>
+<!ELEMENT treatment (trial | regular)>
+<!ELEMENT trial (bill)>
+<!ELEMENT regular (bill, medication)>
+<!ELEMENT staffInfo (staff)*>
+<!ELEMENT staff (doctor | nurse)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT wardNo (#PCDATA)>
+<!ELEMENT test (#PCDATA)>
+<!ELEMENT bill (#PCDATA)>
+<!ELEMENT medication (#PCDATA)>
+<!ELEMENT doctor (#PCDATA)>
+<!ELEMENT nurse (#PCDATA)>
+EOF
+
+cat > "$WORK/nurse.spec" <<'EOF'
+ann(hospital, dept) = [*/patient/wardNo = $wardNo]
+ann(dept, clinicalTrial) = N
+ann(clinicalTrial, patientInfo) = Y
+ann(treatment, trial) = N
+ann(treatment, regular) = N
+ann(trial, bill) = Y
+ann(regular, bill) = Y
+ann(regular, medication) = Y
+EOF
+
+cat > "$WORK/doc.xml" <<'EOF'
+<hospital><dept>
+  <clinicalTrial>
+    <patientInfo><patient><name>carol</name><wardNo>3</wardNo>
+      <treatment><trial><bill>900</bill></trial></treatment>
+    </patient></patientInfo>
+    <test>blood</test>
+  </clinicalTrial>
+  <patientInfo><patient><name>dave</name><wardNo>3</wardNo>
+    <treatment><regular><bill>120</bill><medication>m</medication></regular></treatment>
+  </patient></patientInfo>
+  <staffInfo/>
+</dept></hospital>
+EOF
+
+cat > "$WORK/queries.txt" <<'EOF'
+//patient//bill
+//patient/name
+//patient
+EOF
+
+PORT_FILE="$WORK/serve.port"
+
+echo "== starting serve (--trace-sample 1, ephemeral port) =="
+"$SECVIEW" serve --dtd "$WORK/hospital.dtd" --spec "$WORK/nurse.spec" \
+  --xml "$WORK/doc.xml" --queries "$WORK/queries.txt" --bind wardNo=3 \
+  --replay-delay-ms 20 --trace-sample 1 --max-seconds 60 \
+  --port-file "$PORT_FILE" > "$WORK/serve.out" 2>&1 &
+SERVE_PID=$!
+
+PORT=""
+for _ in $(seq 1 200); do
+  if [[ -s "$PORT_FILE" ]]; then PORT="$(cat "$PORT_FILE")"; break; fi
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "trace_smoke: serve exited early:" >&2
+    cat "$WORK/serve.out" >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+[[ -n "$PORT" ]] || { echo "trace_smoke: no port file" >&2; exit 1; }
+echo "serving on 127.0.0.1:$PORT"
+
+# Let the replay loop retire a few traced queries before scraping.
+RETAINED=0
+for _ in $(seq 1 100); do
+  TRACEZ="$("$SECVIEW" scrape --port "$PORT" --path /tracez)"
+  RETAINED="$(echo "$TRACEZ" | sed -n 's/^request traces: \([0-9]*\) retained.*/\1/p')"
+  [[ -n "$RETAINED" && "$RETAINED" -gt 0 ]] && break
+  sleep 0.05
+done
+[[ -n "$RETAINED" && "$RETAINED" -gt 0 ]] || {
+  echo "trace_smoke: /tracez never retained a trace:" >&2
+  echo "$TRACEZ" >&2
+  exit 1
+}
+
+echo "== /tracez ($RETAINED retained) =="
+echo "$TRACEZ" | grep -q 'query=//patient' || {
+  echo "trace_smoke: /tracez missing traced queries" >&2; exit 1; }
+echo "$TRACEZ" | grep -q 'evaluate' || {
+  echo "trace_smoke: /tracez missing span tree" >&2; exit 1; }
+
+echo "== /tracez?format=json =="
+"$SECVIEW" scrape --port "$PORT" --path '/tracez?format=json' \
+  > "$WORK/traces.jsonl"
+grep -q 'secview.trace.v1' "$WORK/traces.jsonl" || {
+  echo "trace_smoke: JSONL missing schema tag" >&2; exit 1; }
+
+echo "== trace-export --validate =="
+"$SECVIEW" trace-export --in "$WORK/traces.jsonl" --validate \
+  | grep -q 'trace(s) validated' || {
+  echo "trace_smoke: JSONL failed validation" >&2; exit 1; }
+
+echo "== trace-export --chrome (Perfetto-loadable) =="
+"$SECVIEW" trace-export --in "$WORK/traces.jsonl" --chrome \
+  --out "$WORK/chrome.json"
+grep -q '"traceEvents"' "$WORK/chrome.json" || {
+  echo "trace_smoke: chrome output missing traceEvents" >&2; exit 1; }
+grep -q '"ph": "X"' "$WORK/chrome.json" || {
+  echo "trace_smoke: chrome output has no complete events" >&2; exit 1; }
+grep -q '"thread_name"' "$WORK/chrome.json" || {
+  echo "trace_smoke: chrome output missing thread metadata" >&2; exit 1; }
+
+echo "== graceful shutdown (SIGINT) =="
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
+grep -q '# served' "$WORK/serve.out" || {
+  echo "trace_smoke: serve summary missing:" >&2
+  cat "$WORK/serve.out" >&2
+  exit 1
+}
+
+echo "trace_smoke: OK (sampled traces live, JSONL export round-trips)"

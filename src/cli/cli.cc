@@ -29,8 +29,11 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/serving_stats.h"
+#include "obs/policy_stats.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "obs/trace_store.h"
 #include "security/derive.h"
 #include "security/materializer.h"
 #include "security/spec_parser.h"
@@ -70,15 +73,17 @@ usage:
                       [--no-optimize] [--metrics-prom FILE]
                       [--deadline-ms N] [--max-nodes N] [--queue-cap N]
                       [--telemetry-addr HOST:PORT] [--port-file FILE]
-                      [--slow-query-micros N]
+                      [--slow-query-micros N] [--trace-sample N]
   secview serve       --dtd FILE --spec FILE --xml FILE
                       [--telemetry-addr HOST:PORT] [--port-file FILE]
                       [--queries FILE [--replay-delay-ms N]]
                       [--threads N] [--queue-cap N] [--slow-query-micros N]
+                      [--trace-sample N] [--trace-capacity N]
                       [--max-seconds N] [--bind NAME=VALUE]...
                       [--no-optimize] [--deadline-ms N] [--max-nodes N]
   secview scrape      (--addr HOST:PORT | --port N) [--path TARGET]
                       [--validate-prom] [--timeout-ms N]
+  secview trace-export --in FILE [--chrome] [--out FILE] [--validate]
   secview materialize --dtd FILE --spec FILE --xml FILE [--bind NAME=VALUE]...
   secview generate    --dtd FILE [--bytes N] [--seed N] [--branch N]
   secview help
@@ -138,6 +143,19 @@ serves the same endpoints live during a bench run. `scrape` is a
 minimal built-in HTTP client for those endpoints; --validate-prom
 additionally checks the fetched body against the Prometheus text
 grammar.
+
+Request tracing and cost profiling (docs/observability.md): `serve
+--trace-sample N` keeps every Nth request's phase-span tree — plus
+every slow (>= --slow-query-micros) and every denied/timeout/shed
+request — in a bounded ring (--trace-capacity, default 64) served at
+/tracez (text) and /tracez?format=json (secview.trace.v1 JSONL); 0
+(the default) disables tracing. Per-policy rollups (queries, outcome
+mix, nodes touched, allocation, latency percentiles) are always kept
+and exposed as labeled series on /metrics, a policy_stats section on
+/varz, and a per-policy block on /statusz. `trace-export` validates a
+trace.v1 JSONL file (--validate alone checks and reports); with
+--chrome it converts the traces to Chrome trace-event JSON (--out,
+default stdout) loadable in Perfetto or chrome://tracing.
 )";
 
 /// Parsed command line: flags with values, boolean switches, repeated
@@ -157,7 +175,8 @@ Result<Args> ParseArgs(const std::vector<std::string>& argv) {
     const std::string& arg = argv[i];
     if (arg == "--show-sigma" || arg == "--no-optimize" ||
         arg == "--extract" || arg == "--stats" || arg == "--json" ||
-        arg == "--validate-prom") {
+        arg == "--validate-prom" || arg == "--chrome" ||
+        arg == "--validate") {
       args.switches[arg] = true;
       continue;
     }
@@ -667,10 +686,13 @@ Status WritePortFile(const std::string& path, uint16_t port) {
 struct TelemetryBundle {
   obs::SlidingWindowStats window;
   obs::SlowQueryLog slow_log;
+  obs::PolicyStatsTable policy_stats;
+  obs::RequestTraceStore traces;
   std::unique_ptr<net::TelemetryServer> server;
 
-  explicit TelemetryBundle(obs::SlowQueryLog::Options slow_options)
-      : slow_log(slow_options) {}
+  TelemetryBundle(obs::SlowQueryLog::Options slow_options,
+                  obs::RequestTraceStore::Options trace_options)
+      : slow_log(slow_options), traces(trace_options) {}
 };
 
 /// Builds, attaches, and starts the telemetry stack for `engine` when
@@ -691,10 +713,22 @@ Result<std::unique_ptr<TelemetryBundle>> StartTelemetry(
   SECVIEW_ASSIGN_OR_RETURN(
       slow_options.threshold_micros,
       CountFlag(args, "--slow-query-micros", slow_options.threshold_micros));
-  auto bundle = std::make_unique<TelemetryBundle>(slow_options);
+  obs::RequestTraceStore::Options trace_options;
+  SECVIEW_ASSIGN_OR_RETURN(trace_options.sample_every,
+                           CountFlag(args, "--trace-sample", 0));
+  SECVIEW_ASSIGN_OR_RETURN(
+      uint64_t trace_capacity,
+      CountFlag(args, "--trace-capacity", trace_options.capacity));
+  trace_options.capacity = static_cast<size_t>(trace_capacity);
+  // The trace store's always-keep-slow threshold follows the slow-query
+  // log's: one knob decides what "slow" means on this process.
+  trace_options.slow_micros = slow_options.threshold_micros;
+  auto bundle = std::make_unique<TelemetryBundle>(slow_options, trace_options);
   // Attach during setup: the engine reads these pointers unsynchronized
   // on the serve path.
   engine.AttachServingObservers(&bundle->window, &bundle->slow_log);
+  engine.AttachPolicyStats(&bundle->policy_stats);
+  engine.AttachTraceStore(&bundle->traces);
 
   net::TelemetryServer::Options server_options;
   server_options.http.bind_address = addr.first;
@@ -702,11 +736,13 @@ Result<std::unique_ptr<TelemetryBundle>> StartTelemetry(
   server_options.ready = [&engine] { return engine.sealed(); };
   server_options.window = &bundle->window;
   server_options.slow_log = &bundle->slow_log;
+  server_options.policy_stats = &bundle->policy_stats;
+  server_options.traces = &bundle->traces;
   bundle->server = std::make_unique<net::TelemetryServer>(&engine.metrics(),
                                                           server_options);
   SECVIEW_RETURN_IF_ERROR(bundle->server->Start());
   out << "# telemetry: http://" << addr.first << ":" << bundle->server->port()
-      << " (/metrics /varz /healthz /statusz)\n";
+      << " (/metrics /varz /healthz /statusz /tracez)\n";
   auto port_file = args.values.find("--port-file");
   if (port_file != args.values.end()) {
     SECVIEW_RETURN_IF_ERROR(
@@ -936,6 +972,43 @@ Status CmdBenchServe(const Args& args, std::ostream& out) {
   return DumpPrometheus(args, metrics, out);
 }
 
+Status CmdTraceExport(const Args& args, std::ostream& out) {
+  SECVIEW_ASSIGN_OR_RETURN(std::string in_path, Required(args, "--in"));
+  SECVIEW_ASSIGN_OR_RETURN(std::string text, ReadFile(in_path));
+  // Every run validates; --validate alone just reports instead of
+  // converting.
+  SECVIEW_ASSIGN_OR_RETURN(std::vector<obs::Json> traces,
+                           obs::ParseTraceJsonl(text));
+  if (!args.switches.count("--chrome")) {
+    if (!args.switches.count("--validate")) {
+      return Status::InvalidArgument(
+          "trace-export needs --chrome (convert) and/or --validate (check)");
+    }
+    out << "ok: " << traces.size() << " trace(s) validated\n";
+    return Status::OK();
+  }
+  SECVIEW_ASSIGN_OR_RETURN(obs::Json chrome, obs::ChromeTraceJson(traces));
+  std::string body = chrome.Dump(true);
+  body += "\n";
+  auto out_flag = args.values.find("--out");
+  if (out_flag == args.values.end() || out_flag->second == "-") {
+    out << body;
+  } else {
+    std::ofstream file(out_flag->second, std::ios::binary);
+    if (!file) {
+      return Status::Internal("cannot open " + out_flag->second);
+    }
+    file << body;
+    if (!file.good()) {
+      return Status::Internal("failed writing " + out_flag->second);
+    }
+  }
+  if (args.switches.count("--validate")) {
+    out << "ok: " << traces.size() << " trace(s) validated\n";
+  }
+  return Status::OK();
+}
+
 Status CmdMaterialize(const Args& args, std::ostream& out) {
   SECVIEW_ASSIGN_OR_RETURN(DtdBundle bundle, LoadDtdBundle(args));
   const Dtd& dtd = bundle.normalized.dtd;
@@ -1002,6 +1075,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     status = CmdServe(*parsed, out);
   } else if (parsed->command == "scrape") {
     status = CmdScrape(*parsed, out);
+  } else if (parsed->command == "trace-export") {
+    status = CmdTraceExport(*parsed, out);
   } else if (parsed->command == "materialize") {
     status = CmdMaterialize(*parsed, out);
   } else if (parsed->command == "generate") {

@@ -1,0 +1,135 @@
+#include "common/alloc_tracker.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace secview {
+namespace {
+
+// Zero-initialized POD, so TLS access needs no guard variable and is
+// safe from the very first allocation a thread makes (including during
+// static initialization, before main).
+thread_local AllocCounts tls_counts;
+
+}  // namespace
+
+namespace alloc_internal {
+void Charge(std::size_t bytes) {
+  tls_counts.bytes += bytes;
+  ++tls_counts.count;
+}
+}  // namespace alloc_internal
+
+AllocCounts ThreadAllocCounts() { return tls_counts; }
+
+bool AllocTrackingAvailable() {
+#ifdef SECVIEW_ALLOC_TRACKER
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace secview
+
+#ifdef SECVIEW_ALLOC_TRACKER
+
+// Global operator new/delete replacement ([replacement.functions]).
+// These definitions live in the same translation unit as the always-used
+// accessor functions above: any binary calling ThreadAllocCounts() (the
+// engine does, unconditionally) pulls this archive member into the link,
+// which is what makes a static-library replacement of a global operator
+// reliable.
+//
+// The wrappers forward to std::malloc / std::free so that sanitizer
+// malloc interceptors still see every allocation. Alignment above
+// __STDCPP_DEFAULT_NEW_ALIGNMENT__ goes through posix_memalign, whose
+// result is legal to pass to free().
+
+namespace {
+
+void* TrackedAlloc(std::size_t size) {
+  secview::alloc_internal::Charge(size);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* TrackedAllocAligned(std::size_t size, std::size_t align) {
+  secview::alloc_internal::Charge(size);
+  if (align < alignof(void*)) align = alignof(void*);
+  void* ptr = nullptr;
+  if (posix_memalign(&ptr, align, size == 0 ? 1 : size) != 0) return nullptr;
+  return ptr;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* ptr = TrackedAlloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size) {
+  void* ptr = TrackedAlloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return TrackedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return TrackedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* ptr = TrackedAllocAligned(size, static_cast<std::size_t>(align));
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* ptr = TrackedAllocAligned(size, static_cast<std::size_t>(align));
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return TrackedAllocAligned(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return TrackedAllocAligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+
+#endif  // SECVIEW_ALLOC_TRACKER

@@ -43,9 +43,39 @@ const ProcessClock& GetProcessClock() {
 
 }  // namespace
 
+namespace {
+
+std::string BuildTypeString() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+std::string SanitizerString() {
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  return "address";
+#elif __has_feature(thread_sanitizer)
+  return "thread";
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+  return "address";
+#elif defined(__SANITIZE_THREAD__)
+  return "thread";
+#else
+  return "none";
+#endif
+}
+
+}  // namespace
+
 const BuildInfo& GetBuildInfo() {
   static const BuildInfo info{kVersion, CompilerString(),
-                              "c++" + std::to_string(__cplusplus / 100 % 100)};
+                              "c++" + std::to_string(__cplusplus / 100 % 100),
+                              BuildTypeString(), SanitizerString()};
   return info;
 }
 

@@ -15,6 +15,11 @@ struct BuildInfo {
   std::string compiler;
   /// Language standard the library was built against (e.g. "c++20").
   std::string cxx_standard;
+  /// "release" (NDEBUG) or "debug" — a flat scaling curve from a debug
+  /// binary means nothing, so bench artifacts must carry this.
+  std::string build_type;
+  /// Sanitizer runtime compiled in: "address", "thread", or "none".
+  std::string sanitizer;
 };
 
 /// The process-wide build description (computed once).

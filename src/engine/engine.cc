@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/alloc_tracker.h"
 #include "engine/explain.h"
 #include "obs/audit.h"
+#include "obs/policy_stats.h"
 #include "obs/serving_stats.h"
 #include "obs/slow_query_log.h"
+#include "obs/trace_store.h"
 #include "rewrite/unfold.h"
 #include "security/derive.h"
 #include "security/materializer.h"
@@ -15,6 +18,45 @@
 #include "xpath/printer.h"
 
 namespace secview {
+
+namespace {
+
+/// RAII companion of ScopedTimer for allocation: on destruction charges
+/// the phase's thread-local allocation delta into the pre-resolved
+/// registry counters and the optional ExecuteStats accumulators (+=, so
+/// repeated phases within one execution sum). All four sinks may be
+/// null; with the alloc tracker compiled out the delta is zero and the
+/// guard is two TLS struct reads.
+class ScopedPhaseAlloc {
+ public:
+  ScopedPhaseAlloc(obs::Counter* bytes_counter, obs::Counter* count_counter,
+                   uint64_t* stats_bytes, uint64_t* stats_count)
+      : bytes_counter_(bytes_counter),
+        count_counter_(count_counter),
+        stats_bytes_(stats_bytes),
+        stats_count_(stats_count),
+        start_(ThreadAllocCounts()) {}
+  ~ScopedPhaseAlloc() {
+    const AllocCounts now = ThreadAllocCounts();
+    const uint64_t bytes = now.bytes - start_.bytes;
+    const uint64_t count = now.count - start_.count;
+    if (bytes_counter_ != nullptr) bytes_counter_->Add(bytes);
+    if (count_counter_ != nullptr) count_counter_->Add(count);
+    if (stats_bytes_ != nullptr) *stats_bytes_ += bytes;
+    if (stats_count_ != nullptr) *stats_count_ += count;
+  }
+  ScopedPhaseAlloc(const ScopedPhaseAlloc&) = delete;
+  ScopedPhaseAlloc& operator=(const ScopedPhaseAlloc&) = delete;
+
+ private:
+  obs::Counter* bytes_counter_;
+  obs::Counter* count_counter_;
+  uint64_t* stats_bytes_;
+  uint64_t* stats_count_;
+  AllocCounts start_;
+};
+
+}  // namespace
 
 SecureQueryEngine::SecureQueryEngine(std::unique_ptr<Dtd> dtd,
                                      const EngineOptions& options)
@@ -29,6 +71,18 @@ SecureQueryEngine::SecureQueryEngine(std::unique_ptr<Dtd> dtd,
   hot_.cache_evictions = &metrics_.GetCounter("engine.cache.evictions");
   hot_.cache_size = &metrics_.GetGauge("engine.cache.size");
   hot_.execute_micros = &metrics_.GetHistogram("engine.execute.micros");
+  hot_.alloc_bytes = &metrics_.GetHistogram(
+      "engine.alloc.bytes", obs::MetricsRegistry::DefaultByteBounds());
+  hot_.alloc_count = &metrics_.GetHistogram(
+      "engine.alloc.count", obs::MetricsRegistry::DefaultCountBounds());
+  hot_.alloc_parse_bytes = &metrics_.GetCounter("alloc.parse.bytes");
+  hot_.alloc_parse_count = &metrics_.GetCounter("alloc.parse.count");
+  hot_.alloc_rewrite_bytes = &metrics_.GetCounter("alloc.rewrite.bytes");
+  hot_.alloc_rewrite_count = &metrics_.GetCounter("alloc.rewrite.count");
+  hot_.alloc_optimize_bytes = &metrics_.GetCounter("alloc.optimize.bytes");
+  hot_.alloc_optimize_count = &metrics_.GetCounter("alloc.optimize.count");
+  hot_.alloc_evaluate_bytes = &metrics_.GetCounter("alloc.evaluate.bytes");
+  hot_.alloc_evaluate_count = &metrics_.GetCounter("alloc.evaluate.count");
   const size_t shards = std::max<size_t>(1, options_.cache_shards);
   hot_.shard_size.reserve(shards);
   for (size_t i = 0; i < shards; ++i) {
@@ -175,6 +229,10 @@ Result<PathPtr> SecureQueryEngine::Prepare(Policy& policy,
     obs::ScopedSpan span(trace, "parse");
     obs::ScopedTimer timer(&metrics_.GetHistogram("phase.parse.micros"),
                            stats != nullptr ? &stats->parse_micros : nullptr);
+    ScopedPhaseAlloc alloc(
+        hot_.alloc_parse_bytes, hot_.alloc_parse_count,
+        stats != nullptr ? &stats->parse_alloc_bytes : nullptr,
+        stats != nullptr ? &stats->parse_alloc_count : nullptr);
     SECVIEW_ASSIGN_OR_RETURN(query, ParseXPath(query_text, parse_limits));
     span.SetAttr("ast_size", PathSize(query));
   }
@@ -198,6 +256,10 @@ Result<PathPtr> SecureQueryEngine::Prepare(Policy& policy,
     obs::ScopedTimer timer(
         &metrics_.GetHistogram("phase.rewrite.micros"),
         stats != nullptr ? &stats->rewrite_micros : nullptr);
+    ScopedPhaseAlloc alloc(
+        hot_.alloc_rewrite_bytes, hot_.alloc_rewrite_count,
+        stats != nullptr ? &stats->rewrite_alloc_bytes : nullptr,
+        stats != nullptr ? &stats->rewrite_alloc_count : nullptr);
     RewriteStats rstats;
     if (recursive) {
       SECVIEW_ASSIGN_OR_RETURN(QueryRewriter rewriter,
@@ -223,6 +285,10 @@ Result<PathPtr> SecureQueryEngine::Prepare(Policy& policy,
     obs::ScopedTimer timer(
         &metrics_.GetHistogram("phase.optimize.micros"),
         stats != nullptr ? &stats->optimize_micros : nullptr);
+    ScopedPhaseAlloc alloc(
+        hot_.alloc_optimize_bytes, hot_.alloc_optimize_count,
+        stats != nullptr ? &stats->optimize_alloc_bytes : nullptr,
+        stats != nullptr ? &stats->optimize_alloc_count : nullptr);
     span.SetAttr("ast_before", PathSize(rewritten));
     OptimizeStats ostats;
     SECVIEW_ASSIGN_OR_RETURN(rewritten,
@@ -336,6 +402,9 @@ Status SecureQueryEngine::ExecuteInto(const std::string& policy_name,
     obs::ScopedSpan span(options.trace, "evaluate");
     obs::ScopedTimer timer(&metrics_.GetHistogram("phase.evaluate.micros"),
                            &result.stats.evaluate_micros);
+    ScopedPhaseAlloc alloc(hot_.alloc_evaluate_bytes, hot_.alloc_evaluate_count,
+                           &result.stats.evaluate_alloc_bytes,
+                           &result.stats.evaluate_alloc_count);
     XPathEvaluator evaluator(doc);
     evaluator.set_metrics(&metrics_);
     evaluator.set_budget(budget_ptr);
@@ -360,6 +429,14 @@ void SecureQueryEngine::AttachServingObservers(obs::SlidingWindowStats* window,
   slow_log_ = slow_log;
 }
 
+void SecureQueryEngine::AttachPolicyStats(obs::PolicyStatsTable* policy_stats) {
+  policy_stats_ = policy_stats;
+}
+
+void SecureQueryEngine::AttachTraceStore(obs::RequestTraceStore* traces) {
+  trace_store_ = traces;
+}
+
 void SecureQueryEngine::RecordServingOutcome(const std::string& policy,
                                              std::string_view query_text,
                                              const Status& status,
@@ -367,6 +444,10 @@ void SecureQueryEngine::RecordServingOutcome(const std::string& policy,
   obs::ServeOutcome outcome = obs::ServeOutcomeForStatus(status);
   if (window_stats_ != nullptr) {
     window_stats_->Record(latency_micros, outcome);
+  }
+  if (policy_stats_ != nullptr) {
+    policy_stats_->Record(policy, outcome, latency_micros,
+                          /*nodes_touched=*/0, /*alloc_bytes=*/0);
   }
   if (slow_log_ != nullptr) {
     obs::SlowQueryLog::Entry entry;
@@ -384,16 +465,44 @@ Result<ExecuteResult> SecureQueryEngine::Execute(
     std::string_view query_text, const ExecuteOptions& options) {
   ExecuteResult result;
   const auto exec_start = std::chrono::steady_clock::now();
-  Status status = ExecuteInto(policy_name, doc, query_text, options, result);
+  // Serve-mode request tracing: when a trace store is attached and
+  // enabled and the caller did not bring its own trace, build a span
+  // tree for this request and offer it to the store afterwards. The
+  // Trace lives on this stack frame, so worker-pool threads each trace
+  // their own requests without synchronization.
+  std::optional<obs::Trace> request_trace;
+  ExecuteOptions traced_options;
+  const ExecuteOptions* opts = &options;
+  if (options.trace == nullptr && trace_store_ != nullptr &&
+      trace_store_->enabled()) {
+    request_trace.emplace("secview.request");
+    traced_options = options;
+    traced_options.trace = &*request_trace;
+    opts = &traced_options;
+  }
+  Status status;
+  {
+    ScopedAllocCounter alloc(&result.stats.alloc_bytes,
+                             &result.stats.alloc_count);
+    status = ExecuteInto(policy_name, doc, query_text, *opts, result);
+  }
   const uint64_t latency_micros = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - exec_start)
           .count());
   hot_.execute_micros->Observe(latency_micros);
-  if (window_stats_ != nullptr || slow_log_ != nullptr) {
+  hot_.alloc_bytes->Observe(result.stats.alloc_bytes);
+  hot_.alloc_count->Observe(result.stats.alloc_count);
+  if (window_stats_ != nullptr || slow_log_ != nullptr ||
+      policy_stats_ != nullptr) {
     obs::ServeOutcome outcome = obs::ServeOutcomeForStatus(status);
     if (window_stats_ != nullptr) {
       window_stats_->Record(latency_micros, outcome);
+    }
+    if (policy_stats_ != nullptr) {
+      policy_stats_->Record(policy_name, outcome, latency_micros,
+                            result.stats.nodes_touched,
+                            result.stats.alloc_bytes);
     }
     if (slow_log_ != nullptr) {
       obs::SlowQueryLog::Entry entry;
@@ -406,8 +515,15 @@ Result<ExecuteResult> SecureQueryEngine::Execute(
       entry.nodes_touched = result.stats.nodes_touched;
       entry.predicate_evals = result.stats.predicate_evals;
       entry.results = static_cast<uint64_t>(result.stats.result_count);
+      entry.alloc_bytes = result.stats.alloc_bytes;
       slow_log_->MaybeRecord(std::move(entry));
     }
+  }
+  if (request_trace.has_value()) {
+    request_trace->root().SetAttr("alloc_bytes", result.stats.alloc_bytes);
+    request_trace->root().SetAttr("alloc_count", result.stats.alloc_count);
+    trace_store_->Offer(policy_name, query_text, status, latency_micros,
+                        *request_trace);
   }
   if (options.audit != nullptr) {
     obs::AuditEvent event;

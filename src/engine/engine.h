@@ -26,6 +26,8 @@ namespace secview {
 
 namespace obs {
 class AuditSink;
+class PolicyStatsTable;
+class RequestTraceStore;
 class SlidingWindowStats;
 class SlowQueryLog;
 }  // namespace obs
@@ -109,6 +111,23 @@ struct ExecuteStats {
   uint64_t rewrite_micros = 0;
   uint64_t optimize_micros = 0;
   uint64_t evaluate_micros = 0;
+
+  /// Heap allocation charged to this execution and its phases
+  /// (common/alloc_tracker): bytes/calls requested through operator new
+  /// on the executing thread — churn, not live memory. All zero when the
+  /// tracker is compiled out (AllocTrackingAvailable() == false). Like
+  /// the phase durations, repeated phases sum; the whole-execution
+  /// totals also cover work between phases, so they exceed the phase sum.
+  uint64_t alloc_bytes = 0;
+  uint64_t alloc_count = 0;
+  uint64_t parse_alloc_bytes = 0;
+  uint64_t parse_alloc_count = 0;
+  uint64_t rewrite_alloc_bytes = 0;
+  uint64_t rewrite_alloc_count = 0;
+  uint64_t optimize_alloc_bytes = 0;
+  uint64_t optimize_alloc_count = 0;
+  uint64_t evaluate_alloc_bytes = 0;
+  uint64_t evaluate_alloc_count = 0;
 
   /// DP table sizes and optimizer prune counts, accumulated across the
   /// (up to two) preparations of one execution. All zero when every
@@ -207,6 +226,19 @@ class SecureQueryEngine {
   /// are not synchronized.
   void AttachServingObservers(obs::SlidingWindowStats* window,
                               obs::SlowQueryLog* slow_log);
+
+  /// Attaches the per-policy rollup table: every Execute and every
+  /// RecordServingOutcome is additionally charged to its policy id
+  /// (queries, outcome mix, nodes touched, alloc bytes, latency). Same
+  /// lifetime/attachment discipline as AttachServingObservers.
+  void AttachPolicyStats(obs::PolicyStatsTable* policy_stats);
+
+  /// Attaches the sampled request-trace store. When the store is enabled
+  /// (sample_every > 0) and the caller did not pass its own trace,
+  /// Execute records a span tree for the request and offers it to the
+  /// store, which retains 1-in-N plus every slow/denied/timeout/shed
+  /// request (see obs/trace_store.h). Attach before serving starts.
+  void AttachTraceStore(obs::RequestTraceStore* traces);
 
   /// Records a query outcome that bypassed Execute (e.g. shed at a
   /// worker pool's queue) into the attached serving observers, keeping
@@ -333,6 +365,21 @@ class SecureQueryEngine {
     /// engine.execute.micros — end-to-end Execute latency (all phases,
     /// successes and failures alike).
     obs::Histogram* execute_micros = nullptr;
+    /// engine.alloc.bytes / engine.alloc.count — per-execution heap
+    /// allocation churn (observed once per Execute; flat zeros when the
+    /// alloc tracker is compiled out).
+    obs::Histogram* alloc_bytes = nullptr;
+    obs::Histogram* alloc_count = nullptr;
+    /// alloc.<phase>.{bytes,count} — cumulative per-phase allocation,
+    /// charged by Prepare/ExecuteInto alongside the phase timers.
+    obs::Counter* alloc_parse_bytes = nullptr;
+    obs::Counter* alloc_parse_count = nullptr;
+    obs::Counter* alloc_rewrite_bytes = nullptr;
+    obs::Counter* alloc_rewrite_count = nullptr;
+    obs::Counter* alloc_optimize_bytes = nullptr;
+    obs::Counter* alloc_optimize_count = nullptr;
+    obs::Counter* alloc_evaluate_bytes = nullptr;
+    obs::Counter* alloc_evaluate_count = nullptr;
     /// engine.cache.shard_<i>.size, aggregated across policies.
     std::vector<obs::Gauge*> shard_size;
   };
@@ -369,6 +416,8 @@ class SecureQueryEngine {
   /// Serving observers (AttachServingObservers); null until attached.
   obs::SlidingWindowStats* window_stats_ = nullptr;
   obs::SlowQueryLog* slow_log_ = nullptr;
+  obs::PolicyStatsTable* policy_stats_ = nullptr;
+  obs::RequestTraceStore* trace_store_ = nullptr;
   std::atomic<bool> sealed_{false};
 };
 

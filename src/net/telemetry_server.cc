@@ -4,6 +4,7 @@
 #include <sstream>
 #include <string_view>
 
+#include "common/alloc_tracker.h"
 #include "common/build_info.h"
 #include "obs/export.h"
 
@@ -63,14 +64,39 @@ HttpResponse TelemetryServer::Handle(const HttpRequest& request) const {
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
     response.body =
         obs::RenderPrometheusText(registry_->Collect(), options_.ns);
+    if (options_.policy_stats != nullptr) {
+      response.body += obs::RenderPolicyStatsText(
+          options_.policy_stats->Snapshot(), options_.ns);
+    }
     return response;
   }
   if (target == "/varz") {
     HttpResponse response;
     response.content_type = "application/json";
-    response.body = obs::MetricsV1Document(registry_->Collect()).Dump(true);
+    obs::Json doc = obs::MetricsV1Document(registry_->Collect());
+    if (options_.policy_stats != nullptr) {
+      doc.Set("policy_stats",
+              obs::PolicyStatsJson(options_.policy_stats->Snapshot()));
+    }
+    response.body = doc.Dump(true);
     response.body += "\n";
     return response;
+  }
+  if (target == "/tracez" || target.rfind("/tracez?", 0) == 0) {
+    if (options_.traces == nullptr) {
+      return HttpResponse::Text(200, "no request-trace store attached\n");
+    }
+    if (target == "/tracez?format=json") {
+      HttpResponse response;
+      response.content_type = "application/x-ndjson";
+      response.body = options_.traces->SnapshotJsonl();
+      return response;
+    }
+    if (target != "/tracez") {
+      return HttpResponse::Text(400, "unknown /tracez parameter (try "
+                                     "/tracez or /tracez?format=json)\n");
+    }
+    return HttpResponse::Text(200, options_.traces->SnapshotText());
   }
   if (target == "/healthz") {
     bool ready = !options_.ready || options_.ready();
@@ -82,7 +108,7 @@ HttpResponse TelemetryServer::Handle(const HttpRequest& request) const {
   }
   if (target == "/") {
     return HttpResponse::Text(
-        200, "secview telemetry: /metrics /varz /healthz /statusz\n");
+        200, "secview telemetry: /metrics /varz /healthz /statusz /tracez\n");
   }
   return HttpResponse::Text(404, "no such endpoint: " + target + "\n");
 }
@@ -142,6 +168,55 @@ std::string TelemetryServer::RenderStatusz() const {
   }
   if (!any_pool) out << "  no pool attached\n";
 
+  out << "\nallocation\n";
+  bool any_alloc = false;
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == "engine.alloc.bytes" && h.count > 0) {
+      out << "  per-query alloc: " << h.sum << "B over " << h.count
+          << " queries (avg " << h.sum / h.count << "B/query)\n";
+      any_alloc = true;
+    }
+  }
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string_view n = name;
+    if (n.size() > 6 && n.substr(0, 6) == "alloc." && value > 0) {
+      out << "  " << n << " = " << value << "\n";
+      any_alloc = true;
+    }
+  }
+  if (!any_alloc) {
+    out << "  no allocations recorded"
+        << (secview::AllocTrackingAvailable() ? "" : " (tracker compiled out)")
+        << "\n";
+  }
+
+  out << "\nper-policy\n";
+  if (options_.policy_stats != nullptr) {
+    std::vector<obs::PolicyStatsTable::PolicySnapshot> rows =
+        options_.policy_stats->Snapshot();
+    if (rows.empty()) out << "  no queries yet\n";
+    for (const auto& row : rows) {
+      out << "  " << row.policy << ": " << row.queries << " queries (ok "
+          << row.ok << ", denied " << row.denied << ", timeout " << row.timeout
+          << ", shed " << row.shed << "), nodes " << row.nodes_touched
+          << ", alloc " << row.alloc_bytes << "B, p50 " << row.p50_micros
+          << "us, p95 " << row.p95_micros << "us, p99 "
+          << (row.p99_overflow ? ">" : "") << row.p99_micros << "us\n";
+    }
+  } else {
+    out << "  no policy stats attached\n";
+  }
+
+  out << "\nrequest traces\n";
+  if (options_.traces != nullptr) {
+    out << "  sample 1/" << options_.traces->options().sample_every
+        << ", slow >= " << options_.traces->options().slow_micros << "us, "
+        << options_.traces->retained() << " retained of "
+        << options_.traces->offered() << " offered (see /tracez)\n";
+  } else {
+    out << "  no request-trace store attached\n";
+  }
+
   out << "\nslow queries";
   if (options_.slow_log != nullptr) {
     out << " (threshold " << options_.slow_log->threshold_micros()
@@ -155,7 +230,8 @@ std::string TelemetryServer::RenderStatusz() const {
           << e.latency_micros << "us policy=" << e.policy
           << " cache=" << (e.cache_hit ? "hit" : "miss")
           << " nodes=" << e.nodes_touched << " preds=" << e.predicate_evals
-          << " results=" << e.results << " query=" << e.query << "\n";
+          << " results=" << e.results << " alloc=" << e.alloc_bytes
+          << "B query=" << e.query << "\n";
     }
   } else {
     out << "\n  no slow-query log attached\n";

@@ -9,8 +9,10 @@
 #include "common/result.h"
 #include "net/http_server.h"
 #include "obs/metrics.h"
+#include "obs/policy_stats.h"
 #include "obs/serving_stats.h"
 #include "obs/slow_query_log.h"
+#include "obs/trace_store.h"
 
 namespace secview::net {
 
@@ -25,7 +27,11 @@ namespace secview::net {
 ///   /statusz  - human-oriented status page: build info, uptime,
 ///               windowed QPS / error / shed rates and latency
 ///               percentiles, per-shard rewrite-cache occupancy, worker
-///               pool queue depth, and the slowest recent queries
+///               pool queue depth, per-policy rollups, request-trace
+///               sampling counters, and the slowest recent queries
+///   /tracez   - sampled request traces (obs/trace_store.h), newest
+///               first; "?format=json" returns secview.trace.v1 JSONL
+///               ready for `secview trace-export`
 ///
 /// The server only *reads* observability state — a scrape can never
 /// mutate engine behavior — and depends on obs/common alone, so it can
@@ -44,6 +50,13 @@ class TelemetryServer {
     const obs::SlidingWindowStats* window = nullptr;
     /// Optional slow-query ring feeding /statusz; may be null.
     const obs::SlowQueryLog* slow_log = nullptr;
+    /// Optional per-policy rollup table: adds labeled policy series to
+    /// /metrics, a "policy_stats" section to /varz, and a per-policy
+    /// block to /statusz. May be null.
+    const obs::PolicyStatsTable* policy_stats = nullptr;
+    /// Optional request-trace ring backing /tracez; may be null (the
+    /// endpoint then reports that tracing is not attached).
+    const obs::RequestTraceStore* traces = nullptr;
   };
 
   /// `registry` must outlive the server.

@@ -86,11 +86,7 @@ std::string RenderPrometheusText(const MetricsSnapshot& snapshot,
   return out;
 }
 
-namespace {
-
-/// Escapes a label value per the text format: backslash, double quote,
-/// and newline become \\, \", \n.
-std::string EscapeLabelValue(std::string_view value) {
+std::string PrometheusEscapeLabelValue(std::string_view value) {
   std::string out;
   out.reserve(value.size());
   for (char c : value) {
@@ -104,8 +100,6 @@ std::string EscapeLabelValue(std::string_view value) {
   return out;
 }
 
-}  // namespace
-
 std::string RenderProcessInfoText(std::string_view ns) {
   const BuildInfo& build = GetBuildInfo();
   std::string start_name = PrometheusMetricName("process.start_time_unix", ns);
@@ -117,9 +111,11 @@ std::string RenderProcessInfoText(std::string_view ns) {
   out += "# TYPE " + uptime_name + " gauge\n";
   out += uptime_name + " " + std::to_string(ProcessUptimeMillis()) + "\n";
   out += "# TYPE " + build_name + " gauge\n";
-  out += build_name + "{version=\"" + EscapeLabelValue(build.version) +
-         "\",compiler=\"" + EscapeLabelValue(build.compiler) + "\",std=\"" +
-         EscapeLabelValue(build.cxx_standard) + "\"} 1\n";
+  out += build_name + "{version=\"" + PrometheusEscapeLabelValue(build.version) +
+         "\",compiler=\"" + PrometheusEscapeLabelValue(build.compiler) +
+         "\",std=\"" + PrometheusEscapeLabelValue(build.cxx_standard) +
+         "\",build_type=\"" + PrometheusEscapeLabelValue(build.build_type) +
+         "\"} 1\n";
   return out;
 }
 
@@ -167,7 +163,14 @@ bool ConsumeLabels(std::string_view line, size_t& pos) {
     if (pos >= line.size() || line[pos] != '"') return false;
     ++pos;
     while (pos < line.size() && line[pos] != '"') {
-      if (line[pos] == '\\') ++pos;  // escaped char
+      if (line[pos] == '\\') {
+        // The format defines exactly three label-value escapes.
+        ++pos;
+        if (pos >= line.size() ||
+            (line[pos] != '\\' && line[pos] != '"' && line[pos] != 'n')) {
+          return false;
+        }
+      }
       ++pos;
     }
     if (pos >= line.size()) return false;

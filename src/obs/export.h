@@ -20,6 +20,13 @@ namespace secview::obs {
 std::string PrometheusMetricName(std::string_view name,
                                  std::string_view ns = "secview");
 
+/// Escapes a string for use as a Prometheus label value per the text
+/// exposition format 0.0.4: backslash, double quote, and newline become
+/// \\, \", and \n. Everything writing untrusted strings (policy ids,
+/// build metadata) into labels must route through this — an unescaped
+/// '"' or newline corrupts the whole exposition, not just one series.
+std::string PrometheusEscapeLabelValue(std::string_view value);
+
 /// Renders a metrics snapshot in the Prometheus text exposition format
 /// (version 0.0.4): counters as "<name>_total" with "# TYPE ... counter",
 /// gauges verbatim, histograms as cumulative "<name>_bucket{le="..."}"

@@ -206,4 +206,13 @@ std::vector<uint64_t> MetricsRegistry::DefaultLatencyBounds() {
           1000000, 2500000, 5000000, 10000000};
 }
 
+std::vector<uint64_t> MetricsRegistry::DefaultByteBounds() {
+  return {256,       1024,      4096,     16384,    65536,
+          262144,    1048576,   4194304,  16777216, 67108864};
+}
+
+std::vector<uint64_t> MetricsRegistry::DefaultCountBounds() {
+  return {4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144};
+}
+
 }  // namespace secview::obs

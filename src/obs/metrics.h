@@ -146,6 +146,14 @@ class MetricsRegistry {
   /// Microsecond-latency bucket bounds used for the phase.* histograms.
   static std::vector<uint64_t> DefaultLatencyBounds();
 
+  /// Byte-sized bucket bounds (256 B .. 64 MiB, powers of four) used for
+  /// the engine.alloc.bytes histogram.
+  static std::vector<uint64_t> DefaultByteBounds();
+
+  /// Call-count bucket bounds (4 .. 256 Ki, powers of four) used for the
+  /// engine.alloc.count histogram.
+  static std::vector<uint64_t> DefaultCountBounds();
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;

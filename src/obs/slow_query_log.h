@@ -31,6 +31,9 @@ class SlowQueryLog {
     uint64_t nodes_touched = 0;
     uint64_t predicate_evals = 0;
     uint64_t results = 0;
+    /// Heap bytes this execution allocated (common/alloc_tracker; 0
+    /// when the tracker is compiled out).
+    uint64_t alloc_bytes = 0;
   };
 
   struct Options {

@@ -1,0 +1,182 @@
+#include "obs/trace_export.h"
+
+#include <cstdint>
+#include <string>
+
+namespace secview::obs {
+
+namespace {
+
+Status SpanError(const std::string& what) {
+  return Status::InvalidArgument("trace.v1 spans: " + what);
+}
+
+/// Checks one span object (and recursively its children) against the
+/// Trace::ToJson shape.
+Status ValidateSpan(const Json& span, int depth) {
+  if (depth > 64) return SpanError("span tree deeper than 64");
+  if (!span.is_object()) return SpanError("span is not an object");
+  const Json* name = span.Find("name");
+  if (name == nullptr || !name->is_string() || name->AsString().empty()) {
+    return SpanError("missing or empty span name");
+  }
+  const Json* start = span.Find("start_us");
+  if (start == nullptr || !start->is_number() || start->AsNumber() < 0) {
+    return SpanError("span '" + name->AsString() + "' has no start_us");
+  }
+  const Json* duration = span.Find("duration_us");
+  if (duration == nullptr || !duration->is_number() ||
+      duration->AsNumber() < 0) {
+    return SpanError("span '" + name->AsString() + "' has no duration_us");
+  }
+  if (const Json* attrs = span.Find("attrs");
+      attrs != nullptr && !attrs->is_object()) {
+    return SpanError("span '" + name->AsString() + "' attrs is not an object");
+  }
+  const Json* children = span.Find("children");
+  if (children != nullptr) {
+    if (!children->is_array()) {
+      return SpanError("span '" + name->AsString() +
+                       "' children is not an array");
+    }
+    for (const Json& child : children->items()) {
+      SECVIEW_RETURN_IF_ERROR(ValidateSpan(child, depth + 1));
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateTraceObject(const Json& doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("trace.v1: line is not a JSON object");
+  }
+  const Json* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->AsString() != "secview.trace.v1") {
+    return Status::InvalidArgument("trace.v1: missing or wrong schema tag");
+  }
+  for (const char* key : {"trace_id", "policy", "query", "outcome", "reason"}) {
+    const Json* value = doc.Find(key);
+    if (value == nullptr || !value->is_string()) {
+      return Status::InvalidArgument(std::string("trace.v1: missing string '") +
+                                     key + "'");
+    }
+  }
+  const Json* trace_id = doc.Find("trace_id");
+  if (trace_id->AsString().empty()) {
+    return Status::InvalidArgument("trace.v1: empty trace_id");
+  }
+  for (const char* key : {"unix_micros", "latency_micros"}) {
+    const Json* value = doc.Find(key);
+    if (value == nullptr || !value->is_number()) {
+      return Status::InvalidArgument(std::string("trace.v1: missing number '") +
+                                     key + "'");
+    }
+  }
+  const Json* spans = doc.Find("spans");
+  if (spans == nullptr) {
+    return Status::InvalidArgument("trace.v1: missing 'spans'");
+  }
+  return ValidateSpan(*spans, 0);
+}
+
+void AppendSpanEvents(const Json& span, int64_t base_micros, int tid,
+                      Json& events) {
+  if (!span.is_object()) return;
+  const Json* name = span.Find("name");
+  const Json* start = span.Find("start_us");
+  const Json* duration = span.Find("duration_us");
+  Json event = Json::Object();
+  event.Set("name", name != nullptr && name->is_string() ? name->AsString()
+                                                         : std::string("?"));
+  event.Set("cat", "secview");
+  event.Set("ph", "X");
+  const double start_us =
+      start != nullptr && start->is_number() ? start->AsNumber() : 0;
+  event.Set("ts", static_cast<double>(base_micros) + start_us);
+  event.Set("dur", duration != nullptr && duration->is_number()
+                       ? duration->AsNumber()
+                       : 0.0);
+  event.Set("pid", 1);
+  event.Set("tid", tid);
+  if (const Json* attrs = span.Find("attrs");
+      attrs != nullptr && attrs->is_object() && !attrs->members().empty()) {
+    event.Set("args", *attrs);
+  }
+  events.Append(std::move(event));
+  if (const Json* children = span.Find("children");
+      children != nullptr && children->is_array()) {
+    for (const Json& child : children->items()) {
+      AppendSpanEvents(child, base_micros, tid, events);
+    }
+  }
+}
+
+}  // namespace
+
+Status ValidateTraceLine(std::string_view line) {
+  SECVIEW_ASSIGN_OR_RETURN(Json doc, Json::Parse(line));
+  return ValidateTraceObject(doc);
+}
+
+Result<std::vector<Json>> ParseTraceJsonl(std::string_view text) {
+  std::vector<Json> traces;
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    std::string_view line = text.substr(
+        start,
+        end == std::string_view::npos ? text.size() - start : end - start);
+    ++line_no;
+    start = end == std::string_view::npos ? text.size() : end + 1;
+    if (line.empty()) continue;
+    auto parsed = Json::Parse(line);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("trace.v1 line " +
+                                     std::to_string(line_no) + ": " +
+                                     parsed.status().message());
+    }
+    Status valid = ValidateTraceObject(*parsed);
+    if (!valid.ok()) {
+      return Status::InvalidArgument("trace.v1 line " +
+                                     std::to_string(line_no) + ": " +
+                                     valid.message());
+    }
+    traces.push_back(*std::move(parsed));
+  }
+  return traces;
+}
+
+Result<Json> ChromeTraceJson(const std::vector<Json>& traces) {
+  Json events = Json::Array();
+  int tid = 0;
+  for (const Json& trace : traces) {
+    SECVIEW_RETURN_IF_ERROR(ValidateTraceObject(trace));
+    ++tid;
+    const std::string& trace_id = trace.Find("trace_id")->AsString();
+    const std::string& outcome = trace.Find("outcome")->AsString();
+    const std::string& policy = trace.Find("policy")->AsString();
+    const int64_t base_micros =
+        static_cast<int64_t>(trace.Find("unix_micros")->AsNumber());
+
+    Json thread_name = Json::Object();
+    thread_name.Set("name", "thread_name");
+    thread_name.Set("ph", "M");
+    thread_name.Set("pid", 1);
+    thread_name.Set("tid", tid);
+    Json name_args = Json::Object();
+    name_args.Set("name",
+                  trace_id + " [" + outcome + "] policy=" + policy);
+    thread_name.Set("args", std::move(name_args));
+    events.Append(std::move(thread_name));
+
+    AppendSpanEvents(*trace.Find("spans"), base_micros, tid, events);
+  }
+  Json doc = Json::Object();
+  doc.Set("traceEvents", std::move(events));
+  doc.Set("displayTimeUnit", "ms");
+  return doc;
+}
+
+}  // namespace secview::obs

@@ -1,0 +1,37 @@
+#ifndef SECVIEW_OBS_TRACE_EXPORT_H_
+#define SECVIEW_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/json.h"
+
+namespace secview::obs {
+
+/// Validates one secview.trace.v1 JSONL line: parseable JSON object,
+/// correct "schema" tag, required fields with the right types
+/// (trace_id/policy/query/outcome/reason strings, unix_micros/
+/// latency_micros numbers, spans an object with name/start_us/
+/// duration_us and recursively well-formed children). Returns the first
+/// violation.
+Status ValidateTraceLine(std::string_view line);
+
+/// Parses a secview.trace.v1 JSONL document (one trace object per line,
+/// blank lines ignored), validating every line; the error names the
+/// offending line number.
+Result<std::vector<Json>> ParseTraceJsonl(std::string_view text);
+
+/// Converts parsed trace.v1 objects to Chrome trace-event JSON — the
+/// {"traceEvents": [...]} form chrome://tracing and Perfetto load. Each
+/// trace becomes one tid (pid is always 1): a "process_name"/
+/// "thread_name" metadata event naming the tid after the trace id and
+/// its outcome, then one complete ("ph":"X") event per span with ts
+/// anchored at the trace's unix_micros so concurrent requests line up
+/// on a shared timeline. Span attributes ride along in "args".
+Result<Json> ChromeTraceJson(const std::vector<Json>& traces);
+
+}  // namespace secview::obs
+
+#endif  // SECVIEW_OBS_TRACE_EXPORT_H_

@@ -13,6 +13,8 @@
 
 #include "cli/cli.h"
 #include "obs/json.h"
+#include "obs/trace.h"
+#include "obs/trace_store.h"
 
 namespace secview {
 namespace {
@@ -732,6 +734,74 @@ TEST_F(CliTest, BenchServeStartsTelemetryWhenRequested) {
   std::remove(port_file.c_str());
 }
 
+// --- trace-export ---
+
+std::string TwoTraceJsonl() {
+  obs::RequestTraceStore::Options options;
+  options.sample_every = 1;
+  obs::RequestTraceStore store(options);
+  for (const char* q : {"//patient//bill", "//name"}) {
+    obs::Trace trace("secview.request");
+    {
+      obs::ScopedSpan span(&trace, "evaluate");
+      span.SetAttr("nodes_touched", 42);
+    }
+    store.Offer("nurse", q, Status::OK(), 120, trace);
+  }
+  return store.SnapshotJsonl();
+}
+
+TEST_F(CliTest, TraceExportValidateReportsCount) {
+  WriteFile("traces.jsonl", TwoTraceJsonl());
+  EXPECT_EQ(Run({"trace-export", "--in", Path("traces.jsonl"), "--validate"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("ok: 2 trace(s) validated"), std::string::npos)
+      << out_.str();
+}
+
+TEST_F(CliTest, TraceExportChromeWritesLoadableJson) {
+  WriteFile("traces.jsonl", TwoTraceJsonl());
+  std::string out_path = Path("chrome.json");
+  EXPECT_EQ(Run({"trace-export", "--in", Path("traces.jsonl"), "--chrome",
+                 "--out", out_path}),
+            0)
+      << err_.str();
+  std::ifstream in(out_path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto chrome = obs::Json::Parse(buf.str());
+  ASSERT_TRUE(chrome.ok()) << chrome.status().ToString();
+  const obs::Json* events = chrome->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // 2 traces x (metadata + root + evaluate child) = 6 events.
+  EXPECT_EQ(events->items().size(), 6u);
+  for (const obs::Json& ev : events->items()) {
+    const obs::Json* ph = ev.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    EXPECT_TRUE(ph->AsString() == "M" || ph->AsString() == "X");
+  }
+  std::remove(out_path.c_str());
+}
+
+TEST_F(CliTest, TraceExportRejectsCorruptInput) {
+  std::string jsonl = TwoTraceJsonl();
+  WriteFile("bad.jsonl", jsonl + "{\"schema\":\"nope\"}\n");
+  EXPECT_EQ(Run({"trace-export", "--in", Path("bad.jsonl"), "--validate"}), 1);
+  EXPECT_NE(err_.str().find("schema"), std::string::npos) << err_.str();
+  // Neither flag: the command refuses to silently do nothing.
+  WriteFile("ok.jsonl", jsonl);
+  EXPECT_EQ(Run({"trace-export", "--in", Path("ok.jsonl")}), 1);
+}
+
+TEST_F(CliTest, HelpListsTraceExport) {
+  EXPECT_EQ(Run({"help"}), 0);
+  std::string text = out_.str();
+  EXPECT_NE(text.find("trace-export"), std::string::npos);
+  EXPECT_NE(text.find("--trace-sample"), std::string::npos);
+  EXPECT_NE(text.find("--chrome"), std::string::npos);
+}
+
 TEST_F(CliTest, ServeExposesLiveEndpointsEndToEnd) {
   WriteFile("queries.txt", "//name\n//patient//bill\n");
   std::string port_file = Path("serve.port");
@@ -748,7 +818,7 @@ TEST_F(CliTest, ServeExposesLiveEndpointsEndToEnd) {
          Path("nurse.spec"), "--xml", Path("doc.xml"), "--queries",
          Path("queries.txt"), "--bind", "wardNo=3", "--replay-delay-ms",
          "10", "--max-seconds", "3", "--slow-query-micros", "0",
-         "--port-file", port_file},
+         "--trace-sample", "1", "--port-file", port_file},
         serve_out, serve_err);
   });
 
@@ -797,6 +867,32 @@ TEST_F(CliTest, ServeExposesLiveEndpointsEndToEnd) {
   auto varz = obs::Json::Parse(out_.str());
   ASSERT_TRUE(varz.ok()) << varz.status().ToString();
   EXPECT_EQ(varz->Find("schema")->AsString(), "secview.metrics.v1");
+  ASSERT_NE(varz->Find("policy_stats"), nullptr) << out_.str();
+  EXPECT_NE(varz->Find("policy_stats")->Find("policy"), nullptr);
+
+  // --trace-sample 1 traces every replayed query: the human page lists
+  // them and the JSONL page round-trips through trace-export.
+  EXPECT_EQ(Run({"scrape", "--port", port_text, "--path", "/tracez"}), 0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("request traces:"), std::string::npos)
+      << out_.str();
+  EXPECT_NE(out_.str().find("evaluate"), std::string::npos);
+  EXPECT_EQ(
+      Run({"scrape", "--port", port_text, "--path", "/tracez?format=json"}),
+      0)
+      << err_.str();
+  std::string jsonl = out_.str();
+  EXPECT_NE(jsonl.find("secview.trace.v1"), std::string::npos) << jsonl;
+  WriteFile("live.jsonl", jsonl);
+  EXPECT_EQ(Run({"trace-export", "--in", Path("live.jsonl"), "--validate"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("trace(s) validated"), std::string::npos);
+  EXPECT_EQ(Run({"trace-export", "--in", Path("live.jsonl"), "--chrome"}), 0)
+      << err_.str();
+  auto chrome = obs::Json::Parse(out_.str());
+  ASSERT_TRUE(chrome.ok()) << chrome.status().ToString();
+  EXPECT_FALSE(chrome->Find("traceEvents")->items().empty());
 
   server.join();
   EXPECT_EQ(serve_rc, 0) << serve_err.str();

@@ -16,6 +16,9 @@
 #include "engine/explain.h"
 #include "engine/rewrite_cache.h"
 #include "engine/worker_pool.h"
+#include "obs/policy_stats.h"
+#include "obs/trace.h"
+#include "obs/trace_store.h"
 #include "workload/hospital.h"
 #include "workload/synthetic.h"
 #include "xml/parser.h"
@@ -381,6 +384,121 @@ TEST(ConcurrentEngineTest, SortSkipCounterFires) {
   XmlTree doc = MakeHospitalDoc();
   ASSERT_TRUE(engine->Execute("nurse", doc, "//bill", NurseOptions()).ok());
   EXPECT_GT(engine->metrics().GetCounter("eval.sort_skips").value(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// New observability state under concurrency (the TSan surface for the
+// per-policy table and the request-trace ring).
+
+TEST(ConcurrentObsTest, PolicyStatsRecordAndSnapshotRace) {
+  obs::PolicyStatsTable table;
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 2000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      for (const auto& row : table.Snapshot()) {
+        // Each stripe is locked during copy: a row is always internally
+        // consistent (outcome parts never exceed the query count).
+        EXPECT_LE(row.ok + row.denied + row.timeout + row.shed, row.queries);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&table, t] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        table.Record("policy" + std::to_string(i % 7),
+                     i % 11 == 0 ? obs::ServeOutcome::kDenied
+                                 : obs::ServeOutcome::kOk,
+                     static_cast<uint64_t>(i % 500), 3, 128);
+        (void)t;
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(table.total(), uint64_t{kWriters} * kPerWriter);
+  uint64_t sum = 0;
+  for (const auto& row : table.Snapshot()) sum += row.queries;
+  EXPECT_EQ(sum, uint64_t{kWriters} * kPerWriter);
+}
+
+TEST(ConcurrentObsTest, TraceStoreOfferAndSnapshotRace) {
+  obs::RequestTraceStore::Options options;
+  options.sample_every = 2;
+  options.slow_micros = 400;
+  options.capacity = 16;
+  obs::RequestTraceStore store(options);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 500;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      for (const auto& entry : store.Snapshot()) {
+        EXPECT_EQ(entry.trace_id.size(), 16u);
+        EXPECT_FALSE(entry.reason.empty());
+      }
+      std::string jsonl = store.SnapshotJsonl();
+      EXPECT_TRUE(jsonl.empty() || jsonl.back() == '\n');
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&store, t] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        obs::Trace trace("secview.request");
+        {
+          obs::ScopedSpan span(&trace, "evaluate");
+          span.SetAttr("writer", t);
+        }
+        store.Offer("policy" + std::to_string(t), "//q", Status::OK(),
+                    static_cast<uint64_t>(i), trace);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(store.offered(), uint64_t{kWriters} * kPerWriter);
+  EXPECT_GT(store.retained(), 0u);
+  EXPECT_EQ(store.Snapshot().size(), 16u);
+}
+
+TEST(ConcurrentEngineTest, BatchExecutionFeedsPolicyAndTraceStores) {
+  auto engine = MakeHospitalEngine();
+  XmlTree doc = MakeHospitalDoc();
+  obs::PolicyStatsTable policy_stats;
+  engine->AttachPolicyStats(&policy_stats);
+  obs::RequestTraceStore::Options trace_options;
+  trace_options.sample_every = 1;
+  obs::RequestTraceStore traces(trace_options);
+  engine->AttachTraceStore(&traces);
+
+  QueryWorkerPool pool(*engine);
+  std::vector<std::string> queries(kQueries, kQueries + 10);
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& result :
+         pool.ExecuteBatch("nurse", doc, queries, NurseOptions())) {
+      ASSERT_TRUE(result.ok()) << result.status();
+    }
+  }
+  EXPECT_EQ(policy_stats.total(), 30u);
+  std::vector<obs::PolicyStatsTable::PolicySnapshot> rows =
+      policy_stats.Snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].policy, "nurse");
+  EXPECT_EQ(rows[0].ok, 30u);
+  EXPECT_EQ(traces.offered(), 30u);
+  EXPECT_GT(traces.retained(), 0u);
+  // Worker threads each built their own trace; the retained span trees
+  // are complete (root with at least an evaluate child).
+  for (const auto& entry : traces.Snapshot()) {
+    const obs::Json* children = entry.spans.Find("children");
+    ASSERT_NE(children, nullptr);
+    EXPECT_FALSE(children->items().empty());
+  }
 }
 
 }  // namespace

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/alloc_tracker.h"
 #include "engine/engine.h"
+#include "obs/policy_stats.h"
+#include "obs/trace_store.h"
 #include "workload/hospital.h"
 #include "workload/synthetic.h"
 #include "xml/parser.h"
@@ -167,6 +170,93 @@ TEST_F(EngineTest, TraceRecordsPhaseSpans) {
   // The whole tree exports as valid JSON.
   auto parsed = obs::Json::Parse(trace.ToJsonString());
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+}
+
+TEST_F(EngineTest, ExecuteReportsAllocationStats) {
+  if (!AllocTrackingAvailable()) GTEST_SKIP() << "tracker compiled out";
+  ExecuteOptions options;
+  options.bindings = {{"wardNo", "3"}};
+  auto result = engine_->Execute("nurse", doc_, "//patient//bill", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const ExecuteStats& stats = result->stats;
+  EXPECT_GT(stats.alloc_bytes, 0u);
+  EXPECT_GT(stats.alloc_count, 0u);
+  // A cold query runs parse + rewrite; both phases allocate.
+  EXPECT_GT(stats.parse_alloc_count, 0u);
+  EXPECT_GT(stats.rewrite_alloc_count, 0u);
+  EXPECT_GT(stats.evaluate_alloc_count, 0u);
+  // Phase charges are a subset of the whole-query charge.
+  EXPECT_LE(stats.parse_alloc_bytes + stats.rewrite_alloc_bytes +
+                stats.optimize_alloc_bytes + stats.evaluate_alloc_bytes,
+            stats.alloc_bytes);
+
+  // A cache hit skips parse/rewrite: those phase charges drop to zero.
+  auto again = engine_->Execute("nurse", doc_, "//patient//bill", options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->stats.cache_hit);
+  EXPECT_EQ(again->stats.parse_alloc_count, 0u);
+  EXPECT_EQ(again->stats.rewrite_alloc_count, 0u);
+  EXPECT_GT(again->stats.evaluate_alloc_count, 0u);
+
+  // The registry saw the same activity.
+  EXPECT_GT(engine_->metrics().GetCounter("alloc.evaluate.count").value(), 0u);
+}
+
+TEST_F(EngineTest, AttachedTraceStoreSamplesExecutions) {
+  obs::RequestTraceStore::Options trace_options;
+  trace_options.sample_every = 1;
+  obs::RequestTraceStore store(trace_options);
+  engine_->AttachTraceStore(&store);
+  obs::PolicyStatsTable policy_stats;
+  engine_->AttachPolicyStats(&policy_stats);
+
+  ExecuteOptions options;
+  options.bindings = {{"wardNo", "3"}};
+  ASSERT_TRUE(engine_->Execute("nurse", doc_, "//bill", options).ok());
+  auto denied = engine_->Execute("nurse", doc_, "//bill[", options);
+  ASSERT_FALSE(denied.ok());
+
+  std::vector<obs::RequestTraceStore::Entry> entries = store.Snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].outcome, obs::ServeOutcome::kDenied);  // newest first
+  EXPECT_EQ(entries[1].outcome, obs::ServeOutcome::kOk);
+  EXPECT_EQ(entries[1].policy, "nurse");
+  EXPECT_EQ(entries[1].query, "//bill");
+  // The engine's own span tree rides along: root "secview.request" with
+  // the execute phases beneath it.
+  const obs::Json* name = entries[1].spans.Find("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->AsString(), "secview.request");
+  EXPECT_NE(entries[1].spans.Dump(false).find("evaluate"), std::string::npos);
+  if (AllocTrackingAvailable()) {
+    // The root span carries the query's allocation charge.
+    const obs::Json* attrs = entries[1].spans.Find("attrs");
+    ASSERT_NE(attrs, nullptr);
+    EXPECT_NE(attrs->Find("alloc_bytes"), nullptr);
+  }
+
+  std::vector<obs::PolicyStatsTable::PolicySnapshot> rows =
+      policy_stats.Snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].queries, 2u);
+  EXPECT_EQ(rows[0].ok, 1u);
+  EXPECT_EQ(rows[0].denied, 1u);
+}
+
+TEST_F(EngineTest, CallerTraceWinsOverAttachedStore) {
+  obs::RequestTraceStore::Options trace_options;
+  trace_options.sample_every = 1;
+  obs::RequestTraceStore store(trace_options);
+  engine_->AttachTraceStore(&store);
+
+  obs::Trace mine("caller.trace");
+  ExecuteOptions options;
+  options.bindings = {{"wardNo", "3"}};
+  options.trace = &mine;
+  ASSERT_TRUE(engine_->Execute("nurse", doc_, "//bill", options).ok());
+  // The caller's trace got the spans; the store did not hijack it.
+  EXPECT_NE(mine.root().FindSpan("evaluate"), nullptr);
+  EXPECT_TRUE(store.Snapshot().empty());
 }
 
 TEST(EngineOptimizeStatsTest, OptimizedExecutionTouchesFewerNodes) {

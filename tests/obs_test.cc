@@ -5,7 +5,9 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
+#include <string>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -13,7 +15,10 @@
 #include "obs/export.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/policy_stats.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "obs/trace_store.h"
 
 namespace secview {
 namespace obs {
@@ -528,6 +533,340 @@ TEST(TraceTest, ScopedTimerAccumulates) {
   // Durations can legitimately round to 0us; the accumulator must at
   // least have been written without crashing.
   EXPECT_GE(total, hist.sum());
+}
+
+// -- PolicyStatsTable ---------------------------------------------------
+
+TEST(PolicyStatsTest, RollsUpPerPolicy) {
+  PolicyStatsTable table;
+  table.Record("nurse", ServeOutcome::kOk, 100, 10, 4096);
+  table.Record("nurse", ServeOutcome::kOk, 300, 20, 8192);
+  table.Record("nurse", ServeOutcome::kDenied, 50, 0, 0);
+  table.Record("admin", ServeOutcome::kTimeout, 9000, 5, 1024);
+  EXPECT_EQ(table.policies(), 2u);
+  EXPECT_EQ(table.total(), 4u);
+
+  std::vector<PolicyStatsTable::PolicySnapshot> rows = table.Snapshot();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].policy, "admin");  // sorted by policy id
+  EXPECT_EQ(rows[0].timeout, 1u);
+  EXPECT_EQ(rows[1].policy, "nurse");
+  EXPECT_EQ(rows[1].queries, 3u);
+  EXPECT_EQ(rows[1].ok, 2u);
+  EXPECT_EQ(rows[1].denied, 1u);
+  EXPECT_EQ(rows[1].nodes_touched, 30u);
+  EXPECT_EQ(rows[1].alloc_bytes, 12288u);
+  EXPECT_EQ(rows[1].latency_sum_micros, 450u);
+  EXPECT_GT(rows[1].p50_micros, 0u);
+  EXPECT_GE(rows[1].p99_micros, rows[1].p50_micros);
+}
+
+TEST(PolicyStatsTest, PercentilesTrackBucketBounds) {
+  PolicyStatsTable::Options options;
+  options.latency_bounds = {10, 100, 1000};
+  PolicyStatsTable table(options);
+  for (int i = 0; i < 99; ++i) {
+    table.Record("p", ServeOutcome::kOk, 5, 0, 0);  // first bucket
+  }
+  table.Record("p", ServeOutcome::kOk, 50'000, 0, 0);  // overflow
+  std::vector<PolicyStatsTable::PolicySnapshot> rows = table.Snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].p50_micros, 10u);
+  EXPECT_EQ(rows[0].p99_micros, 10u);
+  EXPECT_FALSE(rows[0].p99_overflow);
+  // Push the tail into the overflow bucket: p99 becomes a lower bound.
+  for (int i = 0; i < 30; ++i) {
+    table.Record("p", ServeOutcome::kOk, 50'000, 0, 0);
+  }
+  rows = table.Snapshot();
+  EXPECT_TRUE(rows[0].p99_overflow);
+  EXPECT_EQ(rows[0].p99_micros, 1000u);
+}
+
+TEST(PolicyStatsTest, ManyPoliciesAcrossStripes) {
+  PolicyStatsTable::Options options;
+  options.stripes = 4;
+  PolicyStatsTable table(options);
+  for (int i = 0; i < 100; ++i) {
+    table.Record("policy" + std::to_string(i), ServeOutcome::kOk, 10, 1, 1);
+  }
+  EXPECT_EQ(table.policies(), 100u);
+  EXPECT_EQ(table.total(), 100u);
+  std::vector<PolicyStatsTable::PolicySnapshot> rows = table.Snapshot();
+  ASSERT_EQ(rows.size(), 100u);
+  // Snapshot is globally sorted even though storage is striped.
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i - 1].policy, rows[i].policy);
+  }
+}
+
+TEST(PolicyStatsTest, RenderedTextValidatesWithHostileIds) {
+  PolicyStatsTable table;
+  // Label-value torture: backslash, double quote, newline — the three
+  // characters the Prometheus text format escapes.
+  table.Record("role\\with\"quotes\"\nand newline", ServeOutcome::kOk, 100, 1,
+               64);
+  table.Record("plain", ServeOutcome::kDenied, 5, 0, 0);
+  std::string text = RenderPolicyStatsText(table.Snapshot());
+  Status status = ValidatePrometheusText(text);
+  EXPECT_TRUE(status.ok()) << status.ToString() << "\n" << text;
+  EXPECT_NE(text.find("policy=\"role\\\\with\\\"quotes\\\"\\nand newline\""),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("secview_policy_outcome_total{policy=\"plain\","
+                      "outcome=\"denied\"} 1"),
+            std::string::npos)
+      << text;
+}
+
+TEST(PolicyStatsTest, EmptyTableRendersNothing) {
+  PolicyStatsTable table;
+  EXPECT_EQ(RenderPolicyStatsText(table.Snapshot()), "");
+  Json doc = PolicyStatsJson(table.Snapshot());
+  EXPECT_TRUE(doc.members().empty());
+}
+
+TEST(PolicyStatsTest, JsonSectionCarriesCounts) {
+  PolicyStatsTable table;
+  table.Record("nurse", ServeOutcome::kOk, 250, 12, 2048);
+  Json doc = PolicyStatsJson(table.Snapshot());
+  const Json* nurse = doc.Find("nurse");
+  ASSERT_NE(nurse, nullptr);
+  EXPECT_EQ(nurse->Find("queries")->AsNumber(), 1);
+  EXPECT_EQ(nurse->Find("alloc_bytes")->AsNumber(), 2048);
+  EXPECT_EQ(nurse->Find("nodes_touched")->AsNumber(), 12);
+}
+
+// -- RequestTraceStore --------------------------------------------------
+
+// Trace is neither copyable nor movable; fill a caller-owned one.
+void FillTrace(Trace& trace) {
+  {
+    ScopedSpan rewrite(&trace, "rewrite");
+    rewrite.SetAttr("cache", "miss");
+  }
+  ScopedSpan evaluate(&trace, "evaluate");
+}
+
+TEST(TraceStoreTest, DisabledByDefault) {
+  RequestTraceStore store;
+  EXPECT_FALSE(store.enabled());
+  Trace trace("q");
+  FillTrace(trace);
+  store.Offer("nurse", "//a", Status::OK(), 10, trace);
+  EXPECT_TRUE(store.Snapshot().empty());
+}
+
+TEST(TraceStoreTest, SamplesEveryNth) {
+  RequestTraceStore::Options options;
+  options.sample_every = 3;
+  options.slow_micros = 1'000'000;
+  RequestTraceStore store(options);
+  for (int i = 0; i < 9; ++i) {
+    Trace trace("q");
+    FillTrace(trace);
+    store.Offer("nurse", "//a", Status::OK(), 10, trace);
+  }
+  EXPECT_EQ(store.offered(), 9u);
+  std::vector<RequestTraceStore::Entry> entries = store.Snapshot();
+  ASSERT_EQ(entries.size(), 3u);
+  for (const auto& e : entries) {
+    EXPECT_EQ(e.reason, "sampled");
+    EXPECT_EQ(e.outcome, ServeOutcome::kOk);
+  }
+}
+
+TEST(TraceStoreTest, AlwaysKeepsSlowAndNonOk) {
+  RequestTraceStore::Options options;
+  options.sample_every = 1'000'000;  // head sampling essentially never
+  options.slow_micros = 500;
+  RequestTraceStore store(options);
+  {
+    // Request #0 always matches 1-in-N head sampling; burn it so the
+    // assertions below isolate the always-keep rules.
+    Trace t("warmup");
+    FillTrace(t);
+    store.Offer("p", "//warmup", Status::OK(), 10, t);
+  }
+  {
+    Trace t("fast");
+    FillTrace(t);
+    store.Offer("p", "//fast", Status::OK(), 10, t);
+  }
+  {
+    Trace t("slow");
+    FillTrace(t);
+    store.Offer("p", "//slow", Status::OK(), 900, t);
+  }
+  {
+    Trace t("denied");
+    FillTrace(t);
+    store.Offer("p", "//denied", Status::InvalidArgument("no"), 20, t);
+  }
+  {
+    Trace t("timeout");
+    FillTrace(t);
+    store.Offer("p", "//deadline", Status::DeadlineExceeded("late"), 30, t);
+  }
+  std::vector<RequestTraceStore::Entry> entries = store.Snapshot();
+  ASSERT_EQ(entries.size(), 4u);  // newest first; "fast" dropped
+  EXPECT_EQ(entries[0].reason, "timeout");
+  EXPECT_EQ(entries[1].reason, "denied");
+  EXPECT_EQ(entries[2].reason, "slow");
+  EXPECT_EQ(entries[3].reason, "sampled");  // the warmup request
+  EXPECT_EQ(entries[0].outcome, ServeOutcome::kTimeout);
+  EXPECT_EQ(entries[1].outcome, ServeOutcome::kDenied);
+}
+
+TEST(TraceStoreTest, RingWrapsKeepingNewest) {
+  RequestTraceStore::Options options;
+  options.sample_every = 1;
+  options.capacity = 4;
+  RequestTraceStore store(options);
+  for (int i = 0; i < 10; ++i) {
+    Trace t("q");
+    FillTrace(t);
+    store.Offer("p", "//q" + std::to_string(i), Status::OK(), 10, t);
+  }
+  std::vector<RequestTraceStore::Entry> entries = store.Snapshot();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[0].query, "//q9");
+  EXPECT_EQ(entries[3].query, "//q6");
+  EXPECT_EQ(store.retained(), 10u);
+}
+
+TEST(TraceStoreTest, TraceIdsUniqueAndStableAcrossScrapes) {
+  RequestTraceStore::Options options;
+  options.sample_every = 1;
+  RequestTraceStore store(options);
+  for (int i = 0; i < 8; ++i) {
+    Trace t("q");
+    FillTrace(t);
+    store.Offer("p", "//a", Status::OK(), 10, t);
+  }
+  std::vector<RequestTraceStore::Entry> first = store.Snapshot();
+  std::vector<RequestTraceStore::Entry> second = store.Snapshot();
+  ASSERT_EQ(first.size(), 8u);
+  std::set<std::string> ids;
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].trace_id, second[i].trace_id);
+    EXPECT_EQ(first[i].trace_id.size(), 16u);
+    for (char c : first[i].trace_id) {
+      EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+          << first[i].trace_id;
+    }
+    ids.insert(first[i].trace_id);
+  }
+  EXPECT_EQ(ids.size(), 8u);
+}
+
+TEST(TraceStoreTest, JsonlAndTextRenderings) {
+  RequestTraceStore::Options options;
+  options.sample_every = 1;
+  RequestTraceStore store(options);
+  Trace t("q");
+  FillTrace(t);
+  store.Offer("nurse", "//patient//bill", Status::OK(), 42, t);
+
+  std::string jsonl = store.SnapshotJsonl();
+  ASSERT_FALSE(jsonl.empty());
+  EXPECT_EQ(jsonl.back(), '\n');
+  auto parsed = Json::Parse(jsonl.substr(0, jsonl.size() - 1));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("schema")->AsString(), "secview.trace.v1");
+  EXPECT_EQ(parsed->Find("policy")->AsString(), "nurse");
+  EXPECT_EQ(parsed->Find("outcome")->AsString(), "ok");
+  const Json* spans = parsed->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_NE(spans->Find("children"), nullptr);
+  EXPECT_EQ(spans->Find("children")->items().size(), 2u);
+
+  std::string text = store.SnapshotText();
+  EXPECT_NE(text.find("//patient//bill"), std::string::npos);
+  EXPECT_NE(text.find("rewrite"), std::string::npos);
+  EXPECT_NE(text.find("evaluate"), std::string::npos);
+}
+
+// -- trace-export -------------------------------------------------------
+
+std::string OneTraceJsonl() {
+  RequestTraceStore::Options options;
+  options.sample_every = 1;
+  RequestTraceStore store(options);
+  Trace t("q");
+  FillTrace(t);
+  store.Offer("nurse", "//patient//bill", Status::OK(), 42, t);
+  Trace slow("q");
+  FillTrace(slow);
+  store.Offer("admin", "//audit", Status::InvalidArgument("x"), 10, slow);
+  return store.SnapshotJsonl();
+}
+
+TEST(TraceExportTest, ValidatesStoreOutput) {
+  std::string jsonl = OneTraceJsonl();
+  auto traces = ParseTraceJsonl(jsonl);
+  ASSERT_TRUE(traces.ok()) << traces.status().ToString();
+  EXPECT_EQ(traces->size(), 2u);
+}
+
+TEST(TraceExportTest, RejectsWrongSchemaAndMissingFields) {
+  EXPECT_FALSE(ValidateTraceLine("{\"schema\":\"other.v1\"}").ok());
+  EXPECT_FALSE(ValidateTraceLine("not json").ok());
+  EXPECT_FALSE(ParseTraceJsonl("{\"schema\":\"secview.trace.v1\"}\n").ok());
+  // A full line minus one required field must fail too.
+  std::string jsonl = OneTraceJsonl();
+  std::string line = jsonl.substr(0, jsonl.find('\n'));
+  auto doc = Json::Parse(line);
+  ASSERT_TRUE(doc.ok());
+  Json broken = *doc;
+  broken.Set("latency_micros", Json("not a number"));
+  EXPECT_FALSE(ValidateTraceLine(broken.Dump(false)).ok());
+}
+
+TEST(TraceExportTest, ChromeTraceIsStructurallyLoadable) {
+  auto traces = ParseTraceJsonl(OneTraceJsonl());
+  ASSERT_TRUE(traces.ok());
+  auto chrome = ChromeTraceJson(*traces);
+  ASSERT_TRUE(chrome.ok()) << chrome.status().ToString();
+  const Json* events = chrome->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // Per trace: 1 metadata event + 1 root span + 2 children = 4.
+  ASSERT_EQ(events->items().size(), 8u);
+  bool saw_meta = false, saw_complete = false;
+  for (const Json& ev : events->items()) {
+    const std::string ph = ev.Find("ph")->AsString();
+    if (ph == "M") {
+      saw_meta = true;
+      EXPECT_EQ(ev.Find("name")->AsString(), "thread_name");
+      ASSERT_NE(ev.Find("args"), nullptr);
+      EXPECT_NE(ev.Find("args")->Find("name"), nullptr);
+    } else {
+      ASSERT_EQ(ph, "X");
+      saw_complete = true;
+      EXPECT_NE(ev.Find("name"), nullptr);
+      EXPECT_NE(ev.Find("ts"), nullptr);
+      EXPECT_NE(ev.Find("dur"), nullptr);
+      EXPECT_NE(ev.Find("pid"), nullptr);
+      EXPECT_NE(ev.Find("tid"), nullptr);
+    }
+  }
+  EXPECT_TRUE(saw_meta);
+  EXPECT_TRUE(saw_complete);
+  // Distinct traces land on distinct tids so Perfetto draws two rows.
+  std::set<std::string> tids;
+  for (const Json& ev : events->items()) {
+    tids.insert(ev.Find("tid")->Dump(false));
+  }
+  EXPECT_EQ(tids.size(), 2u);
+}
+
+TEST(TraceExportTest, EmptyInputYieldsEmptyEventList) {
+  auto traces = ParseTraceJsonl("");
+  ASSERT_TRUE(traces.ok());
+  EXPECT_TRUE(traces->empty());
+  auto chrome = ChromeTraceJson(*traces);
+  ASSERT_TRUE(chrome.ok());
+  EXPECT_TRUE(chrome->Find("traceEvents")->items().empty());
 }
 
 }  // namespace

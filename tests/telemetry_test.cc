@@ -9,6 +9,7 @@
 #include <atomic>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -18,8 +19,10 @@
 #include "net/telemetry_server.h"
 #include "obs/export.h"
 #include "obs/json.h"
+#include "obs/policy_stats.h"
 #include "obs/serving_stats.h"
 #include "obs/slow_query_log.h"
+#include "obs/trace_store.h"
 #include "workload/hospital.h"
 
 namespace secview {
@@ -207,6 +210,34 @@ TEST(SlowQueryLogTest, RingKeepsNewestAndOrdersNewestFirst) {
   EXPECT_EQ(log.recorded(), 5u);
 }
 
+TEST(SlowQueryLogTest, ConcurrentRecordAndSnapshot) {
+  obs::SlowQueryLog::Options options;
+  options.threshold_micros = 0;
+  options.capacity = 8;
+  obs::SlowQueryLog log(options);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      std::vector<obs::SlowQueryLog::Entry> entries = log.Snapshot();
+      EXPECT_LE(entries.size(), 8u);
+      for (const auto& e : entries) EXPECT_EQ(e.policy, "nurse");
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&log, t] {
+      for (int i = 0; i < 500; ++i) {
+        log.MaybeRecord(MakeEntry("q" + std::to_string(t * 1000 + i), 100));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(log.recorded(), 2000u);
+  EXPECT_EQ(log.Snapshot().size(), 8u);
+}
+
 // ---------------------------------------------------------------------------
 // TelemetryServer routing + end to end against a live engine
 
@@ -239,10 +270,19 @@ class TelemetryServerTest : public ::testing::Test {
     window_ = std::make_unique<obs::SlidingWindowStats>();
     engine_->AttachServingObservers(window_.get(), slow_log_.get());
 
+    policy_stats_ = std::make_unique<obs::PolicyStatsTable>();
+    engine_->AttachPolicyStats(policy_stats_.get());
+    obs::RequestTraceStore::Options trace_options;
+    trace_options.sample_every = 1;  // trace every execution
+    traces_ = std::make_unique<obs::RequestTraceStore>(trace_options);
+    engine_->AttachTraceStore(traces_.get());
+
     net::TelemetryServer::Options options;
     options.ready = [this] { return engine_->sealed(); };
     options.window = window_.get();
     options.slow_log = slow_log_.get();
+    options.policy_stats = policy_stats_.get();
+    options.traces = traces_.get();
     server_ = std::make_unique<net::TelemetryServer>(&engine_->metrics(),
                                                      options);
   }
@@ -271,6 +311,8 @@ class TelemetryServerTest : public ::testing::Test {
   std::unique_ptr<XmlTree> doc_;
   std::unique_ptr<obs::SlidingWindowStats> window_;
   std::unique_ptr<obs::SlowQueryLog> slow_log_;
+  std::unique_ptr<obs::PolicyStatsTable> policy_stats_;
+  std::unique_ptr<obs::RequestTraceStore> traces_;
   std::unique_ptr<net::TelemetryServer> server_;
 };
 
@@ -332,6 +374,86 @@ TEST_F(TelemetryServerTest, StatuszReportsServingStateAndSlowQueries) {
   EXPECT_EQ(window_->Snapshot(10).denied, 1u);
 }
 
+TEST_F(TelemetryServerTest, MetricsRouteIncludesPolicySeries) {
+  engine_->Seal();
+  ExecuteSome();
+  net::HttpResponse response = server_->Handle(Get("/metrics"));
+  ASSERT_EQ(response.status, 200);
+  Status valid = obs::ValidatePrometheusText(response.body);
+  EXPECT_TRUE(valid.ok()) << valid;
+  EXPECT_NE(response.body.find("secview_policy_queries_total{policy=\"nurse\"}"),
+            std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find(
+                "secview_policy_outcome_total{policy=\"nurse\",outcome=\"ok\"}"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("secview_policy_latency_micros{policy=\"nurse\","
+                               "quantile=\"0.99\"}"),
+            std::string::npos);
+}
+
+TEST_F(TelemetryServerTest, VarzCarriesPolicyStatsSection) {
+  engine_->Seal();
+  ExecuteSome();
+  net::HttpResponse response = server_->Handle(Get("/varz"));
+  ASSERT_EQ(response.status, 200);
+  auto parsed = obs::Json::Parse(response.body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const obs::Json* policies = parsed->Find("policy_stats");
+  ASSERT_NE(policies, nullptr);
+  const obs::Json* nurse = policies->Find("nurse");
+  ASSERT_NE(nurse, nullptr);
+  EXPECT_EQ(nurse->Find("queries")->AsNumber(), 4);  // 3 ok + 1 denied
+  EXPECT_EQ(nurse->Find("denied")->AsNumber(), 1);
+}
+
+TEST_F(TelemetryServerTest, TracezServesTextAndJsonl) {
+  engine_->Seal();
+  ExecuteSome();
+
+  net::HttpResponse text = server_->Handle(Get("/tracez"));
+  ASSERT_EQ(text.status, 200);
+  EXPECT_NE(text.body.find("request traces:"), std::string::npos);
+  EXPECT_NE(text.body.find("//patient//bill"), std::string::npos);
+  EXPECT_NE(text.body.find("evaluate"), std::string::npos) << text.body;
+
+  net::HttpResponse jsonl = server_->Handle(Get("/tracez?format=json"));
+  ASSERT_EQ(jsonl.status, 200);
+  EXPECT_EQ(jsonl.content_type, "application/x-ndjson");
+  size_t lines = 0;
+  size_t pos = 0;
+  while ((pos = jsonl.body.find('\n', pos)) != std::string::npos) {
+    ++pos;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 4u);  // sample_every=1: all 4 executions retained
+  auto first = obs::Json::Parse(jsonl.body.substr(0, jsonl.body.find('\n')));
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->Find("schema")->AsString(), "secview.trace.v1");
+  EXPECT_EQ(first->Find("policy")->AsString(), "nurse");
+  ASSERT_NE(first->Find("spans"), nullptr);
+
+  // Same entries, same ids on a second scrape.
+  net::HttpResponse again = server_->Handle(Get("/tracez?format=json"));
+  EXPECT_EQ(again.body, jsonl.body);
+
+  EXPECT_EQ(server_->Handle(Get("/tracez?format=xml")).status, 400);
+}
+
+TEST_F(TelemetryServerTest, StatuszShowsPolicyAndTraceSections) {
+  engine_->Seal();
+  ExecuteSome();
+  net::HttpResponse response = server_->Handle(Get("/statusz"));
+  ASSERT_EQ(response.status, 200);
+  const std::string& body = response.body;
+  EXPECT_NE(body.find("per-policy"), std::string::npos);
+  EXPECT_NE(body.find("nurse: 4 queries"), std::string::npos) << body;
+  EXPECT_NE(body.find("request traces"), std::string::npos);
+  EXPECT_NE(body.find("sample 1/1"), std::string::npos);
+  // The slow-query section now carries per-query allocation churn.
+  EXPECT_NE(body.find("alloc="), std::string::npos);
+}
+
 TEST_F(TelemetryServerTest, UnknownRouteIs404) {
   EXPECT_EQ(server_->Handle(Get("/nope")).status, 404);
   EXPECT_EQ(server_->Handle(Get("/")).status, 200);
@@ -357,6 +479,23 @@ TEST_F(TelemetryServerTest, EndToEndScrapeWhileServing) {
       } else {
         bad_scrapes.fetch_add(1);
       }
+      // /tracez races the workers Offering traces; every line must still
+      // be a complete secview.trace.v1 object.
+      auto tracez =
+          net::HttpGet("127.0.0.1", server_->port(), "/tracez?format=json");
+      if (!tracez.ok() || tracez->status != 200) {
+        bad_scrapes.fetch_add(1);
+        continue;
+      }
+      std::string_view rest = tracez->body;
+      bool lines_ok = true;
+      while (!rest.empty()) {
+        size_t nl = rest.find('\n');
+        if (nl == std::string_view::npos) break;
+        lines_ok &= obs::Json::Parse(rest.substr(0, nl)).ok();
+        rest.remove_prefix(nl + 1);
+      }
+      if (!lines_ok) bad_scrapes.fetch_add(1);
     }
   });
 
@@ -383,6 +522,9 @@ TEST_F(TelemetryServerTest, EndToEndScrapeWhileServing) {
   ASSERT_TRUE(statusz.ok()) << statusz.status();
   EXPECT_NE(statusz->body.find("engine.pool.tasks"), std::string::npos);
   EXPECT_GT(window_->Snapshot(60).count, 0u);
+  // The workers fed the trace ring and the policy table while we scraped.
+  EXPECT_GT(traces_->retained(), 0u);
+  EXPECT_EQ(policy_stats_->total(), window_->total());
   server_->Stop();
 }
 
