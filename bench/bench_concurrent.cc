@@ -171,8 +171,8 @@ ServeResult ServeAtThreadCount(const XmlTree& doc, size_t threads,
   size_t executed = Workload().size() * rounds;
   out.qps = seconds > 0 ? static_cast<double>(executed) / seconds : 0.0;
   obs::MetricsRegistry& metrics = (*engine)->metrics();
-  out.hits = metrics.GetCounter("engine.rewrite_cache.hits").value();
-  out.misses = metrics.GetCounter("engine.rewrite_cache.misses").value();
+  out.hits = metrics.GetCounter("engine.cache.hits").value();
+  out.misses = metrics.GetCounter("engine.cache.misses").value();
   out.hit_rate = out.hits + out.misses > 0
                      ? static_cast<double>(out.hits) /
                            static_cast<double>(out.hits + out.misses)

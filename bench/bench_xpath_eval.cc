@@ -12,6 +12,7 @@
 #include "workload/generator.h"
 #include "xpath/evaluator.h"
 #include "xpath/parser.h"
+#include "xpath/profiler.h"
 
 namespace secview {
 namespace {
@@ -70,8 +71,9 @@ BENCHMARK(BM_DescendantDeep)->Arg(1'000'000)->Arg(8'000'000);
 BENCHMARK(BM_WildcardChain)->Arg(1'000'000)->Arg(8'000'000);
 
 /// --metrics-json workload: run each benchmark query once against the
-/// 1 MB document with a registry attached, emitting the evaluator's
-/// eval.* counters as a trajectory point (fixed seed, deterministic).
+/// 1 MB document with a registry and plan profiler attached, emitting
+/// the evaluator's eval.* counters plus the per-axis eval.axis.*
+/// attribution as a trajectory point (fixed seed, deterministic).
 int EmitEvalMetrics(const std::string& path) {
   obs::MetricsRegistry registry;
   const XmlTree& doc = AdexDoc(1'000'000);
@@ -85,8 +87,11 @@ int EmitEvalMetrics(const std::string& path) {
     if (!q.ok()) return 1;
     XPathEvaluator evaluator(doc);
     evaluator.set_metrics(&registry);
+    PlanProfiler profiler;
+    evaluator.set_profiler(&profiler);
     obs::ScopedTimer timer(&registry.GetHistogram("phase.evaluate.micros"));
     if (!evaluator.Evaluate(*q, doc.root()).ok()) return 1;
+    FlushStepProfileMetrics(profiler.root(), registry);
   }
   return benchutil::EmitMetricsJson(path, "bench_xpath_eval", registry);
 }

@@ -33,6 +33,12 @@ scripts/telemetry_smoke.sh "$BUILD_DIR"
 # `trace-export --validate` and `--chrome`.
 scripts/trace_smoke.sh "$BUILD_DIR"
 
+# Plan-profiling smoke: query --profile step tables, the /profilez
+# rollup under serve --profile, a secview.profile.v1 JSONL round-trip
+# through profile-top, and an off-mode throughput sanity A/B. Export
+# SECVIEW_BASELINE_BIN=<pre-profiler secview> for a strict 2% gate.
+scripts/profile_smoke.sh "$BUILD_DIR"
+
 # The allocation tracker replaces global operator new/delete; run its
 # unit suite under the ASan build by name to prove the hooks compose
 # with the sanitizer's malloc interposition (forwarding to std::malloc

@@ -1,5 +1,6 @@
 #include "cli/cli.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -28,6 +29,7 @@
 #include "obs/audit.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/plan_profile.h"
 #include "obs/serving_stats.h"
 #include "obs/policy_stats.h"
 #include "obs/slow_query_log.h"
@@ -47,6 +49,7 @@
 #include "xpath/evaluator.h"
 #include "xpath/parser.h"
 #include "xpath/printer.h"
+#include "xpath/profiler.h"
 
 namespace secview {
 
@@ -62,6 +65,7 @@ usage:
   secview query       --dtd FILE (--spec FILE | --view FILE) --xml FILE
                       --query XPATH [--bind NAME=VALUE]... [--no-optimize]
                       [--extract] [--stats] [--trace-json FILE]
+                      [--profile] [--profile-json FILE]
                       [--audit-log FILE [--audit-max-bytes N]]
                       [--metrics-prom FILE] [--metrics-snapshot-dir DIR]
                       [--deadline-ms N] [--max-nodes N] [--max-parse-depth N]
@@ -73,7 +77,7 @@ usage:
                       [--no-optimize] [--metrics-prom FILE]
                       [--deadline-ms N] [--max-nodes N] [--queue-cap N]
                       [--telemetry-addr HOST:PORT] [--port-file FILE]
-                      [--slow-query-micros N] [--trace-sample N]
+                      [--slow-query-micros N] [--trace-sample N] [--profile]
   secview serve       --dtd FILE --spec FILE --xml FILE
                       [--telemetry-addr HOST:PORT] [--port-file FILE]
                       [--queries FILE [--replay-delay-ms N]]
@@ -81,9 +85,11 @@ usage:
                       [--trace-sample N] [--trace-capacity N]
                       [--max-seconds N] [--bind NAME=VALUE]...
                       [--no-optimize] [--deadline-ms N] [--max-nodes N]
+                      [--profile]
   secview scrape      (--addr HOST:PORT | --port N) [--path TARGET]
                       [--validate-prom] [--timeout-ms N]
   secview trace-export --in FILE [--chrome] [--out FILE] [--validate]
+  secview profile-top --in FILE [--k N]
   secview materialize --dtd FILE --spec FILE --xml FILE [--bind NAME=VALUE]...
   secview generate    --dtd FILE [--bytes N] [--seed N] [--branch N]
   secview help
@@ -156,6 +162,20 @@ and exposed as labeled series on /metrics, a policy_stats section on
 trace.v1 JSONL file (--validate alone checks and reports); with
 --chrome it converts the traces to Chrome trace-event JSON (--out,
 default stdout) loadable in Perfetto or chrome://tracing.
+
+Plan profiling (docs/observability.md): `query --profile` appends an
+EXPLAIN ANALYZE-style per-step cost table to the output — every plan
+step's invocations, in/out cardinality, exclusive node touches and
+predicate evaluations, and self/total wall time — and `query
+--profile-json FILE` writes the same tree as one secview.profile.v1
+JSONL line ('-' for stdout). `serve --profile` and `bench-serve
+--profile` keep a cross-query rollup of the hottest steps, served live
+at /profilez (text; ?k=N bounds the rows) and /profilez?format=json;
+bench-serve prints the top steps after the run. `profile-top --in
+FILE` validates a profile JSONL file and renders the aggregated
+hottest steps (--k sets the row count, default 10). Profiled slow-log
+and /tracez entries carry a `hot_step` one-liner naming the costliest
+step.
 )";
 
 /// Parsed command line: flags with values, boolean switches, repeated
@@ -176,7 +196,7 @@ Result<Args> ParseArgs(const std::vector<std::string>& argv) {
     if (arg == "--show-sigma" || arg == "--no-optimize" ||
         arg == "--extract" || arg == "--stats" || arg == "--json" ||
         arg == "--validate-prom" || arg == "--chrome" ||
-        arg == "--validate") {
+        arg == "--validate" || arg == "--profile") {
       args.switches[arg] = true;
       continue;
     }
@@ -426,6 +446,31 @@ Status DumpPrometheus(const Args& args, const obs::MetricsRegistry& metrics,
   return Status::OK();
 }
 
+/// Writes the secview.profile.v1 JSONL line to the --profile-json
+/// target ('-' = `out`).
+Status DumpProfileJson(const Args& args, const StepProfile& profile,
+                       const std::string& policy,
+                       const std::string& query_text, std::ostream& out) {
+  auto it = args.values.find("--profile-json");
+  if (it == args.values.end()) return Status::OK();
+  std::string body =
+      ProfileLineJson(profile, policy, query_text,
+                      obs::AuditEvent::NowUnixMicros())
+          .Dump(/*pretty=*/false);
+  body += "\n";
+  if (it->second == "-") {
+    out << body;
+    return Status::OK();
+  }
+  std::ofstream file(it->second, std::ios::binary);
+  if (!file) {
+    return Status::NotFound("cannot open for writing: " + it->second);
+  }
+  file << body;
+  if (!file.good()) return Status::Internal("failed writing " + it->second);
+  return Status::OK();
+}
+
 Status CmdQuery(const Args& args, std::ostream& out) {
   SECVIEW_ASSIGN_OR_RETURN(ServeLimits limits, LoadServeLimits(args));
   SECVIEW_ASSIGN_OR_RETURN(DtdBundle bundle, LoadDtdBundle(args));
@@ -435,6 +480,8 @@ Status CmdQuery(const Args& args, std::ostream& out) {
   const bool use_view_file = args.values.count("--view") > 0;
   const bool optimize = !args.switches.count("--no-optimize");
   const bool want_stats = args.switches.count("--stats") > 0;
+  const bool want_profile = args.switches.count("--profile") > 0 ||
+                            args.values.count("--profile-json") > 0;
   obs::Trace trace("secview.query");
 
   if (use_view_file && args.values.count("--audit-log")) {
@@ -473,6 +520,7 @@ Status CmdQuery(const Args& args, std::ostream& out) {
     options.audit = audit_log.get();
     options.limits = limits.budget;
     options.parse_limits = limits.xpath;
+    options.profile = want_profile;
     Result<ExecuteResult> executed =
         engine->Execute("policy", doc, query_text, options);
     // The final snapshot and the audit record must land even when the
@@ -510,6 +558,13 @@ Status CmdQuery(const Args& args, std::ostream& out) {
           << " ast_rewritten=" << s.ast_size_rewritten
           << " ast_evaluated=" << s.ast_size_evaluated << "\n";
       out << engine->metrics().ToText();
+    }
+    if (result.profile != nullptr) {
+      if (args.switches.count("--profile")) {
+        out << StepProfileText(*result.profile);
+      }
+      SECVIEW_RETURN_IF_ERROR(
+          DumpProfileJson(args, *result.profile, "policy", query_text, out));
     }
     if (audit_log != nullptr) {
       out << "# audit: " << audit_log->events() << " event(s) appended to "
@@ -559,14 +614,24 @@ Status CmdQuery(const Args& args, std::ostream& out) {
   }
   out << "# evaluated: " << ToXPathString(bound) << "\n";
   NodeSet nodes;
+  std::unique_ptr<StepProfile> profile;
   {
     obs::ScopedSpan span(&trace, "evaluate");
     obs::ScopedTimer timer(&metrics.GetHistogram("phase.evaluate.micros"));
     XPathEvaluator evaluator(doc);
     evaluator.set_metrics(&metrics);
+    std::optional<PlanProfiler> profiler;
+    if (want_profile) {
+      profiler.emplace();
+      evaluator.set_profiler(&*profiler);
+    }
     SECVIEW_ASSIGN_OR_RETURN(nodes, evaluator.Evaluate(bound, doc.root()));
     span.SetAttr("nodes_touched", evaluator.counters().nodes_touched);
     span.SetAttr("results", static_cast<uint64_t>(nodes.size()));
+    if (want_profile) {
+      profile = profiler->TakeRoot();
+      FlushStepProfileMetrics(*profile, metrics);
+    }
   }
   out << "# results: " << nodes.size() << "\n";
   for (NodeId n : nodes) {
@@ -576,6 +641,11 @@ Status CmdQuery(const Args& args, std::ostream& out) {
     out << "\n";
   }
   if (want_stats) out << metrics.ToText();
+  if (profile != nullptr) {
+    if (args.switches.count("--profile")) out << StepProfileText(*profile);
+    SECVIEW_RETURN_IF_ERROR(
+        DumpProfileJson(args, *profile, "view", query_text, out));
+  }
   SECVIEW_RETURN_IF_ERROR(DumpPrometheus(args, metrics, out));
   return DumpTraceJson(args, trace, out);
 }
@@ -688,6 +758,7 @@ struct TelemetryBundle {
   obs::SlowQueryLog slow_log;
   obs::PolicyStatsTable policy_stats;
   obs::RequestTraceStore traces;
+  obs::PlanProfileTable plan_profiles;
   std::unique_ptr<net::TelemetryServer> server;
 
   TelemetryBundle(obs::SlowQueryLog::Options slow_options,
@@ -729,6 +800,9 @@ Result<std::unique_ptr<TelemetryBundle>> StartTelemetry(
   engine.AttachServingObservers(&bundle->window, &bundle->slow_log);
   engine.AttachPolicyStats(&bundle->policy_stats);
   engine.AttachTraceStore(&bundle->traces);
+  if (args.switches.count("--profile")) {
+    engine.AttachPlanProfiles(&bundle->plan_profiles);
+  }
 
   net::TelemetryServer::Options server_options;
   server_options.http.bind_address = addr.first;
@@ -738,11 +812,16 @@ Result<std::unique_ptr<TelemetryBundle>> StartTelemetry(
   server_options.slow_log = &bundle->slow_log;
   server_options.policy_stats = &bundle->policy_stats;
   server_options.traces = &bundle->traces;
+  // Only exposed when profiling is on, so /profilez distinguishes "not
+  // profiling" from "profiling but nothing recorded yet".
+  if (args.switches.count("--profile")) {
+    server_options.plan_profiles = &bundle->plan_profiles;
+  }
   bundle->server = std::make_unique<net::TelemetryServer>(&engine.metrics(),
                                                           server_options);
   SECVIEW_RETURN_IF_ERROR(bundle->server->Start());
   out << "# telemetry: http://" << addr.first << ":" << bundle->server->port()
-      << " (/metrics /varz /healthz /statusz /tracez)\n";
+      << " (/metrics /varz /healthz /statusz /tracez /profilez)\n";
   auto port_file = args.values.find("--port-file");
   if (port_file != args.values.end()) {
     SECVIEW_RETURN_IF_ERROR(
@@ -905,6 +984,20 @@ Status CmdBenchServe(const Args& args, std::ostream& out) {
       std::unique_ptr<TelemetryBundle> telemetry,
       StartTelemetry(args, *engine, /*require=*/false, out));
 
+  // With --profile every execution feeds a cross-query hot-step table;
+  // StartTelemetry already attached the bundle's table when telemetry is
+  // live, otherwise a run-local table collects for the end-of-run print.
+  obs::PlanProfileTable local_profiles;
+  const obs::PlanProfileTable* profiles = nullptr;
+  if (args.switches.count("--profile")) {
+    if (telemetry != nullptr) {
+      profiles = &telemetry->plan_profiles;
+    } else {
+      engine->AttachPlanProfiles(&local_profiles);
+      profiles = &local_profiles;
+    }
+  }
+
   QueryWorkerPool::Options pool_options;
   pool_options.threads = threads;
   pool_options.queue_cap = static_cast<size_t>(queue_cap);
@@ -937,8 +1030,8 @@ Status CmdBenchServe(const Args& args, std::ostream& out) {
   double qps = seconds > 0 ? static_cast<double>(executed) / seconds : 0.0;
 
   obs::MetricsRegistry& metrics = engine->metrics();
-  uint64_t hits = metrics.GetCounter("engine.rewrite_cache.hits").value();
-  uint64_t misses = metrics.GetCounter("engine.rewrite_cache.misses").value();
+  uint64_t hits = metrics.GetCounter("engine.cache.hits").value();
+  uint64_t misses = metrics.GetCounter("engine.cache.misses").value();
   double hit_rate =
       hits + misses > 0
           ? static_cast<double>(hits) / static_cast<double>(hits + misses)
@@ -968,6 +1061,11 @@ Status CmdBenchServe(const Args& args, std::ostream& out) {
         << " request(s) served, window(60s) " << window.count
         << " queries at " << window.qps << " qps\n";
     telemetry->server->Stop();
+  }
+  if (profiles != nullptr) {
+    out << "\n"
+        << obs::RenderPlanProfileText(profiles->Snapshot(), /*top_k=*/10,
+                                      profiles->queries());
   }
   return DumpPrometheus(args, metrics, out);
 }
@@ -1006,6 +1104,33 @@ Status CmdTraceExport(const Args& args, std::ostream& out) {
   if (args.switches.count("--validate")) {
     out << "ok: " << traces.size() << " trace(s) validated\n";
   }
+  return Status::OK();
+}
+
+Status CmdProfileTop(const Args& args, std::ostream& out) {
+  SECVIEW_ASSIGN_OR_RETURN(std::string in_path, Required(args, "--in"));
+  SECVIEW_ASSIGN_OR_RETURN(std::string text, ReadFile(in_path));
+  // Parsing validates every line (schema tag, plan-tree shape, and the
+  // exclusive-nodes-sum invariant) before anything is aggregated.
+  SECVIEW_ASSIGN_OR_RETURN(std::vector<obs::Json> lines,
+                           obs::ParseProfileJsonl(text));
+  SECVIEW_ASSIGN_OR_RETURN(uint64_t k, CountFlag(args, "--k", 10));
+  if (k == 0) k = 1;
+  std::vector<obs::PlanStepRecord> rows;
+  for (const obs::Json& line : lines) {
+    const obs::Json* plan = line.Find("plan");
+    if (plan == nullptr) continue;  // unreachable: validation requires it
+    SECVIEW_RETURN_IF_ERROR(obs::FlattenProfilePlanJson(*plan, &rows));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const obs::PlanStepRecord& a, const obs::PlanStepRecord& b) {
+              if (a.nodes_touched != b.nodes_touched) {
+                return a.nodes_touched > b.nodes_touched;
+              }
+              return a.signature < b.signature;
+            });
+  out << obs::RenderPlanProfileText(rows, static_cast<size_t>(k),
+                                    lines.size());
   return Status::OK();
 }
 
@@ -1077,6 +1202,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     status = CmdScrape(*parsed, out);
   } else if (parsed->command == "trace-export") {
     status = CmdTraceExport(*parsed, out);
+  } else if (parsed->command == "profile-top") {
+    status = CmdProfileTop(*parsed, out);
   } else if (parsed->command == "materialize") {
     status = CmdMaterialize(*parsed, out);
   } else if (parsed->command == "generate") {

@@ -6,6 +6,7 @@
 #include "common/alloc_tracker.h"
 #include "engine/explain.h"
 #include "obs/audit.h"
+#include "obs/plan_profile.h"
 #include "obs/policy_stats.h"
 #include "obs/serving_stats.h"
 #include "obs/slow_query_log.h"
@@ -16,6 +17,7 @@
 #include "security/spec_parser.h"
 #include "xpath/parser.h"
 #include "xpath/printer.h"
+#include "xpath/profiler.h"
 
 namespace secview {
 
@@ -66,8 +68,8 @@ SecureQueryEngine::SecureQueryEngine(std::unique_ptr<Dtd> dtd,
   hot_.execute_errors = &metrics_.GetCounter("engine.execute_errors");
   hot_.rejected_deadline = &metrics_.GetCounter("engine.rejected.deadline");
   hot_.rejected_budget = &metrics_.GetCounter("engine.rejected.budget");
-  hot_.cache_hits = &metrics_.GetCounter("engine.rewrite_cache.hits");
-  hot_.cache_misses = &metrics_.GetCounter("engine.rewrite_cache.misses");
+  hot_.cache_hits = &metrics_.GetCounter("engine.cache.hits");
+  hot_.cache_misses = &metrics_.GetCounter("engine.cache.misses");
   hot_.cache_evictions = &metrics_.GetCounter("engine.cache.evictions");
   hot_.cache_size = &metrics_.GetGauge("engine.cache.size");
   hot_.execute_micros = &metrics_.GetHistogram("engine.execute.micros");
@@ -408,6 +410,14 @@ Status SecureQueryEngine::ExecuteInto(const std::string& policy_name,
     XPathEvaluator evaluator(doc);
     evaluator.set_metrics(&metrics_);
     evaluator.set_budget(budget_ptr);
+    // EXPLAIN ANALYZE mode: opt-in per execution, or always-on while a
+    // cross-query /profilez table is attached.
+    const bool profile_on = options.profile || plan_profiles_ != nullptr;
+    std::optional<PlanProfiler> profiler;
+    if (profile_on) {
+      profiler.emplace();
+      evaluator.set_profiler(&*profiler);
+    }
     SECVIEW_ASSIGN_OR_RETURN(result.nodes,
                              evaluator.Evaluate(to_run, doc.root()));
     result.stats.nodes_touched = evaluator.counters().nodes_touched;
@@ -415,6 +425,18 @@ Status SecureQueryEngine::ExecuteInto(const std::string& policy_name,
     span.SetAttr("nodes_touched", result.stats.nodes_touched);
     span.SetAttr("predicate_evals", result.stats.predicate_evals);
     span.SetAttr("results", static_cast<uint64_t>(result.nodes.size()));
+    if (profile_on) {
+      std::shared_ptr<const StepProfile> profile = profiler->TakeRoot();
+      result.stats.hot_step = HotStepLine(*profile);
+      FlushStepProfileMetrics(*profile, metrics_);
+      if (plan_profiles_ != nullptr) {
+        plan_profiles_->Record(FlattenStepProfile(*profile));
+      }
+      if (!result.stats.hot_step.empty()) {
+        span.SetAttr("hot_step", result.stats.hot_step);
+      }
+      result.profile = std::move(profile);
+    }
   }
   result.stats.result_count = result.nodes.size();
   hot_.results_returned->Add(static_cast<uint64_t>(result.nodes.size()));
@@ -431,6 +453,11 @@ void SecureQueryEngine::AttachServingObservers(obs::SlidingWindowStats* window,
 
 void SecureQueryEngine::AttachPolicyStats(obs::PolicyStatsTable* policy_stats) {
   policy_stats_ = policy_stats;
+}
+
+void SecureQueryEngine::AttachPlanProfiles(
+    obs::PlanProfileTable* plan_profiles) {
+  plan_profiles_ = plan_profiles;
 }
 
 void SecureQueryEngine::AttachTraceStore(obs::RequestTraceStore* traces) {
@@ -516,12 +543,16 @@ Result<ExecuteResult> SecureQueryEngine::Execute(
       entry.predicate_evals = result.stats.predicate_evals;
       entry.results = static_cast<uint64_t>(result.stats.result_count);
       entry.alloc_bytes = result.stats.alloc_bytes;
+      entry.hot_step = result.stats.hot_step;
       slow_log_->MaybeRecord(std::move(entry));
     }
   }
   if (request_trace.has_value()) {
     request_trace->root().SetAttr("alloc_bytes", result.stats.alloc_bytes);
     request_trace->root().SetAttr("alloc_count", result.stats.alloc_count);
+    if (!result.stats.hot_step.empty()) {
+      request_trace->root().SetAttr("hot_step", result.stats.hot_step);
+    }
     trace_store_->Offer(policy_name, query_text, status, latency_micros,
                         *request_trace);
   }

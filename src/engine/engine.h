@@ -26,6 +26,7 @@ namespace secview {
 
 namespace obs {
 class AuditSink;
+class PlanProfileTable;
 class PolicyStatsTable;
 class RequestTraceStore;
 class SlidingWindowStats;
@@ -34,6 +35,7 @@ class SlowQueryLog;
 
 struct QueryExplain;
 struct ExplainOptions;
+struct StepProfile;
 
 /// Engine-construction knobs (defaults fit tests and the CLI; servers
 /// tune them once at startup).
@@ -86,6 +88,15 @@ struct ExecuteOptions {
   /// decision trail (see engine/explain.h). Adds a non-cached explain
   /// pass on top of the normal preparation.
   QueryExplain* explain = nullptr;
+
+  /// Collect a per-step plan profile (EXPLAIN ANALYZE) for this
+  /// execution: ExecuteResult::profile carries the StepProfile tree,
+  /// ExecuteStats::hot_step the hottest step's one-liner, and the
+  /// per-axis eval.axis.* metrics are charged. Results are identical
+  /// with and without profiling; the off path costs one pointer compare
+  /// per plan-node invocation. Profiling is also implied (regardless of
+  /// this flag) while a PlanProfileTable is attached.
+  bool profile = false;
 };
 
 /// Structured per-execution statistics (the successor of the old bare
@@ -138,6 +149,11 @@ struct ExecuteStats {
   uint64_t nonexistence_prunes = 0;
   uint64_t simulation_tests = 0;
   uint64_t union_prunes = 0;
+
+  /// Hottest plan step when this execution was profiled (e.g.
+  /// "descendant::patient nodes=1234"); empty otherwise. Rides along on
+  /// slow-query-log entries and sampled request traces.
+  std::string hot_step;
 };
 
 /// Execution outcome with provenance, for auditing and the CLI.
@@ -150,6 +166,11 @@ struct ExecuteResult {
   PathPtr evaluated;
   /// Per-execution cost and provenance statistics.
   ExecuteStats stats;
+
+  /// Per-step plan profile (xpath/profiler.h); non-null only when the
+  /// execution ran with ExecuteOptions::profile (or an attached
+  /// PlanProfileTable) and evaluation succeeded.
+  std::shared_ptr<const StepProfile> profile;
 
   /// Evaluator node touches — backward-compatible accessor for the old
   /// `work` field.
@@ -232,6 +253,12 @@ class SecureQueryEngine {
   /// (queries, outcome mix, nodes touched, alloc bytes, latency). Same
   /// lifetime/attachment discipline as AttachServingObservers.
   void AttachPolicyStats(obs::PolicyStatsTable* policy_stats);
+
+  /// Attaches the cross-query hot-step rollup (the /profilez table):
+  /// every Execute runs with plan profiling on and merges its flattened
+  /// StepProfile into the table, keyed by canonical step signature.
+  /// Same lifetime/attachment discipline as AttachServingObservers.
+  void AttachPlanProfiles(obs::PlanProfileTable* plan_profiles);
 
   /// Attaches the sampled request-trace store. When the store is enabled
   /// (sample_every > 0) and the caller did not pass its own trace,
@@ -417,6 +444,7 @@ class SecureQueryEngine {
   obs::SlidingWindowStats* window_stats_ = nullptr;
   obs::SlowQueryLog* slow_log_ = nullptr;
   obs::PolicyStatsTable* policy_stats_ = nullptr;
+  obs::PlanProfileTable* plan_profiles_ = nullptr;
   obs::RequestTraceStore* trace_store_ = nullptr;
   std::atomic<bool> sealed_{false};
 };

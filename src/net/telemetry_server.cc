@@ -98,6 +98,43 @@ HttpResponse TelemetryServer::Handle(const HttpRequest& request) const {
     }
     return HttpResponse::Text(200, options_.traces->SnapshotText());
   }
+  if (target == "/profilez" || target.rfind("/profilez?", 0) == 0) {
+    if (options_.plan_profiles == nullptr) {
+      return HttpResponse::Text(200, "no plan-profile table attached\n");
+    }
+    if (target == "/profilez?format=json") {
+      HttpResponse response;
+      response.content_type = "application/json";
+      response.body =
+          obs::PlanProfileJson(options_.plan_profiles->Snapshot(),
+                               options_.plan_profiles->queries())
+              .Dump(true);
+      response.body += "\n";
+      return response;
+    }
+    size_t top_k = 20;
+    if (target != "/profilez") {
+      constexpr std::string_view kTopK = "/profilez?k=";
+      if (target.rfind(kTopK, 0) != 0) {
+        return HttpResponse::Text(400,
+                                  "unknown /profilez parameter (try "
+                                  "/profilez, /profilez?k=N, or "
+                                  "/profilez?format=json)\n");
+      }
+      top_k = 0;
+      for (char c : std::string_view(target).substr(kTopK.size())) {
+        if (c < '0' || c > '9') {
+          return HttpResponse::Text(400, "bad /profilez?k= value\n");
+        }
+        top_k = top_k * 10 + static_cast<size_t>(c - '0');
+      }
+      if (top_k == 0) top_k = 1;
+    }
+    return HttpResponse::Text(
+        200, obs::RenderPlanProfileText(options_.plan_profiles->Snapshot(),
+                                        top_k,
+                                        options_.plan_profiles->queries()));
+  }
   if (target == "/healthz") {
     bool ready = !options_.ready || options_.ready();
     return ready ? HttpResponse::Text(200, "ok\n")
@@ -107,8 +144,9 @@ HttpResponse TelemetryServer::Handle(const HttpRequest& request) const {
     return HttpResponse::Text(200, RenderStatusz());
   }
   if (target == "/") {
-    return HttpResponse::Text(
-        200, "secview telemetry: /metrics /varz /healthz /statusz /tracez\n");
+    return HttpResponse::Text(200,
+                              "secview telemetry: /metrics /varz /healthz "
+                              "/statusz /tracez /profilez\n");
   }
   return HttpResponse::Text(404, "no such endpoint: " + target + "\n");
 }
@@ -140,6 +178,19 @@ std::string TelemetryServer::RenderStatusz() const {
   obs::MetricsSnapshot snapshot = registry_->Collect();
   out << "\nrewrite cache\n";
   bool any_cache = false;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "engine.cache.hits") cache_hits = value;
+    if (name == "engine.cache.misses") cache_misses = value;
+  }
+  if (cache_hits + cache_misses > 0) {
+    out << "  hit rate: "
+        << FormatRate(static_cast<double>(cache_hits) /
+                      static_cast<double>(cache_hits + cache_misses))
+        << " (" << cache_hits << " hits, " << cache_misses << " misses)\n";
+    any_cache = true;
+  }
   for (const auto& [name, value] : snapshot.gauges) {
     std::string_view n = name;
     if (n == "engine.cache.size") {
@@ -230,8 +281,9 @@ std::string TelemetryServer::RenderStatusz() const {
           << e.latency_micros << "us policy=" << e.policy
           << " cache=" << (e.cache_hit ? "hit" : "miss")
           << " nodes=" << e.nodes_touched << " preds=" << e.predicate_evals
-          << " results=" << e.results << " alloc=" << e.alloc_bytes
-          << "B query=" << e.query << "\n";
+          << " results=" << e.results << " alloc=" << e.alloc_bytes << "B";
+      if (!e.hot_step.empty()) out << " hot=" << e.hot_step;
+      out << " query=" << e.query << "\n";
     }
   } else {
     out << "\n  no slow-query log attached\n";

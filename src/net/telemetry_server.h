@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "net/http_server.h"
 #include "obs/metrics.h"
+#include "obs/plan_profile.h"
 #include "obs/policy_stats.h"
 #include "obs/serving_stats.h"
 #include "obs/slow_query_log.h"
@@ -32,6 +33,10 @@ namespace secview::net {
 ///   /tracez   - sampled request traces (obs/trace_store.h), newest
 ///               first; "?format=json" returns secview.trace.v1 JSONL
 ///               ready for `secview trace-export`
+///   /profilez - hottest plan steps across profiled queries
+///               (obs/plan_profile.h), exclusive nodes-touched order;
+///               "?format=json" returns the table as JSON and "?k=N"
+///               bounds the text table's row count
 ///
 /// The server only *reads* observability state — a scrape can never
 /// mutate engine behavior — and depends on obs/common alone, so it can
@@ -57,6 +62,9 @@ class TelemetryServer {
     /// Optional request-trace ring backing /tracez; may be null (the
     /// endpoint then reports that tracing is not attached).
     const obs::RequestTraceStore* traces = nullptr;
+    /// Optional cross-query hot-step table backing /profilez; may be
+    /// null (the endpoint then reports that profiling is not attached).
+    const obs::PlanProfileTable* plan_profiles = nullptr;
   };
 
   /// `registry` must outlive the server.

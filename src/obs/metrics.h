@@ -113,7 +113,7 @@ struct MetricsSnapshot {
 /// Name -> instrument registry. Instrument lookup/creation takes a mutex;
 /// the returned references stay valid for the registry's lifetime, so hot
 /// paths resolve a name once and then update lock-free. Names use dotted
-/// lowercase segments, e.g. "engine.rewrite_cache.hits" (see
+/// lowercase segments, e.g. "engine.cache.hits" (see
 /// docs/observability.md for the catalog).
 class MetricsRegistry {
  public:

@@ -34,6 +34,11 @@ class SlowQueryLog {
     /// Heap bytes this execution allocated (common/alloc_tracker; 0
     /// when the tracker is compiled out).
     uint64_t alloc_bytes = 0;
+    /// Hottest plan step when the execution was profiled (e.g.
+    /// "descendant::patient nodes=1234"); empty otherwise. Lets an
+    /// operator jump from a slow entry to the offending step without
+    /// re-running the query.
+    std::string hot_step;
   };
 
   struct Options {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "xml/label_index.h"
+#include "xpath/profiler.h"
 
 namespace secview {
 
@@ -88,6 +89,16 @@ void XPathEvaluator::SortUnique(NodeSet& set) {
 NodeSet XPathEvaluator::Eval(const PathPtr& p, const NodeSet& ctx) {
   if (ctx.empty()) return {};
   if (BudgetTripped()) return {};
+  // Unprofiled fast path: one predictable branch, nothing else — the
+  // profiler's clocks and bookkeeping only exist behind it.
+  if (profiler_ == nullptr) return EvalStep(p, ctx);
+  profiler_->EnterPath(p.get(), counters_, ctx.size());
+  NodeSet out = EvalStep(p, ctx);
+  profiler_->Exit(counters_, out.size());
+  return out;
+}
+
+NodeSet XPathEvaluator::EvalStep(const PathPtr& p, const NodeSet& ctx) {
   switch (p->kind) {
     case PathKind::kEmptySet:
       return {};
@@ -244,6 +255,14 @@ NodeSet XPathEvaluator::EvalDescOrSelf(const NodeSet& ctx) {
 
 bool XPathEvaluator::EvalQual(const QualPtr& q, NodeId node) {
   if (BudgetTripped()) return false;
+  if (profiler_ == nullptr) return EvalQualStep(q, node);
+  profiler_->EnterQual(q.get(), counters_);
+  bool result = EvalQualStep(q, node);
+  profiler_->Exit(counters_, result ? 1 : 0);
+  return result;
+}
+
+bool XPathEvaluator::EvalQualStep(const QualPtr& q, NodeId node) {
   ++counters_.predicate_evals;
   switch (q->kind) {
     case QualKind::kTrue:

@@ -26,6 +26,7 @@ using NodeSet = std::vector<NodeId>;
 /// The evaluator is stateless between calls apart from its cost counters
 /// (below), which benchmarks use as machine-independent cost measures.
 class LabelIndex;
+class PlanProfiler;
 
 /// Machine-independent evaluation costs, accumulated across calls until
 /// ResetWork(). `nodes_touched` is the paper's node-visit count; the
@@ -79,6 +80,13 @@ class XPathEvaluator {
     budget_status_ = Status::OK();
   }
 
+  /// Attaches a per-step plan profiler (xpath/profiler.h): every plan
+  /// node and qualifier evaluation opens a profile frame, producing an
+  /// EXPLAIN ANALYZE-style StepProfile tree. Pass nullptr to detach.
+  /// The unprofiled fast path costs one pointer compare per plan-node
+  /// invocation; results are identical with and without a profiler.
+  void set_profiler(PlanProfiler* profiler) { profiler_ = profiler; }
+
   /// Costs accumulated since construction or ResetWork().
   const EvalCounters& counters() const { return counters_; }
 
@@ -88,12 +96,17 @@ class XPathEvaluator {
   void ResetWork() { counters_ = {}; }
 
  private:
+  /// Dispatcher: the unprofiled path falls straight through to EvalStep;
+  /// with a profiler attached it brackets EvalStep in a profile frame.
   NodeSet Eval(const PathPtr& p, const NodeSet& ctx);
+  NodeSet EvalStep(const PathPtr& p, const NodeSet& ctx);
   NodeSet EvalLabel(int label_id, const NodeSet& ctx);
   NodeSet EvalDescLabelIndexed(int label_id, const NodeSet& ctx);
   NodeSet EvalWildcard(const NodeSet& ctx);
   NodeSet EvalDescOrSelf(const NodeSet& ctx);
+  /// Dispatcher/body split, same shape as Eval/EvalStep.
   bool EvalQual(const QualPtr& q, NodeId node);
+  bool EvalQualStep(const QualPtr& q, NodeId node);
 
   static void SortUnique(NodeSet& set);
 
@@ -121,6 +134,7 @@ class XPathEvaluator {
   const LabelIndex* index_ = nullptr;
   EvalCounters counters_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  PlanProfiler* profiler_ = nullptr;
   QueryBudget* budget_ = nullptr;
   uint64_t budget_charged_ = 0;
   bool budget_stop_ = false;

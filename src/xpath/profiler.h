@@ -1,0 +1,165 @@
+#ifndef SECVIEW_XPATH_PROFILER_H_
+#define SECVIEW_XPATH_PROFILER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/alloc_tracker.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/plan_profile.h"
+#include "xpath/evaluator.h"
+
+namespace secview {
+
+struct PathExpr;
+struct Qualifier;
+
+/// One node of an EXPLAIN ANALYZE-style cost tree mirroring the shape of
+/// the evaluated plan (the rewritten+optimized AST). Counters are
+/// *exclusive* (self) costs — work charged to this step and not to any
+/// nested step — so summing a field over the whole tree reproduces the
+/// evaluator's aggregate EvalCounters exactly; `total_nanos` is the only
+/// inclusive field (children included), mirroring EXPLAIN ANALYZE's
+/// "actual time". A step invoked from several places in the plan (the
+/// AST is a shared-subexpression DAG) is profiled per *position*: the
+/// mirror keys children by AST identity within their parent, so shared
+/// subtrees get one StepProfile per occurrence path, not a merged one.
+struct StepProfile {
+  /// Canonical step signature, e.g. "child::patient", "descendant::*",
+  /// "pred::eq". Stable across runs; PlanProfileTable aggregates by it.
+  std::string signature;
+  /// Coarse step class: child | descendant | self | empty | compose |
+  /// union | filter | predicate. Per-axis metrics aggregate by this.
+  std::string axis;
+  /// AST node identity (position key inside the parent; not exported).
+  const void* ast = nullptr;
+
+  uint64_t invocations = 0;      ///< times this step ran
+  uint64_t in_cardinality = 0;   ///< sum of context-set sizes
+  uint64_t out_cardinality = 0;  ///< sum of result-set sizes (preds: hits)
+  uint64_t nodes_touched = 0;    ///< self tree-node inspections
+  uint64_t predicate_evals = 0;  ///< self qualifier evaluations
+  uint64_t index_scans = 0;      ///< self indexed '//label' answers
+  uint64_t sort_skips = 0;       ///< self skipped SortUnique passes
+  uint64_t self_nanos = 0;       ///< wall time minus nested steps
+  uint64_t total_nanos = 0;      ///< wall time including nested steps
+  uint64_t alloc_bytes = 0;      ///< self heap churn (0 w/o alloc tracker)
+  uint64_t alloc_count = 0;      ///< self operator-new calls
+
+  std::vector<std::unique_ptr<StepProfile>> children;
+};
+
+/// Records per-step costs while an XPathEvaluator runs. Attach with
+/// XPathEvaluator::set_profiler before Evaluate; afterwards TakeRoot()
+/// yields the profile tree (root is a synthetic "query" container whose
+/// children are the top-level steps — several public Evaluate calls on
+/// the same profiler accumulate under one root).
+///
+/// The evaluator pays one pointer-null compare per plan-node invocation
+/// when no profiler is attached; all clock/alloc reads below only happen
+/// in profiled runs. Not thread-safe: one profiler per evaluator per
+/// thread, like the evaluator itself.
+class PlanProfiler {
+ public:
+  PlanProfiler();
+  ~PlanProfiler();
+  PlanProfiler(const PlanProfiler&) = delete;
+  PlanProfiler& operator=(const PlanProfiler&) = delete;
+
+  /// Opens a frame for a path step (counters = the evaluator's counters
+  /// at entry, context_size = |ctx|). Frames nest with recursion.
+  void EnterPath(const PathExpr* p, const EvalCounters& counters,
+                 size_t context_size);
+  /// Opens a frame for a qualifier evaluation at one node.
+  void EnterQual(const Qualifier* q, const EvalCounters& counters);
+  /// Closes the innermost frame; out_size is the step's result-set size
+  /// (for qualifiers: 1 if the predicate held, else 0).
+  void Exit(const EvalCounters& counters, size_t out_size);
+
+  /// The profile collected so far (valid until TakeRoot/Reset).
+  const StepProfile& root() const { return *root_; }
+
+  /// Moves the collected profile out and resets to an empty root. All
+  /// open frames must be closed (the evaluator guarantees this).
+  std::unique_ptr<StepProfile> TakeRoot();
+
+  void Reset();
+
+ private:
+  struct Frame {
+    StepProfile* node = nullptr;
+    EvalCounters enter;
+    std::chrono::steady_clock::time_point start;
+    AllocCounts alloc_enter;
+    // Inclusive totals of already-closed child frames, subtracted from
+    // this frame's inclusive delta to get exclusive (self) costs.
+    EvalCounters child;
+    uint64_t child_nanos = 0;
+    uint64_t child_alloc_bytes = 0;
+    uint64_t child_alloc_count = 0;
+  };
+
+  /// The mirror-tree node for `ast` under the current frame's node (the
+  /// synthetic root when the stack is empty), created on first visit.
+  StepProfile* ChildFor(const void* ast, std::string signature,
+                        std::string axis);
+  void Enter(StepProfile* node, const EvalCounters& counters,
+             size_t context_size);
+
+  std::unique_ptr<StepProfile> root_;
+  std::vector<Frame> stack_;
+  bool track_alloc_;
+};
+
+/// Canonical signature/axis of a plan step (exposed for tests; the
+/// profiler derives them lazily on first visit).
+std::string StepSignature(const PathExpr* p);
+std::string StepSignature(const Qualifier* q);
+std::string StepAxis(const PathExpr* p);
+
+/// Aggregate exclusive costs over a profile tree. By construction these
+/// equal the evaluator's EvalCounters deltas for the profiled calls
+/// (minus budget_checks, which the profiler does not attribute).
+EvalCounters ProfileTotals(const StepProfile& root);
+
+/// The step with the largest exclusive nodes_touched (ties: largest
+/// self_nanos), skipping the synthetic root; nullptr for an empty
+/// profile.
+const StepProfile* HottestStep(const StepProfile& root);
+
+/// One-line hot-step summary for slow-query-log entries and request
+/// traces: "child::patient nodes=123". Empty for an empty profile.
+std::string HotStepLine(const StepProfile& root);
+
+/// Indented per-step cost table (the CLI `--profile` rendering).
+std::string StepProfileText(const StepProfile& root);
+
+/// Recursive plan object of the secview.profile.v1 schema.
+obs::Json StepProfileJson(const StepProfile& step);
+
+/// One secview.profile.v1 JSONL line: schema tag, policy, query,
+/// unix_micros, hot_step, aggregate counters, and the plan tree.
+/// docs/observability.md documents the schema;
+/// obs::ValidateProfileLine checks it.
+obs::Json ProfileLineJson(const StepProfile& root, std::string_view policy,
+                          std::string_view query, int64_t unix_micros);
+
+/// Flattens a profile tree into per-signature records (same-signature
+/// steps merged, synthetic root skipped) for PlanProfileTable::Record.
+std::vector<obs::PlanStepRecord> FlattenStepProfile(const StepProfile& root);
+
+/// Adds the tree's exclusive costs to per-axis instruments:
+/// `eval.axis.<axis>.nodes` / `eval.axis.<axis>.micros` counters plus an
+/// `eval.axis.<axis>.step_micros` histogram observing each step's self
+/// time. Called once per profiled query.
+void FlushStepProfileMetrics(const StepProfile& root,
+                             obs::MetricsRegistry& metrics);
+
+}  // namespace secview
+
+#endif  // SECVIEW_XPATH_PROFILER_H_

@@ -13,6 +13,7 @@
 
 #include "cli/cli.h"
 #include "obs/json.h"
+#include "obs/plan_profile.h"
 #include "obs/trace.h"
 #include "obs/trace_store.h"
 
@@ -195,6 +196,78 @@ TEST_F(CliTest, QueryStatsWithSavedView) {
   EXPECT_NE(text.find("rewrite.queries = 1"), std::string::npos) << text;
   EXPECT_NE(text.find("eval.nodes_touched = "), std::string::npos);
   EXPECT_NE(text.find("\"name\": \"evaluate\""), std::string::npos);
+}
+
+TEST_F(CliTest, QueryProfilePrintsStepTable) {
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--query",
+                 "//patient//bill", "--bind", "wardNo=3", "--profile"}),
+            0);
+  std::string text = out_.str();
+  EXPECT_NE(text.find("hot step:"), std::string::npos) << text;
+  // The view rewrite replaces descendant steps with explicit child chains,
+  // so the plan is all child/compose/union steps.
+  EXPECT_NE(text.find("child::bill"), std::string::npos) << text;
+  EXPECT_NE(text.find("self_us"), std::string::npos) << text;
+  // Profiling must not change the answer relative to a plain run.
+  std::string results_line = text.substr(text.find("# results:"));
+  results_line = results_line.substr(0, results_line.find('\n'));
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--query",
+                 "//patient//bill", "--bind", "wardNo=3"}),
+            0);
+  EXPECT_NE(out_.str().find(results_line), std::string::npos);
+}
+
+TEST_F(CliTest, QueryProfileJsonValidatesAndAggregates) {
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--query",
+                 "//patient//bill", "--bind", "wardNo=3", "--profile-json",
+                 Path("profile.jsonl")}),
+            0);
+  std::ifstream in(Path("profile.jsonl"), std::ios::binary);
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Status valid = obs::ValidateProfileLine(
+      buffer.str().substr(0, buffer.str().find('\n')));
+  EXPECT_TRUE(valid.ok()) << valid.message();
+
+  // profile-top renders the aggregated hottest steps off the same file.
+  EXPECT_EQ(Run({"profile-top", "--in", Path("profile.jsonl"), "--k", "3"}),
+            0);
+  std::string text = out_.str();
+  EXPECT_NE(text.find("plan profile:"), std::string::npos) << text;
+  EXPECT_NE(text.find("1 profiled query(s)"), std::string::npos) << text;
+  EXPECT_NE(text.find("nodes="), std::string::npos);
+}
+
+TEST_F(CliTest, QueryProfileJsonToStdout) {
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--query",
+                 "//patient//bill", "--bind", "wardNo=3", "--profile-json",
+                 "-"}),
+            0);
+  EXPECT_NE(out_.str().find("\"schema\":\"secview.profile.v1\""),
+            std::string::npos)
+      << out_.str();
+}
+
+TEST_F(CliTest, QueryProfileWithSavedView) {
+  ASSERT_EQ(Run({"derive", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--out", Path("nurse.view")}),
+            0);
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--view",
+                 Path("nurse.view"), "--xml", Path("doc.xml"), "--query",
+                 "//patient//bill", "--bind", "wardNo=3", "--profile"}),
+            0);
+  EXPECT_NE(out_.str().find("hot step:"), std::string::npos) << out_.str();
+}
+
+TEST_F(CliTest, ProfileTopRejectsCorruptInput) {
+  WriteFile("bad_profile.jsonl", "{\"schema\":\"secview.profile.v1\"}\n");
+  EXPECT_EQ(Run({"profile-top", "--in", Path("bad_profile.jsonl")}), 1);
+  EXPECT_NE(err_.str().find("line 1"), std::string::npos) << err_.str();
 }
 
 TEST_F(CliTest, UnknownCommand) {

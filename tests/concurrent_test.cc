@@ -16,6 +16,7 @@
 #include "engine/explain.h"
 #include "engine/rewrite_cache.h"
 #include "engine/worker_pool.h"
+#include "obs/plan_profile.h"
 #include "obs/policy_stats.h"
 #include "obs/trace.h"
 #include "obs/trace_store.h"
@@ -215,12 +216,62 @@ TEST(ConcurrentEngineTest, ManyThreadsMatchSerialResults) {
   EXPECT_EQ(failures.load(), 0);
 
   obs::MetricsRegistry& metrics = engine->metrics();
-  EXPECT_GT(metrics.GetCounter("engine.rewrite_cache.hits").value(), 0u);
-  EXPECT_GT(metrics.GetCounter("engine.rewrite_cache.misses").value(), 0u);
+  EXPECT_GT(metrics.GetCounter("engine.cache.hits").value(), 0u);
+  EXPECT_GT(metrics.GetCounter("engine.cache.misses").value(), 0u);
   // The tiny capacity guarantees the eviction path ran under load.
   EXPECT_GT(metrics.GetCounter("engine.cache.evictions").value(), 0u);
   EXPECT_LE(metrics.GetGauge("engine.cache.size").value(),
             2 * static_cast<int64_t>(small.cache_capacity));
+}
+
+// Plan profiling under contention: many threads feed the lock-striped
+// PlanProfileTable while results stay identical to unprofiled runs, and
+// the table's exclusive rows stay additive against the aggregate
+// node-touch counter.
+TEST(ConcurrentEngineTest, PlanProfilingUnderConcurrencyStaysConsistent) {
+  XmlTree doc = MakeHospitalDoc();
+  auto serial = MakeHospitalEngine();
+  std::vector<std::vector<NodeId>> expected;
+  for (const char* q : kQueries) {
+    auto r = serial->Execute("nurse", doc, q, NurseOptions());
+    ASSERT_TRUE(r.ok()) << q << ": " << r.status();
+    expected.push_back(r->nodes);
+  }
+
+  auto engine = MakeHospitalEngine();
+  obs::PlanProfileTable table;
+  engine->AttachPlanProfiles(&table);  // implies profiling on every query
+  engine->Seal();
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 20;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const int num_queries = static_cast<int>(std::size(kQueries));
+      for (int round = 0; round < kRounds; ++round) {
+        int i = (t + round) % num_queries;
+        auto r = engine->Execute("nurse", doc, kQueries[i], NurseOptions());
+        if (!r.ok() || r->nodes != expected[i] || r->profile == nullptr ||
+            r->stats.hot_step.empty()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  EXPECT_EQ(table.queries(),
+            static_cast<uint64_t>(kThreads) * static_cast<uint64_t>(kRounds));
+  uint64_t table_nodes = 0;
+  for (const obs::PlanStepRecord& row : table.Snapshot()) {
+    table_nodes += row.nodes_touched;
+  }
+  EXPECT_EQ(table_nodes,
+            engine->metrics().GetCounter("eval.nodes_touched").value());
 }
 
 // Recursive views key the cache by unfolding depth; concurrent queries

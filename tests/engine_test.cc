@@ -11,6 +11,7 @@
 #include "xml/parser.h"
 #include "xml/serializer.h"
 #include "xpath/printer.h"
+#include "xpath/profiler.h"
 
 namespace secview {
 namespace {
@@ -125,6 +126,53 @@ TEST_F(EngineTest, ExecuteReportsStructuredStats) {
   EXPECT_TRUE(again->stats.cache_hit);
 }
 
+TEST_F(EngineTest, ProfileOptionYieldsStepTreeWithExactAttribution) {
+  ExecuteOptions options;
+  options.bindings = {{"wardNo", "3"}};
+  auto plain = engine_->Execute("nurse", doc_, "//patient/name", options);
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  EXPECT_EQ(plain->profile, nullptr);
+  EXPECT_TRUE(plain->stats.hot_step.empty());
+
+  options.profile = true;
+  auto profiled = engine_->Execute("nurse", doc_, "//patient/name", options);
+  ASSERT_TRUE(profiled.ok()) << profiled.status();
+  // Profiling observes the execution without changing it.
+  EXPECT_EQ(profiled->nodes, plain->nodes);
+  ASSERT_NE(profiled->profile, nullptr);
+  // Per-step exclusive costs sum to the aggregate evaluator counters.
+  EvalCounters totals = ProfileTotals(*profiled->profile);
+  EXPECT_EQ(totals.nodes_touched, profiled->stats.nodes_touched);
+  EXPECT_EQ(totals.predicate_evals, profiled->stats.predicate_evals);
+  // The hottest step is named for slow-log / trace correlation.
+  EXPECT_NE(profiled->stats.hot_step.find(" nodes="), std::string::npos)
+      << profiled->stats.hot_step;
+  // The flush fed per-axis instruments in the engine registry.
+  obs::MetricsRegistry& metrics = engine_->metrics();
+  EXPECT_GT(metrics.GetCounter("eval.axis.descendant.nodes").value() +
+                metrics.GetCounter("eval.axis.child.nodes").value(),
+            0u);
+}
+
+TEST_F(EngineTest, AttachedPlanProfileTableImpliesProfiling) {
+  obs::PlanProfileTable table;
+  engine_->AttachPlanProfiles(&table);
+  ExecuteOptions options;
+  options.bindings = {{"wardNo", "3"}};
+  ASSERT_TRUE(engine_->Execute("nurse", doc_, "//bill", options).ok());
+  ASSERT_TRUE(engine_->Execute("nurse", doc_, "//patient/name", options).ok());
+  EXPECT_EQ(table.queries(), 2u);
+  EXPECT_GT(table.steps(), 0u);
+  // Exclusive rows are additive: the table total matches the registry's
+  // aggregate node-touch counter.
+  uint64_t table_nodes = 0;
+  for (const obs::PlanStepRecord& row : table.Snapshot()) {
+    table_nodes += row.nodes_touched;
+  }
+  EXPECT_EQ(table_nodes,
+            engine_->metrics().GetCounter("eval.nodes_touched").value());
+}
+
 TEST_F(EngineTest, MetricsTrackCacheHitsAndQueryCounts) {
   ExecuteOptions options;
   options.bindings = {{"wardNo", "3"}};
@@ -132,12 +180,12 @@ TEST_F(EngineTest, MetricsTrackCacheHitsAndQueryCounts) {
   // entries, so a cold query costs two misses and a warm one two hits.
   ASSERT_TRUE(engine_->Execute("nurse", doc_, "//bill", options).ok());
   obs::MetricsRegistry& metrics = engine_->metrics();
-  EXPECT_EQ(metrics.GetCounter("engine.rewrite_cache.misses").value(), 2u);
-  EXPECT_EQ(metrics.GetCounter("engine.rewrite_cache.hits").value(), 0u);
+  EXPECT_EQ(metrics.GetCounter("engine.cache.misses").value(), 2u);
+  EXPECT_EQ(metrics.GetCounter("engine.cache.hits").value(), 0u);
 
   ASSERT_TRUE(engine_->Execute("nurse", doc_, "//bill", options).ok());
-  EXPECT_EQ(metrics.GetCounter("engine.rewrite_cache.misses").value(), 2u);
-  EXPECT_EQ(metrics.GetCounter("engine.rewrite_cache.hits").value(), 2u);
+  EXPECT_EQ(metrics.GetCounter("engine.cache.misses").value(), 2u);
+  EXPECT_EQ(metrics.GetCounter("engine.cache.hits").value(), 2u);
 
   EXPECT_EQ(metrics.GetCounter("engine.queries").value(), 2u);
   EXPECT_EQ(metrics.GetCounter("policy.nurse.queries").value(), 2u);

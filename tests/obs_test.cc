@@ -15,6 +15,7 @@
 #include "obs/export.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/plan_profile.h"
 #include "obs/policy_stats.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
@@ -867,6 +868,128 @@ TEST(TraceExportTest, EmptyInputYieldsEmptyEventList) {
   auto chrome = ChromeTraceJson(*traces);
   ASSERT_TRUE(chrome.ok());
   EXPECT_TRUE(chrome->Find("traceEvents")->items().empty());
+}
+
+// -- secview.profile.v1 validation --------------------------------------
+
+/// A well-formed plan step with `nodes` exclusive node touches, all
+/// other numeric fields 1, and no children.
+Json MakePlanStep(const std::string& sig, const std::string& axis,
+                  uint64_t nodes) {
+  Json step = Json::Object();
+  step.Set("step", Json(sig));
+  step.Set("axis", Json(axis));
+  for (const char* field :
+       {"invocations", "in", "out", "preds", "index_scans", "sort_skips",
+        "self_nanos", "total_nanos", "alloc_bytes", "alloc_count"}) {
+    step.Set(field, Json(uint64_t{1}));
+  }
+  step.Set("nodes", Json(nodes));
+  step.Set("children", Json::Array());
+  return step;
+}
+
+/// A profile line whose plan holds descendant::bill (3 nodes) with a
+/// nested child::name (2 nodes); valid iff `total_nodes` == 5.
+Json MakeProfileLine(uint64_t total_nodes) {
+  Json doc = Json::Object();
+  doc.Set("schema", Json("secview.profile.v1"));
+  doc.Set("unix_micros", Json(uint64_t{1700000000000000}));
+  doc.Set("policy", Json("nurse"));
+  doc.Set("query", Json("//bill"));
+  doc.Set("hot_step", Json("descendant::bill nodes=3"));
+  Json counters = Json::Object();
+  counters.Set("nodes_touched", Json(total_nodes));
+  counters.Set("predicate_evals", Json(uint64_t{0}));
+  counters.Set("index_scans", Json(uint64_t{0}));
+  counters.Set("sort_skips", Json(uint64_t{0}));
+  doc.Set("counters", std::move(counters));
+  Json outer = MakePlanStep("descendant::bill", "descendant", 3);
+  Json children = Json::Array();
+  children.Append(MakePlanStep("child::name", "child", 2));
+  outer.Set("children", std::move(children));
+  doc.Set("plan", Json::Array().Append(std::move(outer)));
+  return doc;
+}
+
+TEST(PlanProfileValidatorTest, AcceptsWellFormedLine) {
+  Status ok = ValidateProfileLine(MakeProfileLine(5).Dump(false));
+  EXPECT_TRUE(ok.ok()) << ok.message();
+}
+
+TEST(PlanProfileValidatorTest, RejectsSchemaAndFieldViolations) {
+  EXPECT_FALSE(ValidateProfileLine("not json").ok());
+  EXPECT_FALSE(ValidateProfileLine("[1,2]").ok());
+
+  Json wrong_schema = MakeProfileLine(5);
+  wrong_schema.Set("schema", Json("secview.trace.v1"));
+  EXPECT_FALSE(ValidateProfileLine(wrong_schema.Dump(false)).ok());
+
+  Json missing_hot = MakeProfileLine(5);
+  missing_hot.Set("hot_step", Json(uint64_t{3}));  // wrong type
+  EXPECT_FALSE(ValidateProfileLine(missing_hot.Dump(false)).ok());
+
+  Json negative = MakeProfileLine(5);
+  Json bad_plan = Json::Array();
+  Json bad_step = MakePlanStep("child::x", "child", 5);
+  bad_step.Set("self_nanos", Json(-1.0));
+  bad_plan.Append(std::move(bad_step));
+  negative.Set("plan", std::move(bad_plan));
+  EXPECT_FALSE(ValidateProfileLine(negative.Dump(false)).ok());
+
+  Json no_children = MakeProfileLine(5);
+  Json plan = Json::Array();
+  Json step = MakePlanStep("child::x", "child", 5);
+  step.Set("children", Json("nope"));
+  plan.Append(std::move(step));
+  no_children.Set("plan", std::move(plan));
+  EXPECT_FALSE(ValidateProfileLine(no_children.Dump(false)).ok());
+}
+
+TEST(PlanProfileValidatorTest, EnforcesNodesSumInvariant) {
+  Status mismatch = ValidateProfileLine(MakeProfileLine(6).Dump(false));
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_NE(mismatch.message().find("nodes"), std::string::npos);
+}
+
+TEST(PlanProfileValidatorTest, JsonlParserNamesTheOffendingLine) {
+  std::string good = MakeProfileLine(5).Dump(false);
+  auto parsed = ParseProfileJsonl(good + "\n\n" + good + "\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->size(), 2u);
+
+  auto bad = ParseProfileJsonl(good + "\n" + MakeProfileLine(6).Dump(false));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos)
+      << bad.status().message();
+}
+
+TEST(PlanProfileFlattenTest, MergesPositionsAndCountsQueriesOnce) {
+  std::vector<PlanStepRecord> rows;
+  Json line = MakeProfileLine(5);
+  const Json* plan = line.Find("plan");
+  ASSERT_NE(plan, nullptr);
+  ASSERT_TRUE(FlattenProfilePlanJson(*plan, &rows).ok());
+  ASSERT_EQ(rows.size(), 2u);
+  for (const PlanStepRecord& row : rows) {
+    EXPECT_EQ(row.queries, 1u) << row.signature;
+  }
+
+  // A second query's plan merges into the same rows: costs add, and
+  // each signature's query count rises by one (not per position).
+  ASSERT_TRUE(FlattenProfilePlanJson(*plan, &rows).ok());
+  ASSERT_EQ(rows.size(), 2u);
+  for (const PlanStepRecord& row : rows) {
+    EXPECT_EQ(row.queries, 2u) << row.signature;
+  }
+  uint64_t nodes = 0;
+  for (const PlanStepRecord& row : rows) nodes += row.nodes_touched;
+  EXPECT_EQ(nodes, 10u);
+}
+
+TEST(PlanProfileRenderTest, EmptyTableRendersHeaderOnly) {
+  std::string text = RenderPlanProfileText({}, 10, 0);
+  EXPECT_EQ(text, "plan profile: 0 step(s) across 0 profiled query(s)\n");
 }
 
 }  // namespace

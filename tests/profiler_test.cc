@@ -1,0 +1,304 @@
+#include "xpath/profiler.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/plan_profile.h"
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace secview {
+namespace {
+
+constexpr char kDoc[] = R"(
+  <hospital>
+    <dept>
+      <clinicalTrial>
+        <patientInfo>
+          <patient><name>carol</name><wardNo>3</wardNo>
+            <treatment><trial><bill>900</bill></trial></treatment>
+          </patient>
+        </patientInfo>
+        <test>blood</test>
+      </clinicalTrial>
+      <patientInfo>
+        <patient><name>dave</name><wardNo>3</wardNo>
+          <treatment><regular><bill>120</bill><medication>m</medication></regular></treatment>
+        </patient>
+      </patientInfo>
+      <staffInfo><staff><nurse>sue</nurse></staff></staffInfo>
+    </dept>
+  </hospital>
+)";
+
+/// The query corpus every attribution test runs: child chains, both
+/// descendant shapes, wildcards, unions, and predicates (path, equality,
+/// boolean connectives) — one query per evaluator dispatch arm.
+const std::vector<std::string>& Corpus() {
+  static const std::vector<std::string>* corpus = new std::vector<std::string>{
+      "dept",
+      "dept/patientInfo/patient",
+      "dept/patientInfo/patient/name",
+      "//patient",
+      "//patient/name",
+      "//bill",
+      "dept//bill",
+      "*/*",
+      "//patient[wardNo = \"3\"]",
+      "//patient[wardNo = \"3\"]/name",
+      "//patient[treatment/regular]",
+      "//patient[wardNo = \"3\" and treatment/regular]/name",
+      "//patient[wardNo = \"9\" or name]",
+      "//bill | //medication",
+      "dept/patientInfo/patient | //nurse",
+      ".",
+      "dept/.",
+  };
+  return *corpus;
+}
+
+XmlTree MustParseDoc() {
+  auto doc = ParseXml(kDoc);
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  return std::move(doc).value();
+}
+
+PathPtr MustParsePath(const std::string& text) {
+  auto p = ParseXPath(text);
+  EXPECT_TRUE(p.ok()) << text << ": " << p.status();
+  return std::move(p).value();
+}
+
+TEST(PlanProfilerTest, PerStepCostsSumToAggregateCounters) {
+  XmlTree doc = MustParseDoc();
+  for (const std::string& text : Corpus()) {
+    PathPtr p = MustParsePath(text);
+    XPathEvaluator evaluator(doc);
+    PlanProfiler profiler;
+    evaluator.set_profiler(&profiler);
+    auto result = evaluator.Evaluate(p, doc.root());
+    ASSERT_TRUE(result.ok()) << text;
+
+    EvalCounters totals = ProfileTotals(profiler.root());
+    const EvalCounters& agg = evaluator.counters();
+    EXPECT_EQ(totals.nodes_touched, agg.nodes_touched) << text;
+    EXPECT_EQ(totals.predicate_evals, agg.predicate_evals) << text;
+    EXPECT_EQ(totals.index_scans, agg.index_scans) << text;
+    EXPECT_EQ(totals.sort_skips, agg.sort_skips) << text;
+  }
+}
+
+TEST(PlanProfilerTest, ProfiledAndUnprofiledRunsAgreeOnResults) {
+  XmlTree doc = MustParseDoc();
+  for (const std::string& text : Corpus()) {
+    PathPtr p = MustParsePath(text);
+    XPathEvaluator plain(doc);
+    auto expected = plain.Evaluate(p, doc.root());
+    ASSERT_TRUE(expected.ok()) << text;
+
+    XPathEvaluator profiled(doc);
+    PlanProfiler profiler;
+    profiled.set_profiler(&profiler);
+    auto actual = profiled.Evaluate(p, doc.root());
+    ASSERT_TRUE(actual.ok()) << text;
+    EXPECT_EQ(*actual, *expected) << text;
+    // Profiling must observe costs, not change them.
+    EXPECT_EQ(profiled.counters().nodes_touched, plain.counters().nodes_touched)
+        << text;
+  }
+}
+
+TEST(PlanProfilerTest, RootShapeAndInvocations) {
+  XmlTree doc = MustParseDoc();
+  PathPtr p = MustParsePath("dept/patientInfo/patient");
+  XPathEvaluator evaluator(doc);
+  PlanProfiler profiler;
+  evaluator.set_profiler(&profiler);
+  ASSERT_TRUE(evaluator.Evaluate(p, doc.root()).ok());
+
+  const StepProfile& root = profiler.root();
+  EXPECT_EQ(root.signature, "query");
+  EXPECT_EQ(root.axis, "query");
+  ASSERT_FALSE(root.children.empty());
+  // The outermost step (the compose chain) ran exactly once.
+  EXPECT_EQ(root.children[0]->invocations, 1u);
+  EXPECT_GT(root.children[0]->total_nanos, 0u);
+}
+
+TEST(PlanProfilerTest, SignaturesNameAxesAndLabels) {
+  XmlTree doc = MustParseDoc();
+  PathPtr p =
+      MustParsePath("//patient[wardNo = \"3\"]/name | dept/staffInfo/*");
+  XPathEvaluator evaluator(doc);
+  PlanProfiler profiler;
+  evaluator.set_profiler(&profiler);
+  ASSERT_TRUE(evaluator.Evaluate(p, doc.root()).ok());
+
+  std::vector<obs::PlanStepRecord> rows = FlattenStepProfile(profiler.root());
+  ASSERT_FALSE(rows.empty());
+  auto has = [&rows](const std::string& signature) {
+    for (const auto& row : rows) {
+      if (row.signature == signature) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("union"));
+  EXPECT_TRUE(has("child::name"));
+  EXPECT_TRUE(has("child::*"));
+  EXPECT_TRUE(has("pred::eq")) << "equality predicate step missing";
+  for (const auto& row : rows) {
+    EXPECT_NE(row.signature, "query") << "synthetic root must not flatten";
+    EXPECT_FALSE(row.axis.empty()) << row.signature;
+  }
+}
+
+TEST(PlanProfilerTest, HottestStepAndHotLine) {
+  XmlTree doc = MustParseDoc();
+  PathPtr p = MustParsePath("//bill");
+  XPathEvaluator evaluator(doc);
+  PlanProfiler profiler;
+  evaluator.set_profiler(&profiler);
+  ASSERT_TRUE(evaluator.Evaluate(p, doc.root()).ok());
+
+  const StepProfile* hottest = HottestStep(profiler.root());
+  ASSERT_NE(hottest, nullptr);
+  EXPECT_GT(hottest->nodes_touched, 0u);
+  std::string line = HotStepLine(profiler.root());
+  EXPECT_EQ(line, hottest->signature + " nodes=" +
+                      std::to_string(hottest->nodes_touched));
+  // An untouched profiler has no hot step.
+  PlanProfiler empty;
+  EXPECT_EQ(HottestStep(empty.root()), nullptr);
+  EXPECT_TRUE(HotStepLine(empty.root()).empty());
+}
+
+TEST(PlanProfilerTest, AccumulatesAcrossCallsAndTakeRootResets) {
+  XmlTree doc = MustParseDoc();
+  PathPtr p = MustParsePath("//patient");
+  XPathEvaluator evaluator(doc);
+  PlanProfiler profiler;
+  evaluator.set_profiler(&profiler);
+  ASSERT_TRUE(evaluator.Evaluate(p, doc.root()).ok());
+  uint64_t once = ProfileTotals(profiler.root()).nodes_touched;
+  ASSERT_TRUE(evaluator.Evaluate(p, doc.root()).ok());
+  EXPECT_EQ(ProfileTotals(profiler.root()).nodes_touched, 2 * once);
+
+  std::unique_ptr<StepProfile> taken = profiler.TakeRoot();
+  EXPECT_EQ(ProfileTotals(*taken).nodes_touched, 2 * once);
+  EXPECT_TRUE(profiler.root().children.empty());
+  EXPECT_EQ(ProfileTotals(profiler.root()).nodes_touched, 0u);
+}
+
+TEST(PlanProfilerTest, TextRenderingListsEverySignature) {
+  XmlTree doc = MustParseDoc();
+  PathPtr p = MustParsePath("//patient[wardNo = \"3\"]/name");
+  XPathEvaluator evaluator(doc);
+  PlanProfiler profiler;
+  evaluator.set_profiler(&profiler);
+  ASSERT_TRUE(evaluator.Evaluate(p, doc.root()).ok());
+
+  std::string text = StepProfileText(profiler.root());
+  for (const auto& row : FlattenStepProfile(profiler.root())) {
+    EXPECT_NE(text.find(row.signature), std::string::npos) << row.signature;
+  }
+  EXPECT_NE(text.find("hot step:"), std::string::npos);
+}
+
+TEST(PlanProfilerTest, FlushStepProfileMetricsFeedsPerAxisInstruments) {
+  XmlTree doc = MustParseDoc();
+  PathPtr p = MustParsePath("//patient/name");
+  XPathEvaluator evaluator(doc);
+  PlanProfiler profiler;
+  evaluator.set_profiler(&profiler);
+  ASSERT_TRUE(evaluator.Evaluate(p, doc.root()).ok());
+
+  obs::MetricsRegistry metrics;
+  FlushStepProfileMetrics(profiler.root(), metrics);
+  uint64_t descendant =
+      metrics.GetCounter("eval.axis.descendant.nodes").value();
+  uint64_t child = metrics.GetCounter("eval.axis.child.nodes").value();
+  EXPECT_GT(descendant + child, 0u);
+  EXPECT_EQ(descendant + child +
+                metrics.GetCounter("eval.axis.compose.nodes").value() +
+                metrics.GetCounter("eval.axis.self.nodes").value() +
+                metrics.GetCounter("eval.axis.predicate.nodes").value() +
+                metrics.GetCounter("eval.axis.filter.nodes").value() +
+                metrics.GetCounter("eval.axis.union.nodes").value() +
+                metrics.GetCounter("eval.axis.empty.nodes").value(),
+            evaluator.counters().nodes_touched);
+}
+
+TEST(PlanProfileTableTest, RecordsMergeAndRankBySelfNodes) {
+  obs::PlanProfileTable table;
+  obs::PlanStepRecord hot;
+  hot.signature = "descendant::patient";
+  hot.axis = "descendant";
+  hot.invocations = 1;
+  hot.nodes_touched = 100;
+  obs::PlanStepRecord cold;
+  cold.signature = "child::name";
+  cold.axis = "child";
+  cold.invocations = 2;
+  cold.nodes_touched = 5;
+  table.Record({hot, cold});
+  table.Record({hot});
+
+  EXPECT_EQ(table.queries(), 2u);
+  EXPECT_EQ(table.steps(), 2u);
+  std::vector<obs::PlanStepRecord> rows = table.Snapshot();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].signature, "descendant::patient");
+  EXPECT_EQ(rows[0].nodes_touched, 200u);
+  EXPECT_EQ(rows[0].queries, 2u);
+  EXPECT_EQ(rows[1].queries, 1u);
+  ASSERT_EQ(table.TopK(1).size(), 1u);
+  EXPECT_EQ(table.TopK(1)[0].signature, "descendant::patient");
+
+  std::string text = obs::RenderPlanProfileText(rows, 10, table.queries());
+  EXPECT_NE(text.find("descendant::patient"), std::string::npos);
+  EXPECT_NE(text.find("2 profiled quer"), std::string::npos);
+}
+
+TEST(PlanProfilerTest, ProfileLineJsonRoundTripsThroughValidator) {
+  XmlTree doc = MustParseDoc();
+  for (const std::string& text : Corpus()) {
+    PathPtr p = MustParsePath(text);
+    XPathEvaluator evaluator(doc);
+    PlanProfiler profiler;
+    evaluator.set_profiler(&profiler);
+    ASSERT_TRUE(evaluator.Evaluate(p, doc.root()).ok());
+
+    obs::Json line = ProfileLineJson(profiler.root(), "nurse", text,
+                                     /*unix_micros=*/1234567);
+    std::string dumped = line.Dump(false);
+    Status valid = obs::ValidateProfileLine(dumped);
+    EXPECT_TRUE(valid.ok()) << text << ": " << valid.message();
+
+    auto parsed = obs::ParseProfileJsonl(dumped + "\n\n");
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed->size(), 1u);
+  }
+}
+
+TEST(PlanProfilerTest, ValidatorRejectsBrokenSumInvariant) {
+  XmlTree doc = MustParseDoc();
+  PathPtr p = MustParsePath("//patient/name");
+  XPathEvaluator evaluator(doc);
+  PlanProfiler profiler;
+  evaluator.set_profiler(&profiler);
+  ASSERT_TRUE(evaluator.Evaluate(p, doc.root()).ok());
+  obs::Json line =
+      ProfileLineJson(profiler.root(), "nurse", "//patient/name", 1);
+  auto* counters = const_cast<obs::Json*>(line.Find("counters"));
+  ASSERT_NE(counters, nullptr);
+  counters->Set("nodes_touched",
+                obs::Json(counters->Find("nodes_touched")->AsNumber() + 1));
+  EXPECT_FALSE(obs::ValidateProfileLine(line.Dump(false)).ok());
+}
+
+}  // namespace
+}  // namespace secview

@@ -19,6 +19,7 @@
 #include "net/telemetry_server.h"
 #include "obs/export.h"
 #include "obs/json.h"
+#include "obs/plan_profile.h"
 #include "obs/policy_stats.h"
 #include "obs/serving_stats.h"
 #include "obs/slow_query_log.h"
@@ -276,6 +277,8 @@ class TelemetryServerTest : public ::testing::Test {
     trace_options.sample_every = 1;  // trace every execution
     traces_ = std::make_unique<obs::RequestTraceStore>(trace_options);
     engine_->AttachTraceStore(traces_.get());
+    plan_profiles_ = std::make_unique<obs::PlanProfileTable>();
+    engine_->AttachPlanProfiles(plan_profiles_.get());
 
     net::TelemetryServer::Options options;
     options.ready = [this] { return engine_->sealed(); };
@@ -283,6 +286,7 @@ class TelemetryServerTest : public ::testing::Test {
     options.slow_log = slow_log_.get();
     options.policy_stats = policy_stats_.get();
     options.traces = traces_.get();
+    options.plan_profiles = plan_profiles_.get();
     server_ = std::make_unique<net::TelemetryServer>(&engine_->metrics(),
                                                      options);
   }
@@ -313,6 +317,7 @@ class TelemetryServerTest : public ::testing::Test {
   std::unique_ptr<obs::SlowQueryLog> slow_log_;
   std::unique_ptr<obs::PolicyStatsTable> policy_stats_;
   std::unique_ptr<obs::RequestTraceStore> traces_;
+  std::unique_ptr<obs::PlanProfileTable> plan_profiles_;
   std::unique_ptr<net::TelemetryServer> server_;
 };
 
@@ -440,6 +445,63 @@ TEST_F(TelemetryServerTest, TracezServesTextAndJsonl) {
   EXPECT_EQ(server_->Handle(Get("/tracez?format=xml")).status, 400);
 }
 
+TEST_F(TelemetryServerTest, ProfilezServesTopStepsTextAndJson) {
+  engine_->Seal();
+  ExecuteSome();
+
+  net::HttpResponse text = server_->Handle(Get("/profilez"));
+  ASSERT_EQ(text.status, 200);
+  EXPECT_NE(text.body.find("plan profile:"), std::string::npos);
+  // The engine profiles the rewritten plan, where descendant steps have
+  // been replaced by explicit child chains over the view DTD.
+  EXPECT_NE(text.body.find("child::"), std::string::npos) << text.body;
+  EXPECT_EQ(plan_profiles_->queries(), 3u);  // the denied query never ran
+
+  net::HttpResponse limited = server_->Handle(Get("/profilez?k=1"));
+  ASSERT_EQ(limited.status, 200);
+  EXPECT_LT(limited.body.size(), text.body.size());
+
+  net::HttpResponse json = server_->Handle(Get("/profilez?format=json"));
+  ASSERT_EQ(json.status, 200);
+  EXPECT_EQ(json.content_type, "application/json");
+  auto parsed = obs::Json::Parse(json.body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->Find("schema")->AsString(), "secview.profile.v1");
+  EXPECT_EQ(parsed->Find("queries")->AsNumber(), 3);
+  ASSERT_NE(parsed->Find("steps"), nullptr);
+  EXPECT_FALSE(parsed->Find("steps")->items().empty());
+
+  EXPECT_EQ(server_->Handle(Get("/profilez?k=abc")).status, 400);
+  EXPECT_EQ(server_->Handle(Get("/profilez?format=xml")).status, 400);
+}
+
+TEST_F(TelemetryServerTest, ProfilezWithoutTableSaysNotAttached) {
+  net::TelemetryServer::Options options;
+  net::TelemetryServer bare(&engine_->metrics(), options);
+  net::HttpResponse response = bare.Handle(Get("/profilez"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("no plan-profile table attached"),
+            std::string::npos);
+}
+
+TEST_F(TelemetryServerTest, SlowLogEntriesCarryHotStep) {
+  engine_->Seal();
+  ExecuteSome();
+  // The plan-profile table being attached implies profiling on every
+  // execution, so each logged entry names its hottest step.
+  net::HttpResponse response = server_->Handle(Get("/statusz"));
+  ASSERT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find(" hot="), std::string::npos) << response.body;
+  bool saw_hot_step = false;
+  for (const obs::SlowQueryLog::Entry& e : slow_log_->Snapshot()) {
+    if (!e.hot_step.empty()) {
+      saw_hot_step = true;
+      EXPECT_NE(e.hot_step.find(" nodes="), std::string::npos) << e.hot_step;
+    }
+  }
+  EXPECT_TRUE(saw_hot_step);
+}
+
 TEST_F(TelemetryServerTest, StatuszShowsPolicyAndTraceSections) {
   engine_->Seal();
   ExecuteSome();
@@ -496,6 +558,14 @@ TEST_F(TelemetryServerTest, EndToEndScrapeWhileServing) {
         rest.remove_prefix(nl + 1);
       }
       if (!lines_ok) bad_scrapes.fetch_add(1);
+      // /profilez races the workers Recording flattened plans into the
+      // striped table; the JSON document must always parse whole.
+      auto profilez =
+          net::HttpGet("127.0.0.1", server_->port(), "/profilez?format=json");
+      if (!profilez.ok() || profilez->status != 200 ||
+          !obs::Json::Parse(profilez->body).ok()) {
+        bad_scrapes.fetch_add(1);
+      }
     }
   });
 
@@ -522,9 +592,12 @@ TEST_F(TelemetryServerTest, EndToEndScrapeWhileServing) {
   ASSERT_TRUE(statusz.ok()) << statusz.status();
   EXPECT_NE(statusz->body.find("engine.pool.tasks"), std::string::npos);
   EXPECT_GT(window_->Snapshot(60).count, 0u);
-  // The workers fed the trace ring and the policy table while we scraped.
+  // The workers fed the trace ring, the policy table, and the plan-
+  // profile table while we scraped.
   EXPECT_GT(traces_->retained(), 0u);
   EXPECT_EQ(policy_stats_->total(), window_->total());
+  EXPECT_GT(plan_profiles_->queries(), 0u);
+  EXPECT_GT(plan_profiles_->steps(), 0u);
   server_->Stop();
 }
 

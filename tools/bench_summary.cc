@@ -19,6 +19,12 @@
 // .overflow leaf (the +Inf bucket's occupancy — nonzero means the .p*
 // values are clamped lower bounds) instead of per-bucket leaves, so
 // bucket boundary changes don't churn the diff.
+//
+// A metric that is absent from one side, or zero on the old side, has
+// no meaningful growth percentage: such rows render as added/removed/
+// "new" and are exempt from --fail-above (otherwise introducing an
+// instrument — e.g. the per-axis eval.axis.* counters — would read as
+// an infinite regression against any pre-instrument baseline).
 // Exit code 0 on success, 1 on I/O or parse errors, 3 when --fail-above
 // trips.
 
@@ -246,11 +252,9 @@ int Run(int argc, char** argv) {
     double delta = it->second - old_value;
     std::string pct = old_value != 0.0
                           ? FormatNumber(100.0 * delta / old_value) + "%"
-                          : (delta == 0.0 ? "0%" : "inf%");
-    if (fail_above >= 0 && delta > 0.0) {
-      double growth = old_value != 0.0
-                          ? 100.0 * delta / old_value
-                          : std::numeric_limits<double>::infinity();
+                          : (delta == 0.0 ? "0%" : "new");
+    if (fail_above >= 0 && delta > 0.0 && old_value != 0.0) {
+      double growth = 100.0 * delta / old_value;
       if (growth > fail_above) regressions.emplace_back(key, growth);
     }
     std::printf("%-56s %14s %14s %14s %9s\n", key.c_str(),
@@ -266,7 +270,7 @@ int Run(int argc, char** argv) {
   if (!regressions.empty()) {
     for (const auto& [key, growth] : regressions) {
       std::printf("REGRESSION %-56s +%s%% (limit %s%%)\n", key.c_str(),
-                  std::isfinite(growth) ? FormatNumber(growth).c_str() : "inf",
+                  FormatNumber(growth).c_str(),
                   FormatNumber(fail_above).c_str());
     }
     return 3;
