@@ -1,0 +1,153 @@
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/budget.h"
+#include "xml/label_index.h"
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+#include "xpath/plan.h"
+
+/// Differential fuzzer for the compiled-plan VM (xpath/vm.cc): every
+/// query the parser accepts is lowered with CompilePlan and executed
+/// through both the AST-walking evaluator and the bytecode interpreter
+/// over a fixed hospital document — plain, with a label index, and
+/// under a node budget small enough to trip mid-query. Any divergence
+/// in status code, status message, result NodeSet, or EvalCounters
+/// traps. The deterministic companion is tests/plan_test.cc; the seed
+/// corpus is shared with fuzz_xpath (tests/corpus/xpath/).
+
+namespace {
+
+constexpr char kDoc[] = R"(
+  <hospital>
+    <dept id="1">
+      <clinicalTrial>
+        <patientInfo>
+          <patient vip="y"><name>carol</name><wardNo>3</wardNo>
+            <treatment><trial><bill>900</bill></trial></treatment>
+          </patient>
+        </patientInfo>
+        <test>blood</test>
+      </clinicalTrial>
+      <patientInfo>
+        <patient><name>dave</name><wardNo>4</wardNo>
+          <treatment><regular><bill>120</bill><medication>m</medication></regular></treatment>
+        </patient>
+      </patientInfo>
+      <staffInfo><staff><nurse>sue</nurse></staff></staffInfo>
+    </dept>
+    <dept id="2">
+      <patientInfo>
+        <patient><name>erin</name><wardNo>3</wardNo>
+          <treatment><regular><bill>55</bill></regular></treatment>
+        </patient>
+      </patientInfo>
+    </dept>
+  </hospital>
+)";
+
+struct Run {
+  secview::Status status = secview::Status::OK();
+  secview::NodeSet nodes;
+  secview::EvalCounters counters;
+};
+
+const std::vector<std::pair<std::string, std::string>>& Bindings() {
+  static const auto* bindings =
+      new std::vector<std::pair<std::string, std::string>>{
+          {"w", "3"}, {"name", "carol"}};
+  return *bindings;
+}
+
+Run RunAst(const secview::XmlTree& doc, const secview::LabelIndex* index,
+           const secview::PathPtr& p, const secview::BudgetLimits& limits) {
+  secview::XPathEvaluator evaluator = index != nullptr
+                                          ? secview::XPathEvaluator(doc, index)
+                                          : secview::XPathEvaluator(doc);
+  secview::QueryBudget budget(limits, secview::CancelToken());
+  if (budget.active()) evaluator.set_budget(&budget);
+  auto result =
+      evaluator.Evaluate(secview::BindParams(p, Bindings()), doc.root());
+  Run run;
+  run.status = result.status();
+  if (result.ok()) run.nodes = std::move(result).value();
+  run.counters = evaluator.counters();
+  return run;
+}
+
+Run RunCompiled(const secview::XmlTree& doc, const secview::LabelIndex* index,
+                const secview::CompiledPlan& plan,
+                const secview::BudgetLimits& limits) {
+  secview::XPathEvaluator evaluator = index != nullptr
+                                          ? secview::XPathEvaluator(doc, index)
+                                          : secview::XPathEvaluator(doc);
+  secview::QueryBudget budget(limits, secview::CancelToken());
+  if (budget.active()) evaluator.set_budget(&budget);
+  auto result = evaluator.EvaluateCompiled(plan, doc.root(), Bindings());
+  Run run;
+  run.status = result.status();
+  if (result.ok()) run.nodes = std::move(result).value();
+  run.counters = evaluator.counters();
+  return run;
+}
+
+void CheckSame(const Run& ast, const Run& compiled) {
+  if (ast.status.code() != compiled.status.code()) __builtin_trap();
+  if (ast.status.message() != compiled.status.message()) __builtin_trap();
+  if (ast.nodes != compiled.nodes) __builtin_trap();
+  if (ast.counters.nodes_touched != compiled.counters.nodes_touched)
+    __builtin_trap();
+  if (ast.counters.predicate_evals != compiled.counters.predicate_evals)
+    __builtin_trap();
+  if (ast.counters.index_scans != compiled.counters.index_scans)
+    __builtin_trap();
+  if (ast.counters.sort_skips != compiled.counters.sort_skips)
+    __builtin_trap();
+  if (ast.counters.budget_checks != compiled.counters.budget_checks)
+    __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static const secview::XmlTree* doc = [] {
+    auto parsed = secview::ParseXml(kDoc);
+    if (!parsed.ok()) __builtin_trap();
+    return new secview::XmlTree(std::move(parsed).value());
+  }();
+  static const secview::LabelIndex* index = new secview::LabelIndex(*doc);
+
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  secview::XPathParseLimits limits;
+  limits.max_depth = 64;
+  limits.max_tokens = 4096;
+  auto parsed = secview::ParseXPath(input, limits);
+  if (!parsed.ok()) return 0;
+  secview::PathPtr p = std::move(parsed).value();
+
+  auto plan = secview::CompilePlan(p);
+  if (plan == nullptr) __builtin_trap();  // parser accepted, compiler must too
+  secview::PlanCompileOptions indexed_options;
+  indexed_options.use_index = true;
+  auto indexed_plan = secview::CompilePlan(p, indexed_options);
+  if (indexed_plan == nullptr) __builtin_trap();
+
+  secview::BudgetLimits unlimited;
+  CheckSame(RunAst(*doc, nullptr, p, unlimited),
+            RunCompiled(*doc, nullptr, *plan, unlimited));
+  CheckSame(RunAst(*doc, index, p, unlimited),
+            RunCompiled(*doc, index, *indexed_plan, unlimited));
+
+  // A budget small enough that hostile closures trip mid-evaluation:
+  // both paths must stop at the same strided checkpoint.
+  secview::BudgetLimits tight;
+  tight.max_nodes = 64;
+  CheckSame(RunAst(*doc, nullptr, p, tight),
+            RunCompiled(*doc, nullptr, *plan, tight));
+  return 0;
+}

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_compiled.json: the compiled-plan vs AST-walk A/B
+# (docs/observability.md, "Plan compilation").
+#
+#   - serve.qps.{compiled,ast}: median bench-serve throughput of
+#     --runs repetitions each, same binary, flipped with --no-compiled.
+#   - alloc.evaluate.{count,bytes}.compiled: bench_engine's evaluate-
+#     phase allocation churn on the compiled path (the committed
+#     pre-compilation baseline lives in BENCH_alloc.json; the 3x-win
+#     gate derived from it in scripts/alloc_gate.json).
+#
+# Usage: scripts/bench_compiled.sh [BUILD_DIR] [OUT.json]
+#        (defaults: build, BENCH_compiled.json; RUNS=5 overridable)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_compiled.json}"
+RUNS="${RUNS:-5}"
+SECVIEW="$(find "$BUILD_DIR" -name secview -type f -perm -u+x | head -1)"
+[[ -n "$SECVIEW" && -x "$SECVIEW" ]] || {
+  echo "bench_compiled: no secview binary under $BUILD_DIR (build first)" >&2
+  exit 1
+}
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+cat > "$WORK/hospital.dtd" <<'EOF'
+<!ELEMENT hospital (dept)*>
+<!ELEMENT dept (clinicalTrial, patientInfo, staffInfo)>
+<!ELEMENT clinicalTrial (patientInfo, test)>
+<!ELEMENT patientInfo (patient)*>
+<!ELEMENT patient (name, wardNo, treatment)>
+<!ELEMENT treatment (trial | regular)>
+<!ELEMENT trial (bill)>
+<!ELEMENT regular (bill, medication)>
+<!ELEMENT staffInfo (staff)*>
+<!ELEMENT staff (doctor | nurse)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT wardNo (#PCDATA)>
+<!ELEMENT test (#PCDATA)>
+<!ELEMENT bill (#PCDATA)>
+<!ELEMENT medication (#PCDATA)>
+<!ELEMENT doctor (#PCDATA)>
+<!ELEMENT nurse (#PCDATA)>
+EOF
+
+cat > "$WORK/nurse.spec" <<'EOF'
+ann(hospital, dept) = [*/patient/wardNo = $wardNo]
+ann(dept, clinicalTrial) = N
+ann(clinicalTrial, patientInfo) = Y
+ann(treatment, trial) = N
+ann(treatment, regular) = N
+ann(trial, bill) = Y
+ann(regular, bill) = Y
+ann(regular, medication) = Y
+EOF
+
+# A generated instance big enough that evaluation (not rewriting, which
+# the cache absorbs after the first repeat) dominates each request.
+"$SECVIEW" generate --dtd "$WORK/hospital.dtd" --bytes 500000 --seed 13 \
+  > "$WORK/doc.xml"
+
+cat > "$WORK/queries.txt" <<'EOF'
+//patient//bill
+//patient/name
+//patient[wardNo = "3"]
+//bill | //medication
+dept/patientInfo/patient/name
+EOF
+
+bench_qps() {
+  # bench_qps [extra flags...] -> median throughput of $RUNS runs
+  local runs=()
+  for _ in $(seq 1 "$RUNS"); do
+    local out
+    out="$("$SECVIEW" bench-serve --dtd "$WORK/hospital.dtd" \
+      --spec "$WORK/nurse.spec" --xml "$WORK/doc.xml" \
+      --queries "$WORK/queries.txt" --bind wardNo=3 \
+      --threads 2 --repeat 50 "$@")"
+    runs+=("$(echo "$out" | sed -n 's/^throughput: \([0-9.e+]*\) queries.*/\1/p')")
+  done
+  printf '%s\n' "${runs[@]}" | sort -g | sed -n "$(( (RUNS + 1) / 2 ))p"
+}
+
+echo "== bench-serve compiled (median of $RUNS) =="
+COMPILED_QPS="$(bench_qps)"
+echo "compiled: $COMPILED_QPS qps"
+echo "== bench-serve --no-compiled (median of $RUNS) =="
+AST_QPS="$(bench_qps --no-compiled)"
+echo "ast: $AST_QPS qps"
+
+echo "== bench_engine allocation churn (compiled path) =="
+"$BUILD_DIR"/bench/bench_engine --metrics-json="$WORK/alloc.json" \
+  --benchmark_filter=NONE > /dev/null
+ALLOC_COUNT="$(sed -n 's/.*"alloc.evaluate.count": \([0-9]*\).*/\1/p' "$WORK/alloc.json" | head -1)"
+ALLOC_BYTES="$(sed -n 's/.*"alloc.evaluate.bytes": \([0-9]*\).*/\1/p' "$WORK/alloc.json" | head -1)"
+echo "alloc.evaluate.count=$ALLOC_COUNT bytes=$ALLOC_BYTES"
+
+BASE_COUNT="$(sed -n 's/.*"alloc.evaluate.count": \([0-9]*\).*/\1/p' BENCH_alloc.json | head -1)"
+BASE_BYTES="$(sed -n 's/.*"alloc.evaluate.bytes": \([0-9]*\).*/\1/p' BENCH_alloc.json | head -1)"
+
+cat > "$OUT" <<EOF
+{
+  "schema": "secview.metrics.v1",
+  "bench": "bench_compiled",
+  "metrics": {
+    "gauges": {
+      "bench.compiled.serve.qps.compiled": $COMPILED_QPS,
+      "bench.compiled.serve.qps.ast": $AST_QPS,
+      "bench.compiled.alloc.evaluate.count.compiled": $ALLOC_COUNT,
+      "bench.compiled.alloc.evaluate.count.ast_baseline": $BASE_COUNT,
+      "bench.compiled.alloc.evaluate.bytes.compiled": $ALLOC_BYTES,
+      "bench.compiled.alloc.evaluate.bytes.ast_baseline": $BASE_BYTES
+    }
+  }
+}
+EOF
+echo "wrote $OUT (compiled $COMPILED_QPS qps vs ast $AST_QPS qps)"

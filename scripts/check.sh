@@ -46,6 +46,14 @@ scripts/profile_smoke.sh "$BUILD_DIR"
 echo "== alloc tracker under ASan =="
 "$BUILD_DIR"/tests/common_test --gtest_filter='AllocTracker*'
 
+# The compiled-plan differential harness (tests/plan_test.cc) is part
+# of ctest above; rerun it alone under ASan so a VM/AST divergence is
+# called out by name, then replay the XPath seed corpus through the
+# differential fuzzer (every accepted query runs on both interpreters,
+# plain, indexed, and under a tight node budget).
+echo "== compiled-plan differential harness under ASan =="
+"$BUILD_DIR"/tests/plan_test
+
 # Fuzz smoke: replay the seed corpus (and, under the fallback driver,
 # every truncation of each seed) through the ASan-instrumented parsers.
 # With a clang toolchain these are real libFuzzer binaries; add
@@ -54,6 +62,18 @@ echo "== fuzz smoke =="
 "$BUILD_DIR"/fuzz/fuzz_xml   tests/corpus/xml/*
 "$BUILD_DIR"/fuzz/fuzz_dtd   tests/corpus/dtd/*
 "$BUILD_DIR"/fuzz/fuzz_xpath tests/corpus/xpath/*
+"$BUILD_DIR"/fuzz/fuzz_plan_diff tests/corpus/xpath/*
+
+# Allocation gate: compiled evaluation must keep its >= 3x win over the
+# pre-compilation AST walk (scripts/alloc_gate.json holds BENCH_alloc
+# .json's baseline divided by 3). Allocation *counts* are deterministic
+# and sanitizer-independent -- the tracker hooks operator new itself --
+# so gating under the ASan build is exact, not approximate.
+echo "== compiled-plan allocation gate =="
+"$BUILD_DIR"/bench/bench_engine --metrics-json=/tmp/secview_alloc_gate.json \
+  --benchmark_filter=NONE >/dev/null
+"$BUILD_DIR"/tools/bench_summary --fail-above 0 \
+  scripts/alloc_gate.json /tmp/secview_alloc_gate.json
 
 # TSan and ASan cannot share a build tree; the concurrent tests are the
 # ones with real thread interleavings to check. net_test/telemetry_test

@@ -64,7 +64,7 @@ usage:
                       [--no-optimize]
   secview query       --dtd FILE (--spec FILE | --view FILE) --xml FILE
                       --query XPATH [--bind NAME=VALUE]... [--no-optimize]
-                      [--extract] [--stats] [--trace-json FILE]
+                      [--no-compiled] [--extract] [--stats] [--trace-json FILE]
                       [--profile] [--profile-json FILE]
                       [--audit-log FILE [--audit-max-bytes N]]
                       [--metrics-prom FILE] [--metrics-snapshot-dir DIR]
@@ -74,7 +74,7 @@ usage:
   secview audit-verify --log FILE
   secview bench-serve  --dtd FILE --spec FILE --xml FILE --queries FILE
                       [--threads N] [--repeat N] [--bind NAME=VALUE]...
-                      [--no-optimize] [--metrics-prom FILE]
+                      [--no-optimize] [--no-compiled] [--metrics-prom FILE]
                       [--deadline-ms N] [--max-nodes N] [--queue-cap N]
                       [--telemetry-addr HOST:PORT] [--port-file FILE]
                       [--slow-query-micros N] [--trace-sample N] [--profile]
@@ -84,8 +84,8 @@ usage:
                       [--threads N] [--queue-cap N] [--slow-query-micros N]
                       [--trace-sample N] [--trace-capacity N]
                       [--max-seconds N] [--bind NAME=VALUE]...
-                      [--no-optimize] [--deadline-ms N] [--max-nodes N]
-                      [--profile]
+                      [--no-optimize] [--no-compiled]
+                      [--deadline-ms N] [--max-nodes N] [--profile]
   secview scrape      (--addr HOST:PORT | --port N) [--path TARGET]
                       [--validate-prom] [--timeout-ms N]
   secview trace-export --in FILE [--chrome] [--out FILE] [--validate]
@@ -196,7 +196,8 @@ Result<Args> ParseArgs(const std::vector<std::string>& argv) {
     if (arg == "--show-sigma" || arg == "--no-optimize" ||
         arg == "--extract" || arg == "--stats" || arg == "--json" ||
         arg == "--validate-prom" || arg == "--chrome" ||
-        arg == "--validate" || arg == "--profile") {
+        arg == "--validate" || arg == "--profile" ||
+        arg == "--no-compiled") {
       args.switches[arg] = true;
       continue;
     }
@@ -516,6 +517,7 @@ Status CmdQuery(const Args& args, std::ostream& out) {
     ExecuteOptions options;
     options.bindings = args.bindings;
     options.optimize = optimize;
+    options.use_compiled = !args.switches.count("--no-compiled");
     options.trace = &trace;
     options.audit = audit_log.get();
     options.limits = limits.budget;
@@ -868,6 +870,7 @@ Status CmdServe(const Args& args, std::ostream& out) {
   ExecuteOptions options;
   options.bindings = args.bindings;
   options.optimize = !args.switches.count("--no-optimize");
+  options.use_compiled = !args.switches.count("--no-compiled");
   options.limits = limits.budget;
   options.parse_limits = limits.xpath;
 
@@ -975,6 +978,7 @@ Status CmdBenchServe(const Args& args, std::ostream& out) {
   ExecuteOptions options;
   options.bindings = args.bindings;
   options.optimize = !args.switches.count("--no-optimize");
+  options.use_compiled = !args.switches.count("--no-compiled");
   options.limits = limits.budget;
   options.parse_limits = limits.xpath;
 

@@ -16,6 +16,7 @@
 #include "security/materializer.h"
 #include "security/spec_parser.h"
 #include "xpath/parser.h"
+#include "xpath/plan.h"
 #include "xpath/printer.h"
 #include "xpath/profiler.h"
 
@@ -72,6 +73,10 @@ SecureQueryEngine::SecureQueryEngine(std::unique_ptr<Dtd> dtd,
   hot_.cache_misses = &metrics_.GetCounter("engine.cache.misses");
   hot_.cache_evictions = &metrics_.GetCounter("engine.cache.evictions");
   hot_.cache_size = &metrics_.GetGauge("engine.cache.size");
+  hot_.cache_bytes = &metrics_.GetGauge("engine.cache.bytes");
+  hot_.plan_compiles = &metrics_.GetCounter("engine.plan.compiles");
+  hot_.plan_cached = &metrics_.GetGauge("engine.plan.cached");
+  hot_.plan_cache_bytes = &metrics_.GetGauge("engine.plan.cache_bytes");
   hot_.execute_micros = &metrics_.GetHistogram("engine.execute.micros");
   hot_.alloc_bytes = &metrics_.GetHistogram(
       "engine.alloc.bytes", obs::MetricsRegistry::DefaultByteBounds());
@@ -87,9 +92,12 @@ SecureQueryEngine::SecureQueryEngine(std::unique_ptr<Dtd> dtd,
   hot_.alloc_evaluate_count = &metrics_.GetCounter("alloc.evaluate.count");
   const size_t shards = std::max<size_t>(1, options_.cache_shards);
   hot_.shard_size.reserve(shards);
+  hot_.shard_bytes.reserve(shards);
   for (size_t i = 0; i < shards; ++i) {
     hot_.shard_size.push_back(&metrics_.GetGauge(
         "engine.cache.shard_" + std::to_string(i) + ".size"));
+    hot_.shard_bytes.push_back(&metrics_.GetGauge(
+        "engine.cache.shard_" + std::to_string(i) + ".bytes"));
   }
 }
 
@@ -207,21 +215,51 @@ Result<std::string> SecureQueryEngine::PublishedViewDtd(
   return p->view.ViewDtdString();
 }
 
-Result<PathPtr> SecureQueryEngine::Prepare(Policy& policy,
-                                           std::string_view query_text,
-                                           bool optimize, int depth,
-                                           obs::Trace* trace,
-                                           ExecuteStats* stats,
-                                           const XPathParseLimits& parse_limits,
-                                           QueryBudget* budget) {
+std::shared_ptr<const CompiledPlan> SecureQueryEngine::CompileQueryPlan(
+    const PathPtr& query, obs::Trace* trace) {
+  obs::ScopedSpan span(trace, "compile");
+  obs::ScopedTimer timer(&metrics_.GetHistogram("phase.compile.micros"));
+  std::shared_ptr<const CompiledPlan> plan = CompilePlan(query);
+  if (plan != nullptr) {
+    hot_.plan_compiles->Add();
+    span.SetAttr("ops", static_cast<uint64_t>(plan->ops.size()));
+    span.SetAttr("bytes", static_cast<uint64_t>(plan->byte_size()));
+  }
+  return plan;
+}
+
+void SecureQueryEngine::ApplyPlanCacheDeltas(size_t shard, int64_t bytes_delta,
+                                             int64_t plan_bytes_delta,
+                                             int64_t plans_delta) {
+  if (bytes_delta != 0) {
+    hot_.cache_bytes->Add(bytes_delta);
+    hot_.shard_bytes[shard % hot_.shard_bytes.size()]->Add(bytes_delta);
+  }
+  if (plan_bytes_delta != 0) hot_.plan_cache_bytes->Add(plan_bytes_delta);
+  if (plans_delta != 0) hot_.plan_cached->Add(plans_delta);
+}
+
+Result<CachedQuery> SecureQueryEngine::Prepare(
+    Policy& policy, std::string_view query_text, bool optimize, int depth,
+    bool compile, obs::Trace* trace, ExecuteStats* stats,
+    const XPathParseLimits& parse_limits, QueryBudget* budget) {
   const bool recursive = !policy.rewriter.has_value();
   std::string cache_key = std::string(query_text) + "\x1f" +
                           (optimize ? "1" : "0") + "\x1f" +
                           std::to_string(depth);
-  if (PathPtr cached = policy.cache.Lookup(cache_key)) {
+  if (std::optional<CachedQuery> cached = policy.cache.Lookup(cache_key)) {
     hot_.cache_hits->Add();
     if (stats != nullptr) stats->cache_hit = true;
-    return cached;
+    if (compile && cached->plan == nullptr) {
+      // First evaluation of a resident entry: pay the compile once and
+      // attach the plan so every later hit reuses it.
+      ShardedRewriteCache::AttachOutcome attach = policy.cache.AttachPlan(
+          cache_key, CompileQueryPlan(cached->query, trace));
+      ApplyPlanCacheDeltas(attach.shard, attach.bytes_delta,
+                           attach.plan_bytes_delta, attach.plans_delta);
+      cached->plan = std::move(attach.plan);
+    }
+    return *cached;
   }
   hot_.cache_misses->Add();
   if (stats != nullptr) stats->cache_hit = false;
@@ -315,11 +353,15 @@ Result<PathPtr> SecureQueryEngine::Prepare(Policy& policy,
       stats->union_prunes += static_cast<uint64_t>(ostats.union_prunes);
     }
   }
+  CachedQuery value;
+  value.query = std::move(rewritten);
+  if (compile) value.plan = CompileQueryPlan(value.query, trace);
   // Two threads that missed on the same key both computed the (same,
   // deterministic) rewriting; Insert keeps whichever landed first and
-  // returns the resident value so every caller shares one AST.
+  // returns the resident value so every caller shares one AST (and, via
+  // plan grafting, one compiled plan).
   ShardedRewriteCache::InsertOutcome outcome =
-      policy.cache.Insert(cache_key, std::move(rewritten));
+      policy.cache.Insert(cache_key, std::move(value));
   if (outcome.evicted) hot_.cache_evictions->Add();
   if (outcome.inserted) {
     // Size gauges track the insert/evict delta; an eviction and an
@@ -330,6 +372,8 @@ Result<PathPtr> SecureQueryEngine::Prepare(Policy& policy,
     }
     policy.cache_size_gauge->Set(static_cast<int64_t>(policy.cache.size()));
   }
+  ApplyPlanCacheDeltas(outcome.shard, outcome.bytes_delta,
+                       outcome.plan_bytes_delta, outcome.plans_delta);
   return outcome.value;
 }
 
@@ -338,9 +382,12 @@ Result<PathPtr> SecureQueryEngine::Rewrite(const std::string& policy_name,
                                            bool optimize, int doc_height) {
   SECVIEW_ASSIGN_OR_RETURN(Policy* policy, FindPolicy(policy_name));
   const int depth = policy->rewriter.has_value() ? 0 : doc_height;
-  return Prepare(*policy, query_text, optimize, depth,
-                 /*trace=*/nullptr, /*stats=*/nullptr, XPathParseLimits{},
-                 /*budget=*/nullptr);
+  SECVIEW_ASSIGN_OR_RETURN(
+      CachedQuery prepared,
+      Prepare(*policy, query_text, optimize, depth, /*compile=*/false,
+              /*trace=*/nullptr, /*stats=*/nullptr, XPathParseLimits{},
+              /*budget=*/nullptr));
+  return prepared.query;
 }
 
 Status SecureQueryEngine::ExecuteInto(const std::string& policy_name,
@@ -372,20 +419,29 @@ Status SecureQueryEngine::ExecuteInto(const std::string& policy_name,
   const int doc_height = policy->rewriter.has_value() ? 0 : doc.Height();
 
   result.stats.unfold_depth = doc_height;
+  // Only the entry that gets *evaluated* carries a compiled plan: with
+  // optimization on, that is the second (optimized) preparation.
   SECVIEW_ASSIGN_OR_RETURN(
-      PathPtr rewritten,
+      CachedQuery prepared,
       Prepare(*policy, query_text, /*optimize=*/false, doc_height,
+              /*compile=*/options.use_compiled && !options.optimize,
               options.trace, &result.stats, options.parse_limits, budget_ptr));
-  result.rewritten = rewritten;
-  PathPtr to_run = rewritten;
+  result.rewritten = prepared.query;
+  PathPtr to_run = prepared.query;
+  std::shared_ptr<const CompiledPlan> plan = std::move(prepared.plan);
   if (options.optimize) {
     // stats.cache_hit ends up describing this (the evaluated) entry.
     SECVIEW_ASSIGN_OR_RETURN(
-        to_run,
+        prepared,
         Prepare(*policy, query_text, /*optimize=*/true, doc_height,
-                options.trace, &result.stats, options.parse_limits,
-                budget_ptr));
+                /*compile=*/options.use_compiled, options.trace, &result.stats,
+                options.parse_limits, budget_ptr));
+    to_run = prepared.query;
+    plan = std::move(prepared.plan);
   }
+  // A cached entry may carry a plan attached by an earlier compiled run;
+  // --no-compiled must force the AST walk even then.
+  if (!options.use_compiled) plan = nullptr;
   if (budget_ptr != nullptr) SECVIEW_RETURN_IF_ERROR(budget_ptr->Check());
   {
     obs::ScopedSpan span(options.trace, "bind");
@@ -418,10 +474,22 @@ Status SecureQueryEngine::ExecuteInto(const std::string& policy_name,
       profiler.emplace();
       evaluator.set_profiler(&*profiler);
     }
-    SECVIEW_ASSIGN_OR_RETURN(result.nodes,
-                             evaluator.Evaluate(to_run, doc.root()));
+    if (plan != nullptr) {
+      // Compiled path: the plan was lowered from the *unbound* AST;
+      // $parameters resolve against options.bindings per execution, so
+      // one cached plan serves every binding. Pooled per-thread scratch
+      // buffers keep the steady state allocation-free.
+      SECVIEW_ASSIGN_OR_RETURN(
+          result.nodes,
+          evaluator.EvaluateCompiled(*plan, doc.root(), options.bindings));
+      result.stats.compiled = true;
+    } else {
+      SECVIEW_ASSIGN_OR_RETURN(result.nodes,
+                               evaluator.Evaluate(to_run, doc.root()));
+    }
     result.stats.nodes_touched = evaluator.counters().nodes_touched;
     result.stats.predicate_evals = evaluator.counters().predicate_evals;
+    span.SetAttr("plan", plan != nullptr ? "compiled" : "ast");
     span.SetAttr("nodes_touched", result.stats.nodes_touched);
     span.SetAttr("predicate_evals", result.stats.predicate_evals);
     span.SetAttr("results", static_cast<uint64_t>(result.nodes.size()));

@@ -97,6 +97,14 @@ struct ExecuteOptions {
   /// per plan-node invocation. Profiling is also implied (regardless of
   /// this flag) while a PlanProfileTable is attached.
   bool profile = false;
+
+  /// Evaluate through the compiled query plan (xpath/plan.h): the
+  /// rewritten AST is lowered once into flat step bytecode, cached next
+  /// to the AST, and executed over pooled scratch buffers. Results,
+  /// statuses, counters, budget charging, and profiles are identical to
+  /// the AST walk (guarded by tests/plan_test.cc); turn this off
+  /// (`--no-compiled` in the CLI) only to A/B the interpreter paths.
+  bool use_compiled = true;
 };
 
 /// Structured per-execution statistics (the successor of the old bare
@@ -112,6 +120,9 @@ struct ExecuteStats {
   size_t result_count = 0;
   /// True iff the *evaluated* query came out of the rewrite cache.
   bool cache_hit = false;
+  /// True iff evaluation ran the compiled plan rather than the AST walk
+  /// (ExecuteOptions::use_compiled and compilation succeeded).
+  bool compiled = false;
   /// Unfolding depth used (0 for non-recursive views).
   int unfold_depth = 0;
   /// |p| after rewriting, before optimization.
@@ -389,6 +400,19 @@ class SecureQueryEngine {
     obs::Counter* cache_misses = nullptr;
     obs::Counter* cache_evictions = nullptr;
     obs::Gauge* cache_size = nullptr;
+    /// engine.cache.bytes — byte footprint of all rewrite-cache entries
+    /// (keys + AST estimates + compiled-plan tables), across policies.
+    /// engine.cache.size counts entries only, which stopped being a
+    /// proxy for memory once entries started carrying bytecode.
+    obs::Gauge* cache_bytes = nullptr;
+    /// engine.plan.compiles — plan compilations performed (a cache hit
+    /// on an entry that already has a plan does not compile).
+    obs::Counter* plan_compiles = nullptr;
+    /// engine.plan.cached — compiled plans resident in the caches.
+    obs::Gauge* plan_cached = nullptr;
+    /// engine.plan.cache_bytes — bytes of resident compiled plans
+    /// (subset of engine.cache.bytes).
+    obs::Gauge* plan_cache_bytes = nullptr;
     /// engine.execute.micros — end-to-end Execute latency (all phases,
     /// successes and failures alike).
     obs::Histogram* execute_micros = nullptr;
@@ -409,6 +433,8 @@ class SecureQueryEngine {
     obs::Counter* alloc_evaluate_count = nullptr;
     /// engine.cache.shard_<i>.size, aggregated across policies.
     std::vector<obs::Gauge*> shard_size;
+    /// engine.cache.shard_<i>.bytes, aggregated across policies.
+    std::vector<obs::Gauge*> shard_bytes;
   };
 
   SecureQueryEngine(std::unique_ptr<Dtd> dtd, const EngineOptions& options);
@@ -420,12 +446,25 @@ class SecureQueryEngine {
   /// explain pass: sharded-cache lookup, then parse -> [unfold ->]
   /// rewrite -> [optimize ->] cache insert. Safe from many threads
   /// (serve phase). `trace`, `stats`, and `budget` may be null. A
-  /// budget-tripped preparation is never cached.
-  Result<PathPtr> Prepare(Policy& policy, std::string_view query_text,
-                          bool optimize, int depth, obs::Trace* trace,
-                          ExecuteStats* stats,
-                          const XPathParseLimits& parse_limits,
-                          QueryBudget* budget);
+  /// budget-tripped preparation is never cached. With `compile` set the
+  /// returned entry additionally carries the compiled plan — compiled
+  /// now if needed (and attached to the cache entry), reused from the
+  /// entry otherwise.
+  Result<CachedQuery> Prepare(Policy& policy, std::string_view query_text,
+                              bool optimize, int depth, bool compile,
+                              obs::Trace* trace, ExecuteStats* stats,
+                              const XPathParseLimits& parse_limits,
+                              QueryBudget* budget);
+
+  /// Lowers a rewritten query to bytecode under the "compile" span /
+  /// phase.compile.micros timer and bumps engine.plan.compiles.
+  std::shared_ptr<const CompiledPlan> CompileQueryPlan(const PathPtr& query,
+                                                       obs::Trace* trace);
+
+  /// Feeds a cache operation's signed byte/plan deltas into the
+  /// engine.cache.bytes / engine.plan.* gauges.
+  void ApplyPlanCacheDeltas(size_t shard, int64_t bytes_delta,
+                            int64_t plan_bytes_delta, int64_t plans_delta);
 
   /// Execute minus the audit bookkeeping; fills `result` as far as the
   /// execution got, so a failing run still exposes partial provenance

@@ -4,7 +4,49 @@
 #include <functional>
 #include <mutex>
 
+#include "xpath/plan.h"
+
 namespace secview {
+
+namespace {
+
+size_t StringHeapBytes(const std::string& s) {
+  return s.capacity() > sizeof(std::string) ? s.capacity() : 0;
+}
+
+size_t QualBytes(const QualPtr& q);
+
+/// Estimated heap footprint of an AST: node structs plus out-of-line
+/// string payloads. Shared subexpressions are counted once per
+/// occurrence — an overestimate for heavily shared rewrites, which errs
+/// on the safe side for a gauge that exists to bound memory.
+size_t PathBytes(const PathPtr& p) {
+  if (!p) return 0;
+  size_t bytes = sizeof(PathExpr) + StringHeapBytes(p->label);
+  bytes += PathBytes(p->left);
+  bytes += PathBytes(p->right);
+  bytes += QualBytes(p->qualifier);
+  return bytes;
+}
+
+size_t QualBytes(const QualPtr& q) {
+  if (!q) return 0;
+  size_t bytes = sizeof(Qualifier) + StringHeapBytes(q->constant) +
+                 StringHeapBytes(q->attr);
+  bytes += PathBytes(q->path);
+  bytes += QualBytes(q->left);
+  bytes += QualBytes(q->right);
+  return bytes;
+}
+
+}  // namespace
+
+size_t ShardedRewriteCache::EntryFootprintBytes(const std::string& key,
+                                                const CachedQuery& value) {
+  size_t bytes = key.size() + sizeof(Entry) + PathBytes(value.query);
+  if (value.plan != nullptr) bytes += value.plan->byte_size();
+  return bytes;
+}
 
 ShardedRewriteCache::ShardedRewriteCache() : ShardedRewriteCache(Options{}) {}
 
@@ -24,17 +66,17 @@ size_t ShardedRewriteCache::ShardIndex(const std::string& key) const {
   return std::hash<std::string>{}(key) % shards_.size();
 }
 
-PathPtr ShardedRewriteCache::Lookup(const std::string& key) {
+std::optional<CachedQuery> ShardedRewriteCache::Lookup(const std::string& key) {
   Shard& shard = *shards_[ShardIndex(key)];
   std::shared_lock<std::shared_mutex> lock(shard.mu);
   auto it = shard.map.find(key);
-  if (it == shard.map.end()) return nullptr;
+  if (it == shard.map.end()) return std::nullopt;
   it->second->last_used.store(NextTick(), std::memory_order_relaxed);
   return it->second->value;
 }
 
 ShardedRewriteCache::InsertOutcome ShardedRewriteCache::Insert(
-    const std::string& key, PathPtr value) {
+    const std::string& key, CachedQuery value) {
   InsertOutcome outcome;
   outcome.shard = ShardIndex(key);
   Shard& shard = *shards_[outcome.shard];
@@ -42,9 +84,24 @@ ShardedRewriteCache::InsertOutcome ShardedRewriteCache::Insert(
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     // Another thread prepared the same key concurrently; keep its entry
-    // (the rewrite is deterministic, so the values are equivalent).
-    it->second->last_used.store(NextTick(), std::memory_order_relaxed);
-    outcome.value = it->second->value;
+    // (the rewrite is deterministic, so the values are equivalent). If
+    // this thread also compiled a plan the resident entry lacks, graft
+    // it on so the compile is not wasted.
+    Entry& entry = *it->second;
+    entry.last_used.store(NextTick(), std::memory_order_relaxed);
+    if (entry.value.plan == nullptr && value.plan != nullptr) {
+      entry.value.plan = std::move(value.plan);
+      const size_t plan_bytes = entry.value.plan->byte_size();
+      entry.bytes += plan_bytes;
+      entry.plan_bytes = plan_bytes;
+      shard.bytes += plan_bytes;
+      shard.plan_bytes += plan_bytes;
+      shard.plans += 1;
+      outcome.bytes_delta = static_cast<int64_t>(plan_bytes);
+      outcome.plan_bytes_delta = static_cast<int64_t>(plan_bytes);
+      outcome.plans_delta = 1;
+    }
+    outcome.value = entry.value;
     return outcome;
   }
   if (shard.map.size() >= shard_capacity_) {
@@ -57,16 +114,68 @@ ShardedRewriteCache::InsertOutcome ShardedRewriteCache::Insert(
         victim = cand;
       }
     }
+    const Entry& evicted = *victim->second;
+    shard.bytes -= evicted.bytes;
+    shard.plan_bytes -= evicted.plan_bytes;
+    if (evicted.value.plan != nullptr) {
+      shard.plans -= 1;
+      outcome.plans_delta -= 1;
+    }
+    outcome.bytes_delta -= static_cast<int64_t>(evicted.bytes);
+    outcome.plan_bytes_delta -= static_cast<int64_t>(evicted.plan_bytes);
     shard.map.erase(victim);
     evictions_.fetch_add(1, std::memory_order_relaxed);
     outcome.evicted = true;
   }
   auto entry = std::make_unique<Entry>();
   entry->value = value;
+  entry->bytes = EntryFootprintBytes(key, value);
+  entry->plan_bytes = value.plan != nullptr ? value.plan->byte_size() : 0;
   entry->last_used.store(NextTick(), std::memory_order_relaxed);
+  shard.bytes += entry->bytes;
+  shard.plan_bytes += entry->plan_bytes;
+  outcome.bytes_delta += static_cast<int64_t>(entry->bytes);
+  outcome.plan_bytes_delta += static_cast<int64_t>(entry->plan_bytes);
+  if (value.plan != nullptr) {
+    shard.plans += 1;
+    outcome.plans_delta += 1;
+  }
   shard.map.emplace(key, std::move(entry));
   outcome.value = std::move(value);
   outcome.inserted = true;
+  return outcome;
+}
+
+ShardedRewriteCache::AttachOutcome ShardedRewriteCache::AttachPlan(
+    const std::string& key, std::shared_ptr<const CompiledPlan> plan) {
+  AttachOutcome outcome;
+  outcome.shard = ShardIndex(key);
+  Shard& shard = *shards_[outcome.shard];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    // Evicted between the caller's lookup and now; the plan is still
+    // valid for this execution, it just does not get cached.
+    outcome.plan = std::move(plan);
+    return outcome;
+  }
+  Entry& entry = *it->second;
+  if (entry.value.plan != nullptr) {
+    outcome.plan = entry.value.plan;
+    return outcome;
+  }
+  entry.value.plan = std::move(plan);
+  const size_t plan_bytes = entry.value.plan->byte_size();
+  entry.bytes += plan_bytes;
+  entry.plan_bytes = plan_bytes;
+  shard.bytes += plan_bytes;
+  shard.plan_bytes += plan_bytes;
+  shard.plans += 1;
+  outcome.plan = entry.value.plan;
+  outcome.attached = true;
+  outcome.bytes_delta = static_cast<int64_t>(plan_bytes);
+  outcome.plan_bytes_delta = static_cast<int64_t>(plan_bytes);
+  outcome.plans_delta = 1;
   return outcome;
 }
 
@@ -74,6 +183,9 @@ void ShardedRewriteCache::Clear() {
   for (auto& shard : shards_) {
     std::unique_lock<std::shared_mutex> lock(shard->mu);
     shard->map.clear();
+    shard->bytes = 0;
+    shard->plan_bytes = 0;
+    shard->plans = 0;
   }
 }
 
@@ -83,9 +195,33 @@ size_t ShardedRewriteCache::ShardSize(size_t i) const {
   return shard.map.size();
 }
 
+size_t ShardedRewriteCache::ShardBytes(size_t i) const {
+  const Shard& shard = *shards_[i];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  return shard.bytes;
+}
+
+size_t ShardedRewriteCache::ShardPlans(size_t i) const {
+  const Shard& shard = *shards_[i];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  return shard.plans;
+}
+
 size_t ShardedRewriteCache::size() const {
   size_t total = 0;
   for (size_t i = 0; i < shards_.size(); ++i) total += ShardSize(i);
+  return total;
+}
+
+size_t ShardedRewriteCache::bytes() const {
+  size_t total = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) total += ShardBytes(i);
+  return total;
+}
+
+size_t ShardedRewriteCache::plans() const {
+  size_t total = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) total += ShardPlans(i);
   return total;
 }
 

@@ -180,9 +180,11 @@ std::string TelemetryServer::RenderStatusz() const {
   bool any_cache = false;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  uint64_t plan_compiles = 0;
   for (const auto& [name, value] : snapshot.counters) {
     if (name == "engine.cache.hits") cache_hits = value;
     if (name == "engine.cache.misses") cache_misses = value;
+    if (name == "engine.plan.compiles") plan_compiles = value;
   }
   if (cache_hits + cache_misses > 0) {
     out << "  hit rate: "
@@ -191,15 +193,34 @@ std::string TelemetryServer::RenderStatusz() const {
         << " (" << cache_hits << " hits, " << cache_misses << " misses)\n";
     any_cache = true;
   }
+  int64_t cache_bytes = 0;
+  int64_t plan_cached = 0;
+  int64_t plan_bytes = 0;
+  bool have_plan_gauges = false;
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string_view n = name;
+    if (n == "engine.cache.bytes") cache_bytes = value;
+    if (n == "engine.plan.cached") {
+      plan_cached = value;
+      have_plan_gauges = true;
+    }
+    if (n == "engine.plan.cache_bytes") plan_bytes = value;
+  }
   for (const auto& [name, value] : snapshot.gauges) {
     std::string_view n = name;
     if (n == "engine.cache.size") {
-      out << "  total entries: " << value << "\n";
+      out << "  total entries: " << value << " (" << cache_bytes
+          << " bytes)\n";
       any_cache = true;
     } else if (n.size() > 18 && n.substr(0, 18) == "engine.cache.shard") {
       out << "  " << n << " = " << value << "\n";
       any_cache = true;
     }
+  }
+  if (have_plan_gauges) {
+    out << "  plans: " << plan_cached << " compiled (" << plan_bytes
+        << " bytes, " << plan_compiles << " compiles)\n";
+    any_cache = true;
   }
   if (!any_cache) out << "  no cache gauges registered\n";
 

@@ -168,6 +168,18 @@ std::string XmlTree::CollectText(NodeId n) const {
   return out;
 }
 
+bool XmlTree::TextEquals(NodeId n, std::string_view expected) const {
+  size_t off = 0;
+  for (NodeId c = first_child(n); c != kNullNode; c = next_sibling(c)) {
+    if (!IsText(c)) continue;
+    std::string_view t = text(c);
+    if (t.size() > expected.size() - off) return false;  // off <= size holds
+    if (expected.substr(off, t.size()) != t) return false;
+    off += t.size();
+  }
+  return off == expected.size();
+}
+
 size_t XmlTree::EstimateSerializedSize() const {
   size_t total = 0;
   for (size_t i = 0; i < nodes_.size(); ++i) {

@@ -130,6 +130,11 @@ class XmlTree {
   /// Concatenation of all text values directly under element `n`.
   std::string CollectText(NodeId n) const;
 
+  /// True iff CollectText(n) == expected, decided by streaming over the
+  /// text children without materializing the concatenation — the
+  /// allocation-free comparison the compiled-plan VM uses for [p = c].
+  bool TextEquals(NodeId n, std::string_view expected) const;
+
   /// Total serialized size estimate in bytes (labels + text + markup).
   size_t EstimateSerializedSize() const;
 

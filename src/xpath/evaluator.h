@@ -2,6 +2,8 @@
 #define SECVIEW_XPATH_EVALUATOR_H_
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/budget.h"
@@ -27,6 +29,8 @@ using NodeSet = std::vector<NodeId>;
 /// (below), which benchmarks use as machine-independent cost measures.
 class LabelIndex;
 class PlanProfiler;
+struct CompiledPlan;
+class EvalScratch;
 
 /// Machine-independent evaluation costs, accumulated across calls until
 /// ResetWork(). `nodes_touched` is the paper's node-visit count; the
@@ -59,6 +63,26 @@ class XPathEvaluator {
 
   /// Evaluates a qualifier at one node.
   Result<bool> EvaluateQualifier(const QualPtr& q, NodeId node);
+
+  /// Executes a compiled plan (xpath/plan.h) — semantically identical
+  /// to Evaluate on the plan's source AST, including every counter,
+  /// budget checkpoint, and profiler frame, but runs the flat bytecode
+  /// over pooled NodeSet buffers from `scratch` instead of re-walking
+  /// the AST and allocating a fresh set per step. `bindings` resolve
+  /// the plan's $parameter constants per call (the plan itself stays
+  /// unbound, so cached plans serve every binding set). `scratch`
+  /// defaults to the calling thread's EvalScratch::ThreadLocal().
+  /// Fails with FailedPrecondition when a $parameter is unbound, and
+  /// when the plan was compiled with PlanCompileOptions::use_index but
+  /// no LabelIndex is attached. Implemented in xpath/vm.cc.
+  Result<NodeSet> EvaluateCompiled(
+      const CompiledPlan& plan, NodeId context,
+      const std::vector<std::pair<std::string, std::string>>& bindings = {},
+      EvalScratch* scratch = nullptr);
+  Result<NodeSet> EvaluateCompiled(
+      const CompiledPlan& plan, const NodeSet& context,
+      const std::vector<std::pair<std::string, std::string>>& bindings = {},
+      EvalScratch* scratch = nullptr);
 
   /// Attaches a metrics registry: every public Evaluate/EvaluateQualifier
   /// call flushes the counters it accumulated into `eval.nodes_touched`,
@@ -108,6 +132,19 @@ class XPathEvaluator {
   bool EvalQual(const QualPtr& q, NodeId node);
   bool EvalQualStep(const QualPtr& q, NodeId node);
 
+  /// Compiled-plan VM (xpath/vm.cc): mirrors the Eval/EvalStep and
+  /// EvalQual/EvalQualStep pairs op for op, writing into pooled buffers
+  /// instead of returning sets by value. Indices address the plan bound
+  /// in plan_ for the duration of one EvaluateCompiled call.
+  void RunOp(int32_t op, const NodeSet& ctx, NodeSet& out);
+  void RunOpStep(int32_t op, const NodeSet& ctx, NodeSet& out);
+  void RunLabel(int label_id, const NodeSet& ctx, NodeSet& out);
+  void RunWildcard(const NodeSet& ctx, NodeSet& out);
+  void RunDescOrSelf(const NodeSet& ctx, NodeSet& out);
+  void RunDescLabelIndexed(int label_id, const NodeSet& ctx, NodeSet& out);
+  bool RunQual(int32_t q, NodeId node);
+  bool RunQualStep(int32_t q, NodeId node);
+
   static void SortUnique(NodeSet& set);
 
   /// Adds the counter deltas since `before` to the attached registry.
@@ -139,6 +176,15 @@ class XPathEvaluator {
   uint64_t budget_charged_ = 0;
   bool budget_stop_ = false;
   Status budget_status_;
+
+  /// Execution state of the compiled-plan VM, valid only during an
+  /// EvaluateCompiled call: the plan being run, the scratch arena, and
+  /// the per-call label/constant resolutions (slot arrays owned by the
+  /// scratch, exposed here as raw pointers for the hot loops).
+  const CompiledPlan* plan_ = nullptr;
+  EvalScratch* scratch_ = nullptr;
+  const int* plan_labels_ = nullptr;
+  const std::string* const* plan_consts_ = nullptr;
 };
 
 /// Convenience wrapper: evaluates `p` at the tree root.

@@ -1,0 +1,179 @@
+#include "xpath/plan.h"
+
+#include <unordered_map>
+#include <utility>
+
+namespace secview {
+
+namespace {
+
+/// Lowers one AST into the flat arrays. Children are compiled before
+/// their parent is appended, so every index reference points backwards
+/// and the entry op is the last element.
+class PlanBuilder {
+ public:
+  explicit PlanBuilder(bool use_index) : use_index_(use_index) {}
+
+  int32_t CompilePath(const PathPtr& p) {
+    CompiledPlan::Op op;
+    op.ast = p.get();
+    switch (p->kind) {
+      case PathKind::kEmptySet:
+        op.code = CompiledPlan::OpCode::kEmptySet;
+        break;
+      case PathKind::kEpsilon:
+        op.code = CompiledPlan::OpCode::kEpsilon;
+        break;
+      case PathKind::kLabel:
+        op.code = CompiledPlan::OpCode::kLabel;
+        op.label = InternLabel(p->label);
+        break;
+      case PathKind::kWildcard:
+        op.code = CompiledPlan::OpCode::kWildcard;
+        break;
+      case PathKind::kSlash:
+        op.code = CompiledPlan::OpCode::kSlash;
+        op.left = CompilePath(p->left);
+        op.right = CompilePath(p->right);
+        break;
+      case PathKind::kDescOrSelf: {
+        // Pre-decide the evaluator's runtime index check: '//label' and
+        // '//label[q]' become one index-scan op (the inner label — and
+        // for the qualified form the filter — never get ops of their
+        // own, mirroring the interpreter's frame structure exactly).
+        if (use_index_) {
+          const PathPtr& step = p->left;
+          const PathPtr* label_part = &step;
+          if (step->kind == PathKind::kQualified) label_part = &step->left;
+          if ((*label_part)->kind == PathKind::kLabel) {
+            plan_.uses_index = true;
+            op.code = CompiledPlan::OpCode::kDescLabelIndexed;
+            op.label = InternLabel((*label_part)->label);
+            if (step->kind == PathKind::kQualified) {
+              op.qual = CompileQual(step->qualifier);
+            }
+            break;
+          }
+        }
+        op.code = CompiledPlan::OpCode::kDescOrSelf;
+        op.left = CompilePath(p->left);
+        break;
+      }
+      case PathKind::kUnion:
+        op.code = CompiledPlan::OpCode::kUnion;
+        op.left = CompilePath(p->left);
+        op.right = CompilePath(p->right);
+        break;
+      case PathKind::kQualified:
+        op.code = CompiledPlan::OpCode::kQualified;
+        op.left = CompilePath(p->left);
+        op.qual = CompileQual(p->qualifier);
+        break;
+    }
+    plan_.ops.push_back(op);
+    return static_cast<int32_t>(plan_.ops.size()) - 1;
+  }
+
+  int32_t CompileQual(const QualPtr& q) {
+    CompiledPlan::Qual qual;
+    qual.kind = q->kind;
+    qual.ast = q.get();
+    switch (q->kind) {
+      case QualKind::kTrue:
+      case QualKind::kFalse:
+        break;
+      case QualKind::kPath:
+        qual.path = CompilePath(q->path);
+        break;
+      case QualKind::kPathEqConst:
+        qual.path = CompilePath(q->path);
+        qual.constant = InternConst(q->constant, q->is_param);
+        break;
+      case QualKind::kAttrEq:
+        qual.attr = InternAttr(q->attr);
+        qual.constant = InternConst(q->constant, /*is_param=*/false);
+        break;
+      case QualKind::kAttrExists:
+        qual.attr = InternAttr(q->attr);
+        break;
+      case QualKind::kAnd:
+      case QualKind::kOr:
+        qual.left = CompileQual(q->left);
+        qual.right = CompileQual(q->right);
+        break;
+      case QualKind::kNot:
+        qual.left = CompileQual(q->left);
+        break;
+    }
+    plan_.quals.push_back(qual);
+    return static_cast<int32_t>(plan_.quals.size()) - 1;
+  }
+
+  CompiledPlan Take() { return std::move(plan_); }
+
+ private:
+  int32_t InternLabel(const std::string& label) {
+    auto [it, inserted] =
+        label_ids_.emplace(label, static_cast<int32_t>(plan_.labels.size()));
+    if (inserted) plan_.labels.push_back(label);
+    return it->second;
+  }
+
+  int32_t InternConst(const std::string& value, bool is_param) {
+    plan_.consts.push_back({value, is_param});
+    return static_cast<int32_t>(plan_.consts.size()) - 1;
+  }
+
+  int32_t InternAttr(const std::string& attr) {
+    plan_.attrs.push_back(attr);
+    return static_cast<int32_t>(plan_.attrs.size()) - 1;
+  }
+
+  bool use_index_;
+  CompiledPlan plan_;
+  std::unordered_map<std::string, int32_t> label_ids_;
+};
+
+size_t StringBytes(const std::string& s) {
+  // Heap payload only when the string outgrew the small-string buffer.
+  return s.capacity() > sizeof(std::string) ? s.capacity() : 0;
+}
+
+size_t PlanBytes(const CompiledPlan& plan) {
+  size_t bytes = sizeof(CompiledPlan);
+  bytes += plan.ops.capacity() * sizeof(CompiledPlan::Op);
+  bytes += plan.quals.capacity() * sizeof(CompiledPlan::Qual);
+  bytes += plan.labels.capacity() * sizeof(std::string);
+  bytes += plan.consts.capacity() * sizeof(CompiledPlan::Const);
+  bytes += plan.attrs.capacity() * sizeof(std::string);
+  for (const std::string& s : plan.labels) bytes += StringBytes(s);
+  for (const CompiledPlan::Const& c : plan.consts) bytes += StringBytes(c.value);
+  for (const std::string& s : plan.attrs) bytes += StringBytes(s);
+  return bytes;
+}
+
+}  // namespace
+
+std::shared_ptr<const CompiledPlan> CompilePlan(
+    const PathPtr& p, const PlanCompileOptions& options) {
+  if (!p) return nullptr;
+  PlanBuilder builder(options.use_index);
+  int32_t root = builder.CompilePath(p);
+  auto plan = std::make_shared<CompiledPlan>(builder.Take());
+  plan->root = root;
+  plan->source = p;
+  plan->ops.shrink_to_fit();
+  plan->quals.shrink_to_fit();
+  plan->labels.shrink_to_fit();
+  plan->consts.shrink_to_fit();
+  plan->attrs.shrink_to_fit();
+  plan->byte_size_ = PlanBytes(*plan);
+  return plan;
+}
+
+EvalScratch& EvalScratch::ThreadLocal() {
+  static thread_local EvalScratch scratch;
+  return scratch;
+}
+
+}  // namespace secview

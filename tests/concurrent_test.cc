@@ -24,6 +24,7 @@
 #include "workload/synthetic.h"
 #include "xml/parser.h"
 #include "xpath/parser.h"
+#include "xpath/plan.h"
 #include "xpath/printer.h"
 
 namespace secview {
@@ -85,19 +86,22 @@ TEST(ShardedRewriteCacheTest, LookupInsertEvict) {
   ShardedRewriteCache cache(options);
   EXPECT_EQ(cache.shard_count(), 2u);
   EXPECT_EQ(cache.shard_capacity(), 2u);
-  EXPECT_EQ(cache.Lookup("missing"), nullptr);
+  EXPECT_FALSE(cache.Lookup("missing").has_value());
 
   // Insert more keys than the budget; every shard stays within its
-  // capacity and evictions are counted.
+  // capacity, evictions are counted, and the byte accounting shrinks
+  // along with the entries.
   for (int i = 0; i < 20; ++i) {
     auto r = ParseXPath("//bill");
     ASSERT_TRUE(r.ok());
-    cache.Insert("key" + std::to_string(i), *r);
+    cache.Insert("key" + std::to_string(i), CachedQuery{*r, nullptr});
   }
   EXPECT_LE(cache.ShardSize(0), cache.shard_capacity());
   EXPECT_LE(cache.ShardSize(1), cache.shard_capacity());
   EXPECT_LE(cache.size(), 4u);
   EXPECT_GE(cache.evictions(), 16u);
+  EXPECT_GT(cache.bytes(), 0u);
+  EXPECT_EQ(cache.ShardBytes(0) + cache.ShardBytes(1), cache.bytes());
 
   // A key collision keeps the resident value.
   auto a = ParseXPath("//bill");
@@ -105,12 +109,18 @@ TEST(ShardedRewriteCacheTest, LookupInsertEvict) {
   ASSERT_TRUE(a.ok() && b.ok());
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
-  auto first = cache.Insert("k", *a);
+  EXPECT_EQ(cache.bytes(), 0u);
+  auto first = cache.Insert("k", CachedQuery{*a, nullptr});
   EXPECT_TRUE(first.inserted);
-  auto second = cache.Insert("k", *b);
+  EXPECT_EQ(first.bytes_delta,
+            static_cast<int64_t>(
+                ShardedRewriteCache::EntryFootprintBytes(
+                    "k", CachedQuery{*a, nullptr})));
+  auto second = cache.Insert("k", CachedQuery{*b, nullptr});
   EXPECT_FALSE(second.inserted);
-  EXPECT_EQ(second.value.get(), a->get());
-  EXPECT_EQ(cache.Lookup("k").get(), a->get());
+  EXPECT_EQ(second.value.query.get(), a->get());
+  EXPECT_EQ(second.bytes_delta, 0);
+  EXPECT_EQ(cache.Lookup("k")->query.get(), a->get());
 }
 
 TEST(ShardedRewriteCacheTest, LruIshEvictionKeepsRecentlyUsed) {
@@ -120,16 +130,115 @@ TEST(ShardedRewriteCacheTest, LruIshEvictionKeepsRecentlyUsed) {
   ShardedRewriteCache cache(options);
   auto q = ParseXPath("//bill");
   ASSERT_TRUE(q.ok());
-  cache.Insert("a", *q);
-  cache.Insert("b", *q);
-  cache.Insert("c", *q);
+  cache.Insert("a", CachedQuery{*q, nullptr});
+  cache.Insert("b", CachedQuery{*q, nullptr});
+  cache.Insert("c", CachedQuery{*q, nullptr});
   // Touch "a" so "b" is now the least recently used.
-  EXPECT_NE(cache.Lookup("a"), nullptr);
-  cache.Insert("d", *q);
-  EXPECT_NE(cache.Lookup("a"), nullptr);
-  EXPECT_EQ(cache.Lookup("b"), nullptr);
-  EXPECT_NE(cache.Lookup("c"), nullptr);
-  EXPECT_NE(cache.Lookup("d"), nullptr);
+  EXPECT_TRUE(cache.Lookup("a").has_value());
+  cache.Insert("d", CachedQuery{*q, nullptr});
+  EXPECT_TRUE(cache.Lookup("a").has_value());
+  EXPECT_FALSE(cache.Lookup("b").has_value());
+  EXPECT_TRUE(cache.Lookup("c").has_value());
+  EXPECT_TRUE(cache.Lookup("d").has_value());
+}
+
+TEST(ShardedRewriteCacheTest, CompiledPlanEvictionKeepsAccountingExact) {
+  // Entries with compiled plans attached must evict with their byte and
+  // plan counts subtracted exactly.
+  ShardedRewriteCache::Options options;
+  options.shards = 1;
+  options.capacity = 2;
+  ShardedRewriteCache cache(options);
+  auto q = ParseXPath("//bill");
+  ASSERT_TRUE(q.ok());
+  auto plan = CompilePlan(*q);
+  ASSERT_NE(plan, nullptr);
+
+  auto first = cache.Insert("a", CachedQuery{*q, plan});
+  EXPECT_EQ(first.plans_delta, 1);
+  EXPECT_EQ(first.plan_bytes_delta, static_cast<int64_t>(plan->byte_size()));
+  cache.Insert("b", CachedQuery{*q, nullptr});
+  EXPECT_EQ(cache.plans(), 1u);
+  EXPECT_EQ(cache.ShardPlans(0), 1u);
+
+  // AttachPlan on the plan-less entry; a second attach is a no-op that
+  // returns the resident plan.
+  auto attach = cache.AttachPlan("b", CompilePlan(*q));
+  EXPECT_TRUE(attach.attached);
+  EXPECT_EQ(attach.plans_delta, 1);
+  auto again = cache.AttachPlan("b", CompilePlan(*q));
+  EXPECT_FALSE(again.attached);
+  EXPECT_EQ(again.plan.get(), attach.plan.get());
+  EXPECT_EQ(cache.plans(), 2u);
+
+  // Filling past capacity evicts plan-carrying entries; the deltas and
+  // totals must return to exactly what the resident entries account for.
+  cache.Lookup("b");  // make "a" the LRU victim
+  auto evicting = cache.Insert("c", CachedQuery{*q, CompilePlan(*q)});
+  EXPECT_TRUE(evicting.evicted);
+  EXPECT_EQ(evicting.plans_delta, 0);  // evicted one with a plan, added one
+  EXPECT_EQ(cache.plans(), 2u);
+  EXPECT_FALSE(cache.Lookup("a").has_value());
+
+  // An insert colliding with a plan-less resident grafts its plan on.
+  ShardedRewriteCache graft_cache(options);
+  graft_cache.Insert("k", CachedQuery{*q, nullptr});
+  EXPECT_EQ(graft_cache.plans(), 0u);
+  auto graft = graft_cache.Insert("k", CachedQuery{*q, CompilePlan(*q)});
+  EXPECT_FALSE(graft.inserted);
+  EXPECT_EQ(graft.plans_delta, 1);
+  EXPECT_NE(graft.value.plan, nullptr);
+  EXPECT_EQ(graft_cache.plans(), 1u);
+}
+
+TEST(ConcurrentEngineTest, CompiledPlanEvictionUnderContentionIsRaceFree) {
+  // A tiny cache and a query stream wider than it: every thread drives
+  // compiles, plan attaches, grafts, and evictions of entries whose
+  // bytecode other threads are concurrently executing. TSan-clean is
+  // the point; results must still match the serial engine.
+  XmlTree doc = MakeHospitalDoc();
+  auto serial = MakeHospitalEngine();
+  std::vector<std::vector<NodeId>> expected;
+  for (const char* q : kQueries) {
+    auto r = serial->Execute("nurse", doc, q, NurseOptions());
+    ASSERT_TRUE(r.ok()) << q << ": " << r.status();
+    expected.push_back(r->nodes);
+  }
+
+  EngineOptions tiny;
+  tiny.cache_shards = 2;
+  tiny.cache_capacity = 4;  // far fewer entries than distinct keys
+  auto engine = MakeHospitalEngine(tiny);
+  engine->Seal();
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 20;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const int qi = (t + round) % static_cast<int>(std::size(kQueries));
+        auto r = engine->Execute("nurse", doc, kQueries[qi], NurseOptions());
+        if (!r.ok() || r->nodes != expected[qi]) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(engine->metrics().GetCounter("engine.cache.evictions").value(),
+            0u);
+  EXPECT_GT(engine->metrics().GetCounter("engine.plan.compiles").value(), 0u);
+  // Gauges must stay balanced after the dust settles: every insert,
+  // evict, and attach delta netted out against resident entries.
+  const int64_t plan_count =
+      engine->metrics().GetGauge("engine.plan.cached").value();
+  const int64_t plan_bytes =
+      engine->metrics().GetGauge("engine.plan.cache_bytes").value();
+  EXPECT_GE(plan_count, 0);
+  EXPECT_GT(plan_bytes, 0);
+  EXPECT_GT(engine->metrics().GetGauge("engine.cache.bytes").value(), 0);
 }
 
 TEST(ConcurrentEngineTest, SealStopsRegistration) {

@@ -126,6 +126,62 @@ TEST_F(EngineTest, ExecuteReportsStructuredStats) {
   EXPECT_TRUE(again->stats.cache_hit);
 }
 
+TEST_F(EngineTest, CompiledAndAstPathsReturnIdenticalResults) {
+  ExecuteOptions compiled;
+  compiled.bindings = {{"wardNo", "3"}};
+  ExecuteOptions ast = compiled;
+  ast.use_compiled = false;
+  for (const char* q : {"//patient/name", "//bill", "//patient//bill",
+                        "//patient[wardNo]/name", "//bill | //medication"}) {
+    for (bool optimize : {true, false}) {
+      compiled.optimize = optimize;
+      ast.optimize = optimize;
+      auto with_plan = engine_->Execute("nurse", doc_, q, compiled);
+      auto with_ast = engine_->Execute("nurse", doc_, q, ast);
+      ASSERT_TRUE(with_plan.ok()) << q << ": " << with_plan.status();
+      ASSERT_TRUE(with_ast.ok()) << q << ": " << with_ast.status();
+      EXPECT_EQ(with_plan->nodes, with_ast->nodes) << q;
+      EXPECT_EQ(with_plan->stats.nodes_touched, with_ast->stats.nodes_touched)
+          << q;
+      EXPECT_TRUE(with_plan->stats.compiled) << q;
+      EXPECT_FALSE(with_ast->stats.compiled) << q;
+    }
+  }
+}
+
+TEST_F(EngineTest, PlanCompilesOncePerEntryAndMetricsTrackResidency) {
+  ExecuteOptions options;
+  options.bindings = {{"wardNo", "3"}};
+  auto& metrics = engine_->metrics();
+  ASSERT_TRUE(engine_->Execute("nurse", doc_, "//bill", options).ok());
+  EXPECT_EQ(metrics.GetCounter("engine.plan.compiles").value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("eval.compiled_queries").value(), 1u);
+  EXPECT_EQ(metrics.GetGauge("engine.plan.cached").value(), 1);
+  EXPECT_GT(metrics.GetGauge("engine.plan.cache_bytes").value(), 0);
+  EXPECT_GT(metrics.GetGauge("engine.cache.bytes").value(), 0);
+
+  // A cache hit reuses the resident plan without recompiling.
+  ASSERT_TRUE(engine_->Execute("nurse", doc_, "//bill", options).ok());
+  EXPECT_EQ(metrics.GetCounter("engine.plan.compiles").value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("eval.compiled_queries").value(), 2u);
+  EXPECT_EQ(metrics.GetGauge("engine.plan.cached").value(), 1);
+
+  // Rewrite() primes an entry without a plan; the first compiled
+  // execution lazily attaches one to it.
+  ASSERT_TRUE(engine_->Rewrite("nurse", "//medication", true).ok());
+  EXPECT_EQ(metrics.GetCounter("engine.plan.compiles").value(), 1u);
+  ASSERT_TRUE(engine_->Execute("nurse", doc_, "//medication", options).ok());
+  EXPECT_EQ(metrics.GetCounter("engine.plan.compiles").value(), 2u);
+  EXPECT_EQ(metrics.GetGauge("engine.plan.cached").value(), 2);
+
+  // An AST-path execution neither compiles nor runs the VM.
+  ExecuteOptions ast = options;
+  ast.use_compiled = false;
+  ASSERT_TRUE(engine_->Execute("nurse", doc_, "//wardNo", ast).ok());
+  EXPECT_EQ(metrics.GetCounter("engine.plan.compiles").value(), 2u);
+  EXPECT_EQ(metrics.GetCounter("eval.compiled_queries").value(), 3u);
+}
+
 TEST_F(EngineTest, ProfileOptionYieldsStepTreeWithExactAttribution) {
   ExecuteOptions options;
   options.bindings = {{"wardNo", "3"}};

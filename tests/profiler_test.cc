@@ -10,6 +10,7 @@
 #include "xml/parser.h"
 #include "xpath/evaluator.h"
 #include "xpath/parser.h"
+#include "xpath/plan.h"
 
 namespace secview {
 namespace {
@@ -109,6 +110,67 @@ TEST(PlanProfilerTest, ProfiledAndUnprofiledRunsAgreeOnResults) {
     // Profiling must observe costs, not change them.
     EXPECT_EQ(profiled.counters().nodes_touched, plain.counters().nodes_touched)
         << text;
+  }
+}
+
+TEST(PlanProfilerTest, CompiledPathKeepsSumInvariant) {
+  // The same invariant on the compiled-plan VM (xpath/vm.cc): per-step
+  // self sums must equal the aggregate counters on that path too.
+  XmlTree doc = MustParseDoc();
+  for (const std::string& text : Corpus()) {
+    PathPtr p = MustParsePath(text);
+    auto plan = CompilePlan(p);
+    ASSERT_NE(plan, nullptr) << text;
+    XPathEvaluator evaluator(doc);
+    PlanProfiler profiler;
+    evaluator.set_profiler(&profiler);
+    auto result = evaluator.EvaluateCompiled(*plan, doc.root());
+    ASSERT_TRUE(result.ok()) << text;
+
+    EvalCounters totals = ProfileTotals(profiler.root());
+    const EvalCounters& agg = evaluator.counters();
+    EXPECT_EQ(totals.nodes_touched, agg.nodes_touched) << text;
+    EXPECT_EQ(totals.predicate_evals, agg.predicate_evals) << text;
+    EXPECT_EQ(totals.index_scans, agg.index_scans) << text;
+    EXPECT_EQ(totals.sort_skips, agg.sort_skips) << text;
+  }
+}
+
+TEST(PlanProfilerTest, CompiledAndAstProfilesAgree) {
+  // Both interpreters must attribute identical costs to identical step
+  // signatures: flatten each profile and compare signature-keyed rows.
+  XmlTree doc = MustParseDoc();
+  for (const std::string& text : Corpus()) {
+    PathPtr p = MustParsePath(text);
+
+    XPathEvaluator ast_eval(doc);
+    PlanProfiler ast_profiler;
+    ast_eval.set_profiler(&ast_profiler);
+    auto ast_result = ast_eval.Evaluate(p, doc.root());
+    ASSERT_TRUE(ast_result.ok()) << text;
+
+    auto plan = CompilePlan(p);
+    ASSERT_NE(plan, nullptr) << text;
+    XPathEvaluator vm_eval(doc);
+    PlanProfiler vm_profiler;
+    vm_eval.set_profiler(&vm_profiler);
+    auto vm_result = vm_eval.EvaluateCompiled(*plan, doc.root());
+    ASSERT_TRUE(vm_result.ok()) << text;
+
+    EXPECT_EQ(*vm_result, *ast_result) << text;
+    std::vector<obs::PlanStepRecord> ast_rows =
+        FlattenStepProfile(ast_profiler.root());
+    std::vector<obs::PlanStepRecord> vm_rows =
+        FlattenStepProfile(vm_profiler.root());
+    ASSERT_EQ(ast_rows.size(), vm_rows.size()) << text;
+    for (size_t i = 0; i < ast_rows.size(); ++i) {
+      EXPECT_EQ(ast_rows[i].signature, vm_rows[i].signature) << text;
+      EXPECT_EQ(ast_rows[i].invocations, vm_rows[i].invocations) << text;
+      EXPECT_EQ(ast_rows[i].nodes_touched, vm_rows[i].nodes_touched) << text;
+      EXPECT_EQ(ast_rows[i].in_cardinality, vm_rows[i].in_cardinality) << text;
+      EXPECT_EQ(ast_rows[i].out_cardinality, vm_rows[i].out_cardinality)
+          << text;
+    }
   }
 }
 

@@ -379,6 +379,20 @@ TEST_F(TelemetryServerTest, StatuszReportsServingStateAndSlowQueries) {
   EXPECT_EQ(window_->Snapshot(10).denied, 1u);
 }
 
+TEST_F(TelemetryServerTest, StatuszReportsCompiledPlanResidency) {
+  engine_->Seal();
+  ExecuteSome();
+  net::HttpResponse response = server_->Handle(Get("/statusz"));
+  ASSERT_EQ(response.status, 200);
+  const std::string& body = response.body;
+  // The rewrite-cache section now reports byte footprints alongside
+  // entry counts, plus the compiled-plan residency line.
+  EXPECT_NE(body.find("total entries:"), std::string::npos) << body;
+  EXPECT_NE(body.find("bytes)"), std::string::npos) << body;
+  EXPECT_NE(body.find("plans: "), std::string::npos) << body;
+  EXPECT_NE(body.find("compiles)"), std::string::npos) << body;
+}
+
 TEST_F(TelemetryServerTest, MetricsRouteIncludesPolicySeries) {
   engine_->Seal();
   ExecuteSome();
