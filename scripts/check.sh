@@ -39,6 +39,21 @@ scripts/trace_smoke.sh "$BUILD_DIR"
 # SECVIEW_BASELINE_BIN=<pre-profiler secview> for a strict 2% gate.
 scripts/profile_smoke.sh "$BUILD_DIR"
 
+# Chaos smoke: serve with failpoints armed hard enough to drop every
+# audit record and fail most evaluations, observe degraded /healthz and
+# the /statusz fault sections from the outside, shut down cleanly, and
+# check the disarmed fast path costs nothing (bench_summary-gated;
+# export SECVIEW_BASELINE_BIN=<pre-failpoint secview> for a strict 2%
+# micros/query gate). See docs/robustness.md.
+scripts/chaos_smoke.sh "$BUILD_DIR"
+
+# The randomized chaos suite is part of ctest above; rerun it alone
+# under ASan so an injection-path regression (crash, leak, accounting
+# drift between failpoint fires and the mirrored counters) is called
+# out by name in the gate output.
+echo "== chaos suite under ASan =="
+"$BUILD_DIR"/tests/chaos_test
+
 # The allocation tracker replaces global operator new/delete; run its
 # unit suite under the ASan build by name to prove the hooks compose
 # with the sanitizer's malloc interposition (forwarding to std::malloc
@@ -78,12 +93,15 @@ echo "== compiled-plan allocation gate =="
 # TSan and ASan cannot share a build tree; the concurrent tests are the
 # ones with real thread interleavings to check. net_test/telemetry_test
 # cover the HTTP server's accept/worker handoff and scrape-while-serving
-# against the sliding-window and slow-query-ring writers.
+# against the sliding-window and slow-query-ring writers; chaos_test
+# races randomized failpoint injection against the concurrent serving
+# path (pool workers, audit sink, telemetry sockets).
 cmake -B "$TSAN_BUILD_DIR" -S . -DSECVIEW_SANITIZE=thread
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
-  --target concurrent_test net_test telemetry_test
+  --target concurrent_test net_test telemetry_test chaos_test
 "$TSAN_BUILD_DIR"/tests/concurrent_test
 "$TSAN_BUILD_DIR"/tests/net_test
 "$TSAN_BUILD_DIR"/tests/telemetry_test
+"$TSAN_BUILD_DIR"/tests/chaos_test
 
 echo "check: all green"

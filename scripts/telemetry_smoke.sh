@@ -107,23 +107,23 @@ done
 echo "serving on 127.0.0.1:$PORT"
 
 echo "== /healthz =="
-"$SECVIEW" scrape --port "$PORT" --path /healthz | grep -q '^ok$' || {
+"$SECVIEW" scrape --port "$PORT" --retries 3 --path /healthz | grep -q '^ok$' || {
   echo "telemetry_smoke: /healthz not ready" >&2; exit 1; }
 
 echo "== /metrics (validated) =="
-METRICS="$("$SECVIEW" scrape --port "$PORT" --validate-prom)"
+METRICS="$("$SECVIEW" scrape --port "$PORT" --retries 3 --validate-prom)"
 echo "$METRICS" | grep -q 'secview_engine_queries_total' || {
   echo "telemetry_smoke: /metrics missing engine series" >&2; exit 1; }
 echo "$METRICS" | grep -q 'secview_build_info{' || {
   echo "telemetry_smoke: /metrics missing build info" >&2; exit 1; }
 
 echo "== /varz =="
-"$SECVIEW" scrape --port "$PORT" --path /varz \
+"$SECVIEW" scrape --port "$PORT" --retries 3 --path /varz \
   | grep -q '"schema": "secview.metrics.v1"' || {
   echo "telemetry_smoke: /varz schema mismatch" >&2; exit 1; }
 
 echo "== /statusz =="
-STATUSZ="$("$SECVIEW" scrape --port "$PORT" --path /statusz)"
+STATUSZ="$("$SECVIEW" scrape --port "$PORT" --retries 3 --path /statusz)"
 echo "$STATUSZ" | grep -q 'ready: yes' || {
   echo "telemetry_smoke: /statusz not ready" >&2; exit 1; }
 echo "$STATUSZ" | grep -q 'last 10s:' || {

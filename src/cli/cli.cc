@@ -14,6 +14,8 @@
 #include <thread>
 
 #include "common/budget.h"
+#include "common/crash_reporter.h"
+#include "common/failpoint.h"
 
 #include "engine/worker_pool.h"
 
@@ -85,9 +87,10 @@ usage:
                       [--trace-sample N] [--trace-capacity N]
                       [--max-seconds N] [--bind NAME=VALUE]...
                       [--no-optimize] [--no-compiled]
+                      [--audit-log FILE [--audit-max-bytes N]]
                       [--deadline-ms N] [--max-nodes N] [--profile]
   secview scrape      (--addr HOST:PORT | --port N) [--path TARGET]
-                      [--validate-prom] [--timeout-ms N]
+                      [--validate-prom] [--timeout-ms N] [--retries N]
   secview trace-export --in FILE [--chrome] [--out FILE] [--validate]
   secview profile-top --in FILE [--k N]
   secview materialize --dtd FILE --spec FILE --xml FILE [--bind NAME=VALUE]...
@@ -134,6 +137,22 @@ generous default for the third. `bench-serve --queue-cap N` bounds
 the pool's submission queue — overflow tasks are shed with
 ResourceExhausted instead of queued. Exit codes: 0 ok, 1 failure,
 2 usage, 4 deadline exceeded, 5 budget/queue exhausted, 6 cancelled.
+
+Fault injection (docs/robustness.md): every command accepts
+`--failpoints SPEC` (or the SECVIEW_FAILPOINTS environment variable;
+the flag is applied second and wins per point) to arm named fault
+injection points. SPEC is a comma-separated list of
+NAME=off|once|every:N|prob:P[:SEED] entries, e.g.
+`--failpoints audit.write=every:3,net.send=prob:0.05:7`. Points:
+audit.write net.accept net.recv net.send net.connect alloc.evaluate
+plan.compile cache.insert pool.submit. Injected faults degrade instead
+of crash: audit writes retry then drop-and-count (audit-verify reports
+the seq gaps), plan compile/cache failures fall back to AST
+evaluation, socket faults answer 500 or shed the connection, pool
+faults shed the query. `serve` reflects sustained degradation on
+/healthz ("degraded") and /statusz, and arms a crash reporter that
+prints build info, active query count, and the last slow query to
+stderr on SIGSEGV/SIGABRT.
 
 Telemetry (docs/observability.md): `serve` runs a long-lived engine
 behind an embedded HTTP server (localhost by default; port 0 picks an
@@ -682,6 +701,13 @@ Status CmdAuditVerify(const Args& args, std::ostream& out) {
   std::string line;
   size_t line_no = 0;
   size_t events = 0;
+  // The sink consumes a sequence number before attempting the write, so
+  // an event dropped under write failure leaves a hole in the seq chain.
+  // A seq at or below its predecessor is a restart (seqs begin at 1 in
+  // every process) or a rotation boundary, not a gap.
+  uint64_t prev_seq = 0;
+  uint64_t gap_events = 0;
+  size_t gaps = 0;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
@@ -690,9 +716,24 @@ Status CmdAuditVerify(const Args& args, std::ostream& out) {
       return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
                                      ": " + status.message());
     }
+    SECVIEW_ASSIGN_OR_RETURN(obs::Json record, obs::Json::Parse(line));
+    uint64_t seq = static_cast<uint64_t>(record.Find("seq")->AsNumber());
+    if (prev_seq > 0 && seq > prev_seq + 1) {
+      ++gaps;
+      gap_events += seq - prev_seq - 1;
+      out << "warning: " << path << ":" << line_no << ": seq jumps "
+          << prev_seq << " -> " << seq << " (" << (seq - prev_seq - 1)
+          << " dropped event(s))\n";
+    }
+    prev_seq = seq;
     ++events;
   }
-  out << "ok: " << events << " audit events validated\n";
+  out << "ok: " << events << " audit events validated";
+  if (gap_events > 0) {
+    out << " (" << gap_events << " dropped across " << gaps
+        << " seq gap(s))";
+  }
+  out << "\n";
   return Status::OK();
 }
 
@@ -761,6 +802,7 @@ struct TelemetryBundle {
   obs::PolicyStatsTable policy_stats;
   obs::RequestTraceStore traces;
   obs::PlanProfileTable plan_profiles;
+  obs::HealthTracker health;
   std::unique_ptr<net::TelemetryServer> server;
 
   TelemetryBundle(obs::SlowQueryLog::Options slow_options,
@@ -802,6 +844,7 @@ Result<std::unique_ptr<TelemetryBundle>> StartTelemetry(
   engine.AttachServingObservers(&bundle->window, &bundle->slow_log);
   engine.AttachPolicyStats(&bundle->policy_stats);
   engine.AttachTraceStore(&bundle->traces);
+  engine.AttachHealth(&bundle->health);
   if (args.switches.count("--profile")) {
     engine.AttachPlanProfiles(&bundle->plan_profiles);
   }
@@ -819,6 +862,7 @@ Result<std::unique_ptr<TelemetryBundle>> StartTelemetry(
   if (args.switches.count("--profile")) {
     server_options.plan_profiles = &bundle->plan_profiles;
   }
+  server_options.health = &bundle->health;
   bundle->server = std::make_unique<net::TelemetryServer>(&engine.metrics(),
                                                           server_options);
   SECVIEW_RETURN_IF_ERROR(bundle->server->Start());
@@ -838,12 +882,38 @@ std::atomic<bool> g_serve_stop{false};
 
 void HandleServeSignal(int) { g_serve_stop.store(true); }
 
+/// Mirrors failpoint fires into the engine registry's
+/// `engine.failpoint.<name>` counters for this scope; detaches on exit so
+/// the process-lifetime registry never outlives the engine's counters.
+struct ScopedFailpointMetrics {
+  explicit ScopedFailpointMetrics(obs::MetricsRegistry* metrics) {
+    FailPointRegistry::Instance().AttachMetrics(metrics);
+  }
+  ~ScopedFailpointMetrics() {
+    FailPointRegistry::Instance().AttachMetrics(nullptr);
+  }
+  ScopedFailpointMetrics(const ScopedFailpointMetrics&) = delete;
+  ScopedFailpointMetrics& operator=(const ScopedFailpointMetrics&) = delete;
+};
+
+/// Deletes the --port-file on graceful shutdown so restarting scripts
+/// never scrape a dead process's port. Best-effort: a failed remove only
+/// leaves the file a restarted server will overwrite (WritePortFile
+/// truncates via rename).
+void RemovePortFile(const Args& args) {
+  auto port_file = args.values.find("--port-file");
+  if (port_file == args.values.end()) return;
+  std::remove(port_file->second.c_str());
+}
+
 Status CmdServe(const Args& args, std::ostream& out) {
+  InstallCrashReporter();
   SECVIEW_ASSIGN_OR_RETURN(ServeLimits limits, LoadServeLimits(args));
   SECVIEW_ASSIGN_OR_RETURN(DtdBundle bundle, LoadDtdBundle(args));
   SECVIEW_ASSIGN_OR_RETURN(XmlTree doc, LoadXml(args, bundle, limits.xml));
   SECVIEW_ASSIGN_OR_RETURN(std::unique_ptr<SecureQueryEngine> engine,
                            LoadEngine(args));
+  ScopedFailpointMetrics failpoint_metrics(&engine->metrics());
 
   std::vector<std::string> queries;
   if (args.values.count("--queries")) {
@@ -862,6 +932,23 @@ Status CmdServe(const Args& args, std::ostream& out) {
       std::unique_ptr<TelemetryBundle> telemetry,
       StartTelemetry(args, *engine, /*require=*/true, out));
 
+  std::unique_ptr<obs::JsonlAuditLog> audit_log;
+  auto audit_path = args.values.find("--audit-log");
+  if (audit_path != args.values.end()) {
+    obs::JsonlAuditLog::Options audit_options;
+    SECVIEW_ASSIGN_OR_RETURN(
+        audit_options.max_bytes,
+        CountFlag(args, "--audit-max-bytes", audit_options.max_bytes));
+    SECVIEW_ASSIGN_OR_RETURN(
+        audit_log, obs::JsonlAuditLog::Open(audit_path->second,
+                                            audit_options));
+    // Drops feed the registry (for /statusz and scrapes) and the health
+    // tracker (so a dying audit disk flips /healthz to "degraded").
+    audit_log->AttachDropCounter(
+        &engine->metrics().GetCounter("audit.dropped"));
+    audit_log->AttachHealth(&telemetry->health);
+  }
+
   QueryWorkerPool::Options pool_options;
   pool_options.threads = static_cast<size_t>(threads_n);
   pool_options.queue_cap = static_cast<size_t>(queue_cap);
@@ -871,6 +958,7 @@ Status CmdServe(const Args& args, std::ostream& out) {
   options.bindings = args.bindings;
   options.optimize = !args.switches.count("--no-optimize");
   options.use_compiled = !args.switches.count("--no-compiled");
+  options.audit = audit_log.get();
   options.limits = limits.budget;
   options.parse_limits = limits.xpath;
 
@@ -903,6 +991,7 @@ Status CmdServe(const Args& args, std::ostream& out) {
   std::signal(SIGTERM, old_term);
 
   telemetry->server->Stop();
+  RemovePortFile(args);
   double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -910,6 +999,11 @@ Status CmdServe(const Args& args, std::ostream& out) {
       << telemetry->window.total() << " queries observed, "
       << telemetry->server->http().requests_handled()
       << " telemetry request(s)\n";
+  if (audit_log != nullptr) {
+    out << "# audit: " << audit_log->events() << " event(s) written, "
+        << audit_log->dropped() << " dropped, to " << audit_log->path()
+        << "\n";
+  }
   return Status::OK();
 }
 
@@ -934,10 +1028,13 @@ Status CmdScrape(const Args& args, std::ostream& out) {
   if (path_flag != args.values.end()) path = path_flag->second;
   SECVIEW_ASSIGN_OR_RETURN(uint64_t timeout_ms,
                            CountFlag(args, "--timeout-ms", 5000));
+  SECVIEW_ASSIGN_OR_RETURN(uint64_t retries, CountFlag(args, "--retries", 0));
 
-  SECVIEW_ASSIGN_OR_RETURN(
-      net::FetchedResponse response,
-      net::HttpGet(host, port, path, static_cast<int>(timeout_ms)));
+  net::HttpGetOptions get_options;
+  get_options.timeout_ms = static_cast<int>(timeout_ms);
+  get_options.retries = static_cast<int>(retries);
+  SECVIEW_ASSIGN_OR_RETURN(net::FetchedResponse response,
+                           net::HttpGet(host, port, path, get_options));
   if (response.status != 200) {
     return Status::Internal("HTTP " + std::to_string(response.status) +
                             " from " + path + ": " + response.body);
@@ -964,6 +1061,7 @@ Status CmdBenchServe(const Args& args, std::ostream& out) {
                            LoadQueriesFile(queries_path));
   SECVIEW_ASSIGN_OR_RETURN(std::unique_ptr<SecureQueryEngine> engine,
                            LoadEngine(args));
+  ScopedFailpointMetrics failpoint_metrics(&engine->metrics());
 
   SECVIEW_ASSIGN_OR_RETURN(uint64_t threads_n, CountFlag(args, "--threads", 0));
   if (args.values.count("--threads") && threads_n < 1) {
@@ -1065,6 +1163,9 @@ Status CmdBenchServe(const Args& args, std::ostream& out) {
         << " request(s) served, window(60s) " << window.count
         << " queries at " << window.qps << " qps\n";
     telemetry->server->Stop();
+    // Unlike `serve`, bench-serve keeps its --port-file: the run is a
+    // batch and the file is its discoverable output, not a liveness
+    // signal a restarting supervisor could trip over.
   }
   if (profiles != nullptr) {
     out << "\n"
@@ -1173,6 +1274,29 @@ Status CmdGenerate(const Args& args, std::ostream& out) {
   return Status::OK();
 }
 
+/// Arms the failpoint registry from SECVIEW_FAILPOINTS and then the
+/// --failpoints flag (so the flag wins for a point named in both). Any
+/// command can run with faults armed — chaos testing must reach the
+/// whole CLI surface, not just `serve`.
+Status ArmFailpoints(const Args& args) {
+  const char* env = std::getenv("SECVIEW_FAILPOINTS");
+  if (env != nullptr && env[0] != '\0') {
+    Status status = FailPointRegistry::Instance().ArmFromSpec(env);
+    if (!status.ok()) {
+      return Status::InvalidArgument("SECVIEW_FAILPOINTS: " +
+                                     status.message());
+    }
+  }
+  auto it = args.values.find("--failpoints");
+  if (it != args.values.end()) {
+    Status status = FailPointRegistry::Instance().ArmFromSpec(it->second);
+    if (!status.ok()) {
+      return Status::InvalidArgument("--failpoints: " + status.message());
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
@@ -1182,6 +1306,24 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     err << "error: " << parsed.status().message() << "\n" << kUsage;
     return 2;
   }
+  Status armed = ArmFailpoints(*parsed);
+  if (!armed.ok()) {
+    err << "error: " << armed.message() << "\n" << kUsage;
+    return 2;
+  }
+  // The registry is process-lifetime but the arming belongs to this
+  // invocation: disarm on the way out so in-process callers (tests)
+  // running several commands do not leak faults between them.
+  const bool disarm_on_exit =
+      parsed->values.count("--failpoints") > 0 ||
+      (std::getenv("SECVIEW_FAILPOINTS") != nullptr &&
+       std::getenv("SECVIEW_FAILPOINTS")[0] != '\0');
+  struct DisarmGuard {
+    bool active;
+    ~DisarmGuard() {
+      if (active) FailPointRegistry::Instance().DisarmAll();
+    }
+  } disarm_guard{disarm_on_exit};
   Status status = Status::OK();
   if (parsed->command == "help" || parsed->command == "--help") {
     out << kUsage;

@@ -1,0 +1,52 @@
+#ifndef SECVIEW_COMMON_CRASH_REPORTER_H_
+#define SECVIEW_COMMON_CRASH_REPORTER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace secview {
+
+/// Installs SIGSEGV/SIGABRT handlers that write a short crash report to
+/// stderr — build info, in-flight query count, and the most recent
+/// slow-query line — then re-raise the signal so the default disposition
+/// (core dump / abnormal exit) still happens and wrapping supervisors
+/// see the real termination signal.
+///
+/// The handler is async-signal-safe: everything it emits is either
+/// pre-rendered at install time or formatted with local integer
+/// conversion, and the only syscall is write(2). The last-slow-query
+/// buffer is published through a try-lock writers skip on contention;
+/// the handler itself only reads, so a crash that interleaves with an
+/// update may print a torn line — an accepted trade for never taking a
+/// lock in a signal handler.
+///
+/// Idempotent; later installs keep the first registration. Used by
+/// `secview serve` so field crashes are attributable.
+void InstallCrashReporter();
+
+/// True once InstallCrashReporter has run.
+bool CrashReporterInstalled();
+
+/// Adjusts the in-flight query count printed by the crash report.
+/// The engine brackets each Execute with +1/-1 (ScopedActiveQuery).
+void CrashReporterAddActiveQueries(int64_t delta);
+
+/// Current in-flight query count.
+int64_t CrashReporterActiveQueries();
+
+/// Replaces the "last slow query" line in the crash report. Truncated
+/// to an internal fixed buffer; `line` need not be NUL-terminated.
+void CrashReporterSetLastSlowQuery(const char* line, size_t length);
+
+/// RAII bracket for the active-query count.
+class ScopedActiveQuery {
+ public:
+  ScopedActiveQuery() { CrashReporterAddActiveQueries(1); }
+  ~ScopedActiveQuery() { CrashReporterAddActiveQueries(-1); }
+  ScopedActiveQuery(const ScopedActiveQuery&) = delete;
+  ScopedActiveQuery& operator=(const ScopedActiveQuery&) = delete;
+};
+
+}  // namespace secview
+
+#endif  // SECVIEW_COMMON_CRASH_REPORTER_H_

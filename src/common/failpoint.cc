@@ -1,0 +1,229 @@
+#include "common/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace secview {
+namespace {
+
+constexpr uint64_t kDefaultProbSeed = 42;
+
+/// Parses a non-negative integer; rejects empty/overlong/non-digit input.
+bool ParseUint(std::string_view text, uint64_t* out) {
+  if (text.empty() || text.size() > 18) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseProbability(std::string_view text, double* out) {
+  if (text.empty() || text.size() > 32) return false;
+  // Accept "0", "1", "0.25", ".5" — digits with at most one dot.
+  bool seen_dot = false;
+  for (char c : text) {
+    if (c == '.') {
+      if (seen_dot) return false;
+      seen_dot = true;
+    } else if (c < '0' || c > '9') {
+      return false;
+    }
+  }
+  double value = std::strtod(std::string(text).c_str(), nullptr);
+  if (value < 0.0 || value > 1.0) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string FailPoint::policy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  char buffer[64];
+  switch (mode_.load(std::memory_order_relaxed)) {
+    case kOnce:
+      return "once";
+    case kEveryN:
+      std::snprintf(buffer, sizeof(buffer), "every:%llu",
+                    static_cast<unsigned long long>(every_n_));
+      return buffer;
+    case kProbability:
+      std::snprintf(buffer, sizeof(buffer), "prob:%g:%llu", probability_,
+                    static_cast<unsigned long long>(seed_));
+      return buffer;
+    default:
+      return "off";
+  }
+}
+
+bool FailPoint::FireSlow() {
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (mode_.load(std::memory_order_relaxed)) {
+      case kOff:
+        return false;  // lost a race with Disarm
+      case kOnce:
+        fire = true;
+        mode_.store(kOff, std::memory_order_relaxed);
+        break;
+      case kEveryN:
+        fire = (++calls_ % every_n_) == 0;
+        break;
+      case kProbability:
+        fire = rng_->Chance(probability_);
+        break;
+    }
+  }
+  if (fire) {
+    fires_.fetch_add(1, std::memory_order_relaxed);
+    obs::Counter* counter = counter_.load(std::memory_order_relaxed);
+    if (counter != nullptr) counter->Add();
+  }
+  return fire;
+}
+
+void FailPoint::ArmLocked(Mode mode, uint64_t every_n, double probability,
+                          uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  every_n_ = every_n;
+  calls_ = 0;
+  probability_ = probability;
+  seed_ = seed;
+  rng_ = mode == kProbability ? std::make_unique<Rng>(seed) : nullptr;
+  // Publish the mode last so a concurrent Fire() that sees the new mode
+  // also sees the new policy state (it re-acquires mu_ on the slow path).
+  mode_.store(mode, std::memory_order_relaxed);
+}
+
+FailPointRegistry& FailPointRegistry::Instance() {
+  static FailPointRegistry* instance = new FailPointRegistry();
+  return *instance;
+}
+
+FailPoint& FailPointRegistry::Get(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    auto point =
+        std::unique_ptr<FailPoint>(new FailPoint(std::string(name)));
+    if (metrics_ != nullptr) {
+      point->counter_.store(
+          &metrics_->GetCounter("engine.failpoint." + point->name_),
+          std::memory_order_relaxed);
+    }
+    it = points_.emplace(point->name_, std::move(point)).first;
+  }
+  return *it->second;
+}
+
+Status FailPointRegistry::ArmFromSpec(std::string_view spec) {
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t end = spec.find(',', start);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string_view entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;  // tolerate "a=once,,b=off" and ""
+    size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint spec entry '" +
+                                     std::string(entry) +
+                                     "' is not name=policy");
+    }
+    Status armed = Arm(entry.substr(0, eq), entry.substr(eq + 1));
+    if (!armed.ok()) return armed;
+  }
+  return Status::OK();
+}
+
+Status FailPointRegistry::Arm(std::string_view name, std::string_view policy) {
+  FailPoint& point = Get(name);
+  if (policy == "off") {
+    point.ArmLocked(FailPoint::kOff, 0, 0.0, 0);
+    return Status::OK();
+  }
+  if (policy == "once") {
+    point.ArmLocked(FailPoint::kOnce, 0, 0.0, 0);
+    return Status::OK();
+  }
+  if (policy.rfind("every:", 0) == 0) {
+    uint64_t n = 0;
+    if (!ParseUint(policy.substr(6), &n) || n == 0) {
+      return Status::InvalidArgument("failpoint '" + std::string(name) +
+                                     "': every:N needs an integer N >= 1");
+    }
+    point.ArmLocked(FailPoint::kEveryN, n, 0.0, 0);
+    return Status::OK();
+  }
+  if (policy.rfind("prob:", 0) == 0) {
+    std::string_view rest = policy.substr(5);
+    uint64_t seed = kDefaultProbSeed;
+    size_t colon = rest.find(':');
+    if (colon != std::string_view::npos) {
+      if (!ParseUint(rest.substr(colon + 1), &seed)) {
+        return Status::InvalidArgument("failpoint '" + std::string(name) +
+                                       "': prob:P:SEED needs an integer seed");
+      }
+      rest = rest.substr(0, colon);
+    }
+    double p = 0.0;
+    if (!ParseProbability(rest, &p)) {
+      return Status::InvalidArgument("failpoint '" + std::string(name) +
+                                     "': prob:P needs P in [0,1]");
+    }
+    point.ArmLocked(FailPoint::kProbability, 0, p, seed);
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "failpoint '" + std::string(name) + "': unknown policy '" +
+      std::string(policy) + "' (want off|once|every:N|prob:P[:SEED])");
+}
+
+void FailPointRegistry::Disarm(std::string_view name) {
+  Get(name).ArmLocked(FailPoint::kOff, 0, 0.0, 0);
+}
+
+void FailPointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, point] : points_) {
+    point->ArmLocked(FailPoint::kOff, 0, 0.0, 0);
+  }
+}
+
+std::vector<FailPointRegistry::PointInfo> FailPointRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PointInfo> out;
+  out.reserve(points_.size());
+  for (const auto& [name, point] : points_) {
+    out.push_back({name, point->policy(), point->fires()});
+  }
+  return out;
+}
+
+uint64_t FailPointRegistry::TotalFires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, point] : points_) total += point->fires();
+  return total;
+}
+
+void FailPointRegistry::AttachMetrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_ = metrics;
+  for (auto& [name, point] : points_) {
+    point->counter_.store(
+        metrics == nullptr
+            ? nullptr
+            : &metrics->GetCounter("engine.failpoint." + name),
+        std::memory_order_relaxed);
+  }
+}
+
+}  // namespace secview

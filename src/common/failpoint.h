@@ -1,0 +1,159 @@
+#ifndef SECVIEW_COMMON_FAILPOINT_H_
+#define SECVIEW_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace secview {
+
+namespace obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace obs
+
+/// A named fault-injection point. Production call sites ask `Fire()`
+/// at the spot where an environmental failure (ENOSPC, EMFILE, bad
+/// alloc, ...) would surface; when the point is armed and its trigger
+/// policy matches, the call site simulates that failure and exercises
+/// its degradation path instead of the happy path.
+///
+/// The disarmed cost is one relaxed atomic load — no lock, no branch
+/// into policy code — so failpoints stay compiled into production
+/// binaries. Policies (docs/robustness.md "Fault injection"):
+///
+///   off        never fires (the default)
+///   once       fires on the next call, then disarms itself
+///   every:N    fires on every Nth call (N >= 1)
+///   prob:P     fires with probability P per call, driven by a seeded
+///              deterministic Rng (optional `:S` seed suffix, default
+///              42) so a chaos schedule replays exactly
+///
+/// Thread safety: Fire() may be called concurrently with Arm/Disarm
+/// from any thread. Armed-policy state is guarded by a mutex on the
+/// slow path; `fires()` is a relaxed atomic read.
+class FailPoint {
+ public:
+  /// True when the point is armed and its policy triggers this call.
+  /// Disarmed fast path: a single relaxed atomic load.
+  bool Fire() {
+    if (mode_.load(std::memory_order_relaxed) == kOff) return false;
+    return FireSlow();
+  }
+
+  const std::string& name() const { return name_; }
+
+  /// Lifetime count of calls where Fire() returned true.
+  uint64_t fires() const { return fires_.load(std::memory_order_relaxed); }
+
+  /// Human-readable policy ("off", "once", "every:3", "prob:0.25:7").
+  std::string policy() const;
+
+ private:
+  friend class FailPointRegistry;
+
+  enum Mode : int { kOff = 0, kOnce = 1, kEveryN = 2, kProbability = 3 };
+
+  explicit FailPoint(std::string name) : name_(std::move(name)) {}
+
+  bool FireSlow();
+  void ArmLocked(Mode mode, uint64_t every_n, double probability,
+                 uint64_t seed);
+
+  const std::string name_;
+
+  std::atomic<int> mode_{kOff};
+  std::atomic<uint64_t> fires_{0};
+  /// Per-point counter "engine.failpoint.<name>" in the registry last
+  /// passed to FailPointRegistry::AttachMetrics; null when detached.
+  std::atomic<obs::Counter*> counter_{nullptr};
+
+  mutable std::mutex mu_;
+  uint64_t every_n_ = 0;      ///< kEveryN period
+  uint64_t calls_ = 0;        ///< kEveryN call counter
+  double probability_ = 0.0;  ///< kProbability chance per call
+  uint64_t seed_ = 0;
+  std::unique_ptr<Rng> rng_;  ///< kProbability source, seeded on arm
+};
+
+/// Well-known failpoint names. Arbitrary names are allowed — a point
+/// registers itself on first Get() — but these are the sites wired
+/// through the serving stack (site inventory: docs/robustness.md).
+namespace failpoints {
+inline constexpr char kAuditWrite[] = "audit.write";
+inline constexpr char kNetAccept[] = "net.accept";
+inline constexpr char kNetRecv[] = "net.recv";
+inline constexpr char kNetSend[] = "net.send";
+inline constexpr char kNetConnect[] = "net.connect";
+inline constexpr char kAllocEvaluate[] = "alloc.evaluate";
+inline constexpr char kPlanCompile[] = "plan.compile";
+inline constexpr char kCacheInsert[] = "cache.insert";
+inline constexpr char kPoolSubmit[] = "pool.submit";
+}  // namespace failpoints
+
+/// Process-wide registry of failpoints, armed from a spec string (the
+/// SECVIEW_FAILPOINTS env var or the --failpoints CLI flag):
+///
+///   spec   := entry (',' entry)*
+///   entry  := name '=' policy
+///   policy := 'off' | 'once' | 'every:' N | 'prob:' P [':' SEED]
+///
+/// e.g. "audit.write=prob:0.3:7,pool.submit=every:5,net.send=once".
+/// Unknown names are legal and create the point — call sites resolve
+/// lazily, and a chaos schedule may arm a point before the subsystem
+/// that fires it has started.
+class FailPointRegistry {
+ public:
+  static FailPointRegistry& Instance();
+
+  /// Returns the point with this name, creating it disarmed if absent.
+  /// The reference stays valid for the life of the process.
+  FailPoint& Get(std::string_view name);
+
+  /// Parses and applies a spec (grammar above). Invalid entries leave
+  /// already-applied entries armed and return InvalidArgument naming
+  /// the offending entry. An empty spec is a no-op.
+  Status ArmFromSpec(std::string_view spec);
+
+  /// Arms one point. `policy` is a single policy token from the grammar.
+  Status Arm(std::string_view name, std::string_view policy);
+
+  void Disarm(std::string_view name);
+  void DisarmAll();
+
+  struct PointInfo {
+    std::string name;
+    std::string policy;  ///< "off" when disarmed
+    uint64_t fires = 0;
+  };
+  /// All registered points, name-sorted.
+  std::vector<PointInfo> List() const;
+
+  /// Sum of fires() across all registered points.
+  uint64_t TotalFires() const;
+
+  /// Mirrors every fire into `metrics` counter "engine.failpoint.<name>"
+  /// (existing and future points). Pass nullptr to detach — required
+  /// before the registry outlives `metrics` (the failpoint registry is
+  /// a process singleton; a metrics registry usually is not).
+  void AttachMetrics(obs::MetricsRegistry* metrics);
+
+ private:
+  FailPointRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<FailPoint>, std::less<>> points_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace secview
+
+#endif  // SECVIEW_COMMON_FAILPOINT_H_

@@ -4,8 +4,11 @@
 #include <chrono>
 
 #include "common/alloc_tracker.h"
+#include "common/crash_reporter.h"
+#include "common/failpoint.h"
 #include "engine/explain.h"
 #include "obs/audit.h"
+#include "obs/health.h"
 #include "obs/plan_profile.h"
 #include "obs/policy_stats.h"
 #include "obs/serving_stats.h"
@@ -75,6 +78,7 @@ SecureQueryEngine::SecureQueryEngine(std::unique_ptr<Dtd> dtd,
   hot_.cache_size = &metrics_.GetGauge("engine.cache.size");
   hot_.cache_bytes = &metrics_.GetGauge("engine.cache.bytes");
   hot_.plan_compiles = &metrics_.GetCounter("engine.plan.compiles");
+  hot_.plan_fallbacks = &metrics_.GetCounter("engine.plan.fallbacks");
   hot_.plan_cached = &metrics_.GetGauge("engine.plan.cached");
   hot_.plan_cache_bytes = &metrics_.GetGauge("engine.plan.cache_bytes");
   hot_.execute_micros = &metrics_.GetHistogram("engine.execute.micros");
@@ -217,6 +221,14 @@ Result<std::string> SecureQueryEngine::PublishedViewDtd(
 
 std::shared_ptr<const CompiledPlan> SecureQueryEngine::CompileQueryPlan(
     const PathPtr& query, obs::Trace* trace) {
+  static FailPoint& compile_fault =
+      FailPointRegistry::Instance().Get(failpoints::kPlanCompile);
+  if (compile_fault.Fire()) {
+    // Simulated compiler failure: no plan. The evaluator falls back to
+    // the AST walk, which returns identical results — degraded speed,
+    // never degraded answers (counted in engine.plan.fallbacks).
+    return nullptr;
+  }
   obs::ScopedSpan span(trace, "compile");
   obs::ScopedTimer timer(&metrics_.GetHistogram("phase.compile.micros"));
   std::shared_ptr<const CompiledPlan> plan = CompilePlan(query);
@@ -356,6 +368,15 @@ Result<CachedQuery> SecureQueryEngine::Prepare(
   CachedQuery value;
   value.query = std::move(rewritten);
   if (compile) value.plan = CompileQueryPlan(value.query, trace);
+  static FailPoint& insert_fault =
+      FailPointRegistry::Instance().Get(failpoints::kCacheInsert);
+  if (insert_fault.Fire()) {
+    // Simulated cache-insert failure (e.g. allocation inside the shard):
+    // serve this execution from the locally built entry and simply skip
+    // caching it — the next miss recomputes. Degraded hit rate, same
+    // answer.
+    return value;
+  }
   // Two threads that missed on the same key both computed the (same,
   // deterministic) rewriting; Insert keeps whichever landed first and
   // returns the resident value so every caller shares one AST (and, via
@@ -456,6 +477,23 @@ Status SecureQueryEngine::ExecuteInto(const std::string& policy_name,
   result.stats.ast_size_rewritten = PathSize(result.rewritten);
   result.stats.ast_size_evaluated = PathSize(to_run);
 
+  if (options.use_compiled && plan == nullptr) {
+    // The caller asked for the compiled path but no plan exists (query
+    // not compilable, compile failed or was injected to fail, budget
+    // tripped the preparation). The AST walk below returns the same
+    // nodes; account the fallback so operators can see the lost speed.
+    hot_.plan_fallbacks->Add();
+  }
+  static FailPoint& alloc_fault =
+      FailPointRegistry::Instance().Get(failpoints::kAllocEvaluate);
+  if (alloc_fault.Fire()) {
+    // Simulated allocation failure entering the evaluate phase. Refuse
+    // the query with the same status class a tripped resource budget
+    // uses — a correct degraded answer ("try again"), never a partial
+    // node set.
+    return Status::ResourceExhausted(
+        "allocation failure entering evaluation (injected)");
+  }
   {
     obs::ScopedSpan span(options.trace, "evaluate");
     obs::ScopedTimer timer(&metrics_.GetHistogram("phase.evaluate.micros"),
@@ -532,11 +570,16 @@ void SecureQueryEngine::AttachTraceStore(obs::RequestTraceStore* traces) {
   trace_store_ = traces;
 }
 
+void SecureQueryEngine::AttachHealth(obs::HealthTracker* health) {
+  health_ = health;
+}
+
 void SecureQueryEngine::RecordServingOutcome(const std::string& policy,
                                              std::string_view query_text,
                                              const Status& status,
                                              uint64_t latency_micros) {
   obs::ServeOutcome outcome = obs::ServeOutcomeForStatus(status);
+  if (health_ != nullptr) health_->RecordOutcome(status.ok());
   if (window_stats_ != nullptr) {
     window_stats_->Record(latency_micros, outcome);
   }
@@ -559,6 +602,8 @@ Result<ExecuteResult> SecureQueryEngine::Execute(
     const std::string& policy_name, const XmlTree& doc,
     std::string_view query_text, const ExecuteOptions& options) {
   ExecuteResult result;
+  // Crash-report context: how many queries were in flight when we died.
+  ScopedActiveQuery active_query;
   const auto exec_start = std::chrono::steady_clock::now();
   // Serve-mode request tracing: when a trace store is attached and
   // enabled and the caller did not bring its own trace, build a span
@@ -588,6 +633,7 @@ Result<ExecuteResult> SecureQueryEngine::Execute(
   hot_.execute_micros->Observe(latency_micros);
   hot_.alloc_bytes->Observe(result.stats.alloc_bytes);
   hot_.alloc_count->Observe(result.stats.alloc_count);
+  if (health_ != nullptr) health_->RecordOutcome(status.ok());
   if (window_stats_ != nullptr || slow_log_ != nullptr ||
       policy_stats_ != nullptr) {
     obs::ServeOutcome outcome = obs::ServeOutcomeForStatus(status);

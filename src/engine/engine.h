@@ -26,6 +26,7 @@ namespace secview {
 
 namespace obs {
 class AuditSink;
+class HealthTracker;
 class PlanProfileTable;
 class PolicyStatsTable;
 class RequestTraceStore;
@@ -278,6 +279,12 @@ class SecureQueryEngine {
   /// request (see obs/trace_store.h). Attach before serving starts.
   void AttachTraceStore(obs::RequestTraceStore* traces);
 
+  /// Attaches the serving-health state machine (/healthz): every Execute
+  /// and RecordServingOutcome reports its ok/failed verdict so sustained
+  /// error rates flip the tracker to degraded. Same lifetime/attachment
+  /// discipline as AttachServingObservers.
+  void AttachHealth(obs::HealthTracker* health);
+
   /// Records a query outcome that bypassed Execute (e.g. shed at a
   /// worker pool's queue) into the attached serving observers, keeping
   /// /statusz rates in line with the audit trail.
@@ -413,6 +420,12 @@ class SecureQueryEngine {
     /// engine.plan.cache_bytes — bytes of resident compiled plans
     /// (subset of engine.cache.bytes).
     obs::Gauge* plan_cache_bytes = nullptr;
+    /// engine.plan.fallbacks — executions that asked for the compiled
+    /// path but ran the AST walk because no plan was available (query
+    /// not compilable, injected plan.compile fault, or a budget-tripped
+    /// preparation). Results are identical either way; this counts the
+    /// lost speed, not lost correctness.
+    obs::Counter* plan_fallbacks = nullptr;
     /// engine.execute.micros — end-to-end Execute latency (all phases,
     /// successes and failures alike).
     obs::Histogram* execute_micros = nullptr;
@@ -485,6 +498,7 @@ class SecureQueryEngine {
   obs::PolicyStatsTable* policy_stats_ = nullptr;
   obs::PlanProfileTable* plan_profiles_ = nullptr;
   obs::RequestTraceStore* trace_store_ = nullptr;
+  obs::HealthTracker* health_ = nullptr;
   std::atomic<bool> sealed_{false};
 };
 

@@ -150,6 +150,11 @@ ShardedRewriteCache::AttachOutcome ShardedRewriteCache::AttachPlan(
     const std::string& key, std::shared_ptr<const CompiledPlan> plan) {
   AttachOutcome outcome;
   outcome.shard = ShardIndex(key);
+  if (plan == nullptr) {
+    // Compilation produced nothing (e.g. an injected plan.compile
+    // fault); leave the entry plan-less so a later execution can retry.
+    return outcome;
+  }
   Shard& shard = *shards_[outcome.shard];
   std::unique_lock<std::shared_mutex> lock(shard.mu);
   auto it = shard.map.find(key);

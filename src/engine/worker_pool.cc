@@ -4,6 +4,7 @@
 #include <chrono>
 #include <memory>
 
+#include "common/failpoint.h"
 #include "obs/audit.h"
 
 namespace secview {
@@ -152,13 +153,24 @@ std::vector<Result<ExecuteResult>> QueryWorkerPool::ExecuteBatch(
 
   // Enqueue under one lock hold, so shedding is deterministic: with a
   // cap of C and a queue already holding Q tasks, exactly the first
-  // max(0, C - Q) tasks of this batch enqueue and the rest shed.
+  // max(0, C - Q) tasks of this batch enqueue and the rest shed. The
+  // pool.submit failpoint sheds individual submissions the same way a
+  // full queue would (simulating enqueue-time allocation failure).
+  static FailPoint& submit_fault =
+      FailPointRegistry::Instance().Get(failpoints::kPoolSubmit);
   std::vector<size_t> shed;
+  std::vector<bool> shed_injected;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t i = 0; i < queries.size(); ++i) {
       if (options_.queue_cap != 0 && queue_.size() >= options_.queue_cap) {
         shed.push_back(i);
+        shed_injected.push_back(false);
+        continue;
+      }
+      if (submit_fault.Fire()) {
+        shed.push_back(i);
+        shed_injected.push_back(true);
         continue;
       }
       queue_.emplace_back([run_task, i] { run_task(i); });
@@ -167,11 +179,16 @@ std::vector<Result<ExecuteResult>> QueryWorkerPool::ExecuteBatch(
   }
   work_available_.notify_all();
 
-  for (size_t i : shed) {
+  for (size_t s = 0; s < shed.size(); ++s) {
+    const size_t i = shed[s];
     shed_counter_->Add();
-    Status st = Status::ResourceExhausted(
-        "query shed: the pool's submission queue is full (cap " +
-        std::to_string(options_.queue_cap) + ")");
+    Status st = shed_injected[s]
+                    ? Status::ResourceExhausted(
+                          "query shed: task submission failed (injected)")
+                    : Status::ResourceExhausted(
+                          "query shed: the pool's submission queue is full "
+                          "(cap " +
+                          std::to_string(options_.queue_cap) + ")");
     RecordPoolAudit(task_options.audit, policy, queries[i], st);
     engine_.RecordServingOutcome(policy, queries[i], st, 0);
     std::lock_guard<std::mutex> slot_lock(state->mu);

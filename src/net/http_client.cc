@@ -5,15 +5,31 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <string_view>
+#include <thread>
+
+#include "common/failpoint.h"
+#include "common/rng.h"
 
 namespace secview::net {
 
-Result<FetchedResponse> HttpGet(const std::string& host, uint16_t port,
-                                const std::string& target, int timeout_ms) {
+namespace {
+
+/// Single-shot fetch; the retrying HttpGet overload wraps this.
+Result<FetchedResponse> HttpGetOnce(const std::string& host, uint16_t port,
+                                    const std::string& target,
+                                    int timeout_ms) {
+  static FailPoint& connect_fault =
+      FailPointRegistry::Instance().Get(failpoints::kNetConnect);
+  if (connect_fault.Fire()) {
+    return Status::Internal("connect " + host + ":" + std::to_string(port) +
+                            ": injected connect failure");
+  }
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
@@ -93,6 +109,32 @@ Result<FetchedResponse> HttpGet(const std::string& host, uint16_t port,
     response.body = raw.substr(body + skip);
   }
   return response;
+}
+
+}  // namespace
+
+Result<FetchedResponse> HttpGet(const std::string& host, uint16_t port,
+                                const std::string& target, int timeout_ms) {
+  return HttpGetOnce(host, port, target, timeout_ms);
+}
+
+Result<FetchedResponse> HttpGet(const std::string& host, uint16_t port,
+                                const std::string& target,
+                                const HttpGetOptions& options) {
+  Rng jitter(options.jitter_seed);
+  uint64_t backoff = options.backoff_initial_ms;
+  for (int attempt = 0;; ++attempt) {
+    Result<FetchedResponse> fetched =
+        HttpGetOnce(host, port, target, options.timeout_ms);
+    if (fetched.ok() || attempt >= options.retries ||
+        fetched.status().code() == StatusCode::kInvalidArgument) {
+      return fetched;
+    }
+    uint64_t sleep_ms =
+        backoff + (backoff > 1 ? jitter.Below(backoff / 2 + 1) : 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    backoff = std::min(backoff * 2, options.backoff_cap_ms);
+  }
 }
 
 }  // namespace secview::net

@@ -10,15 +10,24 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <exception>
+#include <thread>
+
+#include "common/failpoint.h"
 
 namespace secview::net {
 
 namespace {
 
 /// Writes the whole buffer, tolerating short writes and EINTR. Returns
-/// false on any hard error (the peer is gone; nothing to do about it).
+/// false on any hard error (the peer is gone; nothing to do about it)
+/// or an injected `net.send` fault.
 bool WriteAll(int fd, std::string_view data) {
+  static FailPoint& send_fault =
+      FailPointRegistry::Instance().Get(failpoints::kNetSend);
+  if (send_fault.Fire()) return false;  // simulated EPIPE mid-response
   while (!data.empty()) {
     ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
     if (n < 0) {
@@ -150,13 +159,29 @@ void HttpServer::AcceptLoop() {
     int ready = ::poll(&pfd, 1, 200);
     if (ready < 0) {
       if (errno == EINTR) continue;
-      return;
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
     }
     if (ready == 0) continue;  // timeout tick; re-check stopping_
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
-      return;
+      // Transient accept failures (EMFILE/ENFILE/ENOBUFS/...) must not
+      // kill the accept thread — that silently turns a resource blip
+      // into a dead server. Count, back off briefly, keep accepting.
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    static FailPoint& accept_fault =
+        FailPointRegistry::Instance().Get(failpoints::kNetAccept);
+    if (accept_fault.Fire()) {
+      // Simulated post-accept failure (e.g. EMFILE while setting up the
+      // connection): drop this connection, keep the loop alive.
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
     }
     timeval tv{};
     tv.tv_sec = options_.recv_timeout_ms / 1000;
@@ -201,17 +226,27 @@ void HttpServer::WorkerLoop() {
 }
 
 void HttpServer::HandleConnection(int fd) {
+  static FailPoint& recv_fault =
+      FailPointRegistry::Instance().Get(failpoints::kNetRecv);
   std::string head;
   head.reserve(512);
   char buf[1024];
   bool complete = false;
   bool timed_out = false;
   bool overflow = false;
+  bool io_error = false;
   while (!complete) {
+    if (recv_fault.Fire()) {
+      // Simulated ECONNRESET mid-head: degrade to a 500-with-close for
+      // this connection only.
+      io_error = true;
+      break;
+    }
     ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       timed_out = (errno == EAGAIN || errno == EWOULDBLOCK);
+      io_error = !timed_out;
       break;
     }
     if (n == 0) break;  // peer closed before a full head
@@ -227,7 +262,10 @@ void HttpServer::HandleConnection(int fd) {
 
   if (!complete) {
     requests_rejected_.fetch_add(1, std::memory_order_relaxed);
-    if (timed_out) {
+    if (io_error) {
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendError(fd, 500, "connection error while reading request");
+    } else if (timed_out) {
       SendError(fd, 408, "timed out waiting for request head");
     } else if (overflow) {
       SendError(fd, 431,
@@ -251,11 +289,32 @@ void HttpServer::HandleConnection(int fd) {
   }
 
   const HttpRequest& request = *parsed;
-  HttpResponse response = handler_(request);
+  HttpResponse response;
+  try {
+    response = handler_(request);
+  } catch (const std::exception& e) {
+    // A throwing handler degrades this one connection to a 500-with-
+    // close; it must never take down the worker thread.
+    io_errors_.fetch_add(1, std::memory_order_relaxed);
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendError(fd, 500, std::string("internal error: ") + e.what());
+    LingeringClose(fd);
+    return;
+  } catch (...) {
+    io_errors_.fetch_add(1, std::memory_order_relaxed);
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendError(fd, 500, "internal error");
+    LingeringClose(fd);
+    return;
+  }
   requests_handled_.fetch_add(1, std::memory_order_relaxed);
-  WriteAll(fd,
-           SerializeHttpResponse(response, /*head_only=*/request.method ==
-                                               "HEAD"));
+  if (!WriteAll(fd, SerializeHttpResponse(
+                        response,
+                        /*head_only=*/request.method == "HEAD"))) {
+    // The response was lost mid-send (peer gone or injected fault); all
+    // we can do is count it and clean the connection up.
+    io_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
   LingeringClose(fd);
 }
 

@@ -86,6 +86,12 @@ class HttpServer {
   uint64_t connections_shed() const {
     return connections_shed_.load(std::memory_order_relaxed);
   }
+  /// Socket-level failures survived (failed accepts, recv/send errors,
+  /// handler exceptions answered with 500) — the server degrades and
+  /// keeps serving; this counter is how /statusz shows the scar tissue.
+  uint64_t io_errors() const {
+    return io_errors_.load(std::memory_order_relaxed);
+  }
 
  private:
   void AcceptLoop();
@@ -109,6 +115,7 @@ class HttpServer {
   std::atomic<uint64_t> requests_handled_{0};
   std::atomic<uint64_t> requests_rejected_{0};
   std::atomic<uint64_t> connections_shed_{0};
+  std::atomic<uint64_t> io_errors_{0};
 };
 
 }  // namespace secview::net

@@ -6,6 +6,7 @@
 
 #include "common/alloc_tracker.h"
 #include "common/build_info.h"
+#include "common/failpoint.h"
 #include "obs/export.h"
 
 namespace secview::net {
@@ -137,8 +138,16 @@ HttpResponse TelemetryServer::Handle(const HttpRequest& request) const {
   }
   if (target == "/healthz") {
     bool ready = !options_.ready || options_.ready();
-    return ready ? HttpResponse::Text(200, "ok\n")
-                 : HttpResponse::Text(503, "starting\n");
+    if (!ready) return HttpResponse::Text(503, "starting\n");
+    // Degraded is still 200: the process is serving, just shedding or
+    // dropping more than the health tracker's threshold. Load balancers
+    // that eject on non-200 would turn a partial brownout into a full
+    // outage.
+    if (options_.health != nullptr &&
+        options_.health->state() == obs::HealthState::kDegraded) {
+      return HttpResponse::Text(200, "degraded\n");
+    }
+    return HttpResponse::Text(200, "ok\n");
   }
   if (target == "/statusz") {
     return HttpResponse::Text(200, RenderStatusz());
@@ -160,9 +169,17 @@ std::string TelemetryServer::RenderStatusz() const {
       << "   start_unix: " << ProcessStartUnixSeconds() << "\n";
   bool ready = !options_.ready || options_.ready();
   out << "ready: " << (ready ? "yes" : "no") << "\n";
+  if (options_.health != nullptr) {
+    obs::HealthState state = options_.health->state();
+    obs::HealthTracker::Window w = options_.health->Snapshot();
+    out << "health: " << obs::HealthStateName(state) << " (window: " << w.ok
+        << " ok, " << w.failed << " failed, " << w.drops
+        << " drops, failure rate " << FormatRate(w.failure_rate) << ")\n";
+  }
   out << "telemetry: " << http_->requests_handled() << " handled, "
       << http_->requests_rejected() << " rejected, "
-      << http_->connections_shed() << " shed\n";
+      << http_->connections_shed() << " shed, " << http_->io_errors()
+      << " io errors\n";
 
   out << "\nserving\n";
   if (options_.window != nullptr) {
@@ -239,6 +256,53 @@ std::string TelemetryServer::RenderStatusz() const {
     }
   }
   if (!any_pool) out << "  no pool attached\n";
+
+  // Audit delivery: the sink degrades by dropping events (after retry)
+  // rather than stalling queries, so dropped > 0 is the signal that the
+  // trail has gaps (audit-verify reports the exact sequence holes).
+  uint64_t audit_events = 0;
+  uint64_t audit_dropped = 0;
+  uint64_t plan_fallbacks = 0;
+  bool have_audit = false;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string_view n = name;
+    if (n == "audit.events") {
+      audit_events = value;
+      have_audit = true;
+    }
+    if (n == "audit.dropped") {
+      audit_dropped = value;
+      have_audit = true;
+    }
+    if (n == "engine.plan.fallbacks") plan_fallbacks = value;
+  }
+  if (have_audit || audit_dropped > 0) {
+    out << "\naudit\n";
+    out << "  " << audit_events << " events written, " << audit_dropped
+        << " dropped";
+    if (audit_dropped > 0) out << "  ** DEGRADED: audit trail has gaps **";
+    out << "\n";
+  }
+  if (plan_fallbacks > 0) {
+    out << "\nplan fallbacks\n";
+    out << "  " << plan_fallbacks
+        << " executions fell back from compiled plan to AST walk\n";
+  }
+
+  // Failpoints only appear once something is armed or has fired, so a
+  // production /statusz stays clean.
+  std::vector<FailPointRegistry::PointInfo> points =
+      FailPointRegistry::Instance().List();
+  bool any_failpoint = false;
+  for (const auto& p : points) {
+    if (p.policy == "off" && p.fires == 0) continue;
+    if (!any_failpoint) {
+      out << "\nfailpoints\n";
+      any_failpoint = true;
+    }
+    out << "  " << p.name << " policy=" << p.policy << " fires=" << p.fires
+        << "\n";
+  }
 
   out << "\nallocation\n";
   bool any_alloc = false;

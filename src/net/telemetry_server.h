@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "net/http_server.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/plan_profile.h"
 #include "obs/policy_stats.h"
@@ -65,6 +66,13 @@ class TelemetryServer {
     /// Optional cross-query hot-step table backing /profilez; may be
     /// null (the endpoint then reports that profiling is not attached).
     const obs::PlanProfileTable* plan_profiles = nullptr;
+    /// Optional serving-health state machine (obs/health.h). With it
+    /// attached, a ready /healthz answers 200 "ok\n" or 200 "degraded\n"
+    /// from the tracker's hysteresis verdict (degraded is still serving
+    /// — load balancers should deprioritize, not eject), and /statusz
+    /// gains a health section. Non-const: reading the verdict advances
+    /// the state machine.
+    obs::HealthTracker* health = nullptr;
   };
 
   /// `registry` must outlive the server.

@@ -1,7 +1,13 @@
 #include "obs/audit.h"
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <thread>
+
+#include "common/failpoint.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
 
 namespace secview::obs {
 
@@ -57,7 +63,9 @@ int64_t AuditEvent::NowUnixMicros() {
 }
 
 JsonlAuditLog::JsonlAuditLog(std::string path, Options options)
-    : path_(std::move(path)), options_(options) {}
+    : path_(std::move(path)),
+      options_(options),
+      retry_rng_(options.retry_jitter_seed) {}
 
 JsonlAuditLog::~JsonlAuditLog() = default;
 
@@ -99,24 +107,69 @@ void JsonlAuditLog::RotateLocked() {
   bytes_ = ec ? bytes_ : 0;
 }
 
+bool JsonlAuditLog::TryWriteLocked(const std::string& line) {
+  static FailPoint& write_fault =
+      FailPointRegistry::Instance().Get(failpoints::kAuditWrite);
+  if (write_fault.Fire()) return false;  // simulated ENOSPC / short write
+  out_ << line;
+  out_.flush();
+  if (!out_.good()) {
+    // Clear the stream's error latch so the next attempt (or the next
+    // event) is not doomed by this one's failure.
+    out_.clear();
+    return false;
+  }
+  return true;
+}
+
 void JsonlAuditLog::Record(const AuditEvent& event) {
   std::lock_guard<std::mutex> lock(mu_);
   AuditEvent stamped = event;
+  // The seq is consumed even when every write attempt fails: a dropped
+  // event must leave a gap the verifier can see.
   stamped.seq = ++seq_;
   std::string line = stamped.ToJson().Dump(/*pretty=*/false);
   line.push_back('\n');
   if (bytes_ > 0 && bytes_ + line.size() > options_.max_bytes) {
     RotateLocked();
   }
-  out_ << line;
-  out_.flush();
-  bytes_ += line.size();
-  ++events_;
+  uint64_t backoff = options_.retry_backoff_micros;
+  for (int attempt = 0;; ++attempt) {
+    if (TryWriteLocked(line)) {
+      bytes_ += line.size();
+      ++events_;
+      return;
+    }
+    if (attempt >= options_.write_retries) break;
+    uint64_t jitter = backoff > 1 ? retry_rng_.Below(backoff / 2 + 1) : 0;
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff + jitter));
+    backoff = std::min(backoff * 2, options_.retry_backoff_cap_micros);
+  }
+  ++dropped_;
+  if (Counter* counter = dropped_counter_.load(std::memory_order_relaxed)) {
+    counter->Add();
+  }
+  if (HealthTracker* health = health_.load(std::memory_order_relaxed)) {
+    health->RecordDrop();
+  }
 }
 
 uint64_t JsonlAuditLog::events() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_;
+}
+
+uint64_t JsonlAuditLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void JsonlAuditLog::AttachDropCounter(Counter* counter) {
+  dropped_counter_.store(counter, std::memory_order_relaxed);
+}
+
+void JsonlAuditLog::AttachHealth(HealthTracker* health) {
+  health_.store(health, std::memory_order_relaxed);
 }
 
 uint64_t JsonlAuditLog::rotations() const {

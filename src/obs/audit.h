@@ -1,6 +1,7 @@
 #ifndef SECVIEW_OBS_AUDIT_H_
 #define SECVIEW_OBS_AUDIT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <memory>
@@ -9,9 +10,13 @@
 #include <string_view>
 
 #include "common/result.h"
+#include "common/rng.h"
 #include "obs/json.h"
 
 namespace secview::obs {
+
+class Counter;
+class HealthTracker;
 
 /// One security-relevant query execution, as recorded by the engine:
 /// who asked (policy), what they asked (original query), what was
@@ -96,12 +101,29 @@ class AuditSink {
 /// `max_bytes`, the current file is renamed to "<path>.1", "<path>.2",
 /// ... (per-process rotation counter) and a fresh file is started; a
 /// line is never split across files.
+///
+/// Degradation contract (docs/robustness.md): a failed write (stream
+/// error, ENOSPC, or the `audit.write` failpoint) is retried with capped
+/// exponential backoff plus deterministic jitter; when the retries are
+/// exhausted the event is dropped and counted (`dropped()`, mirrored to
+/// an attached `audit.dropped` counter and health tracker) instead of
+/// blocking or aborting the query path. The event's sequence number is
+/// consumed before the write is attempted, so a drop leaves a visible
+/// seq gap that `audit-verify` reports — never a silent hole.
 class JsonlAuditLog : public AuditSink {
  public:
   struct Options {
     /// Rotation threshold. A single oversized line is still written
     /// whole (to an otherwise empty file).
     uint64_t max_bytes = 64ull << 20;
+    /// Write retries after the first failed attempt before dropping.
+    int write_retries = 3;
+    /// First retry backoff; doubled per retry up to the cap. A random
+    /// jitter in [0, backoff/2] is added to each sleep.
+    uint64_t retry_backoff_micros = 100;
+    uint64_t retry_backoff_cap_micros = 10'000;
+    /// Seed for the jitter RNG (deterministic replay in tests).
+    uint64_t retry_jitter_seed = 42;
   };
 
   /// Opens (or creates) `path` for appending.
@@ -110,27 +132,48 @@ class JsonlAuditLog : public AuditSink {
                                                      Options options);
   ~JsonlAuditLog() override;
 
-  /// Stamps the event's seq, writes it as one line, flushes.
+  /// Stamps the event's seq, writes it as one line, flushes. On write
+  /// failure: bounded retries with backoff, then drop-and-count.
   void Record(const AuditEvent& event) override;
 
+  /// Events written successfully.
   uint64_t events() const;
+  /// Events dropped after exhausting write retries.
+  uint64_t dropped() const;
   uint64_t rotations() const;
   const std::string& path() const { return path_; }
+
+  /// Mirrors every drop into `counter` (typically the engine registry's
+  /// "audit.dropped"). Pass nullptr to detach. The counter must outlive
+  /// this sink or be detached first.
+  void AttachDropCounter(Counter* counter);
+
+  /// Reports every drop to `health` so sustained audit loss degrades
+  /// /healthz. Same lifetime rules as AttachDropCounter.
+  void AttachHealth(HealthTracker* health);
 
  private:
   JsonlAuditLog(std::string path, Options options);
 
   void RotateLocked();
+  /// One write+flush attempt; false on stream failure or an injected
+  /// `audit.write` fault (the stream error state is cleared so a later
+  /// attempt can succeed).
+  bool TryWriteLocked(const std::string& line);
 
   const std::string path_;
   const Options options_;
 
   mutable std::mutex mu_;
   std::ofstream out_;
+  Rng retry_rng_;       ///< jitter source, guarded by mu_
   uint64_t bytes_ = 0;  ///< current file size
   uint64_t seq_ = 0;
   uint64_t events_ = 0;
+  uint64_t dropped_ = 0;
   uint64_t rotations_ = 0;
+  std::atomic<Counter*> dropped_counter_{nullptr};
+  std::atomic<HealthTracker*> health_{nullptr};
 };
 
 /// Maps an execution status to its audit outcome: "ok" for OK,

@@ -1,0 +1,104 @@
+#include "obs/health.h"
+
+#include <chrono>
+#include <utility>
+
+namespace secview::obs {
+namespace {
+
+uint64_t SteadyNowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kStarting:
+      return "starting";
+    case HealthState::kOk:
+      return "ok";
+    case HealthState::kDegraded:
+      return "degraded";
+  }
+  return "ok";
+}
+
+HealthTracker::HealthTracker() : HealthTracker(Options{}) {}
+
+HealthTracker::HealthTracker(Options options)
+    : options_(options),
+      now_micros_(options.now_micros ? std::move(options.now_micros)
+                                     : SteadyNowMicros) {
+  if (options_.window_seconds == 0) options_.window_seconds = 1;
+  buckets_.resize(options_.window_seconds);
+}
+
+HealthTracker::Bucket& HealthTracker::CurrentLocked() {
+  int64_t second = static_cast<int64_t>(now_micros_() / 1'000'000);
+  Bucket& bucket = buckets_[static_cast<size_t>(second) % buckets_.size()];
+  if (bucket.second != second) {
+    bucket = Bucket{};
+    bucket.second = second;
+  }
+  return bucket;
+}
+
+void HealthTracker::RecordOutcome(bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& bucket = CurrentLocked();
+  if (ok) {
+    ++bucket.ok;
+  } else {
+    ++bucket.failed;
+  }
+}
+
+void HealthTracker::RecordDrop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++CurrentLocked().drops;
+}
+
+HealthTracker::Window HealthTracker::WindowLocked() {
+  int64_t now = static_cast<int64_t>(now_micros_() / 1'000'000);
+  int64_t oldest = now - static_cast<int64_t>(buckets_.size()) + 1;
+  Window window;
+  for (const Bucket& bucket : buckets_) {
+    if (bucket.second < oldest || bucket.second > now) continue;
+    window.ok += bucket.ok;
+    window.failed += bucket.failed;
+    window.drops += bucket.drops;
+  }
+  uint64_t total = window.ok + window.failed + window.drops;
+  window.failure_rate =
+      total == 0 ? 0.0
+                 : static_cast<double>(window.failed + window.drops) /
+                       static_cast<double>(total);
+  return window;
+}
+
+HealthState HealthTracker::state() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Window window = WindowLocked();
+  uint64_t total = window.ok + window.failed + window.drops;
+  if (total >= options_.min_events) {
+    if (state_ == HealthState::kDegraded) {
+      if (window.failure_rate <= options_.recover_threshold) {
+        state_ = HealthState::kOk;
+      }
+    } else if (window.failure_rate >= options_.degrade_threshold) {
+      state_ = HealthState::kDegraded;
+    }
+  }
+  return state_;
+}
+
+HealthTracker::Window HealthTracker::Snapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WindowLocked();
+}
+
+}  // namespace secview::obs

@@ -1,0 +1,104 @@
+#ifndef SECVIEW_OBS_HEALTH_H_
+#define SECVIEW_OBS_HEALTH_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace secview::obs {
+
+/// Coarse serving-health verdict exposed on /healthz so load balancers
+/// can react without parsing /statusz. kStarting is rendered by the
+/// telemetry server from its readiness predicate; the tracker itself
+/// only ever reports kOk or kDegraded.
+enum class HealthState { kStarting, kOk, kDegraded };
+
+/// Stable lowercase name ("starting", "ok", "degraded").
+const char* HealthStateName(HealthState state);
+
+/// Health state machine over sliding-window error and drop rates.
+///
+/// Writers call RecordOutcome once per finished query (the engine's
+/// Execute / serving-outcome paths) and RecordDrop once per degraded
+/// side effect that lost data (an audit record dropped after retries).
+/// Readers call state(), which aggregates the trailing window and
+/// applies hysteresis:
+///
+///   kOk -> kDegraded  when (failures + drops) / (queries + drops)
+///                     >= degrade_threshold with at least min_events
+///                     events in the window,
+///   kDegraded -> kOk  when the same rate falls to recover_threshold
+///                     or below, again with min_events observed.
+///
+/// Sparse traffic never flips the state (below min_events the current
+/// verdict is kept), so a single failed probe cannot mark a quiet
+/// server degraded, and a degraded server must demonstrate a healthy
+/// window to recover — not merely go idle (an idle window keeps the
+/// degraded verdict until fresh healthy traffic arrives).
+///
+/// Thread-safety: one mutex guards the per-second ring; Record and
+/// state() critical sections are a handful of integer ops.
+class HealthTracker {
+ public:
+  struct Options {
+    /// Trailing window the rates are computed over.
+    size_t window_seconds = 30;
+    /// Enter degraded at combined failure+drop rate >= this.
+    double degrade_threshold = 0.5;
+    /// Leave degraded at combined rate <= this.
+    double recover_threshold = 0.1;
+    /// Minimum events (queries + drops) in the window before the state
+    /// may change in either direction.
+    uint64_t min_events = 20;
+    /// Microsecond clock since an arbitrary epoch; defaults to the
+    /// steady clock. Injected by tests to step time without sleeping.
+    std::function<uint64_t()> now_micros;
+  };
+
+  HealthTracker();
+  explicit HealthTracker(Options options);
+
+  /// Accounts one finished query.
+  void RecordOutcome(bool ok);
+
+  /// Accounts one dropped side effect (e.g. an audit record lost after
+  /// retries). Drops count as failures toward degradation even when the
+  /// query itself answered — a silent audit gap is a health problem.
+  void RecordDrop();
+
+  /// Current verdict after applying hysteresis to the trailing window.
+  HealthState state();
+
+  /// Windowed raw numbers, for /statusz rendering.
+  struct Window {
+    uint64_t ok = 0;
+    uint64_t failed = 0;
+    uint64_t drops = 0;
+    double failure_rate = 0;  ///< (failed + drops) / (ok + failed + drops)
+  };
+  Window Snapshot();
+
+ private:
+  struct Bucket {
+    int64_t second = -1;  ///< absolute second; -1 = never used
+    uint64_t ok = 0;
+    uint64_t failed = 0;
+    uint64_t drops = 0;
+  };
+
+  Bucket& CurrentLocked();
+  Window WindowLocked();
+
+  Options options_;
+  std::function<uint64_t()> now_micros_;
+
+  std::mutex mu_;
+  std::vector<Bucket> buckets_;
+  HealthState state_ = HealthState::kOk;
+};
+
+}  // namespace secview::obs
+
+#endif  // SECVIEW_OBS_HEALTH_H_

@@ -1,8 +1,31 @@
 #include "obs/slow_query_log.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/crash_reporter.h"
 
 namespace secview::obs {
+
+namespace {
+
+/// One-line rendering of an entry for the crash reporter's "last slow
+/// query" slot — the most likely culprit if the process dies shortly
+/// after a pathological query.
+void PublishToCrashReporter(const SlowQueryLog::Entry& entry) {
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "[%s] %lluus policy=%s nodes=%llu query=%s",
+                ServeOutcomeName(entry.outcome),
+                static_cast<unsigned long long>(entry.latency_micros),
+                entry.policy.c_str(),
+                static_cast<unsigned long long>(entry.nodes_touched),
+                entry.query.c_str());
+  CrashReporterSetLastSlowQuery(line, std::strlen(line));
+}
+
+}  // namespace
 
 SlowQueryLog::SlowQueryLog(Options options) : options_(options) {
   if (options_.capacity == 0) options_.capacity = 1;
@@ -11,6 +34,7 @@ SlowQueryLog::SlowQueryLog(Options options) : options_(options) {
 
 void SlowQueryLog::MaybeRecord(Entry entry) {
   if (entry.latency_micros < options_.threshold_micros) return;
+  PublishToCrashReporter(entry);
   std::lock_guard<std::mutex> lock(mu_);
   if (ring_.size() < options_.capacity) {
     ring_.push_back(std::move(entry));

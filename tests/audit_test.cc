@@ -8,7 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "engine/engine.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
 #include "workload/hospital.h"
 #include "xml/parser.h"
 
@@ -274,6 +277,113 @@ TEST(AuditEngineTest, ExecuteRecordsOkAndErrorOutcomes) {
   EXPECT_FALSE(err_record->Find("error")->AsString().empty());
   // The engine's audit counter saw both executions.
   EXPECT_EQ((*engine)->metrics().GetCounter("audit.events").value(), 2u);
+}
+
+// --- Degradation under injected write failures ------------------------
+
+class AuditFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailPointRegistry::Instance().DisarmAll(); }
+  void TearDown() override { FailPointRegistry::Instance().DisarmAll(); }
+
+  // Microsecond backoffs keep the retry loop instant in tests.
+  static JsonlAuditLog::Options FastRetries() {
+    JsonlAuditLog::Options options;
+    options.retry_backoff_micros = 1;
+    options.retry_backoff_cap_micros = 2;
+    return options;
+  }
+};
+
+TEST_F(AuditFaultTest, TransientWriteFailureIsRetriedNotDropped) {
+  std::string path = TempPath("audit_retry.jsonl");
+  std::filesystem::remove(path);
+  auto log = JsonlAuditLog::Open(path, FastRetries());
+  ASSERT_TRUE(log.ok()) << log.status();
+
+  // One injected failure: the first attempt fails, the retry lands the
+  // record. Nothing is dropped and the line on disk validates.
+  ASSERT_TRUE(
+      FailPointRegistry::Instance().ArmFromSpec("audit.write=once").ok());
+  (*log)->Record(MakeOkEvent("//patient/name"));
+  EXPECT_EQ((*log)->events(), 1u);
+  EXPECT_EQ((*log)->dropped(), 0u);
+
+  auto lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(ValidateAuditLine(lines[0]).ok());
+}
+
+TEST_F(AuditFaultTest, ExhaustedRetriesDropAndCount) {
+  std::string path = TempPath("audit_drop.jsonl");
+  std::filesystem::remove(path);
+  auto log = JsonlAuditLog::Open(path, FastRetries());
+  ASSERT_TRUE(log.ok()) << log.status();
+
+  obs::Counter drop_counter;
+  obs::HealthTracker health;
+  (*log)->AttachDropCounter(&drop_counter);
+  (*log)->AttachHealth(&health);
+
+  (*log)->Record(MakeOkEvent("//patient/name"));  // seq 1, written
+
+  // Fail every attempt: initial write plus all retries. The record is
+  // dropped, counted, and fed to the health tracker.
+  ASSERT_TRUE(
+      FailPointRegistry::Instance().ArmFromSpec("audit.write=every:1").ok());
+  (*log)->Record(MakeOkEvent("//patient//bill"));  // seq 2, dropped
+  FailPointRegistry::Instance().DisarmAll();
+
+  (*log)->Record(MakeOkEvent("//bill"));  // seq 3, written
+
+  EXPECT_EQ((*log)->events(), 2u);
+  EXPECT_EQ((*log)->dropped(), 1u);
+  EXPECT_EQ(drop_counter.value(), 1u);
+  EXPECT_EQ(health.Snapshot().drops, 1u);
+
+  // The dropped event consumed its sequence number before the write, so
+  // the gap is detectable on disk: seq jumps 1 -> 3.
+  auto lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  auto first = obs::Json::Parse(lines[0]);
+  auto last = obs::Json::Parse(lines[1]);
+  ASSERT_TRUE(first.ok() && last.ok());
+  EXPECT_EQ(first->Find("seq")->AsNumber(), 1);
+  EXPECT_EQ(last->Find("seq")->AsNumber(), 3);
+}
+
+TEST_F(AuditFaultTest, DropsNeverTearSurvivingLines) {
+  std::string path = TempPath("audit_fault_concurrent.jsonl");
+  std::filesystem::remove(path);
+  auto log = JsonlAuditLog::Open(path, FastRetries());
+  ASSERT_TRUE(log.ok()) << log.status();
+
+  // Concurrent writers racing a probabilistic write fault: every line
+  // that survives must still be a complete, schema-valid record.
+  ASSERT_TRUE(FailPointRegistry::Instance()
+                  .ArmFromSpec("audit.write=prob:0.5:7")
+                  .ok());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        (*log)->Record(
+            MakeOkEvent("//patient/q" + std::to_string(t * 100 + i)));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  FailPointRegistry::Instance().DisarmAll();
+
+  EXPECT_EQ((*log)->events() + (*log)->dropped(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  auto lines = ReadLines(path);
+  EXPECT_EQ(lines.size(), (*log)->events());
+  for (const auto& line : lines) {
+    EXPECT_TRUE(ValidateAuditLine(line).ok()) << line;
+  }
 }
 
 }  // namespace

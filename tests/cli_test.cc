@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include "cli/cli.h"
+#include "common/failpoint.h"
+#include "obs/audit.h"
 #include "obs/json.h"
 #include "obs/plan_profile.h"
 #include "obs/trace.h"
@@ -972,6 +974,136 @@ TEST_F(CliTest, ServeExposesLiveEndpointsEndToEnd) {
   EXPECT_NE(serve_out.str().find("# served"), std::string::npos)
       << serve_out.str();
   std::remove(port_file.c_str());
+}
+
+TEST_F(CliTest, ServeRemovesPortFileOnGracefulShutdownAndOverwritesStale) {
+  std::string port_file = Path("stale.port");
+  // A stale file from a dead process: the restarted server must replace
+  // it with its own port (overwrite, not append) and delete it again on
+  // graceful shutdown so nothing ever scrapes a dead port.
+  WriteFile("stale.port", "65000\n");
+
+  std::ostringstream serve_out;
+  std::ostringstream serve_err;
+  int serve_rc = -1;
+  std::thread server([&] {
+    serve_rc = RunCli({"serve", "--dtd", Path("hospital.dtd"), "--spec",
+                       Path("nurse.spec"), "--xml", Path("doc.xml"),
+                       "--max-seconds", "1", "--port-file", port_file},
+                      serve_out, serve_err);
+  });
+  int port = 0;
+  bool replaced = false;
+  for (int i = 0; i < 200 && !replaced; ++i) {
+    std::ifstream in(port_file);
+    if (in >> port && port != 65000) {
+      replaced = true;
+      // Overwritten, not appended: the file holds exactly one port.
+      int second = 0;
+      EXPECT_FALSE(in >> second) << "port file has more than one line";
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  server.join();
+  EXPECT_EQ(serve_rc, 0) << serve_err.str();
+  EXPECT_TRUE(replaced) << "server never overwrote the stale port file";
+  EXPECT_GT(port, 0);
+  // Graceful shutdown removed the file.
+  std::ifstream after(port_file);
+  EXPECT_FALSE(after.good()) << "port file survived graceful shutdown";
+}
+
+TEST_F(CliTest, FailpointsFlagRejectsBadSpecAsUsageError) {
+  EXPECT_EQ(Run({"help", "--failpoints", "no-equals-sign"}), 2);
+  EXPECT_NE(err_.str().find("--failpoints"), std::string::npos) << err_.str();
+  EXPECT_EQ(Run({"help", "--failpoints", "audit.write=banana"}), 2);
+  EXPECT_EQ(Run({"help", "--failpoints", "audit.write=every:0"}), 2);
+  // A well-formed spec arms fine for any command.
+  EXPECT_EQ(Run({"help", "--failpoints", "audit.write=off"}), 0);
+}
+
+TEST_F(CliTest, HelpDocumentsFailpoints) {
+  EXPECT_EQ(Run({"help"}), 0);
+  std::string text = out_.str();
+  EXPECT_NE(text.find("--failpoints"), std::string::npos);
+  EXPECT_NE(text.find("SECVIEW_FAILPOINTS"), std::string::npos);
+  EXPECT_NE(text.find("--retries"), std::string::npos);
+  EXPECT_NE(text.find("--audit-log"), std::string::npos);
+}
+
+TEST_F(CliTest, QueryWithInjectedAllocFaultDegradesNotCrashes) {
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--query",
+                 "//name", "--bind", "wardNo=3", "--failpoints",
+                 "alloc.evaluate=every:1"}),
+            5);  // ResourceExhausted maps to the budget-exhausted code
+  EXPECT_NE(err_.str().find("injected"), std::string::npos) << err_.str();
+  // The arming was scoped to that invocation: the same query now runs
+  // clean in this process.
+  EXPECT_EQ(Run({"query", "--dtd", Path("hospital.dtd"), "--spec",
+                 Path("nurse.spec"), "--xml", Path("doc.xml"), "--query",
+                 "//name", "--bind", "wardNo=3"}),
+            0)
+      << err_.str();
+}
+
+TEST_F(CliTest, AuditVerifyReportsSeqGapsFromDroppedEvents) {
+  std::string log_path = Path("gapped.jsonl");
+  std::remove(log_path.c_str());
+  {
+    obs::JsonlAuditLog::Options options;
+    options.retry_backoff_micros = 1;
+    options.retry_backoff_cap_micros = 2;
+    auto log = obs::JsonlAuditLog::Open(log_path, options);
+    ASSERT_TRUE(log.ok()) << log.status();
+    obs::AuditEvent event;
+    event.unix_micros = obs::AuditEvent::NowUnixMicros();
+    event.policy = "nurse";
+    event.query = "//name";
+    event.rewritten = "//name";
+    event.evaluated = "//name";
+    (*log)->Record(event);  // seq 1, written
+    ASSERT_TRUE(FailPointRegistry::Instance()
+                    .ArmFromSpec("audit.write=every:1")
+                    .ok());
+    (*log)->Record(event);  // seq 2, dropped after retries
+    FailPointRegistry::Instance().DisarmAll();
+    (*log)->Record(event);  // seq 3, written
+    EXPECT_EQ((*log)->events(), 2u);
+    EXPECT_EQ((*log)->dropped(), 1u);
+  }
+  EXPECT_EQ(Run({"audit-verify", "--log", log_path}), 0) << err_.str();
+  std::string text = out_.str();
+  EXPECT_NE(text.find("2 audit events validated"), std::string::npos) << text;
+  EXPECT_NE(text.find("1 dropped across 1 seq gap(s)"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("seq jumps 1 -> 3"), std::string::npos) << text;
+  std::remove(log_path.c_str());
+}
+
+TEST_F(CliTest, ServeWritesAuditTrailWithSummary) {
+  WriteFile("queries.txt", "//name\n");
+  std::string log_path = Path("serve_audit.jsonl");
+  std::remove(log_path.c_str());
+  std::ostringstream serve_out;
+  std::ostringstream serve_err;
+  int serve_rc = -1;
+  std::thread server([&] {
+    serve_rc = RunCli({"serve", "--dtd", Path("hospital.dtd"), "--spec",
+                       Path("nurse.spec"), "--xml", Path("doc.xml"),
+                       "--queries", Path("queries.txt"), "--bind", "wardNo=3",
+                       "--replay-delay-ms", "10", "--max-seconds", "1",
+                       "--audit-log", log_path},
+                      serve_out, serve_err);
+  });
+  server.join();
+  ASSERT_EQ(serve_rc, 0) << serve_err.str();
+  EXPECT_NE(serve_out.str().find("# audit:"), std::string::npos)
+      << serve_out.str();
+  EXPECT_EQ(Run({"audit-verify", "--log", log_path}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("audit events validated"), std::string::npos);
+  std::remove(log_path.c_str());
 }
 
 }  // namespace

@@ -661,5 +661,64 @@ TEST(ConcurrentEngineTest, BatchExecutionFeedsPolicyAndTraceStores) {
   }
 }
 
+// CancelAll racing batch admission racing pool teardown, repeatedly.
+// Several client threads submit batches while a canceller spams
+// CancelAll, so cancellation hits batches before, during, and after the
+// admission loop's single lock hold; the pool is then destroyed (drain +
+// join) the moment the batches return. Every slot must be filled with a
+// definite outcome — a cancelled batch reports Cancelled (or a
+// late-stage resource failure), never a hang, a missing slot, or a torn
+// result. Run under TSan (scripts/check.sh does).
+TEST(ConcurrentEngineTest, CancelAllRacesAdmissionAndShutdown) {
+  auto engine = MakeHospitalEngine();
+  XmlTree doc = MakeHospitalDoc();
+  std::vector<std::string> queries(kQueries, kQueries + 10);
+  ExecuteOptions options = NurseOptions();
+
+  for (int iter = 0; iter < 20; ++iter) {
+    QueryWorkerPool::Options pool_options;
+    pool_options.threads = 2;  // keep the queue populated mid-batch
+    QueryWorkerPool pool(*engine, pool_options);
+
+    constexpr int kSubmitters = 3;
+    std::vector<std::vector<Result<ExecuteResult>>> outcomes(kSubmitters);
+    std::atomic<bool> stop_cancelling{false};
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (int t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&, t] {
+        outcomes[t] = pool.ExecuteBatch("nurse", doc, queries, options);
+      });
+    }
+    std::thread canceller([&] {
+      while (!stop_cancelling.load()) {
+        pool.CancelAll();
+        std::this_thread::yield();
+      }
+    });
+    for (std::thread& t : submitters) t.join();
+    stop_cancelling.store(true);
+    canceller.join();
+    // Pool destruction (drain + join) runs here, immediately after the
+    // last batch returned — the shutdown edge the test is about.
+
+    for (const auto& batch : outcomes) {
+      ASSERT_EQ(batch.size(), queries.size());
+      for (const Result<ExecuteResult>& r : batch) {
+        if (r.ok()) continue;
+        const StatusCode code = r.status().code();
+        EXPECT_TRUE(code == StatusCode::kCancelled ||
+                    code == StatusCode::kResourceExhausted ||
+                    code == StatusCode::kDeadlineExceeded)
+            << r.status();
+        // The placeholder a batch slot is initialized with must never
+        // leak out as a result.
+        EXPECT_EQ(r.status().message().find("batch slot not filled"),
+                  std::string::npos);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace secview

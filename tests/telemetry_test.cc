@@ -13,10 +13,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "engine/engine.h"
 #include "engine/worker_pool.h"
 #include "net/http_client.h"
 #include "net/telemetry_server.h"
+#include "obs/health.h"
 #include "obs/export.h"
 #include "obs/json.h"
 #include "obs/plan_profile.h"
@@ -613,6 +615,161 @@ TEST_F(TelemetryServerTest, EndToEndScrapeWhileServing) {
   EXPECT_GT(plan_profiles_->queries(), 0u);
   EXPECT_GT(plan_profiles_->steps(), 0u);
   server_->Stop();
+}
+
+// --- Health state machine ---------------------------------------------
+
+TEST(HealthTrackerTest, DegradesAtThresholdAndRecoversWithHysteresis) {
+  uint64_t fake_now = 0;
+  obs::HealthTracker::Options options;
+  options.now_micros = [&fake_now] { return fake_now; };
+  obs::HealthTracker health(options);
+  EXPECT_EQ(health.state(), obs::HealthState::kOk);
+
+  // 30 straight failures in one window: well past the 0.5 threshold and
+  // the 20-event minimum.
+  for (int i = 0; i < 30; ++i) health.RecordOutcome(false);
+  EXPECT_EQ(health.state(), obs::HealthState::kDegraded);
+
+  // A mixed window at exactly 50% keeps us degraded: recovery requires
+  // the rate to fall to 0.1, not merely below 0.5.
+  fake_now += 120 * 1'000'000ull;  // step past the 30s window
+  for (int i = 0; i < 15; ++i) health.RecordOutcome(true);
+  for (int i = 0; i < 15; ++i) health.RecordOutcome(false);
+  EXPECT_EQ(health.state(), obs::HealthState::kDegraded);
+
+  // A clean window recovers.
+  fake_now += 120 * 1'000'000ull;
+  for (int i = 0; i < 30; ++i) health.RecordOutcome(true);
+  EXPECT_EQ(health.state(), obs::HealthState::kOk);
+}
+
+TEST(HealthTrackerTest, SparseTrafficNeverFlipsTheVerdict) {
+  uint64_t fake_now = 0;
+  obs::HealthTracker::Options options;
+  options.now_micros = [&fake_now] { return fake_now; };
+  obs::HealthTracker health(options);
+
+  // 5 failures is 100% failure rate but below min_events: still ok.
+  for (int i = 0; i < 5; ++i) health.RecordOutcome(false);
+  EXPECT_EQ(health.state(), obs::HealthState::kOk);
+
+  // Degrade for real, then go idle: an empty window keeps the degraded
+  // verdict — recovery needs demonstrated healthy traffic.
+  for (int i = 0; i < 25; ++i) health.RecordOutcome(false);
+  EXPECT_EQ(health.state(), obs::HealthState::kDegraded);
+  fake_now += 600 * 1'000'000ull;
+  EXPECT_EQ(health.state(), obs::HealthState::kDegraded);
+  for (int i = 0; i < 3; ++i) health.RecordOutcome(true);
+  EXPECT_EQ(health.state(), obs::HealthState::kDegraded);  // < min_events
+  for (int i = 0; i < 20; ++i) health.RecordOutcome(true);
+  EXPECT_EQ(health.state(), obs::HealthState::kOk);
+}
+
+TEST(HealthTrackerTest, DropsCountAsFailuresAndWindowForgetsThem) {
+  uint64_t fake_now = 0;
+  obs::HealthTracker::Options options;
+  options.now_micros = [&fake_now] { return fake_now; };
+  obs::HealthTracker health(options);
+
+  // Queries all answer ok, but every one also drops an audit record:
+  // combined rate 20/(20+20) = 0.5 -> degraded.
+  for (int i = 0; i < 20; ++i) {
+    health.RecordOutcome(true);
+    health.RecordDrop();
+  }
+  EXPECT_EQ(health.state(), obs::HealthState::kDegraded);
+  obs::HealthTracker::Window w = health.Snapshot();
+  EXPECT_EQ(w.ok, 20u);
+  EXPECT_EQ(w.drops, 20u);
+  EXPECT_DOUBLE_EQ(w.failure_rate, 0.5);
+
+  // The window slides: the old drops age out and a healthy stretch of
+  // fresh traffic recovers.
+  fake_now += 31 * 1'000'000ull;
+  for (int i = 0; i < 20; ++i) health.RecordOutcome(true);
+  EXPECT_EQ(health.state(), obs::HealthState::kOk);
+  w = health.Snapshot();
+  EXPECT_EQ(w.drops, 0u);
+}
+
+TEST(HealthTrackerTest, StateNamesAreStable) {
+  EXPECT_STREQ(obs::HealthStateName(obs::HealthState::kStarting), "starting");
+  EXPECT_STREQ(obs::HealthStateName(obs::HealthState::kOk), "ok");
+  EXPECT_STREQ(obs::HealthStateName(obs::HealthState::kDegraded), "degraded");
+}
+
+// --- Degraded-mode surfacing on /healthz and /statusz -----------------
+
+TEST_F(TelemetryServerTest, HealthzReportsDegradedFromAttachedTracker) {
+  engine_->Seal();
+  uint64_t fake_now = 0;
+  obs::HealthTracker::Options health_options;
+  health_options.now_micros = [&fake_now] { return fake_now; };
+  obs::HealthTracker health(health_options);
+
+  net::TelemetryServer::Options options;
+  options.ready = [this] { return engine_->sealed(); };
+  options.health = &health;
+  net::TelemetryServer server(&engine_->metrics(), options);
+
+  auto ok = server.Handle(Get("/healthz"));
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_EQ(ok.body, "ok\n");
+
+  for (int i = 0; i < 30; ++i) health.RecordOutcome(false);
+  auto degraded = server.Handle(Get("/healthz"));
+  // Degraded is still 200: load balancers should deprioritize, not
+  // eject, a server that is answering queries but shedding audit.
+  EXPECT_EQ(degraded.status, 200);
+  EXPECT_EQ(degraded.body, "degraded\n");
+
+  fake_now += 120 * 1'000'000ull;
+  for (int i = 0; i < 30; ++i) health.RecordOutcome(true);
+  auto recovered = server.Handle(Get("/healthz"));
+  EXPECT_EQ(recovered.status, 200);
+  EXPECT_EQ(recovered.body, "ok\n");
+}
+
+TEST_F(TelemetryServerTest, StatuszRendersHealthAuditAndFailpointSections) {
+  engine_->Seal();
+  ExecuteSome();
+
+  obs::HealthTracker health;
+  health.RecordOutcome(true);
+
+  net::TelemetryServer::Options options;
+  options.ready = [this] { return engine_->sealed(); };
+  options.health = &health;
+  options.window = window_.get();
+  net::TelemetryServer server(&engine_->metrics(), options);
+
+  // Audit counters present, no drops yet: section renders without the
+  // degradation banner.
+  engine_->metrics().GetCounter("audit.events").Add(4);
+  auto clean = server.Handle(Get("/statusz"));
+  ASSERT_EQ(clean.status, 200);
+  EXPECT_NE(clean.body.find("health: ok"), std::string::npos);
+  EXPECT_NE(clean.body.find("4 events written, 0 dropped"),
+            std::string::npos);
+  EXPECT_EQ(clean.body.find("DEGRADED: audit trail"), std::string::npos);
+  EXPECT_EQ(clean.body.find("\nfailpoints\n"), std::string::npos);
+
+  // Drops and an armed failpoint surface their sections.
+  engine_->metrics().GetCounter("audit.dropped").Add(2);
+  auto& registry = FailPointRegistry::Instance();
+  ASSERT_TRUE(registry.ArmFromSpec("audit.write=every:2").ok());
+  registry.Get("audit.write").Fire();
+  auto degraded = server.Handle(Get("/statusz"));
+  registry.DisarmAll();
+  ASSERT_EQ(degraded.status, 200);
+  EXPECT_NE(degraded.body.find("2 dropped"), std::string::npos);
+  EXPECT_NE(degraded.body.find("** DEGRADED: audit trail has gaps **"),
+            std::string::npos);
+  EXPECT_NE(degraded.body.find("\nfailpoints\n"), std::string::npos);
+  EXPECT_NE(degraded.body.find("audit.write policy=every:2 fires="),
+            std::string::npos);
+  EXPECT_NE(degraded.body.find("io errors"), std::string::npos);
 }
 
 }  // namespace
