@@ -1,0 +1,181 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_heap.json: the memory-observatory baseline
+# (docs/observability.md, "Memory observatory").
+#
+#   - serve.qps.{off,sampling}: median bench-serve throughput of --runs
+#     repetitions each, same binary, with and without --heap-sample 4096.
+#     The delta is the full cost of sampled allocation-site profiling on
+#     the serving path; the off run still carries the always-linked
+#     live-heap accounting.
+#   - process.{live,peak,resident}_bytes, ledger.xml_doc_bytes, and the
+#     sampled.{live_bytes,sites} rollup: scraped from /memz and /heapz
+#     while serving the generated instance, so the baseline records what
+#     the observatory sees for a known workload (the committed
+#     before-number for the ROADMAP arena/interning refactor).
+#
+# Usage: scripts/bench_heap.sh [BUILD_DIR] [OUT.json]
+#        (defaults: build, BENCH_heap.json; RUNS=5 overridable)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_heap.json}"
+RUNS="${RUNS:-5}"
+SECVIEW="$(find "$BUILD_DIR" -name secview -type f -perm -u+x | head -1)"
+[[ -n "$SECVIEW" && -x "$SECVIEW" ]] || {
+  echo "bench_heap: no secview binary under $BUILD_DIR (build first)" >&2
+  exit 1
+}
+
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  if [[ -n "$SERVE_PID" ]] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill -INT "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+cat > "$WORK/hospital.dtd" <<'EOF'
+<!ELEMENT hospital (dept)*>
+<!ELEMENT dept (clinicalTrial, patientInfo, staffInfo)>
+<!ELEMENT clinicalTrial (patientInfo, test)>
+<!ELEMENT patientInfo (patient)*>
+<!ELEMENT patient (name, wardNo, treatment)>
+<!ELEMENT treatment (trial | regular)>
+<!ELEMENT trial (bill)>
+<!ELEMENT regular (bill, medication)>
+<!ELEMENT staffInfo (staff)*>
+<!ELEMENT staff (doctor | nurse)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT wardNo (#PCDATA)>
+<!ELEMENT test (#PCDATA)>
+<!ELEMENT bill (#PCDATA)>
+<!ELEMENT medication (#PCDATA)>
+<!ELEMENT doctor (#PCDATA)>
+<!ELEMENT nurse (#PCDATA)>
+EOF
+
+cat > "$WORK/nurse.spec" <<'EOF'
+ann(hospital, dept) = [*/patient/wardNo = $wardNo]
+ann(dept, clinicalTrial) = N
+ann(clinicalTrial, patientInfo) = Y
+ann(treatment, trial) = N
+ann(treatment, regular) = N
+ann(trial, bill) = Y
+ann(regular, bill) = Y
+ann(regular, medication) = Y
+EOF
+
+# A generated instance big enough that per-query evaluation churn (the
+# thing sampling intercepts) dominates each request.
+"$SECVIEW" generate --dtd "$WORK/hospital.dtd" --bytes 500000 --seed 13 \
+  > "$WORK/doc.xml"
+
+cat > "$WORK/queries.txt" <<'EOF'
+//patient//bill
+//patient/name
+//patient[wardNo = "3"]
+//bill | //medication
+dept/patientInfo/patient/name
+EOF
+
+bench_qps() {
+  # bench_qps [extra flags...] -> median throughput of $RUNS runs
+  local runs=()
+  for _ in $(seq 1 "$RUNS"); do
+    local out
+    out="$("$SECVIEW" bench-serve --dtd "$WORK/hospital.dtd" \
+      --spec "$WORK/nurse.spec" --xml "$WORK/doc.xml" \
+      --queries "$WORK/queries.txt" --bind wardNo=3 \
+      --threads 2 --repeat 50 "$@")"
+    runs+=("$(echo "$out" | sed -n 's/^throughput: \([0-9.e+]*\) queries.*/\1/p')")
+  done
+  printf '%s\n' "${runs[@]}" | sort -g | sed -n "$(( (RUNS + 1) / 2 ))p"
+}
+
+echo "== bench-serve, sampling off (median of $RUNS) =="
+OFF_QPS="$(bench_qps)"
+echo "off: $OFF_QPS qps"
+echo "== bench-serve --heap-sample 4096 (median of $RUNS) =="
+ON_QPS="$(bench_qps --heap-sample 4096)"
+echo "sampling: $ON_QPS qps"
+OVERHEAD_PCT="$(awk -v off="$OFF_QPS" -v on="$ON_QPS" \
+  'BEGIN { printf "%.2f", (off - on) * 100 / off }')"
+echo "sampling overhead: ${OVERHEAD_PCT}%"
+
+echo "== /memz snapshot while serving the instance =="
+PORT_FILE="$WORK/serve.port"
+"$SECVIEW" serve --dtd "$WORK/hospital.dtd" --spec "$WORK/nurse.spec" \
+  --xml "$WORK/doc.xml" --queries "$WORK/queries.txt" --bind wardNo=3 \
+  --replay-delay-ms 20 --heap-sample 4096 --max-seconds 60 \
+  --port-file "$PORT_FILE" > "$WORK/serve.out" 2>&1 &
+SERVE_PID=$!
+PORT=""
+for _ in $(seq 1 200); do
+  if [[ -s "$PORT_FILE" ]]; then PORT="$(cat "$PORT_FILE")"; break; fi
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "bench_heap: serve exited early:" >&2
+    cat "$WORK/serve.out" >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+[[ -n "$PORT" ]] || { echo "bench_heap: no port file" >&2; exit 1; }
+# Let the replay loop settle so the counters reflect steady serving.
+sleep 1
+"$SECVIEW" scrape --port "$PORT" --retries 3 --path '/memz?format=json' \
+  > "$WORK/memz.json"
+"$SECVIEW" scrape --port "$PORT" --retries 3 --path '/heapz?format=json' \
+  > "$WORK/heapz.json"
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
+
+field() {
+  # field NAME FILE -> first integer value of "NAME": N
+  sed -n "s/.*\"$1\": \([0-9]*\).*/\1/p" "$2" | head -1
+}
+LIVE_BYTES="$(field live_bytes "$WORK/memz.json")"
+PEAK_BYTES="$(field peak_bytes "$WORK/memz.json")"
+RSS_BYTES="$(field resident_bytes "$WORK/memz.json")"
+DOC_BYTES="$(grep -A2 '"name": "xml.doc"' "$WORK/memz.json" \
+  | sed -n 's/.*"bytes": \([0-9]*\).*/\1/p' | head -1)"
+[[ -n "$LIVE_BYTES" && -n "$PEAK_BYTES" && -n "$RSS_BYTES" && -n "$DOC_BYTES" ]] || {
+  echo "bench_heap: /memz scrape missing fields:" >&2
+  cat "$WORK/memz.json" >&2
+  exit 1
+}
+# The sampled rollup (estimate of live bytes and distinct sites) from
+# the heap profile; zero under sanitizer builds, where the profiler
+# auto-skips and the sampled section is empty.
+SAMPLED_LIVE="$(grep -A6 '"sampled"' "$WORK/heapz.json" \
+  | sed -n 's/.*"live_bytes": \([0-9]*\).*/\1/p' | head -1)"
+SAMPLED_SITES="$(grep -A6 '"sampled"' "$WORK/heapz.json" \
+  | sed -n 's/.*"sites": \([0-9]*\).*/\1/p' | head -1)"
+SAMPLED_LIVE="${SAMPLED_LIVE:-0}"
+SAMPLED_SITES="${SAMPLED_SITES:-0}"
+echo "live=$LIVE_BYTES peak=$PEAK_BYTES rss=$RSS_BYTES xml.doc=$DOC_BYTES"
+echo "sampled: ~${SAMPLED_LIVE}B live across $SAMPLED_SITES sites"
+
+cat > "$OUT" <<EOF
+{
+  "schema": "secview.metrics.v1",
+  "bench": "bench_heap",
+  "metrics": {
+    "gauges": {
+      "bench.heap.serve.qps.off": $OFF_QPS,
+      "bench.heap.serve.qps.sampling": $ON_QPS,
+      "bench.heap.sampling.overhead_pct": $OVERHEAD_PCT,
+      "bench.heap.process.live_bytes": $LIVE_BYTES,
+      "bench.heap.process.peak_bytes": $PEAK_BYTES,
+      "bench.heap.process.resident_bytes": $RSS_BYTES,
+      "bench.heap.ledger.xml_doc_bytes": $DOC_BYTES,
+      "bench.heap.sampled.live_bytes": $SAMPLED_LIVE,
+      "bench.heap.sampled.sites": $SAMPLED_SITES
+    }
+  }
+}
+EOF
+echo "wrote $OUT (off $OFF_QPS qps vs sampling $ON_QPS qps, ${OVERHEAD_PCT}% overhead)"

@@ -39,6 +39,14 @@ scripts/trace_smoke.sh "$BUILD_DIR"
 # SECVIEW_BASELINE_BIN=<pre-profiler secview> for a strict 2% gate.
 scripts/profile_smoke.sh "$BUILD_DIR"
 
+# Memory-observatory smoke: serve --heap-sample, scrape /heapz (text and
+# secview.heap.v1 JSON) and /memz, round-trip the profile through
+# `heap-export`, and an off-mode throughput sanity A/B. Under this ASan
+# build the profiler refuses to sample (skip notice) and the script
+# degrades to the endpoint and export checks. Export
+# SECVIEW_BASELINE_BIN=<pre-observatory secview> for a strict 2% gate.
+scripts/heap_smoke.sh "$BUILD_DIR"
+
 # Chaos smoke: serve with failpoints armed hard enough to drop every
 # audit record and fail most evaluations, observe degraded /healthz and
 # the /statusz fault sections from the outside, shut down cleanly, and
@@ -98,10 +106,15 @@ echo "== compiled-plan allocation gate =="
 # path (pool workers, audit sink, telemetry sockets).
 cmake -B "$TSAN_BUILD_DIR" -S . -DSECVIEW_SANITIZE=thread
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
-  --target concurrent_test net_test telemetry_test chaos_test
+  --target concurrent_test net_test telemetry_test chaos_test heap_test
 "$TSAN_BUILD_DIR"/tests/concurrent_test
 "$TSAN_BUILD_DIR"/tests/net_test
 "$TSAN_BUILD_DIR"/tests/telemetry_test
 "$TSAN_BUILD_DIR"/tests/chaos_test
+# heap_test races ledger charges, scratch-pool publication, and snapshot
+# scrapes against each other; the sampling profiler itself auto-skips
+# under TSan (it cannot compose with the interposed allocator), so this
+# run proves the always-on accounting side is race-free.
+"$TSAN_BUILD_DIR"/tests/heap_test
 
 echo "check: all green"

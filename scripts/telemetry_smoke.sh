@@ -131,6 +131,18 @@ echo "$STATUSZ" | grep -q 'last 10s:' || {
 echo "$STATUSZ" | grep -q 'query=//patient//bill' || {
   echo "telemetry_smoke: /statusz missing slow-query entries" >&2; exit 1; }
 
+echo "== /heapz =="
+"$SECVIEW" scrape --port "$PORT" --retries 3 --path /heapz \
+  | grep -q 'process: live' || {
+  echo "telemetry_smoke: /heapz missing process counters" >&2; exit 1; }
+
+echo "== /memz =="
+MEMZ="$("$SECVIEW" scrape --port "$PORT" --retries 3 --path /memz)"
+echo "$MEMZ" | grep -q 'memory ledger' || {
+  echo "telemetry_smoke: /memz missing ledger" >&2; exit 1; }
+echo "$MEMZ" | grep -q 'xml.doc:' || {
+  echo "telemetry_smoke: /memz missing the document account" >&2; exit 1; }
+
 echo "== graceful shutdown (SIGINT) =="
 kill -INT "$SERVE_PID"
 wait "$SERVE_PID"

@@ -30,6 +30,9 @@
 #include "net/telemetry_server.h"
 #include "obs/audit.h"
 #include "obs/export.h"
+#include "obs/heap_export.h"
+#include "obs/heap_profile.h"
+#include "obs/mem_ledger.h"
 #include "obs/metrics.h"
 #include "obs/plan_profile.h"
 #include "obs/serving_stats.h"
@@ -50,6 +53,7 @@
 #include "rewrite/rewriter.h"
 #include "xpath/evaluator.h"
 #include "xpath/parser.h"
+#include "xpath/plan.h"
 #include "xpath/printer.h"
 #include "xpath/profiler.h"
 
@@ -80,6 +84,7 @@ usage:
                       [--deadline-ms N] [--max-nodes N] [--queue-cap N]
                       [--telemetry-addr HOST:PORT] [--port-file FILE]
                       [--slow-query-micros N] [--trace-sample N] [--profile]
+                      [--heap-sample BYTES]
   secview serve       --dtd FILE --spec FILE --xml FILE
                       [--telemetry-addr HOST:PORT] [--port-file FILE]
                       [--queries FILE [--replay-delay-ms N]]
@@ -89,10 +94,12 @@ usage:
                       [--no-optimize] [--no-compiled]
                       [--audit-log FILE [--audit-max-bytes N]]
                       [--deadline-ms N] [--max-nodes N] [--profile]
+                      [--heap-sample BYTES]
   secview scrape      (--addr HOST:PORT | --port N) [--path TARGET]
                       [--validate-prom] [--timeout-ms N] [--retries N]
   secview trace-export --in FILE [--chrome] [--out FILE] [--validate]
   secview profile-top --in FILE [--k N]
+  secview heap-export --in FILE [--k N] [--collapsed | --json] [--out FILE]
   secview materialize --dtd FILE --spec FILE --xml FILE [--bind NAME=VALUE]...
   secview generate    --dtd FILE [--bytes N] [--seed N] [--branch N]
   secview help
@@ -195,6 +202,23 @@ FILE` validates a profile JSONL file and renders the aggregated
 hottest steps (--k sets the row count, default 10). Profiled slow-log
 and /tracez entries carry a `hot_step` one-liner naming the costliest
 step.
+
+Memory observatory (docs/observability.md): every process exports its
+live-heap counters (live/peak bytes and objects from the allocation
+hooks, RSS from /proc) on /metrics, /statusz, and /memz, which also
+renders the subsystem memory ledger — exact per-subsystem byte
+attribution for the loaded document, the rewrite cache, the per-thread
+eval-scratch arenas, and the trace/slow-query rings. `serve
+--heap-sample BYTES` (also on bench-serve) additionally starts the
+sampled allocation-site profiler at one sample per BYTES allocated
+(65536 is a good default), served at /heapz (text; ?k=N bounds the
+table), /heapz?format=json (secview.heap.v1), and
+/heapz?format=collapsed (folded stacks for flamegraph.pl/speedscope).
+Sampling refuses to start under sanitizer builds (a skip notice is
+printed; serving continues). `heap-export --in FILE` validates a
+secview.heap.v1 file and re-renders it offline: the top-K text table
+by default (--k, default 20), folded stacks with --collapsed, or
+normalized JSON with --json.
 )";
 
 /// Parsed command line: flags with values, boolean switches, repeated
@@ -216,7 +240,7 @@ Result<Args> ParseArgs(const std::vector<std::string>& argv) {
         arg == "--extract" || arg == "--stats" || arg == "--json" ||
         arg == "--validate-prom" || arg == "--chrome" ||
         arg == "--validate" || arg == "--profile" ||
-        arg == "--no-compiled") {
+        arg == "--no-compiled" || arg == "--collapsed") {
       args.switches[arg] = true;
       continue;
     }
@@ -804,6 +828,12 @@ struct TelemetryBundle {
   obs::PlanProfileTable plan_profiles;
   obs::HealthTracker health;
   std::unique_ptr<net::TelemetryServer> server;
+  /// Memory-ledger registrations (the rings, the rewrite cache, the
+  /// eval-scratch arenas). Declared last so they unregister first, while
+  /// the stores they capture are still alive; a scrape racing the
+  /// teardown either sees the provider row or doesn't — never a dangling
+  /// callback (MemLedger::Snapshot copies the callbacks under its lock).
+  std::vector<std::unique_ptr<obs::ScopedLedgerProvider>> ledger_providers;
 
   TelemetryBundle(obs::SlowQueryLog::Options slow_options,
                   obs::RequestTraceStore::Options trace_options)
@@ -863,17 +893,84 @@ Result<std::unique_ptr<TelemetryBundle>> StartTelemetry(
     server_options.plan_profiles = &bundle->plan_profiles;
   }
   server_options.health = &bundle->health;
+
+  // Memory-ledger charge points: each subsystem that already tracks its
+  // own footprint reports it live, so /memz and the secview_mem_* gauges
+  // stay exact without a second bookkeeping path.
+  obs::RequestTraceStore* traces = &bundle->traces;
+  bundle->ledger_providers.push_back(
+      std::make_unique<obs::ScopedLedgerProvider>(
+          "obs.trace_ring",
+          [traces] { return static_cast<int64_t>(traces->ApproxBytes()); }));
+  obs::SlowQueryLog* slow_log = &bundle->slow_log;
+  bundle->ledger_providers.push_back(
+      std::make_unique<obs::ScopedLedgerProvider>(
+          "obs.slow_query_ring",
+          [slow_log] { return static_cast<int64_t>(slow_log->ApproxBytes()); }));
+  bundle->ledger_providers.push_back(
+      std::make_unique<obs::ScopedLedgerProvider>("xpath.eval_scratch", [] {
+        return static_cast<int64_t>(EvalScratch::TotalPublishedBytes());
+      }));
+  obs::MetricsRegistry* metrics = &engine.metrics();
+  bundle->ledger_providers.push_back(
+      std::make_unique<obs::ScopedLedgerProvider>(
+          "engine.rewrite_cache", [metrics] {
+            return metrics->GetGauge("engine.cache.bytes").value() +
+                   metrics->GetGauge("engine.plan.cache_bytes").value();
+          }));
+
   bundle->server = std::make_unique<net::TelemetryServer>(&engine.metrics(),
                                                           server_options);
   SECVIEW_RETURN_IF_ERROR(bundle->server->Start());
   out << "# telemetry: http://" << addr.first << ":" << bundle->server->port()
-      << " (/metrics /varz /healthz /statusz /tracez /profilez)\n";
+      << " (/metrics /varz /healthz /statusz /tracez /profilez /heapz "
+         "/memz)\n";
   auto port_file = args.values.find("--port-file");
   if (port_file != args.values.end()) {
     SECVIEW_RETURN_IF_ERROR(
         WritePortFile(port_file->second, bundle->server->port()));
   }
   return bundle;
+}
+
+/// Stops the process-wide heap profiler when the command that started
+/// it ends, so in-process callers (tests) never leak sampling into the
+/// next command.
+struct HeapProfileGuard {
+  bool active = false;
+  HeapProfileGuard() = default;
+  HeapProfileGuard(const HeapProfileGuard&) = delete;
+  HeapProfileGuard& operator=(const HeapProfileGuard&) = delete;
+  ~HeapProfileGuard() {
+    if (active) obs::HeapProfiler::Instance().Stop();
+  }
+};
+
+/// Starts the sampled allocation-site profiler when --heap-sample BYTES
+/// is present. A refusal to start under a sanitizer build is a skip
+/// notice, not an error — the command keeps serving without sampling.
+Status MaybeStartHeapProfiler(const Args& args, std::ostream& out,
+                              HeapProfileGuard* guard) {
+  auto it = args.values.find("--heap-sample");
+  if (it == args.values.end()) return Status::OK();
+  SECVIEW_ASSIGN_OR_RETURN(uint64_t interval,
+                           ParseCount("--heap-sample", it->second));
+  if (interval == 0) {
+    return Status::InvalidArgument("--heap-sample must be >= 1 byte");
+  }
+  obs::HeapProfileOptions options;
+  options.sample_interval_bytes = interval;
+  Status started = obs::HeapProfiler::Instance().Start(options);
+  if (!started.ok()) {
+    if (started.code() == StatusCode::kFailedPrecondition) {
+      out << "# heap profiler skipped: " << started.message() << "\n";
+      return Status::OK();
+    }
+    return started;
+  }
+  guard->active = true;
+  out << "# heap profiler: sampling 1/" << interval << "B (see /heapz)\n";
+  return Status::OK();
 }
 
 /// SIGINT/SIGTERM latch for `serve` — a plain flag is all a signal
@@ -911,9 +1008,15 @@ Status CmdServe(const Args& args, std::ostream& out) {
   SECVIEW_ASSIGN_OR_RETURN(ServeLimits limits, LoadServeLimits(args));
   SECVIEW_ASSIGN_OR_RETURN(DtdBundle bundle, LoadDtdBundle(args));
   SECVIEW_ASSIGN_OR_RETURN(XmlTree doc, LoadXml(args, bundle, limits.xml));
+  // The served document's footprint is fixed for the command's
+  // lifetime: one exact ledger charge covers it.
+  obs::ScopedLedgerCharge doc_charge(
+      "xml.doc", static_cast<int64_t>(doc.MemoryFootprintBytes()));
   SECVIEW_ASSIGN_OR_RETURN(std::unique_ptr<SecureQueryEngine> engine,
                            LoadEngine(args));
   ScopedFailpointMetrics failpoint_metrics(&engine->metrics());
+  HeapProfileGuard heap_guard;
+  SECVIEW_RETURN_IF_ERROR(MaybeStartHeapProfiler(args, out, &heap_guard));
 
   std::vector<std::string> queries;
   if (args.values.count("--queries")) {
@@ -1062,6 +1165,10 @@ Status CmdBenchServe(const Args& args, std::ostream& out) {
   SECVIEW_ASSIGN_OR_RETURN(std::unique_ptr<SecureQueryEngine> engine,
                            LoadEngine(args));
   ScopedFailpointMetrics failpoint_metrics(&engine->metrics());
+  obs::ScopedLedgerCharge doc_charge(
+      "xml.doc", static_cast<int64_t>(doc.MemoryFootprintBytes()));
+  HeapProfileGuard heap_guard;
+  SECVIEW_RETURN_IF_ERROR(MaybeStartHeapProfiler(args, out, &heap_guard));
 
   SECVIEW_ASSIGN_OR_RETURN(uint64_t threads_n, CountFlag(args, "--threads", 0));
   if (args.values.count("--threads") && threads_n < 1) {
@@ -1212,6 +1319,41 @@ Status CmdTraceExport(const Args& args, std::ostream& out) {
   return Status::OK();
 }
 
+Status CmdHeapExport(const Args& args, std::ostream& out) {
+  SECVIEW_ASSIGN_OR_RETURN(std::string in_path, Required(args, "--in"));
+  SECVIEW_ASSIGN_OR_RETURN(std::string text, ReadFile(in_path));
+  // Every run validates: parsing rejects anything that is not a
+  // well-formed secview.heap.v1 document.
+  SECVIEW_ASSIGN_OR_RETURN(obs::HeapProfileSnapshot snapshot,
+                           obs::ParseHeapProfileJson(text));
+  if (args.switches.count("--collapsed") && args.switches.count("--json")) {
+    return Status::InvalidArgument(
+        "heap-export takes --collapsed or --json, not both");
+  }
+  SECVIEW_ASSIGN_OR_RETURN(uint64_t k, CountFlag(args, "--k", 20));
+  std::string body;
+  if (args.switches.count("--collapsed")) {
+    body = obs::RenderHeapProfileCollapsed(snapshot);
+  } else if (args.switches.count("--json")) {
+    body = obs::HeapProfileJson(snapshot).Dump(true);
+    body += "\n";
+  } else {
+    body = obs::RenderHeapProfileText(snapshot, static_cast<size_t>(k));
+  }
+  auto out_flag = args.values.find("--out");
+  if (out_flag == args.values.end() || out_flag->second == "-") {
+    out << body;
+    return Status::OK();
+  }
+  std::ofstream file(out_flag->second, std::ios::binary);
+  if (!file) return Status::Internal("cannot open " + out_flag->second);
+  file << body;
+  if (!file.good()) {
+    return Status::Internal("failed writing " + out_flag->second);
+  }
+  return Status::OK();
+}
+
 Status CmdProfileTop(const Args& args, std::ostream& out) {
   SECVIEW_ASSIGN_OR_RETURN(std::string in_path, Required(args, "--in"));
   SECVIEW_ASSIGN_OR_RETURN(std::string text, ReadFile(in_path));
@@ -1350,6 +1492,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     status = CmdTraceExport(*parsed, out);
   } else if (parsed->command == "profile-top") {
     status = CmdProfileTop(*parsed, out);
+  } else if (parsed->command == "heap-export") {
+    status = CmdHeapExport(*parsed, out);
   } else if (parsed->command == "materialize") {
     status = CmdMaterialize(*parsed, out);
   } else if (parsed->command == "generate") {

@@ -1,7 +1,21 @@
 #include "common/alloc_tracker.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdlib>
 #include <new>
+
+// Free-side sizing mechanism selection. Header mode (the cmake option
+// SECVIEW_HEAP_HEADER) wins when requested; otherwise size-class mode
+// via malloc_usable_size where <malloc.h> provides it (glibc, musl).
+#if !defined(SECVIEW_HEAP_HEADER) && defined(__has_include)
+#if __has_include(<malloc.h>)
+#include <malloc.h>
+#define SECVIEW_HEAP_USABLE_SIZE 1
+#endif
+#endif
 
 namespace secview {
 namespace {
@@ -11,19 +25,128 @@ namespace {
 // static initialization, before main).
 thread_local AllocCounts tls_counts;
 
+// Process-wide live-heap ledger. Constant-initialized atomics so the
+// hooks can charge them before any static constructor runs. All
+// operations are relaxed: the counters are statistics, not
+// synchronization, and a scrape tolerates per-field blur.
+std::atomic<uint64_t> g_live_bytes{0};
+std::atomic<uint64_t> g_live_objects{0};
+std::atomic<uint64_t> g_peak_bytes{0};
+std::atomic<uint64_t> g_total_alloc_bytes{0};
+std::atomic<uint64_t> g_total_allocs{0};
+std::atomic<uint64_t> g_total_frees{0};
+
+// Observer hooks (sampled heap profiler). Two independent atomics —
+// see SetHeapHooks in the header for the swap semantics.
+std::atomic<alloc_internal::AllocHook> g_alloc_hook{nullptr};
+std::atomic<alloc_internal::FreeHook> g_free_hook{nullptr};
+
+// Page size cache for the async-signal-safe RSS reader. Warmed by
+// ProcessResidentBytes(); the 4096 fallback only matters if a crash
+// happens before anything ever read the RSS.
+std::atomic<uint64_t> g_page_size{0};
+
+inline void NoteLiveAlloc(std::size_t charged) {
+  g_total_alloc_bytes.fetch_add(charged, std::memory_order_relaxed);
+  g_total_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_live_objects.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t live =
+      g_live_bytes.fetch_add(charged, std::memory_order_relaxed) + charged;
+  // Monotone high-water mark; the CAS loop only runs while this thread's
+  // reading is still above the published peak.
+  uint64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !g_peak_bytes.compare_exchange_weak(peak, live,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+inline void NoteLiveFree(std::size_t charged) {
+  g_live_bytes.fetch_sub(charged, std::memory_order_relaxed);
+  g_live_objects.fetch_sub(1, std::memory_order_relaxed);
+  g_total_frees.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 namespace alloc_internal {
+
 void Charge(std::size_t bytes) {
   tls_counts.bytes += bytes;
   ++tls_counts.count;
 }
+
+uint64_t LiveBytesRaw() {
+  return g_live_bytes.load(std::memory_order_relaxed);
+}
+uint64_t LiveObjectsRaw() {
+  return g_live_objects.load(std::memory_order_relaxed);
+}
+uint64_t PeakBytesRaw() {
+  return g_peak_bytes.load(std::memory_order_relaxed);
+}
+
+uint64_t ResidentBytesRaw() {
+  int fd = ::open("/proc/self/statm", O_RDONLY);
+  if (fd < 0) return 0;
+  char buf[128];
+  ssize_t n = ::read(fd, buf, sizeof(buf) - 1);
+  ::close(fd);
+  if (n <= 0) return 0;
+  // statm: "<total> <resident> ..." in pages; parse the second field.
+  ssize_t i = 0;
+  while (i < n && buf[i] != ' ') ++i;
+  while (i < n && buf[i] == ' ') ++i;
+  uint64_t pages = 0;
+  while (i < n && buf[i] >= '0' && buf[i] <= '9') {
+    pages = pages * 10 + static_cast<uint64_t>(buf[i++] - '0');
+  }
+  uint64_t page = g_page_size.load(std::memory_order_relaxed);
+  return pages * (page != 0 ? page : 4096);
+}
+
+void SetHeapHooks(AllocHook on_alloc, FreeHook on_free) {
+  g_alloc_hook.store(on_alloc, std::memory_order_relaxed);
+  g_free_hook.store(on_free, std::memory_order_relaxed);
+}
+
 }  // namespace alloc_internal
 
 AllocCounts ThreadAllocCounts() { return tls_counts; }
 
+HeapStats ProcessHeapStats() {
+  HeapStats s;
+  s.live_bytes = g_live_bytes.load(std::memory_order_relaxed);
+  s.live_objects = g_live_objects.load(std::memory_order_relaxed);
+  s.peak_bytes = g_peak_bytes.load(std::memory_order_relaxed);
+  s.total_alloc_bytes = g_total_alloc_bytes.load(std::memory_order_relaxed);
+  s.total_allocs = g_total_allocs.load(std::memory_order_relaxed);
+  s.total_frees = g_total_frees.load(std::memory_order_relaxed);
+  return s;
+}
+
+uint64_t ProcessResidentBytes() {
+  if (g_page_size.load(std::memory_order_relaxed) == 0) {
+    long page = ::sysconf(_SC_PAGESIZE);
+    if (page > 0) {
+      g_page_size.store(static_cast<uint64_t>(page),
+                        std::memory_order_relaxed);
+    }
+  }
+  return alloc_internal::ResidentBytesRaw();
+}
+
 bool AllocTrackingAvailable() {
 #ifdef SECVIEW_ALLOC_TRACKER
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool LiveHeapTrackingAvailable() {
+#if defined(SECVIEW_ALLOC_TRACKER) && \
+    (defined(SECVIEW_HEAP_USABLE_SIZE) || defined(SECVIEW_HEAP_HEADER))
   return true;
 #else
   return false;
@@ -48,17 +171,106 @@ bool AllocTrackingAvailable() {
 
 namespace {
 
+using secview::alloc_internal::AllocHook;
+using secview::alloc_internal::FreeHook;
+
+#if defined(SECVIEW_HEAP_HEADER)
+
+// Per-pointer header mode: every allocation is padded by (at least) one
+// 16-byte header directly before the user pointer, recording the
+// requested size and the distance back to the malloc'd base. Portable
+// to any libc; costs 16 bytes (or the alignment, if larger) per
+// allocation.
+struct HeapHeader {
+  uint64_t size;
+  uint32_t offset;  // user pointer minus malloc'd base
+  uint32_t magic;
+};
+static_assert(sizeof(HeapHeader) == 16, "header must preserve alignment");
+constexpr uint32_t kHeapMagic = 0x53764845;  // "EHvS"
+
+#endif  // SECVIEW_HEAP_HEADER
+
+inline void NotifyAlloc(void* ptr, std::size_t size) {
+  if (AllocHook hook = secview::g_alloc_hook.load(std::memory_order_relaxed)) {
+    hook(ptr, size);
+  }
+}
+
 void* TrackedAlloc(std::size_t size) {
   secview::alloc_internal::Charge(size);
-  return std::malloc(size == 0 ? 1 : size);
+#if defined(SECVIEW_HEAP_HEADER)
+  void* base = std::malloc(size + sizeof(HeapHeader));
+  if (base == nullptr) return nullptr;
+  void* user = static_cast<char*>(base) + sizeof(HeapHeader);
+  HeapHeader* header = static_cast<HeapHeader*>(user) - 1;
+  header->size = size;
+  header->offset = sizeof(HeapHeader);
+  header->magic = kHeapMagic;
+  secview::NoteLiveAlloc(size);
+  return user;
+#else
+  void* ptr = std::malloc(size == 0 ? 1 : size);
+#if defined(SECVIEW_HEAP_USABLE_SIZE)
+  if (ptr != nullptr) secview::NoteLiveAlloc(malloc_usable_size(ptr));
+#endif
+  return ptr;
+#endif
 }
 
 void* TrackedAllocAligned(std::size_t size, std::size_t align) {
   secview::alloc_internal::Charge(size);
   if (align < alignof(void*)) align = alignof(void*);
+#if defined(SECVIEW_HEAP_HEADER)
+  if (align < sizeof(HeapHeader)) align = sizeof(HeapHeader);
+  // Pad by exactly `align`: base is align-aligned, so base + align stays
+  // align-aligned and leaves >= 16 bytes for the header.
+  void* base = nullptr;
+  if (posix_memalign(&base, align, size + align) != 0) return nullptr;
+  void* user = static_cast<char*>(base) + align;
+  HeapHeader* header = static_cast<HeapHeader*>(user) - 1;
+  header->size = size;
+  header->offset = static_cast<uint32_t>(align);
+  header->magic = kHeapMagic;
+  secview::NoteLiveAlloc(size);
+  return user;
+#else
   void* ptr = nullptr;
   if (posix_memalign(&ptr, align, size == 0 ? 1 : size) != 0) return nullptr;
+#if defined(SECVIEW_HEAP_USABLE_SIZE)
+  secview::NoteLiveAlloc(malloc_usable_size(ptr));
+#endif
   return ptr;
+#endif
+}
+
+void TrackedFree(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  // Observe before releasing: the profiler hashes the pointer to find
+  // its sample record, and the address must not be recycled (by a
+  // concurrent malloc of the same block) until the record is gone.
+  if (FreeHook hook = secview::g_free_hook.load(std::memory_order_relaxed)) {
+    hook(ptr);
+  }
+#if defined(SECVIEW_HEAP_HEADER)
+  HeapHeader* header = static_cast<HeapHeader*>(ptr) - 1;
+  if (header->magic == kHeapMagic) {
+    secview::NoteLiveFree(header->size);
+    const uint32_t offset = header->offset;
+    header->magic = 0;  // catch double frees of the same block
+    std::free(static_cast<char*>(ptr) - offset);
+  } else {
+    // Not one of ours (allocated before the hooks were linked in, or a
+    // foreign malloc freed via delete). Releasing it raw is the only
+    // correct move; the live ledger never charged it.
+    std::free(ptr);
+  }
+#else
+#if defined(SECVIEW_HEAP_USABLE_SIZE)
+  secview::NoteLiveFree(malloc_usable_size(ptr));
+#endif
+  std::free(ptr);
+#endif
 }
 
 }  // namespace
@@ -66,70 +278,86 @@ void* TrackedAllocAligned(std::size_t size, std::size_t align) {
 void* operator new(std::size_t size) {
   void* ptr = TrackedAlloc(size);
   if (ptr == nullptr) throw std::bad_alloc();
+  NotifyAlloc(ptr, size);
   return ptr;
 }
 
 void* operator new[](std::size_t size) {
   void* ptr = TrackedAlloc(size);
   if (ptr == nullptr) throw std::bad_alloc();
+  NotifyAlloc(ptr, size);
   return ptr;
 }
 
 void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  return TrackedAlloc(size);
+  void* ptr = TrackedAlloc(size);
+  if (ptr != nullptr) NotifyAlloc(ptr, size);
+  return ptr;
 }
 
 void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
-  return TrackedAlloc(size);
+  void* ptr = TrackedAlloc(size);
+  if (ptr != nullptr) NotifyAlloc(ptr, size);
+  return ptr;
 }
 
 void* operator new(std::size_t size, std::align_val_t align) {
   void* ptr = TrackedAllocAligned(size, static_cast<std::size_t>(align));
   if (ptr == nullptr) throw std::bad_alloc();
+  NotifyAlloc(ptr, size);
   return ptr;
 }
 
 void* operator new[](std::size_t size, std::align_val_t align) {
   void* ptr = TrackedAllocAligned(size, static_cast<std::size_t>(align));
   if (ptr == nullptr) throw std::bad_alloc();
+  NotifyAlloc(ptr, size);
   return ptr;
 }
 
 void* operator new(std::size_t size, std::align_val_t align,
                    const std::nothrow_t&) noexcept {
-  return TrackedAllocAligned(size, static_cast<std::size_t>(align));
+  void* ptr = TrackedAllocAligned(size, static_cast<std::size_t>(align));
+  if (ptr != nullptr) NotifyAlloc(ptr, size);
+  return ptr;
 }
 
 void* operator new[](std::size_t size, std::align_val_t align,
                      const std::nothrow_t&) noexcept {
-  return TrackedAllocAligned(size, static_cast<std::size_t>(align));
+  void* ptr = TrackedAllocAligned(size, static_cast<std::size_t>(align));
+  if (ptr != nullptr) NotifyAlloc(ptr, size);
+  return ptr;
 }
 
-void operator delete(void* ptr) noexcept { std::free(ptr); }
-void operator delete[](void* ptr) noexcept { std::free(ptr); }
-void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
-void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr) noexcept { TrackedFree(ptr); }
+void operator delete[](void* ptr) noexcept { TrackedFree(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { TrackedFree(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { TrackedFree(ptr); }
 void operator delete(void* ptr, const std::nothrow_t&) noexcept {
-  std::free(ptr);
+  TrackedFree(ptr);
 }
 void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
-  std::free(ptr);
+  TrackedFree(ptr);
 }
-void operator delete(void* ptr, std::align_val_t) noexcept { std::free(ptr); }
-void operator delete[](void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  TrackedFree(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  TrackedFree(ptr);
+}
 void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
-  std::free(ptr);
+  TrackedFree(ptr);
 }
 void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
-  std::free(ptr);
+  TrackedFree(ptr);
 }
 void operator delete(void* ptr, std::align_val_t,
                      const std::nothrow_t&) noexcept {
-  std::free(ptr);
+  TrackedFree(ptr);
 }
 void operator delete[](void* ptr, std::align_val_t,
                        const std::nothrow_t&) noexcept {
-  std::free(ptr);
+  TrackedFree(ptr);
 }
 
 #endif  // SECVIEW_ALLOC_TRACKER

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <string>
 
+#include "common/alloc_tracker.h"
 #include "common/build_info.h"
 
 namespace secview {
@@ -77,6 +78,18 @@ void CrashHandler(int sig) {
   WriteCString("active queries: ");
   WriteInt(g_active_queries.load(std::memory_order_relaxed));
   WriteCString("\n");
+  // Heap state at crash time, straight off the live-heap atomics (all
+  // relaxed loads) and the cached-page-size /proc read — every piece is
+  // async-signal-safe. A leak-driven OOM crash names its own cause.
+  WriteCString("heap: live ");
+  WriteInt(static_cast<int64_t>(alloc_internal::LiveBytesRaw()));
+  WriteCString("B in ");
+  WriteInt(static_cast<int64_t>(alloc_internal::LiveObjectsRaw()));
+  WriteCString(" objects, peak ");
+  WriteInt(static_cast<int64_t>(alloc_internal::PeakBytesRaw()));
+  WriteCString("B, rss ");
+  WriteInt(static_cast<int64_t>(alloc_internal::ResidentBytesRaw()));
+  WriteCString("B\n");
   if (g_have_slow.load(std::memory_order_acquire)) {
     WriteCString("last slow query: ");
     WriteRaw(g_last_slow, ::strnlen(g_last_slow, kSlowBufSize));
@@ -95,6 +108,10 @@ void CrashHandler(int sig) {
 void InstallCrashReporter() {
   bool expected = false;
   if (!g_installed.compare_exchange_strong(expected, true)) return;
+
+  // Warm the page-size cache so the handler's RSS read needs no sysconf
+  // (not async-signal-safe) at crash time.
+  ProcessResidentBytes();
 
   const BuildInfo& info = GetBuildInfo();
   std::string banner = "build: secview " + info.version + " (" +

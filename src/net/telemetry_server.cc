@@ -8,6 +8,9 @@
 #include "common/build_info.h"
 #include "common/failpoint.h"
 #include "obs/export.h"
+#include "obs/heap_export.h"
+#include "obs/heap_profile.h"
+#include "obs/mem_ledger.h"
 
 namespace secview::net {
 
@@ -69,6 +72,8 @@ HttpResponse TelemetryServer::Handle(const HttpRequest& request) const {
       response.body += obs::RenderPolicyStatsText(
           options_.policy_stats->Snapshot(), options_.ns);
     }
+    response.body +=
+        obs::RenderMemLedgerPrometheus(obs::MemLedger::Instance(), options_.ns);
     return response;
   }
   if (target == "/varz") {
@@ -136,6 +141,87 @@ HttpResponse TelemetryServer::Handle(const HttpRequest& request) const {
                                         top_k,
                                         options_.plan_profiles->queries()));
   }
+  if (target == "/heapz" || target.rfind("/heapz?", 0) == 0) {
+    // A scrape is read-only: Snapshot() copies the site table but never
+    // starts or stops the sampler.
+    const obs::HeapProfileSnapshot snapshot =
+        obs::HeapProfiler::Instance().Snapshot();
+    if (target == "/heapz?format=json") {
+      HttpResponse response;
+      response.content_type = "application/json";
+      response.body = obs::HeapProfileJson(snapshot).Dump(true);
+      response.body += "\n";
+      return response;
+    }
+    if (target == "/heapz?format=collapsed") {
+      return HttpResponse::Text(200,
+                                obs::RenderHeapProfileCollapsed(snapshot));
+    }
+    size_t top_k = 20;
+    if (target != "/heapz") {
+      constexpr std::string_view kTopK = "/heapz?k=";
+      if (target.rfind(kTopK, 0) != 0) {
+        return HttpResponse::Text(400,
+                                  "unknown /heapz parameter (try /heapz, "
+                                  "/heapz?k=N, /heapz?format=json, or "
+                                  "/heapz?format=collapsed)\n");
+      }
+      top_k = 0;
+      for (char c : std::string_view(target).substr(kTopK.size())) {
+        if (c < '0' || c > '9') {
+          return HttpResponse::Text(400, "bad /heapz?k= value\n");
+        }
+        top_k = top_k * 10 + static_cast<size_t>(c - '0');
+      }
+      if (top_k == 0) top_k = 1;
+    }
+    return HttpResponse::Text(200,
+                              obs::RenderHeapProfileText(snapshot, top_k));
+  }
+  if (target == "/memz" || target.rfind("/memz?", 0) == 0) {
+    const obs::MemLedger& ledger = obs::MemLedger::Instance();
+    if (target == "/memz?format=json") {
+      const HeapStats stats = ProcessHeapStats();
+      obs::Json process = obs::Json::Object();
+      process.Set("live_bytes", stats.live_bytes);
+      process.Set("live_objects", stats.live_objects);
+      process.Set("peak_bytes", stats.peak_bytes);
+      process.Set("resident_bytes", ProcessResidentBytes());
+      process.Set("live_tracking", LiveHeapTrackingAvailable());
+      obs::Json accounts = obs::Json::Array();
+      for (const obs::MemLedger::Row& row : ledger.Snapshot()) {
+        obs::Json entry = obs::Json::Object();
+        entry.Set("name", row.name);
+        entry.Set("bytes", row.bytes);
+        entry.Set("charges", row.charges);
+        entry.Set("live", row.live);
+        accounts.Append(std::move(entry));
+      }
+      obs::Json doc = obs::Json::Object();
+      doc.Set("schema", "secview.mem.v1");
+      doc.Set("process", std::move(process));
+      doc.Set("accounts", std::move(accounts));
+      doc.Set("ledger_total_bytes", ledger.TotalBytes());
+      HttpResponse response;
+      response.content_type = "application/json";
+      response.body = doc.Dump(true);
+      response.body += "\n";
+      return response;
+    }
+    if (target != "/memz") {
+      return HttpResponse::Text(
+          400, "unknown /memz parameter (try /memz or /memz?format=json)\n");
+    }
+    const HeapStats stats = ProcessHeapStats();
+    std::ostringstream out;
+    out << "process: live " << stats.live_bytes << "B in "
+        << stats.live_objects << " objects, peak " << stats.peak_bytes
+        << "B, rss " << ProcessResidentBytes() << "B"
+        << (LiveHeapTrackingAvailable() ? "" : " (live tracking compiled out)")
+        << "\n";
+    out << obs::RenderMemLedgerText(ledger);
+    return HttpResponse::Text(200, out.str());
+  }
   if (target == "/healthz") {
     bool ready = !options_.ready || options_.ready();
     if (!ready) return HttpResponse::Text(503, "starting\n");
@@ -155,7 +241,7 @@ HttpResponse TelemetryServer::Handle(const HttpRequest& request) const {
   if (target == "/") {
     return HttpResponse::Text(200,
                               "secview telemetry: /metrics /varz /healthz "
-                              "/statusz /tracez /profilez\n");
+                              "/statusz /tracez /profilez /heapz /memz\n");
   }
   return HttpResponse::Text(404, "no such endpoint: " + target + "\n");
 }
@@ -324,6 +410,28 @@ std::string TelemetryServer::RenderStatusz() const {
     out << "  no allocations recorded"
         << (secview::AllocTrackingAvailable() ? "" : " (tracker compiled out)")
         << "\n";
+  }
+
+  out << "\nmemory\n";
+  const HeapStats heap = ProcessHeapStats();
+  if (LiveHeapTrackingAvailable()) {
+    out << "  live: " << heap.live_bytes << "B in " << heap.live_objects
+        << " objects (peak " << heap.peak_bytes << "B)\n";
+  } else {
+    out << "  live-heap tracking compiled out\n";
+  }
+  out << "  rss: " << ProcessResidentBytes() << "B\n";
+  {
+    const obs::MemLedger& ledger = obs::MemLedger::Instance();
+    out << "  ledger: " << ledger.TotalBytes() << "B across "
+        << ledger.Snapshot().size() << " accounts (see /memz)\n";
+  }
+  if (obs::HeapProfiler::Instance().running()) {
+    out << "  heap profiler: sampling 1/"
+        << obs::HeapProfiler::Instance().options().sample_interval_bytes
+        << "B (see /heapz)\n";
+  } else {
+    out << "  heap profiler: off (serve --heap-sample BYTES)\n";
   }
 
   out << "\nper-policy\n";

@@ -38,6 +38,14 @@ namespace secview::net {
 ///               (obs/plan_profile.h), exclusive nodes-touched order;
 ///               "?format=json" returns the table as JSON and "?k=N"
 ///               bounds the text table's row count
+///   /heapz    - sampled allocation-site heap profile (obs/heap_profile.h)
+///               over the process live-heap counters; "?k=N" bounds the
+///               text table, "?format=json" returns secview.heap.v1
+///               (heap-export's input), "?format=collapsed" returns
+///               folded stacks for flamegraph.pl / speedscope
+///   /memz     - subsystem memory ledger (obs/mem_ledger.h): per-account
+///               attributed bytes plus the process live/peak/RSS line;
+///               "?format=json" for the machine form
 ///
 /// The server only *reads* observability state — a scrape can never
 /// mutate engine behavior — and depends on obs/common alone, so it can

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <unistd.h>
 
+#include "common/alloc_tracker.h"
 #include "common/build_info.h"
 #include "obs/json.h"
 
@@ -110,6 +111,24 @@ std::string RenderProcessInfoText(std::string_view ns) {
   out += start_name + " " + std::to_string(ProcessStartUnixSeconds()) + "\n";
   out += "# TYPE " + uptime_name + " gauge\n";
   out += uptime_name + " " + std::to_string(ProcessUptimeMillis()) + "\n";
+  // Live-heap gauges ride on every exposition so dashboards get memory
+  // without a dedicated scrape path; all-zero when the alloc tracker's
+  // free-side sizing is compiled out.
+  const HeapStats heap = ProcessHeapStats();
+  const struct {
+    const char* name;
+    uint64_t value;
+  } heap_gauges[] = {
+      {"heap.live_bytes", heap.live_bytes},
+      {"heap.live_objects", heap.live_objects},
+      {"heap.peak_bytes", heap.peak_bytes},
+      {"process.resident_memory_bytes", ProcessResidentBytes()},
+  };
+  for (const auto& gauge : heap_gauges) {
+    std::string prom = PrometheusMetricName(gauge.name, ns);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(gauge.value) + "\n";
+  }
   out += "# TYPE " + build_name + " gauge\n";
   out += build_name + "{version=\"" + PrometheusEscapeLabelValue(build.version) +
          "\",compiler=\"" + PrometheusEscapeLabelValue(build.compiler) +

@@ -1,0 +1,489 @@
+#include "obs/heap_profile.h"
+
+#include <dlfcn.h>
+#include <pthread.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+#if defined(__GNUG__)
+#include <cxxabi.h>
+#endif
+
+#include "common/alloc_tracker.h"
+#include "common/build_info.h"
+
+namespace secview::obs {
+namespace {
+
+constexpr int kMaxFrames = 32;
+constexpr size_t kStripes = 16;
+// Membership filter for the free path: a free only takes a lock when
+// its pointer's bucket count is non-zero. Sampled pointers are rare
+// (one per interval bytes), so nearly every free exits on one relaxed
+// load.
+constexpr size_t kFilterBuckets = 1 << 14;
+
+/// splitmix64 — seeds per-thread phases and hashes pointers.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+struct SiteStats {
+  std::vector<uintptr_t> frames;  // leaf first
+  uint64_t live_bytes = 0;
+  uint64_t live_objects = 0;
+  uint64_t alloc_bytes = 0;
+  uint64_t alloc_objects = 0;
+  uint64_t samples = 0;
+};
+
+struct PtrRecord {
+  uint64_t site_hash = 0;
+  uint64_t bytes = 0;    // estimated (sample weight)
+  uint64_t objects = 0;  // estimated
+};
+
+struct SiteStripe {
+  std::mutex mu;
+  std::unordered_map<uint64_t, SiteStats> sites;
+};
+
+struct PtrStripe {
+  std::mutex mu;
+  std::unordered_map<const void*, PtrRecord> ptrs;
+};
+
+/// All mutable profiler state, allocated once and deliberately leaked:
+/// stale hook invocations during Stop() or static destruction must find
+/// live tables.
+struct ProfilerState {
+  std::atomic<bool> enabled{false};
+  std::atomic<uint64_t> interval{0};
+  std::atomic<uint64_t> seed{0};
+  std::atomic<int> max_frames{kMaxFrames};
+  std::atomic<uint64_t> total_samples{0};
+  /// Threads get deterministic phase seeds in creation order.
+  std::atomic<uint64_t> thread_counter{0};
+  /// Bumped by every Start() so threads re-derive their countdown phase
+  /// for the new run's seed/interval.
+  std::atomic<uint64_t> epoch{0};
+  SiteStripe site_stripes[kStripes];
+  PtrStripe ptr_stripes[kStripes];
+  std::atomic<uint32_t> filter[kFilterBuckets];
+  /// Serializes Start/Stop against each other (never held by hooks).
+  std::mutex control_mu;
+};
+
+ProfilerState& State() {
+  static ProfilerState* state = new ProfilerState();
+  return *state;
+}
+
+// Per-thread sampling state. Plain zero-initialized PODs: no guard
+// variable, safe from a thread's very first allocation.
+thread_local int64_t tls_countdown = 0;
+thread_local uint64_t tls_phase_epoch = 0;
+/// Reentrancy gate: the site/pointer tables themselves allocate, and
+/// those internal allocations and frees must not recurse into sampling.
+thread_local bool tls_in_hook = false;
+
+struct StackBounds {
+  uintptr_t lo = 0;
+  uintptr_t hi = 0;
+  bool init = false;
+};
+thread_local StackBounds tls_stack;
+
+void InitStackBounds() {
+#if defined(__linux__) && defined(__GLIBC__)
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+    void* addr = nullptr;
+    size_t size = 0;
+    if (pthread_attr_getstack(&attr, &addr, &size) == 0 && size > 0) {
+      tls_stack.lo = reinterpret_cast<uintptr_t>(addr);
+      tls_stack.hi = tls_stack.lo + size;
+    }
+    pthread_attr_destroy(&attr);
+  }
+#endif
+  tls_stack.init = true;
+}
+
+/// Frame-pointer walk, crash-safe by construction: a frame pointer is
+/// only dereferenced after proving it lies inside this thread's stack
+/// [lo, hi), so a frame from code compiled without frame pointers (its
+/// rbp holds arbitrary data) ends the walk instead of faulting. Without
+/// known bounds (non-glibc) the walk degrades to the immediate caller.
+__attribute__((noinline)) int CaptureStack(uintptr_t* out, int max_frames) {
+  if (!tls_stack.init) InitStackBounds();
+  const uintptr_t lo = tls_stack.lo;
+  const uintptr_t hi = tls_stack.hi;
+  int n = 0;
+  if (lo == 0 || hi <= lo) {
+    out[n++] = reinterpret_cast<uintptr_t>(__builtin_return_address(0));
+    return n;
+  }
+  uintptr_t fp = reinterpret_cast<uintptr_t>(__builtin_frame_address(0));
+  while (n < max_frames) {
+    if (fp < lo || fp + 2 * sizeof(uintptr_t) > hi ||
+        fp % sizeof(uintptr_t) != 0) {
+      break;
+    }
+    const uintptr_t next = reinterpret_cast<uintptr_t*>(fp)[0];
+    const uintptr_t ret = reinterpret_cast<uintptr_t*>(fp)[1];
+    if (ret < 4096) break;  // not a plausible return address
+    out[n++] = ret;
+    // Frames must strictly ascend and stay within a sane distance; a
+    // cycle or a wild jump means the chain left -fno-omit-frame-pointer
+    // territory.
+    if (next <= fp || next - fp > (1u << 20)) break;
+    fp = next;
+  }
+  if (n == 0) {
+    out[n++] = reinterpret_cast<uintptr_t>(__builtin_return_address(0));
+  }
+  return n;
+}
+
+uint64_t HashStack(const uintptr_t* frames, int n) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (int i = 0; i < n; ++i) {
+    h ^= frames[i];
+    h *= 0x100000001b3ull;
+  }
+  // Never 0: 0 is not a reserved key, but mixing guards against the
+  // (astronomically unlikely) all-cancelling stack.
+  return h == 0 ? 1 : h;
+}
+
+size_t StripeIndex(uint64_t hash) { return (hash >> 60) & (kStripes - 1); }
+size_t FilterIndex(const void* ptr) {
+  return Mix64(reinterpret_cast<uintptr_t>(ptr)) & (kFilterBuckets - 1);
+}
+
+/// Blocks the sampling hooks on the calling thread for a scope. The
+/// profiler's own bookkeeping (snapshot copies, table churn in
+/// Start/Stop) allocates while holding a stripe lock; letting those
+/// allocations be sampled would re-enter RecordSample and self-deadlock
+/// when the sample hashes to the stripe already held.
+class ScopedHookShield {
+ public:
+  ScopedHookShield() : prior_(tls_in_hook) { tls_in_hook = true; }
+  ~ScopedHookShield() { tls_in_hook = prior_; }
+  ScopedHookShield(const ScopedHookShield&) = delete;
+  ScopedHookShield& operator=(const ScopedHookShield&) = delete;
+
+ private:
+  bool prior_;
+};
+
+__attribute__((noinline)) void RecordSample(void* ptr, size_t size,
+                                            uint64_t weight) {
+  ProfilerState& state = State();
+  uintptr_t frames[kMaxFrames];
+  int max_frames = state.max_frames.load(std::memory_order_relaxed);
+  int n = CaptureStack(frames, max_frames);
+  // Drop the leaf frame — it is CaptureStack's own return address
+  // (inside RecordSample); everything below it is caller territory.
+  const uintptr_t* user_frames = frames;
+  if (n > 1) {
+    ++user_frames;
+    --n;
+  }
+  const uint64_t hash = HashStack(user_frames, n);
+  uint64_t objects = size > 0 ? weight / size : weight;
+  if (objects == 0) objects = 1;
+
+  {
+    SiteStripe& stripe = state.site_stripes[StripeIndex(hash)];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    SiteStats& site = stripe.sites[hash];
+    if (site.frames.empty()) site.frames.assign(user_frames, user_frames + n);
+    site.live_bytes += weight;
+    site.live_objects += objects;
+    site.alloc_bytes += weight;
+    site.alloc_objects += objects;
+    ++site.samples;
+  }
+  {
+    PtrStripe& stripe =
+        state.ptr_stripes[Mix64(reinterpret_cast<uintptr_t>(ptr)) &
+                          (kStripes - 1)];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.ptrs[ptr] = PtrRecord{hash, weight, objects};
+  }
+  state.filter[FilterIndex(ptr)].fetch_add(1, std::memory_order_relaxed);
+  state.total_samples.fetch_add(1, std::memory_order_relaxed);
+}
+
+void OnAllocHook(void* ptr, size_t size) {
+  ProfilerState& state = State();
+  if (!state.enabled.load(std::memory_order_relaxed)) return;
+  if (tls_in_hook) return;
+  // Guards a stale hook firing mid-Stop, when interval has been zeroed:
+  // the countdown loop below must never add zero.
+  const int64_t interval =
+      static_cast<int64_t>(state.interval.load(std::memory_order_relaxed));
+  if (interval <= 0) return;
+  const uint64_t epoch = state.epoch.load(std::memory_order_relaxed);
+  if (tls_phase_epoch != epoch) {
+    // Deterministic per-thread phase: thread i starts its countdown at
+    // a seeded pseudo-random point inside the first interval, so a
+    // fixed workload samples the same allocation stream run to run.
+    const uint64_t id =
+        state.thread_counter.fetch_add(1, std::memory_order_relaxed);
+    tls_countdown = static_cast<int64_t>(
+        1 + Mix64(state.seed.load(std::memory_order_relaxed) ^ id) %
+            static_cast<uint64_t>(interval));
+    tls_phase_epoch = epoch;
+  }
+  tls_countdown -= static_cast<int64_t>(size);
+  if (tls_countdown > 0) return;
+  uint64_t intervals = 0;
+  while (tls_countdown <= 0) {
+    tls_countdown += interval;
+    ++intervals;
+  }
+  tls_in_hook = true;
+  RecordSample(ptr, size, intervals * static_cast<uint64_t>(interval));
+  tls_in_hook = false;
+}
+
+void OnFreeHook(void* ptr) {
+  ProfilerState& state = State();
+  if (!state.enabled.load(std::memory_order_relaxed)) return;
+  if (tls_in_hook) return;
+  if (state.filter[FilterIndex(ptr)].load(std::memory_order_relaxed) == 0) {
+    return;  // definitely never sampled
+  }
+  tls_in_hook = true;
+  PtrRecord record;
+  bool found = false;
+  {
+    PtrStripe& stripe =
+        state.ptr_stripes[Mix64(reinterpret_cast<uintptr_t>(ptr)) &
+                          (kStripes - 1)];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.ptrs.find(ptr);
+    if (it != stripe.ptrs.end()) {
+      record = it->second;
+      stripe.ptrs.erase(it);
+      found = true;
+    }
+  }
+  if (found) {
+    state.filter[FilterIndex(ptr)].fetch_sub(1, std::memory_order_relaxed);
+    SiteStripe& stripe = state.site_stripes[StripeIndex(record.site_hash)];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.sites.find(record.site_hash);
+    if (it != stripe.sites.end()) {
+      SiteStats& site = it->second;
+      site.live_bytes -= record.bytes < site.live_bytes ? record.bytes
+                                                        : site.live_bytes;
+      site.live_objects -= record.objects < site.live_objects
+                               ? record.objects
+                               : site.live_objects;
+    }
+  }
+  tls_in_hook = false;
+}
+
+}  // namespace
+
+std::string SymbolizePc(uintptr_t pc) {
+  // The stored address is the *return* address; symbolize the call
+  // instruction one byte before it so a call at the end of a function
+  // does not resolve to the next one.
+  Dl_info info;
+  std::memset(&info, 0, sizeof(info));
+  if (dladdr(reinterpret_cast<void*>(pc - 1), &info) != 0) {
+    char buf[32];
+    if (info.dli_sname != nullptr) {
+      const char* name = info.dli_sname;
+#if defined(__GNUG__)
+      int status = 0;
+      char* demangled =
+          abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+      std::string out;
+      if (status == 0 && demangled != nullptr) {
+        out = demangled;
+      } else {
+        out = name;
+      }
+      std::free(demangled);
+#else
+      std::string out = name;
+#endif
+      const uintptr_t base = reinterpret_cast<uintptr_t>(info.dli_saddr);
+      if (base != 0 && pc - 1 >= base) {
+        std::snprintf(buf, sizeof(buf), "+0x%zx",
+                      static_cast<size_t>(pc - 1 - base));
+        out += buf;
+      }
+      return out;
+    }
+    if (info.dli_fname != nullptr) {
+      // Symbol-less frame: report the module and the offset within it.
+      const char* slash = std::strrchr(info.dli_fname, '/');
+      std::string out = slash != nullptr ? slash + 1 : info.dli_fname;
+      const uintptr_t base = reinterpret_cast<uintptr_t>(info.dli_fbase);
+      std::snprintf(buf, sizeof(buf), "+0x%zx",
+                    static_cast<size_t>(pc - 1 - base));
+      out += buf;
+      return out;
+    }
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%zx", static_cast<size_t>(pc));
+  return buf;
+}
+
+HeapProfiler& HeapProfiler::Instance() {
+  static HeapProfiler* instance = new HeapProfiler();
+  return *instance;
+}
+
+Status HeapProfiler::Start(const HeapProfileOptions& options) {
+  if (!AllocTrackingAvailable()) {
+    return Status::FailedPrecondition(
+        "heap sampling needs the alloc tracker "
+        "(build with -DSECVIEW_ALLOC_TRACKER=ON)");
+  }
+  if (options.sample_interval_bytes == 0) {
+    return Status::InvalidArgument("heap sample interval must be > 0");
+  }
+  const BuildInfo& build = GetBuildInfo();
+  if (build.sanitizer != "none" && !options.allow_under_sanitizers) {
+    return Status::FailedPrecondition(
+        "heap sampling disabled under sanitizer build (sanitizer=" +
+        build.sanitizer + "): frame-pointer walks see instrumented stacks");
+  }
+  ProfilerState& state = State();
+  std::lock_guard<std::mutex> control(state.control_mu);
+  if (state.enabled.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("heap profiler already running");
+  }
+  ScopedHookShield shield;  // table churn below must not be sampled
+  // Discard any residue from a prior run (including stragglers that
+  // slipped in while hooks were detaching).
+  for (SiteStripe& stripe : state.site_stripes) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.sites.clear();
+  }
+  for (PtrStripe& stripe : state.ptr_stripes) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.ptrs.clear();
+  }
+  for (std::atomic<uint32_t>& bucket : state.filter) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  state.total_samples.store(0, std::memory_order_relaxed);
+  state.interval.store(options.sample_interval_bytes,
+                       std::memory_order_relaxed);
+  state.seed.store(options.seed, std::memory_order_relaxed);
+  int max_frames = options.max_frames;
+  if (max_frames < 1) max_frames = 1;
+  if (max_frames > kMaxFrames) max_frames = kMaxFrames;
+  state.max_frames.store(max_frames, std::memory_order_relaxed);
+  state.epoch.fetch_add(1, std::memory_order_relaxed);
+  state.enabled.store(true, std::memory_order_relaxed);
+  alloc_internal::SetHeapHooks(&OnAllocHook, &OnFreeHook);
+  return Status::OK();
+}
+
+void HeapProfiler::Stop() {
+  ProfilerState& state = State();
+  std::lock_guard<std::mutex> control(state.control_mu);
+  if (!state.enabled.load(std::memory_order_relaxed)) return;
+  ScopedHookShield shield;  // table churn below must not be sampled
+  state.enabled.store(false, std::memory_order_relaxed);
+  alloc_internal::SetHeapHooks(nullptr, nullptr);
+  // Drain the tables before zeroing the filter, so a racing free that
+  // already passed the filter check either finds its record (and
+  // decrements a count we are about to zero anyway) or finds nothing.
+  for (PtrStripe& stripe : state.ptr_stripes) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.ptrs.clear();
+  }
+  for (SiteStripe& stripe : state.site_stripes) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.sites.clear();
+  }
+  for (std::atomic<uint32_t>& bucket : state.filter) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  state.total_samples.store(0, std::memory_order_relaxed);
+  state.interval.store(0, std::memory_order_relaxed);
+}
+
+bool HeapProfiler::running() const {
+  return State().enabled.load(std::memory_order_relaxed);
+}
+
+HeapProfileOptions HeapProfiler::options() const {
+  ProfilerState& state = State();
+  HeapProfileOptions options;
+  options.sample_interval_bytes =
+      state.interval.load(std::memory_order_relaxed);
+  options.seed = state.seed.load(std::memory_order_relaxed);
+  options.max_frames = state.max_frames.load(std::memory_order_relaxed);
+  return options;
+}
+
+HeapProfileSnapshot HeapProfiler::Snapshot(bool symbolize) const {
+  ProfilerState& state = State();
+  // The copies below allocate under stripe locks; never sample them.
+  ScopedHookShield shield;
+  HeapProfileSnapshot snapshot;
+  snapshot.running = state.enabled.load(std::memory_order_relaxed);
+  snapshot.sample_interval_bytes =
+      state.interval.load(std::memory_order_relaxed);
+  snapshot.samples = state.total_samples.load(std::memory_order_relaxed);
+  for (const SiteStripe& const_stripe : state.site_stripes) {
+    SiteStripe& stripe = const_cast<SiteStripe&>(const_stripe);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& [hash, site] : stripe.sites) {
+      (void)hash;
+      HeapSiteSnapshot out;
+      out.frames = site.frames;
+      out.live_bytes = site.live_bytes;
+      out.live_objects = site.live_objects;
+      out.alloc_bytes = site.alloc_bytes;
+      out.alloc_objects = site.alloc_objects;
+      out.samples = site.samples;
+      snapshot.sites.push_back(std::move(out));
+    }
+  }
+  std::sort(snapshot.sites.begin(), snapshot.sites.end(),
+            [](const HeapSiteSnapshot& a, const HeapSiteSnapshot& b) {
+              if (a.live_bytes != b.live_bytes) {
+                return a.live_bytes > b.live_bytes;
+              }
+              return a.alloc_bytes > b.alloc_bytes;
+            });
+  for (HeapSiteSnapshot& site : snapshot.sites) {
+    snapshot.live_bytes += site.live_bytes;
+    snapshot.live_objects += site.live_objects;
+    snapshot.alloc_bytes += site.alloc_bytes;
+    snapshot.alloc_objects += site.alloc_objects;
+    if (symbolize) {
+      site.symbols.reserve(site.frames.size());
+      for (uintptr_t pc : site.frames) {
+        site.symbols.push_back(SymbolizePc(pc));
+      }
+    }
+  }
+  return snapshot;
+}
+
+}  // namespace secview::obs

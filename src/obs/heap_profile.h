@@ -1,0 +1,119 @@
+#ifndef SECVIEW_OBS_HEAP_PROFILE_H_
+#define SECVIEW_OBS_HEAP_PROFILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace secview::obs {
+
+/// Sampled allocation-site heap profiler, in the tcmalloc style: one
+/// sample per N allocated bytes (deterministic countdown with a seeded
+/// per-thread phase), a frame-pointer backtrace captured at the
+/// operator-new hook, and a lock-striped site table keyed by the hashed
+/// stack. Frees of sampled pointers decrement their site, so the table
+/// tracks estimated *live* bytes per site, not just churn.
+///
+/// Statistics are estimates: every sample event of an allocation of S
+/// bytes is assigned weight k*N where k is the number of N-byte
+/// intervals the countdown consumed (k ~= max(1, S/N)), which makes the
+/// expected attributed bytes equal to the bytes actually allocated.
+/// With interval N and a site that allocated B bytes, the relative
+/// error is on the order of sqrt(N/B) — shrink N for precision, grow it
+/// for lower overhead.
+///
+/// Off-mode cost is one relaxed atomic load per allocation and free
+/// (the observer registration in common/alloc_tracker); no sample is
+/// taken and no lock touched. The profiler is process-wide — the hooks
+/// are global — so Start/Stop manage a singleton.
+///
+/// Backtraces are walked over frame pointers, validated against the
+/// thread's stack bounds before every dereference, so a frame compiled
+/// without -fno-omit-frame-pointer terminates the walk instead of
+/// crashing it. Symbolization (dladdr + demangling) is lazy: it runs at
+/// Snapshot() time, never at the allocation hook.
+///
+/// Start() refuses to run under sanitizer builds unless explicitly
+/// overridden: ASan/TSan rewire the stack with fake frames and the
+/// sampler's frame-pointer walk would see garbage. Callers print the
+/// returned status as a skip notice and keep serving.
+
+struct HeapProfileOptions {
+  /// Mean bytes between samples. Smaller = more precise, more overhead.
+  uint64_t sample_interval_bytes = 64 * 1024;
+  /// Seeds the per-thread countdown phase, so two runs of a
+  /// single-threaded workload sample the same allocation stream
+  /// identically.
+  uint64_t seed = 0x5ec7ea9u;
+  /// Stack frames captured per sample (clamped to an internal maximum).
+  int max_frames = 24;
+  /// Permit running under a sanitizer build (tests only).
+  bool allow_under_sanitizers = false;
+};
+
+/// One allocation site: a hashed backtrace plus its estimated totals.
+struct HeapSiteSnapshot {
+  /// Return addresses, leaf (closest to operator new) first.
+  std::vector<uintptr_t> frames;
+  /// Symbolized frame names, parallel to `frames`; hex fallback when a
+  /// frame has no symbol.
+  std::vector<std::string> symbols;
+  uint64_t live_bytes = 0;
+  uint64_t live_objects = 0;
+  uint64_t alloc_bytes = 0;
+  uint64_t alloc_objects = 0;
+  /// Raw sample events attributed to this site.
+  uint64_t samples = 0;
+};
+
+struct HeapProfileSnapshot {
+  bool running = false;
+  uint64_t sample_interval_bytes = 0;
+  /// Raw sample events taken since Start().
+  uint64_t samples = 0;
+  /// Sums over `sites`.
+  uint64_t live_bytes = 0;
+  uint64_t live_objects = 0;
+  uint64_t alloc_bytes = 0;
+  uint64_t alloc_objects = 0;
+  /// Sites ordered by live_bytes descending (alloc_bytes tiebreak).
+  std::vector<HeapSiteSnapshot> sites;
+};
+
+class HeapProfiler {
+ public:
+  /// The process-wide profiler (never destroyed: the hooks may observe
+  /// frees during static destruction).
+  static HeapProfiler& Instance();
+
+  /// Installs the hooks and begins sampling. Fails when the alloc
+  /// tracker is compiled out, when already running, when the interval is
+  /// zero, or under a sanitizer build (unless overridden) — callers
+  /// surface that status as a skip notice.
+  Status Start(const HeapProfileOptions& options = {});
+
+  /// Detaches the hooks and discards all samples. Snapshot after Stop
+  /// is empty; snapshot before stopping to keep the data.
+  void Stop();
+
+  bool running() const;
+  HeapProfileOptions options() const;
+
+  /// Copies the site table out; `symbolize` resolves frame names via
+  /// dladdr (the expensive part — skip it when only totals matter).
+  HeapProfileSnapshot Snapshot(bool symbolize = true) const;
+
+ private:
+  HeapProfiler() = default;
+};
+
+/// Symbolizes one return address ("Function(args)+0x12" or
+/// "module+0x1234" or bare hex). Exposed for the exporters and tests.
+std::string SymbolizePc(uintptr_t pc);
+
+}  // namespace secview::obs
+
+#endif  // SECVIEW_OBS_HEAP_PROFILE_H_

@@ -64,4 +64,17 @@ uint64_t SlowQueryLog::recorded() const {
   return recorded_;
 }
 
+size_t SlowQueryLog::ApproxBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto string_heap = [](const std::string& s) -> size_t {
+    return s.capacity() > sizeof(std::string) ? s.capacity() + 1 : 0;
+  };
+  size_t bytes = ring_.capacity() * sizeof(Entry);
+  for (const Entry& entry : ring_) {
+    bytes += string_heap(entry.policy) + string_heap(entry.query) +
+             string_heap(entry.hot_step);
+  }
+  return bytes;
+}
+
 }  // namespace secview::obs

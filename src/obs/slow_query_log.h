@@ -59,6 +59,10 @@ class SlowQueryLog {
   /// Total entries ever recorded (not just retained).
   uint64_t recorded() const;
 
+  /// Approximate retained heap behind the ring (entry strings included),
+  /// for the memory ledger's "obs.slow_query_ring" provider.
+  size_t ApproxBytes() const;
+
   uint64_t threshold_micros() const { return options_.threshold_micros; }
   size_t capacity() const { return options_.capacity; }
 

@@ -37,7 +37,9 @@ void AppendSpanText(const Json& span, int depth, std::string& out) {
   out += name != nullptr && name->is_string() ? name->AsString() : "?";
   if (const Json* dur = span.Find("duration_us");
       dur != nullptr && dur->is_number()) {
-    out += " " + std::to_string(static_cast<uint64_t>(dur->AsNumber())) + "us";
+    out += ' ';
+    out += std::to_string(static_cast<uint64_t>(dur->AsNumber()));
+    out += "us";
   }
   if (const Json* attrs = span.Find("attrs");
       attrs != nullptr && attrs->is_object()) {
@@ -119,6 +121,48 @@ std::vector<RequestTraceStore::Entry> RequestTraceStore::Snapshot() const {
 uint64_t RequestTraceStore::retained() const {
   std::lock_guard<std::mutex> lock(mu_);
   return retained_count_;
+}
+
+namespace {
+
+size_t StringHeapBytes(const std::string& s) {
+  // Heap payload only once the string outgrew the small-string buffer.
+  return s.capacity() > sizeof(std::string) ? s.capacity() + 1 : 0;
+}
+
+size_t JsonApproxBytes(const Json& value) {
+  size_t bytes = sizeof(Json);
+  switch (value.kind()) {
+    case Json::Kind::kString:
+      bytes += StringHeapBytes(value.AsString());
+      break;
+    case Json::Kind::kArray:
+      for (const Json& item : value.items()) bytes += JsonApproxBytes(item);
+      break;
+    case Json::Kind::kObject:
+      for (const auto& [key, member] : value.members()) {
+        bytes += StringHeapBytes(key) + JsonApproxBytes(member);
+      }
+      break;
+    default:
+      break;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+size_t RequestTraceStore::ApproxBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes = ring_.capacity() * sizeof(Entry);
+  for (const Entry& entry : ring_) {
+    bytes += StringHeapBytes(entry.trace_id) + StringHeapBytes(entry.policy) +
+             StringHeapBytes(entry.query) + StringHeapBytes(entry.reason);
+    // JsonApproxBytes counts sizeof(Json) for the root too, but the root
+    // is embedded in the Entry already counted above; subtract it back.
+    bytes += JsonApproxBytes(entry.spans) - sizeof(Json);
+  }
+  return bytes;
 }
 
 Json RequestTraceStore::EntryJson(const Entry& entry) {

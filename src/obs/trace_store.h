@@ -79,6 +79,10 @@ class RequestTraceStore {
   uint64_t offered() const { return offered_.load(std::memory_order_relaxed); }
   uint64_t retained() const;
 
+  /// Approximate retained heap behind the ring (entry strings + span
+  /// JSON), for the memory ledger's "obs.trace_ring" provider.
+  size_t ApproxBytes() const;
+
   /// One secview.trace.v1 JSON object for an entry:
   /// {"schema":"secview.trace.v1","trace_id":...,"unix_micros":...,
   ///  "policy":...,"query":...,"outcome":...,"reason":...,

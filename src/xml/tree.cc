@@ -194,4 +194,41 @@ size_t XmlTree::EstimateSerializedSize() const {
   return total;
 }
 
+namespace {
+
+/// Heap bytes behind one std::string: zero when the value fits the
+/// small-string buffer, capacity + terminator otherwise.
+size_t StringHeapBytes(const std::string& s) {
+  return s.capacity() > sizeof(std::string) - 1 ? s.capacity() + 1 : 0;
+}
+
+}  // namespace
+
+size_t XmlTree::MemoryFootprintBytes() const {
+  size_t total = sizeof(XmlTree);
+  total += nodes_.capacity() * sizeof(Node);
+  total += labels_.capacity() * sizeof(std::string);
+  for (const std::string& label : labels_) total += StringHeapBytes(label);
+  total += texts_.capacity() * sizeof(std::string);
+  for (const std::string& text : texts_) total += StringHeapBytes(text);
+  total +=
+      attrs_.capacity() * sizeof(std::vector<std::pair<std::string,
+                                                       std::string>>);
+  for (const auto& attrs : attrs_) {
+    total += attrs.capacity() * sizeof(std::pair<std::string, std::string>);
+    for (const auto& [name, value] : attrs) {
+      total += StringHeapBytes(name) + StringHeapBytes(value);
+    }
+  }
+  // Intern map: bucket array plus one node (key string + int + pointer
+  // overhead) per entry — an estimate, the map's internals are opaque.
+  total += label_ids_.bucket_count() * sizeof(void*);
+  for (const auto& [label, id] : label_ids_) {
+    (void)id;
+    total += sizeof(void*) * 2 + sizeof(int) + sizeof(std::string) +
+             StringHeapBytes(label);
+  }
+  return total;
+}
+
 }  // namespace secview

@@ -138,6 +138,13 @@ class XmlTree {
   /// Total serialized size estimate in bytes (labels + text + markup).
   size_t EstimateSerializedSize() const;
 
+  /// Approximate resident heap footprint of this tree: vector capacities
+  /// plus string and attribute storage (SSO-aware) plus an estimate for
+  /// the label-intern map. Feeds the subsystem memory ledger
+  /// (obs/mem_ledger.h) — the measurement baseline the planned arena
+  /// store must beat.
+  size_t MemoryFootprintBytes() const;
+
  private:
   struct Node {
     NodeKind kind;

@@ -1,5 +1,7 @@
 #include "xpath/plan.h"
 
+#include <algorithm>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
 
@@ -174,6 +176,59 @@ std::shared_ptr<const CompiledPlan> CompilePlan(
 EvalScratch& EvalScratch::ThreadLocal() {
   static thread_local EvalScratch scratch;
   return scratch;
+}
+
+namespace {
+
+/// Registry of live scratch arenas, so the memory ledger can sum every
+/// thread's pooled capacity. Leaked: thread_local scratches unregister
+/// during static/thread destruction and must find the registry alive.
+struct ScratchRegistry {
+  std::mutex mu;
+  std::vector<const EvalScratch*> scratches;
+};
+
+ScratchRegistry& TheScratchRegistry() {
+  static ScratchRegistry* registry = new ScratchRegistry();
+  return *registry;
+}
+
+}  // namespace
+
+EvalScratch::EvalScratch() {
+  ScratchRegistry& registry = TheScratchRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.scratches.push_back(this);
+}
+
+EvalScratch::~EvalScratch() {
+  ScratchRegistry& registry = TheScratchRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.scratches.erase(std::remove(registry.scratches.begin(),
+                                       registry.scratches.end(), this),
+                           registry.scratches.end());
+}
+
+size_t EvalScratch::FootprintBytes() const {
+  size_t total =
+      owned_.capacity() * sizeof(std::unique_ptr<std::vector<NodeId>>) +
+      free_.capacity() * sizeof(std::vector<NodeId>*) +
+      label_slots_.capacity() * sizeof(int) +
+      const_slots_.capacity() * sizeof(const std::string*);
+  for (const auto& set : owned_) {
+    total += sizeof(std::vector<NodeId>) + set->capacity() * sizeof(NodeId);
+  }
+  return total;
+}
+
+size_t EvalScratch::TotalPublishedBytes() {
+  ScratchRegistry& registry = TheScratchRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  size_t total = 0;
+  for (const EvalScratch* scratch : registry.scratches) {
+    total += scratch->published_bytes_.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 }  // namespace secview

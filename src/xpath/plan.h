@@ -1,6 +1,7 @@
 #ifndef SECVIEW_XPATH_PLAN_H_
 #define SECVIEW_XPATH_PLAN_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -132,7 +133,8 @@ std::shared_ptr<const CompiledPlan> CompilePlan(
 /// docs/observability.md, "Plan compilation".
 class EvalScratch {
  public:
-  EvalScratch() = default;
+  EvalScratch();
+  ~EvalScratch();
   EvalScratch(const EvalScratch&) = delete;
   EvalScratch& operator=(const EvalScratch&) = delete;
 
@@ -162,11 +164,29 @@ class EvalScratch {
   /// Buffers ever created (pool high-water mark, for tests).
   size_t pooled_sets() const { return owned_.size(); }
 
+  /// Retained heap behind this scratch (pooled buffer capacities plus
+  /// the slot vectors), computed by walking owned_ — owner thread only.
+  size_t FootprintBytes() const;
+
+  /// Publishes FootprintBytes() to a cross-thread-readable atomic. The
+  /// evaluator calls this once per compiled evaluation (cheap: the pool
+  /// is bounded by the deepest plan), so the memory ledger can sum all
+  /// threads' warm arenas without racing their owners.
+  void PublishFootprint() {
+    published_bytes_.store(FootprintBytes(), std::memory_order_relaxed);
+  }
+
+  /// Sum of every live scratch's last published footprint, process-wide.
+  /// Feeds the "xpath.eval_scratch" memory-ledger provider.
+  static size_t TotalPublishedBytes();
+
  private:
   std::vector<std::unique_ptr<std::vector<NodeId>>> owned_;
   std::vector<std::vector<NodeId>*> free_;
   std::vector<int> label_slots_;
   std::vector<const std::string*> const_slots_;
+  /// Owner-written (relaxed), scraper-read; see PublishFootprint.
+  std::atomic<size_t> published_bytes_{0};
 };
 
 }  // namespace secview

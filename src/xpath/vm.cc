@@ -65,6 +65,14 @@ Result<NodeSet> XPathEvaluator::EvaluateCompiled(
   }
   if (scratch == nullptr) scratch = &EvalScratch::ThreadLocal();
 
+  // Publish the arena's retained footprint on every exit path so the
+  // memory ledger's eval-scratch provider reads a current number; the
+  // walk is bounded by the pool depth (deepest plan on this thread).
+  struct PublishOnExit {
+    EvalScratch* scratch;
+    ~PublishOnExit() { scratch->PublishFootprint(); }
+  } publish{scratch};
+
   // Per-call resolution: plan label strings -> this tree's interned
   // ids (one hash lookup per distinct label, not per step invocation),
   // plan constants -> bound strings. Same first-match-wins rule as

@@ -104,6 +104,96 @@ TEST(AllocTrackerTest, ThreadCountsMonotonic) {
   }
 }
 
+/// Makes an allocation observable: the optimizer may elide a new/delete
+/// pair whose pointer never escapes, which would dodge the counters this
+/// suite is checking.
+void EscapePointer(void* p) { asm volatile("" : : "g"(p) : "memory"); }
+
+TEST(AllocTrackerTest, LiveHeapBalancesAcrossTheFullDeleteFamily) {
+  if (!LiveHeapTrackingAvailable()) GTEST_SKIP() << "no free-side sizing";
+  const HeapStats before = ProcessHeapStats();
+
+  // Every operator-delete overload the standard names: scalar, array,
+  // sized (the compiler emits it for delete of a complete type),
+  // nothrow, over-aligned, and sized + over-aligned. Each pair must
+  // charge and refund the exact same number of bytes.
+  int* scalar = new int(1);
+  EscapePointer(scalar);
+  delete scalar;  // sized delete
+  char* arr = new char[333];
+  EscapePointer(arr);
+  delete[] arr;  // sized array delete
+  int* soft = new (std::nothrow) int(2);
+  ASSERT_NE(soft, nullptr);
+  EscapePointer(soft);
+  delete soft;
+  struct alignas(128) Wide {
+    char pad[256];
+  };
+  Wide* wide = new Wide();  // aligned new
+  EscapePointer(wide);
+  delete wide;              // sized aligned delete
+  Wide* wides = new Wide[3];
+  EscapePointer(wides);
+  delete[] wides;
+  auto* soft_wide = new (std::nothrow) Wide();
+  ASSERT_NE(soft_wide, nullptr);
+  EscapePointer(soft_wide);
+  delete soft_wide;
+
+  const HeapStats after = ProcessHeapStats();
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+  EXPECT_EQ(after.live_objects, before.live_objects);
+  EXPECT_GE(after.total_allocs, before.total_allocs + 6);
+  EXPECT_GE(after.total_frees, before.total_frees + 6);
+}
+
+TEST(AllocTrackerTest, LiveHeapSeesRequestedBytesOrMore) {
+  if (!LiveHeapTrackingAvailable()) GTEST_SKIP() << "no free-side sizing";
+  const HeapStats before = ProcessHeapStats();
+  char* block = new char[1 << 20];
+  volatile char sink = block[0];
+  (void)sink;
+  const HeapStats during = ProcessHeapStats();
+  // Size-class mode charges malloc_usable_size: at least the request,
+  // and never wildly more for a megabyte block.
+  EXPECT_GE(during.live_bytes, before.live_bytes + (1u << 20));
+  EXPECT_LE(during.live_bytes, before.live_bytes + (1u << 20) + 65536);
+  EXPECT_EQ(during.live_objects, before.live_objects + 1);
+  EXPECT_GE(during.peak_bytes, during.live_bytes);
+  delete[] block;
+  const HeapStats after = ProcessHeapStats();
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+  EXPECT_GE(after.peak_bytes, before.live_bytes + (1u << 20))
+      << "peak is a monotone high-water mark";
+}
+
+TEST(AllocTrackerTest, CrossThreadFreeBalancesTheLedger) {
+  if (!LiveHeapTrackingAvailable()) GTEST_SKIP() << "no free-side sizing";
+  const HeapStats before = ProcessHeapStats();
+  {
+    // Allocate here, free on another thread: the live ledger is
+    // process-wide so the refund lands no matter which thread frees.
+    std::vector<char*> blocks;
+    for (int i = 0; i < 32; ++i) blocks.push_back(new char[4096]);
+    std::thread reaper([&blocks] {
+      for (char* b : blocks) delete[] b;
+    });
+    reaper.join();
+  }
+  const HeapStats after = ProcessHeapStats();
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+  EXPECT_EQ(after.live_objects, before.live_objects);
+}
+
+TEST(AllocTrackerTest, ResidentBytesReadsProcStatm) {
+#if defined(__linux__)
+  EXPECT_GT(ProcessResidentBytes(), 0u);
+#else
+  (void)ProcessResidentBytes();  // portable fallback: 0 is acceptable
+#endif
+}
+
 TEST(StatusTest, DefaultIsOk) {
   Status s;
   EXPECT_TRUE(s.ok());

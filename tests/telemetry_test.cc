@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/alloc_tracker.h"
 #include "common/failpoint.h"
 #include "engine/engine.h"
 #include "engine/worker_pool.h"
@@ -20,7 +21,9 @@
 #include "net/telemetry_server.h"
 #include "obs/health.h"
 #include "obs/export.h"
+#include "obs/heap_export.h"
 #include "obs/json.h"
+#include "obs/mem_ledger.h"
 #include "obs/plan_profile.h"
 #include "obs/policy_stats.h"
 #include "obs/serving_stats.h"
@@ -537,6 +540,92 @@ TEST_F(TelemetryServerTest, UnknownRouteIs404) {
   EXPECT_EQ(server_->Handle(Get("/")).status, 200);
 }
 
+TEST_F(TelemetryServerTest, RootRouteListsHeapAndMemEndpoints) {
+  net::HttpResponse response = server_->Handle(Get("/"));
+  ASSERT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("/heapz"), std::string::npos) << response.body;
+  EXPECT_NE(response.body.find("/memz"), std::string::npos) << response.body;
+}
+
+TEST_F(TelemetryServerTest, HeapzRendersTextJsonAndCollapsed) {
+  net::HttpResponse text = server_->Handle(Get("/heapz"));
+  ASSERT_EQ(text.status, 200);
+  EXPECT_NE(text.body.find("heap profile:"), std::string::npos) << text.body;
+  EXPECT_NE(text.body.find("process: live"), std::string::npos) << text.body;
+
+  net::HttpResponse json = server_->Handle(Get("/heapz?format=json"));
+  ASSERT_EQ(json.status, 200);
+  EXPECT_EQ(json.content_type, "application/json");
+  Status valid = obs::ValidateHeapProfileJson(json.body);
+  EXPECT_TRUE(valid.ok()) << valid << "\n" << json.body;
+
+  // Collapsed output may be empty (no sampler running in unit tests)
+  // but the route itself must succeed.
+  EXPECT_EQ(server_->Handle(Get("/heapz?format=collapsed")).status, 200);
+  EXPECT_EQ(server_->Handle(Get("/heapz?k=5")).status, 200);
+  EXPECT_EQ(server_->Handle(Get("/heapz?k=abc")).status, 400);
+  EXPECT_EQ(server_->Handle(Get("/heapz?format=xml")).status, 400);
+}
+
+TEST_F(TelemetryServerTest, MemzReportsLedgerAndProcessCounters) {
+  obs::MemLedger::Instance().ResetForTesting();
+  obs::ScopedLedgerCharge charge("test.memz", 12345);
+
+  net::HttpResponse text = server_->Handle(Get("/memz"));
+  ASSERT_EQ(text.status, 200);
+  EXPECT_NE(text.body.find("process: live"), std::string::npos) << text.body;
+  EXPECT_NE(text.body.find("test.memz: 12345 B"), std::string::npos)
+      << text.body;
+
+  net::HttpResponse json = server_->Handle(Get("/memz?format=json"));
+  ASSERT_EQ(json.status, 200);
+  EXPECT_EQ(json.content_type, "application/json");
+  auto parsed = obs::Json::Parse(json.body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_NE(parsed->Find("schema"), nullptr);
+  EXPECT_EQ(parsed->Find("schema")->AsString(), "secview.mem.v1");
+  ASSERT_NE(parsed->Find("process"), nullptr);
+  ASSERT_NE(parsed->Find("accounts"), nullptr);
+  bool found = false;
+  for (const obs::Json& account : parsed->Find("accounts")->items()) {
+    if (account.Find("name")->AsString() == "test.memz") {
+      EXPECT_EQ(account.Find("bytes")->AsNumber(), 12345);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << json.body;
+  EXPECT_EQ(parsed->Find("ledger_total_bytes")->AsNumber(), 12345);
+
+  EXPECT_EQ(server_->Handle(Get("/memz?format=xml")).status, 400);
+}
+
+TEST_F(TelemetryServerTest, StatuszHasMemorySection) {
+  engine_->Seal();
+  net::HttpResponse response = server_->Handle(Get("/statusz"));
+  ASSERT_EQ(response.status, 200);
+  const std::string& body = response.body;
+  EXPECT_NE(body.find("\nmemory\n"), std::string::npos) << body;
+  EXPECT_NE(body.find("rss: "), std::string::npos) << body;
+  EXPECT_NE(body.find("ledger: "), std::string::npos) << body;
+  EXPECT_NE(body.find("heap profiler:"), std::string::npos) << body;
+}
+
+TEST_F(TelemetryServerTest, MetricsRouteIncludesMemorySeries) {
+  engine_->Seal();
+  net::HttpResponse response = server_->Handle(Get("/metrics"));
+  ASSERT_EQ(response.status, 200);
+  Status valid = obs::ValidatePrometheusText(response.body);
+  EXPECT_TRUE(valid.ok()) << valid;
+  EXPECT_NE(response.body.find("secview_process_resident_memory_bytes"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("secview_mem_ledger_total_bytes"),
+            std::string::npos);
+  if (LiveHeapTrackingAvailable()) {
+    EXPECT_NE(response.body.find("secview_heap_live_bytes"),
+              std::string::npos);
+  }
+}
+
 TEST_F(TelemetryServerTest, EndToEndScrapeWhileServing) {
   ASSERT_TRUE(server_->Start().ok());
   ASSERT_NE(server_->port(), 0);
@@ -580,6 +669,21 @@ TEST_F(TelemetryServerTest, EndToEndScrapeWhileServing) {
           net::HttpGet("127.0.0.1", server_->port(), "/profilez?format=json");
       if (!profilez.ok() || profilez->status != 200 ||
           !obs::Json::Parse(profilez->body).ok()) {
+        bad_scrapes.fetch_add(1);
+      }
+      // /heapz and /memz race the workers' allocation churn (live-heap
+      // atomics, eval-scratch publications); the documents must always
+      // validate whole.
+      auto heapz =
+          net::HttpGet("127.0.0.1", server_->port(), "/heapz?format=json");
+      if (!heapz.ok() || heapz->status != 200 ||
+          !obs::ValidateHeapProfileJson(heapz->body).ok()) {
+        bad_scrapes.fetch_add(1);
+      }
+      auto memz =
+          net::HttpGet("127.0.0.1", server_->port(), "/memz?format=json");
+      if (!memz.ok() || memz->status != 200 ||
+          !obs::Json::Parse(memz->body).ok()) {
         bad_scrapes.fetch_add(1);
       }
     }
